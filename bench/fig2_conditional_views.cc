@@ -1,0 +1,92 @@
+// Reproduces Figure 2 / Theorem 4.1: eliminating an FO-condition from a
+// conditional representation Φ(I | φ) via k independent copies plus a
+// ⊥-fact. For a sweep of inputs the table reports the chosen k, the
+// special-instance mass p₀, P(ψ), the size of the constructed TI-PDB J,
+// and the exact total-variation distance between Φ'(J) and Φ(I | φ)
+// (always 0: the construction is exact in rational arithmetic).
+
+#include <cstdio>
+
+#include "core/conditional_views.h"
+#include "logic/parser.h"
+#include "pdb/conditioning.h"
+
+namespace {
+
+using ipdb::math::Rational;
+namespace core = ipdb::core;
+namespace pdb = ipdb::pdb;
+namespace logic = ipdb::logic;
+namespace rel = ipdb::rel;
+
+rel::Fact U(int64_t v) { return rel::Fact(0, {rel::Value::Int(v)}); }
+
+void Run(const char* label, const pdb::TiPdb<Rational>& ti,
+         const logic::FoView& view, const logic::Formula& phi) {
+  auto built = core::EliminateCondition(ti, view, phi);
+  if (!built.ok()) {
+    std::printf("  %-28s construction failed: %s\n", label,
+                built.status().ToString().c_str());
+    return;
+  }
+  auto tv = core::VerifyConditionElimination(built.value());
+  std::printf("  %-28s k=%-3d p0=%-8s |facts(J)|=%-4d worlds(D)=%-3d "
+              "TV=%.3g\n",
+              label, built.value().k,
+              built.value().p0.ToString().c_str(),
+              built.value().ti.num_facts(),
+              built.value().target.num_worlds(),
+              tv.ok() ? tv.value() : -1.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 2 / Theorem 4.1: FO(TI | FO) = FO(TI) ===\n"
+      "TV must be exactly 0 in every row (exact rational pipeline).\n\n");
+
+  rel::Schema schema({{"U", 1}});
+  logic::FoView identity = logic::FoView::Identity(schema);
+
+  {
+    pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+        schema,
+        {{U(1), Rational::Ratio(1, 2)}, {U(2), Rational::Ratio(1, 3)}});
+    Run("nonempty | 2 facts", ti, identity,
+        logic::ParseSentence("exists x. U(x)", schema).value());
+    Run("at-most-one | 2 facts", ti, identity,
+        logic::ParseSentence("!(U(1) & U(2))", schema).value());
+    Run("vacuous | 2 facts", ti, identity, logic::Truth());
+  }
+  {
+    // Skewed marginals: rarer D0, larger k.
+    pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+        schema,
+        {{U(1), Rational::Ratio(9, 10)}, {U(2), Rational::Ratio(9, 10)}});
+    Run("parity | skewed marginals", ti, identity,
+        logic::ParseSentence("(U(1) & U(2)) | (!U(1) & !U(2))", schema)
+            .value());
+  }
+  {
+    // A non-identity view: project the first column.
+    rel::Schema in({{"R", 2}});
+    rel::Schema out({{"T", 1}});
+    logic::FoView::Definition def;
+    def.output_relation = 0;
+    def.head_vars = {"x"};
+    def.body = logic::ParseFormula("exists y. R(x, y)", in).value();
+    logic::FoView view = logic::FoView::Create(in, out, {def}).value();
+    pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+        in, {{rel::Fact(0, {rel::Value::Int(1), rel::Value::Int(2)}),
+              Rational::Ratio(1, 2)},
+             {rel::Fact(0, {rel::Value::Int(2), rel::Value::Int(1)}),
+              Rational::Ratio(1, 4)}});
+    Run("projection | asymmetry", ti, view,
+        logic::ParseSentence("!(R(1, 2) & R(2, 1))", in).value());
+  }
+
+  std::printf("\nConditioning adds no expressive power: every row "
+              "rebuilt unconditionally with TV = 0.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Figure 3 / Lemma 5.1: the segmented-fact construction.
+// For a sweep of input PDBs and segment widths c, the table reports the
+// number of TI facts (Σ ŝ_i), the marginal mass Σ q_t (finite — the
+// Theorem 2.4 condition), and the end-to-end total variation distance of
+// the conditioned, viewed reconstruction (0 up to double rounding).
+// The bounded-size rows demonstrate Corollary 5.4: with c = max|D|,
+// every world is one fact and Σ q < 1.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/segment_construction.h"
+
+namespace {
+
+namespace core = ipdb::core;
+namespace pdb = ipdb::pdb;
+namespace rel = ipdb::rel;
+
+rel::Instance World(std::vector<int64_t> values) {
+  std::vector<rel::Fact> facts;
+  for (int64_t v : values) {
+    facts.emplace_back(0, std::vector<rel::Value>{rel::Value::Int(v)});
+  }
+  return rel::Instance(std::move(facts));
+}
+
+void Run(const char* label, const pdb::FinitePdb<double>& input, int c) {
+  auto built = core::BuildSegmentConstruction(input, c);
+  if (!built.ok()) {
+    std::printf("  %-26s c=%d failed: %s\n", label, c,
+                built.status().ToString().c_str());
+    return;
+  }
+  auto tv = core::VerifySegmentConstruction(input, built.value());
+  std::printf("  %-26s c=%-2d segments=%-3d sum(q)=%-8.4f arity=%-3d "
+              "TV=%.3g\n",
+              label, c, built.value().ti.num_facts(),
+              built.value().marginal_sum,
+              built.value().hat_schema.arity(0),
+              tv.ok() ? tv.value() : -1.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3 / Lemma 5.1: the segmented-fact construction "
+              "===\n\n");
+  rel::Schema schema({{"U", 1}});
+
+  pdb::FinitePdb<double> two = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({1}), 0.25}, {World({2}), 0.75}});
+  Run("2 singleton worlds", two, 1);
+
+  pdb::FinitePdb<double> mixed = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({}), 0.2},
+               {World({1, 2, 3}), 0.3},
+               {World({7}), 0.5}});
+  Run("sizes 0/1/3", mixed, 1);
+  Run("sizes 0/1/3", mixed, 2);
+  Run("sizes 0/1/3", mixed, 3);
+
+  pdb::FinitePdb<double> chains = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({1, 2, 3, 4}), 0.5}, {World({5, 6}), 0.5}});
+  Run("sizes 4/2 (chains)", chains, 1);
+  Run("sizes 4/2 (chains)", chains, 2);
+
+  // Corollary 5.4: bounded size, one segment per world.
+  auto bounded = core::BuildBoundedSizeConstruction(mixed);
+  if (bounded.ok()) {
+    std::printf(
+        "\nCorollary 5.4 (c = max size = %d): segments=%d, sum(q)=%.4f "
+        "< 1\n",
+        bounded.value().c, bounded.value().ti.num_facts(),
+        bounded.value().marginal_sum);
+  }
+
+  std::printf("\nEvery row reconstructs the input distribution through "
+              "condition + view with TV ~ 0.\n");
+  return 0;
+}

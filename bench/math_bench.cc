@@ -1,0 +1,80 @@
+// Microbenchmark: the exact-arithmetic substrate (BigInt / Rational)
+// that powers the library's exact distribution-equality verification.
+
+#include <benchmark/benchmark.h>
+
+#include "math/bigint.h"
+#include "math/rational.h"
+
+namespace {
+
+using ipdb::math::BigInt;
+using ipdb::math::Rational;
+
+BigInt MakeBig(int bits) { return BigInt::TwoToThe(bits) - BigInt(12345); }
+
+void BM_BigIntMultiply(benchmark::State& state) {
+  BigInt a = MakeBig(static_cast<int>(state.range(0)));
+  BigInt b = MakeBig(static_cast<int>(state.range(0)) - 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMultiply)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_BigIntDivide(benchmark::State& state) {
+  BigInt a = MakeBig(static_cast<int>(state.range(0)));
+  BigInt b = MakeBig(static_cast<int>(state.range(0)) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a / b);
+  }
+}
+BENCHMARK(BM_BigIntDivide)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_BigIntToString(benchmark::State& state) {
+  BigInt a = MakeBig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.ToString());
+  }
+}
+BENCHMARK(BM_BigIntToString)->Arg(128)->Arg(1024);
+
+void BM_RationalSum(benchmark::State& state) {
+  // Σ 1/(i(i+1)) with exact canonicalization each step — the shape of
+  // the exact world-probability accumulations in the verifiers.
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rational total;
+    for (int i = 1; i <= n; ++i) {
+      total += Rational::Ratio(1, static_cast<int64_t>(i) * (i + 1));
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_RationalSum)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_RationalWorldProbability(benchmark::State& state) {
+  // Product of n marginals and complements, exact.
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rational product(1);
+    for (int i = 1; i <= n; ++i) {
+      Rational p = Rational::Ratio(i, 2 * i + 1);
+      product *= (i % 2 == 0) ? p : (Rational(1) - p);
+    }
+    benchmark::DoNotOptimize(product);
+  }
+}
+BENCHMARK(BM_RationalWorldProbability)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RationalPow(benchmark::State& state) {
+  Rational half = Rational::Ratio(3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(half.Pow(state.range(0)));
+  }
+}
+BENCHMARK(BM_RationalPow)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

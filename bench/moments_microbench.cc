@@ -1,0 +1,74 @@
+// Microbenchmark: the probabilistic analysis substrate — Poisson-
+// binomial size distributions (Proposition 3.2 made quantitative),
+// certified moment intervals for truncated infinite TI-PDBs, and series
+// analysis with tail certificates.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/paper_examples.h"
+#include "prob/poisson_binomial.h"
+#include "util/series.h"
+
+namespace {
+
+namespace prob = ipdb::prob;
+
+std::vector<double> Marginals(int n) {
+  std::vector<double> p(n);
+  for (int i = 0; i < n; ++i) {
+    p[i] = 1.0 / ((i + 1.0) * (i + 1.0) + 1.0);
+  }
+  return p;
+}
+
+void BM_PoissonBinomialPmf(benchmark::State& state) {
+  std::vector<double> p = Marginals(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob::PoissonBinomialPmf(p));
+  }
+}
+BENCHMARK(BM_PoissonBinomialPmf)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TiMomentInterval(benchmark::State& state) {
+  std::vector<double> p = Marginals(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prob::PoissonBinomialMomentInterval(p, 0.01, 4));
+  }
+}
+BENCHMARK(BM_TiMomentInterval)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SeriesAnalysisGeometric(benchmark::State& state) {
+  ipdb::Series series = ipdb::GeometricSeries(1.0, 0.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ipdb::AnalyzeSum(series));
+  }
+}
+BENCHMARK(BM_SeriesAnalysisGeometric);
+
+void BM_Example39MomentAnalysis(benchmark::State& state) {
+  ipdb::pdb::CountablePdb ex39 = ipdb::core::Example39();
+  int k = static_cast<int>(state.range(0));
+  ipdb::SumOptions options;
+  options.max_terms = 1 << 14;
+  options.target_width = 1e-6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex39.AnalyzeMoment(k, options));
+  }
+}
+BENCHMARK(BM_Example39MomentAnalysis)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CountableTiSizeMoment(benchmark::State& state) {
+  ipdb::pdb::CountableTiPdb ti = ipdb::core::Example56Ti();
+  int64_t prefix = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ti.SizeMomentInterval(2, prefix));
+  }
+}
+BENCHMARK(BM_CountableTiSizeMoment)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+# Benchmark targets, included from the top-level CMakeLists so that
+# ${CMAKE_BINARY_DIR}/bench contains ONLY the runnable binaries
+# (`for b in build/bench/*; do $b; done` runs everything cleanly).
+
+function(ipdb_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} ipdb)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+function(ipdb_add_gbench name)
+  ipdb_add_bench(${name})
+  target_link_libraries(${name} benchmark::benchmark)
+endfunction()
+
+ipdb_add_bench(fig1_finite_hierarchy)
+target_link_libraries(fig1_finite_hierarchy ipdb_test_util)
+ipdb_add_bench(fig2_conditional_views)
+ipdb_add_bench(fig3_segment_construction)
+ipdb_add_bench(fig4_countable_hierarchy)
+ipdb_add_bench(ex35_infinite_moment)
+ipdb_add_bench(ex39_balance_bound)
+ipdb_add_bench(ex55_growth_criterion)
+ipdb_add_bench(ex56_criterion_gap)
+ipdb_add_bench(sec6_logical_reasons)
+ipdb_add_bench(bid_to_ti_bench)
+
+ipdb_add_gbench(pqe_bench)
+ipdb_add_gbench(fo_eval_bench)
+ipdb_add_gbench(moments_microbench)
+ipdb_add_gbench(sampling_bench)
+ipdb_add_gbench(math_bench)

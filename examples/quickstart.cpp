@@ -1,0 +1,83 @@
+// Quickstart: build a tuple-independent PDB, ask queries, apply a view,
+// condition on a constraint, and check the paper's headline machinery.
+//
+//   $ ./quickstart
+//
+// Walks through:
+//   1. defining a schema and a TI-PDB,
+//   2. exact probabilistic query evaluation (lineage + WMC),
+//   3. FO views and conditioning,
+//   4. representing the conditioned view WITHOUT the condition
+//      (Theorem 4.1), verified exactly.
+
+#include <cstdio>
+
+#include "core/conditional_views.h"
+#include "logic/parser.h"
+#include "pdb/conditioning.h"
+#include "pdb/pushforward.h"
+#include "pdb/ti_pdb.h"
+#include "pqe/wmc.h"
+
+using ipdb::math::Rational;
+namespace logic = ipdb::logic;
+namespace pdb = ipdb::pdb;
+namespace rel = ipdb::rel;
+
+int main() {
+  // 1. A schema with one binary relation, and a TI-PDB of three
+  //    independent "friend" facts.
+  rel::Schema schema({{"Friend", 2}});
+  auto friends = [](const char* a, const char* b) {
+    return rel::Fact(0, {rel::Value::Symbol(a), rel::Value::Symbol(b)});
+  };
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema, {{friends("ann", "bob"), 0.8},
+               {friends("bob", "carl"), 0.5},
+               {friends("ann", "carl"), 0.2}});
+  std::printf("TI-PDB:\n%s\n", ti.ToString().c_str());
+
+  // 2. Exact query probability: is there a friendship path ann -> carl?
+  logic::Formula query =
+      logic::ParseSentence(
+          "Friend('ann', 'carl') | "
+          "(Friend('ann', 'bob') & Friend('bob', 'carl'))",
+          schema)
+          .value();
+  auto p = ipdb::pqe::QueryProbability(ti, query);
+  std::printf("Pr(ann reaches carl) = %.4f (exact WMC over the lineage)\n\n",
+              p.value());
+
+  // 3. A view computing friend-of-friend pairs, applied through the
+  //    distribution (pushforward), conditioned on "bob has a friend".
+  rel::Schema out({{"Foaf", 2}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x", "z"};
+  def.body =
+      logic::ParseFormula("exists y. Friend(x, y) & Friend(y, z)", schema)
+          .value();
+  logic::FoView view = logic::FoView::Create(schema, out, {def}).value();
+
+  pdb::FinitePdb<double> expanded = ti.Expand();
+  logic::Formula condition =
+      logic::ParseSentence("exists x. Friend('bob', x)", schema).value();
+  auto conditioned = pdb::Condition(expanded, condition);
+  auto image = pdb::Pushforward(conditioned.value(), view);
+  std::printf("Foaf distribution given bob has a friend:\n%s\n",
+              image.value().ToString().c_str());
+
+  // 4. Theorem 4.1: the conditioned view has an UNCONDITIONAL
+  //    representation — build it and verify exactly (rational pipeline).
+  pdb::TiPdb<Rational> exact_ti = pdb::TiPdb<Rational>::CreateOrDie(
+      schema, {{friends("ann", "bob"), Rational::Ratio(4, 5)},
+               {friends("bob", "carl"), Rational::Ratio(1, 2)},
+               {friends("ann", "carl"), Rational::Ratio(1, 5)}});
+  auto built = ipdb::core::EliminateCondition(exact_ti, view, condition);
+  auto tv = ipdb::core::VerifyConditionElimination(built.value());
+  std::printf(
+      "Theorem 4.1: rebuilt with k = %d copies + a bottom-fact; total "
+      "variation to the target = %s (exact).\n",
+      built.value().k, tv.value() == 0.0 ? "0" : "nonzero!");
+  return 0;
+}

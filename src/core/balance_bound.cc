@@ -1,0 +1,74 @@
+#include "core/balance_bound.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+double Lemma37Bound(double a_n, int64_t d_n, int r) {
+  IPDB_CHECK_GE(r, 1);
+  IPDB_CHECK_GE(d_n, 0);
+  if (d_n == 0) return 1.0;
+  double dn = static_cast<double>(d_n);
+  double base = a_n * std::pow(dn, static_cast<double>(r - 1));
+  return dn * std::pow(base, dn / static_cast<double>(r));
+}
+
+std::string BalanceReport::ToString() const {
+  std::ostringstream os;
+  os << "r = " << r << ":\n";
+  for (const BalanceRow& row : rows) {
+    os << "  n=" << row.n << " P=" << row.prob << " bound=" << row.bound
+       << (row.satisfied ? "  (†) holds" : "  (†) VIOLATED") << "\n";
+  }
+  os << "  last n satisfying (†): " << last_satisfied
+     << (tail_all_violated ? "  — tail entirely violated" : "") << "\n";
+  return os.str();
+}
+
+BalanceReport SweepBalanceBound(const std::function<double(int64_t)>& prob,
+                                const std::function<int64_t(int64_t)>& d,
+                                const std::function<double(int64_t)>& a,
+                                int r, int64_t n_begin, int64_t n_end,
+                                int64_t stride, int64_t tail_from) {
+  IPDB_CHECK_GE(stride, 1);
+  BalanceReport report;
+  report.r = r;
+  report.tail_all_violated = true;
+  for (int64_t n = n_begin; n < n_end; ++n) {
+    double p = prob(n);
+    double bound = Lemma37Bound(a(n), d(n), r);
+    bool satisfied = p < bound;
+    if (satisfied) {
+      report.last_satisfied = n;
+      if (n >= tail_from) report.tail_all_violated = false;
+    }
+    if ((n - n_begin) % stride == 0) {
+      report.rows.push_back({n, p, bound, satisfied});
+    }
+  }
+  return report;
+}
+
+int64_t Example39ViolationThreshold(int r, double c) {
+  IPDB_CHECK_GE(r, 1);
+  IPDB_CHECK_GT(c, 0.0);
+  const double needed_log = 3.0 * r * r + r;
+  int64_t n = 2;
+  while (true) {
+    double log_n = std::ceil(std::log2(static_cast<double>(n)));
+    bool condition_a = log_n >= needed_log;
+    bool condition_b =
+        log_n <= std::pow(static_cast<double>(n), 1.0 / static_cast<double>(r));
+    bool condition_c = static_cast<double>(n) > 1.0 / c;
+    if (condition_a && condition_b && condition_c) return n;
+    IPDB_CHECK_LT(n, (int64_t{1} << 62)) << "threshold overflow";
+    n *= 2;
+  }
+}
+
+}  // namespace core
+}  // namespace ipdb

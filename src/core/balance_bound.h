@@ -1,0 +1,68 @@
+#ifndef IPDB_CORE_BALANCE_BOUND_H_
+#define IPDB_CORE_BALANCE_BOUND_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ipdb {
+namespace core {
+
+/// Lemma 3.7 — the balancing obstruction for domain-disjoint PDBs.
+///
+/// For a domain-disjoint D ∈ FO(TI) there is a constant r (the maximum
+/// relation arity of a representing TI-PDB) such that for EVERY divergent
+/// series Σ a_n there are infinitely many n with
+///
+///   Pr(D = D_n)  <  d_n (a_n d_n^{r-1})^{d_n / r},      (†)
+///
+/// where d_n = |adom(D_n)|. Contrapositive use (Example 3.9): if for
+/// every r there are only finitely many n satisfying (†) with the
+/// harmonic choice a_n = 1/n, the PDB is not in FO(TI).
+
+/// The right-hand side of (†).
+double Lemma37Bound(double a_n, int64_t d_n, int r);
+
+/// One row of the Example 3.9 sweep.
+struct BalanceRow {
+  int64_t n = 0;
+  double prob = 0.0;    // Pr(D = D_n)
+  double bound = 0.0;   // Lemma37Bound(a_n, d_n, r)
+  bool satisfied = false;  // prob < bound, i.e. (†) holds at n
+};
+
+/// Result of testing arity r against a window of indices.
+struct BalanceReport {
+  int r = 0;
+  std::vector<BalanceRow> rows;
+  /// Largest n in the window where (†) held.
+  int64_t last_satisfied = -1;
+  /// True iff (†) failed for every n in [tail_from, n_end) — evidence
+  /// that only finitely many n satisfy it for this r.
+  bool tail_all_violated = false;
+
+  std::string ToString() const;
+};
+
+/// Sweeps n in [n_begin, n_end) for a domain-disjoint family with
+/// probabilities `prob(n)`, active-domain sizes `d(n)` and divergent
+/// series terms `a(n)`; rows are recorded at `stride` spacing,
+/// `tail_from` marks where the all-violated check starts.
+BalanceReport SweepBalanceBound(const std::function<double(int64_t)>& prob,
+                                const std::function<int64_t(int64_t)>& d,
+                                const std::function<double(int64_t)>& a,
+                                int r, int64_t n_begin, int64_t n_end,
+                                int64_t stride, int64_t tail_from);
+
+/// The analytic threshold from Example 3.9: with d_n = ceil(log2 n),
+/// P(D_n) = c/n² and a_n = 1/n, the paper shows (†) fails for all n with
+/// ceil(log2 n) >= 3r² + r (and the two minor side conditions). Returns
+/// that threshold n for a given r: the least n with ceil(log2 n) >=
+/// 3r² + r and ceil(log2 n) <= n^{1/r} and n > 1/c.
+int64_t Example39ViolationThreshold(int r, double c);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_BALANCE_BOUND_H_

@@ -1,0 +1,273 @@
+#include "core/bid_to_ti.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdb/conditioning.h"
+#include "pdb/pushforward.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+namespace {
+
+using logic::And;
+using logic::Atom;
+using logic::Eq;
+using logic::Exists;
+using logic::ExistsAll;
+using logic::Formula;
+using logic::Not;
+using logic::Or;
+using logic::Term;
+
+/// R'_a(x̄, j) with fresh variable names `prefix0..` and the given block
+/// id term in the last position.
+Formula AugmentedAtom(rel::RelationId relation, int arity,
+                      const std::string& prefix, const Term& block_id,
+                      std::vector<std::string>* vars) {
+  std::vector<Term> terms;
+  for (int p = 0; p < arity; ++p) {
+    std::string name = prefix + std::to_string(p);
+    vars->push_back(name);
+    terms.push_back(Term::Var(name));
+  }
+  terms.push_back(block_id);
+  return Atom(relation, std::move(terms));
+}
+
+}  // namespace
+
+template <typename P>
+StatusOr<BidToTiConstruction<P>> BuildBidToTi(const pdb::BidPdb<P>& input) {
+  using Traits = pdb::ProbTraits<P>;
+  BidToTiConstruction<P> built;
+  const rel::Schema& in_schema = input.schema();
+
+  // Augmented schema: block id appended in the last position.
+  for (int i = 0; i < in_schema.num_relations(); ++i) {
+    StatusOr<rel::RelationId> id = built.augmented_schema.AddRelation(
+        in_schema.relation_name(i) + "_b", in_schema.arity(i) + 1);
+    IPDB_CHECK(id.ok());
+    IPDB_CHECK_EQ(id.value(), i);
+  }
+
+  // Facts with the Lemma 5.7 marginals.
+  typename pdb::TiPdb<P>::FactList facts;
+  std::vector<int> zero_residual_blocks;
+  for (int b = 0; b < input.num_blocks(); ++b) {
+    P residual = input.Residual(b);
+    bool residual_zero = Traits::IsZero(residual) &&
+                         Traits::ToDouble(residual) <= 0.0;
+    if (residual_zero) zero_residual_blocks.push_back(b);
+    for (const auto& [fact, p] : input.blocks()[b]) {
+      P q = residual_zero ? p / (Traits::One() + p) : p / (residual + p);
+      std::vector<rel::Value> args = fact.args();
+      args.push_back(rel::Value::Int(b));
+      facts.emplace_back(rel::Fact(fact.relation(), std::move(args)), q);
+    }
+  }
+  StatusOr<pdb::TiPdb<P>> ti =
+      pdb::TiPdb<P>::Create(built.augmented_schema, std::move(facts));
+  if (!ti.ok()) return ti.status();
+  built.ti = std::move(ti).value();
+
+  // Condition φ (Claim 5.8).
+  std::vector<Formula> conjuncts;
+  // "No two distinct facts share a block id": for every ordered pair of
+  // relations a <= b, there is no block id carrying a fact of each (with
+  // distinct tuples when a == b).
+  for (int a = 0; a < in_schema.num_relations(); ++a) {
+    for (int b = a; b < in_schema.num_relations(); ++b) {
+      std::vector<std::string> vars = {"j"};
+      Formula atom_a = AugmentedAtom(a, in_schema.arity(a), "x",
+                                     Term::Var("j"), &vars);
+      Formula atom_b = AugmentedAtom(b, in_schema.arity(b), "y",
+                                     Term::Var("j"), &vars);
+      std::vector<Formula> body = {atom_a, atom_b};
+      if (a == b) {
+        // Same relation: the tuples must differ somewhere.
+        std::vector<Formula> differs;
+        for (int p = 0; p < in_schema.arity(a); ++p) {
+          differs.push_back(Not(Eq(Term::Var("x" + std::to_string(p)),
+                                   Term::Var("y" + std::to_string(p)))));
+        }
+        if (differs.empty()) continue;  // 0-ary: facts are identical
+        body.push_back(Or(std::move(differs)));
+      }
+      conjuncts.push_back(Not(ExistsAll(vars, And(std::move(body)))));
+    }
+  }
+  // "Exactly one fact for every zero-residual block" (at-most-one is
+  // already enforced; add at-least-one per hard-coded block id).
+  for (int b : zero_residual_blocks) {
+    std::vector<Formula> options;
+    for (int a = 0; a < in_schema.num_relations(); ++a) {
+      std::vector<std::string> vars;
+      Formula atom =
+          AugmentedAtom(a, in_schema.arity(a), "z", Term::Int(b), &vars);
+      options.push_back(ExistsAll(vars, atom));
+    }
+    conjuncts.push_back(Or(std::move(options)));
+  }
+  built.condition = And(std::move(conjuncts));
+
+  // View Φ: project the block id out.
+  std::vector<logic::FoView::Definition> definitions;
+  for (int a = 0; a < in_schema.num_relations(); ++a) {
+    logic::FoView::Definition def;
+    def.output_relation = a;
+    std::vector<Term> terms;
+    for (int p = 0; p < in_schema.arity(a); ++p) {
+      std::string name = "x" + std::to_string(p);
+      def.head_vars.push_back(name);
+      terms.push_back(Term::Var(name));
+    }
+    terms.push_back(Term::Var("j"));
+    def.body = Exists("j", Atom(a, std::move(terms)));
+    definitions.push_back(std::move(def));
+  }
+  StatusOr<logic::FoView> view = logic::FoView::Create(
+      built.augmented_schema, in_schema, std::move(definitions));
+  if (!view.ok()) return view.status();
+  built.view = std::move(view).value();
+  return built;
+}
+
+template <typename P>
+StatusOr<double> VerifyBidToTi(const pdb::BidPdb<P>& input,
+                               const BidToTiConstruction<P>& built) {
+  pdb::FinitePdb<P> expanded = built.ti.Expand();
+  StatusOr<pdb::FinitePdb<P>> conditioned =
+      pdb::Condition(expanded, built.condition);
+  if (!conditioned.ok()) return conditioned.status();
+  StatusOr<pdb::FinitePdb<P>> image =
+      pdb::Pushforward(conditioned.value(), built.view);
+  if (!image.ok()) return image.status();
+  pdb::FinitePdb<P> reference = input.Expand();
+  return pdb::TotalVariationDistance(reference.DropNullWorlds(),
+                                     image.value().DropNullWorlds());
+}
+
+namespace {
+
+/// Lazy state of the countable augmented-TI family: cumulative fact
+/// counts per block, so fact indices map to (block, offset) pairs.
+struct BidFamilyState {
+  pdb::CountableBidPdb input;
+  double rho;  // residual lower bound for positive-residual blocks
+  std::set<int64_t> zero_residual;
+  std::vector<int64_t> cumulative = {0};
+  // Cache of materialized blocks (indexed like cumulative segments).
+  std::vector<pdb::CountableBidPdb::Block> blocks;
+
+  const pdb::CountableBidPdb::Block& BlockOf(int64_t b) {
+    while (static_cast<int64_t>(blocks.size()) <= b) {
+      blocks.push_back(input.BlockAt(static_cast<int64_t>(blocks.size())));
+      cumulative.push_back(cumulative.back() +
+                           static_cast<int64_t>(blocks.back().size()));
+    }
+    return blocks[b];
+  }
+
+  /// Maps a fact index to (block, offset). Blocks may be empty; the
+  /// cumulative table simply skips them.
+  std::pair<int64_t, int64_t> Locate(int64_t k) {
+    while (cumulative.back() <= k) {
+      BlockOf(static_cast<int64_t>(blocks.size()));
+      IPDB_CHECK_LT(blocks.size(), size_t{1} << 40)
+          << "fact index beyond all blocks";
+    }
+    auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), k) - 1;
+    int64_t block = it - cumulative.begin();
+    return {block, k - *it};
+  }
+
+  double MarginalOf(int64_t block, int64_t offset) {
+    const pdb::CountableBidPdb::Block& facts = BlockOf(block);
+    double p = facts[offset].second;
+    if (zero_residual.count(block) != 0) return p / (1.0 + p);
+    double mass = 0.0;
+    for (const auto& [fact, marginal] : facts) mass += marginal;
+    double residual = 1.0 - mass;
+    return p / (residual + p);
+  }
+};
+
+}  // namespace
+
+StatusOr<pdb::CountableTiPdb> BuildBidToTiFamily(
+    const pdb::CountableBidPdb& input, double residual_lower_bound,
+    const std::vector<int64_t>& zero_residual_blocks) {
+  if (!(residual_lower_bound > 0.0 && residual_lower_bound <= 1.0)) {
+    return InvalidArgumentError(
+        "residual lower bound must lie in (0, 1]");
+  }
+  auto state = std::make_shared<BidFamilyState>(BidFamilyState{
+      input, residual_lower_bound,
+      std::set<int64_t>(zero_residual_blocks.begin(),
+                        zero_residual_blocks.end()),
+      /*cumulative=*/{0},
+      /*blocks=*/{}});
+
+  pdb::CountableTiPdb::Family family;
+  const rel::Schema& in_schema = input.schema();
+  for (int i = 0; i < in_schema.num_relations(); ++i) {
+    StatusOr<rel::RelationId> id = family.schema.AddRelation(
+        in_schema.relation_name(i) + "_b", in_schema.arity(i) + 1);
+    IPDB_CHECK(id.ok());
+  }
+  family.fact_at = [state](int64_t k) {
+    auto [block, offset] = state->Locate(k);
+    const rel::Fact& base = state->BlockOf(block)[offset].first;
+    std::vector<rel::Value> args = base.args();
+    args.push_back(rel::Value::Int(block));
+    return rel::Fact(base.relation(), std::move(args));
+  };
+  family.marginal_at = [state](int64_t k) {
+    auto [block, offset] = state->Locate(k);
+    return state->MarginalOf(block, offset);
+  };
+  // q <= p / min(1, rho) in both residual cases, so the marginal tail is
+  // the BID block-mass tail scaled by 1/min(1, rho) — exactly the
+  // paper's Σ q <= (1/r_{m+1}) Σ p bound.
+  Series block_mass = input.BlockMassSeries();
+  if (block_mass.tail_upper_bound) {
+    double scale = 1.0 / std::min(1.0, residual_lower_bound);
+    family.marginal_tail_upper =
+        [state, scale, tail = block_mass.tail_upper_bound](int64_t N) {
+          auto [block, offset] = state->Locate(std::max<int64_t>(N, 0));
+          (void)offset;
+          // Remaining facts of the current block plus all later blocks.
+          double current = 0.0;
+          for (const auto& [fact, marginal] : state->BlockOf(block)) {
+            current += marginal;
+          }
+          return scale * (current + tail(block + 1));
+        };
+  }
+  family.marginal_tail_lower = [](int64_t) { return 0.0; };
+  family.description =
+      "Lemma 5.7 augmented TI family over " + input.description();
+  return pdb::CountableTiPdb::Create(std::move(family));
+}
+
+template StatusOr<BidToTiConstruction<double>> BuildBidToTi(
+    const pdb::BidPdb<double>&);
+template StatusOr<BidToTiConstruction<math::Rational>> BuildBidToTi(
+    const pdb::BidPdb<math::Rational>&);
+template StatusOr<double> VerifyBidToTi(
+    const pdb::BidPdb<double>&, const BidToTiConstruction<double>&);
+template StatusOr<double> VerifyBidToTi(
+    const pdb::BidPdb<math::Rational>&,
+    const BidToTiConstruction<math::Rational>&);
+
+}  // namespace core
+}  // namespace ipdb

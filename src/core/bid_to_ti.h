@@ -1,0 +1,75 @@
+#ifndef IPDB_CORE_BID_TO_TI_H_
+#define IPDB_CORE_BID_TO_TI_H_
+
+#include "logic/formula.h"
+#include "logic/view.h"
+#include "pdb/bid_pdb.h"
+#include "pdb/finite_pdb.h"
+#include "pdb/ti_pdb.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace core {
+
+/// Lemma 5.7 / Theorem 5.9 — BID ⊆ FO(TI | FO) ⊆ FO(TI) — as an
+/// executable construction.
+///
+/// Every fact of the BID-PDB is augmented with its block identifier
+/// (relations R become R'/(arity+1), block id in the last position).
+/// The marginals become
+///
+///   q = p / (1 + p)      if the block's residual r is 0,
+///   q = p / (r + p)      if r > 0,
+///
+/// the FO condition φ (Claim 5.8) demands at most one fact per block id
+/// (exactly one for residual-0 blocks, of which there are finitely many
+/// — they are hard-coded), and the view projects the block id away.
+/// With P = math::Rational the verification is exact: the marginals stay
+/// rational and the conditioned image equals the BID-PDB's distribution
+/// identically.
+template <typename P>
+struct BidToTiConstruction {
+  /// Schema with R'/(r+1) per input relation R/r.
+  rel::Schema augmented_schema;
+  /// The TI-PDB I.
+  pdb::TiPdb<P> ti;
+  /// φ: block-structure constraint (Claim 5.8).
+  logic::Formula condition;
+  /// Φ: projects out the block identifier.
+  logic::FoView view;
+};
+
+/// Runs the construction on a finite BID-PDB.
+template <typename P>
+StatusOr<BidToTiConstruction<P>> BuildBidToTi(const pdb::BidPdb<P>& input);
+
+/// Expands the TI-PDB, conditions on φ, pushes through Φ, and returns
+/// the total variation distance to the input's expansion (exactly zero
+/// for P = math::Rational if the construction is correct).
+template <typename P>
+StatusOr<double> VerifyBidToTi(const pdb::BidPdb<P>& input,
+                               const BidToTiConstruction<P>& built);
+
+/// Lemma 5.7 at the countable level: the block-identifier-augmented TI
+/// family of a countably infinite BID-PDB.
+///
+/// The paper sorts blocks by residual and uses r_{m+1} > 0 (the smallest
+/// positive residual) to bound the marginals: q <= p / r_{m+1}. Here the
+/// caller supplies that data explicitly:
+///  * `residual_lower_bound` in (0, 1] — a lower bound on the residual of
+///    every block NOT listed in `zero_residual_blocks`;
+///  * `zero_residual_blocks` — the (finitely many, by [26, Lemma 4.14])
+///    block indices with residual exactly 0.
+///
+/// The returned family's marginal tail certificate is the BID's
+/// block-mass tail scaled by 1/min(1, residual_lower_bound). The
+/// marginals equal those of the finite construction on any truncation,
+/// so the finite φ and Φ apply to sampled prefixes.
+StatusOr<pdb::CountableTiPdb> BuildBidToTiFamily(
+    const pdb::CountableBidPdb& input, double residual_lower_bound,
+    const std::vector<int64_t>& zero_residual_blocks = {});
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_BID_TO_TI_H_

@@ -1,0 +1,280 @@
+#include "core/conditional_views.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdb/conditioning.h"
+#include "pdb/pushforward.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+namespace {
+
+using logic::And;
+using logic::Atom;
+using logic::Eq;
+using logic::Exists;
+using logic::Formula;
+using logic::FormulaKind;
+using logic::Iff;
+using logic::Implies;
+using logic::Not;
+using logic::Or;
+using logic::Term;
+
+/// Rewrites a formula over the input schema τ into one over the copy
+/// schema: every atom R(t̄) becomes R'(copy, t̄), where `copy` is a term
+/// (the copy identifier) and `shift` maps relation id R ↦ R'.
+Formula Relativize(const Formula& formula, const Term& copy) {
+  switch (formula.kind()) {
+    case FormulaKind::kAtom: {
+      std::vector<Term> terms;
+      terms.reserve(formula.terms().size() + 1);
+      terms.push_back(copy);
+      for (const Term& t : formula.terms()) terms.push_back(t);
+      // Relation ids are preserved: the copy schema lists R'_i at the
+      // same index i as R_i in the input schema.
+      return Atom(formula.relation(), std::move(terms));
+    }
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquals:
+      return formula;
+    default: {
+      std::vector<Formula> children;
+      children.reserve(formula.children().size());
+      for (const Formula& child : formula.children()) {
+        children.push_back(Relativize(child, copy));
+      }
+      switch (formula.kind()) {
+        case FormulaKind::kNot:
+          return Not(children[0]);
+        case FormulaKind::kAnd:
+          return And(std::move(children));
+        case FormulaKind::kOr:
+          return Or(std::move(children));
+        case FormulaKind::kImplies:
+          return Implies(children[0], children[1]);
+        case FormulaKind::kIff:
+          return Iff(children[0], children[1]);
+        case FormulaKind::kExists:
+          return Exists(formula.quantified_var(), children[0]);
+        case FormulaKind::kForall:
+          return logic::Forall(formula.quantified_var(), children[0]);
+        default:
+          IPDB_CHECK(false) << "unhandled kind in Relativize";
+          return formula;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+logic::Formula CharacterizeViewPreimage(const logic::FoView& view,
+                                        const rel::Instance& d0) {
+  std::vector<Formula> conjuncts;
+  for (const logic::FoView::Definition& def : view.definitions()) {
+    // ∀x̄: Φ_i(x̄) ↔ ⋁_j x̄ = ā_ij.
+    std::vector<Formula> matches;
+    for (const rel::Fact& fact : d0.FactsOf(def.output_relation)) {
+      std::vector<Formula> equalities;
+      for (size_t p = 0; p < def.head_vars.size(); ++p) {
+        equalities.push_back(
+            Eq(Term::Var(def.head_vars[p]), Term::Const(fact.args()[p])));
+      }
+      matches.push_back(And(std::move(equalities)));
+    }
+    Formula body = Iff(def.body, Or(std::move(matches)));
+    conjuncts.push_back(logic::ForallAll(def.head_vars, std::move(body)));
+  }
+  return And(std::move(conjuncts));
+}
+
+template <typename P>
+StatusOr<ConditionElimination<P>> EliminateCondition(
+    const pdb::TiPdb<P>& input, const logic::FoView& phi_view,
+    const logic::Formula& phi) {
+  using Traits = pdb::ProbTraits<P>;
+  ConditionElimination<P> built;
+
+  // Step 0: materialize D = Φ(I | φ).
+  pdb::FinitePdb<P> expanded = input.Expand();
+  StatusOr<pdb::FinitePdb<P>> conditioned = pdb::Condition(expanded, phi);
+  if (!conditioned.ok()) return conditioned.status();
+  StatusOr<pdb::FinitePdb<P>> target =
+      pdb::Pushforward(conditioned.value(), phi_view);
+  if (!target.ok()) return target.status();
+  built.target = std::move(target).value();
+
+  // Step 1: D₀ = the most probable world (any positive one works).
+  const auto& worlds = built.target.worlds();
+  IPDB_CHECK(!worlds.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < worlds.size(); ++i) {
+    if (Traits::ToDouble(worlds[i].second) >
+        Traits::ToDouble(worlds[best].second)) {
+      best = i;
+    }
+  }
+  built.d0 = worlds[best].first;
+  built.p0 = worlds[best].second;
+
+  const rel::Schema& in_schema = input.schema();
+  const rel::Schema& out_schema = phi_view.output_schema();
+
+  // Degenerate case p₀ = 1: D is a single instance; the TI-PDB with
+  // exactly D₀'s facts at probability 1 and the identity view works.
+  if (Traits::IsOne(built.p0)) {
+    typename pdb::TiPdb<P>::FactList facts;
+    for (const rel::Fact& f : built.d0.facts()) {
+      facts.emplace_back(f, Traits::One());
+    }
+    StatusOr<pdb::TiPdb<P>> ti =
+        pdb::TiPdb<P>::Create(out_schema, std::move(facts));
+    if (!ti.ok()) return ti.status();
+    built.ti = std::move(ti).value();
+    built.j_schema = out_schema;
+    built.view = logic::FoView::Identity(out_schema);
+    built.k = 0;
+    return built;
+  }
+
+  // Step 2: φ₀ and ψ = φ ∧ ¬φ₀.
+  Formula phi0 = CharacterizeViewPreimage(phi_view, built.d0);
+  Formula psi = And(phi, Not(phi0));
+  StatusOr<P> p_psi = pdb::EventProbability(expanded, psi);
+  if (!p_psi.ok()) return p_psi.status();
+
+  // Step 3: minimal k with (1 - P(ψ))^k < p₀.
+  const P one = Traits::One();
+  P miss = one - p_psi.value();
+  int k = 1;
+  P miss_pow = miss;
+  while (!(miss_pow < built.p0)) {
+    ++k;
+    miss_pow = miss_pow * miss;
+    if (k > 64) {
+      return FailedPreconditionError(
+          "k exceeded 64 — p0 too small or P(psi) too close to 0");
+    }
+  }
+  built.k = k;
+  P q = one - miss_pow;                       // P(some copy suitable)
+  P q0 = (built.p0 - (one - q)) / q;          // ⊥-fact marginal
+
+  // Step 4: schema of J. Relation ids of the copies match the input ids.
+  rel::Schema j_schema;
+  for (int i = 0; i < in_schema.num_relations(); ++i) {
+    StatusOr<rel::RelationId> id = j_schema.AddRelation(
+        in_schema.relation_name(i) + "_c", in_schema.arity(i) + 1);
+    IPDB_CHECK(id.ok());
+    IPDB_CHECK_EQ(id.value(), i);
+  }
+  StatusOr<rel::RelationId> le_id = j_schema.AddRelation("LE", 2);
+  StatusOr<rel::RelationId> bot_id = j_schema.AddRelation("BOT", 1);
+  IPDB_CHECK(le_id.ok());
+  IPDB_CHECK(bot_id.ok());
+  const rel::RelationId le = le_id.value();
+  const rel::RelationId bot = bot_id.value();
+
+  // Facts of J.
+  typename pdb::TiPdb<P>::FactList j_facts;
+  for (int i = 1; i <= k; ++i) {
+    for (int j = i; j <= k; ++j) {
+      j_facts.emplace_back(
+          rel::Fact(le, {rel::Value::Int(i), rel::Value::Int(j)}),
+          Traits::One());
+    }
+  }
+  for (int copy = 1; copy <= k; ++copy) {
+    for (const auto& [fact, marginal] : input.facts()) {
+      std::vector<rel::Value> args;
+      args.push_back(rel::Value::Int(copy));
+      for (const rel::Value& v : fact.args()) args.push_back(v);
+      j_facts.emplace_back(rel::Fact(fact.relation(), std::move(args)),
+                           marginal);
+    }
+  }
+  j_facts.emplace_back(rel::Fact(bot, {rel::Value::Int(0)}), q0);
+
+  StatusOr<pdb::TiPdb<P>> ti =
+      pdb::TiPdb<P>::Create(j_schema, std::move(j_facts));
+  if (!ti.ok()) return ti.status();
+  built.ti = std::move(ti).value();
+  built.j_schema = j_schema;
+
+  // Step 5: the view Φ'.
+  // Suitable(u) := LE(u, u) ∧ ψ relativized to copy u.
+  auto suitable = [&](const std::string& var) {
+    return And(Atom(le, {Term::Var(var), Term::Var(var)}),
+               Relativize(psi, Term::Var(var)));
+  };
+  // MinSuitable(u) := Suitable(u) ∧ ∀v (Suitable(v) → LE(u, v)).
+  Formula min_suitable =
+      And(suitable("u"),
+          logic::Forall("v", Implies(suitable("v"),
+                                     Atom(le, {Term::Var("u"),
+                                               Term::Var("v")}))));
+  // BotCase := BOT(0) ∨ ¬∃u Suitable(u).
+  Formula bot_case = Or(Atom(bot, {Term::Int(0)}),
+                        Not(Exists("u", suitable("u"))));
+
+  std::vector<logic::FoView::Definition> definitions;
+  for (const logic::FoView::Definition& def : phi_view.definitions()) {
+    logic::FoView::Definition out;
+    out.output_relation = def.output_relation;
+    out.head_vars = def.head_vars;
+    // Hard-coded D₀ branch.
+    std::vector<Formula> matches;
+    for (const rel::Fact& fact : built.d0.FactsOf(def.output_relation)) {
+      std::vector<Formula> equalities;
+      for (size_t p = 0; p < def.head_vars.size(); ++p) {
+        equalities.push_back(
+            Eq(Term::Var(def.head_vars[p]), Term::Const(fact.args()[p])));
+      }
+      matches.push_back(And(std::move(equalities)));
+    }
+    Formula d0_branch = And(bot_case, Or(std::move(matches)));
+    // Extraction branch: Φ_i applied to the minimal suitable copy.
+    Formula extract =
+        And(Not(bot_case),
+            Exists("u", And(min_suitable,
+                            Relativize(def.body, Term::Var("u")))));
+    out.body = Or(std::move(d0_branch), std::move(extract));
+    definitions.push_back(std::move(out));
+  }
+  StatusOr<logic::FoView> view =
+      logic::FoView::Create(j_schema, out_schema, std::move(definitions));
+  if (!view.ok()) return view.status();
+  built.view = std::move(view).value();
+  return built;
+}
+
+template <typename P>
+StatusOr<double> VerifyConditionElimination(
+    const ConditionElimination<P>& built) {
+  pdb::FinitePdb<P> expanded = built.ti.Expand();
+  StatusOr<pdb::FinitePdb<P>> image =
+      pdb::Pushforward(expanded, built.view);
+  if (!image.ok()) return image.status();
+  return pdb::TotalVariationDistance(built.target.DropNullWorlds(),
+                                     image.value().DropNullWorlds());
+}
+
+template StatusOr<ConditionElimination<double>> EliminateCondition(
+    const pdb::TiPdb<double>&, const logic::FoView&, const logic::Formula&);
+template StatusOr<ConditionElimination<math::Rational>> EliminateCondition(
+    const pdb::TiPdb<math::Rational>&, const logic::FoView&,
+    const logic::Formula&);
+template StatusOr<double> VerifyConditionElimination(
+    const ConditionElimination<double>&);
+template StatusOr<double> VerifyConditionElimination(
+    const ConditionElimination<math::Rational>&);
+
+}  // namespace core
+}  // namespace ipdb

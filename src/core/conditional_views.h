@@ -1,0 +1,72 @@
+#ifndef IPDB_CORE_CONDITIONAL_VIEWS_H_
+#define IPDB_CORE_CONDITIONAL_VIEWS_H_
+
+#include "logic/formula.h"
+#include "logic/view.h"
+#include "pdb/finite_pdb.h"
+#include "pdb/ti_pdb.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace core {
+
+/// Theorem 4.1 — FO(TI | FO) = FO(TI) — as an executable construction.
+///
+/// Input: a TI-PDB I, an FO-view Φ and an FO-sentence φ with
+/// Pr(I ⊨ φ) > 0, presenting the conditional representation
+/// D = Φ(I | φ). Output: a TI-PDB J and an FO-view Φ' with
+/// Φ'(J) = D *unconditionally*.
+///
+/// Following the paper's proof (Figure 2):
+///  1. pick an instance D₀ of D with p₀ := P(D₀) > 0;
+///  2. build φ₀ (Claim 4.3) characterizing Φ⁻¹(D₀), and ψ := φ ∧ ¬φ₀;
+///  3. choose k with (1 − P_I(ψ))^k < p₀ and lay out k independent
+///     copies of I (relations R'(copy, x̄)), plus the linear order R_≤
+///     on copy identifiers (probability-1 facts) and a fresh ⊥-fact with
+///     marginal q₀ = (p₀ − 1 + q)/q, q = 1 − (1 − P_I(ψ))^k;
+///  4. Φ' outputs D₀ when the ⊥-fact is drawn or no copy is suitable,
+///     and otherwise applies Φ to the minimal suitable copy.
+///
+/// With P = math::Rational the output distribution equals the input
+/// distribution *exactly*.
+template <typename P>
+struct ConditionElimination {
+  /// Schema of J: R' per input relation (arity+1), "LE"/2, "BOT"/1.
+  rel::Schema j_schema;
+  /// The unconditional TI-PDB J.
+  pdb::TiPdb<P> ti;
+  /// The view Φ' with Φ'(J) = Φ(I | φ).
+  logic::FoView view;
+  /// Number of independent copies used.
+  int k = 0;
+  /// The special instance D₀ and its probability p₀.
+  rel::Instance d0;
+  P p0{};
+  /// The target distribution D = Φ(I | φ), for verification.
+  pdb::FinitePdb<P> target;
+};
+
+/// Runs the construction. The TI-PDB must be small enough to expand
+/// (the probability computations enumerate worlds). Fails when
+/// Pr(I ⊨ φ) = 0.
+template <typename P>
+StatusOr<ConditionElimination<P>> EliminateCondition(
+    const pdb::TiPdb<P>& input, const logic::FoView& phi_view,
+    const logic::Formula& phi);
+
+/// Expands J, applies Φ' and returns the total variation distance to the
+/// target (exactly zero for P = math::Rational if the construction is
+/// correct).
+template <typename P>
+StatusOr<double> VerifyConditionElimination(
+    const ConditionElimination<P>& built);
+
+/// Claim 4.3 helper, exposed for tests: the sentence φ₀ over the input
+/// schema with I ⊨ φ₀ iff Φ(I) = D₀.
+logic::Formula CharacterizeViewPreimage(const logic::FoView& view,
+                                        const rel::Instance& d0);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_CONDITIONAL_VIEWS_H_

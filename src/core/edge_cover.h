@@ -1,0 +1,82 @@
+#ifndef IPDB_CORE_EDGE_COVER_H_
+#define IPDB_CORE_EDGE_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pdb/ti_pdb.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace core {
+
+/// Lemma 3.6 — the edge-cover machinery bounding how likely an FO-view
+/// over a TI-PDB can hit a particular world.
+///
+/// The facts of a TI-PDB form a multi-hypergraph H over its active
+/// domain: one hyperedge per fact, containing the elements appearing in
+/// it. For the view to output a world D_n, the drawn instance must cover
+/// every active-domain element of D_n (that is not a view constant), so
+///
+///   Pr(Φ(I) = D_n) <= Σ_{minimal edge covers C of V_n} Π_{e∈C} q_e
+///                  <= |V_n| (r² |V_n|^{r-1} Σ_{e∈E_n} q_e)^{|V_n|/r}.
+
+/// A multi-hypergraph with weighted edges (marginal probabilities).
+struct WeightedHypergraph {
+  /// Each edge is a sorted list of distinct vertex ids.
+  std::vector<std::vector<int>> edges;
+  std::vector<double> weights;
+  int num_vertices = 0;
+};
+
+/// Builds the hypergraph of a finite TI-PDB restricted to the target
+/// vertex set: vertices are the elements of `targets` (in order); edges
+/// are the facts containing at least one target element, restricted to
+/// target elements (the deduplication happens in the enumeration step).
+WeightedHypergraph BuildFactHypergraph(
+    const pdb::TiPdb<double>& ti, const std::vector<rel::Value>& targets);
+
+/// All *minimal* edge covers of the full vertex set {0..num_vertices-1},
+/// as sorted lists of edge indices, over the deduplicated edge set
+/// (parallel edges collapse to the one of maximal weight-sum handled by
+/// the caller; here duplicates are merged by vertex set, summing
+/// weights — matching the Σ_{e∈s_n^{-1}(f)} q_e regrouping in the proof).
+/// Exponential; intended for |V_n| <= ~12.
+struct DedupedCover {
+  std::vector<std::vector<int>> covers;  // indices into deduped edges
+  std::vector<std::vector<int>> deduped_edges;
+  std::vector<double> deduped_weights;   // summed weights per vertex set
+};
+DedupedCover MinimalEdgeCovers(const WeightedHypergraph& graph);
+
+/// The exact middle bound of the proof:
+/// Σ_{C minimal cover} Π_{f∈C} (Σ_{e: s(e)=f} q_e).
+double MinimalCoverWeight(const DedupedCover& covers);
+
+/// The closed-form Lemma 3.6 bound
+/// |V_n| (r² |V_n|^{r-1} Σ_{e∈E_n} q_e)^{|V_n|/r}; returns 1 when it
+/// exceeds 1 (probabilities are trivially bounded by 1).
+double Lemma36Bound(int64_t v_n, int r, double sum_q);
+
+/// End-to-end report for one target world of a view over a TI-PDB.
+struct EdgeCoverReport {
+  int64_t v_n = 0;        // |V_n| — target elements not among view consts
+  double sum_q = 0.0;     // Σ_{e∈E_n} q_e
+  double exact_cover_weight = -1.0;  // middle bound (−1 if skipped: too big)
+  double lemma_bound = 1.0;          // closed-form bound
+};
+
+/// Computes the Lemma 3.6 data for `world` as a target output of a view
+/// with constant set `view_constants` over the TI-PDB `ti`. The exact
+/// minimal-cover weight is computed only when |V_n| <= max_exact.
+EdgeCoverReport AnalyzeWorldCover(const pdb::TiPdb<double>& ti,
+                                  const std::vector<rel::Value>& view_constants,
+                                  const rel::Instance& world,
+                                  int max_exact = 12);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_EDGE_COVER_H_

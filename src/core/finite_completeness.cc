@@ -1,0 +1,119 @@
+#include "core/finite_completeness.h"
+
+#include <utility>
+#include <vector>
+
+#include "pdb/pushforward.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+namespace {
+
+using logic::And;
+using logic::Atom;
+using logic::Eq;
+using logic::Formula;
+using logic::Not;
+using logic::Or;
+using logic::Term;
+
+}  // namespace
+
+template <typename P>
+StatusOr<FiniteCompleteness<P>> BuildFiniteCompleteness(
+    const pdb::FinitePdb<P>& input) {
+  using Traits = pdb::ProbTraits<P>;
+  pdb::FinitePdb<P> cleaned = input.DropNullWorlds();
+  const auto& worlds = cleaned.worlds();
+  const int n = static_cast<int>(worlds.size());
+  if (n == 0) return InvalidArgumentError("empty input PDB");
+
+  FiniteCompleteness<P> built;
+  StatusOr<rel::RelationId> sel_id =
+      built.selector_schema.AddRelation("Sel", 1);
+  IPDB_CHECK(sel_id.ok());
+  const rel::RelationId sel = sel_id.value();
+
+  // Selector marginals q_i = p_i / (1 - p_1 - ... - p_{i-1}).
+  typename pdb::TiPdb<P>::FactList facts;
+  P remaining = Traits::One();
+  for (int i = 0; i + 1 < n; ++i) {
+    P q = worlds[i].second / remaining;
+    facts.emplace_back(rel::Fact(sel, {rel::Value::Int(i)}), q);
+    remaining = remaining - worlds[i].second;
+  }
+  StatusOr<pdb::TiPdb<P>> ti =
+      pdb::TiPdb<P>::Create(built.selector_schema, std::move(facts));
+  if (!ti.ok()) return ti.status();
+  built.ti = std::move(ti).value();
+
+  // Selected_i sentences.
+  auto selected = [&](int i) {
+    std::vector<Formula> conjuncts;
+    for (int j = 0; j < i; ++j) {
+      conjuncts.push_back(Not(Atom(sel, {Term::Int(j)})));
+    }
+    if (i + 1 < n) {
+      conjuncts.push_back(Atom(sel, {Term::Int(i)}));
+    }
+    return And(std::move(conjuncts));
+  };
+
+  // View definitions: hard-coded world contents gated by Selected_i.
+  const rel::Schema& out_schema = cleaned.schema();
+  std::vector<logic::FoView::Definition> definitions;
+  for (int r = 0; r < out_schema.num_relations(); ++r) {
+    logic::FoView::Definition def;
+    def.output_relation = r;
+    for (int p = 0; p < out_schema.arity(r); ++p) {
+      def.head_vars.push_back("x" + std::to_string(p));
+    }
+    std::vector<Formula> branches;
+    for (int i = 0; i < n; ++i) {
+      std::vector<Formula> matches;
+      for (const rel::Fact& fact : worlds[i].first.FactsOf(r)) {
+        std::vector<Formula> equalities;
+        for (int p = 0; p < out_schema.arity(r); ++p) {
+          equalities.push_back(Eq(Term::Var(def.head_vars[p]),
+                                  Term::Const(fact.args()[p])));
+        }
+        matches.push_back(And(std::move(equalities)));
+      }
+      if (matches.empty()) continue;
+      branches.push_back(And(selected(i), Or(std::move(matches))));
+    }
+    def.body = Or(std::move(branches));
+    definitions.push_back(std::move(def));
+  }
+  StatusOr<logic::FoView> view = logic::FoView::Create(
+      built.selector_schema, out_schema, std::move(definitions));
+  if (!view.ok()) return view.status();
+  built.view = std::move(view).value();
+  return built;
+}
+
+template <typename P>
+StatusOr<double> VerifyFiniteCompleteness(
+    const pdb::FinitePdb<P>& input, const FiniteCompleteness<P>& built) {
+  pdb::FinitePdb<P> expanded = built.ti.Expand();
+  StatusOr<pdb::FinitePdb<P>> image =
+      pdb::Pushforward(expanded, built.view);
+  if (!image.ok()) return image.status();
+  return pdb::TotalVariationDistance(input.DropNullWorlds(),
+                                     image.value().DropNullWorlds());
+}
+
+template StatusOr<FiniteCompleteness<double>> BuildFiniteCompleteness(
+    const pdb::FinitePdb<double>&);
+template StatusOr<FiniteCompleteness<math::Rational>>
+BuildFiniteCompleteness(const pdb::FinitePdb<math::Rational>&);
+template StatusOr<double> VerifyFiniteCompleteness(
+    const pdb::FinitePdb<double>&, const FiniteCompleteness<double>&);
+template StatusOr<double> VerifyFiniteCompleteness(
+    const pdb::FinitePdb<math::Rational>&,
+    const FiniteCompleteness<math::Rational>&);
+
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,52 @@
+#ifndef IPDB_CORE_FINITE_COMPLETENESS_H_
+#define IPDB_CORE_FINITE_COMPLETENESS_H_
+
+#include "logic/view.h"
+#include "pdb/finite_pdb.h"
+#include "pdb/ti_pdb.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace core {
+
+/// The classical finite completeness theorem ([51], quoted in the
+/// paper's introduction): every finite PDB is an FO-view over a finite
+/// TI-PDB. This is the result whose *failure* in the countable setting
+/// motivates the entire paper; we implement it to reproduce Figure 1's
+/// "FO(TI_fin) = PDB_fin" edge.
+///
+/// Construction (world-selector): for worlds D₁, …, D_n with
+/// probabilities p₁, …, p_n, use selector facts Sel(1), …, Sel(n−1) with
+///
+///   q_i = p_i / (1 − p₁ − … − p_{i−1}),
+///
+/// independent. The selected world is the least i with Sel(i) drawn (or
+/// n if none), which happens with probability exactly p_i. The view
+/// hard-codes each world: R(x̄) := ⋁_i (Selected_i ∧ ⋁_{ā∈R(D_i)} x̄=ā),
+/// Selected_i := ¬Sel(1) ∧ … ∧ ¬Sel(i−1) ∧ Sel(i).
+///
+/// With P = math::Rational the q_i stay rational and the representation
+/// is exact.
+template <typename P>
+struct FiniteCompleteness {
+  rel::Schema selector_schema;  // {Sel/1}
+  pdb::TiPdb<P> ti;
+  logic::FoView view;
+};
+
+/// Builds the world-selector representation. Fails on an empty PDB.
+/// Zero-probability worlds are dropped first.
+template <typename P>
+StatusOr<FiniteCompleteness<P>> BuildFiniteCompleteness(
+    const pdb::FinitePdb<P>& input);
+
+/// Expands the TI-PDB, applies the view and returns the total variation
+/// distance to the input (zero for exact P).
+template <typename P>
+StatusOr<double> VerifyFiniteCompleteness(const pdb::FinitePdb<P>& input,
+                                          const FiniteCompleteness<P>& built);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_FINITE_COMPLETENESS_H_

@@ -1,0 +1,95 @@
+#include "core/growth_criterion.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+Series CriterionSeries(const CriterionFamily& family, int c) {
+  IPDB_CHECK_GE(c, 1);
+  Series series;
+  series.term = [size_at = family.size_at, prob_at = family.prob_at,
+                 c](int64_t i) {
+    int64_t size = size_at(i);
+    if (size <= 0) return 0.0;
+    double p = prob_at(i);
+    return static_cast<double>(size) *
+           std::pow(p, static_cast<double>(c) / static_cast<double>(size));
+  };
+  if (family.tail_upper) {
+    series.tail_upper_bound = [upper = family.tail_upper, c](int64_t N) {
+      return upper(c, N);
+    };
+  }
+  if (family.tail_lower) {
+    series.tail_lower_bound = [lower = family.tail_lower, c](int64_t N) {
+      return lower(c, N);
+    };
+  }
+  std::ostringstream os;
+  os << "criterion sum (c=" << c << ") of " << family.description;
+  series.description = os.str();
+  return series;
+}
+
+SumAnalysis CheckGrowthCriterion(const CriterionFamily& family, int c,
+                                 const SumOptions& options) {
+  return AnalyzeSum(CriterionSeries(family, c), options);
+}
+
+std::string GrowthCriterionResult::ToString() const {
+  std::ostringstream os;
+  if (witness_c > 0) {
+    os << "criterion satisfied with c = " << witness_c << " ("
+       << witness_analysis.ToString() << "): in FO(TI) by Theorem 5.3";
+  } else if (all_diverged) {
+    os << "criterion diverges for every tested c (Theorem 5.3 does not "
+          "apply)";
+  } else {
+    os << "no witness found (some analyses inconclusive)";
+  }
+  return os.str();
+}
+
+GrowthCriterionResult FindCriterionWitness(const CriterionFamily& family,
+                                           int max_c,
+                                           const SumOptions& options) {
+  GrowthCriterionResult result;
+  for (int c = 1; c <= max_c; ++c) {
+    SumAnalysis analysis = CheckGrowthCriterion(family, c, options);
+    if (analysis.kind == SumAnalysis::Kind::kConverged) {
+      result.witness_c = c;
+      result.all_diverged = false;
+      result.witness_analysis = std::move(analysis);
+      return result;
+    }
+    if (analysis.kind != SumAnalysis::Kind::kDiverged) {
+      result.all_diverged = false;
+    }
+  }
+  return result;
+}
+
+Series CeilingCriterionSeries(const CriterionFamily& family, int c) {
+  IPDB_CHECK_GE(c, 1);
+  Series series;
+  series.term = [size_at = family.size_at, prob_at = family.prob_at,
+                 c](int64_t i) {
+    int64_t size = size_at(i);
+    if (size <= 0) return 0.0;
+    double segments = std::ceil(static_cast<double>(size) /
+                                static_cast<double>(c));
+    double p = prob_at(i);
+    return segments * std::pow(p, 1.0 / segments);
+  };
+  std::ostringstream os;
+  os << "ceiling criterion sum (c=" << c << ") of " << family.description;
+  series.description = os.str();
+  return series;
+}
+
+}  // namespace core
+}  // namespace ipdb

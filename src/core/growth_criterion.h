@@ -1,0 +1,64 @@
+#ifndef IPDB_CORE_GROWTH_CRITERION_H_
+#define IPDB_CORE_GROWTH_CRITERION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/series.h"
+
+namespace ipdb {
+namespace core {
+
+/// Theorem 5.3 — the sufficient growth-rate criterion for membership in
+/// FO(TI): if for some c ∈ ℕ₊
+///
+///     Σ_{D ≠ ∅} |D| · P(D)^{c/|D|}  <  ∞,               (‡)
+///
+/// then D ∈ FO(TI) (witnessed constructively by the Lemma 5.1 segmented
+/// fact construction in core/segment_construction.h).
+
+/// An enumerated world family, given by sizes and probabilities, together
+/// with certificates about the transformed tails
+/// Σ_{i >= N} size(i) prob(i)^{c/size(i)} (the certificates depend on c,
+/// so they are supplied as functions of (c, N)). Worlds of size 0 are
+/// skipped by the criterion, matching the D ≠ ∅ restriction.
+struct CriterionFamily {
+  std::function<int64_t(int64_t)> size_at;
+  std::function<double(int64_t)> prob_at;
+  /// Upper bound on the criterion tail for parameter c (null = none).
+  std::function<double(int c, int64_t N)> tail_upper;
+  /// Lower bound; +inf certifies divergence for that c (null = none).
+  std::function<double(int c, int64_t N)> tail_lower;
+  std::string description;
+};
+
+/// The criterion series (‡) for parameter c.
+Series CriterionSeries(const CriterionFamily& family, int c);
+
+/// Analyzes (‡) for parameter c.
+SumAnalysis CheckGrowthCriterion(const CriterionFamily& family, int c,
+                                 const SumOptions& options = {});
+
+/// Searches c = 1..max_c for a certified-convergent criterion sum.
+struct GrowthCriterionResult {
+  /// 0 = no witness found; otherwise the first witnessing c.
+  int witness_c = 0;
+  /// True iff the criterion was certified divergent for every tested c.
+  bool all_diverged = true;
+  SumAnalysis witness_analysis;
+  std::string ToString() const;
+};
+GrowthCriterionResult FindCriterionWitness(const CriterionFamily& family,
+                                           int max_c,
+                                           const SumOptions& options = {});
+
+/// Lemma D.1's equivalent ceiling form of the criterion:
+/// Σ ceil(|D|/c) P(D)^{1/ceil(|D|/c)}. Exposed so tests can verify the
+/// lemma's equivalence numerically (same convergence behaviour).
+Series CeilingCriterionSeries(const CriterionFamily& family, int c);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_GROWTH_CRITERION_H_

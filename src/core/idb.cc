@@ -1,0 +1,144 @@
+#include "core/idb.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+template <typename P>
+Idb InducedIdb(const pdb::FinitePdb<P>& pdb) {
+  Idb idb;
+  for (const auto& [instance, probability] : pdb.worlds()) {
+    if (!pdb::ProbTraits<P>::IsZero(probability)) {
+      idb.push_back(instance);
+    }
+  }
+  std::sort(idb.begin(), idb.end());
+  return idb;
+}
+
+template <typename P>
+Idb TiInducedIdb(const pdb::TiPdb<P>& ti) {
+  using Traits = pdb::ProbTraits<P>;
+  std::vector<rel::Fact> always;
+  std::vector<rel::Fact> sometimes;
+  for (const auto& [fact, marginal] : ti.facts()) {
+    if (Traits::IsZero(marginal)) continue;
+    if (Traits::IsOne(marginal) && Traits::ToDouble(marginal) >= 1.0) {
+      always.push_back(fact);
+    } else {
+      sometimes.push_back(fact);
+    }
+  }
+  IPDB_CHECK_LE(sometimes.size(), 20u) << "IDB enumeration is 2^n";
+  Idb idb;
+  for (uint64_t mask = 0; mask < (1ULL << sometimes.size()); ++mask) {
+    std::vector<rel::Fact> facts = always;
+    for (size_t i = 0; i < sometimes.size(); ++i) {
+      if ((mask >> i) & 1) facts.push_back(sometimes[i]);
+    }
+    idb.push_back(rel::Instance(std::move(facts)));
+  }
+  std::sort(idb.begin(), idb.end());
+  idb.erase(std::unique(idb.begin(), idb.end()), idb.end());
+  return idb;
+}
+
+bool HasTiIdbShape(const Idb& idb) {
+  if (idb.empty()) return false;
+  // Core = intersection of all instances.
+  rel::Instance core = idb.front();
+  for (const rel::Instance& instance : idb) {
+    core = rel::Instance::Intersection(core, instance);
+  }
+  // Union of all instances = T_always ∪ T_sometimes.
+  rel::Instance top = idb.front();
+  for (const rel::Instance& instance : idb) {
+    top = rel::Instance::Union(top, instance);
+  }
+  // The IDB must be exactly { core ∪ T : T ⊆ top \ core }.
+  rel::Instance spread = rel::Instance::Difference(top, core);
+  if (spread.size() > 20) return false;  // avoid 2^n blowup
+  uint64_t expected = 1ULL << spread.size();
+  if (idb.size() != expected) return false;
+  // Since all 2^n candidate instances are distinct and the IDB is a set
+  // of the right cardinality, it suffices to check membership shape.
+  for (const rel::Instance& instance : idb) {
+    if (!core.IsSubsetOf(instance)) return false;
+    if (!instance.IsSubsetOf(top)) return false;
+  }
+  return true;
+}
+
+template <typename P>
+std::optional<std::pair<rel::Fact, rel::Fact>> FindMutuallyExclusiveFacts(
+    const pdb::FinitePdb<P>& pdb) {
+  std::vector<rel::Fact> facts = pdb.FactSet();
+  for (size_t i = 0; i < facts.size(); ++i) {
+    for (size_t j = i + 1; j < facts.size(); ++j) {
+      bool together = false;
+      for (const auto& [instance, probability] : pdb.worlds()) {
+        if (pdb::ProbTraits<P>::IsZero(probability)) continue;
+        if (instance.Contains(facts[i]) && instance.Contains(facts[j])) {
+          together = true;
+          break;
+        }
+      }
+      if (!together) return std::make_pair(facts[i], facts[j]);
+    }
+  }
+  return std::nullopt;
+}
+
+template <typename P>
+bool CertifyNotMonotoneOverTi(const pdb::FinitePdb<P>& pdb) {
+  return FindMutuallyExclusiveFacts(pdb).has_value();
+}
+
+template <typename P>
+bool HasUniqueMaximalWorld(const pdb::FinitePdb<P>& pdb) {
+  Idb idb = InducedIdb(pdb);
+  std::vector<rel::Instance> maximal;
+  for (const rel::Instance& candidate : idb) {
+    bool dominated = false;
+    for (const rel::Instance& other : idb) {
+      if (!(other == candidate) && candidate.IsSubsetOf(other)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(candidate);
+  }
+  return maximal.size() == 1;
+}
+
+StatusOr<Idb> ApplyViewToIdb(const Idb& idb, const logic::FoView& view) {
+  Idb image;
+  for (const rel::Instance& instance : idb) {
+    StatusOr<rel::Instance> mapped = view.Apply(instance);
+    if (!mapped.ok()) return mapped.status();
+    image.push_back(std::move(mapped).value());
+  }
+  std::sort(image.begin(), image.end());
+  image.erase(std::unique(image.begin(), image.end()), image.end());
+  return image;
+}
+
+template Idb InducedIdb(const pdb::FinitePdb<double>&);
+template Idb InducedIdb(const pdb::FinitePdb<math::Rational>&);
+template Idb TiInducedIdb(const pdb::TiPdb<double>&);
+template Idb TiInducedIdb(const pdb::TiPdb<math::Rational>&);
+template std::optional<std::pair<rel::Fact, rel::Fact>>
+FindMutuallyExclusiveFacts(const pdb::FinitePdb<double>&);
+template std::optional<std::pair<rel::Fact, rel::Fact>>
+FindMutuallyExclusiveFacts(const pdb::FinitePdb<math::Rational>&);
+template bool CertifyNotMonotoneOverTi(const pdb::FinitePdb<double>&);
+template bool CertifyNotMonotoneOverTi(
+    const pdb::FinitePdb<math::Rational>&);
+template bool HasUniqueMaximalWorld(const pdb::FinitePdb<double>&);
+template bool HasUniqueMaximalWorld(const pdb::FinitePdb<math::Rational>&);
+
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,72 @@
+#ifndef IPDB_CORE_IDB_H_
+#define IPDB_CORE_IDB_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "logic/view.h"
+#include "pdb/finite_pdb.h"
+#include "pdb/ti_pdb.h"
+#include "relational/fact.h"
+#include "relational/instance.h"
+
+namespace ipdb {
+namespace core {
+
+/// Section 6 — incomplete databases and the purely *logical* side of
+/// representability.
+///
+/// An incomplete database (IDB) is a set of instances; the induced IDB
+/// of a PDB is its set of positive-probability worlds. These helpers
+/// implement Observation 6.1 (the shape of IDB(TI)), Observation 6.2 /
+/// Proposition 6.3 (views commute with IDB), and Proposition 6.4 (the
+/// mutually-exclusive-facts obstruction against monotone views of
+/// TI-PDBs).
+
+/// A finite (fragment of an) incomplete database.
+using Idb = std::vector<rel::Instance>;
+
+/// The induced IDB of a finite PDB: positive-probability worlds, sorted.
+template <typename P>
+Idb InducedIdb(const pdb::FinitePdb<P>& pdb);
+
+/// Observation 6.1: the IDB induced by a finite TI-PDB is
+/// { T_always ∪ T : T ⊆ T_sometimes }. Returns that set explicitly.
+template <typename P>
+Idb TiInducedIdb(const pdb::TiPdb<P>& ti);
+
+/// Checks Observation 6.1 structurally on a finite IDB: union-closed,
+/// intersection-closed, and downward-closed above the common core
+/// (⋂ of all instances). These hold exactly for IDBs of finite TI-PDBs.
+bool HasTiIdbShape(const Idb& idb);
+
+/// A pair of facts t₁ ≠ t₂, both appearing in some positive world, but
+/// never together (mutually exclusive in the sense of Proposition 6.4),
+/// if one exists.
+template <typename P>
+std::optional<std::pair<rel::Fact, rel::Fact>> FindMutuallyExclusiveFacts(
+    const pdb::FinitePdb<P>& pdb);
+
+/// Proposition 6.4 as a certificate check: a PDB with mutually exclusive
+/// facts is not in V(TI) for any class V of monotone views. Returns true
+/// iff such a certificate exists (i.e. the PDB is certified NOT
+/// monotone-representable over TI).
+template <typename P>
+bool CertifyNotMonotoneOverTi(const pdb::FinitePdb<P>& pdb);
+
+/// Proposition B.1's criterion: monotone views of finite TI-PDBs have a
+/// unique maximal positive-probability world. Returns false when two
+/// maximal worlds exist (the Example B.2 obstruction).
+template <typename P>
+bool HasUniqueMaximalWorld(const pdb::FinitePdb<P>& pdb);
+
+/// Observation 6.2 / Proposition 6.3 made executable: the image of an
+/// IDB under a view. Tests verify the commutation
+/// V(IDB(D)) = IDB(V(D)) on random PDBs.
+StatusOr<Idb> ApplyViewToIdb(const Idb& idb, const logic::FoView& view);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_IDB_H_

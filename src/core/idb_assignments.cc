@@ -1,0 +1,178 @@
+#include "core/idb_assignments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+namespace {
+
+// max_{1 <= s <= k} s^{k-s}: a uniform bound on |D|^{k-|D|} used by the
+// Lemma 6.5 moment certificates (for |D| > k the exponent is negative).
+double SizePowerEnvelope(int k) {
+  double best = 1.0;
+  for (int s = 1; s <= std::max(k, 1); ++s) {
+    best = std::max(best, std::pow(static_cast<double>(s),
+                                   static_cast<double>(k - s)));
+  }
+  return best;
+}
+
+}  // namespace
+
+StatusOr<Lemma65Result> Lemma65Assignment(const CountableIdbFamily& idb,
+                                          int64_t normalizer_terms) {
+  if (!idb.world_at || !idb.size_at) {
+    return InvalidArgumentError("IDB family needs world_at and size_at");
+  }
+  auto size_at = idb.size_at;
+  // x_i = (2^i |D_i|)^{-|D_i|}, or 1 for the empty world.
+  auto x_at = [size_at](int64_t i) {
+    int64_t s = size_at(i);
+    if (s == 0) return 1.0;
+    return std::pow(std::pow(2.0, static_cast<double>(i)) *
+                        static_cast<double>(s),
+                    -static_cast<double>(s));
+  };
+  // Normalizer x = Σ x_i with the tail bound x_i <= 2^{-i} (valid for
+  // non-empty worlds; empty worlds must occur within the scanned prefix —
+  // there is at most one since worlds are distinct).
+  double partial = 0.0;
+  for (int64_t i = 0; i < normalizer_terms; ++i) partial += x_at(i);
+  double tail = std::pow(2.0, -static_cast<double>(normalizer_terms - 1));
+  Interval normalizer(partial, partial + tail);
+  const double x_lo = normalizer.lo();
+  const double x_mid = normalizer.midpoint();
+  IPDB_CHECK_GT(x_lo, 0.0);
+
+  pdb::CountablePdb::Family family;
+  family.schema = idb.schema;
+  family.world_at = idb.world_at;
+  family.size_at = idb.size_at;
+  family.prob_at = [x_at, x_mid](int64_t i) { return x_at(i) / x_mid; };
+  family.prob_tail_upper = [x_lo](int64_t N) {
+    if (N < 1) return 1.0;
+    return std::pow(2.0, -static_cast<double>(N - 1)) / x_lo;
+  };
+  family.moment_tails.upper = [x_lo](int k, int64_t N) {
+    if (N < 1) N = 1;
+    return SizePowerEnvelope(k) *
+           std::pow(2.0, -static_cast<double>(N - 1)) / x_lo;
+  };
+  family.moment_tails.lower = [](int, int64_t) { return 0.0; };
+  family.description = "Lemma 6.5 assignment over " + idb.description;
+
+  StatusOr<pdb::CountablePdb> pdb_result =
+      pdb::CountablePdb::Create(std::move(family));
+  if (!pdb_result.ok()) return pdb_result.status();
+
+  // Criterion family (c = 1 witness): term = |D_i| P_i^{1/|D_i|} =
+  // 2^{-i} x^{-1/|D_i|} <= 2^{-i} max(1, 1/x).
+  CriterionFamily criterion;
+  criterion.size_at = idb.size_at;
+  criterion.prob_at = [x_at, x_mid](int64_t i) { return x_at(i) / x_mid; };
+  const double envelope = std::max(1.0, 1.0 / x_lo);
+  criterion.tail_upper = [envelope](int c, int64_t N) {
+    // Larger c only shrinks the terms (probabilities are < 1).
+    (void)c;
+    if (N < 1) N = 1;
+    return envelope * std::pow(2.0, -static_cast<double>(N - 1));
+  };
+  criterion.tail_lower = [](int, int64_t) { return 0.0; };
+  criterion.description = "Lemma 6.5 criterion over " + idb.description;
+
+  Lemma65Result result{std::move(pdb_result).value(), std::move(criterion),
+                       normalizer};
+  return result;
+}
+
+std::function<int64_t(int64_t)> MakeIncreasingSubsequence(
+    const CountableIdbFamily& idb, int64_t scan_limit) {
+  auto cache = std::make_shared<std::vector<int64_t>>();
+  auto size_at = idb.size_at;
+  return [cache, size_at, scan_limit](int64_t k) -> int64_t {
+    while (static_cast<int64_t>(cache->size()) <= k) {
+      int64_t start = cache->empty() ? 0 : cache->back() + 1;
+      int64_t last_size =
+          cache->empty() ? -1 : size_at(cache->back());
+      bool found = false;
+      for (int64_t i = start; i < start + scan_limit; ++i) {
+        if (size_at(i) > last_size) {
+          cache->push_back(i);
+          found = true;
+          break;
+        }
+      }
+      IPDB_CHECK(found)
+          << "no size increase within the scan limit — family bounded?";
+    }
+    return (*cache)[k];
+  };
+}
+
+StatusOr<pdb::CountablePdb> Lemma66Assignment(
+    const CountableIdbFamily& idb,
+    const std::function<int64_t(int64_t)>& subsequence_at) {
+  if (!idb.world_at || !idb.size_at) {
+    return InvalidArgumentError("IDB family needs world_at and size_at");
+  }
+  // Heavy mass c/(k+1)² on the subsequence (Σ = 1/2 with c = 3/π²) plus
+  // a geometric floor 2^{-i}/4 on every index (Σ = 1/2).
+  const double c = 3.0 / (M_PI * M_PI);
+  auto subseq = subsequence_at;
+  // Membership check with positions, via a growing cache of the
+  // subsequence (it is strictly increasing in k).
+  auto cache = std::make_shared<std::vector<int64_t>>();
+  auto heavy_mass = [cache, subseq, c](int64_t i) -> double {
+    while (cache->empty() || cache->back() < i) {
+      cache->push_back(subseq(static_cast<int64_t>(cache->size())));
+    }
+    for (size_t k = cache->size(); k-- > 0;) {
+      if ((*cache)[k] == i) {
+        return c / ((static_cast<double>(k) + 1.0) *
+                    (static_cast<double>(k) + 1.0));
+      }
+      if ((*cache)[k] < i) break;
+    }
+    return 0.0;
+  };
+
+  pdb::CountablePdb::Family family;
+  family.schema = idb.schema;
+  family.world_at = idb.world_at;
+  family.size_at = idb.size_at;
+  family.prob_at = [heavy_mass](int64_t i) {
+    return heavy_mass(i) + std::pow(2.0, -static_cast<double>(i)) / 4.0;
+  };
+  family.prob_tail_upper = [cache, subseq, c](int64_t N) {
+    // Geometric part: Σ_{i>=N} 2^{-i}/4 = 2^{-N}/2. Heavy part: the
+    // subsequence positions with index >= N start at K_N (binary
+    // search — this certificate is evaluated once per analyzed term).
+    double geometric = std::pow(2.0, -static_cast<double>(N)) / 2.0;
+    while (cache->empty() || cache->back() < N) {
+      cache->push_back(subseq(static_cast<int64_t>(cache->size())));
+    }
+    int64_t K = std::lower_bound(cache->begin(), cache->end(), N) -
+                cache->begin();
+    // Σ_{k>=K} c/(k+1)² <= c/K for K >= 1 (else the full 1/2).
+    double heavy = K >= 1 ? c / static_cast<double>(K) : 0.5;
+    return geometric + heavy;
+  };
+  // The expected size diverges: the heavy worlds alone contribute
+  // Σ_k |D_{i_k}| c/(k+1)² >= Σ_k c/(k+1) = ∞ (|D_{i_k}| >= k+1 by the
+  // strict size increase). Certify with an infinite lower tail.
+  family.moment_tails.lower = [](int k, int64_t) {
+    (void)k;
+    return Interval::kInfinity;
+  };
+  family.description = "Lemma 6.6 assignment over " + idb.description;
+  return pdb::CountablePdb::Create(std::move(family));
+}
+
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,66 @@
+#ifndef IPDB_CORE_IDB_ASSIGNMENTS_H_
+#define IPDB_CORE_IDB_ASSIGNMENTS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/growth_criterion.h"
+#include "pdb/countable_pdb.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace core {
+
+/// Section 6.2 — "no logical reasons": for ANY countable incomplete
+/// database there is a probability assignment landing inside FO(TI)
+/// (Lemma 6.5) and, when instance sizes are unbounded, another one
+/// landing outside (Lemma 6.6). Theorem 6.7 packages both.
+
+/// A countable IDB presented as an enumerated family of distinct worlds.
+struct CountableIdbFamily {
+  rel::Schema schema;
+  std::function<rel::Instance(int64_t)> world_at;
+  std::function<int64_t(int64_t)> size_at;
+  std::string description;
+};
+
+/// Lemma 6.5: probabilities P(D_i) = x_i / x with
+/// x_i = (2^i |D_i|)^{-|D_i|} (x_i = 1 when |D_i| = 0). The resulting
+/// PDB satisfies the Theorem 5.3 criterion with c = 1 and hence lies in
+/// FO(TI). The returned PDB carries certificates for both the
+/// probability tail and the criterion tail.
+struct Lemma65Result {
+  pdb::CountablePdb pdb;
+  CriterionFamily criterion;
+  /// Certified enclosure of the normalizer x = Σ x_i (∈ (0, 2]).
+  Interval normalizer;
+};
+StatusOr<Lemma65Result> Lemma65Assignment(const CountableIdbFamily& idb,
+                                          int64_t normalizer_terms = 4096);
+
+/// Lemma 6.6: for an IDB of unbounded size, pick a subsequence of
+/// strictly increasing sizes (so |D_{i_k}| >= k+1) and give it mass
+/// (6/π²)/(k+1)² scaled to 1/2; spread the remaining 1/2 geometrically
+/// over the other worlds. The expected size then dominates a harmonic
+/// series — a certified Proposition 3.4 witness against FO(TI).
+///
+/// `subsequence_at(k)` must return indices i_k with strictly increasing
+/// sizes. (For families with size_at(i) nondecreasing and unbounded this
+/// can be generated automatically; see MakeIncreasingSubsequence.)
+StatusOr<pdb::CountablePdb> Lemma66Assignment(
+    const CountableIdbFamily& idb,
+    const std::function<int64_t(int64_t)>& subsequence_at);
+
+/// Builds a strictly-size-increasing subsequence by scanning the family
+/// (caches the scan). Aborts after `scan_limit` consecutive
+/// non-increasing worlds — the family must genuinely be of unbounded
+/// size.
+std::function<int64_t(int64_t)> MakeIncreasingSubsequence(
+    const CountableIdbFamily& idb, int64_t scan_limit = 1 << 20);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_IDB_ASSIGNMENTS_H_

@@ -1,0 +1,167 @@
+#include "core/monotone_to_cq.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdb/pushforward.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+namespace {
+
+using logic::And;
+using logic::Atom;
+using logic::Formula;
+using logic::Term;
+
+}  // namespace
+
+template <typename P>
+StatusOr<MonotoneToCq<P>> BuildMonotoneToCq(const pdb::TiPdb<P>& input,
+                                            const logic::FoView& view,
+                                            int max_n) {
+  using Traits = pdb::ProbTraits<P>;
+  if (!(view.input_schema() == input.schema())) {
+    return InvalidArgumentError("view input schema differs from the TI's");
+  }
+
+  // Split the fact set into always / sometimes facts (Observation 6.1).
+  std::vector<rel::Fact> always;
+  std::vector<std::pair<rel::Fact, P>> sometimes;
+  for (const auto& [fact, marginal] : input.facts()) {
+    if (Traits::IsZero(marginal)) continue;
+    if (Traits::IsOne(marginal) && Traits::ToDouble(marginal) >= 1.0) {
+      always.push_back(fact);
+    } else {
+      sometimes.emplace_back(fact, marginal);
+    }
+  }
+  const int n = static_cast<int>(sometimes.size());
+  if (n > max_n) {
+    return FailedPreconditionError(
+        "too many uncertain facts for the (n+1)^n table construction");
+  }
+
+  MonotoneToCq<P> built;
+  StatusOr<rel::RelationId> s_hat_id =
+      built.cq_schema.AddRelation("S_hat", 1);
+  IPDB_CHECK(s_hat_id.ok());
+  const rel::RelationId s_hat = s_hat_id.value();
+
+  const rel::Schema& out_schema = view.output_schema();
+  std::vector<rel::RelationId> table_ids;
+  for (int i = 0; i < out_schema.num_relations(); ++i) {
+    StatusOr<rel::RelationId> id = built.cq_schema.AddRelation(
+        "S_" + out_schema.relation_name(i), n + out_schema.arity(i));
+    IPDB_CHECK(id.ok());
+    table_ids.push_back(id.value());
+  }
+
+  // TI facts: Ŝ(0) at probability 1; Ŝ(j) at marginal of t_j (1-based);
+  // all table facts at probability 1.
+  typename pdb::TiPdb<P>::FactList facts;
+  facts.emplace_back(rel::Fact(s_hat, {rel::Value::Int(0)}), Traits::One());
+  for (int j = 0; j < n; ++j) {
+    facts.emplace_back(rel::Fact(s_hat, {rel::Value::Int(j + 1)}),
+                       sometimes[j].second);
+  }
+
+  // Enumerate x̄ ∈ {0..n}^n, apply the view to the induced instance and
+  // record the outputs in the tables.
+  std::vector<int> odometer(n, 0);
+  while (true) {
+    std::vector<rel::Fact> chosen = always;
+    for (int pos = 0; pos < n; ++pos) {
+      if (odometer[pos] > 0) {
+        chosen.push_back(sometimes[odometer[pos] - 1].first);
+      }
+    }
+    StatusOr<rel::Instance> image =
+        view.Apply(rel::Instance(std::move(chosen)));
+    if (!image.ok()) return image.status();
+    for (const rel::Fact& out_fact : image.value().facts()) {
+      std::vector<rel::Value> args;
+      for (int pos = 0; pos < n; ++pos) {
+        args.push_back(rel::Value::Int(odometer[pos]));
+      }
+      for (const rel::Value& v : out_fact.args()) args.push_back(v);
+      facts.emplace_back(
+          rel::Fact(table_ids[out_fact.relation()], std::move(args)),
+          Traits::One());
+    }
+    int pos = 0;
+    while (pos < n) {
+      if (++odometer[pos] <= n) break;
+      odometer[pos] = 0;
+      ++pos;
+    }
+    if (pos == n || n == 0) break;
+  }
+
+  StatusOr<pdb::TiPdb<P>> ti =
+      pdb::TiPdb<P>::Create(built.cq_schema, std::move(facts));
+  if (!ti.ok()) return ti.status();
+  built.ti = std::move(ti).value();
+
+  // CQ view: Φ_i(ȳ) = ∃x̄ Ŝ(x₁) ∧ … ∧ Ŝ(x_n) ∧ S_i(x̄, ȳ).
+  std::vector<logic::FoView::Definition> definitions;
+  for (int i = 0; i < out_schema.num_relations(); ++i) {
+    logic::FoView::Definition def;
+    def.output_relation = i;
+    std::vector<Term> table_terms;
+    std::vector<std::string> xs;
+    std::vector<Formula> conjuncts;
+    for (int pos = 0; pos < n; ++pos) {
+      std::string name = "sel" + std::to_string(pos);
+      xs.push_back(name);
+      table_terms.push_back(Term::Var(name));
+      conjuncts.push_back(Atom(s_hat, {Term::Var(name)}));
+    }
+    for (int p = 0; p < out_schema.arity(i); ++p) {
+      std::string name = "y" + std::to_string(p);
+      def.head_vars.push_back(name);
+      table_terms.push_back(Term::Var(name));
+    }
+    conjuncts.push_back(Atom(table_ids[i], std::move(table_terms)));
+    def.body = logic::ExistsAll(xs, And(std::move(conjuncts)));
+    definitions.push_back(std::move(def));
+  }
+  StatusOr<logic::FoView> cq_view = logic::FoView::Create(
+      built.cq_schema, out_schema, std::move(definitions));
+  if (!cq_view.ok()) return cq_view.status();
+  built.view = std::move(cq_view).value();
+  return built;
+}
+
+template <typename P>
+StatusOr<double> VerifyMonotoneToCq(const pdb::TiPdb<P>& input,
+                                    const logic::FoView& view,
+                                    const MonotoneToCq<P>& built) {
+  pdb::FinitePdb<P> reference_in = input.Expand();
+  StatusOr<pdb::FinitePdb<P>> reference =
+      pdb::Pushforward(reference_in, view);
+  if (!reference.ok()) return reference.status();
+  pdb::FinitePdb<P> expanded = built.ti.Expand();
+  StatusOr<pdb::FinitePdb<P>> image =
+      pdb::Pushforward(expanded, built.view);
+  if (!image.ok()) return image.status();
+  return pdb::TotalVariationDistance(reference.value().DropNullWorlds(),
+                                     image.value().DropNullWorlds());
+}
+
+template StatusOr<MonotoneToCq<double>> BuildMonotoneToCq(
+    const pdb::TiPdb<double>&, const logic::FoView&, int);
+template StatusOr<MonotoneToCq<math::Rational>> BuildMonotoneToCq(
+    const pdb::TiPdb<math::Rational>&, const logic::FoView&, int);
+template StatusOr<double> VerifyMonotoneToCq(
+    const pdb::TiPdb<double>&, const logic::FoView&,
+    const MonotoneToCq<double>&);
+template StatusOr<double> VerifyMonotoneToCq(
+    const pdb::TiPdb<math::Rational>&, const logic::FoView&,
+    const MonotoneToCq<math::Rational>&);
+
+}  // namespace core
+}  // namespace ipdb

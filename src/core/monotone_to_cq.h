@@ -1,0 +1,53 @@
+#ifndef IPDB_CORE_MONOTONE_TO_CQ_H_
+#define IPDB_CORE_MONOTONE_TO_CQ_H_
+
+#include "logic/view.h"
+#include "pdb/finite_pdb.h"
+#include "pdb/ti_pdb.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace core {
+
+/// Proposition B.4 — any monotone view of a finite TI-PDB is already a
+/// CQ-view of a finite TI-PDB (hence CQ(TI_fin) = UCQ(TI_fin),
+/// Figure 1's collapsed edge).
+///
+/// Construction: with T_sometimes(I) = {t₁, …, t_n}, a fresh TI-PDB J
+/// carries a unary relation Ŝ with facts Ŝ(1..n) at the t_j's marginals
+/// and Ŝ(0) at probability 1, plus deterministic "view tables" S_i of
+/// arity n + r_i holding every (x̄, ȳ) with x̄ ∈ {0..n}^n and
+/// R_i(ȳ) ∈ V(T_always ∪ {t_j : j ∈ x̄ \ {0}}). The CQ view is
+///
+///   Φ_i(ȳ) = ∃x̄: Ŝ(x₁) ∧ … ∧ Ŝ(x_n) ∧ S_i(x̄, ȳ).
+///
+/// The S_i tables grow like (n+1)^n — this is a constructive
+/// expressiveness result, not an efficient one; fixtures keep n small.
+template <typename P>
+struct MonotoneToCq {
+  rel::Schema cq_schema;  // {S_hat/1, S_i/(n + r_i)…}
+  pdb::TiPdb<P> ti;
+  logic::FoView view;  // a CQ view (checked by logic::IsCqView)
+};
+
+/// Runs the construction for a monotone view over a finite TI-PDB.
+/// The view's monotonicity is the caller's responsibility (use
+/// logic::IsMonotoneView for the syntactic guarantee); n = number of
+/// uncertain facts must be at most `max_n` (default 4) to cap the
+/// (n+1)^n table size.
+template <typename P>
+StatusOr<MonotoneToCq<P>> BuildMonotoneToCq(const pdb::TiPdb<P>& input,
+                                            const logic::FoView& view,
+                                            int max_n = 4);
+
+/// Expands both sides and returns the total variation distance between
+/// V(input) and Φ(J) (zero for exact P).
+template <typename P>
+StatusOr<double> VerifyMonotoneToCq(const pdb::TiPdb<P>& input,
+                                    const logic::FoView& view,
+                                    const MonotoneToCq<P>& built);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_MONOTONE_TO_CQ_H_

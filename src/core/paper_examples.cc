@@ -1,0 +1,360 @@
+#include "core/paper_examples.h"
+
+#include <cmath>
+#include <vector>
+
+#include "prob/distribution.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+namespace {
+
+rel::Schema UnarySchema() { return rel::Schema({{"U", 1}}); }
+
+/// A world of `size` unary facts U(base), …, U(base+size-1).
+rel::Instance RangeWorld(int64_t base, int64_t size) {
+  std::vector<rel::Fact> facts;
+  facts.reserve(size);
+  for (int64_t t = 0; t < size; ++t) {
+    facts.emplace_back(0, std::vector<rel::Value>{rel::Value::Int(base + t)});
+  }
+  return rel::Instance(std::move(facts));
+}
+
+}  // namespace
+
+pdb::CountablePdb Example35() {
+  // Index j >= 0 corresponds to the paper's i = j+1.
+  pdb::CountablePdb::Family family;
+  family.schema = UnarySchema();
+  family.size_at = [](int64_t j) { return int64_t{1} << (j + 1); };
+  // Disjoint ranges: D_i occupies [2^i, 2^{i+1}).
+  family.world_at = [size_at = family.size_at](int64_t j) {
+    int64_t size = size_at(j);
+    return RangeWorld(size, size);
+  };
+  family.prob_at = [](int64_t j) {
+    return 3.0 * std::pow(4.0, -static_cast<double>(j + 1));
+  };
+  // Σ_{j>=N} 3·4^{-(j+1)} = 4^{-N}.
+  family.prob_tail_upper = [](int64_t N) {
+    return std::pow(4.0, -static_cast<double>(N));
+  };
+  // Moment k: terms 3·2^{(j+1)(k-2)}. For k = 1 the tail is
+  // Σ_{j>=N} 3·2^{-(j+1)} = 3·2^{-N}; for k >= 2 the terms do not even
+  // vanish, certifying divergence.
+  family.moment_tails.upper = [](int k, int64_t N) {
+    if (k >= 2) return Interval::kInfinity;
+    return 3.0 * std::pow(2.0, -static_cast<double>(N));
+  };
+  family.moment_tails.lower = [](int k, int64_t) {
+    return k >= 2 ? Interval::kInfinity : 0.0;
+  };
+  family.description = "Example 3.5 (|D_i| = 2^i, P = 3*4^-i)";
+  StatusOr<pdb::CountablePdb> pdb =
+      pdb::CountablePdb::Create(std::move(family));
+  IPDB_CHECK(pdb.ok());
+  return std::move(pdb).value();
+}
+
+double Example39Probability(int64_t n) {
+  IPDB_CHECK_GE(n, 1);
+  const double c = 6.0 / (M_PI * M_PI);
+  return c / (static_cast<double>(n) * static_cast<double>(n));
+}
+
+int64_t Example39AdomSize(int64_t n) {
+  IPDB_CHECK_GE(n, 1);
+  if (n == 1) return 0;
+  int64_t bits = 0;
+  int64_t v = n - 1;  // ceil(log2 n) = bits of (n-1) for n >= 2
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+pdb::CountablePdb Example39() {
+  // Index j >= 0 corresponds to n = j+1.
+  pdb::CountablePdb::Family family;
+  family.schema = UnarySchema();
+  family.size_at = [](int64_t j) { return Example39AdomSize(j + 1); };
+  // Domain-disjoint worlds: world n uses values n·2^32 + t.
+  family.world_at = [](int64_t j) {
+    int64_t n = j + 1;
+    return RangeWorld(n * (int64_t{1} << 32), Example39AdomSize(n));
+  };
+  family.prob_at = [](int64_t j) { return Example39Probability(j + 1); };
+  family.prob_tail_upper = [](int64_t N) {
+    const double c = 6.0 / (M_PI * M_PI);
+    return PowerTailUpper(c, 2.0, N < 1 ? 1 : N);
+  };
+  // Moment k: terms ceil(log2 n)^k c/n². With ceil(log2 n) <= log2(n)+1
+  // <= 2·max(log2 n, 1) and log2(n)^k <= A_k √n for all n >= 2, where
+  // A_k = (2k/(e·ln 2))^k is the global maximum of log2(n)^k/√n:
+  // tail(N) <= c·2^k·max(A_k, 1)·Σ_{n>=N} n^{-3/2}.
+  family.moment_tails.upper = [](int k, int64_t N) {
+    const double c = 6.0 / (M_PI * M_PI);
+    double a_k = std::pow(2.0 * k / (std::exp(1.0) * std::log(2.0)),
+                          static_cast<double>(k));
+    double envelope = std::pow(2.0, static_cast<double>(k)) *
+                      std::max(a_k, 1.0);
+    return c * envelope * PowerTailUpper(1.0, 1.5, N < 1 ? 1 : N);
+  };
+  family.moment_tails.lower = [](int, int64_t) { return 0.0; };
+  family.description =
+      "Example 3.9 (|adom| = ceil(log2 n), P = c/n^2)";
+  StatusOr<pdb::CountablePdb> pdb =
+      pdb::CountablePdb::Create(std::move(family));
+  IPDB_CHECK(pdb.ok());
+  return std::move(pdb).value();
+}
+
+namespace {
+
+/// x = Σ_{i>=1} 2^{-i²}, enclosed tightly.
+double Example55Normalizer() {
+  double x = 0.0;
+  for (int64_t i = 1; i <= 32; ++i) {
+    x += std::pow(2.0, -static_cast<double>(i * i));
+  }
+  return x;
+}
+
+}  // namespace
+
+pdb::CountablePdb Example55() {
+  // Index j >= 0 corresponds to i = j+1.
+  const double x = Example55Normalizer();
+  pdb::CountablePdb::Family family;
+  family.schema = UnarySchema();
+  family.size_at = [](int64_t j) { return j + 1; };
+  // Disjoint ranges: world i occupies [i(i-1)/2, i(i+1)/2).
+  family.world_at = [](int64_t j) {
+    int64_t i = j + 1;
+    return RangeWorld(i * (i - 1) / 2, i);
+  };
+  family.prob_at = [x](int64_t j) {
+    int64_t i = j + 1;
+    return std::pow(2.0, -static_cast<double>(i * i)) / x;
+  };
+  // Σ_{i>=M} 2^{-i²} <= 2·2^{-M²}.
+  family.prob_tail_upper = [x](int64_t N) {
+    int64_t m = N + 1;
+    return 2.0 * std::pow(2.0, -static_cast<double>(m * m)) / x;
+  };
+  // Moment k: terms i^k 2^{-i²}/x; ratio a_{i+1}/a_i <= 2^k·2^{-(2i+1)}
+  // <= 1/2 once i >= k. Skip-scan to that point, then the ratio bound.
+  family.moment_tails.upper = [x](int k, int64_t N) {
+    auto term = [x, k](int64_t idx) {
+      int64_t i = idx + 1;
+      return std::pow(static_cast<double>(i), static_cast<double>(k)) *
+             std::pow(2.0, -static_cast<double>(i * i)) / x;
+    };
+    int64_t n = N < 0 ? 0 : N;
+    double skipped = 0.0;
+    while (n + 1 < k) {  // ensure ratio <= 1/2 afterwards
+      skipped += term(n);
+      ++n;
+    }
+    return skipped + prob::RatioTailBound(term(n), 0.5);
+  };
+  family.moment_tails.lower = [](int, int64_t) { return 0.0; };
+  family.description = "Example 5.5 (|D_i| = i, P = 2^{-i^2}/x)";
+  StatusOr<pdb::CountablePdb> pdb =
+      pdb::CountablePdb::Create(std::move(family));
+  IPDB_CHECK(pdb.ok());
+  return std::move(pdb).value();
+}
+
+CriterionFamily Example55Criterion() {
+  const double x = Example55Normalizer();
+  CriterionFamily family;
+  family.size_at = [](int64_t j) { return j + 1; };
+  family.prob_at = [x](int64_t j) {
+    int64_t i = j + 1;
+    return std::pow(2.0, -static_cast<double>(i * i)) / x;
+  };
+  // For c = 1: term = i (2^{-i²}/x)^{1/i} = i (1/x)^{1/i} 2^{-i}
+  // <= max(1, 1/x) i 2^{-i}. For general c the terms only shrink (the
+  // probabilities are < 1), so the c = 1 tail bounds them all:
+  // Σ_{i>=M} i 2^{-i} <= 2 (M+1) 2^{-M}.
+  family.tail_upper = [x](int c, int64_t N) {
+    (void)c;
+    int64_t m = N + 1;
+    double envelope = std::max(1.0, 1.0 / x);
+    return envelope * 2.0 * static_cast<double>(m + 1) *
+           std::pow(2.0, -static_cast<double>(m));
+  };
+  family.tail_lower = [](int, int64_t) { return 0.0; };
+  family.description = "Example 5.5 criterion";
+  return family;
+}
+
+namespace {
+
+/// Z = Π_{i>=1} (1 - 1/(i²+1)), under-approximated (the divergence
+/// certificate only needs a positive lower bound on min(1, Z)).
+double PropositionD2ZLowerBound() {
+  double log_z = 0.0;
+  const int64_t terms = 1 << 16;
+  for (int64_t i = 1; i <= terms; ++i) {
+    double p = 1.0 / (static_cast<double>(i) * static_cast<double>(i) + 1.0);
+    log_z += std::log1p(-p);
+  }
+  // Remaining factors: log(1-p) >= -2p for p <= 1/2; Σ_{i>N} p_i <= 1/N.
+  log_z -= 2.0 / static_cast<double>(terms);
+  return std::exp(log_z);
+}
+
+}  // namespace
+
+pdb::CountableTiPdb Example56Ti() {
+  pdb::CountableTiPdb::Family family;
+  family.schema = UnarySchema();
+  family.fact_at = [](int64_t i) {
+    return rel::Fact(0, {rel::Value::Int(i + 1)});
+  };
+  family.marginal_at = [](int64_t i) {
+    double n = static_cast<double>(i + 1);
+    return 1.0 / (n * n + 1.0);
+  };
+  family.marginal_tail_upper = [](int64_t N) {
+    return PowerTailUpper(1.0, 2.0, N < 1 ? 1 : N);
+  };
+  family.marginal_tail_lower = [](int64_t) { return 0.0; };
+  family.description = "Example 5.6 TI-PDB (p_i = 1/(i^2+1))";
+  StatusOr<pdb::CountableTiPdb> ti =
+      pdb::CountableTiPdb::Create(std::move(family));
+  IPDB_CHECK(ti.ok());
+  return std::move(ti).value();
+}
+
+Series PropositionD2ReducedSeries(int c) {
+  IPDB_CHECK_GE(c, 1);
+  const double z = std::min(1.0, PropositionD2ZLowerBound());
+  Series series;
+  // Terms over n >= 1 (index i = n-1): min(1,Z)^c n^{-2c} 2^{n-1}; a
+  // certified lower bound on the Theorem 5.3 criterion sum for the
+  // Example 5.6 TI-PDB (Proposition D.2's final display).
+  series.term = [z, c](int64_t i) {
+    double n = static_cast<double>(i + 1);
+    return std::pow(z, static_cast<double>(c)) *
+           std::pow(n, -2.0 * static_cast<double>(c)) *
+           std::pow(2.0, n - 1.0);
+  };
+  // 2^n beats any polynomial: the tail is infinite from every point on.
+  series.tail_lower_bound = [](int64_t) { return Interval::kInfinity; };
+  series.description =
+      "Proposition D.2 reduced series (c=" + std::to_string(c) + ")";
+  return series;
+}
+
+pdb::CountableBidPdb PropositionD3Bid() {
+  pdb::CountableBidPdb::Family family;
+  family.schema = rel::Schema({{"B", 2}});
+  family.block_at = [](int64_t i) {
+    double n = static_cast<double>(i + 1);
+    double p = 1.0 / (2.0 * (n * n + 1.0));
+    pdb::CountableBidPdb::Block block;
+    block.emplace_back(
+        rel::Fact(0, {rel::Value::Int(i + 1), rel::Value::Int(0)}), p);
+    block.emplace_back(
+        rel::Fact(0, {rel::Value::Int(i + 1), rel::Value::Int(1)}), p);
+    return block;
+  };
+  family.block_mass_tail_upper = [](int64_t N) {
+    return PowerTailUpper(1.0, 2.0, N < 1 ? 1 : N);
+  };
+  family.block_mass_tail_lower = [](int64_t) { return 0.0; };
+  family.description =
+      "Proposition D.3 BID-PDB (two facts per block, p = 1/(2(i^2+1)))";
+  StatusOr<pdb::CountableBidPdb> bid =
+      pdb::CountableBidPdb::Create(std::move(family));
+  IPDB_CHECK(bid.ok());
+  return std::move(bid).value();
+}
+
+Series PropositionD3ReducedSeries(int c) {
+  Series base = PropositionD2ReducedSeries(c);
+  Series series;
+  series.term = [inner = base.term, c](int64_t i) {
+    return std::pow(2.0, -static_cast<double>(c)) * inner(i);
+  };
+  series.tail_lower_bound = [](int64_t) { return Interval::kInfinity; };
+  series.description =
+      "Proposition D.3 reduced series (c=" + std::to_string(c) + ")";
+  return series;
+}
+
+pdb::BidPdb<math::Rational> ExampleB2() {
+  rel::Schema schema({{"T", 1}});
+  pdb::BidPdb<math::Rational>::Block block;
+  block.emplace_back(rel::Fact(0, {rel::Value::Int(0)}),
+                     math::Rational::Ratio(1, 2));
+  block.emplace_back(rel::Fact(0, {rel::Value::Int(1)}),
+                     math::Rational::Ratio(1, 2));
+  return pdb::BidPdb<math::Rational>::CreateOrDie(schema, {block});
+}
+
+ExampleB3 MakeExampleB3(const math::Rational& p, const math::Rational& p2) {
+  ExampleB3 example;
+  rel::Schema in_schema({{"R", 2}});
+  rel::Value a = rel::Value::Symbol("a");
+  rel::Value b = rel::Value::Symbol("b");
+  example.ti = pdb::TiPdb<math::Rational>::CreateOrDie(
+      in_schema, {{rel::Fact(0, {a, a}), p}, {rel::Fact(0, {a, b}), p2}});
+
+  rel::Schema out_schema({{"S", 2}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x", "z"};
+  def.body = logic::Exists(
+      "y", logic::And(
+               logic::Atom(0, {logic::Term::Var("x"), logic::Term::Var("y")}),
+               logic::Atom(0, {logic::Term::Var("y"),
+                               logic::Term::Var("z")})));
+  StatusOr<logic::FoView> view =
+      logic::FoView::Create(in_schema, out_schema, {def});
+  IPDB_CHECK(view.ok());
+  example.view = std::move(view).value();
+  return example;
+}
+
+pdb::CountableBidPdb CarAccidentsBid(const std::vector<double>& rates,
+                                     int64_t max_count) {
+  IPDB_CHECK(!rates.empty());
+  pdb::CountableBidPdb::Family family;
+  family.schema = rel::Schema({{"Accidents", 2}});  // (country, count)
+  // One finite block per country: Accidents(country, k) for k in
+  // [0, max_count), with Poisson probabilities; the Poisson tail mass
+  // beyond max_count is the block residual ("count unknown/absent").
+  family.block_at = [rates, max_count](int64_t i) {
+    pdb::CountableBidPdb::Block block;
+    if (i >= static_cast<int64_t>(rates.size())) return block;
+    prob::IntDistribution poisson = prob::Poisson(rates[i]);
+    for (int64_t k = 0; k < max_count; ++k) {
+      block.emplace_back(
+          rel::Fact(0, {rel::Value::Int(i), rel::Value::Int(k)}),
+          poisson.pmf(k));
+    }
+    return block;
+  };
+  family.block_mass_tail_upper = [n = rates.size()](int64_t N) {
+    return N >= static_cast<int64_t>(n)
+               ? 0.0
+               : static_cast<double>(static_cast<int64_t>(n) - N);
+  };
+  family.block_mass_tail_lower = [](int64_t) { return 0.0; };
+  family.description = "car-accidents BID (Poisson counts per country)";
+  StatusOr<pdb::CountableBidPdb> bid =
+      pdb::CountableBidPdb::Create(std::move(family));
+  IPDB_CHECK(bid.ok());
+  return std::move(bid).value();
+}
+
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,82 @@
+#ifndef IPDB_CORE_PAPER_EXAMPLES_H_
+#define IPDB_CORE_PAPER_EXAMPLES_H_
+
+#include <vector>
+
+#include "core/growth_criterion.h"
+#include "logic/view.h"
+#include "math/rational.h"
+#include "pdb/bid_pdb.h"
+#include "pdb/countable_pdb.h"
+#include "pdb/finite_pdb.h"
+#include "pdb/ti_pdb.h"
+#include "util/series.h"
+
+namespace ipdb {
+namespace core {
+
+/// The paper's worked examples as concrete objects with certified tail
+/// bounds. These are the witnesses behind every strict edge of Figures 1
+/// and 4; the benches print the numeric evidence and the tests assert
+/// the claimed properties.
+
+/// Example 3.5 — |D_i| = 2^i, P(D_i) = 3·4^{-i} (i >= 1):
+/// E[|D|] = 3 but E[|D|²] = ∞, so not in FO(TI) by Proposition 3.4.
+/// Worlds are unary facts over disjoint integer ranges.
+pdb::CountablePdb Example35();
+
+/// Example 3.9 — |adom(D_n)| = ceil(log2 n), P(D_n) = c/n², c = 6/π²:
+/// all moments finite, yet the Lemma 3.7 balancing bound rules FO(TI)
+/// out. Domain-disjoint by construction.
+pdb::CountablePdb Example39();
+/// The pieces of Example 3.9 used by the balance-bound sweep.
+double Example39Probability(int64_t n);  // c/n² (n >= 1)
+int64_t Example39AdomSize(int64_t n);    // ceil(log2 n)
+
+/// Example 5.5 — |D_i| = i, P(D_i) = 2^{-i²}/x: unbounded instance size
+/// yet in FO(TI) (the Theorem 5.3 criterion holds with c = 1).
+pdb::CountablePdb Example55();
+/// Its criterion family (with certified tails) for Theorem 5.3.
+CriterionFamily Example55Criterion();
+
+/// Example 5.6 / Proposition D.2 — the countable TI-PDB with marginals
+/// p_i = 1/(i²+1): trivially in FO(TI), but the Theorem 5.3 criterion
+/// FAILS for every c (the criterion is not necessary).
+pdb::CountableTiPdb Example56Ti();
+/// The reduced divergent series of Proposition D.2 for parameter c:
+/// terms min(1, Z)^c n^{-2c} 2^{n-1} (a certified lower bound on the
+/// criterion sum, diverging for every c).
+Series PropositionD2ReducedSeries(int c);
+
+/// Proposition D.3 — the BID analogue: blocks B_i = {(i,0), (i,1)} with
+/// marginals 1/(2(i²+1)); also violates the criterion for every c.
+pdb::CountableBidPdb PropositionD3Bid();
+/// Its reduced divergent series (the D.2 series scaled by 2^{-c}).
+Series PropositionD3ReducedSeries(int c);
+
+/// Example B.2 — a single BID block with two facts of probability 1/2:
+/// two maximal worlds, hence outside CQ(TI_fin) by Proposition B.1.
+pdb::BidPdb<math::Rational> ExampleB2();
+
+/// Example B.3 — T(I) = {R(a,a), R(a,b)} and Φ = ∃y R(x,y) ∧ R(y,z):
+/// Φ(I) has exactly the worlds ∅, {S(a,a)} and {S(a,a), S(a,b)}; since
+/// ∅ and the two-fact world occur but the {S(a,b)}-only world does not,
+/// Φ(I) is neither TI nor BID — yet it is a CQ view of a TI-PDB.
+struct ExampleB3 {
+  pdb::TiPdb<math::Rational> ti;
+  logic::FoView view;  // output schema {S/2}
+};
+ExampleB3 MakeExampleB3(const math::Rational& p, const math::Rational& p2);
+
+/// The Poisson-noisy car-accident table from the paper's introduction,
+/// as a countable BID-PDB: one block per country, the count attribute
+/// Poisson-distributed (truncated at `max_count` with the residual mass
+/// as "no fact"). A bounded-instance-size PDB, hence in FO(TI) by
+/// Corollary 5.4.
+pdb::CountableBidPdb CarAccidentsBid(const std::vector<double>& rates,
+                                     int64_t max_count = 64);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_PAPER_EXAMPLES_H_

@@ -1,0 +1,70 @@
+#include "core/representability.h"
+
+#include <sstream>
+
+namespace ipdb {
+namespace core {
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kInFoTi: return "IN FO(TI)";
+    case Verdict::kNotInFoTi: return "NOT in FO(TI)";
+    case Verdict::kUndecided: return "UNDECIDED";
+  }
+  return "?";
+}
+
+std::string RepresentabilityReport::ToString() const {
+  std::ostringstream os;
+  os << VerdictName(verdict) << " — " << explanation << "\n";
+  os << moments.ToString();
+  os << criterion.ToString() << "\n";
+  return os.str();
+}
+
+RepresentabilityReport DecideRepresentability(
+    const pdb::CountablePdb& pdb, const CriterionFamily* criterion_family,
+    int max_k, int max_c, const SumOptions& options) {
+  RepresentabilityReport report;
+
+  // Necessary condition first: a certified infinite moment is final.
+  report.moments = CheckFiniteMoments(pdb, max_k, options);
+  if (report.moments.first_infinite_moment > 0) {
+    report.verdict = Verdict::kNotInFoTi;
+    report.explanation =
+        "E|D|^" + std::to_string(report.moments.first_infinite_moment) +
+        " is certified infinite (Proposition 3.4)";
+    return report;
+  }
+
+  // Sufficient condition: a convergent criterion sum is final.
+  if (criterion_family != nullptr) {
+    report.criterion =
+        FindCriterionWitness(*criterion_family, max_c, options);
+    if (report.criterion.witness_c > 0) {
+      report.verdict = Verdict::kInFoTi;
+      report.explanation =
+          "growth criterion holds with c = " +
+          std::to_string(report.criterion.witness_c) + " (Theorem 5.3)";
+      return report;
+    }
+  }
+
+  report.verdict = Verdict::kUndecided;
+  if (!report.moments.all_finite_certified) {
+    report.explanation = "moment analyses inconclusive";
+  } else if (criterion_family == nullptr) {
+    report.explanation =
+        "moments finite; no criterion certificates supplied — the "
+        "necessary condition alone cannot decide membership";
+  } else {
+    report.explanation =
+        "moments finite but the criterion diverges/was inconclusive — "
+        "inside the Section 5 characterization gap (cf. Examples 3.9 "
+        "and 5.6)";
+  }
+  return report;
+}
+
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,54 @@
+#ifndef IPDB_CORE_REPRESENTABILITY_H_
+#define IPDB_CORE_REPRESENTABILITY_H_
+
+#include <string>
+
+#include "core/growth_criterion.h"
+#include "core/size_moments.h"
+#include "pdb/countable_pdb.h"
+#include "util/series.h"
+
+namespace ipdb {
+namespace core {
+
+/// The combined decision pipeline of Sections 3 and 5: given a countable
+/// PDB (and optionally its criterion certificates), run
+///
+///   1. the necessary condition — all size moments finite
+///      (Proposition 3.4): a certified infinite moment decides OUT;
+///   2. the sufficient condition — the Theorem 5.3 growth criterion for
+///      some c: a certified convergent criterion sum decides IN;
+///
+/// and report the verdict. The gap between the conditions is real
+/// (Examples 3.9 and 5.6): kUndecided is a genuine outcome, resolvable
+/// only by problem-specific arguments (e.g. the Lemma 3.7 balance bound
+/// in core/balance_bound.h).
+enum class Verdict {
+  kInFoTi,     // certified member of FO(TI)
+  kNotInFoTi,  // certified non-member
+  kUndecided,  // between the conditions (or analyses inconclusive)
+};
+
+const char* VerdictName(Verdict verdict);
+
+struct RepresentabilityReport {
+  Verdict verdict = Verdict::kUndecided;
+  FiniteMomentsReport moments;
+  GrowthCriterionResult criterion;
+  /// One-line human-readable justification citing the deciding result.
+  std::string explanation;
+
+  std::string ToString() const;
+};
+
+/// Runs the pipeline. `criterion_family` may be null (then only the
+/// necessary condition is applied). `max_k` moments and criterion
+/// parameters `c = 1..max_c` are tested.
+RepresentabilityReport DecideRepresentability(
+    const pdb::CountablePdb& pdb, const CriterionFamily* criterion_family,
+    int max_k = 4, int max_c = 3, const SumOptions& options = {});
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_REPRESENTABILITY_H_

@@ -1,0 +1,363 @@
+#include "core/segment_construction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdb/conditioning.h"
+#include "pdb/pushforward.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+namespace {
+
+using logic::And;
+using logic::Atom;
+using logic::Eq;
+using logic::Exactly;
+using logic::Exists;
+using logic::Forall;
+using logic::Formula;
+using logic::Not;
+using logic::Term;
+
+/// Builds the Seg(...) atom with the given terms for instance id, segment
+/// id, next pointer and per-slot terms (c slots of width 1+r).
+Formula SegAtom(rel::RelationId seg, Term instance_id, Term segment_id,
+                Term next, const std::vector<std::vector<Term>>& slots) {
+  std::vector<Term> terms;
+  terms.push_back(std::move(instance_id));
+  terms.push_back(std::move(segment_id));
+  terms.push_back(std::move(next));
+  for (const std::vector<Term>& slot : slots) {
+    for (const Term& t : slot) terms.push_back(t);
+  }
+  return Atom(seg, std::move(terms));
+}
+
+/// c slots of fresh variables with the given name prefix.
+std::vector<std::vector<Term>> FreshSlots(int c, int width,
+                                          const std::string& prefix,
+                                          std::vector<std::string>* names) {
+  std::vector<std::vector<Term>> slots(c);
+  for (int l = 0; l < c; ++l) {
+    for (int p = 0; p < width; ++p) {
+      std::string name =
+          prefix + std::to_string(l) + "_" + std::to_string(p);
+      names->push_back(name);
+      slots[l].push_back(Term::Var(name));
+    }
+  }
+  return slots;
+}
+
+/// Complete(u): instance id u has a complete chain in the drawn instance.
+///   HasSeg0(u) := ∃n ∃slots Seg(u, 0, n, slots)
+///   Closed(u)  := ∀j ∀n ∀slots ( Seg(u, j, n, slots) ∧ n ≠ ⊥
+///                                 → ∃n' ∃slots' Seg(u, n, n', slots') )
+Formula CompleteFormula(rel::RelationId seg, int c, int width,
+                        const std::string& u) {
+  // HasSeg0.
+  std::vector<std::string> vars0;
+  std::vector<std::vector<Term>> slots0 = FreshSlots(c, width, "z", &vars0);
+  Formula has_seg0 = SegAtom(seg, Term::Var(u), Term::Int(0), Term::Var("n0"),
+                             slots0);
+  std::vector<std::string> exvars0 = {"n0"};
+  exvars0.insert(exvars0.end(), vars0.begin(), vars0.end());
+  has_seg0 = logic::ExistsAll(exvars0, has_seg0);
+
+  // Closed.
+  std::vector<std::string> varsj;
+  std::vector<std::vector<Term>> slotsj = FreshSlots(c, width, "w", &varsj);
+  Formula premise =
+      And(SegAtom(seg, Term::Var(u), Term::Var("j"), Term::Var("n"), slotsj),
+          Not(Eq(Term::Var("n"), Term::Const(rel::Value::Null()))));
+  std::vector<std::string> varsn;
+  std::vector<std::vector<Term>> slotsn = FreshSlots(c, width, "v", &varsn);
+  Formula successor = SegAtom(seg, Term::Var(u), Term::Var("n"),
+                              Term::Var("np"), slotsn);
+  std::vector<std::string> exvars = {"np"};
+  exvars.insert(exvars.end(), varsn.begin(), varsn.end());
+  successor = logic::ExistsAll(exvars, successor);
+  std::vector<std::string> allvars = {"j", "n"};
+  allvars.insert(allvars.end(), varsj.begin(), varsj.end());
+  Formula closed =
+      logic::ForallAll(allvars, logic::Implies(premise, successor));
+
+  return And(std::move(has_seg0), std::move(closed));
+}
+
+}  // namespace
+
+StatusOr<SegmentConstruction> BuildSegmentConstruction(
+    const pdb::FinitePdb<double>& input, int c) {
+  if (c < 1) return InvalidArgumentError("segment width c must be >= 1");
+  if (input.num_worlds() == 0) {
+    return InvalidArgumentError("empty input PDB");
+  }
+  const rel::Schema& in_schema = input.schema();
+  const int r = std::max(1, in_schema.max_arity());
+  const int width = 1 + r;  // relation tag + padded arguments
+
+  SegmentConstruction built;
+  built.c = c;
+  built.max_arity = r;
+  StatusOr<rel::RelationId> seg_id =
+      built.hat_schema.AddRelation("Seg", 3 + c * width);
+  IPDB_CHECK(seg_id.ok());
+  const rel::RelationId seg = seg_id.value();
+
+  // Facts of the TI-PDB.
+  pdb::TiPdb<double>::FactList ti_facts;
+  int64_t instance_id = 0;
+  for (const auto& [world, probability] : input.worlds()) {
+    if (probability <= 0.0) continue;  // w.l.o.g. p_i > 0
+    const int64_t s = world.size();
+    const int64_t segments =
+        std::max<int64_t>((s + c - 1) / c, 1);  // ŝ_i
+    const double q =
+        std::pow(probability / (1.0 + probability),
+                 1.0 / static_cast<double>(segments));
+    // The world's facts in canonical (sorted) order.
+    const std::vector<rel::Fact>& world_facts = world.facts();
+    for (int64_t j = 0; j < segments; ++j) {
+      std::vector<rel::Value> args;
+      args.push_back(rel::Value::Int(instance_id));
+      args.push_back(rel::Value::Int(j));
+      // Next pointer: ⊥ at the last segment.
+      if (j + 1 < segments) {
+        args.push_back(rel::Value::Int(j + 1));
+      } else {
+        args.push_back(rel::Value::Null());
+      }
+      // c slots of width 1+r.
+      for (int l = 0; l < c; ++l) {
+        int64_t fact_index = j * c + l;
+        if (fact_index < s) {
+          const rel::Fact& fact = world_facts[fact_index];
+          args.push_back(rel::Value::Int(fact.relation()));
+          for (const rel::Value& v : fact.args()) args.push_back(v);
+          for (int p = fact.arity(); p < r; ++p) {
+            args.push_back(rel::Value::Null());
+          }
+        } else {
+          for (int p = 0; p < width; ++p) {
+            args.push_back(rel::Value::Null());
+          }
+        }
+      }
+      ti_facts.emplace_back(rel::Fact(seg, std::move(args)), q);
+      built.marginal_sum += q;
+    }
+    ++instance_id;
+  }
+  StatusOr<pdb::TiPdb<double>> ti =
+      pdb::TiPdb<double>::Create(built.hat_schema, std::move(ti_facts));
+  if (!ti.ok()) return ti.status();
+  built.ti = std::move(ti).value();
+
+  // φ: exactly one complete chain.
+  built.condition =
+      Exactly(1, "u", CompleteFormula(seg, c, width, "u"));
+
+  // Φ: one definition per original relation. For relation R_k of arity
+  // r_k, a tuple x̄ is output iff some segment fact of the (unique)
+  // complete chain carries slot (k, x̄, ⊥-padding).
+  std::vector<logic::FoView::Definition> definitions;
+  for (rel::RelationId k = 0; k < in_schema.num_relations(); ++k) {
+    const int rk = in_schema.arity(k);
+    logic::FoView::Definition def;
+    def.output_relation = k;
+    for (int p = 0; p < rk; ++p) {
+      def.head_vars.push_back("x" + std::to_string(p));
+    }
+    std::vector<Formula> per_slot;
+    for (int l = 0; l < c; ++l) {
+      // Build the Seg atom with slot l pinned to (k, x̄, ⊥…) and the
+      // other slots as fresh variables.
+      std::vector<std::string> other_vars;
+      std::vector<std::vector<Term>> slots =
+          FreshSlots(c, width, "s" + std::to_string(l) + "_", &other_vars);
+      // Remove the variables of slot l from the quantifier list and
+      // replace the slot by the pinned terms.
+      std::vector<std::string> quantified;
+      for (const std::string& name : other_vars) {
+        bool in_slot_l =
+            name.rfind("s" + std::to_string(l) + "_" + std::to_string(l) +
+                           "_",
+                       0) == 0;
+        if (!in_slot_l) quantified.push_back(name);
+      }
+      std::vector<Term> pinned;
+      pinned.push_back(Term::Int(k));
+      for (int p = 0; p < rk; ++p) {
+        pinned.push_back(Term::Var("x" + std::to_string(p)));
+      }
+      for (int p = rk; p < r; ++p) {
+        pinned.push_back(Term::Const(rel::Value::Null()));
+      }
+      slots[l] = std::move(pinned);
+      Formula atom = SegAtom(seg, Term::Var("u"), Term::Var("j"),
+                             Term::Var("n"), slots);
+      quantified.insert(quantified.begin(), {"j", "n"});
+      per_slot.push_back(logic::ExistsAll(quantified, atom));
+    }
+    Formula body =
+        Exists("u", And(CompleteFormula(seg, c, width, "u"),
+                        logic::Or(std::move(per_slot))));
+    def.body = std::move(body);
+    definitions.push_back(std::move(def));
+  }
+  StatusOr<logic::FoView> view = logic::FoView::Create(
+      built.hat_schema, in_schema, std::move(definitions));
+  if (!view.ok()) return view.status();
+  built.view = std::move(view).value();
+  return built;
+}
+
+StatusOr<double> VerifySegmentConstruction(
+    const pdb::FinitePdb<double>& input, const SegmentConstruction& built) {
+  if (built.ti.num_facts() > 18) {
+    return FailedPreconditionError(
+        "too many TI facts for exhaustive verification");
+  }
+  pdb::FinitePdb<double> expanded = built.ti.Expand();
+  StatusOr<pdb::FinitePdb<double>> conditioned =
+      pdb::Condition(expanded, built.condition);
+  if (!conditioned.ok()) return conditioned.status();
+  StatusOr<pdb::FinitePdb<double>> image =
+      pdb::Pushforward(conditioned.value(), built.view);
+  if (!image.ok()) return image.status();
+  return pdb::TotalVariationDistance(input.DropNullWorlds(), image.value());
+}
+
+StatusOr<SegmentConstruction> BuildBoundedSizeConstruction(
+    const pdb::FinitePdb<double>& input) {
+  int bound = 1;
+  for (const auto& [world, probability] : input.worlds()) {
+    bound = std::max(bound, world.size());
+  }
+  return BuildSegmentConstruction(input, bound);
+}
+
+namespace {
+
+/// Shared lazy state of the countable segmented-fact family: cumulative
+/// fact counts per world, so fact indices map to (world, segment) pairs.
+struct SegmentFamilyState {
+  pdb::CountablePdb input;
+  int c;
+  int r;      // max input arity
+  int width;  // 1 + r
+  // cumulative[i] = number of segment facts of worlds 0..i-1.
+  std::vector<int64_t> cumulative = {0};
+
+  int64_t SegmentsOf(int64_t world) const {
+    int64_t s = input.SizeAt(world);
+    return std::max<int64_t>((s + c - 1) / c, 1);
+  }
+
+  /// Ensures the cumulative table covers fact index k; returns the world
+  /// index owning fact k and its segment offset.
+  std::pair<int64_t, int64_t> Locate(int64_t k) {
+    while (cumulative.back() <= k) {
+      int64_t world = static_cast<int64_t>(cumulative.size()) - 1;
+      cumulative.push_back(cumulative.back() + SegmentsOf(world));
+    }
+    auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), k) - 1;
+    int64_t world = it - cumulative.begin();
+    return {world, k - *it};
+  }
+
+  double MarginalOf(int64_t world) const {
+    double p = input.ProbAt(world);
+    return std::pow(p / (1.0 + p),
+                    1.0 / static_cast<double>(SegmentsOf(world)));
+  }
+
+  rel::Fact FactOf(rel::RelationId seg, int64_t world, int64_t j) {
+    rel::Instance instance = input.WorldAt(world);
+    const int64_t s = instance.size();
+    const int64_t segments = SegmentsOf(world);
+    std::vector<rel::Value> args;
+    args.push_back(rel::Value::Int(world));
+    args.push_back(rel::Value::Int(j));
+    if (j + 1 < segments) {
+      args.push_back(rel::Value::Int(j + 1));
+    } else {
+      args.push_back(rel::Value::Null());
+    }
+    for (int l = 0; l < c; ++l) {
+      int64_t fact_index = j * c + l;
+      if (fact_index < s) {
+        const rel::Fact& fact = instance.facts()[fact_index];
+        args.push_back(rel::Value::Int(fact.relation()));
+        for (const rel::Value& v : fact.args()) args.push_back(v);
+        for (int p = fact.arity(); p < r; ++p) {
+          args.push_back(rel::Value::Null());
+        }
+      } else {
+        for (int p = 0; p < width; ++p) args.push_back(rel::Value::Null());
+      }
+    }
+    return rel::Fact(seg, std::move(args));
+  }
+};
+
+}  // namespace
+
+StatusOr<pdb::CountableTiPdb> BuildSegmentTiFamily(
+    const pdb::CountablePdb& input, int c,
+    std::function<double(int64_t N)> ceiling_tail_upper) {
+  if (c < 1) return InvalidArgumentError("segment width c must be >= 1");
+  if (!ceiling_tail_upper) {
+    return InvalidArgumentError(
+        "the countable construction needs a ceiling-criterion tail "
+        "certificate");
+  }
+  const int r = std::max(1, input.schema().max_arity());
+  auto state = std::make_shared<SegmentFamilyState>(
+      SegmentFamilyState{input, c, r, 1 + r});
+
+  pdb::CountableTiPdb::Family family;
+  StatusOr<rel::RelationId> seg_id =
+      family.schema.AddRelation("Seg", 3 + c * (1 + r));
+  IPDB_CHECK(seg_id.ok());
+  const rel::RelationId seg = seg_id.value();
+
+  family.fact_at = [state, seg](int64_t k) {
+    auto [world, j] = state->Locate(k);
+    return state->FactOf(seg, world, j);
+  };
+  family.marginal_at = [state](int64_t k) {
+    auto [world, j] = state->Locate(k);
+    (void)j;
+    return state->MarginalOf(world);
+  };
+  family.marginal_tail_upper = [state, tail = std::move(ceiling_tail_upper)](
+                                   int64_t N) {
+    // Facts >= N belong to the world owning N (at most its full
+    // ŝ_w · q_w mass) plus all later worlds, bounded by the
+    // ceiling-criterion tail: ŝ_i q_i <= ⌈s_i/c⌉ p_i^{1/ŝ_i}.
+    auto [world, j] = state->Locate(std::max<int64_t>(N, 0));
+    (void)j;
+    double current = static_cast<double>(state->SegmentsOf(world)) *
+                     state->MarginalOf(world);
+    return current + tail(world + 1);
+  };
+  family.marginal_tail_lower = [](int64_t) { return 0.0; };
+  family.description =
+      "Lemma 5.1 segmented-fact family (c=" + std::to_string(c) + ") over " +
+      input.description();
+  return pdb::CountableTiPdb::Create(std::move(family));
+}
+
+}  // namespace core
+}  // namespace ipdb

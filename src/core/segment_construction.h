@@ -1,0 +1,102 @@
+#ifndef IPDB_CORE_SEGMENT_CONSTRUCTION_H_
+#define IPDB_CORE_SEGMENT_CONSTRUCTION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "logic/formula.h"
+#include "logic/view.h"
+#include "pdb/countable_pdb.h"
+#include "pdb/finite_pdb.h"
+#include "pdb/ti_pdb.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace core {
+
+/// Lemma 5.1 / Theorem 5.3 — the segmented-fact construction, made
+/// executable.
+///
+/// Given a PDB D = {D_0, D_1, …} and c ∈ ℕ₊, every instance D_i is cut
+/// into ŝ_i = max(⌈|D_i|/c⌉, 1) *segments* of up to c facts each. Each
+/// segment becomes one fact of a new TI-PDB:
+///
+///   Seg(i, j, next_j, slot_1, …, slot_c)
+///
+/// where i is the instance identifier, j the segment identifier, next_j
+/// the next-segment pointer (⊥ at the chain's end) and each slot encodes
+/// one original fact as (relation-tag, a_1, …, a_r) padded with ⊥ (r =
+/// maximum input arity — this generalizes the paper's single-relation
+/// presentation to arbitrary schemas). All facts of instance i get the
+/// i.i.d. marginal q = (p_i / (1+p_i))^{1/ŝ_i}, so that drawing all of
+/// them has probability p_i/(1+p_i).
+///
+/// The FO sentence φ ("is a representation") checks that *exactly one*
+/// instance identifier u has a complete chain: a segment-0 fact plus
+/// closure under next-pointers. The FO view Φ recovers the original
+/// facts of the represented instance from the slots. Conditioning the
+/// TI-PDB on φ and applying Φ reproduces D exactly — the
+/// FO(TI | FO) representation of Lemma 5.1 (Theorem 4.1 then removes
+/// the condition).
+
+/// The construction output for a finite input PDB.
+struct SegmentConstruction {
+  /// Schema {Seg/(3 + c·(1+r))} of the TI-PDB.
+  rel::Schema hat_schema;
+  /// The tuple-independent PDB Î (marginals are irrational in general;
+  /// carried as doubles).
+  pdb::TiPdb<double> ti;
+  /// φ: "the drawn instance is a representation".
+  logic::Formula condition;
+  /// Φ: maps representations to the instance they represent.
+  logic::FoView view;
+  /// Parameters for reference.
+  int c = 1;
+  int max_arity = 0;
+  /// Σ_t q_t, the marginal mass (finite by the criterion; Theorem 2.4).
+  double marginal_sum = 0.0;
+};
+
+/// Builds the construction for a finite PDB (zero-probability worlds are
+/// skipped, mirroring the paper's w.l.o.g. p_i > 0). Fails if c < 1 or
+/// the input is empty.
+StatusOr<SegmentConstruction> BuildSegmentConstruction(
+    const pdb::FinitePdb<double>& input, int c);
+
+/// End-to-end verification: expands the TI-PDB (requires few enough
+/// facts), conditions on φ, pushes forward through Φ, and returns the
+/// total variation distance to the input (≈0 up to floating point; the
+/// construction is exact in exact arithmetic).
+StatusOr<double> VerifySegmentConstruction(
+    const pdb::FinitePdb<double>& input, const SegmentConstruction& built);
+
+/// Corollary 5.4 helper: for a PDB of bounded instance size, c = bound
+/// makes every world a single segmented fact. Returns that construction.
+StatusOr<SegmentConstruction> BuildBoundedSizeConstruction(
+    const pdb::FinitePdb<double>& input);
+
+/// The construction at the countable level: from a countable PDB whose
+/// *ceiling criterion* sum Σ_i ⌈|D_i|/c⌉ P(D_i)^{1/⌈|D_i|/c⌉} has a
+/// certified tail (the Lemma D.1 form of Theorem 5.3's condition), build
+/// the countably infinite TI-PDB of segmented facts. The world-level
+/// grouping is the same as in the finite construction; facts are
+/// enumerated world-by-world, and the marginal tail certificate is
+/// derived from the ceiling-criterion tail via
+///
+///   Σ_{t in worlds >= M} q_t <= Σ_{i >= M} ŝ_i (p_i/(1+p_i))^{1/ŝ_i}
+///                            <= Σ_{i >= M} ⌈s_i/c⌉ p_i^{1/ŝ_i},
+///
+/// the exact sum the paper bounds in the Lemma 5.1 proof. The schema and
+/// fact layout match the finite construction, so the same condition φ
+/// and view Φ (built once by BuildSegmentConstruction on any finite
+/// prefix) apply to sampled worlds of the countable family.
+///
+/// `ceiling_tail_upper(N)` must bound Σ_{i >= N} ⌈s_i/c⌉ p_i^{1/⌈s_i/c⌉}.
+StatusOr<pdb::CountableTiPdb> BuildSegmentTiFamily(
+    const pdb::CountablePdb& input, int c,
+    std::function<double(int64_t N)> ceiling_tail_upper);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_SEGMENT_CONSTRUCTION_H_

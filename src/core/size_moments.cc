@@ -1,0 +1,97 @@
+#include "core/size_moments.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace core {
+
+std::string FiniteMomentsReport::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < moments.size(); ++i) {
+    os << "E[|D|^" << (i + 1) << "]: " << moments[i].ToString() << "\n";
+  }
+  if (all_finite_certified) {
+    os << "all analyzed moments finite (necessary condition for FO(TI) "
+          "holds)\n";
+  } else if (first_infinite_moment > 0) {
+    os << "moment " << first_infinite_moment
+       << " diverges: NOT in FO(TI) by Proposition 3.4\n";
+  } else {
+    os << "inconclusive\n";
+  }
+  return os.str();
+}
+
+FiniteMomentsReport CheckFiniteMoments(const pdb::CountablePdb& pdb,
+                                       int max_k, const SumOptions& options) {
+  IPDB_CHECK_GE(max_k, 1);
+  FiniteMomentsReport report;
+  report.all_finite_certified = true;
+  for (int k = 1; k <= max_k; ++k) {
+    SumAnalysis analysis = pdb.AnalyzeMoment(k, options);
+    if (analysis.kind != SumAnalysis::Kind::kConverged) {
+      report.all_finite_certified = false;
+    }
+    if (report.first_infinite_moment == 0 &&
+        analysis.kind == SumAnalysis::Kind::kDiverged) {
+      report.first_infinite_moment = k;
+    }
+    report.moments.push_back(std::move(analysis));
+  }
+  return report;
+}
+
+double ViewMomentUpperBound(int m, int r, int r_prime, int c, int k,
+                            const std::vector<double>& input_moments) {
+  IPDB_CHECK_GE(m, 1);
+  IPDB_CHECK_GE(r, 0);
+  IPDB_CHECK_GE(r_prime, 1);
+  IPDB_CHECK_GE(c, 0);
+  IPDB_CHECK_GE(k, 1);
+  const int rk = r * k;
+  IPDB_CHECK_GE(static_cast<int>(input_moments.size()), rk + 1)
+      << "need input moments up to order r*k";
+  double total = 0.0;
+  double binom = 1.0;  // C(rk, j), updated incrementally
+  for (int j = 0; j <= rk; ++j) {
+    total += binom *
+             std::pow(static_cast<double>(r_prime), static_cast<double>(j)) *
+             std::pow(static_cast<double>(c), static_cast<double>(rk - j)) *
+             input_moments[j];
+    binom = binom * static_cast<double>(rk - j) / static_cast<double>(j + 1);
+  }
+  return std::pow(static_cast<double>(m), static_cast<double>(k)) * total;
+}
+
+StatusOr<double> PushforwardMomentUpperBound(const pdb::CountableTiPdb& ti,
+                                             const logic::FoView& view,
+                                             int k, int64_t prefix) {
+  const rel::Schema& out = view.output_schema();
+  int m = out.num_relations();
+  int r = out.max_arity();
+  int r_prime = std::max(1, ti.schema().max_arity());
+  int c = view.NumConstants();
+
+  const int rk = r * k;
+  std::vector<double> input_moments(rk + 1);
+  input_moments[0] = 1.0;
+  for (int j = 1; j <= rk; ++j) {
+    StatusOr<Interval> moment = ti.SizeMomentInterval(j, prefix);
+    if (!moment.ok()) return moment.status();
+    if (!moment.value().is_finite()) {
+      return InternalError(
+          "TI moment bound not finite — tail certificate too weak");
+    }
+    input_moments[j] = moment.value().hi();
+  }
+  // 0^0 in the c = 0 case: the only non-zero summand is j = rk, which the
+  // loop handles since pow(0, 0) == 1 in IEEE. The j < rk summands
+  // correctly vanish.
+  return ViewMomentUpperBound(m, r, r_prime, c, k, input_moments);
+}
+
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,67 @@
+#ifndef IPDB_CORE_SIZE_MOMENTS_H_
+#define IPDB_CORE_SIZE_MOMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/view.h"
+#include "pdb/countable_pdb.h"
+#include "pdb/ti_pdb.h"
+#include "util/interval.h"
+#include "util/series.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace core {
+
+/// Section 3.1 — the finite moments property as executable analysis.
+///
+/// Proposition 3.2: every TI-PDB has all size moments finite.
+/// Lemma 3.3:       FO-views preserve the finite moments property.
+/// Proposition 3.4: hence so does FO(TI) — giving the paper's first
+///                  necessary condition for representability.
+
+/// Outcome of checking moments 1..max_k of a countable PDB.
+struct FiniteMomentsReport {
+  /// Per-k analysis (index 0 holds k=1).
+  std::vector<SumAnalysis> moments;
+
+  /// True iff every analyzed moment was certified convergent.
+  bool all_finite_certified = false;
+
+  /// Index (k) of the first moment certified divergent, or 0 if none.
+  int first_infinite_moment = 0;
+
+  std::string ToString() const;
+};
+
+/// Analyzes E[|D|^k] for k = 1..max_k. A certified-divergent moment is a
+/// Proposition 3.4 witness that the PDB is NOT in FO(TI).
+FiniteMomentsReport CheckFiniteMoments(const pdb::CountablePdb& pdb,
+                                       int max_k,
+                                       const SumOptions& options = {});
+
+/// Quantitative Lemma 3.3: an upper bound on E[|V(D)|^k] from the input
+/// moments. With m output relations of maximum arity r, c view constants
+/// and maximum input arity r', the lemma shows
+///
+///   E[|V(D)|^k] <= m^k Σ_{j=0}^{rk} C(rk, j) r'^j c^{rk-j} E[|D|^j].
+///
+/// `input_moments[j]` must bound E[|D|^j] for j = 0..rk (so the vector
+/// needs rk+1 entries, entry 0 being 1).
+double ViewMomentUpperBound(int m, int r, int r_prime, int c, int k,
+                            const std::vector<double>& input_moments);
+
+/// Convenience wrapper deriving (m, r, c) from a view and r' from its
+/// input schema, and the input moments from a countable TI-PDB via
+/// Proposition 3.2's quantitative form. Returns an upper bound on the
+/// k-th size moment of the image PDB (a concrete instance of
+/// Proposition 3.4).
+StatusOr<double> PushforwardMomentUpperBound(const pdb::CountableTiPdb& ti,
+                                             const logic::FoView& view,
+                                             int k, int64_t prefix = 4096);
+
+}  // namespace core
+}  // namespace ipdb
+
+#endif  // IPDB_CORE_SIZE_MOMENTS_H_

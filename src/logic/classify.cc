@@ -1,0 +1,85 @@
+#include "logic/classify.h"
+
+#include "relational/instance.h"
+
+namespace ipdb {
+namespace logic {
+
+bool IsConjunctiveQuery(const Formula& formula) {
+  switch (formula.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return true;
+    case FormulaKind::kAnd:
+    case FormulaKind::kExists:
+      for (const Formula& child : formula.children()) {
+        if (!IsConjunctiveQuery(child)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsUnionOfConjunctiveQueries(const Formula& formula) {
+  switch (formula.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return true;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kExists:
+      for (const Formula& child : formula.children()) {
+        if (!IsUnionOfConjunctiveQueries(child)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSyntacticallyMonotone(const Formula& formula) {
+  // Same constructor set as UCQ; kept separate because the two notions
+  // diverge once built-in predicates are added.
+  return IsUnionOfConjunctiveQueries(formula);
+}
+
+bool IsCqView(const FoView& view) {
+  for (const FoView::Definition& def : view.definitions()) {
+    if (!IsConjunctiveQuery(def.body)) return false;
+  }
+  return true;
+}
+
+bool IsUcqView(const FoView& view) {
+  for (const FoView::Definition& def : view.definitions()) {
+    if (!IsUnionOfConjunctiveQueries(def.body)) return false;
+  }
+  return true;
+}
+
+bool IsMonotoneView(const FoView& view) {
+  for (const FoView::Definition& def : view.definitions()) {
+    if (!IsSyntacticallyMonotone(def.body)) return false;
+  }
+  return true;
+}
+
+bool CheckMonotoneOnSample(const FoView& view,
+                           const std::vector<rel::Instance>& instances) {
+  for (const rel::Instance& a : instances) {
+    for (const rel::Instance& b : instances) {
+      if (!a.IsSubsetOf(b)) continue;
+      rel::Instance va = view.ApplyOrDie(a);
+      rel::Instance vb = view.ApplyOrDie(b);
+      if (!va.IsSubsetOf(vb)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace logic
+}  // namespace ipdb

@@ -1,0 +1,45 @@
+#ifndef IPDB_LOGIC_CLASSIFY_H_
+#define IPDB_LOGIC_CLASSIFY_H_
+
+#include "logic/formula.h"
+#include "logic/view.h"
+
+namespace ipdb {
+namespace logic {
+
+/// Syntactic query-class membership (Section 2, "First-Order Logic").
+///
+/// The classes are syntactic: a formula may be *equivalent* to a CQ
+/// without being one. The paper's arguments (Prop. 6.4, Fig. 1) use
+/// syntactic membership, which is what these predicates decide.
+
+/// Conjunctive query: atoms, equalities, ⊤, conjunction and existential
+/// quantification only.
+bool IsConjunctiveQuery(const Formula& formula);
+
+/// Union of conjunctive queries: CQ constructors plus disjunction and ⊥.
+/// (Any formula built from these is equivalent to a disjunction of CQs.)
+bool IsUnionOfConjunctiveQueries(const Formula& formula);
+
+/// Positive-existential / syntactically monotone: no negation, no
+/// implication, no biconditional, no universal quantifier, and no
+/// *inequality* (negated equality is already excluded by "no negation").
+/// Every such formula defines a monotone query (Section 6.1).
+bool IsSyntacticallyMonotone(const Formula& formula);
+
+/// View-level versions: every definition body satisfies the predicate.
+bool IsCqView(const FoView& view);
+bool IsUcqView(const FoView& view);
+bool IsMonotoneView(const FoView& view);
+
+/// Dynamic monotonicity check on a sample: verifies
+/// D ⊆ D' ⇒ V(D) ⊆ V(D') for all given pairs with D ⊆ D'. Returns false
+/// if any pair violates monotonicity (a certificate that the view is not
+/// monotone); true means "monotone on this sample".
+bool CheckMonotoneOnSample(const FoView& view,
+                           const std::vector<rel::Instance>& instances);
+
+}  // namespace logic
+}  // namespace ipdb
+
+#endif  // IPDB_LOGIC_CLASSIFY_H_

@@ -1,0 +1,443 @@
+#include "logic/evaluator.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <unordered_set>
+
+#include "relational/fact.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace logic {
+
+namespace {
+
+/// Shared evaluation state: the instance's fact set (hashed for O(1) atom
+/// lookups), the schema, and the quantifier ground set.
+struct EvalContext {
+  const rel::Schema* schema;
+  std::unordered_set<rel::Fact, rel::FactHash> facts;
+  std::vector<rel::Value> domain;
+  bool use_guards = true;
+};
+
+StatusOr<rel::Value> ResolveTerm(const Term& term,
+                                 const Assignment& assignment) {
+  if (term.is_const()) return term.value();
+  auto it = assignment.find(term.var());
+  if (it == assignment.end()) {
+    return InvalidArgumentError("unbound variable: " + term.var());
+  }
+  return it->second;
+}
+
+/// Guard analysis: a *guard* for variable x in a positive context is a
+/// relational atom that must hold (as a conjunct) for the formula to hold
+/// and that mentions x. Then x can only take values occurring at x's
+/// positions in matching facts — turning quantifier enumeration over the
+/// whole domain into a scan of the instance, which is what makes the
+/// paper's construction sentences (Claims 4.3, 5.2, 5.8) checkable in
+/// practice.
+///
+/// Returns candidates for `var` implied by a guard in `formula`, or
+/// nullopt if no guard was found. Soundness: the returned set is a
+/// superset-filter — every value of `var` making the formula true (under
+/// the current partial assignment) is in the set. Terms bound by the
+/// current assignment are matched against fact values; unbound variables
+/// other than `var` act as wildcards.
+std::optional<std::vector<rel::Value>> GuardCandidates(
+    const EvalContext& context, const Formula& formula,
+    const std::string& var, const Assignment& assignment,
+    const std::set<std::string>& shadowed = {}) {
+  switch (formula.kind()) {
+    case FormulaKind::kAtom: {
+      // Does the atom mention `var`?
+      bool mentions = false;
+      for (const Term& t : formula.terms()) {
+        if (t.is_var() && t.var() == var) mentions = true;
+      }
+      if (!mentions) return std::nullopt;
+      std::vector<rel::Value> candidates;
+      for (const rel::Fact& fact : context.facts) {
+        if (fact.relation() != formula.relation()) continue;
+        if (fact.arity() != static_cast<int>(formula.terms().size())) {
+          continue;
+        }
+        bool matches = true;
+        std::optional<rel::Value> var_value;
+        for (int i = 0; i < fact.arity() && matches; ++i) {
+          const Term& t = formula.terms()[i];
+          if (t.is_const()) {
+            matches = fact.args()[i] == t.value();
+          } else if (t.var() == var) {
+            if (var_value.has_value()) {
+              matches = fact.args()[i] == *var_value;
+            } else {
+              var_value = fact.args()[i];
+            }
+          } else if (shadowed.count(t.var()) == 0) {
+            // Outer bindings constrain the match — but only for
+            // variables not re-bound by a quantifier between here and
+            // the guard query (those are wildcards).
+            auto it = assignment.find(t.var());
+            if (it != assignment.end()) {
+              matches = fact.args()[i] == it->second;
+            }
+          }
+        }
+        if (matches && var_value.has_value()) {
+          candidates.push_back(*var_value);
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      return candidates;
+    }
+    case FormulaKind::kAnd: {
+      // Any guarded conjunct guards the conjunction; prefer the smallest
+      // candidate set found.
+      std::optional<std::vector<rel::Value>> best;
+      for (const Formula& child : formula.children()) {
+        std::optional<std::vector<rel::Value>> guard =
+            GuardCandidates(context, child, var, assignment, shadowed);
+        if (guard.has_value() &&
+            (!best.has_value() || guard->size() < best->size())) {
+          best = std::move(guard);
+        }
+      }
+      return best;
+    }
+    case FormulaKind::kOr: {
+      // Every disjunct must guard; candidates are the union.
+      std::vector<rel::Value> all;
+      for (const Formula& child : formula.children()) {
+        std::optional<std::vector<rel::Value>> guard =
+            GuardCandidates(context, child, var, assignment, shadowed);
+        if (!guard.has_value()) return std::nullopt;
+        all.insert(all.end(), guard->begin(), guard->end());
+      }
+      std::sort(all.begin(), all.end());
+      all.erase(std::unique(all.begin(), all.end()), all.end());
+      return all;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      // ∃y ψ true at x needs ψ true for some y; ∀y ψ true at x needs ψ
+      // true for every y, hence for some y. Either way x satisfies ψ's
+      // guard (computed with y as a wildcard — a sound superset).
+      if (formula.quantified_var() == var) return std::nullopt;
+      std::set<std::string> inner = shadowed;
+      inner.insert(formula.quantified_var());
+      return GuardCandidates(context, formula.children()[0], var,
+                             assignment, inner);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Co-guard analysis for universal quantification: candidates outside
+/// which the body is guaranteed TRUE (so ∀ only needs to check the
+/// candidates). Succeeds for bodies of the shapes
+///   Implies(γ, δ)   — body false requires γ true, so guard(γ);
+///   Or(…, ¬ψ, …)    — body false requires ψ true, so guard(ψ);
+///   ¬ψ              — likewise.
+std::optional<std::vector<rel::Value>> CoGuardCandidates(
+    const EvalContext& context, const Formula& formula,
+    const std::string& var, const Assignment& assignment,
+    const std::set<std::string>& shadowed = {}) {
+  switch (formula.kind()) {
+    case FormulaKind::kImplies:
+      return GuardCandidates(context, formula.children()[0], var,
+                             assignment, shadowed);
+    case FormulaKind::kNot:
+      return GuardCandidates(context, formula.children()[0], var,
+                             assignment, shadowed);
+    case FormulaKind::kOr: {
+      for (const Formula& child : formula.children()) {
+        if (child.kind() == FormulaKind::kNot) {
+          std::optional<std::vector<rel::Value>> guard = GuardCandidates(
+              context, child.children()[0], var, assignment, shadowed);
+          if (guard.has_value()) return guard;
+        }
+      }
+      return std::nullopt;
+    }
+    case FormulaKind::kAnd: {
+      // False requires some conjunct false: union of co-guards, all
+      // conjuncts must have one (a conjunct without a co-guard could be
+      // falsified anywhere).
+      std::vector<rel::Value> all;
+      for (const Formula& child : formula.children()) {
+        std::optional<std::vector<rel::Value>> guard =
+            CoGuardCandidates(context, child, var, assignment, shadowed);
+        if (!guard.has_value()) return std::nullopt;
+        all.insert(all.end(), guard->begin(), guard->end());
+      }
+      std::sort(all.begin(), all.end());
+      all.erase(std::unique(all.begin(), all.end()), all.end());
+      return all;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      // ∃y ψ false at x means ψ false for every y (in particular one);
+      // ∀y ψ false at x means ψ false for some y. Either way x lies in
+      // ψ's co-guard computed with y as a wildcard.
+      if (formula.quantified_var() == var) return std::nullopt;
+      std::set<std::string> inner = shadowed;
+      inner.insert(formula.quantified_var());
+      return CoGuardCandidates(context, formula.children()[0], var,
+                               assignment, inner);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+StatusOr<bool> EvalNode(const EvalContext& context, const Formula& formula,
+                        Assignment* assignment) {
+  switch (formula.kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom: {
+      if (!context.schema->has_relation(formula.relation()) ||
+          context.schema->arity(formula.relation()) !=
+              static_cast<int>(formula.terms().size())) {
+        return InvalidArgumentError("atom does not match schema: " +
+                                    formula.ToString(*context.schema));
+      }
+      std::vector<rel::Value> args;
+      args.reserve(formula.terms().size());
+      for (const Term& t : formula.terms()) {
+        StatusOr<rel::Value> v = ResolveTerm(t, *assignment);
+        if (!v.ok()) return v.status();
+        args.push_back(std::move(v).value());
+      }
+      return context.facts.count(rel::Fact(formula.relation(),
+                                           std::move(args))) != 0;
+    }
+    case FormulaKind::kEquals: {
+      StatusOr<rel::Value> lhs = ResolveTerm(formula.terms()[0], *assignment);
+      if (!lhs.ok()) return lhs.status();
+      StatusOr<rel::Value> rhs = ResolveTerm(formula.terms()[1], *assignment);
+      if (!rhs.ok()) return rhs.status();
+      return lhs.value() == rhs.value();
+    }
+    case FormulaKind::kNot: {
+      StatusOr<bool> inner = EvalNode(context, formula.children()[0],
+                                      assignment);
+      if (!inner.ok()) return inner.status();
+      return !inner.value();
+    }
+    case FormulaKind::kAnd: {
+      for (const Formula& child : formula.children()) {
+        StatusOr<bool> v = EvalNode(context, child, assignment);
+        if (!v.ok()) return v.status();
+        if (!v.value()) return false;
+      }
+      return true;
+    }
+    case FormulaKind::kOr: {
+      for (const Formula& child : formula.children()) {
+        StatusOr<bool> v = EvalNode(context, child, assignment);
+        if (!v.ok()) return v.status();
+        if (v.value()) return true;
+      }
+      return false;
+    }
+    case FormulaKind::kImplies: {
+      StatusOr<bool> premise = EvalNode(context, formula.children()[0],
+                                        assignment);
+      if (!premise.ok()) return premise.status();
+      if (!premise.value()) return true;
+      return EvalNode(context, formula.children()[1], assignment);
+    }
+    case FormulaKind::kIff: {
+      StatusOr<bool> lhs = EvalNode(context, formula.children()[0],
+                                    assignment);
+      if (!lhs.ok()) return lhs.status();
+      StatusOr<bool> rhs = EvalNode(context, formula.children()[1],
+                                    assignment);
+      if (!rhs.ok()) return rhs.status();
+      return lhs.value() == rhs.value();
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      const bool is_exists = formula.kind() == FormulaKind::kExists;
+      const std::string& var = formula.quantified_var();
+      const Formula& body = formula.children()[0];
+      // Guard analysis: restrict the iteration to the values that can
+      // matter. For ∃ these are the only values that can make the body
+      // true; for ∀ the body is vacuously true outside the co-guard set.
+      std::optional<std::vector<rel::Value>> guard;
+      if (context.use_guards) {
+        guard = is_exists
+                    ? GuardCandidates(context, body, var, *assignment)
+                    : CoGuardCandidates(context, body, var, *assignment);
+      }
+      const std::vector<rel::Value>& domain =
+          guard.has_value() ? *guard : context.domain;
+      // Save and restore any outer binding of the same name.
+      auto outer = assignment->find(var);
+      bool had_outer = outer != assignment->end();
+      rel::Value saved = had_outer ? outer->second : rel::Value();
+      for (const rel::Value& candidate : domain) {
+        (*assignment)[var] = candidate;
+        StatusOr<bool> v = EvalNode(context, body, assignment);
+        if (!v.ok()) return v.status();
+        if (v.value() == is_exists) {
+          if (had_outer) {
+            (*assignment)[var] = saved;
+          } else {
+            assignment->erase(var);
+          }
+          return is_exists;
+        }
+      }
+      if (had_outer) {
+        (*assignment)[var] = saved;
+      } else {
+        assignment->erase(var);
+      }
+      return !is_exists;
+    }
+  }
+  return InternalError("unhandled formula kind");
+}
+
+EvalContext MakeContext(const rel::Instance& instance,
+                        const rel::Schema& schema, const Formula& formula,
+                        const Assignment& assignment) {
+  EvalContext context;
+  context.schema = &schema;
+  context.facts.reserve(instance.facts().size() * 2 + 1);
+  for (const rel::Fact& f : instance.facts()) context.facts.insert(f);
+
+  std::set<rel::Value> domain;
+  for (const rel::Value& v : instance.ActiveDomain()) domain.insert(v);
+  for (const rel::Value& v : formula.Constants()) domain.insert(v);
+  for (const auto& [name, value] : assignment) domain.insert(value);
+  // Fresh generic elements, one per quantifier level, distinct from
+  // everything above. Symbols beginning with '$' are reserved for this.
+  int rank = formula.QuantifierRank();
+  for (int i = 0; i < rank; ++i) {
+    domain.insert(rel::Value::Symbol("$fresh" + std::to_string(i)));
+  }
+  context.domain.assign(domain.begin(), domain.end());
+  return context;
+}
+
+}  // namespace
+
+std::vector<rel::Value> QuantifierDomain(const rel::Instance& instance,
+                                         const Formula& formula) {
+  EvalContext context = MakeContext(instance, rel::Schema(), formula, {});
+  return context.domain;
+}
+
+StatusOr<bool> Evaluate(const rel::Instance& instance,
+                        const rel::Schema& schema, const Formula& formula,
+                        const Assignment& assignment,
+                        const EvalOptions& options) {
+  EvalContext context = MakeContext(instance, schema, formula, assignment);
+  context.use_guards = options.use_guards;
+  Assignment working = assignment;
+  return EvalNode(context, formula, &working);
+}
+
+bool Satisfies(const rel::Instance& instance, const rel::Schema& schema,
+               const Formula& sentence) {
+  StatusOr<bool> result = Evaluate(instance, schema, sentence);
+  IPDB_CHECK(result.ok()) << result.status().ToString() << " in sentence "
+                          << sentence.ToString(schema);
+  return result.value();
+}
+
+StatusOr<std::vector<std::vector<rel::Value>>> EvaluateQuery(
+    const rel::Instance& instance, const rel::Schema& schema,
+    const Formula& formula, const std::vector<std::string>& free_vars) {
+  // Verify coverage of free variables.
+  std::vector<std::string> actual_free = formula.FreeVariables();
+  for (const std::string& v : actual_free) {
+    if (std::find(free_vars.begin(), free_vars.end(), v) ==
+        free_vars.end()) {
+      return InvalidArgumentError("free variable " + v +
+                                  " not covered by the head");
+    }
+  }
+
+  EvalContext context = MakeContext(instance, schema, formula, {});
+  // Output candidates: adom ∪ consts only (no fresh elements) — the
+  // output-safety convention. Fresh elements stay in context.domain for
+  // the inner quantifiers.
+  std::set<rel::Value> candidate_set;
+  for (const rel::Value& v : instance.ActiveDomain()) {
+    candidate_set.insert(v);
+  }
+  for (const rel::Value& v : formula.Constants()) candidate_set.insert(v);
+  std::vector<rel::Value> all_candidates(candidate_set.begin(),
+                                         candidate_set.end());
+
+  std::vector<std::vector<rel::Value>> results;
+  if (free_vars.empty()) {
+    Assignment assignment;
+    StatusOr<bool> v = EvalNode(context, formula, &assignment);
+    if (!v.ok()) return v.status();
+    if (v.value()) results.push_back({});
+    return results;
+  }
+  if (all_candidates.empty()) return results;
+
+  // Per-variable candidate lists, narrowed by guard analysis where an
+  // atom pins the variable to values occurring in the instance.
+  std::vector<std::vector<rel::Value>> per_var(free_vars.size());
+  for (size_t i = 0; i < free_vars.size(); ++i) {
+    std::optional<std::vector<rel::Value>> guard =
+        GuardCandidates(context, formula, free_vars[i], {});
+    if (guard.has_value()) {
+      // Guards may surface fresh/constant values not in the output
+      // convention set; intersect to stay output-safe.
+      for (const rel::Value& v : *guard) {
+        if (candidate_set.count(v) != 0) per_var[i].push_back(v);
+      }
+    } else {
+      per_var[i] = all_candidates;
+    }
+    if (per_var[i].empty()) return results;
+  }
+
+  // Enumerate the product of the candidate lists with an odometer.
+  std::vector<size_t> odometer(free_vars.size(), 0);
+  Assignment assignment;
+  while (true) {
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      assignment[free_vars[i]] = per_var[i][odometer[i]];
+    }
+    StatusOr<bool> v = EvalNode(context, formula, &assignment);
+    if (!v.ok()) return v.status();
+    if (v.value()) {
+      std::vector<rel::Value> tuple;
+      tuple.reserve(free_vars.size());
+      for (size_t i = 0; i < free_vars.size(); ++i) {
+        tuple.push_back(per_var[i][odometer[i]]);
+      }
+      results.push_back(std::move(tuple));
+    }
+    // Advance odometer.
+    size_t pos = 0;
+    while (pos < odometer.size()) {
+      if (++odometer[pos] < per_var[pos].size()) break;
+      odometer[pos] = 0;
+      ++pos;
+    }
+    if (pos == odometer.size()) break;
+  }
+  return results;
+}
+
+}  // namespace logic
+}  // namespace ipdb

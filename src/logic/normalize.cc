@@ -1,0 +1,268 @@
+#include "logic/normalize.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace logic {
+
+namespace {
+
+Formula NnfImpl(const Formula& formula, bool negated) {
+  switch (formula.kind()) {
+    case FormulaKind::kTrue:
+      return negated ? Falsity() : Truth();
+    case FormulaKind::kFalse:
+      return negated ? Truth() : Falsity();
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return negated ? Not(formula) : formula;
+    case FormulaKind::kNot:
+      return NnfImpl(formula.children()[0], !negated);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<Formula> children;
+      children.reserve(formula.children().size());
+      for (const Formula& child : formula.children()) {
+        children.push_back(NnfImpl(child, negated));
+      }
+      bool make_and = (formula.kind() == FormulaKind::kAnd) != negated;
+      return make_and ? And(std::move(children)) : Or(std::move(children));
+    }
+    case FormulaKind::kImplies: {
+      // a → b ≡ ¬a ∨ b.
+      Formula not_a = NnfImpl(formula.children()[0], !negated);
+      Formula b = NnfImpl(formula.children()[1], negated);
+      // Negated: ¬(a → b) ≡ a ∧ ¬b.
+      return negated ? And(std::move(not_a), std::move(b))
+                     : Or(std::move(not_a), std::move(b));
+    }
+    case FormulaKind::kIff: {
+      // a ↔ b ≡ (a ∧ b) ∨ (¬a ∧ ¬b); negated swaps one side.
+      const Formula& a = formula.children()[0];
+      const Formula& b = formula.children()[1];
+      Formula pos_a = NnfImpl(a, false);
+      Formula neg_a = NnfImpl(a, true);
+      Formula pos_b = NnfImpl(b, negated);
+      Formula neg_b = NnfImpl(b, !negated);
+      return Or(And(std::move(pos_a), std::move(pos_b)),
+                And(std::move(neg_a), std::move(neg_b)));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      Formula body = NnfImpl(formula.children()[0], negated);
+      bool make_exists =
+          (formula.kind() == FormulaKind::kExists) != negated;
+      return make_exists ? Exists(formula.quantified_var(), std::move(body))
+                         : Forall(formula.quantified_var(), std::move(body));
+    }
+  }
+  return formula;
+}
+
+/// Orders formulas structurally (via the printed form — adequate for
+/// duplicate removal in small operand lists).
+bool StructurallyLess(const Formula& a, const Formula& b) {
+  return a.ToString() < b.ToString();
+}
+
+}  // namespace
+
+Formula ToNnf(const Formula& formula) { return NnfImpl(formula, false); }
+
+Formula Simplify(const Formula& formula) {
+  switch (formula.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+      return formula;
+    case FormulaKind::kEquals: {
+      const Term& lhs = formula.terms()[0];
+      const Term& rhs = formula.terms()[1];
+      if (lhs == rhs) return Truth();
+      if (lhs.is_const() && rhs.is_const()) {
+        return lhs.value() == rhs.value() ? Truth() : Falsity();
+      }
+      return formula;
+    }
+    case FormulaKind::kNot: {
+      Formula inner = Simplify(formula.children()[0]);
+      if (inner.kind() == FormulaKind::kTrue) return Falsity();
+      if (inner.kind() == FormulaKind::kFalse) return Truth();
+      if (inner.kind() == FormulaKind::kNot) return inner.children()[0];
+      return Not(std::move(inner));
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const bool is_and = formula.kind() == FormulaKind::kAnd;
+      std::vector<Formula> flat;
+      for (const Formula& child : formula.children()) {
+        Formula simplified = Simplify(child);
+        // Units and absorbing elements.
+        if (simplified.kind() == FormulaKind::kTrue) {
+          if (!is_and) return Truth();
+          continue;
+        }
+        if (simplified.kind() == FormulaKind::kFalse) {
+          if (is_and) return Falsity();
+          continue;
+        }
+        // Flatten same-kind children.
+        if (simplified.kind() == formula.kind()) {
+          for (const Formula& grandchild : simplified.children()) {
+            flat.push_back(grandchild);
+          }
+        } else {
+          flat.push_back(std::move(simplified));
+        }
+      }
+      // Deduplicate structurally.
+      std::sort(flat.begin(), flat.end(), StructurallyLess);
+      flat.erase(std::unique(flat.begin(), flat.end(),
+                             [](const Formula& a, const Formula& b) {
+                               return a == b;
+                             }),
+                 flat.end());
+      // Complementary pair: φ and ¬φ.
+      for (const Formula& candidate : flat) {
+        if (candidate.kind() != FormulaKind::kNot) continue;
+        for (const Formula& other : flat) {
+          if (other == candidate.children()[0]) {
+            return is_and ? Falsity() : Truth();
+          }
+        }
+      }
+      if (flat.empty()) return is_and ? Truth() : Falsity();
+      if (flat.size() == 1) return flat[0];
+      return is_and ? And(std::move(flat)) : Or(std::move(flat));
+    }
+    case FormulaKind::kImplies: {
+      Formula premise = Simplify(formula.children()[0]);
+      Formula conclusion = Simplify(formula.children()[1]);
+      if (premise.kind() == FormulaKind::kFalse) return Truth();
+      if (premise.kind() == FormulaKind::kTrue) return conclusion;
+      if (conclusion.kind() == FormulaKind::kTrue) return Truth();
+      if (conclusion.kind() == FormulaKind::kFalse) {
+        return Simplify(Not(premise));
+      }
+      return Implies(std::move(premise), std::move(conclusion));
+    }
+    case FormulaKind::kIff: {
+      Formula lhs = Simplify(formula.children()[0]);
+      Formula rhs = Simplify(formula.children()[1]);
+      if (lhs == rhs) return Truth();
+      if (lhs.kind() == FormulaKind::kTrue) return rhs;
+      if (rhs.kind() == FormulaKind::kTrue) return lhs;
+      if (lhs.kind() == FormulaKind::kFalse) return Simplify(Not(rhs));
+      if (rhs.kind() == FormulaKind::kFalse) return Simplify(Not(lhs));
+      return Iff(std::move(lhs), std::move(rhs));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      Formula body = Simplify(formula.children()[0]);
+      if (body.kind() == FormulaKind::kTrue) return Truth();
+      if (body.kind() == FormulaKind::kFalse) return Falsity();
+      // Vacuous quantifier over the (never-empty) infinite universe.
+      std::vector<std::string> free = body.FreeVariables();
+      if (std::find(free.begin(), free.end(), formula.quantified_var()) ==
+          free.end()) {
+        return body;
+      }
+      return formula.kind() == FormulaKind::kExists
+                 ? Exists(formula.quantified_var(), std::move(body))
+                 : Forall(formula.quantified_var(), std::move(body));
+    }
+  }
+  return formula;
+}
+
+namespace {
+
+struct QuantifierStep {
+  bool is_exists;
+  std::string var;
+};
+
+/// Pulls the quantifier prefix out of an NNF formula, renaming every
+/// bound variable to a globally fresh "$p<i>" so prefixes from sibling
+/// subformulas cannot clash.
+Formula PullQuantifiers(const Formula& formula,
+                        std::vector<QuantifierStep>* prefix, int* counter) {
+  switch (formula.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return formula;
+    case FormulaKind::kNot:
+      // In NNF the operand is atomic: nothing to pull.
+      return formula;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<Formula> matrices;
+      matrices.reserve(formula.children().size());
+      for (const Formula& child : formula.children()) {
+        matrices.push_back(PullQuantifiers(child, prefix, counter));
+      }
+      return formula.kind() == FormulaKind::kAnd
+                 ? And(std::move(matrices))
+                 : Or(std::move(matrices));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::string fresh = "$p" + std::to_string((*counter)++);
+      Formula body = formula.children()[0].Substitute(
+          formula.quantified_var(), Term::Var(fresh));
+      prefix->push_back(
+          {formula.kind() == FormulaKind::kExists, fresh});
+      return PullQuantifiers(body, prefix, counter);
+    }
+    default:
+      IPDB_CHECK(false) << "non-NNF node in PullQuantifiers";
+      return formula;
+  }
+}
+
+}  // namespace
+
+Formula ToPrenex(const Formula& formula) {
+  Formula nnf = ToNnf(formula);
+  std::vector<QuantifierStep> prefix;
+  int counter = 0;
+  Formula matrix = PullQuantifiers(nnf, &prefix, &counter);
+  // Rebuild outermost-first: the first pulled quantifier is outermost.
+  for (size_t i = prefix.size(); i-- > 0;) {
+    matrix = prefix[i].is_exists ? Exists(prefix[i].var, std::move(matrix))
+                                 : Forall(prefix[i].var, std::move(matrix));
+  }
+  return matrix;
+}
+
+bool IsPrenex(const Formula& formula) {
+  const Formula* cursor = &formula;
+  while (cursor->kind() == FormulaKind::kExists ||
+         cursor->kind() == FormulaKind::kForall) {
+    cursor = &cursor->children()[0];
+  }
+  // The matrix must be quantifier-free.
+  struct Walker {
+    bool QuantifierFree(const Formula& f) {
+      if (f.kind() == FormulaKind::kExists ||
+          f.kind() == FormulaKind::kForall) {
+        return false;
+      }
+      for (const Formula& child : f.children()) {
+        if (!QuantifierFree(child)) return false;
+      }
+      return true;
+    }
+  };
+  return Walker().QuantifierFree(*cursor);
+}
+
+}  // namespace logic
+}  // namespace ipdb

@@ -1,0 +1,43 @@
+#ifndef IPDB_LOGIC_NORMALIZE_H_
+#define IPDB_LOGIC_NORMALIZE_H_
+
+#include "logic/formula.h"
+
+namespace ipdb {
+namespace logic {
+
+/// Negation normal form: negations pushed down to atoms and equalities,
+/// with → and ↔ eliminated. Semantics-preserving. NNF exposes more
+/// guard shapes to the evaluator's quantifier pruning (a ¬∃ becomes a
+/// guarded ∀) and is the usual preprocessing step for lineage
+/// compilation.
+Formula ToNnf(const Formula& formula);
+
+/// Light semantic-preserving simplification:
+///   * constant folding (⊤/⊥ units and absorbing elements),
+///   * flattening nested ∧/∧ and ∨/∨,
+///   * duplicate-operand removal,
+///   * double-negation elimination,
+///   * complementary-literal detection (φ ∧ ¬φ → ⊥, φ ∨ ¬φ → ⊤,
+///     for structurally identical φ),
+///   * trivial equality folding (t = t → ⊤ for identical terms,
+///     c = c' → ⊥ for distinct constants),
+///   * vacuous-quantifier removal (∃x φ → φ when x not free in φ —
+///     sound over the infinite universe, which is never empty).
+Formula Simplify(const Formula& formula);
+
+/// Prenex normal form: NNF with all quantifiers pulled into an outer
+/// prefix; bound variables are renamed apart to fresh names ("$p<i>").
+/// Semantics-preserving over the infinite universe (the domain is never
+/// empty, so ∃/∀ commute with the propositional structure in NNF as
+/// usual).
+Formula ToPrenex(const Formula& formula);
+
+/// True iff the formula is a quantifier prefix over a quantifier-free
+/// matrix.
+bool IsPrenex(const Formula& formula);
+
+}  // namespace logic
+}  // namespace ipdb
+
+#endif  // IPDB_LOGIC_NORMALIZE_H_

@@ -1,0 +1,78 @@
+#ifndef IPDB_LOGIC_TERM_H_
+#define IPDB_LOGIC_TERM_H_
+
+#include <string>
+#include <utility>
+
+#include "relational/value.h"
+
+namespace ipdb {
+namespace logic {
+
+/// A first-order term: either a variable (identified by name) or a
+/// constant from the universe (an element of U, or ⊥).
+class Term {
+ public:
+  /// Default-constructed term is the constant ⊥.
+  Term() : is_var_(false) {}
+
+  /// A variable term.
+  static Term Var(std::string name) {
+    Term t;
+    t.is_var_ = true;
+    t.var_ = std::move(name);
+    return t;
+  }
+
+  /// A constant term.
+  static Term Const(rel::Value value) {
+    Term t;
+    t.is_var_ = false;
+    t.value_ = std::move(value);
+    return t;
+  }
+
+  /// Shorthand for an integer constant.
+  static Term Int(int64_t value) { return Const(rel::Value::Int(value)); }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+
+  /// Variable name; only valid when is_var().
+  const std::string& var() const { return var_; }
+
+  /// Constant payload; only valid when is_const().
+  const rel::Value& value() const { return value_; }
+
+  /// Renders in the parser's term syntax: variables bare, integer
+  /// constants as digits, symbol constants quoted, ⊥ as "null" — so
+  /// Formula::ToString output reparses to the same AST.
+  std::string ToString() const {
+    if (is_var_) return var_;
+    switch (value_.kind()) {
+      case rel::Value::Kind::kNull:
+        return "null";
+      case rel::Value::Kind::kInt:
+        return std::to_string(value_.int_value());
+      case rel::Value::Kind::kSymbol:
+        return "'" + value_.symbol() + "'";
+    }
+    return "?";
+  }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return false;
+    return a.is_var_ ? a.var_ == b.var_ : a.value_ == b.value_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+ private:
+  bool is_var_;
+  std::string var_;
+  rel::Value value_;
+};
+
+}  // namespace logic
+}  // namespace ipdb
+
+#endif  // IPDB_LOGIC_TERM_H_

@@ -1,0 +1,219 @@
+#include "logic/view.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "logic/evaluator.h"
+#include "relational/fact.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace logic {
+
+StatusOr<FoView> FoView::Create(rel::Schema input_schema,
+                                rel::Schema output_schema,
+                                std::vector<Definition> definitions) {
+  std::vector<bool> defined(output_schema.num_relations(), false);
+  for (const Definition& def : definitions) {
+    if (!output_schema.has_relation(def.output_relation)) {
+      return InvalidArgumentError("definition for unknown output relation");
+    }
+    if (defined[def.output_relation]) {
+      return InvalidArgumentError(
+          "duplicate definition for output relation " +
+          output_schema.relation_name(def.output_relation));
+    }
+    defined[def.output_relation] = true;
+    if (static_cast<int>(def.head_vars.size()) !=
+        output_schema.arity(def.output_relation)) {
+      return InvalidArgumentError(
+          "head arity mismatch for output relation " +
+          output_schema.relation_name(def.output_relation));
+    }
+    // Head variables must be distinct.
+    std::set<std::string> seen(def.head_vars.begin(), def.head_vars.end());
+    if (seen.size() != def.head_vars.size()) {
+      return InvalidArgumentError("repeated head variable in definition of " +
+                                  output_schema.relation_name(
+                                      def.output_relation));
+    }
+    if (!def.body.MatchesSchema(input_schema)) {
+      return InvalidArgumentError("body does not match the input schema: " +
+                                  def.body.ToString(input_schema));
+    }
+    std::vector<std::string> free = def.body.FreeVariables();
+    for (const std::string& v : free) {
+      if (seen.count(v) == 0) {
+        return InvalidArgumentError("free variable " + v +
+                                    " missing from the head");
+      }
+    }
+  }
+  for (int i = 0; i < output_schema.num_relations(); ++i) {
+    if (!defined[i]) {
+      return InvalidArgumentError("missing definition for output relation " +
+                                  output_schema.relation_name(i));
+    }
+  }
+  FoView view;
+  view.input_schema_ = std::move(input_schema);
+  view.output_schema_ = std::move(output_schema);
+  view.definitions_ = std::move(definitions);
+  return view;
+}
+
+StatusOr<rel::Instance> FoView::Apply(const rel::Instance& input) const {
+  std::vector<rel::Fact> facts;
+  for (const Definition& def : definitions_) {
+    StatusOr<std::vector<std::vector<rel::Value>>> tuples =
+        EvaluateQuery(input, input_schema_, def.body, def.head_vars);
+    if (!tuples.ok()) return tuples.status();
+    for (std::vector<rel::Value>& tuple : *tuples) {
+      facts.emplace_back(def.output_relation, std::move(tuple));
+    }
+  }
+  return rel::Instance(std::move(facts));
+}
+
+rel::Instance FoView::ApplyOrDie(const rel::Instance& input) const {
+  StatusOr<rel::Instance> result = Apply(input);
+  IPDB_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+std::vector<rel::Value> FoView::Constants() const {
+  std::set<rel::Value> constants;
+  for (const Definition& def : definitions_) {
+    for (const rel::Value& v : def.body.Constants()) constants.insert(v);
+  }
+  return std::vector<rel::Value>(constants.begin(), constants.end());
+}
+
+FoView FoView::Identity(const rel::Schema& schema) {
+  std::vector<Definition> definitions;
+  for (int r = 0; r < schema.num_relations(); ++r) {
+    Definition def;
+    def.output_relation = r;
+    std::vector<Term> terms;
+    for (int i = 0; i < schema.arity(r); ++i) {
+      std::string name = "x" + std::to_string(i);
+      def.head_vars.push_back(name);
+      terms.push_back(Term::Var(name));
+    }
+    def.body = Atom(r, std::move(terms));
+    definitions.push_back(std::move(def));
+  }
+  StatusOr<FoView> view = Create(schema, schema, std::move(definitions));
+  IPDB_CHECK(view.ok()) << view.status().ToString();
+  return std::move(view).value();
+}
+
+std::string FoView::ToString() const {
+  std::string out;
+  for (const Definition& def : definitions_) {
+    out += output_schema_.relation_name(def.output_relation) + "(";
+    for (size_t i = 0; i < def.head_vars.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += def.head_vars[i];
+    }
+    out += ") := " + def.body.ToString(input_schema_) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Rewrites `formula` (over the intermediate schema) into a formula over
+/// the inner view's input schema by replacing every intermediate atom
+/// S(t̄) with innerdef_S's body under head_vars := t̄. `counter` generates
+/// fresh variable names for the inner bodies' variables.
+Formula InlineAtoms(const Formula& formula, const FoView& inner,
+                    int* counter) {
+  switch (formula.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquals:
+      return formula;
+    case FormulaKind::kAtom: {
+      const FoView::Definition* def = nullptr;
+      for (const FoView::Definition& d : inner.definitions()) {
+        if (d.output_relation == formula.relation()) {
+          def = &d;
+          break;
+        }
+      }
+      IPDB_CHECK(def != nullptr)
+          << "no inner definition for relation " << formula.relation();
+      // Freshly rename the inner body's variables (head and bound) to
+      // avoid any clash with the outer formula's variables, then bind the
+      // head variables to the atom's terms.
+      Formula body = def->body;
+      std::vector<std::string> fresh_heads;
+      for (const std::string& head : def->head_vars) {
+        std::string fresh = "$c" + std::to_string((*counter)++);
+        body = body.Substitute(head, Term::Var(fresh));
+        fresh_heads.push_back(fresh);
+      }
+      std::vector<Formula> conjuncts;
+      conjuncts.push_back(body);
+      // Bind fresh head variables to the atom terms via equalities under
+      // existential quantifiers: ∃h̄ (body(h̄) ∧ h_i = t_i). Equalities
+      // keep the semantics right when the same variable occurs twice in
+      // the atom.
+      for (size_t i = 0; i < fresh_heads.size(); ++i) {
+        conjuncts.push_back(
+            Eq(Term::Var(fresh_heads[i]), formula.terms()[i]));
+      }
+      return ExistsAll(fresh_heads, And(std::move(conjuncts)));
+    }
+    case FormulaKind::kNot:
+      return Not(InlineAtoms(formula.children()[0], inner, counter));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<Formula> children;
+      children.reserve(formula.children().size());
+      for (const Formula& child : formula.children()) {
+        children.push_back(InlineAtoms(child, inner, counter));
+      }
+      return formula.kind() == FormulaKind::kAnd ? And(std::move(children))
+                                                 : Or(std::move(children));
+    }
+    case FormulaKind::kImplies:
+      return Implies(InlineAtoms(formula.children()[0], inner, counter),
+                     InlineAtoms(formula.children()[1], inner, counter));
+    case FormulaKind::kIff:
+      return Iff(InlineAtoms(formula.children()[0], inner, counter),
+                 InlineAtoms(formula.children()[1], inner, counter));
+    case FormulaKind::kExists:
+      return Exists(formula.quantified_var(),
+                    InlineAtoms(formula.children()[0], inner, counter));
+    case FormulaKind::kForall:
+      return Forall(formula.quantified_var(),
+                    InlineAtoms(formula.children()[0], inner, counter));
+  }
+  return formula;
+}
+
+}  // namespace
+
+StatusOr<FoView> ComposeViews(const FoView& inner, const FoView& outer) {
+  if (!(inner.output_schema() == outer.input_schema())) {
+    return InvalidArgumentError(
+        "schema mismatch: inner output != outer input");
+  }
+  int counter = 0;
+  std::vector<FoView::Definition> definitions;
+  for (const FoView::Definition& def : outer.definitions()) {
+    FoView::Definition composed;
+    composed.output_relation = def.output_relation;
+    composed.head_vars = def.head_vars;
+    composed.body = InlineAtoms(def.body, inner, &counter);
+    definitions.push_back(std::move(composed));
+  }
+  return FoView::Create(inner.input_schema(), outer.output_schema(),
+                        std::move(definitions));
+}
+
+}  // namespace logic
+}  // namespace ipdb

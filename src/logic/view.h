@@ -1,0 +1,89 @@
+#ifndef IPDB_LOGIC_VIEW_H_
+#define IPDB_LOGIC_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace logic {
+
+/// An FO-view (Section 2, "Query Semantics"): one FO formula per relation
+/// of the output schema. Applying the view to an input instance evaluates
+/// every definition and collects the resulting facts.
+///
+/// Per the output-safety convention (DESIGN.md §5), output tuples range
+/// over adom(input) ∪ consts(view); this matches domain-independent FO
+/// views, which are the ones used by the paper's constructions.
+class FoView {
+ public:
+  /// A single output relation definition: the output tuple is
+  /// (head_vars...) and a tuple is produced iff `body` holds under the
+  /// corresponding binding. All free variables of `body` must appear in
+  /// `head_vars`; `head_vars` may also list variables that do not occur
+  /// in the body (they then range over the whole candidate domain).
+  struct Definition {
+    rel::RelationId output_relation = 0;
+    std::vector<std::string> head_vars;
+    Formula body;
+  };
+
+  FoView() = default;
+
+  /// A view from `input_schema` to `output_schema` with the given
+  /// definitions. Every output relation must have exactly one definition
+  /// whose head length equals the relation's arity; the bodies must match
+  /// the input schema.
+  static StatusOr<FoView> Create(rel::Schema input_schema,
+                                 rel::Schema output_schema,
+                                 std::vector<Definition> definitions);
+
+  const rel::Schema& input_schema() const { return input_schema_; }
+  const rel::Schema& output_schema() const { return output_schema_; }
+  const std::vector<Definition>& definitions() const { return definitions_; }
+
+  /// Applies the view: V(D).
+  StatusOr<rel::Instance> Apply(const rel::Instance& input) const;
+
+  /// Apply, aborting on error (for inputs already validated).
+  rel::Instance ApplyOrDie(const rel::Instance& input) const;
+
+  /// All constants appearing in any definition body.
+  std::vector<rel::Value> Constants() const;
+
+  /// The number of constants appearing in the view (parameter c in
+  /// Lemma 3.3's size bound).
+  int NumConstants() const { return static_cast<int>(Constants().size()); }
+
+  /// The identity view on a schema.
+  static FoView Identity(const rel::Schema& schema);
+
+  std::string ToString() const;
+
+ private:
+  rel::Schema input_schema_;
+  rel::Schema output_schema_;
+  std::vector<Definition> definitions_;
+};
+
+/// Composes two views: returns a view W with W(D) = outer(inner(D)) for
+/// all D, obtained by substituting the inner definitions into the outer
+/// bodies (atoms over the intermediate schema are replaced by the inner
+/// bodies with head variables bound). This witnesses FO(FO(TI)) = FO(TI)
+/// (Remark 4.2). `outer.input_schema()` must equal
+/// `inner.output_schema()`.
+///
+/// Caveat: textual composition is exactly equivalent to sequential
+/// application for *output-safe* views whose intermediate results do not
+/// depend on values outside adom ∪ consts (the only kind this library
+/// produces); tests verify the equivalence on the constructions we use.
+StatusOr<FoView> ComposeViews(const FoView& inner, const FoView& outer);
+
+}  // namespace logic
+}  // namespace ipdb
+
+#endif  // IPDB_LOGIC_VIEW_H_

@@ -1,0 +1,414 @@
+#include "math/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace math {
+
+namespace {
+
+constexpr uint64_t kBase = 1ULL << 32;
+
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  negative_ = value < 0;
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t magnitude =
+      negative_ ? ~static_cast<uint64_t>(value) + 1 : static_cast<uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<uint32_t>(magnitude & 0xffffffffULL));
+    magnitude >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt::BigInt(bool negative, std::vector<uint32_t> limbs)
+    : negative_(negative), limbs_(std::move(limbs)) {
+  Normalize(&limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+StatusOr<BigInt> BigInt::FromString(const std::string& text) {
+  size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  if (pos >= text.size()) {
+    return InvalidArgumentError("empty integer literal: '" + text + "'");
+  }
+  BigInt result;
+  const BigInt ten(10);
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("bad digit in integer literal: '" + text +
+                                  "'");
+    }
+    result = result * ten + BigInt(c - '0');
+  }
+  if (negative) result = -result;
+  return result;
+}
+
+int BigInt::sign() const {
+  if (limbs_.empty()) return 0;
+  return negative_ ? -1 : 1;
+}
+
+BigInt BigInt::operator-() const {
+  if (is_zero()) return *this;
+  BigInt result = *this;
+  result.negative_ = !negative_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) return a.negative_ ? -1 : 1;
+  int magnitude = CompareMagnitude(a.limbs_, b.limbs_);
+  return a.negative_ ? -magnitude : magnitude;
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigInt::Normalize(std::vector<uint32_t>* limbs) {
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+}
+
+std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> result;
+  result.reserve(longer.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0u);
+    result.push_back(static_cast<uint32_t>(sum & 0xffffffffULL));
+    carry = sum >> 32;
+  }
+  if (carry != 0) result.push_back(static_cast<uint32_t>(carry));
+  return result;
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  IPDB_CHECK_GE(CompareMagnitude(a, b), 0);
+  std::vector<uint32_t> result;
+  result.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<uint32_t>(diff));
+  }
+  Normalize(&result);
+  return result;
+}
+
+std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> result(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(a[i]) * b[j] + result[i + j] + carry;
+      result[i + j] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry != 0) {
+      uint64_t cur = result[k] + carry;
+      result[k] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  Normalize(&result);
+  return result;
+}
+
+void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b,
+                             std::vector<uint32_t>* quotient,
+                             std::vector<uint32_t>* remainder) {
+  IPDB_CHECK(!b.empty()) << "division by zero";
+  quotient->clear();
+  remainder->clear();
+  if (CompareMagnitude(a, b) < 0) {
+    *remainder = a;
+    Normalize(remainder);
+    return;
+  }
+  if (b.size() == 1) {
+    // Fast path: single-limb divisor.
+    uint64_t divisor = b[0];
+    quotient->assign(a.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | a[i];
+      (*quotient)[i] = static_cast<uint32_t>(cur / divisor);
+      rem = cur % divisor;
+    }
+    Normalize(quotient);
+    if (rem != 0) remainder->push_back(static_cast<uint32_t>(rem));
+    return;
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high
+  // bit set.
+  int shift = 0;
+  {
+    uint32_t top = b.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  auto shift_left = [](const std::vector<uint32_t>& v, int s) {
+    if (s == 0) return v;
+    std::vector<uint32_t> out(v.size() + 1, 0);
+    for (size_t i = 0; i < v.size(); ++i) {
+      out[i] |= v[i] << s;
+      out[i + 1] |= static_cast<uint32_t>(static_cast<uint64_t>(v[i]) >>
+                                          (32 - s));
+    }
+    Normalize(&out);
+    return out;
+  };
+  std::vector<uint32_t> u = shift_left(a, shift);
+  std::vector<uint32_t> v = shift_left(b, shift);
+  size_t n = v.size();
+  size_t m = u.size() - n;
+  u.resize(u.size() + 1, 0);  // extra high limb for the algorithm
+  quotient->assign(m + 1, 0);
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (u[j+n]*base + u[j+n-1]) / v[n-1].
+    uint64_t numerator =
+        (static_cast<uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    uint64_t q_hat = numerator / v[n - 1];
+    uint64_t r_hat = numerator % v[n - 1];
+    while (q_hat >= kBase ||
+           q_hat * v[n - 2] > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v[n - 1];
+      if (r_hat >= kBase) break;
+    }
+    // Multiply and subtract: u[j..j+n] -= q_hat * v.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(u[i + j]) -
+                     static_cast<int64_t>(product & 0xffffffffULL) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(u[j + n]) -
+                   static_cast<int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    u[j + n] = static_cast<uint32_t>(diff + (negative ? static_cast<int64_t>(kBase) : 0));
+
+    if (negative) {
+      // q_hat was one too large: add v back.
+      --q_hat;
+      uint64_t add_carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<uint32_t>(sum & 0xffffffffULL);
+        add_carry = sum >> 32;
+      }
+      u[j + n] = static_cast<uint32_t>(u[j + n] + add_carry);
+    }
+    (*quotient)[j] = static_cast<uint32_t>(q_hat);
+  }
+  Normalize(quotient);
+
+  // Remainder = u[0..n) shifted back right.
+  u.resize(n);
+  if (shift != 0) {
+    for (size_t i = 0; i + 1 < u.size(); ++i) {
+      u[i] = (u[i] >> shift) |
+             static_cast<uint32_t>(static_cast<uint64_t>(u[i + 1])
+                                   << (32 - shift));
+    }
+    u.back() >>= shift;
+  }
+  Normalize(&u);
+  *remainder = std::move(u);
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (negative_ == other.negative_) {
+    return BigInt(negative_, AddMagnitude(limbs_, other.limbs_));
+  }
+  int cmp = CompareMagnitude(limbs_, other.limbs_);
+  if (cmp == 0) return BigInt();
+  if (cmp > 0) {
+    return BigInt(negative_, SubMagnitude(limbs_, other.limbs_));
+  }
+  return BigInt(other.negative_, SubMagnitude(other.limbs_, limbs_));
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  return *this + (-other);
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  return BigInt(negative_ != other.negative_,
+                MulMagnitude(limbs_, other.limbs_));
+}
+
+void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt* quotient, BigInt* remainder) {
+  std::vector<uint32_t> q;
+  std::vector<uint32_t> r;
+  DivModMagnitude(dividend.limbs_, divisor.limbs_, &q, &r);
+  *quotient = BigInt(dividend.negative_ != divisor.negative_, std::move(q));
+  *remainder = BigInt(dividend.negative_, std::move(r));
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt quotient;
+  BigInt remainder;
+  DivMod(*this, other, &quotient, &remainder);
+  return quotient;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt quotient;
+  BigInt remainder;
+  DivMod(*this, other, &quotient, &remainder);
+  return remainder;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a = a.Abs();
+  b = b.Abs();
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::Pow(uint64_t exponent) const {
+  BigInt result(1);
+  BigInt base = *this;
+  while (exponent != 0) {
+    if (exponent & 1) result *= base;
+    exponent >>= 1;
+    if (exponent != 0) base *= base;
+  }
+  return result;
+}
+
+BigInt BigInt::TwoToThe(uint64_t exponent) {
+  std::vector<uint32_t> limbs(exponent / 32 + 1, 0);
+  limbs.back() = 1u << (exponent % 32);
+  return BigInt(false, std::move(limbs));
+}
+
+double BigInt::ToDouble() const {
+  double magnitude = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    magnitude = magnitude * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -magnitude : magnitude;
+}
+
+StatusOr<int64_t> BigInt::ToInt64() const {
+  if (limbs_.size() > 2) {
+    return OutOfRangeError("BigInt does not fit in int64_t: " + ToString());
+  }
+  uint64_t magnitude = 0;
+  if (limbs_.size() >= 1) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (magnitude > 0x8000000000000000ULL) {
+      return OutOfRangeError("BigInt does not fit in int64_t: " + ToString());
+    }
+    return static_cast<int64_t>(~magnitude + 1);
+  }
+  if (magnitude > 0x7fffffffffffffffULL) {
+    return OutOfRangeError("BigInt does not fit in int64_t: " + ToString());
+  }
+  return static_cast<int64_t>(magnitude);
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  std::vector<uint32_t> digits;  // base 10^9 chunks, little-endian
+  std::vector<uint32_t> current = limbs_;
+  while (!current.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = current.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | current[i];
+      current[i] = static_cast<uint32_t>(cur / 1000000000ULL);
+      rem = cur % 1000000000ULL;
+    }
+    digits.push_back(static_cast<uint32_t>(rem));
+    Normalize(&current);
+  }
+  std::string out;
+  if (negative_) out += '-';
+  out += std::to_string(digits.back());
+  for (size_t i = digits.size() - 1; i-- > 0;) {
+    std::string chunk = std::to_string(digits[i]);
+    out += std::string(9 - chunk.size(), '0');
+    out += chunk;
+  }
+  return out;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace math
+}  // namespace ipdb

@@ -1,0 +1,138 @@
+#ifndef IPDB_MATH_BIGINT_H_
+#define IPDB_MATH_BIGINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ipdb {
+namespace math {
+
+/// Arbitrary-precision signed integer.
+///
+/// Representation: sign/magnitude with base-2^32 limbs (little-endian,
+/// normalized so the most significant limb is non-zero; zero has no limbs
+/// and non-negative sign). Value semantics; all operations are
+/// out-of-place. Multiplication is schoolbook, division is Knuth
+/// Algorithm D — adequate for the magnitudes arising from exact
+/// probability computations in this library (hundreds of digits).
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Conversion from a machine integer (implicit: BigInt is a drop-in
+  /// numeric type).
+  BigInt(int64_t value);  // NOLINT
+
+  /// Parses an optionally signed decimal string.
+  static StatusOr<BigInt> FromString(const std::string& text);
+
+  BigInt(const BigInt&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt(BigInt&&) = default;
+  BigInt& operator=(BigInt&&) = default;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+
+  /// -1, 0 or +1.
+  int sign() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+
+  /// Truncated division (C++ semantics: quotient rounds toward zero,
+  /// remainder has the sign of the dividend). Divisor must be non-zero.
+  BigInt operator/(const BigInt& other) const;
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  /// Computes quotient and remainder in one pass.
+  static void DivMod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt* quotient, BigInt* remainder);
+
+  /// Greatest common divisor (always non-negative).
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// this^exponent for exponent >= 0 (square-and-multiply).
+  BigInt Pow(uint64_t exponent) const;
+
+  /// 2^exponent.
+  static BigInt TwoToThe(uint64_t exponent);
+
+  /// Closest double (may overflow to +-inf for huge values).
+  double ToDouble() const;
+
+  /// Value as int64_t if it fits.
+  StatusOr<int64_t> ToInt64() const;
+
+  /// Decimal representation.
+  std::string ToString() const;
+
+  /// Number of bits in the magnitude (0 for zero).
+  size_t BitLength() const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) >= 0;
+  }
+
+  /// Three-way comparison: negative, zero or positive.
+  static int Compare(const BigInt& a, const BigInt& b);
+
+ private:
+  // Magnitude-only helpers; ignore signs.
+  static int CompareMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static void DivModMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b,
+                              std::vector<uint32_t>* quotient,
+                              std::vector<uint32_t>* remainder);
+  static void Normalize(std::vector<uint32_t>* limbs);
+
+  BigInt(bool negative, std::vector<uint32_t> limbs);
+
+  bool negative_ = false;
+  std::vector<uint32_t> limbs_;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace math
+}  // namespace ipdb
+
+#endif  // IPDB_MATH_BIGINT_H_

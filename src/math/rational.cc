@@ -1,0 +1,129 @@
+#include "math/rational.h"
+
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace math {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  IPDB_CHECK(!denominator_.is_zero()) << "rational with zero denominator";
+  Canonicalize();
+}
+
+void Rational::Canonicalize() {
+  if (denominator_.is_negative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.is_zero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  BigInt gcd = BigInt::Gcd(numerator_, denominator_);
+  if (gcd != BigInt(1)) {
+    numerator_ /= gcd;
+    denominator_ /= gcd;
+  }
+}
+
+StatusOr<Rational> Rational::FromString(const std::string& text) {
+  size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    StatusOr<BigInt> value = BigInt::FromString(text);
+    if (!value.ok()) return value.status();
+    return Rational(std::move(value).value());
+  }
+  StatusOr<BigInt> numerator = BigInt::FromString(text.substr(0, slash));
+  if (!numerator.ok()) return numerator.status();
+  StatusOr<BigInt> denominator = BigInt::FromString(text.substr(slash + 1));
+  if (!denominator.ok()) return denominator.status();
+  if (denominator.value().is_zero()) {
+    return InvalidArgumentError("zero denominator in rational: '" + text +
+                                "'");
+  }
+  return Rational(std::move(numerator).value(),
+                  std::move(denominator).value());
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational Rational::Abs() const {
+  Rational result = *this;
+  result.numerator_ = result.numerator_.Abs();
+  return result;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(
+      numerator_ * other.denominator_ + other.numerator_ * denominator_,
+      denominator_ * other.denominator_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return Rational(
+      numerator_ * other.denominator_ - other.numerator_ * denominator_,
+      denominator_ * other.denominator_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(numerator_ * other.numerator_,
+                  denominator_ * other.denominator_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  IPDB_CHECK(!other.is_zero()) << "rational division by zero";
+  return Rational(numerator_ * other.denominator_,
+                  denominator_ * other.numerator_);
+}
+
+Rational Rational::Pow(int64_t exponent) const {
+  if (exponent >= 0) {
+    return Rational(numerator_.Pow(static_cast<uint64_t>(exponent)),
+                    denominator_.Pow(static_cast<uint64_t>(exponent)));
+  }
+  IPDB_CHECK(!is_zero()) << "0 to a negative power";
+  uint64_t e = static_cast<uint64_t>(-exponent);
+  return Rational(denominator_.Pow(e), numerator_.Pow(e));
+}
+
+double Rational::ToDouble() const {
+  // Shift so that the quotient carries ~64 bits of precision even when the
+  // plain numerator/denominator doubles would overflow or lose precision.
+  size_t num_bits = numerator_.BitLength();
+  size_t den_bits = denominator_.BitLength();
+  if (num_bits <= 500 && den_bits <= 500) {
+    return numerator_.ToDouble() / denominator_.ToDouble();
+  }
+  int64_t shift = static_cast<int64_t>(den_bits) - static_cast<int64_t>(num_bits) + 64;
+  BigInt scaled = shift >= 0
+                      ? numerator_ * BigInt::TwoToThe(static_cast<uint64_t>(shift))
+                      : numerator_ / BigInt::TwoToThe(static_cast<uint64_t>(-shift));
+  double quotient = (scaled / denominator_).ToDouble();
+  return quotient * std::pow(2.0, static_cast<double>(-shift));
+}
+
+std::string Rational::ToString() const {
+  if (denominator_ == BigInt(1)) return numerator_.ToString();
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+int Rational::Compare(const Rational& a, const Rational& b) {
+  return BigInt::Compare(a.numerator_ * b.denominator_,
+                         b.numerator_ * a.denominator_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace math
+}  // namespace ipdb

@@ -1,0 +1,231 @@
+#include "pdb/bid_pdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace pdb {
+
+template <typename P>
+StatusOr<BidPdb<P>> BidPdb<P>::Create(rel::Schema schema,
+                                      std::vector<Block> blocks) {
+  using Traits = ProbTraits<P>;
+  std::set<rel::Fact> seen;
+  for (const Block& block : blocks) {
+    P block_sum = Traits::Zero();
+    for (const auto& [fact, marginal] : block) {
+      if (!fact.MatchesSchema(schema)) {
+        return InvalidArgumentError("fact does not match the schema: " +
+                                    fact.ToString(schema));
+      }
+      if (!seen.insert(fact).second) {
+        return InvalidArgumentError("duplicate fact across blocks: " +
+                                    fact.ToString(schema));
+      }
+      if (!Traits::IsNonNegative(marginal)) {
+        return InvalidArgumentError("negative marginal");
+      }
+      block_sum = block_sum + marginal;
+    }
+    if (Traits::ToDouble(block_sum) > 1.0 + 1e-12) {
+      return InvalidArgumentError("block marginal mass exceeds 1");
+    }
+  }
+  BidPdb result;
+  result.schema_ = std::move(schema);
+  result.blocks_ = std::move(blocks);
+  return result;
+}
+
+template <typename P>
+BidPdb<P> BidPdb<P>::CreateOrDie(rel::Schema schema,
+                                 std::vector<Block> blocks) {
+  StatusOr<BidPdb> pdb = Create(std::move(schema), std::move(blocks));
+  IPDB_CHECK(pdb.ok()) << pdb.status().ToString();
+  return std::move(pdb).value();
+}
+
+template <typename P>
+P BidPdb<P>::Residual(int block) const {
+  IPDB_CHECK_GE(block, 0);
+  IPDB_CHECK_LT(block, num_blocks());
+  P total = ProbTraits<P>::Zero();
+  for (const auto& [fact, marginal] : blocks_[block]) {
+    total = total + marginal;
+  }
+  return ProbTraits<P>::One() - total;
+}
+
+template <typename P>
+P BidPdb<P>::Marginal(const rel::Fact& fact) const {
+  for (const Block& block : blocks_) {
+    for (const auto& [candidate, marginal] : block) {
+      if (candidate == fact) return marginal;
+    }
+  }
+  return ProbTraits<P>::Zero();
+}
+
+template <typename P>
+P BidPdb<P>::WorldProbability(const rel::Instance& instance) const {
+  // Map each instance fact to its block; reject unknown facts and
+  // duplicated blocks.
+  P probability = ProbTraits<P>::One();
+  int matched = 0;
+  for (int b = 0; b < num_blocks(); ++b) {
+    const Block& block = blocks_[b];
+    int found_in_block = 0;
+    P chosen = ProbTraits<P>::Zero();
+    for (const auto& [fact, marginal] : block) {
+      if (instance.Contains(fact)) {
+        ++found_in_block;
+        chosen = marginal;
+      }
+    }
+    if (found_in_block > 1) return ProbTraits<P>::Zero();
+    if (found_in_block == 1) {
+      probability = probability * chosen;
+      ++matched;
+    } else {
+      probability = probability * Residual(b);
+    }
+  }
+  if (matched != instance.size()) return ProbTraits<P>::Zero();
+  return probability;
+}
+
+template <typename P>
+FinitePdb<P> BidPdb<P>::Expand() const {
+  // Mixed-radix enumeration over (|B_b| + 1) options per block, option 0
+  // meaning "no fact from this block".
+  uint64_t world_count = 1;
+  for (const Block& block : blocks_) {
+    world_count *= block.size() + 1;
+    IPDB_CHECK_LE(world_count, (1ULL << 22)) << "BID expansion too large";
+  }
+  typename FinitePdb<P>::WorldList worlds;
+  worlds.reserve(world_count);
+  std::vector<size_t> choice(blocks_.size(), 0);
+  while (true) {
+    std::vector<rel::Fact> chosen;
+    P probability = ProbTraits<P>::One();
+    for (int b = 0; b < num_blocks(); ++b) {
+      if (choice[b] == 0) {
+        probability = probability * Residual(b);
+      } else {
+        chosen.push_back(blocks_[b][choice[b] - 1].first);
+        probability = probability * blocks_[b][choice[b] - 1].second;
+      }
+    }
+    worlds.emplace_back(rel::Instance(std::move(chosen)),
+                        std::move(probability));
+    size_t b = 0;
+    while (b < blocks_.size()) {
+      if (++choice[b] <= blocks_[b].size()) break;
+      choice[b] = 0;
+      ++b;
+    }
+    if (b == blocks_.size()) break;
+  }
+  return FinitePdb<P>::CreateOrDie(schema_, std::move(worlds));
+}
+
+template <typename P>
+rel::Instance BidPdb<P>::Sample(Pcg32* rng) const {
+  std::vector<rel::Fact> chosen;
+  for (int b = 0; b < num_blocks(); ++b) {
+    double x = rng->NextDouble();
+    double cumulative = 0.0;
+    for (const auto& [fact, marginal] : blocks_[b]) {
+      cumulative += ProbTraits<P>::ToDouble(marginal);
+      if (x < cumulative) {
+        chosen.push_back(fact);
+        break;
+      }
+    }
+  }
+  return rel::Instance(std::move(chosen));
+}
+
+template <typename P>
+std::string BidPdb<P>::ToString() const {
+  std::string out;
+  for (int b = 0; b < num_blocks(); ++b) {
+    out += "block " + std::to_string(b) + ":\n";
+    for (const auto& [fact, marginal] : blocks_[b]) {
+      out += "  " + fact.ToString(schema_) + " : " +
+             ProbTraits<P>::ToString(marginal) + "\n";
+    }
+  }
+  return out;
+}
+
+template class BidPdb<double>;
+template class BidPdb<math::Rational>;
+
+StatusOr<CountableBidPdb> CountableBidPdb::Create(Family family) {
+  if (!family.block_at) {
+    return InvalidArgumentError("countable BID family needs block_at");
+  }
+  return CountableBidPdb(std::move(family));
+}
+
+Series CountableBidPdb::BlockMassSeries() const {
+  Series series;
+  series.term = [block_at = family_.block_at](int64_t i) {
+    double total = 0.0;
+    for (const auto& [fact, marginal] : block_at(i)) total += marginal;
+    return total;
+  };
+  series.tail_upper_bound = family_.block_mass_tail_upper;
+  series.tail_lower_bound = family_.block_mass_tail_lower;
+  series.description = "block marginal mass of " + family_.description;
+  return series;
+}
+
+SumAnalysis CountableBidPdb::CheckWellDefined(
+    const SumOptions& options) const {
+  return AnalyzeSum(BlockMassSeries(), options);
+}
+
+StatusOr<rel::Instance> CountableBidPdb::Sample(Pcg32* rng,
+                                                double epsilon) const {
+  if (!family_.block_mass_tail_upper) {
+    return FailedPreconditionError("sampling needs a tail certificate");
+  }
+  int64_t cutoff = 1;
+  while (family_.block_mass_tail_upper(cutoff) > epsilon) {
+    cutoff *= 2;
+    if (cutoff > (1LL << 30)) {
+      return FailedPreconditionError(
+          "tail certificate does not reach the requested epsilon");
+    }
+  }
+  std::vector<rel::Fact> chosen;
+  for (int64_t i = 0; i < cutoff; ++i) {
+    Block block = family_.block_at(i);
+    double x = rng->NextDouble();
+    double cumulative = 0.0;
+    for (const auto& [fact, marginal] : block) {
+      cumulative += marginal;
+      if (x < cumulative) {
+        chosen.push_back(fact);
+        break;
+      }
+    }
+  }
+  return rel::Instance(std::move(chosen));
+}
+
+BidPdb<double> CountableBidPdb::Truncate(int64_t n) const {
+  std::vector<BidPdb<double>::Block> blocks;
+  blocks.reserve(n);
+  for (int64_t i = 0; i < n; ++i) blocks.push_back(family_.block_at(i));
+  return BidPdb<double>::CreateOrDie(family_.schema, std::move(blocks));
+}
+
+}  // namespace pdb
+}  // namespace ipdb

@@ -1,0 +1,118 @@
+#ifndef IPDB_PDB_BID_PDB_H_
+#define IPDB_PDB_BID_PDB_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "math/rational.h"
+#include "pdb/finite_pdb.h"
+#include "pdb/prob_traits.h"
+#include "relational/fact.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "util/random.h"
+#include "util/series.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// A block-independent disjoint PDB with finitely many facts
+/// (Definition 2.5): the fact set is partitioned into blocks; facts in
+/// the same block are mutually exclusive, facts across blocks independent.
+/// Each block contributes either exactly one of its facts (fact t with
+/// probability p_t) or no fact (with the residual probability
+/// r = 1 − Σ p_t, Lemma 5.7's terminology).
+template <typename P>
+class BidPdb {
+ public:
+  /// One block: facts with marginals; Σ marginals <= 1.
+  using Block = std::vector<std::pair<rel::Fact, P>>;
+
+  BidPdb() = default;
+
+  /// Validates: globally distinct facts matching the schema, marginals in
+  /// [0, 1], per-block sums at most 1 (within tolerance for double).
+  static StatusOr<BidPdb> Create(rel::Schema schema,
+                                 std::vector<Block> blocks);
+  static BidPdb CreateOrDie(rel::Schema schema, std::vector<Block> blocks);
+
+  const rel::Schema& schema() const { return schema_; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+
+  /// Residual probability of block b: 1 − Σ_{t∈B_b} p_t.
+  P Residual(int block) const;
+
+  /// Marginal of a fact (zero for unknown facts).
+  P Marginal(const rel::Fact& fact) const;
+
+  /// Probability of a world: Π over blocks of (the marginal of its chosen
+  /// fact, or the residual). Zero if the instance contains an unknown
+  /// fact or two facts of one block.
+  P WorldProbability(const rel::Instance& instance) const;
+
+  /// Enumerates all Π_b (|B_b|+1) worlds as an explicit finite PDB.
+  FinitePdb<P> Expand() const;
+
+  /// Independent per-block draws.
+  rel::Instance Sample(Pcg32* rng) const;
+
+  std::string ToString() const;
+
+ private:
+  rel::Schema schema_;
+  std::vector<Block> blocks_;
+};
+
+using BidPdbD = BidPdb<double>;
+using BidPdbQ = BidPdb<math::Rational>;
+
+/// A countably infinite BID-PDB: an enumerated family of blocks with
+/// certified total-marginal tails (Theorem 2.6's condition
+/// Σ_B Σ_{t∈B} p_t < ∞).
+class CountableBidPdb {
+ public:
+  using Block = std::vector<std::pair<rel::Fact, double>>;
+
+  struct Family {
+    rel::Schema schema;
+    /// block_at(i) for i >= 0; facts pairwise distinct across all blocks.
+    std::function<Block(int64_t)> block_at;
+    /// Certified upper bound on sum over blocks >= N of their marginal
+    /// mass.
+    std::function<double(int64_t)> block_mass_tail_upper;
+    /// Optional lower bound (+inf certifies non-well-definedness).
+    std::function<double(int64_t)> block_mass_tail_lower;
+    std::string description;
+  };
+
+  static StatusOr<CountableBidPdb> Create(Family family);
+
+  const rel::Schema& schema() const { return family_.schema; }
+  const std::string& description() const { return family_.description; }
+  Block BlockAt(int64_t i) const { return family_.block_at(i); }
+
+  /// The Theorem 2.6 condition series: per-block marginal mass.
+  Series BlockMassSeries() const;
+  SumAnalysis CheckWellDefined(const SumOptions& options = {}) const;
+
+  /// Samples a world; exact with probability >= 1 - epsilon (blocks past
+  /// the cutoff choose a fact with probability at most the tail mass).
+  StatusOr<rel::Instance> Sample(Pcg32* rng, double epsilon = 1e-9) const;
+
+  /// The finite BID-PDB on the first `n` blocks.
+  BidPdb<double> Truncate(int64_t n) const;
+
+ private:
+  explicit CountableBidPdb(Family family) : family_(std::move(family)) {}
+
+  Family family_;
+};
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_BID_PDB_H_

@@ -1,0 +1,47 @@
+#ifndef IPDB_PDB_COMBINATORS_H_
+#define IPDB_PDB_COMBINATORS_H_
+
+#include "math/rational.h"
+#include "pdb/bid_pdb.h"
+#include "pdb/finite_pdb.h"
+#include "pdb/ti_pdb.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// Combinators assembling larger PDBs from independent parts — the
+/// operations used implicitly all over the paper (k independent copies
+/// in Theorem 4.1, independent blocks in Lemma 5.7, mixing worlds in the
+/// Section 6 assignments).
+
+/// The independent product of two finite PDBs over the same schema with
+/// disjoint fact sets: worlds are unions, probabilities multiply.
+/// Fails if the positive-probability fact sets intersect (the union
+/// would not determine the parts).
+template <typename P>
+StatusOr<FinitePdb<P>> IndependentProduct(const FinitePdb<P>& a,
+                                          const FinitePdb<P>& b);
+
+/// The union of two TI-PDBs over the same schema with disjoint fact
+/// sets: one TI-PDB carrying all facts (independence composes freely).
+template <typename P>
+StatusOr<TiPdb<P>> TiUnion(const TiPdb<P>& a, const TiPdb<P>& b);
+
+/// The union of two BID-PDBs over the same schema with disjoint fact
+/// sets: block lists concatenate.
+template <typename P>
+StatusOr<BidPdb<P>> BidUnion(const BidPdb<P>& a, const BidPdb<P>& b);
+
+/// The convex mixture λ·a + (1−λ)·b of two finite PDBs over the same
+/// schema. Mixtures generally destroy independence (they are how the
+/// non-TI counterexamples of Section 2/B arise) but are always valid
+/// PDBs. λ must lie in [0, 1].
+template <typename P>
+StatusOr<FinitePdb<P>> Mixture(const FinitePdb<P>& a, const FinitePdb<P>& b,
+                               const P& lambda);
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_COMBINATORS_H_

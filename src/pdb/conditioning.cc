@@ -1,0 +1,68 @@
+#include "pdb/conditioning.h"
+
+#include <utility>
+
+#include "logic/evaluator.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace pdb {
+
+template <typename P>
+StatusOr<P> EventProbability(const FinitePdb<P>& pdb,
+                             const logic::Formula& sentence) {
+  if (!sentence.FreeVariables().empty()) {
+    return InvalidArgumentError("conditioning formula is not a sentence");
+  }
+  P total = ProbTraits<P>::Zero();
+  for (const auto& [instance, probability] : pdb.worlds()) {
+    StatusOr<bool> holds = logic::Evaluate(instance, pdb.schema(), sentence);
+    if (!holds.ok()) return holds.status();
+    if (holds.value()) total = total + probability;
+  }
+  return total;
+}
+
+template <typename P>
+StatusOr<FinitePdb<P>> Condition(const FinitePdb<P>& pdb,
+                                 const logic::Formula& sentence) {
+  StatusOr<P> mass = EventProbability(pdb, sentence);
+  if (!mass.ok()) return mass.status();
+  if (ProbTraits<P>::IsZero(mass.value())) {
+    return FailedPreconditionError(
+        "conditioning event has probability zero");
+  }
+  typename FinitePdb<P>::WorldList worlds;
+  for (const auto& [instance, probability] : pdb.worlds()) {
+    StatusOr<bool> holds = logic::Evaluate(instance, pdb.schema(), sentence);
+    if (!holds.ok()) return holds.status();
+    if (holds.value()) {
+      worlds.emplace_back(instance, probability / mass.value());
+    }
+  }
+  return FinitePdb<P>::Create(pdb.schema(), std::move(worlds));
+}
+
+template <typename P>
+FinitePdb<P> ConditionOrDie(const FinitePdb<P>& pdb,
+                            const logic::Formula& sentence) {
+  StatusOr<FinitePdb<P>> result = Condition(pdb, sentence);
+  IPDB_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+template StatusOr<double> EventProbability(const FinitePdb<double>&,
+                                           const logic::Formula&);
+template StatusOr<math::Rational> EventProbability(
+    const FinitePdb<math::Rational>&, const logic::Formula&);
+template StatusOr<FinitePdb<double>> Condition(const FinitePdb<double>&,
+                                               const logic::Formula&);
+template StatusOr<FinitePdb<math::Rational>> Condition(
+    const FinitePdb<math::Rational>&, const logic::Formula&);
+template FinitePdb<double> ConditionOrDie(const FinitePdb<double>&,
+                                          const logic::Formula&);
+template FinitePdb<math::Rational> ConditionOrDie(
+    const FinitePdb<math::Rational>&, const logic::Formula&);
+
+}  // namespace pdb
+}  // namespace ipdb

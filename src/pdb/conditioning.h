@@ -1,0 +1,31 @@
+#ifndef IPDB_PDB_CONDITIONING_H_
+#define IPDB_PDB_CONDITIONING_H_
+
+#include "logic/formula.h"
+#include "pdb/finite_pdb.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// Conditioning D | φ (Section 4): restricts the sample space to the
+/// worlds satisfying the FO-sentence φ and rescales. Fails when
+/// Pr(D ⊨ φ) = 0 (the conditioned PDB is undefined), when φ has free
+/// variables, or when φ does not match the schema.
+template <typename P>
+StatusOr<FinitePdb<P>> Condition(const FinitePdb<P>& pdb,
+                                 const logic::Formula& sentence);
+
+/// Condition, aborting on error.
+template <typename P>
+FinitePdb<P> ConditionOrDie(const FinitePdb<P>& pdb,
+                            const logic::Formula& sentence);
+
+/// Pr_{D~pdb}(D ⊨ φ), the probability of the event named by a sentence.
+template <typename P>
+StatusOr<P> EventProbability(const FinitePdb<P>& pdb,
+                             const logic::Formula& sentence);
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_CONDITIONING_H_

@@ -1,0 +1,70 @@
+#include "pdb/countable_pdb.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace pdb {
+
+StatusOr<CountablePdb> CountablePdb::Create(Family family) {
+  if (!family.world_at || !family.prob_at || !family.size_at) {
+    return InvalidArgumentError(
+        "countable PDB family needs world_at, prob_at and size_at");
+  }
+  return CountablePdb(std::move(family));
+}
+
+Series CountablePdb::ProbabilitySeries() const {
+  Series series;
+  series.term = family_.prob_at;
+  series.tail_upper_bound = family_.prob_tail_upper;
+  series.description = "probability mass of " + family_.description;
+  return series;
+}
+
+Series CountablePdb::MomentSeries(int k) const {
+  return prob::MakeMomentSeries(family_.size_at, family_.prob_at, k,
+                                family_.moment_tails);
+}
+
+SumAnalysis CountablePdb::AnalyzeMoment(int k,
+                                        const SumOptions& options) const {
+  return AnalyzeSum(MomentSeries(k), options);
+}
+
+StatusOr<int64_t> CountablePdb::SampleIndex(Pcg32* rng,
+                                            double epsilon) const {
+  double x = rng->NextDouble();
+  double cumulative = 0.0;
+  int64_t i = 0;
+  const int64_t hard_limit = 1LL << 40;
+  while (i < hard_limit) {
+    cumulative += family_.prob_at(i);
+    if (x < cumulative) return i;
+    // If the remaining mass is certifiably below epsilon, give up and
+    // return the current index (the caller accepts epsilon error).
+    if (family_.prob_tail_upper && 1.0 - cumulative <= epsilon) return i;
+    ++i;
+  }
+  return FailedPreconditionError("sampling exceeded the enumeration limit");
+}
+
+StatusOr<FinitePdb<double>> CountablePdb::TruncateAndRenormalize(
+    int64_t n) const {
+  double mass = 0.0;
+  for (int64_t i = 0; i < n; ++i) mass += family_.prob_at(i);
+  if (mass <= 0.0) {
+    return FailedPreconditionError("prefix has zero probability mass");
+  }
+  FinitePdb<double>::WorldList worlds;
+  worlds.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    worlds.emplace_back(family_.world_at(i), family_.prob_at(i) / mass);
+  }
+  return FinitePdb<double>::Create(family_.schema, std::move(worlds));
+}
+
+}  // namespace pdb
+}  // namespace ipdb

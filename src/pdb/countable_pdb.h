@@ -1,0 +1,87 @@
+#ifndef IPDB_PDB_COUNTABLE_PDB_H_
+#define IPDB_PDB_COUNTABLE_PDB_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "pdb/finite_pdb.h"
+#include "prob/moments.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "util/interval.h"
+#include "util/random.h"
+#include "util/series.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// A countably infinite PDB (Definition 2.1) presented as an enumerated
+/// world family D_0, D_1, … with probabilities p_i and certified tail
+/// bounds. All of the paper's example PDBs (Examples 3.5, 3.9, 5.5;
+/// Lemmas 6.5/6.6) have this form.
+///
+/// Certificates:
+///  * `prob_tail_upper(N)` >= sum_{i >= N} p_i — needed for sampling and
+///    for certifying normalization;
+///  * `moment_tails` — bounds on sum_{i >= N} |D_i|^k p_i, which decide
+///    the finite moments property (Section 3.1) for this family.
+class CountablePdb {
+ public:
+  struct Family {
+    rel::Schema schema;
+    /// world_at(i) for i >= 0; worlds must be pairwise distinct.
+    std::function<rel::Instance(int64_t)> world_at;
+    /// prob_at(i) >= 0, summing to 1 over all i.
+    std::function<double(int64_t)> prob_at;
+    /// |world_at(i)| without materializing the world. Required: the
+    /// paper's families have worlds of size 2^i and similar, which must
+    /// not be built to compute moments.
+    std::function<int64_t(int64_t)> size_at;
+    /// Certified upper bound on sum_{i >= N} prob_at(i); may be null.
+    std::function<double(int64_t)> prob_tail_upper;
+    /// Moment-sum tail certificates (either direction may be null).
+    prob::MomentTailCertificates moment_tails;
+    std::string description;
+  };
+
+  static StatusOr<CountablePdb> Create(Family family);
+
+  const rel::Schema& schema() const { return family_.schema; }
+  const std::string& description() const { return family_.description; }
+  rel::Instance WorldAt(int64_t i) const { return family_.world_at(i); }
+  double ProbAt(int64_t i) const { return family_.prob_at(i); }
+  int64_t SizeAt(int64_t i) const { return family_.size_at(i); }
+
+  /// The normalization series Σ p_i (must converge to 1).
+  Series ProbabilitySeries() const;
+
+  /// The k-th size-moment series Σ |D_i|^k p_i with certificates
+  /// attached; analyzing it decides E[|D|^k] (Section 3.1).
+  Series MomentSeries(int k) const;
+
+  /// Analyzes E[|D|^k]; kConverged yields a certified enclosure,
+  /// kDiverged certifies an infinite moment (the Proposition 3.4
+  /// obstruction).
+  SumAnalysis AnalyzeMoment(int k, const SumOptions& options = {}) const;
+
+  /// Samples a world index by inversion; exact with probability
+  /// >= 1 - epsilon given a probability tail certificate.
+  StatusOr<int64_t> SampleIndex(Pcg32* rng, double epsilon = 1e-9) const;
+
+  /// The conditional finite PDB on the first n worlds (renormalized).
+  /// Useful for exercising finite algorithms against prefixes of the
+  /// paper's infinite examples.
+  StatusOr<FinitePdb<double>> TruncateAndRenormalize(int64_t n) const;
+
+ private:
+  explicit CountablePdb(Family family) : family_(std::move(family)) {}
+
+  Family family_;
+};
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_COUNTABLE_PDB_H_

@@ -1,0 +1,267 @@
+#include "pdb/finite_pdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace pdb {
+
+template <typename P>
+StatusOr<FinitePdb<P>> FinitePdb<P>::Create(rel::Schema schema,
+                                            WorldList worlds) {
+  using Traits = ProbTraits<P>;
+  // Merge duplicate instances.
+  std::sort(worlds.begin(), worlds.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  WorldList merged;
+  for (auto& [instance, probability] : worlds) {
+    if (!Traits::IsNonNegative(probability)) {
+      return InvalidArgumentError("negative world probability");
+    }
+    if (!instance.MatchesSchema(schema)) {
+      return InvalidArgumentError("world does not match the schema: " +
+                                  instance.ToString(schema));
+    }
+    if (!merged.empty() && merged.back().first == instance) {
+      merged.back().second = merged.back().second + probability;
+    } else {
+      merged.emplace_back(std::move(instance), std::move(probability));
+    }
+  }
+  P total = Traits::Zero();
+  for (const auto& [instance, probability] : merged) {
+    total = total + probability;
+  }
+  if (!Traits::IsOne(total)) {
+    return InvalidArgumentError("world probabilities sum to " +
+                                Traits::ToString(total) + ", not 1");
+  }
+  FinitePdb result;
+  result.schema_ = std::move(schema);
+  result.worlds_ = std::move(merged);
+  return result;
+}
+
+template <typename P>
+FinitePdb<P> FinitePdb<P>::CreateOrDie(rel::Schema schema, WorldList worlds) {
+  StatusOr<FinitePdb> pdb = Create(std::move(schema), std::move(worlds));
+  IPDB_CHECK(pdb.ok()) << pdb.status().ToString();
+  return std::move(pdb).value();
+}
+
+template <typename P>
+P FinitePdb<P>::Probability(const rel::Instance& instance) const {
+  auto it = std::lower_bound(
+      worlds_.begin(), worlds_.end(), instance,
+      [](const auto& world, const rel::Instance& key) {
+        return world.first < key;
+      });
+  if (it != worlds_.end() && it->first == instance) return it->second;
+  return ProbTraits<P>::Zero();
+}
+
+template <typename P>
+P FinitePdb<P>::Marginal(const rel::Fact& fact) const {
+  P total = ProbTraits<P>::Zero();
+  for (const auto& [instance, probability] : worlds_) {
+    if (instance.Contains(fact)) total = total + probability;
+  }
+  return total;
+}
+
+template <typename P>
+std::vector<rel::Fact> FinitePdb<P>::FactSet() const {
+  std::vector<rel::Fact> facts;
+  for (const auto& [instance, probability] : worlds_) {
+    if (ProbTraits<P>::IsZero(probability)) continue;
+    for (const rel::Fact& f : instance.facts()) facts.push_back(f);
+  }
+  std::sort(facts.begin(), facts.end());
+  facts.erase(std::unique(facts.begin(), facts.end()), facts.end());
+  return facts;
+}
+
+template <typename P>
+double FinitePdb<P>::SizeMoment(int k) const {
+  IPDB_CHECK_GE(k, 0);
+  double total = 0.0;
+  for (const auto& [instance, probability] : worlds_) {
+    total += std::pow(static_cast<double>(instance.size()),
+                      static_cast<double>(k)) *
+             ProbTraits<P>::ToDouble(probability);
+  }
+  return total;
+}
+
+template <typename P>
+P FinitePdb<P>::SizeMomentExact(int k) const {
+  IPDB_CHECK_GE(k, 0);
+  P total = ProbTraits<P>::Zero();
+  for (const auto& [instance, probability] : worlds_) {
+    P size_power = ProbTraits<P>::One();
+    for (int i = 0; i < k; ++i) {
+      size_power = size_power * P(instance.size());
+    }
+    total = total + size_power * probability;
+  }
+  return total;
+}
+
+template <typename P>
+FinitePdb<P> FinitePdb<P>::DropNullWorlds() const {
+  FinitePdb result;
+  result.schema_ = schema_;
+  for (const auto& world : worlds_) {
+    if (!ProbTraits<P>::IsZero(world.second)) {
+      result.worlds_.push_back(world);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Compares a probability against a product of probabilities with type-
+// appropriate tolerance.
+bool ProbablyEqual(double a, double b) { return std::abs(a - b) <= 1e-9; }
+bool ProbablyEqual(const math::Rational& a, const math::Rational& b) {
+  return a == b;
+}
+
+}  // namespace
+
+template <typename P>
+bool FinitePdb<P>::IsTupleIndependent() const {
+  std::vector<rel::Fact> facts = FactSet();
+  IPDB_CHECK_LE(facts.size(), 24u) << "tuple-independence check is 2^n";
+  // For every subset S of facts: Pr(S ⊆ D) must equal Π_{t∈S} Pr(t ∈ D).
+  std::vector<P> marginals;
+  marginals.reserve(facts.size());
+  for (const rel::Fact& f : facts) marginals.push_back(Marginal(f));
+  for (uint64_t mask = 0; mask < (1ULL << facts.size()); ++mask) {
+    P joint = ProbTraits<P>::Zero();
+    for (const auto& [instance, probability] : worlds_) {
+      bool covers = true;
+      for (size_t i = 0; i < facts.size(); ++i) {
+        if ((mask >> i) & 1) {
+          if (!instance.Contains(facts[i])) {
+            covers = false;
+            break;
+          }
+        }
+      }
+      if (covers) joint = joint + probability;
+    }
+    P product = ProbTraits<P>::One();
+    for (size_t i = 0; i < facts.size(); ++i) {
+      if ((mask >> i) & 1) product = product * marginals[i];
+    }
+    if (!ProbablyEqual(joint, product)) return false;
+  }
+  return true;
+}
+
+template <typename P>
+bool FinitePdb<P>::IsBlockIndependentDisjoint(
+    const std::vector<std::vector<rel::Fact>>& blocks) const {
+  // (2) facts within a block are mutually exclusive.
+  for (const auto& block : blocks) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      for (size_t j = i + 1; j < block.size(); ++j) {
+        for (const auto& [instance, probability] : worlds_) {
+          if (ProbTraits<P>::IsZero(probability)) continue;
+          if (instance.Contains(block[i]) && instance.Contains(block[j])) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  // (1) cross-block factorization: for every choice of at most one fact
+  // per block, the joint probability factorizes. We check all tuples of
+  // facts from pairwise different blocks (product over block choices,
+  // including "no fact"), which is exponential in the number of blocks —
+  // intended for small fixtures.
+  IPDB_CHECK_LE(blocks.size(), 12u) << "BID check is exponential in blocks";
+  std::vector<size_t> choice(blocks.size(), 0);  // 0 = skip block
+  while (true) {
+    std::vector<rel::Fact> chosen;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      if (choice[b] > 0) chosen.push_back(blocks[b][choice[b] - 1]);
+    }
+    if (chosen.size() >= 2) {
+      P joint = ProbTraits<P>::Zero();
+      for (const auto& [instance, probability] : worlds_) {
+        bool covers = true;
+        for (const rel::Fact& f : chosen) {
+          if (!instance.Contains(f)) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) joint = joint + probability;
+      }
+      P product = ProbTraits<P>::One();
+      for (const rel::Fact& f : chosen) product = product * Marginal(f);
+      if (!ProbablyEqual(joint, product)) return false;
+    }
+    // Advance the mixed-radix counter.
+    size_t b = 0;
+    while (b < blocks.size()) {
+      if (++choice[b] <= blocks[b].size()) break;
+      choice[b] = 0;
+      ++b;
+    }
+    if (b == blocks.size()) break;
+  }
+  return true;
+}
+
+template <typename P>
+std::string FinitePdb<P>::ToString() const {
+  std::string out;
+  for (const auto& [instance, probability] : worlds_) {
+    out += instance.ToString(schema_) + " : " +
+           ProbTraits<P>::ToString(probability) + "\n";
+  }
+  return out;
+}
+
+template <typename P>
+double TotalVariationDistance(const FinitePdb<P>& a, const FinitePdb<P>& b) {
+  IPDB_CHECK(a.schema() == b.schema()) << "TV distance across schemas";
+  double total = 0.0;
+  // Merge the two sorted world lists.
+  const auto& wa = a.worlds();
+  const auto& wb = b.worlds();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < wa.size() || j < wb.size()) {
+    if (j >= wb.size() || (i < wa.size() && wa[i].first < wb[j].first)) {
+      total += std::abs(ProbTraits<P>::ToDouble(wa[i].second));
+      ++i;
+    } else if (i >= wa.size() || wb[j].first < wa[i].first) {
+      total += std::abs(ProbTraits<P>::ToDouble(wb[j].second));
+      ++j;
+    } else {
+      total += std::abs(ProbTraits<P>::ToDouble(wa[i].second) -
+                        ProbTraits<P>::ToDouble(wb[j].second));
+      ++i;
+      ++j;
+    }
+  }
+  return total / 2.0;
+}
+
+template class FinitePdb<double>;
+template class FinitePdb<math::Rational>;
+template double TotalVariationDistance<double>(const FinitePdb<double>&,
+                                               const FinitePdb<double>&);
+template double TotalVariationDistance<math::Rational>(
+    const FinitePdb<math::Rational>&, const FinitePdb<math::Rational>&);
+
+}  // namespace pdb
+}  // namespace ipdb

@@ -1,0 +1,98 @@
+#ifndef IPDB_PDB_FINITE_PDB_H_
+#define IPDB_PDB_FINITE_PDB_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "math/rational.h"
+#include "pdb/prob_traits.h"
+#include "relational/fact.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// A finite probabilistic database (Definition 2.1 with |𝔻| finite): an
+/// explicit list of possible worlds with probabilities summing to one.
+///
+/// `P` is `double` (numeric) or `math::Rational` (exact); see
+/// ProbTraits. Worlds are kept sorted by instance and duplicate-free
+/// (probabilities of equal instances are merged), so two FinitePdbs are
+/// equal as probability spaces iff their world lists are equal.
+template <typename P>
+class FinitePdb {
+ public:
+  using WorldList = std::vector<std::pair<rel::Instance, P>>;
+
+  FinitePdb() = default;
+
+  /// Validates and canonicalizes: all probabilities non-negative, total
+  /// mass one (exactly for Rational, within 1e-9 for double), all
+  /// instances matching the schema. Zero-probability worlds are kept if
+  /// given (they matter for IDB(D) only when positive, so callers usually
+  /// drop them; `DropNullWorlds` removes them).
+  static StatusOr<FinitePdb> Create(rel::Schema schema, WorldList worlds);
+
+  /// Create, aborting on invalid input.
+  static FinitePdb CreateOrDie(rel::Schema schema, WorldList worlds);
+
+  const rel::Schema& schema() const { return schema_; }
+  const WorldList& worlds() const { return worlds_; }
+  int num_worlds() const { return static_cast<int>(worlds_.size()); }
+
+  /// Probability of one instance (zero if absent).
+  P Probability(const rel::Instance& instance) const;
+
+  /// Marginal probability Pr(t ∈ D) of a fact.
+  P Marginal(const rel::Fact& fact) const;
+
+  /// The fact set T(D): all facts appearing in worlds of positive
+  /// probability, sorted.
+  std::vector<rel::Fact> FactSet() const;
+
+  /// E[|D|^k] as a double (also exact in spirit for Rational inputs — the
+  /// k-th moment of a finite PDB is finite and this converts at the end).
+  double SizeMoment(int k) const;
+
+  /// E[|D|^k] computed exactly (only for P = math::Rational).
+  P SizeMomentExact(int k) const;
+
+  /// Removes worlds of zero probability.
+  FinitePdb DropNullWorlds() const;
+
+  /// Tuple-independence test (Definition 2.3): checks that for every
+  /// subset of the fact set, the joint membership probability factorizes.
+  /// Exponential in |T(D)|; intended for small test fixtures.
+  bool IsTupleIndependent() const;
+
+  /// Block-independent-disjointness test for a given partition of the
+  /// fact set into blocks (Definition 2.5).
+  bool IsBlockIndependentDisjoint(
+      const std::vector<std::vector<rel::Fact>>& blocks) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const FinitePdb& a, const FinitePdb& b) {
+    return a.schema_ == b.schema_ && a.worlds_ == b.worlds_;
+  }
+
+ private:
+  rel::Schema schema_;
+  WorldList worlds_;
+};
+
+using FinitePdbD = FinitePdb<double>;
+using FinitePdbQ = FinitePdb<math::Rational>;
+
+/// Total variation distance between two finite PDBs over the same schema:
+/// (1/2) Σ_D |P₁(D) − P₂(D)| (as a double).
+template <typename P>
+double TotalVariationDistance(const FinitePdb<P>& a, const FinitePdb<P>& b);
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_FINITE_PDB_H_

@@ -1,0 +1,49 @@
+#ifndef IPDB_PDB_INFORMATION_H_
+#define IPDB_PDB_INFORMATION_H_
+
+#include "pdb/finite_pdb.h"
+#include "pdb/ti_pdb.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// Information-theoretic measures on finite PDBs. Besides total
+/// variation (finite_pdb.h), these quantify how far a distribution is
+/// from independence — the gap the paper's representation theorems close
+/// constructively.
+
+/// Shannon entropy H(D) = −Σ P(D) log₂ P(D) in bits.
+template <typename P>
+double ShannonEntropy(const FinitePdb<P>& pdb);
+
+/// The entropy of a TI-PDB in closed form: facts are independent, so
+/// H = Σ_t h(p_t) with h the binary entropy function. Matches
+/// ShannonEntropy(ti.Expand()) exactly (tested), without the 2^n
+/// expansion.
+template <typename P>
+double TiEntropy(const TiPdb<P>& ti);
+
+/// Kullback–Leibler divergence KL(a ‖ b) in bits. Fails when a puts
+/// positive mass where b has none (the divergence is infinite) — use
+/// the return status to detect support mismatches.
+template <typename P>
+StatusOr<double> KlDivergence(const FinitePdb<P>& a, const FinitePdb<P>& b);
+
+/// Hellinger distance H(a, b) = sqrt(1 − Σ sqrt(P_a P_b)) ∈ [0, 1].
+template <typename P>
+double HellingerDistance(const FinitePdb<P>& a, const FinitePdb<P>& b);
+
+/// The "independence gap" of a finite PDB: the KL divergence from the
+/// PDB to the TI-PDB carrying the same marginals (its maximum-entropy
+/// product approximation). Zero iff the PDB is itself tuple-independent
+/// — a quantitative version of the TI membership test. Always finite
+/// for marginals in (0, 1); degenerate marginals (exactly 0 or 1) can
+/// only zero out worlds the PDB does not use either.
+template <typename P>
+StatusOr<double> IndependenceGap(const FinitePdb<P>& pdb);
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_INFORMATION_H_

@@ -1,0 +1,79 @@
+#include "pdb/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ipdb {
+namespace pdb {
+
+int64_t EmpiricalDistribution::Count(const rel::Instance& instance) const {
+  auto it = counts_.find(instance);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double EmpiricalDistribution::Frequency(const rel::Instance& instance) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(Count(instance)) /
+         static_cast<double>(total_);
+}
+
+template <typename P>
+double EmpiricalDistribution::TvDistance(const FinitePdb<P>& pdb) const {
+  double total = 0.0;
+  std::set<rel::Instance> support;
+  for (const auto& [instance, count] : counts_) support.insert(instance);
+  for (const auto& [instance, probability] : pdb.worlds()) {
+    support.insert(instance);
+  }
+  for (const rel::Instance& instance : support) {
+    total += std::abs(Frequency(instance) -
+                      ProbTraits<P>::ToDouble(pdb.Probability(instance)));
+  }
+  return total / 2.0;
+}
+
+template <typename P>
+double EmpiricalDistribution::MaxAbsDiff(const FinitePdb<P>& pdb) const {
+  double best = 0.0;
+  std::set<rel::Instance> support;
+  for (const auto& [instance, count] : counts_) support.insert(instance);
+  for (const auto& [instance, probability] : pdb.worlds()) {
+    support.insert(instance);
+  }
+  for (const rel::Instance& instance : support) {
+    best = std::max(
+        best, std::abs(Frequency(instance) -
+                       ProbTraits<P>::ToDouble(pdb.Probability(instance))));
+  }
+  return best;
+}
+
+template double EmpiricalDistribution::TvDistance(
+    const FinitePdb<double>&) const;
+template double EmpiricalDistribution::TvDistance(
+    const FinitePdb<math::Rational>&) const;
+template double EmpiricalDistribution::MaxAbsDiff(
+    const FinitePdb<double>&) const;
+template double EmpiricalDistribution::MaxAbsDiff(
+    const FinitePdb<math::Rational>&) const;
+
+double TvDistanceMixed(const FinitePdb<math::Rational>& exact,
+                       const FinitePdb<double>& approx) {
+  double total = 0.0;
+  std::set<rel::Instance> support;
+  for (const auto& [instance, probability] : exact.worlds()) {
+    support.insert(instance);
+  }
+  for (const auto& [instance, probability] : approx.worlds()) {
+    support.insert(instance);
+  }
+  for (const rel::Instance& instance : support) {
+    total += std::abs(exact.Probability(instance).ToDouble() -
+                      approx.Probability(instance));
+  }
+  return total / 2.0;
+}
+
+}  // namespace pdb
+}  // namespace ipdb

@@ -1,0 +1,56 @@
+#ifndef IPDB_PDB_METRICS_H_
+#define IPDB_PDB_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "pdb/finite_pdb.h"
+#include "relational/instance.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// An empirical distribution over instances accumulated from samples;
+/// used for Monte Carlo verification that a construction's sampled output
+/// matches the target distribution.
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+
+  void Add(const rel::Instance& instance) {
+    ++counts_[instance];
+    ++total_;
+  }
+
+  int64_t total() const { return total_; }
+  int64_t Count(const rel::Instance& instance) const;
+  double Frequency(const rel::Instance& instance) const;
+  const std::map<rel::Instance, int64_t>& counts() const { return counts_; }
+
+  /// Total variation distance between the empirical distribution and a
+  /// finite PDB: (1/2) Σ |freq(D) − P(D)|, summed over the union of
+  /// supports. Converges to 0 like O(sqrt(#worlds / samples)) when the
+  /// sampler is faithful.
+  template <typename P>
+  double TvDistance(const FinitePdb<P>& pdb) const;
+
+  /// Maximum absolute difference between empirical frequencies and PDB
+  /// probabilities over the union of supports.
+  template <typename P>
+  double MaxAbsDiff(const FinitePdb<P>& pdb) const;
+
+ private:
+  std::map<rel::Instance, int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Total variation distance between PDBs carried at different probability
+/// types (e.g. an exact construction output vs. a double reference).
+double TvDistanceMixed(const FinitePdb<math::Rational>& exact,
+                       const FinitePdb<double>& approx);
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_METRICS_H_

@@ -1,0 +1,56 @@
+#ifndef IPDB_PDB_PROB_TRAITS_H_
+#define IPDB_PDB_PROB_TRAITS_H_
+
+#include <cmath>
+#include <string>
+
+#include "math/rational.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// Traits abstracting the probability type used by finite PDBs.
+///
+/// Two instantiations are supported:
+///  * `double` — fast, used for Monte Carlo and numeric criteria;
+///  * `math::Rational` — exact, used wherever the paper's statements are
+///    exact distribution equalities (Theorem 4.1, Lemma 5.7, the finite
+///    completeness theorem).
+template <typename P>
+struct ProbTraits;
+
+template <>
+struct ProbTraits<double> {
+  static constexpr bool kExact = false;
+  static double Zero() { return 0.0; }
+  static double One() { return 1.0; }
+  static double ToDouble(double p) { return p; }
+  static bool IsNonNegative(double p) { return p >= 0.0; }
+  /// Tolerant normalization check: |p - 1| <= 1e-9.
+  static bool IsOne(double p) { return std::abs(p - 1.0) <= 1e-9; }
+  static bool IsZero(double p) { return p == 0.0; }
+  static std::string ToString(double p) { return std::to_string(p); }
+};
+
+template <>
+struct ProbTraits<math::Rational> {
+  static constexpr bool kExact = true;
+  static math::Rational Zero() { return math::Rational(0); }
+  static math::Rational One() { return math::Rational(1); }
+  static double ToDouble(const math::Rational& p) { return p.ToDouble(); }
+  static bool IsNonNegative(const math::Rational& p) {
+    return !p.is_negative();
+  }
+  static bool IsOne(const math::Rational& p) {
+    return p == math::Rational(1);
+  }
+  static bool IsZero(const math::Rational& p) { return p.is_zero(); }
+  static std::string ToString(const math::Rational& p) {
+    return p.ToString();
+  }
+};
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_PROB_TRAITS_H_

@@ -1,0 +1,51 @@
+#include "pdb/pushforward.h"
+
+#include <map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace pdb {
+
+template <typename P>
+StatusOr<FinitePdb<P>> Pushforward(const FinitePdb<P>& pdb,
+                                   const logic::FoView& view) {
+  if (!(view.input_schema() == pdb.schema())) {
+    return InvalidArgumentError("view input schema differs from the PDB's");
+  }
+  std::map<rel::Instance, P> grouped;
+  for (const auto& [instance, probability] : pdb.worlds()) {
+    StatusOr<rel::Instance> image = view.Apply(instance);
+    if (!image.ok()) return image.status();
+    auto [it, inserted] =
+        grouped.emplace(std::move(image).value(), probability);
+    if (!inserted) it->second = it->second + probability;
+  }
+  typename FinitePdb<P>::WorldList worlds;
+  worlds.reserve(grouped.size());
+  for (auto& [instance, probability] : grouped) {
+    worlds.emplace_back(instance, probability);
+  }
+  return FinitePdb<P>::Create(view.output_schema(), std::move(worlds));
+}
+
+template <typename P>
+FinitePdb<P> PushforwardOrDie(const FinitePdb<P>& pdb,
+                              const logic::FoView& view) {
+  StatusOr<FinitePdb<P>> result = Pushforward(pdb, view);
+  IPDB_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+template StatusOr<FinitePdb<double>> Pushforward(const FinitePdb<double>&,
+                                                 const logic::FoView&);
+template StatusOr<FinitePdb<math::Rational>> Pushforward(
+    const FinitePdb<math::Rational>&, const logic::FoView&);
+template FinitePdb<double> PushforwardOrDie(const FinitePdb<double>&,
+                                            const logic::FoView&);
+template FinitePdb<math::Rational> PushforwardOrDie(
+    const FinitePdb<math::Rational>&, const logic::FoView&);
+
+}  // namespace pdb
+}  // namespace ipdb

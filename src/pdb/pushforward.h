@@ -1,0 +1,25 @@
+#ifndef IPDB_PDB_PUSHFORWARD_H_
+#define IPDB_PDB_PUSHFORWARD_H_
+
+#include "logic/view.h"
+#include "pdb/finite_pdb.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// The image PDB V(D) of a finite PDB under an FO-view (Section 2,
+/// "Query Semantics"): P'(D') = P({D : V(D) = D'}). Fails if a view body
+/// is malformed or the view's input schema differs from the PDB's.
+template <typename P>
+StatusOr<FinitePdb<P>> Pushforward(const FinitePdb<P>& pdb,
+                                   const logic::FoView& view);
+
+/// Pushforward, aborting on error.
+template <typename P>
+FinitePdb<P> PushforwardOrDie(const FinitePdb<P>& pdb,
+                              const logic::FoView& view);
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_PUSHFORWARD_H_

@@ -1,0 +1,31 @@
+#include "pdb/sampling.h"
+
+namespace ipdb {
+namespace pdb {
+
+template <typename P>
+rel::Instance SampleWorld(const FinitePdb<P>& pdb, Pcg32* rng) {
+  double x = rng->NextDouble();
+  double cumulative = 0.0;
+  for (const auto& [instance, probability] : pdb.worlds()) {
+    cumulative += ProbTraits<P>::ToDouble(probability);
+    if (x < cumulative) return instance;
+  }
+  // Floating point slack: return the last world.
+  return pdb.worlds().back().first;
+}
+
+template rel::Instance SampleWorld(const FinitePdb<double>&, Pcg32*);
+template rel::Instance SampleWorld(const FinitePdb<math::Rational>&, Pcg32*);
+
+EmpiricalDistribution Accumulate(
+    const std::function<rel::Instance()>& sampler, int64_t samples) {
+  EmpiricalDistribution empirical;
+  for (int64_t i = 0; i < samples; ++i) {
+    empirical.Add(sampler());
+  }
+  return empirical;
+}
+
+}  // namespace pdb
+}  // namespace ipdb

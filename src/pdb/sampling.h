@@ -1,0 +1,29 @@
+#ifndef IPDB_PDB_SAMPLING_H_
+#define IPDB_PDB_SAMPLING_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "pdb/bid_pdb.h"
+#include "pdb/finite_pdb.h"
+#include "pdb/metrics.h"
+#include "pdb/ti_pdb.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// Draws a world from an explicit finite PDB (linear inversion; adequate
+/// for test-sized PDBs).
+template <typename P>
+rel::Instance SampleWorld(const FinitePdb<P>& pdb, Pcg32* rng);
+
+/// Runs `samples` draws from `sampler` and accumulates the empirical
+/// distribution; the workhorse of Monte Carlo construction checks.
+EmpiricalDistribution Accumulate(
+    const std::function<rel::Instance()>& sampler, int64_t samples);
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_SAMPLING_H_

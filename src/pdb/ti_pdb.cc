@@ -1,0 +1,231 @@
+#include "pdb/ti_pdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace pdb {
+
+template <typename P>
+StatusOr<TiPdb<P>> TiPdb<P>::Create(rel::Schema schema, FactList facts) {
+  using Traits = ProbTraits<P>;
+  std::set<rel::Fact> seen;
+  for (const auto& [fact, marginal] : facts) {
+    if (!fact.MatchesSchema(schema)) {
+      return InvalidArgumentError("fact does not match the schema: " +
+                                  fact.ToString(schema));
+    }
+    if (!seen.insert(fact).second) {
+      return InvalidArgumentError("duplicate fact: " + fact.ToString(schema));
+    }
+    if (!Traits::IsNonNegative(marginal) ||
+        Traits::ToDouble(marginal) > 1.0 + 1e-12) {
+      return InvalidArgumentError("marginal probability outside [0, 1]");
+    }
+  }
+  TiPdb result;
+  result.schema_ = std::move(schema);
+  result.facts_ = std::move(facts);
+  return result;
+}
+
+template <typename P>
+TiPdb<P> TiPdb<P>::CreateOrDie(rel::Schema schema, FactList facts) {
+  StatusOr<TiPdb> pdb = Create(std::move(schema), std::move(facts));
+  IPDB_CHECK(pdb.ok()) << pdb.status().ToString();
+  return std::move(pdb).value();
+}
+
+template <typename P>
+P TiPdb<P>::Marginal(const rel::Fact& fact) const {
+  for (const auto& [candidate, marginal] : facts_) {
+    if (candidate == fact) return marginal;
+  }
+  return ProbTraits<P>::Zero();
+}
+
+template <typename P>
+P TiPdb<P>::WorldProbability(const rel::Instance& instance) const {
+  // Every fact of the instance must be in the fact set.
+  for (const rel::Fact& f : instance.facts()) {
+    bool found = false;
+    for (const auto& [candidate, marginal] : facts_) {
+      if (candidate == f) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return ProbTraits<P>::Zero();
+  }
+  P probability = ProbTraits<P>::One();
+  for (const auto& [fact, marginal] : facts_) {
+    if (instance.Contains(fact)) {
+      probability = probability * marginal;
+    } else {
+      probability = probability * (ProbTraits<P>::One() - marginal);
+    }
+  }
+  return probability;
+}
+
+template <typename P>
+P TiPdb<P>::MarginalSum() const {
+  P total = ProbTraits<P>::Zero();
+  for (const auto& [fact, marginal] : facts_) total = total + marginal;
+  return total;
+}
+
+template <typename P>
+FinitePdb<P> TiPdb<P>::Expand() const {
+  // Facts with marginal exactly 1 are present in every world and facts
+  // with marginal 0 in none, so only "uncertain" facts drive the 2^n
+  // expansion.
+  std::vector<rel::Fact> certain;
+  std::vector<std::pair<rel::Fact, P>> uncertain;
+  for (const auto& [fact, marginal] : facts_) {
+    if (ProbTraits<P>::IsZero(marginal)) continue;
+    if (ProbTraits<P>::IsOne(marginal) &&
+        ProbTraits<P>::ToDouble(marginal) >= 1.0) {
+      certain.push_back(fact);
+    } else {
+      uncertain.emplace_back(fact, marginal);
+    }
+  }
+  IPDB_CHECK_LE(uncertain.size(), 20u) << "TI expansion is 2^n";
+  typename FinitePdb<P>::WorldList worlds;
+  const uint64_t count = 1ULL << uncertain.size();
+  worlds.reserve(count);
+  for (uint64_t mask = 0; mask < count; ++mask) {
+    std::vector<rel::Fact> chosen = certain;
+    P probability = ProbTraits<P>::One();
+    for (size_t i = 0; i < uncertain.size(); ++i) {
+      if ((mask >> i) & 1) {
+        chosen.push_back(uncertain[i].first);
+        probability = probability * uncertain[i].second;
+      } else {
+        probability =
+            probability * (ProbTraits<P>::One() - uncertain[i].second);
+      }
+    }
+    worlds.emplace_back(rel::Instance(std::move(chosen)),
+                        std::move(probability));
+  }
+  return FinitePdb<P>::CreateOrDie(schema_, std::move(worlds));
+}
+
+template <typename P>
+rel::Instance TiPdb<P>::Sample(Pcg32* rng) const {
+  std::vector<rel::Fact> chosen;
+  for (const auto& [fact, marginal] : facts_) {
+    if (rng->NextBernoulli(ProbTraits<P>::ToDouble(marginal))) {
+      chosen.push_back(fact);
+    }
+  }
+  return rel::Instance(std::move(chosen));
+}
+
+template <typename P>
+std::vector<double> TiPdb<P>::SizeDistribution() const {
+  std::vector<double> marginals;
+  marginals.reserve(facts_.size());
+  for (const auto& [fact, marginal] : facts_) {
+    marginals.push_back(ProbTraits<P>::ToDouble(marginal));
+  }
+  return prob::PoissonBinomialPmf(marginals);
+}
+
+template <typename P>
+double TiPdb<P>::SizeMoment(int k) const {
+  return prob::MomentFromPmf(SizeDistribution(), k);
+}
+
+template <typename P>
+std::string TiPdb<P>::ToString() const {
+  std::string out;
+  for (const auto& [fact, marginal] : facts_) {
+    out += fact.ToString(schema_) + " : " +
+           ProbTraits<P>::ToString(marginal) + "\n";
+  }
+  return out;
+}
+
+template class TiPdb<double>;
+template class TiPdb<math::Rational>;
+
+StatusOr<CountableTiPdb> CountableTiPdb::Create(Family family) {
+  if (!family.fact_at || !family.marginal_at) {
+    return InvalidArgumentError(
+        "countable TI family needs fact_at and marginal_at");
+  }
+  return CountableTiPdb(std::move(family));
+}
+
+Series CountableTiPdb::MarginalSeries() const {
+  Series series;
+  series.term = family_.marginal_at;
+  series.tail_upper_bound = family_.marginal_tail_upper;
+  series.tail_lower_bound = family_.marginal_tail_lower;
+  series.description = "marginal sum of " + family_.description;
+  return series;
+}
+
+SumAnalysis CountableTiPdb::CheckWellDefined(const SumOptions& options) const {
+  return AnalyzeSum(MarginalSeries(), options);
+}
+
+StatusOr<Interval> CountableTiPdb::SizeMomentInterval(int k,
+                                                      int64_t prefix) const {
+  if (!family_.marginal_tail_upper) {
+    return FailedPreconditionError(
+        "size moments need a marginal tail certificate");
+  }
+  double tail = family_.marginal_tail_upper(prefix);
+  if (!std::isfinite(tail)) {
+    return FailedPreconditionError("marginal tail certificate is infinite");
+  }
+  std::vector<double> marginals;
+  marginals.reserve(prefix);
+  for (int64_t i = 0; i < prefix; ++i) {
+    marginals.push_back(family_.marginal_at(i));
+  }
+  return prob::PoissonBinomialMomentInterval(marginals, tail, k);
+}
+
+StatusOr<rel::Instance> CountableTiPdb::Sample(Pcg32* rng,
+                                               double epsilon) const {
+  if (!family_.marginal_tail_upper) {
+    return FailedPreconditionError("sampling needs a tail certificate");
+  }
+  // Find a cutoff with tail mass <= epsilon (P(any fact >= N appears) <=
+  // sum of their marginals).
+  int64_t cutoff = 1;
+  while (family_.marginal_tail_upper(cutoff) > epsilon) {
+    cutoff *= 2;
+    if (cutoff > (1LL << 30)) {
+      return FailedPreconditionError(
+          "tail certificate does not reach the requested epsilon");
+    }
+  }
+  std::vector<rel::Fact> chosen;
+  for (int64_t i = 0; i < cutoff; ++i) {
+    if (rng->NextBernoulli(family_.marginal_at(i))) {
+      chosen.push_back(family_.fact_at(i));
+    }
+  }
+  return rel::Instance(std::move(chosen));
+}
+
+TiPdb<double> CountableTiPdb::Truncate(int64_t n) const {
+  TiPdb<double>::FactList facts;
+  facts.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    facts.emplace_back(family_.fact_at(i), family_.marginal_at(i));
+  }
+  return TiPdb<double>::CreateOrDie(family_.schema, std::move(facts));
+}
+
+}  // namespace pdb
+}  // namespace ipdb

@@ -1,0 +1,36 @@
+#ifndef IPDB_PDB_TOP_K_H_
+#define IPDB_PDB_TOP_K_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pdb/ti_pdb.h"
+#include "relational/instance.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace pdb {
+
+/// Top-k most probable possible worlds of a finite TI-PDB, *without*
+/// expanding the 2^n sample space: best-first search from the modal
+/// world (take each fact iff its marginal is >= 1/2), expanding one fact
+/// flip at a time through a max-heap. Runs in O(k n log(kn)) heap
+/// operations for n facts — usable where Expand() is not.
+///
+/// Returns up to k (world, probability) pairs in non-increasing
+/// probability order. Supports up to 63 facts; ties are broken by the
+/// flip pattern (deterministic).
+StatusOr<std::vector<std::pair<rel::Instance, double>>> TopKWorlds(
+    const TiPdb<double>& ti, int64_t k);
+
+/// Top-k worlds of an explicit finite PDB (sorting shortcut, for parity
+/// of API and for cross-checking the TI search in tests).
+template <typename P>
+std::vector<std::pair<rel::Instance, P>> TopKWorlds(
+    const FinitePdb<P>& pdb, int64_t k);
+
+}  // namespace pdb
+}  // namespace ipdb
+
+#endif  // IPDB_PDB_TOP_K_H_

@@ -1,0 +1,97 @@
+#include "pqe/expected_answers.h"
+
+#include <algorithm>
+#include <set>
+
+#include "pqe/wmc.h"
+
+namespace ipdb {
+namespace pqe {
+
+namespace {
+
+using logic::Formula;
+using logic::Term;
+
+StatusOr<std::vector<RankedAnswer>> EnumerateAnswers(
+    const pdb::TiPdb<double>& ti, const Formula& query,
+    const std::vector<std::string>& head_vars) {
+  std::vector<std::string> free = query.FreeVariables();
+  for (const std::string& v : free) {
+    if (std::find(head_vars.begin(), head_vars.end(), v) ==
+        head_vars.end()) {
+      return InvalidArgumentError("free variable " + v +
+                                  " not covered by the head");
+    }
+  }
+  // Candidate values: adom of the fact set plus query constants.
+  std::set<rel::Value> candidate_set;
+  for (const auto& [fact, marginal] : ti.facts()) {
+    for (const rel::Value& v : fact.args()) candidate_set.insert(v);
+  }
+  for (const rel::Value& v : query.Constants()) candidate_set.insert(v);
+  std::vector<rel::Value> candidates(candidate_set.begin(),
+                                     candidate_set.end());
+
+  std::vector<RankedAnswer> answers;
+  if (head_vars.empty()) {
+    StatusOr<double> p = QueryProbability(ti, query);
+    if (!p.ok()) return p.status();
+    if (p.value() > 0.0) answers.push_back({{}, p.value()});
+    return answers;
+  }
+  if (candidates.empty()) return answers;
+
+  std::vector<size_t> odometer(head_vars.size(), 0);
+  while (true) {
+    Formula grounded = query;
+    std::vector<rel::Value> tuple;
+    for (size_t i = 0; i < head_vars.size(); ++i) {
+      grounded = grounded.Substitute(
+          head_vars[i], Term::Const(candidates[odometer[i]]));
+      tuple.push_back(candidates[odometer[i]]);
+    }
+    StatusOr<double> p = QueryProbability(ti, grounded);
+    if (!p.ok()) return p.status();
+    if (p.value() > 0.0) answers.push_back({std::move(tuple), p.value()});
+    size_t pos = 0;
+    while (pos < odometer.size()) {
+      if (++odometer[pos] < candidates.size()) break;
+      odometer[pos] = 0;
+      ++pos;
+    }
+    if (pos == odometer.size()) break;
+  }
+  std::sort(answers.begin(), answers.end(),
+            [](const RankedAnswer& a, const RankedAnswer& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.tuple < b.tuple;
+            });
+  return answers;
+}
+
+}  // namespace
+
+StatusOr<std::vector<RankedAnswer>> RankedAnswers(
+    const pdb::TiPdb<double>& ti, const logic::Formula& query,
+    const std::vector<std::string>& head_vars) {
+  return EnumerateAnswers(ti, query, head_vars);
+}
+
+StatusOr<double> ExpectedAnswerCount(
+    const pdb::TiPdb<double>& ti, const logic::Formula& query,
+    const std::vector<std::string>& head_vars) {
+  StatusOr<std::vector<RankedAnswer>> answers =
+      EnumerateAnswers(ti, query, head_vars);
+  if (!answers.ok()) return answers.status();
+  double total = 0.0;
+  for (const RankedAnswer& answer : answers.value()) {
+    total += answer.probability;
+  }
+  return total;
+}
+
+}  // namespace pqe
+}  // namespace ipdb

@@ -1,0 +1,43 @@
+#ifndef IPDB_PQE_EXPECTED_ANSWERS_H_
+#define IPDB_PQE_EXPECTED_ANSWERS_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+#include "pdb/ti_pdb.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace pqe {
+
+/// The expected answer count E[|q(D)|] of a non-boolean query over a
+/// TI-PDB — the quantity whose boundedness Lemma 3.3 exploits to show
+/// that FO-views preserve finite moments, here computed exactly.
+///
+/// By linearity of expectation,
+///
+///   E[|q(D)|] = Σ_ā Pr(D ⊨ q(ā)),
+///
+/// with ā ranging over (adom(T(I)) ∪ consts(q))^k (the output-safety
+/// candidate set) and each summand evaluated by exact WMC. `head_vars`
+/// orders the free variables, as in logic::EvaluateQuery.
+StatusOr<double> ExpectedAnswerCount(
+    const pdb::TiPdb<double>& ti, const logic::Formula& query,
+    const std::vector<std::string>& head_vars);
+
+/// Per-tuple answer probabilities: the pairs (ā, Pr(D ⊨ q(ā))) with
+/// positive probability — the standard "probabilistic answers, ranked"
+/// output of a probabilistic database.
+struct RankedAnswer {
+  std::vector<rel::Value> tuple;
+  double probability;
+};
+StatusOr<std::vector<RankedAnswer>> RankedAnswers(
+    const pdb::TiPdb<double>& ti, const logic::Formula& query,
+    const std::vector<std::string>& head_vars);
+
+}  // namespace pqe
+}  // namespace ipdb
+
+#endif  // IPDB_PQE_EXPECTED_ANSWERS_H_

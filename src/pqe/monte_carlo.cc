@@ -1,0 +1,74 @@
+#include "pqe/monte_carlo.h"
+
+#include <cmath>
+
+#include "logic/evaluator.h"
+
+namespace ipdb {
+namespace pqe {
+
+namespace {
+
+StatusOr<double> HoeffdingHalfWidth(int64_t samples, double confidence) {
+  if (samples <= 0) return InvalidArgumentError("need at least one sample");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return InvalidArgumentError("confidence must lie in (0, 1)");
+  }
+  double delta = 1.0 - confidence;
+  return std::sqrt(std::log(2.0 / delta) /
+                   (2.0 * static_cast<double>(samples)));
+}
+
+}  // namespace
+
+StatusOr<MonteCarloEstimate> EstimateQueryProbability(
+    const pdb::TiPdb<double>& ti, const logic::Formula& sentence,
+    int64_t samples, Pcg32* rng, double confidence) {
+  StatusOr<double> half_width = HoeffdingHalfWidth(samples, confidence);
+  if (!half_width.ok()) return half_width.status();
+  if (!sentence.FreeVariables().empty()) {
+    return InvalidArgumentError("query must be a sentence");
+  }
+  int64_t hits = 0;
+  for (int64_t i = 0; i < samples; ++i) {
+    rel::Instance world = ti.Sample(rng);
+    StatusOr<bool> holds = logic::Evaluate(world, ti.schema(), sentence);
+    if (!holds.ok()) return holds.status();
+    if (holds.value()) ++hits;
+  }
+  MonteCarloEstimate result;
+  result.estimate =
+      static_cast<double>(hits) / static_cast<double>(samples);
+  result.half_width = half_width.value();
+  result.samples = samples;
+  return result;
+}
+
+StatusOr<MonteCarloEstimate> EstimateQueryProbability(
+    const pdb::CountableTiPdb& ti, const logic::Formula& sentence,
+    int64_t samples, Pcg32* rng, double confidence, double epsilon) {
+  StatusOr<double> half_width = HoeffdingHalfWidth(samples, confidence);
+  if (!half_width.ok()) return half_width.status();
+  if (!sentence.FreeVariables().empty()) {
+    return InvalidArgumentError("query must be a sentence");
+  }
+  int64_t hits = 0;
+  for (int64_t i = 0; i < samples; ++i) {
+    StatusOr<rel::Instance> world = ti.Sample(rng, epsilon);
+    if (!world.ok()) return world.status();
+    StatusOr<bool> holds =
+        logic::Evaluate(world.value(), ti.schema(), sentence);
+    if (!holds.ok()) return holds.status();
+    if (holds.value()) ++hits;
+  }
+  MonteCarloEstimate result;
+  result.estimate =
+      static_cast<double>(hits) / static_cast<double>(samples);
+  result.half_width = half_width.value();
+  result.samples = samples;
+  result.sampler_bias = epsilon;
+  return result;
+}
+
+}  // namespace pqe
+}  // namespace ipdb

@@ -1,0 +1,48 @@
+#ifndef IPDB_PQE_MONTE_CARLO_H_
+#define IPDB_PQE_MONTE_CARLO_H_
+
+#include <cstdint>
+
+#include "logic/formula.h"
+#include "pdb/ti_pdb.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace pqe {
+
+/// Sampling-based approximate PQE: estimate Pr(I ⊨ φ) by drawing worlds
+/// and model-checking φ. Complements the exact WMC path (wmc.h) where
+/// lineages blow up, and is the only general route for *countably
+/// infinite* TI-PDBs, where the certified-tail sampler bounds the
+/// per-sample truncation error.
+struct MonteCarloEstimate {
+  double estimate = 0.0;
+  /// Hoeffding half-width: with probability >= confidence, the true
+  /// query probability lies within estimate ± half_width (± the stated
+  /// sampler bias for the countable overload).
+  double half_width = 1.0;
+  int64_t samples = 0;
+  /// Additional one-sided bias bound from truncated sampling (countable
+  /// overload only; 0 for finite TI-PDBs).
+  double sampler_bias = 0.0;
+};
+
+/// Finite TI-PDB: unbiased estimator, Hoeffding interval at the given
+/// confidence level (in (0, 1)).
+StatusOr<MonteCarloEstimate> EstimateQueryProbability(
+    const pdb::TiPdb<double>& ti, const logic::Formula& sentence,
+    int64_t samples, Pcg32* rng, double confidence = 0.99);
+
+/// Countably infinite TI-PDB: each sampled world is exact except with
+/// probability <= epsilon (the tail mass beyond the cutoff), adding at
+/// most epsilon of bias, reported in `sampler_bias`.
+StatusOr<MonteCarloEstimate> EstimateQueryProbability(
+    const pdb::CountableTiPdb& ti, const logic::Formula& sentence,
+    int64_t samples, Pcg32* rng, double confidence = 0.99,
+    double epsilon = 1e-9);
+
+}  // namespace pqe
+}  // namespace ipdb
+
+#endif  // IPDB_PQE_MONTE_CARLO_H_

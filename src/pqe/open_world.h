@@ -1,0 +1,37 @@
+#ifndef IPDB_PQE_OPEN_WORLD_H_
+#define IPDB_PQE_OPEN_WORLD_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "pdb/ti_pdb.h"
+#include "util/interval.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace pqe {
+
+/// Open-world probabilistic databases (Ceylan, Darwiche, Van den Broeck
+/// [12]; one of the motivations the paper cites for unbounded-size
+/// infinite PDBs): facts *not* listed in the TI-PDB are not impossible —
+/// they may hold with any probability up to a completion threshold λ.
+/// Queries then have probability *intervals* over all λ-completions.
+///
+/// For a monotone query q (checked syntactically: positive existential)
+/// and a finite candidate set of unknown facts, the extrema are attained
+/// at the edge completions:
+///
+///   P_lo = Pr(q) under the closed-world TI-PDB (unknowns at 0),
+///   P_hi = Pr(q) with every candidate unknown fact added at λ.
+///
+/// The candidate set stands in for the (countably infinite) fact domain;
+/// a completion over facts outside it cannot raise a monotone query
+/// whose grounding never touches them.
+StatusOr<Interval> OpenQueryProbabilityInterval(
+    const pdb::TiPdb<double>& ti, const logic::Formula& sentence,
+    double lambda, const std::vector<rel::Fact>& candidate_unknowns);
+
+}  // namespace pqe
+}  // namespace ipdb
+
+#endif  // IPDB_PQE_OPEN_WORLD_H_

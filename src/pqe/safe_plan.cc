@@ -1,0 +1,243 @@
+#include "pqe/safe_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "relational/fact.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace pqe {
+
+namespace {
+
+using logic::Formula;
+using logic::FormulaKind;
+using logic::Term;
+
+/// Variables occurring in an atom.
+std::set<std::string> AtomVariables(const Formula& atom) {
+  std::set<std::string> vars;
+  for (const Term& t : atom.terms()) {
+    if (t.is_var()) vars.insert(t.var());
+  }
+  return vars;
+}
+
+/// Collects atoms from a ∃-prefixed conjunction tree.
+Status CollectAtoms(const Formula& formula, ParsedCq* out) {
+  switch (formula.kind()) {
+    case FormulaKind::kAtom:
+      out->atoms.push_back(formula);
+      return Status::Ok();
+    case FormulaKind::kTrue:
+      return Status::Ok();
+    case FormulaKind::kAnd:
+      for (const Formula& child : formula.children()) {
+        Status status = CollectAtoms(child, out);
+        if (!status.ok()) return status;
+      }
+      return Status::Ok();
+    case FormulaKind::kExists:
+      out->variables.push_back(formula.quantified_var());
+      return CollectAtoms(formula.children()[0], out);
+    default:
+      return FailedPreconditionError(
+          "not a pure conjunctive query (only ∃, ∧ and relational atoms "
+          "are supported by the safe plan)");
+  }
+}
+
+}  // namespace
+
+StatusOr<ParsedCq> ParseSelfJoinFreeCq(const logic::Formula& sentence) {
+  if (!sentence.FreeVariables().empty()) {
+    return FailedPreconditionError("safe plans evaluate boolean queries");
+  }
+  ParsedCq parsed;
+  Status status = CollectAtoms(sentence, &parsed);
+  if (!status.ok()) return status;
+  std::set<rel::RelationId> relations;
+  for (const Formula& atom : parsed.atoms) {
+    if (!relations.insert(atom.relation()).second) {
+      return FailedPreconditionError(
+          "self-join detected (relation repeated); the dichotomy's safe "
+          "plans require self-join-free queries");
+    }
+  }
+  return parsed;
+}
+
+bool IsHierarchical(const ParsedCq& query) {
+  // at(x) for every variable, as sets of atom indices.
+  std::map<std::string, std::set<size_t>> at;
+  for (size_t i = 0; i < query.atoms.size(); ++i) {
+    for (const std::string& v : AtomVariables(query.atoms[i])) {
+      at[v].insert(i);
+    }
+  }
+  for (const auto& [x, ax] : at) {
+    for (const auto& [y, ay] : at) {
+      std::set<size_t> common;
+      std::set_intersection(ax.begin(), ax.end(), ay.begin(), ay.end(),
+                            std::inserter(common, common.begin()));
+      if (common.empty()) continue;
+      bool x_in_y = std::includes(ay.begin(), ay.end(), ax.begin(),
+                                  ax.end());
+      bool y_in_x = std::includes(ax.begin(), ax.end(), ay.begin(),
+                                  ay.end());
+      if (!x_in_y && !y_in_x) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// The recursive safe-plan evaluator over a list of (partially ground)
+/// atoms.
+class SafePlan {
+ public:
+  SafePlan(const pdb::TiPdb<double>& ti, SafePlanStats* stats)
+      : ti_(ti), stats_(stats) {
+    for (const auto& [fact, marginal] : ti.facts()) {
+      marginals_[fact] = marginal;
+    }
+  }
+
+  StatusOr<double> Evaluate(std::vector<Formula> atoms) {
+    // Partition into connected components via shared variables.
+    const size_t n = atoms.size();
+    if (n == 0) return 1.0;
+    std::vector<int> component(n, -1);
+    int components = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (component[i] != -1) continue;
+      // BFS from atom i.
+      std::vector<size_t> queue = {i};
+      component[i] = components;
+      while (!queue.empty()) {
+        size_t a = queue.back();
+        queue.pop_back();
+        std::set<std::string> va = AtomVariables(atoms[a]);
+        for (size_t b = 0; b < n; ++b) {
+          if (component[b] != -1) continue;
+          std::set<std::string> vb = AtomVariables(atoms[b]);
+          bool shares = false;
+          for (const std::string& v : va) {
+            if (vb.count(v) != 0) shares = true;
+          }
+          if (shares) {
+            component[b] = components;
+            queue.push_back(b);
+          }
+        }
+      }
+      ++components;
+    }
+    if (components > 1) {
+      if (stats_ != nullptr) stats_->independent_joins += components - 1;
+      double product = 1.0;
+      for (int comp = 0; comp < components; ++comp) {
+        std::vector<Formula> group;
+        for (size_t i = 0; i < n; ++i) {
+          if (component[i] == comp) group.push_back(atoms[i]);
+        }
+        StatusOr<double> p = Evaluate(std::move(group));
+        if (!p.ok()) return p.status();
+        product *= p.value();
+      }
+      return product;
+    }
+
+    // Single connected component. Fully ground? Multiply fact marginals.
+    bool ground = true;
+    for (const Formula& atom : atoms) {
+      if (!AtomVariables(atom).empty()) ground = false;
+    }
+    if (ground) {
+      double product = 1.0;
+      for (const Formula& atom : atoms) {
+        if (stats_ != nullptr) ++stats_->ground_lookups;
+        std::vector<rel::Value> args;
+        for (const Term& t : atom.terms()) args.push_back(t.value());
+        auto it = marginals_.find(rel::Fact(atom.relation(), args));
+        product *= it == marginals_.end() ? 0.0 : it->second;
+        if (product == 0.0) return 0.0;
+      }
+      return product;
+    }
+
+    // Independent project: find a root variable occurring in EVERY atom.
+    std::string root;
+    for (const std::string& v : AtomVariables(atoms[0])) {
+      bool in_all = true;
+      for (const Formula& atom : atoms) {
+        if (AtomVariables(atom).count(v) == 0) in_all = false;
+      }
+      if (in_all) {
+        root = v;
+        break;
+      }
+    }
+    if (root.empty()) {
+      return FailedPreconditionError(
+          "no root variable in a connected subquery — the query is not "
+          "hierarchical (#P-hard; use wmc.h)");
+    }
+    if (stats_ != nullptr) ++stats_->independent_projects;
+
+    // Candidate values: the TI facts' values at the root's positions in
+    // the first atom (any atom works; values missing there make the
+    // subquery probability 0).
+    std::set<rel::Value> candidates;
+    const Formula& guard = atoms[0];
+    for (const auto& [fact, marginal] : ti_.facts()) {
+      if (fact.relation() != guard.relation()) continue;
+      for (size_t i = 0; i < guard.terms().size(); ++i) {
+        if (guard.terms()[i].is_var() && guard.terms()[i].var() == root) {
+          candidates.insert(fact.args()[i]);
+        }
+      }
+    }
+    double none = 1.0;
+    for (const rel::Value& value : candidates) {
+      std::vector<Formula> substituted;
+      substituted.reserve(atoms.size());
+      for (const Formula& atom : atoms) {
+        substituted.push_back(atom.Substitute(root, Term::Const(value)));
+      }
+      StatusOr<double> p = Evaluate(std::move(substituted));
+      if (!p.ok()) return p.status();
+      none *= 1.0 - p.value();
+    }
+    return 1.0 - none;
+  }
+
+ private:
+  const pdb::TiPdb<double>& ti_;
+  SafePlanStats* stats_;
+  std::map<rel::Fact, double> marginals_;
+};
+
+}  // namespace
+
+StatusOr<double> SafeQueryProbability(const pdb::TiPdb<double>& ti,
+                                      const logic::Formula& sentence,
+                                      SafePlanStats* stats) {
+  StatusOr<ParsedCq> parsed = ParseSelfJoinFreeCq(sentence);
+  if (!parsed.ok()) return parsed.status();
+  if (!sentence.MatchesSchema(ti.schema())) {
+    return InvalidArgumentError("query does not match the TI schema");
+  }
+  if (!IsHierarchical(parsed.value())) {
+    return FailedPreconditionError(
+        "query is not hierarchical — #P-hard in general; use wmc.h");
+  }
+  SafePlan plan(ti, stats);
+  return plan.Evaluate(parsed.value().atoms);
+}
+
+}  // namespace pqe
+}  // namespace ipdb

@@ -1,0 +1,64 @@
+#ifndef IPDB_PQE_SAFE_PLAN_H_
+#define IPDB_PQE_SAFE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+#include "pdb/ti_pdb.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace pqe {
+
+/// Lifted inference for tuple-independent PDBs: the safe-plan evaluator
+/// for *hierarchical, self-join-free* boolean conjunctive queries
+/// (Dalvi & Suciu [17], the PTIME side of the PQE dichotomy — the
+/// algorithmic payoff of the representations this library studies).
+///
+/// A boolean CQ q = ∃x̄ (a₁ ∧ … ∧ a_m) with pairwise distinct relation
+/// symbols is *hierarchical* iff for any two variables x, y the atom
+/// sets at(x), at(y) are nested or disjoint. Hierarchical self-join-free
+/// CQs evaluate in polynomial time by alternating
+///
+///   independent join    P(q₁ ∧ q₂) = P(q₁) P(q₂)        (no shared vars)
+///   independent project P(∃x q) = 1 − Π_a (1 − P(q[x:=a]))
+///
+/// where the projected variable is a *root* variable (occurring in every
+/// atom of its connected component). Non-hierarchical queries are
+/// rejected with kFailedPrecondition (they are #P-hard; use wmc.h).
+
+/// A parsed self-join-free CQ: the existential variables and atoms of a
+/// boolean CQ sentence.
+struct ParsedCq {
+  std::vector<logic::Formula> atoms;  // kAtom formulas
+  std::vector<std::string> variables;
+};
+
+/// Extracts atoms from a boolean CQ sentence (∃-prefixed conjunction of
+/// relational atoms). Fails if the sentence is not of that shape, uses
+/// equality atoms, or repeats a relation symbol (self-join).
+StatusOr<ParsedCq> ParseSelfJoinFreeCq(const logic::Formula& sentence);
+
+/// Decides the hierarchy property for a parsed CQ.
+bool IsHierarchical(const ParsedCq& query);
+
+/// Execution counters for the safe plan.
+struct SafePlanStats {
+  int64_t independent_joins = 0;
+  int64_t independent_projects = 0;
+  int64_t ground_lookups = 0;
+};
+
+/// Evaluates Pr_{I~ti}(I ⊨ q) by a safe plan. Fails with
+/// kFailedPrecondition when the query is not a hierarchical
+/// self-join-free CQ.
+StatusOr<double> SafeQueryProbability(const pdb::TiPdb<double>& ti,
+                                      const logic::Formula& sentence,
+                                      SafePlanStats* stats = nullptr);
+
+}  // namespace pqe
+}  // namespace ipdb
+
+#endif  // IPDB_PQE_SAFE_PLAN_H_

@@ -1,0 +1,209 @@
+#include "pqe/wmc.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "logic/evaluator.h"
+#include "util/check.h"
+
+namespace ipdb {
+namespace pqe {
+
+namespace {
+
+class WmcSolver {
+ public:
+  WmcSolver(Lineage* lineage, const std::vector<double>& var_probs,
+            WmcStats* stats, const WmcOptions& options)
+      : lineage_(*lineage),
+        var_probs_(var_probs),
+        stats_(stats),
+        options_(options) {}
+
+  double Solve(NodeId id) {
+    auto it = cache_.find(id);
+    if (it != cache_.end()) {
+      if (stats_ != nullptr) ++stats_->cache_hits;
+      return it->second;
+    }
+    double result = SolveUncached(id);
+    cache_[id] = result;
+    return result;
+  }
+
+ private:
+  double SolveUncached(NodeId id) {
+    switch (lineage_.kind(id)) {
+      case NodeKind::kTrue:
+        return 1.0;
+      case NodeKind::kFalse:
+        return 0.0;
+      case NodeKind::kVar:
+        return var_probs_[lineage_.variable(id)];
+      case NodeKind::kNot:
+        return 1.0 - Solve(lineage_.children(id)[0]);
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+        return SolveGate(id);
+    }
+    return 0.0;
+  }
+
+  /// Groups the gate's children into connected components by shared
+  /// variables; independent components multiply (for OR via the
+  /// complement). Components with more than one child (or a single
+  /// complex child shared across) are resolved by Shannon expansion.
+  double SolveGate(NodeId id) {
+    const bool is_and = lineage_.kind(id) == NodeKind::kAnd;
+    const std::vector<NodeId>& children = lineage_.children(id);
+
+    // Union-find over children via shared variables (skipped entirely
+    // when decomposition is ablated: one big component).
+    const int n = static_cast<int>(children.size());
+    if (!options_.decompose) {
+      return SolveConnected(children, is_and);
+    }
+    std::vector<int> parent(n);
+    for (int i = 0; i < n; ++i) parent[i] = i;
+    std::function<int(int)> find = [&](int x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    std::map<int, int> var_owner;
+    for (int i = 0; i < n; ++i) {
+      for (int v : lineage_.Support(children[i])) {
+        auto [it, inserted] = var_owner.emplace(v, i);
+        if (!inserted) parent[find(i)] = find(it->second);
+      }
+    }
+    std::map<int, std::vector<NodeId>> components;
+    for (int i = 0; i < n; ++i) {
+      components[find(i)].push_back(children[i]);
+    }
+    if (stats_ != nullptr && components.size() > 1) {
+      ++stats_->decompositions;
+    }
+
+    // P(AND) = Π P(component-AND); P(OR) = 1 − Π (1 − P(component-OR)).
+    double product = 1.0;
+    for (const auto& [root, members] : components) {
+      double p;
+      if (members.size() == 1) {
+        p = Solve(members[0]);
+      } else {
+        p = SolveConnected(members, is_and);
+      }
+      product *= is_and ? p : (1.0 - p);
+    }
+    return is_and ? product : 1.0 - product;
+  }
+
+  /// A variable-connected set of children of one gate: Shannon expansion
+  /// on the most frequently shared variable.
+  double SolveConnected(const std::vector<NodeId>& members, bool is_and) {
+    // Pick the variable occurring in the most members.
+    std::map<int, int> frequency;
+    for (NodeId m : members) {
+      for (int v : lineage_.Support(m)) ++frequency[v];
+    }
+    int best_var = -1;
+    int best_count = 0;
+    for (const auto& [v, count] : frequency) {
+      if (count > best_count) {
+        best_var = v;
+        best_count = count;
+      }
+    }
+    IPDB_CHECK_GE(best_var, 0);
+    if (stats_ != nullptr) ++stats_->shannon_expansions;
+
+    double p = var_probs_[best_var];
+    double total = 0.0;
+    for (int value = 0; value <= 1; ++value) {
+      double weight = value == 1 ? p : 1.0 - p;
+      if (weight == 0.0) continue;
+      std::vector<NodeId> restricted;
+      restricted.reserve(members.size());
+      for (NodeId m : members) {
+        restricted.push_back(lineage_.Restrict(m, best_var, value == 1));
+      }
+      NodeId gate = is_and ? lineage_.MakeAnd(std::move(restricted))
+                           : lineage_.MakeOr(std::move(restricted));
+      total += weight * Solve(gate);
+    }
+    return total;
+  }
+
+  Lineage& lineage_;
+  const std::vector<double>& var_probs_;
+  WmcStats* stats_;
+  WmcOptions options_;
+  std::unordered_map<NodeId, double> cache_;
+};
+
+}  // namespace
+
+StatusOr<double> ComputeProbability(Lineage* lineage, NodeId root,
+                                    const std::vector<double>& var_probs,
+                                    WmcStats* stats,
+                                    const WmcOptions& options) {
+  if (lineage == nullptr) return InvalidArgumentError("null lineage");
+  const std::vector<int>& support = lineage->Support(root);
+  if (!support.empty() &&
+      static_cast<size_t>(support.back()) >= var_probs.size()) {
+    return InvalidArgumentError("variable probabilities missing");
+  }
+  WmcSolver solver(lineage, var_probs, stats, options);
+  return solver.Solve(root);
+}
+
+StatusOr<double> QueryProbability(const pdb::TiPdb<double>& ti,
+                                  const logic::Formula& sentence,
+                                  WmcStats* stats) {
+  Lineage lineage;
+  StatusOr<NodeId> root = GroundSentence(ti, sentence, &lineage);
+  if (!root.ok()) return root.status();
+  std::vector<double> probs;
+  probs.reserve(ti.facts().size());
+  for (const auto& [fact, marginal] : ti.facts()) {
+    probs.push_back(marginal);
+  }
+  return ComputeProbability(&lineage, root.value(), probs, stats);
+}
+
+StatusOr<double> QueryProbabilityBruteForce(const pdb::TiPdb<double>& ti,
+                                            const logic::Formula& sentence) {
+  if (ti.num_facts() > 20) {
+    return FailedPreconditionError("brute force limited to 20 facts");
+  }
+  if (!sentence.FreeVariables().empty()) {
+    return InvalidArgumentError("brute force requires a sentence");
+  }
+  double total = 0.0;
+  const uint64_t count = 1ULL << ti.num_facts();
+  for (uint64_t mask = 0; mask < count; ++mask) {
+    std::vector<rel::Fact> chosen;
+    double probability = 1.0;
+    for (int i = 0; i < ti.num_facts(); ++i) {
+      if ((mask >> i) & 1) {
+        chosen.push_back(ti.facts()[i].first);
+        probability *= ti.facts()[i].second;
+      } else {
+        probability *= 1.0 - ti.facts()[i].second;
+      }
+    }
+    if (probability == 0.0) continue;
+    rel::Instance world(std::move(chosen));
+    StatusOr<bool> holds = logic::Evaluate(world, ti.schema(), sentence);
+    if (!holds.ok()) return holds.status();
+    if (holds.value()) total += probability;
+  }
+  return total;
+}
+
+}  // namespace pqe
+}  // namespace ipdb

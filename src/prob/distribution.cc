@@ -1,0 +1,168 @@
+#include "prob/distribution.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace prob {
+
+double RatioTailBound(double a_N, double ratio) {
+  IPDB_CHECK_GE(a_N, 0.0);
+  IPDB_CHECK_GE(ratio, 0.0);
+  if (ratio >= 1.0) return Interval::kInfinity;
+  return a_N / (1.0 - ratio);
+}
+
+IntDistribution Geometric(double q) {
+  IPDB_CHECK_GE(q, 0.0);
+  IPDB_CHECK_LT(q, 1.0);
+  IntDistribution d;
+  d.pmf = [q](int64_t i) {
+    if (i < 0) return 0.0;
+    return (1.0 - q) * std::pow(q, static_cast<double>(i));
+  };
+  d.tail_upper = [q](int64_t N) {
+    if (N <= 0) return 1.0;
+    return std::pow(q, static_cast<double>(N));
+  };
+  d.moment_tail_upper = [q, pmf = d.pmf](int k, int64_t N) {
+    if (q == 0.0) return N <= 0 ? 0.0 : 0.0;
+    // Term a_i = i^k (1-q) q^i. Ratio a_{i+1}/a_i = ((i+1)/i)^k q, which is
+    // at most ((N+1)/N)^k q for i >= N >= 1.
+    int64_t n = N < 1 ? 1 : N;
+    double ratio =
+        std::pow(static_cast<double>(n + 1) / static_cast<double>(n),
+                 static_cast<double>(k)) *
+        q;
+    while (ratio >= 1.0) {
+      // The bound only kicks in once terms decay; advance N and account
+      // for skipped terms exactly.
+      ++n;
+      ratio = std::pow(static_cast<double>(n + 1) / static_cast<double>(n),
+                       static_cast<double>(k)) *
+              q;
+    }
+    double skipped = 0.0;
+    for (int64_t i = (N < 1 ? 1 : N); i < n; ++i) {
+      skipped += std::pow(static_cast<double>(i), static_cast<double>(k)) *
+                 pmf(i);
+    }
+    double a_n = std::pow(static_cast<double>(n), static_cast<double>(k)) *
+                 pmf(n);
+    return skipped + RatioTailBound(a_n, ratio);
+  };
+  std::ostringstream os;
+  os << "Geometric(q=" << q << ")";
+  d.description = os.str();
+  return d;
+}
+
+IntDistribution Poisson(double lambda) {
+  IPDB_CHECK_GT(lambda, 0.0);
+  IntDistribution d;
+  d.pmf = [lambda](int64_t i) {
+    if (i < 0) return 0.0;
+    // exp(-lambda) lambda^i / i!, computed in log space for stability.
+    double log_p = -lambda + static_cast<double>(i) * std::log(lambda) -
+                   std::lgamma(static_cast<double>(i) + 1.0);
+    return std::exp(log_p);
+  };
+  d.tail_upper = [lambda, pmf = d.pmf](int64_t N) {
+    if (N <= 0) return 1.0;
+    // For N > lambda the terms decay at ratio lambda/(N+1) < 1:
+    // P(X >= N) <= pmf(N) / (1 - lambda/(N+1)).
+    if (static_cast<double>(N) <= lambda) return 1.0;
+    double ratio = lambda / (static_cast<double>(N) + 1.0);
+    return RatioTailBound(pmf(N), ratio);
+  };
+  d.moment_tail_upper = [lambda, pmf = d.pmf](int k, int64_t N) {
+    // Term a_i = i^k pmf(i); ratio = ((i+1)/i)^k * lambda/(i+1).
+    int64_t n = N < 1 ? 1 : N;
+    auto ratio_at = [lambda, k](int64_t i) {
+      return std::pow(static_cast<double>(i + 1) / static_cast<double>(i),
+                      static_cast<double>(k)) *
+             lambda / (static_cast<double>(i) + 1.0);
+    };
+    double skipped = 0.0;
+    while (ratio_at(n) >= 1.0) {
+      skipped += std::pow(static_cast<double>(n), static_cast<double>(k)) *
+                 pmf(n);
+      ++n;
+    }
+    double a_n = std::pow(static_cast<double>(n), static_cast<double>(k)) *
+                 pmf(n);
+    return skipped + RatioTailBound(a_n, ratio_at(n));
+  };
+  std::ostringstream os;
+  os << "Poisson(lambda=" << lambda << ")";
+  d.description = os.str();
+  return d;
+}
+
+IntDistribution PowerLaw(double s) {
+  IPDB_CHECK_GT(s, 1.0);
+  // Normalizing constant Z = sum_{i>=0} (i+1)^{-s}, enclosed to high
+  // precision; we use the midpoint (the enclosure width is far below the
+  // double tolerance used by consumers).
+  Series zeta = PowerSeries(1.0, s);
+  SumOptions options;
+  options.target_width = 1e-14;
+  options.max_terms = 1 << 22;
+  SumAnalysis z = AnalyzeSum(zeta, options);
+  IPDB_CHECK(z.kind == SumAnalysis::Kind::kConverged);
+  double Z = z.enclosure.midpoint();
+
+  IntDistribution d;
+  d.pmf = [s, Z](int64_t i) {
+    if (i < 0) return 0.0;
+    return std::pow(static_cast<double>(i + 1), -s) / Z;
+  };
+  d.tail_upper = [s, Z](int64_t N) {
+    if (N <= 0) return 1.0;
+    return PowerTailUpper(1.0, s, N) / Z;
+  };
+  d.moment_tail_upper = [s, Z](int k, int64_t N) {
+    // i^k (i+1)^{-s} <= i^{k-s}: converges iff s - k > 1.
+    double p = s - static_cast<double>(k);
+    if (p <= 1.0) return Interval::kInfinity;
+    return PowerTailUpper(1.0, p, N < 1 ? 1 : N) / Z;
+  };
+  std::ostringstream os;
+  os << "PowerLaw(s=" << s << ")";
+  d.description = os.str();
+  return d;
+}
+
+Interval MomentInterval(const IntDistribution& distribution, int k,
+                        int64_t max_terms) {
+  IPDB_CHECK_GE(k, 1);
+  double partial = 0.0;
+  for (int64_t i = 1; i < max_terms; ++i) {
+    partial += std::pow(static_cast<double>(i), static_cast<double>(k)) *
+               distribution.pmf(i);
+  }
+  if (!distribution.moment_tail_upper) {
+    return Interval::AtLeast(partial);
+  }
+  double tail = distribution.moment_tail_upper(k, max_terms);
+  if (!std::isfinite(tail)) return Interval::AtLeast(partial);
+  // Pad by a relative epsilon against floating-point summation error.
+  double pad = 1e-9 * std::abs(partial) + 1e-15;
+  return Interval(partial - pad, partial + tail + pad);
+}
+
+int64_t Sample(const IntDistribution& distribution, Pcg32* rng,
+               int64_t max_value) {
+  double x = rng->NextDouble();
+  double cumulative = 0.0;
+  for (int64_t i = 0; i < max_value; ++i) {
+    cumulative += distribution.pmf(i);
+    if (x < cumulative) return i;
+  }
+  return max_value;
+}
+
+}  // namespace prob
+}  // namespace ipdb

@@ -1,0 +1,72 @@
+#ifndef IPDB_PROB_DISTRIBUTION_H_
+#define IPDB_PROB_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/interval.h"
+#include "util/random.h"
+#include "util/series.h"
+
+namespace ipdb {
+namespace prob {
+
+/// A discrete probability distribution over the non-negative integers with
+/// a certified tail: `tail_upper(N)` must bound P(X >= N) from above.
+///
+/// These model the attribute-level distributions that motivate infinite
+/// PDBs in the paper's introduction (noisy counters, Poisson-distributed
+/// measurement errors); they become BID blocks in the examples.
+struct IntDistribution {
+  /// pmf(i) = P(X = i); must be >= 0 and sum to 1.
+  std::function<double(int64_t)> pmf;
+
+  /// Certified upper bound on P(X >= N).
+  std::function<double(int64_t)> tail_upper;
+
+  /// Optional: certified upper bound on sum_{i >= N} i^k pmf(i), the tail
+  /// of the k-th moment sum. Distributions whose k-th moment is infinite
+  /// return +infinity. When absent, MomentInterval reports
+  /// [partial, +inf).
+  std::function<double(int k, int64_t N)> moment_tail_upper;
+
+  std::string description;
+};
+
+/// Generic ratio-test tail bound: if the term ratio a_{i+1}/a_i is at most
+/// `ratio` for all i >= N and ratio < 1, then sum_{i>=N} a_i <=
+/// a_N / (1 - ratio). Returns +infinity when ratio >= 1.
+double RatioTailBound(double a_N, double ratio);
+
+/// Geometric distribution on {0, 1, …}: P(X = i) = (1-q) q^i, 0 <= q < 1.
+IntDistribution Geometric(double q);
+
+/// Poisson distribution with rate lambda > 0. The tail bound is the
+/// Chernoff-style bound P(X >= N) <= e^{-lambda} (e*lambda / N)^N for
+/// N > lambda (and 1 otherwise).
+IntDistribution Poisson(double lambda);
+
+/// The normalized power-law ("zeta-like") distribution
+/// P(X = i) ∝ (i+1)^{-s} for s > 1, normalized by the truncated zeta sum
+/// computed to certified precision.
+IntDistribution PowerLaw(double s);
+
+/// Certified enclosure of E[X^k] (k >= 1) computed from the pmf and tail
+/// certificate: the tail of the k-th moment sum is bounded by
+/// sum_{i>=N} i^k pmf(i), which callers can bound only when the moment is
+/// known finite; here we use the generic bound via `moment_tail` when
+/// provided, otherwise we report [partial, +inf).
+Interval MomentInterval(const IntDistribution& distribution, int k,
+                        int64_t max_terms = 1 << 16);
+
+/// Samples from the distribution by inversion on the cumulative sum,
+/// falling back to the largest enumerated value if the tail mass
+/// (certified < 2^-40 at the cutoff) is hit.
+int64_t Sample(const IntDistribution& distribution, Pcg32* rng,
+               int64_t max_value = 1 << 20);
+
+}  // namespace prob
+}  // namespace ipdb
+
+#endif  // IPDB_PROB_DISTRIBUTION_H_

@@ -1,0 +1,46 @@
+#include "prob/moments.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace prob {
+
+double SizeMomentFinite(const std::vector<std::pair<int64_t, double>>& dist,
+                        int k) {
+  IPDB_CHECK_GE(k, 0);
+  double total = 0.0;
+  for (const auto& [value, probability] : dist) {
+    total += std::pow(static_cast<double>(value), static_cast<double>(k)) *
+             probability;
+  }
+  return total;
+}
+
+Series MakeMomentSeries(std::function<int64_t(int64_t)> size,
+                        std::function<double(int64_t)> prob, int k,
+                        const MomentTailCertificates& certificates) {
+  IPDB_CHECK_GE(k, 0);
+  Series series;
+  series.term = [size = std::move(size), prob = std::move(prob),
+                 k](int64_t i) {
+    return std::pow(static_cast<double>(size(i)), static_cast<double>(k)) *
+           prob(i);
+  };
+  if (certificates.upper) {
+    series.tail_upper_bound = [upper = certificates.upper, k](int64_t N) {
+      return upper(k, N);
+    };
+  }
+  if (certificates.lower) {
+    series.tail_lower_bound = [lower = certificates.lower, k](int64_t N) {
+      return lower(k, N);
+    };
+  }
+  series.description = "moment series (k=" + std::to_string(k) + ")";
+  return series;
+}
+
+}  // namespace prob
+}  // namespace ipdb

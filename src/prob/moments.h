@@ -1,0 +1,35 @@
+#ifndef IPDB_PROB_MOMENTS_H_
+#define IPDB_PROB_MOMENTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/series.h"
+
+namespace ipdb {
+namespace prob {
+
+/// E[S^k] for a finite distribution given as (value, probability) pairs.
+double SizeMomentFinite(const std::vector<std::pair<int64_t, double>>& dist,
+                        int k);
+
+/// Certificates for the moment sums of an enumerated world family: for
+/// each moment order k, upper/lower bounds on
+/// sum_{i >= N} size(i)^k prob(i). Either function may be null.
+struct MomentTailCertificates {
+  std::function<double(int k, int64_t N)> upper;
+  std::function<double(int k, int64_t N)> lower;
+};
+
+/// Builds the k-th moment series sum_i size(i)^k prob(i) for a countable
+/// family of worlds, attaching the given certificates.
+Series MakeMomentSeries(std::function<int64_t(int64_t)> size,
+                        std::function<double(int64_t)> prob, int k,
+                        const MomentTailCertificates& certificates);
+
+}  // namespace prob
+}  // namespace ipdb
+
+#endif  // IPDB_PROB_MOMENTS_H_

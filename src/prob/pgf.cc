@@ -1,0 +1,147 @@
+#include "prob/pgf.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace prob {
+
+using math::BigInt;
+using math::Rational;
+
+RationalPolynomial::RationalPolynomial(std::vector<Rational> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  while (!coefficients_.empty() && coefficients_.back().is_zero()) {
+    coefficients_.pop_back();
+  }
+}
+
+RationalPolynomial RationalPolynomial::Constant(const Rational& c) {
+  return RationalPolynomial({c});
+}
+
+RationalPolynomial RationalPolynomial::Monomial(const Rational& c,
+                                                int64_t k) {
+  IPDB_CHECK_GE(k, 0);
+  std::vector<Rational> coefficients(k + 1);
+  coefficients[k] = c;
+  return RationalPolynomial(std::move(coefficients));
+}
+
+Rational RationalPolynomial::Coefficient(int64_t k) const {
+  if (k < 0 || k >= static_cast<int64_t>(coefficients_.size())) {
+    return Rational(0);
+  }
+  return coefficients_[k];
+}
+
+RationalPolynomial RationalPolynomial::operator+(
+    const RationalPolynomial& other) const {
+  std::vector<Rational> sum(
+      std::max(coefficients_.size(), other.coefficients_.size()));
+  for (size_t i = 0; i < sum.size(); ++i) {
+    sum[i] = Coefficient(i) + other.Coefficient(i);
+  }
+  return RationalPolynomial(std::move(sum));
+}
+
+RationalPolynomial RationalPolynomial::operator*(
+    const RationalPolynomial& other) const {
+  if (coefficients_.empty() || other.coefficients_.empty()) {
+    return RationalPolynomial();
+  }
+  std::vector<Rational> product(coefficients_.size() +
+                                other.coefficients_.size() - 1);
+  for (size_t i = 0; i < coefficients_.size(); ++i) {
+    if (coefficients_[i].is_zero()) continue;
+    for (size_t j = 0; j < other.coefficients_.size(); ++j) {
+      product[i + j] += coefficients_[i] * other.coefficients_[j];
+    }
+  }
+  return RationalPolynomial(std::move(product));
+}
+
+RationalPolynomial RationalPolynomial::Derivative() const {
+  if (coefficients_.size() <= 1) return RationalPolynomial();
+  std::vector<Rational> derivative(coefficients_.size() - 1);
+  for (size_t i = 1; i < coefficients_.size(); ++i) {
+    derivative[i - 1] =
+        coefficients_[i] * Rational(static_cast<int64_t>(i));
+  }
+  return RationalPolynomial(std::move(derivative));
+}
+
+Rational RationalPolynomial::Evaluate(const Rational& x) const {
+  Rational result;
+  for (size_t i = coefficients_.size(); i-- > 0;) {
+    result = result * x + coefficients_[i];
+  }
+  return result;
+}
+
+std::string RationalPolynomial::ToString() const {
+  if (coefficients_.empty()) return "0";
+  std::string out;
+  for (size_t i = 0; i < coefficients_.size(); ++i) {
+    if (coefficients_[i].is_zero()) continue;
+    if (!out.empty()) out += " + ";
+    out += coefficients_[i].ToString();
+    if (i >= 1) out += "*x";
+    if (i >= 2) out += "^" + std::to_string(i);
+  }
+  return out.empty() ? "0" : out;
+}
+
+RationalPolynomial TiSizePgf(const std::vector<Rational>& marginals) {
+  RationalPolynomial pgf = RationalPolynomial::Constant(Rational(1));
+  for (const Rational& p : marginals) {
+    RationalPolynomial factor(
+        {Rational(1) - p, p});  // (1 - p) + p·x
+    pgf = pgf * factor;
+  }
+  return pgf;
+}
+
+Rational FactorialMomentFromPgf(const RationalPolynomial& pgf, int k) {
+  IPDB_CHECK_GE(k, 0);
+  RationalPolynomial derivative = pgf;
+  for (int i = 0; i < k; ++i) derivative = derivative.Derivative();
+  return derivative.Evaluate(Rational(1));
+}
+
+std::vector<BigInt> StirlingSecondKind(int n) {
+  IPDB_CHECK_GE(n, 0);
+  // Row-by-row recurrence S(i, j) = j·S(i-1, j) + S(i-1, j-1).
+  std::vector<BigInt> row = {BigInt(1)};  // S(0, 0) = 1
+  for (int i = 1; i <= n; ++i) {
+    std::vector<BigInt> next(i + 1);
+    next[0] = BigInt(0);
+    for (int j = 1; j <= i; ++j) {
+      BigInt carry = j < static_cast<int>(row.size())
+                         ? row[j] * BigInt(j)
+                         : BigInt(0);
+      BigInt diagonal = j - 1 < static_cast<int>(row.size())
+                            ? row[j - 1]
+                            : BigInt(0);
+      next[j] = carry + diagonal;
+    }
+    row = std::move(next);
+  }
+  return row;
+}
+
+Rational RawMomentFromPgf(const RationalPolynomial& pgf, int k) {
+  IPDB_CHECK_GE(k, 0);
+  // E[S^k] = Σ_j S(k, j) E[S^(j)_falling] with falling factorial moments
+  // G^{(j)}(1).
+  std::vector<BigInt> stirling = StirlingSecondKind(k);
+  Rational total;
+  for (int j = 0; j <= k; ++j) {
+    total += Rational(stirling[j]) * FactorialMomentFromPgf(pgf, j);
+  }
+  return total;
+}
+
+}  // namespace prob
+}  // namespace ipdb

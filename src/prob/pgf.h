@@ -1,0 +1,83 @@
+#ifndef IPDB_PROB_PGF_H_
+#define IPDB_PROB_PGF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/rational.h"
+
+namespace ipdb {
+namespace prob {
+
+/// Dense univariate polynomials with exact rational coefficients —
+/// enough algebra to carry probability generating functions.
+class RationalPolynomial {
+ public:
+  /// The zero polynomial.
+  RationalPolynomial() = default;
+
+  /// From coefficients, lowest degree first (trailing zeros trimmed).
+  explicit RationalPolynomial(std::vector<math::Rational> coefficients);
+
+  /// The constant polynomial c.
+  static RationalPolynomial Constant(const math::Rational& c);
+
+  /// The monomial c·x^k.
+  static RationalPolynomial Monomial(const math::Rational& c, int64_t k);
+
+  const std::vector<math::Rational>& coefficients() const {
+    return coefficients_;
+  }
+  /// Degree; -1 for the zero polynomial.
+  int64_t degree() const {
+    return static_cast<int64_t>(coefficients_.size()) - 1;
+  }
+  /// Coefficient of x^k (zero beyond the degree).
+  math::Rational Coefficient(int64_t k) const;
+
+  RationalPolynomial operator+(const RationalPolynomial& other) const;
+  RationalPolynomial operator*(const RationalPolynomial& other) const;
+
+  /// Formal derivative.
+  RationalPolynomial Derivative() const;
+
+  /// Exact evaluation at a rational point.
+  math::Rational Evaluate(const math::Rational& x) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const RationalPolynomial& a,
+                         const RationalPolynomial& b) {
+    return a.coefficients_ == b.coefficients_;
+  }
+
+ private:
+  std::vector<math::Rational> coefficients_;  // lowest degree first
+};
+
+/// The probability generating function of the instance-size variable of
+/// a tuple-independent PDB with the given exact marginals:
+///
+///   G(x) = Π_i (1 − p_i + p_i x),
+///
+/// so the coefficient of x^k is P(|D| = k) — the Poisson-binomial pmf in
+/// exact arithmetic (the rational counterpart of
+/// prob::PoissonBinomialPmf).
+RationalPolynomial TiSizePgf(const std::vector<math::Rational>& marginals);
+
+/// The k-th *factorial moment* E[S(S−1)…(S−k+1)] = G^{(k)}(1), exact.
+math::Rational FactorialMomentFromPgf(const RationalPolynomial& pgf, int k);
+
+/// The k-th raw moment E[S^k], exact, via Stirling numbers of the second
+/// kind applied to the factorial moments (Proposition 3.2 in exact
+/// arithmetic).
+math::Rational RawMomentFromPgf(const RationalPolynomial& pgf, int k);
+
+/// Stirling numbers of the second kind S(n, j) for 0 <= j <= n.
+std::vector<math::BigInt> StirlingSecondKind(int n);
+
+}  // namespace prob
+}  // namespace ipdb
+
+#endif  // IPDB_PROB_PGF_H_

@@ -1,0 +1,77 @@
+#include "prob/poisson_binomial.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace prob {
+
+std::vector<double> PoissonBinomialPmf(const std::vector<double>& p) {
+  std::vector<double> pmf = {1.0};
+  pmf.reserve(p.size() + 1);
+  for (double pi : p) {
+    IPDB_CHECK_GE(pi, 0.0);
+    IPDB_CHECK_LE(pi, 1.0);
+    pmf.push_back(0.0);
+    // In-place convolution with (1-pi, pi), from the top down.
+    for (size_t j = pmf.size(); j-- > 0;) {
+      double stay = pmf[j] * (1.0 - pi);
+      double from_below = j > 0 ? pmf[j - 1] * pi : 0.0;
+      pmf[j] = stay + from_below;
+    }
+  }
+  return pmf;
+}
+
+double MomentFromPmf(const std::vector<double>& pmf, int k) {
+  IPDB_CHECK_GE(k, 0);
+  double total = 0.0;
+  for (size_t j = 0; j < pmf.size(); ++j) {
+    total += std::pow(static_cast<double>(j), static_cast<double>(k)) *
+             pmf[j];
+  }
+  return total;
+}
+
+double BernoulliSumMomentUpper(double mu, int j) {
+  IPDB_CHECK_GE(mu, 0.0);
+  IPDB_CHECK_GE(j, 0);
+  double bound = 1.0;
+  for (int i = 0; i < j; ++i) {
+    bound *= static_cast<double>(i) + mu;
+  }
+  return bound;
+}
+
+Interval PoissonBinomialMomentInterval(const std::vector<double>& p,
+                                       double tail_mass, int k) {
+  IPDB_CHECK_GE(k, 0);
+  IPDB_CHECK_GE(tail_mass, 0.0);
+  std::vector<double> pmf = PoissonBinomialPmf(p);
+
+  // Prefix moments E[S_n^j] for j = 0..k.
+  std::vector<double> prefix_moment(k + 1);
+  for (int j = 0; j <= k; ++j) {
+    prefix_moment[j] = MomentFromPmf(pmf, j);
+  }
+
+  double lower = prefix_moment[k];
+  // Upper bound: binomial expansion with E[T^j] bounded by the iterated
+  // Lemma C.1 product. C(k, j) computed incrementally.
+  double upper = 0.0;
+  double binom = 1.0;
+  for (int j = 0; j <= k; ++j) {
+    upper += binom * prefix_moment[k - j] * BernoulliSumMomentUpper(tail_mass, j);
+    binom = binom * static_cast<double>(k - j) / static_cast<double>(j + 1);
+  }
+  if (upper < lower) upper = lower;  // guard against rounding
+  // Pad by a relative epsilon: the bounds are mathematically valid but
+  // accumulated in floating point, and consumers compare against values
+  // computed along different summation orders.
+  double pad = 1e-9 * std::abs(upper) + 1e-15;
+  return Interval(lower - 1e-9 * std::abs(lower) - 1e-15, upper + pad);
+}
+
+}  // namespace prob
+}  // namespace ipdb

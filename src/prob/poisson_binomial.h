@@ -1,0 +1,46 @@
+#ifndef IPDB_PROB_POISSON_BINOMIAL_H_
+#define IPDB_PROB_POISSON_BINOMIAL_H_
+
+#include <vector>
+
+#include "util/interval.h"
+
+namespace ipdb {
+namespace prob {
+
+/// The Poisson-binomial distribution: the law of S = X₁ + … + X_n for
+/// independent Bernoulli(p_i) variables. In this library S is the
+/// *instance size* random variable of a tuple-independent PDB
+/// (Proposition 3.2), so its moments are the size moments the paper's
+/// necessary condition (Proposition 3.4) is about.
+
+/// Exact pmf of S via the standard O(n²) convolution DP. Entry j of the
+/// result is P(S = j); the vector has n+1 entries.
+std::vector<double> PoissonBinomialPmf(const std::vector<double>& p);
+
+/// E[S^k] computed exactly from the pmf (k >= 0).
+double MomentFromPmf(const std::vector<double>& pmf, int k);
+
+/// Certified enclosure of E[S^k] for an *infinite* tuple-independent PDB
+/// whose marginals were truncated to the prefix `p` with certified
+/// remaining mass sum_{i >= n} p_i <= tail_mass.
+///
+/// Write S = S_n + T with S_n the prefix sum and T the (independent) tail
+/// sum. Then E[S^k] >= E[S_n^k], and expanding the binomial,
+///
+///   E[S^k] = Σ_j C(k,j) E[S_n^{k-j}] E[T^j],
+///
+/// where E[T^j] <= Π_{i=0}^{j-1} (i + E[T]) <= Π (i + tail_mass) by
+/// iterating Lemma C.1's inequality E[T^j] <= E[T^{j-1}] (j-1 + E[T]).
+Interval PoissonBinomialMomentInterval(const std::vector<double>& p,
+                                       double tail_mass, int k);
+
+/// Iterated Lemma C.1 bound: an upper bound on the j-th moment of a sum of
+/// independent Bernoulli variables with total mean `mu`:
+/// Π_{i=0}^{j-1} (i + mu).
+double BernoulliSumMomentUpper(double mu, int j);
+
+}  // namespace prob
+}  // namespace ipdb
+
+#endif  // IPDB_PROB_POISSON_BINOMIAL_H_

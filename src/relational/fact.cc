@@ -1,0 +1,44 @@
+#include "relational/fact.h"
+
+#include <ostream>
+
+namespace ipdb {
+namespace rel {
+
+bool Fact::MatchesSchema(const Schema& schema) const {
+  return schema.has_relation(relation_) &&
+         schema.arity(relation_) == arity();
+}
+
+std::string Fact::ToString(const Schema& schema) const {
+  std::string out = schema.has_relation(relation_)
+                        ? schema.relation_name(relation_)
+                        : "R#" + std::to_string(relation_);
+  out += "(";
+  for (int i = 0; i < arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Fact::ToString() const { return ToString(Schema()); }
+
+size_t Fact::Hash() const {
+  size_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(relation_));
+  for (const Value& v : args_) mix(v.Hash());
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Fact& fact) {
+  return os << fact.ToString();
+}
+
+}  // namespace rel
+}  // namespace ipdb

@@ -1,0 +1,66 @@
+#ifndef IPDB_RELATIONAL_FACT_H_
+#define IPDB_RELATIONAL_FACT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace ipdb {
+namespace rel {
+
+/// A τ-fact R(u₁, …, u_k): a relation symbol applied to universe elements
+/// (Section 2). Facts are value types with a total order so that
+/// instances can be kept canonically sorted.
+class Fact {
+ public:
+  Fact() : relation_(0) {}
+
+  /// Constructs R(args...) for the relation with the given id. The arity
+  /// is not checked here (the schema is not in scope); `MatchesSchema`
+  /// validates against a schema.
+  Fact(RelationId relation, std::vector<Value> args)
+      : relation_(relation), args_(std::move(args)) {}
+
+  RelationId relation() const { return relation_; }
+  const std::vector<Value>& args() const { return args_; }
+  int arity() const { return static_cast<int>(args_.size()); }
+
+  /// True if the relation id exists in `schema` with matching arity.
+  bool MatchesSchema(const Schema& schema) const;
+
+  /// Rendering with relation names resolved through the schema,
+  /// e.g. "R(1, france)".
+  std::string ToString(const Schema& schema) const;
+
+  /// Rendering without a schema: "R#<id>(…)".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.relation_ == b.relation_ && a.args_ == b.args_;
+  }
+  friend bool operator!=(const Fact& a, const Fact& b) { return !(a == b); }
+  friend bool operator<(const Fact& a, const Fact& b) {
+    if (a.relation_ != b.relation_) return a.relation_ < b.relation_;
+    return a.args_ < b.args_;
+  }
+
+ private:
+  RelationId relation_;
+  std::vector<Value> args_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Fact& fact);
+
+struct FactHash {
+  size_t operator()(const Fact& f) const { return f.Hash(); }
+};
+
+}  // namespace rel
+}  // namespace ipdb
+
+#endif  // IPDB_RELATIONAL_FACT_H_

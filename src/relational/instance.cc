@@ -1,0 +1,113 @@
+#include "relational/instance.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ipdb {
+namespace rel {
+
+Instance::Instance(std::vector<Fact> facts) : facts_(std::move(facts)) {
+  std::sort(facts_.begin(), facts_.end());
+  facts_.erase(std::unique(facts_.begin(), facts_.end()), facts_.end());
+}
+
+bool Instance::Contains(const Fact& fact) const {
+  return std::binary_search(facts_.begin(), facts_.end(), fact);
+}
+
+bool Instance::IsSubsetOf(const Instance& other) const {
+  return std::includes(other.facts_.begin(), other.facts_.end(),
+                       facts_.begin(), facts_.end());
+}
+
+void Instance::Insert(const Fact& fact) {
+  auto it = std::lower_bound(facts_.begin(), facts_.end(), fact);
+  if (it != facts_.end() && *it == fact) return;
+  facts_.insert(it, fact);
+}
+
+void Instance::Erase(const Fact& fact) {
+  auto it = std::lower_bound(facts_.begin(), facts_.end(), fact);
+  if (it != facts_.end() && *it == fact) facts_.erase(it);
+}
+
+Instance Instance::Union(const Instance& a, const Instance& b) {
+  std::vector<Fact> merged;
+  merged.reserve(a.facts_.size() + b.facts_.size());
+  std::set_union(a.facts_.begin(), a.facts_.end(), b.facts_.begin(),
+                 b.facts_.end(), std::back_inserter(merged));
+  Instance result;
+  result.facts_ = std::move(merged);
+  return result;
+}
+
+Instance Instance::Intersection(const Instance& a, const Instance& b) {
+  std::vector<Fact> merged;
+  std::set_intersection(a.facts_.begin(), a.facts_.end(), b.facts_.begin(),
+                        b.facts_.end(), std::back_inserter(merged));
+  Instance result;
+  result.facts_ = std::move(merged);
+  return result;
+}
+
+Instance Instance::Difference(const Instance& a, const Instance& b) {
+  std::vector<Fact> merged;
+  std::set_difference(a.facts_.begin(), a.facts_.end(), b.facts_.begin(),
+                      b.facts_.end(), std::back_inserter(merged));
+  Instance result;
+  result.facts_ = std::move(merged);
+  return result;
+}
+
+std::vector<Fact> Instance::FactsOf(RelationId relation) const {
+  std::vector<Fact> result;
+  for (const Fact& f : facts_) {
+    if (f.relation() == relation) result.push_back(f);
+  }
+  return result;
+}
+
+std::vector<Value> Instance::ActiveDomain() const {
+  std::vector<Value> domain;
+  for (const Fact& f : facts_) {
+    for (const Value& v : f.args()) domain.push_back(v);
+  }
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+bool Instance::MatchesSchema(const Schema& schema) const {
+  for (const Fact& f : facts_) {
+    if (!f.MatchesSchema(schema)) return false;
+  }
+  return true;
+}
+
+std::string Instance::ToString(const Schema& schema) const {
+  std::string out = "{";
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += facts_[i].ToString(schema);
+  }
+  out += "}";
+  return out;
+}
+
+std::string Instance::ToString() const { return ToString(Schema()); }
+
+size_t Instance::Hash() const {
+  size_t h = 1469598103934665603ULL;
+  for (const Fact& f : facts_) {
+    h ^= f.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Instance& instance) {
+  return os << instance.ToString();
+}
+
+}  // namespace rel
+}  // namespace ipdb

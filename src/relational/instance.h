@@ -1,0 +1,90 @@
+#ifndef IPDB_RELATIONAL_INSTANCE_H_
+#define IPDB_RELATIONAL_INSTANCE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "relational/fact.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace ipdb {
+namespace rel {
+
+/// A τ-instance: a *finite* set of τ-facts (Section 2). Every possible
+/// world of a PDB — even of an infinite PDB — is an Instance.
+///
+/// Representation: sorted, duplicate-free vector of facts (canonical form),
+/// so equality, subset tests and set operations are linear and instances
+/// can be used as map keys via `InstanceHash` or `operator<`.
+class Instance {
+ public:
+  /// The empty instance.
+  Instance() = default;
+
+  /// Builds an instance from any list of facts; duplicates are removed.
+  explicit Instance(std::vector<Fact> facts);
+
+  const std::vector<Fact>& facts() const { return facts_; }
+  int size() const { return static_cast<int>(facts_.size()); }
+  bool empty() const { return facts_.empty(); }
+
+  bool Contains(const Fact& fact) const;
+
+  /// True if every fact of this instance is in `other`.
+  bool IsSubsetOf(const Instance& other) const;
+
+  /// Inserts a fact (no-op if present).
+  void Insert(const Fact& fact);
+
+  /// Removes a fact (no-op if absent).
+  void Erase(const Fact& fact);
+
+  /// Set union / intersection / difference.
+  static Instance Union(const Instance& a, const Instance& b);
+  static Instance Intersection(const Instance& a, const Instance& b);
+  static Instance Difference(const Instance& a, const Instance& b);
+
+  /// All facts of a single relation, in order.
+  std::vector<Fact> FactsOf(RelationId relation) const;
+
+  /// The active domain adom(D): all universe elements appearing in facts,
+  /// sorted and duplicate-free. The ⊥ element is *included* when present
+  /// (callers that need U-only elements filter it).
+  std::vector<Value> ActiveDomain() const;
+
+  /// True if all facts match the schema.
+  bool MatchesSchema(const Schema& schema) const;
+
+  std::string ToString(const Schema& schema) const;
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Instance& a, const Instance& b) {
+    return a.facts_ == b.facts_;
+  }
+  friend bool operator!=(const Instance& a, const Instance& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Instance& a, const Instance& b) {
+    return a.facts_ < b.facts_;
+  }
+
+ private:
+  std::vector<Fact> facts_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Instance& instance);
+
+struct InstanceHash {
+  size_t operator()(const Instance& instance) const {
+    return instance.Hash();
+  }
+};
+
+}  // namespace rel
+}  // namespace ipdb
+
+#endif  // IPDB_RELATIONAL_INSTANCE_H_

@@ -1,0 +1,35 @@
+#ifndef IPDB_RELATIONAL_PARSE_H_
+#define IPDB_RELATIONAL_PARSE_H_
+
+#include <string>
+
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace rel {
+
+/// Parses a database instance from text against a schema.
+///
+/// Syntax: facts separated by ';' (a trailing separator is allowed),
+/// each of the form `Relation(term, …)` with terms
+///   * an optionally signed integer — an Int value,
+///   * 'name' in single quotes — a Symbol value,
+///   * `null` — the ⊥ element.
+/// Whitespace is free. Example:
+///
+///   ParseInstance("Friend('ann', 'bob'); Age('ann', 31);", schema)
+///
+/// Duplicated facts collapse (instances are sets). Fails on unknown
+/// relations, arity mismatches, or malformed terms.
+StatusOr<Instance> ParseInstance(const std::string& text,
+                                 const Schema& schema);
+
+/// Parses a single fact, e.g. "R(1, 'a')".
+StatusOr<Fact> ParseFact(const std::string& text, const Schema& schema);
+
+}  // namespace rel
+}  // namespace ipdb
+
+#endif  // IPDB_RELATIONAL_PARSE_H_

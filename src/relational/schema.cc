@@ -1,0 +1,69 @@
+#include "relational/schema.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace rel {
+
+Schema::Schema(std::initializer_list<std::pair<std::string, int>> relations) {
+  for (const auto& [name, arity] : relations) {
+    StatusOr<RelationId> id = AddRelation(name, arity);
+    IPDB_CHECK(id.ok()) << id.status().ToString();
+  }
+}
+
+StatusOr<RelationId> Schema::AddRelation(const std::string& name, int arity) {
+  if (arity < 0) {
+    return InvalidArgumentError("negative arity for relation " + name);
+  }
+  if (name.empty()) {
+    return InvalidArgumentError("empty relation name");
+  }
+  if (by_name_.count(name) != 0) {
+    return InvalidArgumentError("duplicate relation name: " + name);
+  }
+  RelationId id = static_cast<RelationId>(names_.size());
+  names_.push_back(name);
+  arities_.push_back(arity);
+  by_name_[name] = id;
+  return id;
+}
+
+StatusOr<RelationId> Schema::FindRelation(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return InvalidArgumentError("unknown relation: " + name);
+  }
+  return it->second;
+}
+
+int Schema::arity(RelationId id) const {
+  IPDB_CHECK(has_relation(id)) << "bad relation id " << id;
+  return arities_[id];
+}
+
+const std::string& Schema::relation_name(RelationId id) const {
+  IPDB_CHECK(has_relation(id)) << "bad relation id " << id;
+  return names_[id];
+}
+
+int Schema::max_arity() const {
+  int result = 0;
+  for (int a : arities_) result = std::max(result, a);
+  return result;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  for (int i = 0; i < num_relations(); ++i) {
+    if (i > 0) out += ", ";
+    out += names_[i] + "/" + std::to_string(arities_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rel
+}  // namespace ipdb

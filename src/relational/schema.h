@@ -1,0 +1,68 @@
+#ifndef IPDB_RELATIONAL_SCHEMA_H_
+#define IPDB_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ipdb {
+namespace rel {
+
+/// Index of a relation symbol within its Schema.
+using RelationId = int32_t;
+
+/// A database schema τ: a finite, non-empty set of relation symbols with
+/// arities (Section 2). Relations are referenced by dense `RelationId`s;
+/// names are kept for parsing and printing.
+///
+/// Schemas are value types; facts and formulas refer to relations by id
+/// only, so two schemas with the same relations in the same order are
+/// interchangeable.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Convenience constructor from (name, arity) pairs; duplicate names
+  /// abort (use AddRelation for recoverable handling).
+  Schema(std::initializer_list<std::pair<std::string, int>> relations);
+
+  /// Adds a relation symbol. Fails on duplicate names or negative arity.
+  StatusOr<RelationId> AddRelation(const std::string& name, int arity);
+
+  /// Id of a named relation, if present.
+  StatusOr<RelationId> FindRelation(const std::string& name) const;
+
+  int num_relations() const { return static_cast<int>(arities_.size()); }
+  bool has_relation(RelationId id) const {
+    return id >= 0 && id < num_relations();
+  }
+
+  /// Arity of a relation; id must be valid.
+  int arity(RelationId id) const;
+
+  /// Name of a relation; id must be valid.
+  const std::string& relation_name(RelationId id) const;
+
+  /// The largest arity over all relations (0 for an empty schema).
+  /// This is the parameter r in Lemmas 3.6/3.7.
+  int max_arity() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.names_ == b.names_ && a.arities_ == b.arities_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<int> arities_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace rel
+}  // namespace ipdb
+
+#endif  // IPDB_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,46 @@
+#include "relational/value.h"
+
+#include <ostream>
+
+namespace ipdb {
+namespace rel {
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "_|_";
+    case Kind::kInt:
+      return std::to_string(int_value_);
+    case Kind::kSymbol:
+      return symbol_;
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  // FNV-1a style mixing with a kind tag.
+  size_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(kind_));
+  switch (kind_) {
+    case Kind::kNull:
+      break;
+    case Kind::kInt:
+      mix(static_cast<uint64_t>(int_value_));
+      break;
+    case Kind::kSymbol:
+      mix(std::hash<std::string>()(symbol_));
+      break;
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace rel
+}  // namespace ipdb

@@ -1,0 +1,102 @@
+#ifndef IPDB_RELATIONAL_VALUE_H_
+#define IPDB_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace ipdb {
+namespace rel {
+
+/// An element of the countably infinite universe U (Section 2 of the
+/// paper), extended by the dummy element ⊥ used by the segmented-fact
+/// construction of Lemma 5.1 (U^ = U ∪ {⊥}).
+///
+/// Values are integers or named symbols; both kinds together are
+/// countable, and integers give us an inexhaustible supply of fresh
+/// elements for the generic-quantification semantics (see
+/// logic/evaluator.h).
+///
+/// Values are totally ordered (Null < Int < Symbol, then by payload) so
+/// facts and instances can be kept in canonical sorted form.
+class Value {
+ public:
+  enum class Kind { kNull = 0, kInt = 1, kSymbol = 2 };
+
+  /// Default-constructed value is ⊥ (Null).
+  Value() : kind_(Kind::kNull), int_value_(0) {}
+
+  /// The dummy element ⊥.
+  static Value Null() { return Value(); }
+
+  /// An integer universe element.
+  static Value Int(int64_t value) {
+    Value v;
+    v.kind_ = Kind::kInt;
+    v.int_value_ = value;
+    return v;
+  }
+
+  /// A named universe element, e.g. Symbol("france").
+  static Value Symbol(std::string name) {
+    Value v;
+    v.kind_ = Kind::kSymbol;
+    v.symbol_ = std::move(name);
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_symbol() const { return kind_ == Kind::kSymbol; }
+
+  /// Integer payload; only valid when is_int().
+  int64_t int_value() const { return int_value_; }
+
+  /// Symbol payload; only valid when is_symbol().
+  const std::string& symbol() const { return symbol_; }
+
+  /// "⊥" (rendered as "_|_"), the integer, or the symbol name.
+  std::string ToString() const;
+
+  /// Total order: Null < Int < Symbol, then by payload.
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return false;
+    switch (a.kind_) {
+      case Kind::kNull: return true;
+      case Kind::kInt: return a.int_value_ == b.int_value_;
+      case Kind::kSymbol: return a.symbol_ == b.symbol_;
+    }
+    return false;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    switch (a.kind_) {
+      case Kind::kNull: return false;
+      case Kind::kInt: return a.int_value_ < b.int_value_;
+      case Kind::kSymbol: return a.symbol_ < b.symbol_;
+    }
+    return false;
+  }
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const;
+
+ private:
+  Kind kind_;
+  int64_t int_value_;
+  std::string symbol_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace rel
+}  // namespace ipdb
+
+#endif  // IPDB_RELATIONAL_VALUE_H_

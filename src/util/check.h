@@ -1,0 +1,65 @@
+#ifndef IPDB_UTIL_CHECK_H_
+#define IPDB_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ipdb {
+namespace internal_check {
+
+/// Accumulates the message of a failing IPDB_CHECK and aborts on
+/// destruction. Not for direct use; see the IPDB_CHECK macros.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "IPDB_CHECK failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Enables `Voidify() && stream` so the whole expression has type void and
+/// can sit inside a ternary operator.
+struct Voidify {
+  template <typename T>
+  void operator&&(const T&) const {}
+};
+
+}  // namespace internal_check
+}  // namespace ipdb
+
+/// Aborts with a message if `condition` is false. Additional context can be
+/// streamed: `IPDB_CHECK(x > 0) << "x was " << x;`. Used for programming
+/// errors (invariant violations), never for recoverable input errors.
+#define IPDB_CHECK(condition)                                        \
+  (condition)                                                        \
+      ? (void)0                                                      \
+      : ::ipdb::internal_check::Voidify() &&                         \
+            ::ipdb::internal_check::CheckFailure(__FILE__, __LINE__, \
+                                                 #condition)
+
+#define IPDB_CHECK_EQ(a, b) IPDB_CHECK((a) == (b))
+#define IPDB_CHECK_NE(a, b) IPDB_CHECK((a) != (b))
+#define IPDB_CHECK_LT(a, b) IPDB_CHECK((a) < (b))
+#define IPDB_CHECK_LE(a, b) IPDB_CHECK((a) <= (b))
+#define IPDB_CHECK_GT(a, b) IPDB_CHECK((a) > (b))
+#define IPDB_CHECK_GE(a, b) IPDB_CHECK((a) >= (b))
+
+#endif  // IPDB_UTIL_CHECK_H_

@@ -1,0 +1,63 @@
+#include "util/interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ipdb {
+
+Interval::Interval(double lo, double hi) : lo_(lo), hi_(hi) {
+  IPDB_CHECK(!(std::isnan(lo) || std::isnan(hi))) << "NaN interval bound";
+  IPDB_CHECK_LE(lo, hi) << "inverted interval [" << lo << ", " << hi << "]";
+}
+
+Interval Interval::operator+(const Interval& other) const {
+  return Interval(lo_ + other.lo_, hi_ + other.hi_);
+}
+
+Interval Interval::operator-(const Interval& other) const {
+  return Interval(lo_ - other.hi_, hi_ - other.lo_);
+}
+
+Interval Interval::operator*(const Interval& other) const {
+  // General sign-aware product; infinities propagate through std::max
+  // (0 * inf is avoided by callers keeping operands finite or
+  // non-negative).
+  double candidates[4] = {lo_ * other.lo_, lo_ * other.hi_, hi_ * other.lo_,
+                          hi_ * other.hi_};
+  double lo = candidates[0];
+  double hi = candidates[0];
+  for (double c : candidates) {
+    IPDB_CHECK(!std::isnan(c)) << "indeterminate interval product";
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  return Interval(lo, hi);
+}
+
+Interval Interval::ScaleNonNegative(double c) const {
+  IPDB_CHECK_GE(c, 0.0);
+  return Interval(lo_ * c, hi_ * c);
+}
+
+std::string Interval::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval) {
+  os << "[" << interval.lo() << ", ";
+  if (interval.is_finite()) {
+    os << interval.hi();
+  } else {
+    os << "inf";
+  }
+  os << "]";
+  return os;
+}
+
+}  // namespace ipdb

@@ -1,0 +1,71 @@
+#ifndef IPDB_UTIL_INTERVAL_H_
+#define IPDB_UTIL_INTERVAL_H_
+
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+namespace ipdb {
+
+/// A closed real interval [lo, hi] used to report certified enclosures of
+/// quantities about infinite objects (series sums, moments, probabilities).
+///
+/// Arithmetic is *not* outward-rounded at the ULP level; enclosures are
+/// certified at the level of the mathematical tail bounds that produce
+/// them, with floating-point error assumed negligible relative to the
+/// bound widths used in this library (documented in DESIGN.md).
+/// `hi == kInfinity` expresses "possibly infinite / unbounded above".
+class Interval {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// The degenerate interval [x, x].
+  static Interval Point(double x) { return Interval(x, x); }
+
+  /// [lo, +inf): lower bound only.
+  static Interval AtLeast(double lo) { return Interval(lo, kInfinity); }
+
+  /// Constructs [lo, hi]; requires lo <= hi.
+  Interval(double lo, double hi);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double width() const { return hi_ - lo_; }
+  double midpoint() const { return (lo_ + hi_) / 2.0; }
+
+  bool is_point() const { return lo_ == hi_; }
+  bool is_finite() const { return hi_ < kInfinity; }
+
+  /// True if x lies in [lo, hi].
+  bool Contains(double x) const { return lo_ <= x && x <= hi_; }
+
+  /// True iff every point of this interval is strictly below x
+  /// (a certified comparison).
+  bool CertainlyBelow(double x) const { return hi_ < x; }
+
+  /// True iff every point of this interval is strictly above x.
+  bool CertainlyAbove(double x) const { return lo_ > x; }
+
+  Interval operator+(const Interval& other) const;
+  Interval operator-(const Interval& other) const;
+  Interval operator*(const Interval& other) const;
+
+  /// Scales by a non-negative constant.
+  Interval ScaleNonNegative(double c) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval);
+
+}  // namespace ipdb
+
+#endif  // IPDB_UTIL_INTERVAL_H_

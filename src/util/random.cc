@@ -1,0 +1,77 @@
+#include "util/random.h"
+
+#include "util/check.h"
+
+namespace ipdb {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0u;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Pcg32::NextU32() {
+  uint64_t old_state = state_;
+  state_ = old_state * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted =
+      static_cast<uint32_t>(((old_state >> 18u) ^ old_state) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old_state >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Pcg32::NextU64() {
+  uint64_t hi = NextU32();
+  uint64_t lo = NextU32();
+  return (hi << 32) | lo;
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits scaled into [0, 1).
+  uint64_t bits = NextU64() >> 11;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+bool Pcg32::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  IPDB_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless method.
+  uint64_t product = static_cast<uint64_t>(NextU32()) * bound;
+  uint32_t low = static_cast<uint32_t>(product);
+  if (low < bound) {
+    uint32_t threshold = -bound % bound;
+    while (low < threshold) {
+      product = static_cast<uint64_t>(NextU32()) * bound;
+      low = static_cast<uint32_t>(product);
+    }
+  }
+  return static_cast<uint32_t>(product >> 32);
+}
+
+size_t Pcg32::NextDiscrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    IPDB_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  IPDB_CHECK_GT(total, 0.0) << "all discrete weights are zero";
+  double x = NextDouble() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (x < cumulative) return i;
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace ipdb

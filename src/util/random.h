@@ -1,0 +1,47 @@
+#ifndef IPDB_UTIL_RANDOM_H_
+#define IPDB_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipdb {
+
+/// A PCG32 pseudo-random generator (O'Neill 2014, pcg32 variant
+/// XSH-RR 64/32). Deterministic given a seed; suitable for reproducible
+/// Monte Carlo verification of the paper's constructions. Not
+/// cryptographic.
+class Pcg32 {
+ public:
+  /// Seeds the generator. `seed` selects the starting state, `stream`
+  /// selects one of 2^63 independent sequences.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit output.
+  uint32_t NextU32();
+
+  /// Uniform 64-bit output (two 32-bit draws).
+  uint64_t NextU64();
+
+  /// Uniformly distributed double in [0, 1) with 53 random bits.
+  double NextDouble();
+
+  /// Bernoulli draw with success probability p (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound > 0.
+  uint32_t NextBounded(uint32_t bound);
+
+  /// Draws an index according to the (not necessarily normalized)
+  /// non-negative weights. At least one weight must be positive.
+  size_t NextDiscrete(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace ipdb
+
+#endif  // IPDB_UTIL_RANDOM_H_

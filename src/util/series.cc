@@ -1,0 +1,155 @@
+#include "util/series.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ipdb {
+
+std::string SumAnalysis::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kConverged:
+      os << "converged to " << enclosure;
+      break;
+    case Kind::kDiverged:
+      os << "diverges (certified)";
+      break;
+    case Kind::kDivergedWitness:
+      os << "diverges (witness: partial sum " << partial_sum << ")";
+      break;
+    case Kind::kInconclusive:
+      os << "inconclusive (partial sum " << partial_sum << ")";
+      break;
+  }
+  os << " after " << terms_used << " terms";
+  return os.str();
+}
+
+SumAnalysis AnalyzeSum(const Series& series, const SumOptions& options) {
+  IPDB_CHECK(series.term != nullptr) << "series has no term function";
+  SumAnalysis result;
+  double partial = 0.0;
+
+  // Check divergence certificate up front (tail from 0).
+  if (series.tail_lower_bound) {
+    double lower = series.tail_lower_bound(0);
+    if (std::isinf(lower)) {
+      result.kind = SumAnalysis::Kind::kDiverged;
+      result.enclosure = Interval::AtLeast(0.0);
+      return result;
+    }
+  }
+
+  int64_t i = 0;
+  for (; i < options.max_terms; ++i) {
+    double a = series.term(i);
+    IPDB_CHECK_GE(a, 0.0) << "negative series term at index " << i;
+    partial += a;
+
+    if (series.tail_upper_bound) {
+      double tail = series.tail_upper_bound(i + 1);
+      if (std::isfinite(tail) && tail <= options.target_width) {
+        result.kind = SumAnalysis::Kind::kConverged;
+        result.enclosure = Interval(partial, partial + tail);
+        result.partial_sum = partial;
+        result.terms_used = i + 1;
+        return result;
+      }
+    }
+    if (partial > options.divergence_witness_threshold) {
+      result.kind = SumAnalysis::Kind::kDivergedWitness;
+      result.enclosure = Interval::AtLeast(partial);
+      result.partial_sum = partial;
+      result.terms_used = i + 1;
+      return result;
+    }
+  }
+
+  result.partial_sum = partial;
+  result.terms_used = i;
+
+  // Budget exhausted: report the best certificate we still have.
+  if (series.tail_upper_bound) {
+    double tail = series.tail_upper_bound(i);
+    if (std::isfinite(tail)) {
+      result.kind = SumAnalysis::Kind::kConverged;
+      result.enclosure = Interval(partial, partial + tail);
+      return result;
+    }
+  }
+  if (series.tail_lower_bound) {
+    double lower = series.tail_lower_bound(i);
+    if (std::isinf(lower)) {
+      result.kind = SumAnalysis::Kind::kDiverged;
+      result.enclosure = Interval::AtLeast(partial);
+      return result;
+    }
+  }
+  result.kind = SumAnalysis::Kind::kInconclusive;
+  result.enclosure = Interval::AtLeast(partial);
+  return result;
+}
+
+double GeometricTailUpper(double c, double r, int64_t N) {
+  IPDB_CHECK_GE(c, 0.0);
+  IPDB_CHECK_GE(r, 0.0);
+  IPDB_CHECK_LT(r, 1.0);
+  return c * std::pow(r, static_cast<double>(N)) / (1.0 - r);
+}
+
+double PowerTailUpper(double c, double p, int64_t N) {
+  IPDB_CHECK_GE(c, 0.0);
+  IPDB_CHECK_GT(p, 1.0);
+  IPDB_CHECK_GE(N, 1);
+  double n = static_cast<double>(N);
+  return c * (std::pow(n, -p) + std::pow(n, 1.0 - p) / (p - 1.0));
+}
+
+double PowerTailLower(double c, double p, int64_t N) {
+  IPDB_CHECK_GE(c, 0.0);
+  if (c == 0.0) return 0.0;
+  if (p <= 1.0) return Interval::kInfinity;
+  double n = static_cast<double>(N + 1);
+  return c * std::pow(n, 1.0 - p) / (p - 1.0);
+}
+
+Series PowerSeries(double c, double p) {
+  Series series;
+  series.term = [c, p](int64_t i) {
+    if (i == 0) return 0.0;
+    return c * std::pow(static_cast<double>(i), -p);
+  };
+  if (p > 1.0) {
+    series.tail_upper_bound = [c, p](int64_t N) {
+      return PowerTailUpper(c, p, N < 1 ? 1 : N);
+    };
+  }
+  series.tail_lower_bound = [c, p](int64_t N) {
+    return PowerTailLower(c, p, N < 1 ? 1 : N);
+  };
+  std::ostringstream os;
+  os << "sum_{i>=1} " << c << " * i^-" << p;
+  series.description = os.str();
+  return series;
+}
+
+Series GeometricSeries(double c, double r) {
+  IPDB_CHECK_GE(r, 0.0);
+  IPDB_CHECK_LT(r, 1.0);
+  Series series;
+  series.term = [c, r](int64_t i) {
+    return c * std::pow(r, static_cast<double>(i));
+  };
+  series.tail_upper_bound = [c, r](int64_t N) {
+    return GeometricTailUpper(c, r, N);
+  };
+  series.tail_lower_bound = [](int64_t) { return 0.0; };
+  std::ostringstream os;
+  os << "sum_{i>=0} " << c << " * " << r << "^i";
+  series.description = os.str();
+  return series;
+}
+
+}  // namespace ipdb

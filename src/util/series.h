@@ -1,0 +1,107 @@
+#ifndef IPDB_UTIL_SERIES_H_
+#define IPDB_UTIL_SERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/interval.h"
+
+namespace ipdb {
+
+/// A non-negative real series sum_{i >= 0} a_i together with optional
+/// certificates about its tail.
+///
+/// Infinite PDBs in this library carry their convergence statements
+/// (Theorems 2.4/2.6, the moment sums of Section 3, the growth criterion of
+/// Theorem 5.3) as `Series` objects: the term function gives the summands
+/// and the certificates make statements about `T(N) := sum_{i >= N} a_i`.
+///
+/// * `tail_upper_bound(N)` must satisfy `T(N) <= tail_upper_bound(N)`; it
+///   lets `AnalyzeSum` certify convergence with an interval enclosure.
+/// * `tail_lower_bound(N)` must satisfy `T(N) >= tail_lower_bound(N)`;
+///   returning `Interval::kInfinity` certifies divergence.
+///
+/// Both certificates are optional. Without them, `AnalyzeSum` can only
+/// report partial sums (kInconclusive) or a threshold-crossing divergence
+/// *witness* (kDivergedWitness).
+struct Series {
+  /// Term function; must return a_i >= 0 for all i >= 0.
+  std::function<double(int64_t)> term;
+
+  /// Optional: N -> upper bound on the tail sum starting at N.
+  std::function<double(int64_t)> tail_upper_bound;
+
+  /// Optional: N -> lower bound on the tail sum starting at N (may return
+  /// Interval::kInfinity to certify divergence).
+  std::function<double(int64_t)> tail_lower_bound;
+
+  /// Human-readable description used in reports.
+  std::string description;
+};
+
+/// Options controlling `AnalyzeSum`.
+struct SumOptions {
+  /// Maximum number of leading terms to add up.
+  int64_t max_terms = 1 << 20;
+
+  /// Stop early once the certified enclosure width drops below this.
+  double target_width = 1e-12;
+
+  /// Partial sums exceeding this value are reported as a divergence
+  /// witness when no certificate decides the series.
+  double divergence_witness_threshold = 1e12;
+};
+
+/// Outcome of analyzing a series.
+struct SumAnalysis {
+  enum class Kind {
+    kConverged,        // certified: sum lies in `enclosure`
+    kDiverged,         // certified: tail lower bound is infinite
+    kDivergedWitness,  // uncertified: partial sums crossed the threshold
+    kInconclusive,     // no certificate, threshold not crossed
+  };
+
+  Kind kind = Kind::kInconclusive;
+
+  /// For kConverged: certified enclosure of the sum. Otherwise the
+  /// interval [partial_sum, +inf).
+  Interval enclosure = Interval::Point(0.0);
+
+  /// Sum of the first `terms_used` terms.
+  double partial_sum = 0.0;
+  int64_t terms_used = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes partial sums of `series` and applies its certificates.
+/// The term function is evaluated for i in [0, terms_used).
+SumAnalysis AnalyzeSum(const Series& series, const SumOptions& options = {});
+
+/// Tail bound helpers (all for sums starting at index N >= 1):
+
+/// Upper bound for a geometrically dominated tail: if a_i <= c * r^i for
+/// all i >= N with 0 <= r < 1, then T(N) <= c * r^N / (1 - r).
+double GeometricTailUpper(double c, double r, int64_t N);
+
+/// Upper bound by the integral test for a_i = c * i^{-p}, p > 1, N >= 1:
+/// T(N) <= c * ( N^{-p} + N^{1-p} / (p-1) ).
+double PowerTailUpper(double c, double p, int64_t N);
+
+/// Lower bound by the integral test for a_i = c * i^{-p} with p <= 1 the
+/// tail diverges; returns +infinity. For p > 1 returns
+/// c * (N+1)^{1-p} / (p-1) (integral from N+1).
+double PowerTailLower(double c, double p, int64_t N);
+
+/// Convenience constructor: the series with terms c * i^{-p} for i >= 1
+/// (term(0) == 0) with both integral-test certificates attached.
+Series PowerSeries(double c, double p);
+
+/// Convenience constructor: the series with terms c * r^i, 0 <= r < 1,
+/// with geometric certificates attached.
+Series GeometricSeries(double c, double r);
+
+}  // namespace ipdb
+
+#endif  // IPDB_UTIL_SERIES_H_

@@ -1,0 +1,159 @@
+#ifndef IPDB_UTIL_STATUS_H_
+#define IPDB_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipdb {
+
+/// Error categories used throughout the library. The library does not use
+/// C++ exceptions; fallible operations return `Status` or `StatusOr<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kFailedPrecondition,// object state does not admit the operation
+  kOutOfRange,        // index/parameter outside the valid range
+  kUnimplemented,     // feature intentionally not supported
+  kInternal,          // invariant violation that was recoverable
+  kDiverged,          // a series/criterion was certified to diverge
+  kInconclusive,      // a numeric criterion could not be decided at the
+                      // requested precision/prefix length
+};
+
+/// Human-readable name of a StatusCode (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight absl::Status-style error carrier.
+///
+/// `Status::Ok()` is the success value. All other statuses carry a code and
+/// a message. Statuses are cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A code of
+  /// `kOk` must not carry a message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Convenience constructors mirroring absl's.
+Status InvalidArgumentError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status DivergedError(std::string message);
+Status InconclusiveError(std::string message);
+
+/// Either a value of type T or a non-OK Status.
+///
+/// Accessing `value()` on a non-OK StatusOr aborts; check `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversion from a value (success) or from a Status (failure),
+  /// mirroring absl::StatusOr; marked non-explicit deliberately.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    IPDB_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    IPDB_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    IPDB_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    IPDB_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Implementation details only below here.
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDiverged: return "DIVERGED";
+    case StatusCode::kInconclusive: return "INCONCLUSIVE";
+  }
+  return "UNKNOWN";
+}
+
+inline std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status DivergedError(std::string message) {
+  return Status(StatusCode::kDiverged, std::move(message));
+}
+inline Status InconclusiveError(std::string message) {
+  return Status(StatusCode::kInconclusive, std::move(message));
+}
+
+}  // namespace ipdb
+
+#endif  // IPDB_UTIL_STATUS_H_

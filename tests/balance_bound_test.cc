@@ -1,0 +1,77 @@
+#include "core/balance_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+
+namespace ipdb {
+namespace core {
+namespace {
+
+TEST(BalanceBoundTest, Lemma37BoundFormula) {
+  // d_n = 0: bound 1 (no constraint).
+  EXPECT_DOUBLE_EQ(Lemma37Bound(0.5, 0, 3), 1.0);
+  // r = 1: d (a)^d.
+  EXPECT_DOUBLE_EQ(Lemma37Bound(0.5, 2, 1), 2.0 * 0.25);
+  // r = 2, d = 4: 4 (a·4)^2.
+  EXPECT_DOUBLE_EQ(Lemma37Bound(0.1, 4, 2), 4.0 * 0.16);
+}
+
+TEST(BalanceBoundTest, Example39EventuallyViolatesForSmallR) {
+  // For r = 1 the violation threshold is small; sweep past it and check
+  // that (†) fails everywhere in the tail — the Example 3.9
+  // non-representability evidence.
+  const double c = 6.0 / (M_PI * M_PI);
+  int64_t threshold = Example39ViolationThreshold(1, c);
+  BalanceReport report = SweepBalanceBound(
+      [](int64_t n) { return Example39Probability(n); },
+      [](int64_t n) { return Example39AdomSize(n); },
+      [](int64_t n) { return 1.0 / static_cast<double>(n); },
+      /*r=*/1, /*n_begin=*/threshold, /*n_end=*/threshold + 2000,
+      /*stride=*/500, /*tail_from=*/threshold);
+  EXPECT_TRUE(report.tail_all_violated) << report.ToString();
+  EXPECT_EQ(report.last_satisfied, -1);
+}
+
+TEST(BalanceBoundTest, Example39ThresholdFormulaIsCorrectPointwise) {
+  // At the analytic threshold the paper's inequality chain applies: the
+  // bound is strictly below the probability (spot check r = 1, 2).
+  const double c = 6.0 / (M_PI * M_PI);
+  for (int r = 1; r <= 2; ++r) {
+    int64_t n = Example39ViolationThreshold(r, c);
+    double bound = Lemma37Bound(1.0 / static_cast<double>(n),
+                                Example39AdomSize(n), r);
+    EXPECT_LT(bound, Example39Probability(n)) << "r=" << r << " n=" << n;
+  }
+}
+
+TEST(BalanceBoundTest, RepresentablePdbSatisfiesBoundInfinitelyOften) {
+  // Sanity inverse: Example 5.5 IS in FO(TI); with r = 1 and a_n = 1/n,
+  // the (†) inequality holds for all large n (probabilities 2^{-n²}
+  // crash much faster than the bound n(1/n)^n — no obstruction).
+  auto prob = [](int64_t n) {
+    // Example 5.5 probabilities, unnormalized scale is irrelevant for
+    // large n behaviour; use the exact form with x ≈ 0.5156.
+    return std::pow(2.0, -static_cast<double>(n) * n) / 0.51562;
+  };
+  BalanceReport report = SweepBalanceBound(
+      prob, [](int64_t n) { return n; },
+      [](int64_t n) { return 1.0 / static_cast<double>(n); },
+      /*r=*/1, /*n_begin=*/4, /*n_end=*/40, /*stride=*/4,
+      /*tail_from=*/4);
+  // (†) holds at every index here: no contradiction for this PDB.
+  EXPECT_FALSE(report.tail_all_violated);
+  EXPECT_EQ(report.last_satisfied, 39);
+}
+
+TEST(BalanceBoundTest, ThresholdGrowsWithR) {
+  const double c = 6.0 / (M_PI * M_PI);
+  EXPECT_LT(Example39ViolationThreshold(1, c),
+            Example39ViolationThreshold(2, c));
+  EXPECT_LT(Example39ViolationThreshold(2, c),
+            Example39ViolationThreshold(3, c));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ipdb

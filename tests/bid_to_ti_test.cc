@@ -1,0 +1,134 @@
+#include "core/bid_to_ti.h"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+#include "logic/classify.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace core {
+namespace {
+
+using math::Rational;
+
+rel::Fact U(int64_t v) { return rel::Fact(0, {rel::Value::Int(v)}); }
+
+TEST(BidToTiTest, ExampleB2Exact) {
+  // The canonical non-TI BID-PDB: one block, two facts at 1/2, residual 0.
+  pdb::BidPdb<Rational> bid = ExampleB2();
+  auto built = BuildBidToTi(bid);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  // Residual 0 ⇒ marginals p/(1+p) = (1/2)/(3/2) = 1/3.
+  EXPECT_EQ(built.value().ti.facts()[0].second, Rational::Ratio(1, 3));
+  auto tv = VerifyBidToTi(bid, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(BidToTiTest, PositiveResidualBlocks) {
+  rel::Schema schema({{"U", 1}});
+  pdb::BidPdb<Rational> bid = pdb::BidPdb<Rational>::CreateOrDie(
+      schema,
+      {{{U(1), Rational::Ratio(1, 3)}, {U(2), Rational::Ratio(1, 3)}},
+       {{U(3), Rational::Ratio(1, 4)}}});
+  auto built = BuildBidToTi(bid);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  // Block 0 residual 1/3: q = (1/3)/(1/3 + 1/3) = 1/2.
+  EXPECT_EQ(built.value().ti.facts()[0].second, Rational::Ratio(1, 2));
+  // Block 1 residual 3/4: q = (1/4)/(3/4 + 1/4) = 1/4.
+  EXPECT_EQ(built.value().ti.facts()[2].second, Rational::Ratio(1, 4));
+  auto tv = VerifyBidToTi(bid, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(BidToTiTest, MixedResidualsExact) {
+  // One residual-0 block, one positive-residual block: exercises both
+  // marginal formulas and the hard-coded "exactly one" conjunct.
+  rel::Schema schema({{"U", 1}});
+  pdb::BidPdb<Rational> bid = pdb::BidPdb<Rational>::CreateOrDie(
+      schema,
+      {{{U(1), Rational::Ratio(2, 3)}, {U(2), Rational::Ratio(1, 3)}},
+       {{U(3), Rational::Ratio(1, 2)}}});
+  auto built = BuildBidToTi(bid);
+  ASSERT_TRUE(built.ok());
+  auto tv = VerifyBidToTi(bid, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(BidToTiTest, MultiRelationBlocks) {
+  // Blocks spanning different relations (mutual exclusion across
+  // relation symbols).
+  rel::Schema schema({{"A", 1}, {"B", 2}});
+  rel::Fact a(0, {rel::Value::Int(1)});
+  rel::Fact b(1, {rel::Value::Int(1), rel::Value::Int(2)});
+  pdb::BidPdb<Rational> bid = pdb::BidPdb<Rational>::CreateOrDie(
+      schema,
+      {{{a, Rational::Ratio(1, 2)}, {b, Rational::Ratio(1, 2)}}});
+  auto built = BuildBidToTi(bid);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto tv = VerifyBidToTi(bid, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(BidToTiTest, ViewIsProjection) {
+  pdb::BidPdb<Rational> bid = ExampleB2();
+  auto built = BuildBidToTi(bid);
+  ASSERT_TRUE(built.ok());
+  // The extraction view is a CQ (existential projection), matching the
+  // paper's Φ; only the condition needs full FO.
+  EXPECT_TRUE(logic::IsCqView(built.value().view));
+}
+
+TEST(BidToTiTest, CountableFamilyFromPropositionD3) {
+  // Lemma 5.7 on the full countable Proposition D.3 BID-PDB. Every block
+  // has residual 1 - 1/(i²+1) >= 1/2, so rho = 1/2 works.
+  pdb::CountableBidPdb bid = PropositionD3Bid();
+  auto built = BuildBidToTiFamily(bid, 0.5);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  SumAnalysis well_defined = built.value().CheckWellDefined();
+  EXPECT_EQ(well_defined.kind, SumAnalysis::Kind::kConverged)
+      << well_defined.ToString();
+
+  // Family marginals equal the finite construction's on a truncation.
+  pdb::BidPdb<double> prefix = bid.Truncate(3);
+  auto finite = BuildBidToTi(prefix);
+  ASSERT_TRUE(finite.ok());
+  for (int k = 0; k < 6; ++k) {  // 2 facts per block × 3 blocks
+    EXPECT_NEAR(built.value().MarginalAt(k),
+                finite.value().ti.facts()[k].second, 1e-12)
+        << k;
+    EXPECT_EQ(built.value().FactAt(k), finite.value().ti.facts()[k].first)
+        << k;
+  }
+
+  // Sampling respects the augmented schema.
+  Pcg32 rng(223);
+  auto sample = built.value().Sample(&rng, 1e-4);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_TRUE(sample.value().MatchesSchema(built.value().schema()));
+}
+
+TEST(BidToTiTest, CountableFamilyValidation) {
+  pdb::CountableBidPdb bid = PropositionD3Bid();
+  EXPECT_FALSE(BuildBidToTiFamily(bid, 0.0).ok());
+  EXPECT_FALSE(BuildBidToTiFamily(bid, 1.5).ok());
+}
+
+TEST(BidToTiTest, DoublePath) {
+  rel::Schema schema({{"U", 1}});
+  pdb::BidPdb<double> bid = pdb::BidPdb<double>::CreateOrDie(
+      schema, {{{U(1), 0.25}, {U(2), 0.5}}, {{U(3), 0.125}}});
+  auto built = BuildBidToTi(bid);
+  ASSERT_TRUE(built.ok());
+  auto tv = VerifyBidToTi(bid, built.value());
+  ASSERT_TRUE(tv.ok());
+  EXPECT_NEAR(tv.value(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,167 @@
+#include "math/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "util/random.h"
+
+namespace ipdb {
+namespace math {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-123456789}, INT64_MAX, INT64_MIN}) {
+    BigInt big(v);
+    auto back = big.ToInt64();
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(BigIntTest, ToStringMatchesInt64) {
+  EXPECT_EQ(BigInt(9223372036854775807LL).ToString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(-42).ToString(), "-42");
+  EXPECT_EQ(BigInt(1000000000).ToString(), "1000000000");
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  const char* cases[] = {"0", "1", "-1", "999999999999999999999999999",
+                         "-123456789012345678901234567890"};
+  for (const char* text : cases) {
+    auto value = BigInt::FromString(text);
+    ASSERT_TRUE(value.ok()) << text;
+    EXPECT_EQ(value.value().ToString(), text);
+  }
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12x3").ok());
+  EXPECT_FALSE(BigInt::FromString("1.5").ok());
+}
+
+TEST(BigIntTest, AdditionCarries) {
+  BigInt a = BigInt::FromString("999999999999999999999999").value();
+  BigInt one(1);
+  EXPECT_EQ((a + one).ToString(), "1000000000000000000000000");
+}
+
+TEST(BigIntTest, SubtractionSigns) {
+  EXPECT_EQ((BigInt(5) - BigInt(7)).ToString(), "-2");
+  EXPECT_EQ((BigInt(-5) - BigInt(-7)).ToString(), "2");
+  EXPECT_EQ((BigInt(5) - BigInt(5)).ToString(), "0");
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  BigInt a = BigInt::FromString("123456789012345678901234567890").value();
+  BigInt b = BigInt::FromString("987654321098765432109876543210").value();
+  EXPECT_EQ((a * b).ToString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).ToString(), "3");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(7) % BigInt(2)).ToString(), "1");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).ToString(), "-1");
+}
+
+TEST(BigIntTest, MultiLimbDivision) {
+  BigInt a = BigInt::FromString("340282366920938463463374607431768211456")
+                 .value();  // 2^128
+  BigInt b = BigInt::FromString("18446744073709551616").value();  // 2^64
+  EXPECT_EQ((a / b).ToString(), "18446744073709551616");
+  EXPECT_TRUE((a % b).is_zero());
+}
+
+TEST(BigIntTest, DivisionRandomizedAgainstInt128) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    __int128 x = (static_cast<__int128>(rng.NextU64() >> 1) << 30) ^
+                 rng.NextU32();
+    uint64_t y64 = (rng.NextU64() >> 20) | 1;
+    __int128 y = static_cast<__int128>(y64);
+    if (rng.NextBernoulli(0.5)) x = -x;
+    BigInt a = BigInt::FromString([&] {
+                 // Render the __int128 via decomposition.
+                 bool negative = x < 0;
+                 unsigned __int128 m =
+                     negative ? -static_cast<unsigned __int128>(x)
+                              : static_cast<unsigned __int128>(x);
+                 std::string digits;
+                 if (m == 0) digits = "0";
+                 while (m != 0) {
+                   digits.insert(digits.begin(),
+                                 static_cast<char>('0' + static_cast<int>(m % 10)));
+                   m /= 10;
+                 }
+                 return (negative ? "-" : "") + digits;
+               }())
+                   .value();
+    BigInt b(static_cast<int64_t>(y64));
+    __int128 q = x / y;
+    __int128 r = x % y;
+    BigInt quotient;
+    BigInt remainder;
+    BigInt::DivMod(a, b, &quotient, &remainder);
+    EXPECT_EQ((quotient * b + remainder).ToString(), a.ToString());
+    // Compare against the native result via reconstruction.
+    EXPECT_EQ(quotient.ToString(),
+              (BigInt(static_cast<int64_t>(q >> 62)) * BigInt(int64_t{1} << 62) +
+               BigInt(static_cast<int64_t>(q & ((int64_t{1} << 62) - 1))))
+                  .ToString());
+    (void)r;
+  }
+}
+
+TEST(BigIntTest, GcdAndPow) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(48), BigInt(36)).ToString(), "12");
+  EXPECT_EQ(BigInt::Gcd(BigInt(-48), BigInt(36)).ToString(), "12");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToString(), "5");
+  EXPECT_EQ(BigInt(2).Pow(100).ToString(), "1267650600228229401496703205376");
+  EXPECT_EQ(BigInt(7).Pow(0).ToString(), "1");
+  EXPECT_EQ(BigInt::TwoToThe(100), BigInt(2).Pow(100));
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-3), BigInt(2));
+  EXPECT_LT(BigInt(2), BigInt(3));
+  EXPECT_LT(BigInt(-3), BigInt(-2));
+  EXPECT_LE(BigInt(2), BigInt(2));
+  EXPECT_GT(BigInt::FromString("100000000000000000000").value(),
+            BigInt(INT64_MAX));
+}
+
+TEST(BigIntTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(1000).ToDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(BigInt(-1000).ToDouble(), -1000.0);
+  EXPECT_NEAR(BigInt(2).Pow(70).ToDouble(), std::pow(2.0, 70), 1e3);
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt::TwoToThe(100).BitLength(), 101u);
+}
+
+TEST(BigIntTest, ToInt64OverflowDetected) {
+  EXPECT_FALSE(BigInt::TwoToThe(64).ToInt64().ok());
+  EXPECT_TRUE(BigInt(INT64_MIN).ToInt64().ok());
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace ipdb

@@ -1,0 +1,147 @@
+#include "pdb/combinators.h"
+
+#include <gtest/gtest.h>
+
+#include "pqe/monte_carlo.h"
+#include "pqe/wmc.h"
+
+#include "core/paper_examples.h"
+#include "logic/parser.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace pdb {
+namespace {
+
+using math::Rational;
+
+rel::Schema UnarySchema() { return rel::Schema({{"U", 1}}); }
+
+rel::Fact U(int64_t v) { return rel::Fact(0, {rel::Value::Int(v)}); }
+
+TEST(CombinatorsTest, IndependentProductMultiplies) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<Rational> a = FinitePdb<Rational>::CreateOrDie(
+      schema, {{rel::Instance(), Rational::Ratio(1, 3)},
+               {rel::Instance({U(1)}), Rational::Ratio(2, 3)}});
+  FinitePdb<Rational> b = FinitePdb<Rational>::CreateOrDie(
+      schema, {{rel::Instance(), Rational::Ratio(1, 4)},
+               {rel::Instance({U(2)}), Rational::Ratio(3, 4)}});
+  auto product = IndependentProduct(a, b);
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product.value().num_worlds(), 4);
+  EXPECT_EQ(product.value().Probability(rel::Instance({U(1), U(2)})),
+            Rational::Ratio(2, 3) * Rational::Ratio(3, 4));
+  // The parts remain independent in the product.
+  EXPECT_EQ(product.value().Marginal(U(1)), Rational::Ratio(2, 3));
+  EXPECT_EQ(product.value().Marginal(U(2)), Rational::Ratio(3, 4));
+}
+
+TEST(CombinatorsTest, ProductRejectsOverlap) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<Rational> a = FinitePdb<Rational>::CreateOrDie(
+      schema, {{rel::Instance({U(1)}), Rational(1)}});
+  EXPECT_FALSE(IndependentProduct(a, a).ok());
+}
+
+TEST(CombinatorsTest, TiUnionMatchesProductOfExpansions) {
+  rel::Schema schema = UnarySchema();
+  TiPdb<Rational> a = TiPdb<Rational>::CreateOrDie(
+      schema, {{U(1), Rational::Ratio(1, 2)}});
+  TiPdb<Rational> b = TiPdb<Rational>::CreateOrDie(
+      schema, {{U(2), Rational::Ratio(1, 3)}});
+  auto united = TiUnion(a, b);
+  ASSERT_TRUE(united.ok());
+  auto product = IndependentProduct(a.Expand(), b.Expand());
+  ASSERT_TRUE(product.ok());
+  EXPECT_DOUBLE_EQ(
+      TotalVariationDistance(united.value().Expand(), product.value()),
+      0.0);
+  // Duplicate facts rejected.
+  EXPECT_FALSE(TiUnion(a, a).ok());
+}
+
+TEST(CombinatorsTest, BidUnionConcatenatesBlocks) {
+  rel::Schema schema = UnarySchema();
+  BidPdb<Rational> a = BidPdb<Rational>::CreateOrDie(
+      schema, {{{U(1), Rational::Ratio(1, 2)},
+                {U(2), Rational::Ratio(1, 2)}}});
+  BidPdb<Rational> b = BidPdb<Rational>::CreateOrDie(
+      schema, {{{U(3), Rational::Ratio(1, 4)}}});
+  auto united = BidUnion(a, b);
+  ASSERT_TRUE(united.ok());
+  EXPECT_EQ(united.value().num_blocks(), 2);
+  EXPECT_EQ(united.value().Residual(1), Rational::Ratio(3, 4));
+}
+
+TEST(CombinatorsTest, MixtureBreaksIndependence) {
+  // Mixing two deterministic worlds produces the classic correlated
+  // PDB — valid, but no longer TI (the Section 2 motivation for
+  // representation systems beyond raw world lists).
+  rel::Schema schema = UnarySchema();
+  FinitePdb<Rational> both = FinitePdb<Rational>::CreateOrDie(
+      schema, {{rel::Instance({U(1), U(2)}), Rational(1)}});
+  FinitePdb<Rational> neither = FinitePdb<Rational>::CreateOrDie(
+      schema, {{rel::Instance(), Rational(1)}});
+  auto mixture = Mixture(both, neither, Rational::Ratio(1, 2));
+  ASSERT_TRUE(mixture.ok());
+  EXPECT_EQ(mixture.value().num_worlds(), 2);
+  EXPECT_FALSE(mixture.value().IsTupleIndependent());
+  EXPECT_EQ(mixture.value().Marginal(U(1)), Rational::Ratio(1, 2));
+  // Lambda validation.
+  EXPECT_FALSE(Mixture(both, neither, Rational::Ratio(3, 2)).ok());
+}
+
+TEST(MonteCarloTest, FiniteEstimateWithinInterval) {
+  rel::Schema schema({{"R", 2}});
+  auto r = [](int64_t a, int64_t b) {
+    return rel::Fact(0, {rel::Value::Int(a), rel::Value::Int(b)});
+  };
+  TiPdb<double> ti = TiPdb<double>::CreateOrDie(
+      schema, {{r(1, 2), 0.5}, {r(2, 3), 0.25}, {r(1, 3), 0.75}});
+  logic::Formula query =
+      logic::ParseSentence("exists x y z. R(x, y) & R(y, z)", schema)
+          .value();
+  double exact = pqe::QueryProbability(ti, query).value();
+  Pcg32 rng(601);
+  auto estimate =
+      pqe::EstimateQueryProbability(ti, query, 20000, &rng, 0.999);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_LE(std::abs(estimate.value().estimate - exact),
+            estimate.value().half_width);
+  EXPECT_DOUBLE_EQ(estimate.value().sampler_bias, 0.0);
+}
+
+TEST(MonteCarloTest, CountableEstimate) {
+  // Pr(U(1) present) in Example 5.6 is exactly 1/2.
+  pdb::CountableTiPdb ti = core::Example56Ti();
+  logic::Formula query =
+      logic::ParseSentence("U(1)", ti.schema()).value();
+  Pcg32 rng(607);
+  auto estimate = pqe::EstimateQueryProbability(ti, query, 4000, &rng,
+                                                0.999, 1e-4);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_LE(std::abs(estimate.value().estimate - 0.5),
+            estimate.value().half_width + estimate.value().sampler_bias);
+  EXPECT_DOUBLE_EQ(estimate.value().sampler_bias, 1e-4);
+}
+
+TEST(MonteCarloTest, Validation) {
+  rel::Schema schema = UnarySchema();
+  TiPdb<double> ti =
+      TiPdb<double>::CreateOrDie(schema, {{U(1), 0.5}});
+  logic::Formula query = logic::ParseSentence("U(1)", schema).value();
+  Pcg32 rng(613);
+  EXPECT_FALSE(
+      pqe::EstimateQueryProbability(ti, query, 0, &rng).ok());
+  EXPECT_FALSE(
+      pqe::EstimateQueryProbability(ti, query, 10, &rng, 1.5).ok());
+  logic::Formula open = logic::ParseFormula("U(x)", schema).value();
+  EXPECT_FALSE(
+      pqe::EstimateQueryProbability(ti, open, 10, &rng).ok());
+}
+
+}  // namespace
+}  // namespace pdb
+}  // namespace ipdb

@@ -1,0 +1,131 @@
+#include "core/conditional_views.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/evaluator.h"
+#include "logic/parser.h"
+#include "pdb/pushforward.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace core {
+namespace {
+
+using math::Rational;
+
+rel::Schema UnarySchema() { return rel::Schema({{"U", 1}}); }
+
+rel::Fact U(int64_t v) { return rel::Fact(0, {rel::Value::Int(v)}); }
+
+TEST(CharacterizePreimageTest, MatchesExactImage) {
+  // φ₀ must hold on exactly the instances mapping to D₀.
+  rel::Schema schema = UnarySchema();
+  logic::FoView identity = logic::FoView::Identity(schema);
+  rel::Instance d0({U(1)});
+  logic::Formula phi0 = CharacterizeViewPreimage(identity, d0);
+  EXPECT_TRUE(logic::Satisfies(rel::Instance({U(1)}), schema, phi0));
+  EXPECT_FALSE(logic::Satisfies(rel::Instance(), schema, phi0));
+  EXPECT_FALSE(logic::Satisfies(rel::Instance({U(1), U(2)}), schema, phi0));
+  EXPECT_FALSE(logic::Satisfies(rel::Instance({U(2)}), schema, phi0));
+}
+
+TEST(CharacterizePreimageTest, NonInjectiveView) {
+  rel::Schema in = UnarySchema();
+  rel::Schema out({{"NonEmpty", 0}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.body = logic::ParseFormula("exists x. U(x)", in).value();
+  logic::FoView view = logic::FoView::Create(in, out, {def}).value();
+  rel::Instance empty_output;
+  logic::Formula phi0 = CharacterizeViewPreimage(view, empty_output);
+  // Preimage of the empty output = the empty instance only.
+  EXPECT_TRUE(logic::Satisfies(rel::Instance(), in, phi0));
+  EXPECT_FALSE(logic::Satisfies(rel::Instance({U(3)}), in, phi0));
+}
+
+TEST(ConditionalViewsTest, IdentityViewWithCondition) {
+  // I = two independent facts; condition: at least one fact present.
+  rel::Schema schema = UnarySchema();
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      schema,
+      {{U(1), Rational::Ratio(1, 2)}, {U(2), Rational::Ratio(1, 3)}});
+  logic::FoView identity = logic::FoView::Identity(schema);
+  logic::Formula phi =
+      logic::ParseSentence("exists x. U(x)", schema).value();
+
+  auto built = EliminateCondition(ti, identity, phi);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_GE(built.value().k, 1);
+  auto tv = VerifyConditionElimination(built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(ConditionalViewsTest, ProjectionViewWithCondition) {
+  // Binary facts, projection view, conditioning on a universal sentence.
+  rel::Schema in({{"R", 2}});
+  rel::Schema out({{"T", 1}});
+  rel::Fact r12(0, {rel::Value::Int(1), rel::Value::Int(2)});
+  rel::Fact r21(0, {rel::Value::Int(2), rel::Value::Int(1)});
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      in, {{r12, Rational::Ratio(1, 2)}, {r21, Rational::Ratio(1, 4)}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x"};
+  def.body = logic::ParseFormula("exists y. R(x, y)", in).value();
+  logic::FoView view = logic::FoView::Create(in, out, {def}).value();
+  // Condition: R is not symmetric somewhere (i.e. not both facts).
+  logic::Formula phi =
+      logic::ParseSentence("!(R(1, 2) & R(2, 1))", in).value();
+
+  auto built = EliminateCondition(ti, view, phi);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto tv = VerifyConditionElimination(built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(ConditionalViewsTest, DegeneratePointMass) {
+  // Conditioning pins the PDB to a single world: p₀ = 1 short-circuit.
+  rel::Schema schema = UnarySchema();
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      schema, {{U(1), Rational::Ratio(1, 2)}});
+  logic::FoView identity = logic::FoView::Identity(schema);
+  logic::Formula phi = logic::ParseSentence("U(1)", schema).value();
+  auto built = EliminateCondition(ti, identity, phi);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().k, 0);
+  auto tv = VerifyConditionElimination(built.value());
+  ASSERT_TRUE(tv.ok());
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(ConditionalViewsTest, ZeroProbabilityConditionFails) {
+  rel::Schema schema = UnarySchema();
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      schema, {{U(1), Rational::Ratio(1, 2)}});
+  logic::FoView identity = logic::FoView::Identity(schema);
+  logic::Formula phi = logic::ParseSentence("U(99)", schema).value();
+  EXPECT_FALSE(EliminateCondition(ti, identity, phi).ok());
+}
+
+TEST(ConditionalViewsTest, KGrowsWhenD0IsRare) {
+  // With a flat distribution p₀ is small, forcing k > 1.
+  rel::Schema schema = UnarySchema();
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      schema,
+      {{U(1), Rational::Ratio(1, 2)}, {U(2), Rational::Ratio(1, 2)}});
+  logic::FoView identity = logic::FoView::Identity(schema);
+  // Condition is vacuous: the target is the full uniform TI itself.
+  logic::Formula phi = logic::Truth();
+  auto built = EliminateCondition(ti, identity, phi);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_GE(built.value().k, 2);
+  auto tv = VerifyConditionElimination(built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ipdb

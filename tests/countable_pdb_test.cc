@@ -1,0 +1,82 @@
+#include "pdb/countable_pdb.h"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace pdb {
+namespace {
+
+TEST(CountablePdbTest, Example35Normalizes) {
+  CountablePdb pdb = core::Example35();
+  SumAnalysis mass = AnalyzeSum(pdb.ProbabilitySeries());
+  ASSERT_EQ(mass.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_TRUE(mass.enclosure.Contains(1.0));
+}
+
+TEST(CountablePdbTest, Example35WorldsAreDisjointAndSized) {
+  CountablePdb pdb = core::Example35();
+  for (int64_t j = 0; j < 6; ++j) {
+    rel::Instance world = pdb.WorldAt(j);
+    EXPECT_EQ(world.size(), pdb.SizeAt(j));
+    EXPECT_EQ(world.size(), int64_t{1} << (j + 1));
+    for (int64_t j2 = 0; j2 < j; ++j2) {
+      EXPECT_TRUE(rel::Instance::Intersection(world, pdb.WorldAt(j2))
+                      .empty());
+    }
+  }
+}
+
+TEST(CountablePdbTest, Example39Normalizes) {
+  CountablePdb pdb = core::Example39();
+  SumAnalysis mass = AnalyzeSum(pdb.ProbabilitySeries());
+  ASSERT_EQ(mass.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_TRUE(mass.enclosure.Contains(1.0));
+}
+
+TEST(CountablePdbTest, Example55Normalizes) {
+  CountablePdb pdb = core::Example55();
+  SumAnalysis mass = AnalyzeSum(pdb.ProbabilitySeries());
+  ASSERT_EQ(mass.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_TRUE(mass.enclosure.Contains(1.0));
+}
+
+TEST(CountablePdbTest, SampleIndexMatchesProbabilities) {
+  CountablePdb pdb = core::Example35();
+  Pcg32 rng(61);
+  const int64_t samples = 50000;
+  int64_t count0 = 0;
+  for (int64_t i = 0; i < samples; ++i) {
+    auto index = pdb.SampleIndex(&rng, 1e-9);
+    ASSERT_TRUE(index.ok());
+    if (index.value() == 0) ++count0;
+  }
+  EXPECT_NEAR(count0 / static_cast<double>(samples), 0.75, 0.01);
+}
+
+TEST(CountablePdbTest, TruncateAndRenormalize) {
+  CountablePdb pdb = core::Example55();
+  auto prefix = pdb.TruncateAndRenormalize(4);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix.value().num_worlds(), 4);
+  double total = 0.0;
+  for (const auto& [world, probability] : prefix.value().worlds()) {
+    total += probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Relative probabilities preserved.
+  EXPECT_NEAR(prefix.value().Probability(pdb.WorldAt(0)) /
+                  prefix.value().Probability(pdb.WorldAt(1)),
+              pdb.ProbAt(0) / pdb.ProbAt(1), 1e-9);
+}
+
+TEST(CountablePdbTest, CreateRequiresFunctions) {
+  CountablePdb::Family family;
+  EXPECT_FALSE(CountablePdb::Create(std::move(family)).ok());
+}
+
+}  // namespace
+}  // namespace pdb
+}  // namespace ipdb

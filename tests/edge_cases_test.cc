@@ -1,0 +1,200 @@
+// Assorted edge-case coverage across modules: multi-relation views and
+// constructions, zero-arity relations, degenerate probabilities,
+// certificate-free analysis paths, and boundary validations.
+
+#include <gtest/gtest.h>
+
+#include "core/conditional_views.h"
+#include "core/segment_construction.h"
+#include "logic/evaluator.h"
+#include "logic/parser.h"
+#include "pdb/bid_pdb.h"
+#include "pdb/conditioning.h"
+#include "pdb/pushforward.h"
+#include "pdb/ti_pdb.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/series.h"
+
+namespace ipdb {
+namespace {
+
+using math::Rational;
+
+TEST(EdgeCasesTest, ZeroArityRelationsThroughTheStack) {
+  // 0-ary relations are propositions; they must work through facts,
+  // formulas, views and pushforward.
+  rel::Schema schema({{"Rain", 0}, {"Wet", 0}});
+  rel::Fact rain(0, {});
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      schema, {{rain, Rational::Ratio(1, 3)}});
+
+  logic::FoView::Definition def;
+  def.output_relation = 1;
+  def.body = logic::ParseFormula("Rain()", schema).value();
+  logic::FoView::Definition keep;
+  keep.output_relation = 0;
+  keep.body = logic::ParseFormula("Rain()", schema).value();
+  logic::FoView view =
+      logic::FoView::Create(schema, schema, {keep, def}).value();
+
+  pdb::FinitePdb<Rational> image =
+      pdb::PushforwardOrDie(ti.Expand(), view);
+  rel::Instance both({rain, rel::Fact(1, {})});
+  EXPECT_EQ(image.Probability(both), Rational::Ratio(1, 3));
+  EXPECT_EQ(image.Probability(rel::Instance()), Rational::Ratio(2, 3));
+}
+
+TEST(EdgeCasesTest, MultiRelationConditionElimination) {
+  // Theorem 4.1 with a two-relation input schema: Relativize must hit
+  // every relation and the copy schema must track both.
+  rel::Schema in({{"A", 1}, {"B", 1}});
+  rel::Fact a(0, {rel::Value::Int(1)});
+  rel::Fact b(1, {rel::Value::Int(2)});
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      in, {{a, Rational::Ratio(1, 2)}, {b, Rational::Ratio(1, 3)}});
+  logic::FoView identity = logic::FoView::Identity(in);
+  logic::Formula phi =
+      logic::ParseSentence("(exists x. A(x)) | (exists x. B(x))", in)
+          .value();
+  auto built = core::EliminateCondition(ti, identity, phi);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto tv = core::VerifyConditionElimination(built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(EdgeCasesTest, SegmentConstructionSingleWorldPointMass) {
+  // A one-world PDB: one chain, condition trivially satisfiable, view
+  // reproduces the world with probability 1.
+  rel::Schema schema({{"U", 1}});
+  rel::Instance world({rel::Fact(0, {rel::Value::Int(1)}),
+                       rel::Fact(0, {rel::Value::Int(2)})});
+  pdb::FinitePdb<double> input =
+      pdb::FinitePdb<double>::CreateOrDie(schema, {{world, 1.0}});
+  auto built = core::BuildSegmentConstruction(input, 1);
+  ASSERT_TRUE(built.ok());
+  auto tv = core::VerifySegmentConstruction(input, built.value());
+  ASSERT_TRUE(tv.ok());
+  EXPECT_NEAR(tv.value(), 0.0, 1e-12);
+}
+
+TEST(EdgeCasesTest, ConditionOnParsedSentenceOverBid) {
+  // Conditioning with a universally quantified constraint touching two
+  // relations.
+  rel::Schema schema({{"P", 1}, {"Q", 1}});
+  rel::Fact p1(0, {rel::Value::Int(1)});
+  rel::Fact q1(1, {rel::Value::Int(1)});
+  rel::Fact q2(1, {rel::Value::Int(2)});
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      schema, {{p1, Rational::Ratio(1, 2)},
+               {q1, Rational::Ratio(1, 2)},
+               {q2, Rational::Ratio(1, 2)}});
+  logic::Formula constraint =
+      logic::ParseSentence("forall x. P(x) -> Q(x)", schema).value();
+  auto conditioned = pdb::Condition(ti.Expand(), constraint);
+  ASSERT_TRUE(conditioned.ok());
+  // Worlds with P(1) but not Q(1) are gone.
+  for (const auto& [world, probability] : conditioned.value().worlds()) {
+    EXPECT_TRUE(!world.Contains(p1) || world.Contains(q1));
+  }
+  // Mass: P(constraint) = 1 - P(p1)·(1-P(q1)) = 3/4; check a marginal.
+  EXPECT_EQ(conditioned.value().Marginal(p1),
+            Rational::Ratio(1, 2) * Rational::Ratio(1, 2) /
+                Rational::Ratio(3, 4));
+}
+
+TEST(EdgeCasesTest, SeriesBudgetExhaustedStillCertified) {
+  // When max_terms runs out but an upper tail certificate exists, the
+  // analysis still returns a (wide) certified enclosure.
+  Series series = PowerSeries(1.0, 1.5);
+  SumOptions options;
+  options.max_terms = 64;
+  options.target_width = 1e-12;  // unreachable in 64 terms
+  SumAnalysis result = AnalyzeSum(series, options);
+  EXPECT_EQ(result.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_GT(result.enclosure.width(), 1e-12);
+  EXPECT_TRUE(result.enclosure.Contains(2.612375));  // zeta(1.5) ≈ 2.6124
+}
+
+TEST(EdgeCasesTest, CountableTiNeedsCertificatesForMomentsAndSampling) {
+  pdb::CountableTiPdb::Family family;
+  family.schema = rel::Schema({{"U", 1}});
+  family.fact_at = [](int64_t i) {
+    return rel::Fact(0, {rel::Value::Int(i)});
+  };
+  family.marginal_at = [](int64_t i) {
+    return std::pow(0.5, static_cast<double>(i + 1));
+  };
+  family.description = "certificate-free";
+  auto ti = pdb::CountableTiPdb::Create(std::move(family));
+  ASSERT_TRUE(ti.ok());
+  EXPECT_FALSE(ti.value().SizeMomentInterval(1).ok());
+  Pcg32 rng(811);
+  EXPECT_FALSE(ti.value().Sample(&rng).ok());
+  // Without certificates the well-definedness check is inconclusive.
+  SumOptions options;
+  options.max_terms = 128;
+  EXPECT_EQ(ti.value().CheckWellDefined(options).kind,
+            SumAnalysis::Kind::kInconclusive);
+}
+
+TEST(EdgeCasesTest, FinitePdbDoubleToleranceBoundary) {
+  rel::Schema schema({{"U", 1}});
+  rel::Instance w({rel::Fact(0, {rel::Value::Int(1)})});
+  // Slightly off mass within tolerance: accepted.
+  EXPECT_TRUE(pdb::FinitePdb<double>::Create(
+                  schema, {{rel::Instance(), 0.5 + 4e-10},
+                           {w, 0.5}})
+                  .ok());
+  // Beyond tolerance: rejected.
+  EXPECT_FALSE(pdb::FinitePdb<double>::Create(
+                   schema, {{rel::Instance(), 0.51}, {w, 0.5}})
+                   .ok());
+}
+
+TEST(EdgeCasesTest, GuardWithRepeatedVariableInAtom) {
+  // Guard candidate extraction must respect a variable occurring twice
+  // in one atom: R(x, x) only matches diagonal facts.
+  rel::Schema schema({{"R", 2}});
+  rel::Instance instance(
+      {rel::Fact(0, {rel::Value::Int(1), rel::Value::Int(1)}),
+       rel::Fact(0, {rel::Value::Int(1), rel::Value::Int(2)})});
+  logic::Formula diag =
+      logic::ParseSentence("exists x. R(x, x)", schema).value();
+  EXPECT_TRUE(logic::Satisfies(instance, schema, diag));
+  rel::Instance off_diag(
+      {rel::Fact(0, {rel::Value::Int(1), rel::Value::Int(2)})});
+  EXPECT_FALSE(logic::Satisfies(off_diag, schema, diag));
+}
+
+TEST(EdgeCasesTest, ViewWithUnconstrainedHeadVariable) {
+  // A head variable absent from the body ranges over adom ∪ consts
+  // (documented convention): T(x, y) := S(x) pairs every S-element with
+  // every candidate.
+  rel::Schema in({{"S", 1}});
+  rel::Schema out({{"T", 2}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x", "y"};
+  def.body = logic::ParseFormula("S(x)", in).value();
+  logic::FoView view = logic::FoView::Create(in, out, {def}).value();
+  rel::Instance instance({rel::Fact(0, {rel::Value::Int(1)}),
+                          rel::Fact(0, {rel::Value::Int(2)})});
+  rel::Instance image = view.ApplyOrDie(instance);
+  EXPECT_EQ(image.size(), 4);  // {1,2} × {1,2}
+}
+
+TEST(EdgeCasesTest, BidZeroResidualSamplingAlwaysPicks) {
+  rel::Schema schema({{"U", 1}});
+  pdb::BidPdb<double> bid = pdb::BidPdb<double>::CreateOrDie(
+      schema, {{{rel::Fact(0, {rel::Value::Int(1)}), 0.5},
+                {rel::Fact(0, {rel::Value::Int(2)}), 0.5}}});
+  Pcg32 rng(823);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(bid.Sample(&rng).size(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace ipdb

@@ -1,0 +1,120 @@
+#include "core/edge_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "pdb/pushforward.h"
+
+namespace ipdb {
+namespace core {
+namespace {
+
+TEST(EdgeCoverTest, Lemma36BoundBasics) {
+  // |V_n| = 0: trivial bound 1.
+  EXPECT_DOUBLE_EQ(Lemma36Bound(0, 1, 0.5), 1.0);
+  // r = 1, |V_n| = 2, Σq = 0.1: 2·(1·1·0.1)² = 0.02.
+  EXPECT_DOUBLE_EQ(Lemma36Bound(2, 1, 0.1), 0.02);
+  // Clamped at 1.
+  EXPECT_DOUBLE_EQ(Lemma36Bound(3, 2, 100.0), 1.0);
+}
+
+TEST(EdgeCoverTest, MinimalCoversTriangle) {
+  // Vertices {0,1,2}; edges {0,1}, {1,2}, {0,2}: the minimal edge covers
+  // are all pairs of edges (each pair covers all three vertices; no
+  // single edge does).
+  WeightedHypergraph graph;
+  graph.num_vertices = 3;
+  graph.edges = {{0, 1}, {1, 2}, {0, 2}};
+  graph.weights = {0.5, 0.5, 0.5};
+  DedupedCover covers = MinimalEdgeCovers(graph);
+  EXPECT_EQ(covers.covers.size(), 3u);
+  for (const auto& cover : covers.covers) {
+    EXPECT_EQ(cover.size(), 2u);
+  }
+  EXPECT_DOUBLE_EQ(MinimalCoverWeight(covers), 3 * 0.25);
+}
+
+TEST(EdgeCoverTest, ParallelEdgesMerge) {
+  // Two parallel edges {0} with weights 0.3 and 0.2 merge to one edge of
+  // weight 0.5 (the Σ_{e∈s⁻¹(f)} q_e regrouping).
+  WeightedHypergraph graph;
+  graph.num_vertices = 1;
+  graph.edges = {{0}, {0}};
+  graph.weights = {0.3, 0.2};
+  DedupedCover covers = MinimalEdgeCovers(graph);
+  ASSERT_EQ(covers.deduped_edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(covers.deduped_weights[0], 0.5);
+  ASSERT_EQ(covers.covers.size(), 1u);
+  EXPECT_DOUBLE_EQ(MinimalCoverWeight(covers), 0.5);
+}
+
+TEST(EdgeCoverTest, SpanningEdgeDominates) {
+  // One big edge covering everything is itself a minimal cover; covers
+  // containing it plus more are not minimal.
+  WeightedHypergraph graph;
+  graph.num_vertices = 3;
+  graph.edges = {{0, 1, 2}, {0, 1}, {2}};
+  graph.weights = {0.1, 0.2, 0.3};
+  DedupedCover covers = MinimalEdgeCovers(graph);
+  // Minimal covers: {big}, {{0,1},{2}}.
+  EXPECT_EQ(covers.covers.size(), 2u);
+}
+
+TEST(EdgeCoverTest, EmptyTargetHasEmptyCover) {
+  WeightedHypergraph graph;
+  graph.num_vertices = 0;
+  DedupedCover covers = MinimalEdgeCovers(graph);
+  ASSERT_EQ(covers.covers.size(), 1u);
+  EXPECT_TRUE(covers.covers[0].empty());
+  EXPECT_DOUBLE_EQ(MinimalCoverWeight(covers), 1.0);
+}
+
+TEST(EdgeCoverTest, BoundChainHoldsOnRealViewOutput) {
+  // Lemma 3.6's chain: Pr(Φ(I) = D_n) <= cover weight <= closed-form
+  // bound — verified exhaustively on a small TI-PDB with the identity
+  // view.
+  rel::Schema schema({{"R", 2}});
+  auto fact = [](int64_t a, int64_t b) {
+    return rel::Fact(0, {rel::Value::Int(a), rel::Value::Int(b)});
+  };
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema, {{fact(1, 2), 0.2},
+               {fact(2, 3), 0.3},
+               {fact(1, 3), 0.1},
+               {fact(4, 4), 0.25}});
+  logic::FoView identity = logic::FoView::Identity(schema);
+  pdb::FinitePdb<double> expanded = ti.Expand();
+  auto image = pdb::Pushforward(expanded, identity);
+  ASSERT_TRUE(image.ok());
+  for (const auto& [world, probability] : image.value().worlds()) {
+    EdgeCoverReport report = AnalyzeWorldCover(ti, identity.Constants(),
+                                               world);
+    if (report.exact_cover_weight >= 0.0) {
+      EXPECT_LE(probability, report.exact_cover_weight + 1e-12)
+          << world.ToString(schema);
+      // Middle bound <= closed-form bound (up to the min(·,1) clamp).
+      EXPECT_LE(std::min(report.exact_cover_weight, 1.0),
+                report.lemma_bound + 1e-12)
+          << world.ToString(schema);
+    }
+    EXPECT_LE(probability, report.lemma_bound + 1e-12)
+        << world.ToString(schema);
+  }
+}
+
+TEST(EdgeCoverTest, BuildFactHypergraphRestricts) {
+  rel::Schema schema({{"R", 2}});
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema,
+      {{rel::Fact(0, {rel::Value::Int(1), rel::Value::Int(2)}), 0.5},
+       {rel::Fact(0, {rel::Value::Int(5), rel::Value::Int(6)}), 0.5}});
+  // Only facts touching the target set {1} are edges.
+  WeightedHypergraph graph =
+      BuildFactHypergraph(ti, {rel::Value::Int(1)});
+  ASSERT_EQ(graph.edges.size(), 1u);
+  EXPECT_EQ(graph.edges[0], std::vector<int>{0});
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,189 @@
+#include "logic/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "relational/instance.h"
+
+namespace ipdb {
+namespace logic {
+namespace {
+
+rel::Schema TestSchema() { return rel::Schema({{"R", 2}, {"S", 1}}); }
+
+rel::Instance TestInstance() {
+  // R(1,2), R(2,3), S(1)
+  return rel::Instance({
+      rel::Fact(0, {rel::Value::Int(1), rel::Value::Int(2)}),
+      rel::Fact(0, {rel::Value::Int(2), rel::Value::Int(3)}),
+      rel::Fact(1, {rel::Value::Int(1)}),
+  });
+}
+
+bool Holds(const std::string& text) {
+  rel::Schema schema = TestSchema();
+  Formula f = ParseSentence(text, schema).value();
+  return Satisfies(TestInstance(), schema, f);
+}
+
+TEST(EvaluatorTest, AtomsAndBooleans) {
+  EXPECT_TRUE(Holds("R(1, 2)"));
+  EXPECT_FALSE(Holds("R(2, 1)"));
+  EXPECT_TRUE(Holds("R(1, 2) & S(1)"));
+  EXPECT_FALSE(Holds("R(1, 2) & S(2)"));
+  EXPECT_TRUE(Holds("R(2, 1) | S(1)"));
+  EXPECT_TRUE(Holds("!R(2, 1)"));
+  EXPECT_TRUE(Holds("R(9, 9) -> S(5)"));
+  EXPECT_TRUE(Holds("R(1, 2) <-> S(1)"));
+  EXPECT_FALSE(Holds("R(1, 2) <-> S(2)"));
+  EXPECT_TRUE(Holds("true"));
+  EXPECT_FALSE(Holds("false"));
+}
+
+TEST(EvaluatorTest, ExistentialQuantification) {
+  EXPECT_TRUE(Holds("exists x. S(x)"));
+  EXPECT_TRUE(Holds("exists x y. R(x, y)"));
+  EXPECT_TRUE(Holds("exists x. R(1, x) & R(x, 3)"));   // x = 2
+  EXPECT_FALSE(Holds("exists x. R(x, x)"));
+}
+
+TEST(EvaluatorTest, UniversalQuantification) {
+  // All R-sources are 1 or 2.
+  EXPECT_TRUE(Holds("forall x y. R(x, y) -> (x = 1 | x = 2)"));
+  EXPECT_FALSE(Holds("forall x y. R(x, y) -> x = 1"));
+  // Guarded universal over S.
+  EXPECT_TRUE(Holds("forall x. S(x) -> x = 1"));
+}
+
+TEST(EvaluatorTest, InfiniteUniverseSemantics) {
+  // Over the infinite universe there is always an element outside S.
+  EXPECT_TRUE(Holds("exists x. !S(x)"));
+  // And ∀x S(x) is always false on a finite instance.
+  EXPECT_FALSE(Holds("forall x. S(x)"));
+  // Two distinct non-S elements exist (needs two fresh elements).
+  EXPECT_TRUE(Holds("exists x y. !S(x) & !S(y) & x != y"));
+  // Fresh elements are genuinely distinct from active-domain ones.
+  EXPECT_TRUE(Holds("exists x. !S(x) & x != 1 & x != 2 & x != 3"));
+}
+
+TEST(EvaluatorTest, EqualityAndConstants) {
+  EXPECT_TRUE(Holds("1 = 1"));
+  EXPECT_FALSE(Holds("1 = 2"));
+  EXPECT_TRUE(Holds("exists x. x = 7 & !S(7)"));
+  EXPECT_TRUE(Holds("null = null"));
+  EXPECT_FALSE(Holds("null = 0"));
+}
+
+TEST(EvaluatorTest, ErrorsOnFreeVariables) {
+  rel::Schema schema = TestSchema();
+  Formula f = ParseFormula("S(x)", schema).value();
+  StatusOr<bool> result = Evaluate(TestInstance(), schema, f);
+  EXPECT_FALSE(result.ok());
+  // With a binding, it evaluates.
+  Assignment assignment = {{"x", rel::Value::Int(1)}};
+  StatusOr<bool> bound = Evaluate(TestInstance(), schema, f, assignment);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound.value());
+}
+
+TEST(EvaluatorTest, ErrorsOnSchemaMismatch) {
+  rel::Schema schema = TestSchema();
+  Formula bad = Atom(5, {Term::Int(1)});
+  EXPECT_FALSE(Evaluate(TestInstance(), schema, bad).ok());
+}
+
+TEST(EvaluatorTest, EvaluateQueryBinaryJoin) {
+  rel::Schema schema = TestSchema();
+  // Composition R∘R.
+  Formula f = ParseFormula("exists y. R(x, y) & R(y, z)", schema).value();
+  auto tuples = EvaluateQuery(TestInstance(), schema, f, {"x", "z"});
+  ASSERT_TRUE(tuples.ok());
+  ASSERT_EQ(tuples.value().size(), 1u);
+  EXPECT_EQ(tuples.value()[0][0], rel::Value::Int(1));
+  EXPECT_EQ(tuples.value()[0][1], rel::Value::Int(3));
+}
+
+TEST(EvaluatorTest, EvaluateQueryNegationStaysInAdom) {
+  rel::Schema schema = TestSchema();
+  // ¬S(x): output restricted to adom ∪ consts by the safety convention.
+  Formula f = ParseFormula("!S(x)", schema).value();
+  auto tuples = EvaluateQuery(TestInstance(), schema, f, {"x"});
+  ASSERT_TRUE(tuples.ok());
+  // adom = {1, 2, 3}; S(1) holds, so outputs are 2, 3.
+  ASSERT_EQ(tuples.value().size(), 2u);
+}
+
+TEST(EvaluatorTest, EvaluateQueryUncoveredFreeVarFails) {
+  rel::Schema schema = TestSchema();
+  Formula f = ParseFormula("R(x, y)", schema).value();
+  EXPECT_FALSE(EvaluateQuery(TestInstance(), schema, f, {"x"}).ok());
+}
+
+TEST(EvaluatorTest, EvaluateQueryNullary) {
+  rel::Schema schema = TestSchema();
+  Formula f = ParseFormula("exists x. S(x)", schema).value();
+  auto tuples = EvaluateQuery(TestInstance(), schema, f, {});
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples.value().size(), 1u);  // the empty tuple: "true"
+}
+
+TEST(EvaluatorTest, GuardedAndUnguardedAgree) {
+  // Property check: formulas with and without guard-friendly shapes
+  // produce identical results (the guard is an optimization only).
+  rel::Schema schema = TestSchema();
+  const char* pairs[][2] = {
+      // ∃x (S(x) ∧ x ≠ 1)  vs  ∃x (x ≠ 1 ∧ S(x)) — same semantics.
+      {"exists x. S(x) & x != 1", "exists x. x != 1 & S(x)"},
+      // Guarded ∀ vs its ¬∃¬ form.
+      {"forall x y. R(x, y) -> x = 1 | x = 2",
+       "!(exists x y. R(x, y) & !(x = 1 | x = 2))"},
+  };
+  for (const auto& pair : pairs) {
+    bool a = Satisfies(TestInstance(), schema,
+                       ParseSentence(pair[0], schema).value());
+    bool b = Satisfies(TestInstance(), schema,
+                       ParseSentence(pair[1], schema).value());
+    EXPECT_EQ(a, b) << pair[0];
+  }
+}
+
+TEST(EvaluatorTest, GuardRespectsShadowedBindings) {
+  // Regression: a quantifier re-binding a name that is also bound in the
+  // ambient assignment must treat the inner occurrences as wildcards in
+  // guard analysis. Here the outer x is bound to 1; the inner ∃x must
+  // still find S(2) even though S(1) does not exist.
+  rel::Schema schema = TestSchema();
+  rel::Instance instance({rel::Fact(1, {rel::Value::Int(2)})});
+  // ∃u (S(u) ∧ ∃x S(x)) with ambient x = 1: inner ∃x is guarded by the
+  // S-atom; candidates must come from S-facts (value 2), unconstrained
+  // by the ambient x.
+  Formula f = ParseFormula("exists u. S(u) & exists x. S(x)", schema)
+                  .value();
+  Assignment assignment = {{"x", rel::Value::Int(1)}};
+  StatusOr<bool> result = Evaluate(instance, schema, f, assignment);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value());
+}
+
+TEST(EvaluatorTest, QuantifierDomainContents) {
+  Formula f = Exists("x", Exists("y", Atom(1, {Term::Var("x")})));
+  std::vector<rel::Value> domain = QuantifierDomain(TestInstance(), f);
+  // adom {1,2,3} plus two fresh elements.
+  EXPECT_EQ(domain.size(), 5u);
+}
+
+TEST(EvaluatorTest, EmptyInstance) {
+  rel::Schema schema = TestSchema();
+  rel::Instance empty;
+  EXPECT_FALSE(Satisfies(empty, schema,
+                         ParseSentence("exists x. S(x)", schema).value()));
+  EXPECT_TRUE(Satisfies(empty, schema,
+                        ParseSentence("forall x. S(x) -> false", schema)
+                            .value()));
+  EXPECT_TRUE(Satisfies(empty, schema,
+                        ParseSentence("exists x. !S(x)", schema).value()));
+}
+
+}  // namespace
+}  // namespace logic
+}  // namespace ipdb

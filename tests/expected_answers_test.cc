@@ -1,0 +1,96 @@
+#include "pqe/expected_answers.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "logic/view.h"
+#include "pdb/pushforward.h"
+#include "pqe/wmc.h"
+
+namespace ipdb {
+namespace pqe {
+namespace {
+
+rel::Schema TestSchema() { return rel::Schema({{"R", 2}, {"S", 1}}); }
+
+pdb::TiPdb<double> TestTi() {
+  rel::Schema schema = TestSchema();
+  auto r = [](int64_t a, int64_t b) {
+    return rel::Fact(0, {rel::Value::Int(a), rel::Value::Int(b)});
+  };
+  return pdb::TiPdb<double>::CreateOrDie(
+      schema, {{r(1, 2), 0.5},
+               {r(2, 3), 0.25},
+               {r(1, 3), 0.125},
+               {rel::Fact(1, {rel::Value::Int(2)}), 0.75}});
+}
+
+TEST(ExpectedAnswersTest, LinearityForSingleAtom) {
+  // E[|{x : S(x)}|] = Σ marginals of S-facts.
+  pdb::TiPdb<double> ti = TestTi();
+  logic::Formula q = logic::ParseFormula("S(x)", ti.schema()).value();
+  auto expected = ExpectedAnswerCount(ti, q, {"x"});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_NEAR(expected.value(), 0.75, 1e-12);
+}
+
+TEST(ExpectedAnswersTest, MatchesExpansionForJoinView) {
+  // Cross-check against the ground truth: the expected output size of
+  // the join view over the expanded distribution.
+  pdb::TiPdb<double> ti = TestTi();
+  logic::Formula q =
+      logic::ParseFormula("exists y. R(x, y) & R(y, z)", ti.schema())
+          .value();
+  auto expected = ExpectedAnswerCount(ti, q, {"x", "z"});
+  ASSERT_TRUE(expected.ok());
+
+  rel::Schema out({{"T", 2}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x", "z"};
+  def.body = q;
+  logic::FoView view =
+      logic::FoView::Create(ti.schema(), out, {def}).value();
+  pdb::FinitePdb<double> image =
+      pdb::PushforwardOrDie(ti.Expand(), view);
+  EXPECT_NEAR(expected.value(), image.SizeMoment(1), 1e-10);
+}
+
+TEST(ExpectedAnswersTest, RankedAnswersSortedAndConsistent) {
+  pdb::TiPdb<double> ti = TestTi();
+  logic::Formula q =
+      logic::ParseFormula("exists y. R(x, y)", ti.schema()).value();
+  auto ranked = RankedAnswers(ti, q, {"x"});
+  ASSERT_TRUE(ranked.ok());
+  // x = 1 reachable via (1,2) or (1,3): 1 - 0.5·0.875; x = 2 via (2,3).
+  ASSERT_EQ(ranked.value().size(), 2u);
+  EXPECT_EQ(ranked.value()[0].tuple[0], rel::Value::Int(1));
+  EXPECT_NEAR(ranked.value()[0].probability, 1.0 - 0.5 * 0.875, 1e-12);
+  EXPECT_EQ(ranked.value()[1].tuple[0], rel::Value::Int(2));
+  EXPECT_NEAR(ranked.value()[1].probability, 0.25, 1e-12);
+  // Per-tuple probabilities agree with boolean WMC on the grounded
+  // query.
+  logic::Formula grounded =
+      q.Substitute("x", logic::Term::Int(1));
+  EXPECT_NEAR(ranked.value()[0].probability,
+              QueryProbability(ti, grounded).value(), 1e-12);
+}
+
+TEST(ExpectedAnswersTest, BooleanHead) {
+  pdb::TiPdb<double> ti = TestTi();
+  logic::Formula q =
+      logic::ParseSentence("exists x. S(x)", ti.schema()).value();
+  auto expected = ExpectedAnswerCount(ti, q, {});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_NEAR(expected.value(), 0.75, 1e-12);
+}
+
+TEST(ExpectedAnswersTest, UncoveredFreeVariableFails) {
+  pdb::TiPdb<double> ti = TestTi();
+  logic::Formula q = logic::ParseFormula("R(x, y)", ti.schema()).value();
+  EXPECT_FALSE(ExpectedAnswerCount(ti, q, {"x"}).ok());
+}
+
+}  // namespace
+}  // namespace pqe
+}  // namespace ipdb

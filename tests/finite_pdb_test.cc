@@ -1,0 +1,220 @@
+#include "pdb/finite_pdb.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "pdb/conditioning.h"
+#include "pdb/pushforward.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace pdb {
+namespace {
+
+using math::Rational;
+
+rel::Schema UnarySchema() { return rel::Schema({{"U", 1}}); }
+
+rel::Instance World(std::vector<int64_t> values) {
+  std::vector<rel::Fact> facts;
+  for (int64_t v : values) {
+    facts.emplace_back(0, std::vector<rel::Value>{rel::Value::Int(v)});
+  }
+  return rel::Instance(std::move(facts));
+}
+
+TEST(FinitePdbTest, CreateValidates) {
+  rel::Schema schema = UnarySchema();
+  // Probabilities must sum to 1.
+  EXPECT_FALSE(FinitePdb<double>::Create(
+                   schema, {{World({}), 0.5}, {World({1}), 0.4}})
+                   .ok());
+  // Negative probabilities rejected.
+  EXPECT_FALSE(FinitePdb<double>::Create(
+                   schema, {{World({}), 1.5}, {World({1}), -0.5}})
+                   .ok());
+  // Schema mismatch rejected.
+  rel::Instance bad({rel::Fact(7, {rel::Value::Int(0)})});
+  EXPECT_FALSE(
+      FinitePdb<double>::Create(schema, {{bad, 1.0}}).ok());
+  // Duplicates merged.
+  auto merged = FinitePdb<double>::Create(
+      schema, {{World({1}), 0.5}, {World({1}), 0.5}});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().num_worlds(), 1);
+}
+
+TEST(FinitePdbTest, ExactCreateRequiresExactOne) {
+  rel::Schema schema = UnarySchema();
+  EXPECT_TRUE(FinitePdb<Rational>::Create(
+                  schema, {{World({}), Rational::Ratio(1, 3)},
+                           {World({1}), Rational::Ratio(2, 3)}})
+                  .ok());
+  EXPECT_FALSE(FinitePdb<Rational>::Create(
+                   schema, {{World({}), Rational::Ratio(1, 3)},
+                            {World({1}), Rational::Ratio(2, 3 + 1)}})
+                   .ok());
+}
+
+TEST(FinitePdbTest, ProbabilityAndMarginal) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<double> pdb = FinitePdb<double>::CreateOrDie(
+      schema, {{World({}), 0.25},
+               {World({1}), 0.25},
+               {World({1, 2}), 0.5}});
+  EXPECT_DOUBLE_EQ(pdb.Probability(World({1})), 0.25);
+  EXPECT_DOUBLE_EQ(pdb.Probability(World({9})), 0.0);
+  rel::Fact f1(0, {rel::Value::Int(1)});
+  rel::Fact f2(0, {rel::Value::Int(2)});
+  EXPECT_DOUBLE_EQ(pdb.Marginal(f1), 0.75);
+  EXPECT_DOUBLE_EQ(pdb.Marginal(f2), 0.5);
+  EXPECT_EQ(pdb.FactSet().size(), 2u);
+}
+
+TEST(FinitePdbTest, SizeMoments) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<double> pdb = FinitePdb<double>::CreateOrDie(
+      schema, {{World({}), 0.5}, {World({1, 2}), 0.5}});
+  EXPECT_DOUBLE_EQ(pdb.SizeMoment(0), 1.0);
+  EXPECT_DOUBLE_EQ(pdb.SizeMoment(1), 1.0);
+  EXPECT_DOUBLE_EQ(pdb.SizeMoment(2), 2.0);
+  FinitePdb<Rational> exact = FinitePdb<Rational>::CreateOrDie(
+      schema, {{World({}), Rational::Ratio(1, 2)},
+               {World({1, 2}), Rational::Ratio(1, 2)}});
+  EXPECT_EQ(exact.SizeMomentExact(2), Rational(2));
+}
+
+TEST(FinitePdbTest, TupleIndependenceDetection) {
+  rel::Schema schema = UnarySchema();
+  // Product of two independent 1/2 facts.
+  FinitePdb<Rational> ti = FinitePdb<Rational>::CreateOrDie(
+      schema, {{World({}), Rational::Ratio(1, 4)},
+               {World({1}), Rational::Ratio(1, 4)},
+               {World({2}), Rational::Ratio(1, 4)},
+               {World({1, 2}), Rational::Ratio(1, 4)}});
+  EXPECT_TRUE(ti.IsTupleIndependent());
+  // Perfectly correlated facts.
+  FinitePdb<Rational> correlated = FinitePdb<Rational>::CreateOrDie(
+      schema, {{World({}), Rational::Ratio(1, 2)},
+               {World({1, 2}), Rational::Ratio(1, 2)}});
+  EXPECT_FALSE(correlated.IsTupleIndependent());
+}
+
+TEST(FinitePdbTest, BidDetection) {
+  rel::Schema schema = UnarySchema();
+  rel::Fact f1(0, {rel::Value::Int(1)});
+  rel::Fact f2(0, {rel::Value::Int(2)});
+  // One block {f1, f2}, each probability 1/2 (Example B.2): a valid BID.
+  FinitePdb<Rational> bid = FinitePdb<Rational>::CreateOrDie(
+      schema, {{World({1}), Rational::Ratio(1, 2)},
+               {World({2}), Rational::Ratio(1, 2)}});
+  EXPECT_TRUE(bid.IsBlockIndependentDisjoint({{f1, f2}}));
+  // As two singleton blocks the facts would have to be independent —
+  // they are not (never co-occur).
+  EXPECT_FALSE(bid.IsBlockIndependentDisjoint({{f1}, {f2}}));
+}
+
+TEST(FinitePdbTest, TotalVariation) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<double> a = FinitePdb<double>::CreateOrDie(
+      schema, {{World({}), 0.5}, {World({1}), 0.5}});
+  FinitePdb<double> b = FinitePdb<double>::CreateOrDie(
+      schema, {{World({}), 0.25}, {World({2}), 0.75}});
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(a, b),
+                   (0.25 + 0.5 + 0.75) / 2.0);
+}
+
+TEST(ConditioningTest, RescalesCorrectly) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<Rational> pdb = FinitePdb<Rational>::CreateOrDie(
+      schema, {{World({}), Rational::Ratio(1, 2)},
+               {World({1}), Rational::Ratio(1, 4)},
+               {World({1, 2}), Rational::Ratio(1, 4)}});
+  logic::Formula phi =
+      logic::ParseSentence("exists x. U(x)", schema).value();
+  auto conditioned = Condition(pdb, phi);
+  ASSERT_TRUE(conditioned.ok());
+  EXPECT_EQ(conditioned.value().num_worlds(), 2);
+  EXPECT_EQ(conditioned.value().Probability(World({1})),
+            Rational::Ratio(1, 2));
+  EXPECT_EQ(conditioned.value().Probability(World({1, 2})),
+            Rational::Ratio(1, 2));
+}
+
+TEST(ConditioningTest, ZeroMassEventFails) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<Rational> pdb = FinitePdb<Rational>::CreateOrDie(
+      schema, {{World({1}), Rational(1)}});
+  logic::Formula phi = logic::ParseSentence("U(99)", schema).value();
+  EXPECT_FALSE(Condition(pdb, phi).ok());
+}
+
+TEST(ConditioningTest, EventProbability) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<Rational> pdb = FinitePdb<Rational>::CreateOrDie(
+      schema, {{World({}), Rational::Ratio(1, 3)},
+               {World({1}), Rational::Ratio(2, 3)}});
+  logic::Formula phi = logic::ParseSentence("U(1)", schema).value();
+  EXPECT_EQ(EventProbability(pdb, phi).value(), Rational::Ratio(2, 3));
+  // Free variables rejected.
+  logic::Formula open = logic::ParseFormula("U(x)", schema).value();
+  EXPECT_FALSE(EventProbability(pdb, open).ok());
+}
+
+TEST(PushforwardTest, GroupsPreimages) {
+  rel::Schema in = UnarySchema();
+  rel::Schema out({{"NonEmpty", 0}});
+  // View: NonEmpty() := ∃x U(x).
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.body = logic::ParseFormula("exists x. U(x)", in).value();
+  logic::FoView view = logic::FoView::Create(in, out, {def}).value();
+
+  FinitePdb<Rational> pdb = FinitePdb<Rational>::CreateOrDie(
+      in, {{World({}), Rational::Ratio(1, 6)},
+           {World({1}), Rational::Ratio(1, 3)},
+           {World({2}), Rational::Ratio(1, 2)}});
+  auto image = Pushforward(pdb, view);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image.value().num_worlds(), 2);
+  rel::Instance nonempty({rel::Fact(0, {})});
+  EXPECT_EQ(image.value().Probability(nonempty), Rational::Ratio(5, 6));
+  EXPECT_EQ(image.value().Probability(rel::Instance()),
+            Rational::Ratio(1, 6));
+}
+
+TEST(PushforwardTest, PreservesTotalMassRandomized) {
+  Pcg32 rng(31);
+  rel::Schema in({{"R", 2}, {"S", 1}});
+  rel::Schema out({{"T", 1}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x"};
+  def.body = logic::ParseFormula("exists y. R(x, y) & S(y)", in).value();
+  logic::FoView view = logic::FoView::Create(in, out, {def}).value();
+  for (int trial = 0; trial < 10; ++trial) {
+    FinitePdb<Rational> pdb =
+        testing_util::RandomRationalPdb(in, 5, 3, 0.3, 60, &rng);
+    auto image = Pushforward(pdb, view);
+    ASSERT_TRUE(image.ok());
+    Rational total;
+    for (const auto& [instance, probability] : image.value().worlds()) {
+      total += probability;
+    }
+    EXPECT_EQ(total, Rational(1));
+  }
+}
+
+TEST(FinitePdbTest, DropNullWorlds) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<double> pdb = FinitePdb<double>::CreateOrDie(
+      schema, {{World({}), 1.0}, {World({1}), 0.0}});
+  EXPECT_EQ(pdb.num_worlds(), 2);
+  EXPECT_EQ(pdb.DropNullWorlds().num_worlds(), 1);
+}
+
+}  // namespace
+}  // namespace pdb
+}  // namespace ipdb

@@ -1,0 +1,136 @@
+#include "core/growth_criterion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/paper_examples.h"
+
+namespace ipdb {
+namespace core {
+namespace {
+
+TEST(GrowthCriterionTest, Example55SatisfiedWithC1) {
+  CriterionFamily family = Example55Criterion();
+  SumAnalysis analysis = CheckGrowthCriterion(family, 1);
+  ASSERT_EQ(analysis.kind, SumAnalysis::Kind::kConverged)
+      << analysis.ToString();
+  // The paper bounds the sum by 2/x ≈ 3.88; our enclosure must sit
+  // below that.
+  EXPECT_LT(analysis.enclosure.hi(), 2.0 / 0.515 + 0.01);
+  GrowthCriterionResult result = FindCriterionWitness(family, 3);
+  EXPECT_EQ(result.witness_c, 1);
+}
+
+TEST(GrowthCriterionTest, BoundedSizeAlwaysSatisfied) {
+  // Corollary 5.4's computation: for instance size <= c the criterion
+  // sum is bounded by c. Family: sizes alternate 1 and 2, geometric
+  // probabilities.
+  CriterionFamily family;
+  family.size_at = [](int64_t i) { return 1 + (i % 2); };
+  family.prob_at = [](int64_t i) {
+    return std::pow(0.5, static_cast<double>(i + 1));
+  };
+  family.tail_upper = [](int c, int64_t N) {
+    // size <= 2 <= c: term <= 2 P^{c/2} <= 2 P^{1/2}... use c >= 2 and
+    // P^{c/|D|} <= P for c >= |D|: tail <= 2 Σ_{i>=N} 2^{-(i+1)} =
+    // 2^{1-N}.
+    (void)c;
+    return std::pow(2.0, 1.0 - static_cast<double>(N));
+  };
+  family.description = "bounded size 2";
+  SumAnalysis analysis = CheckGrowthCriterion(family, 2);
+  ASSERT_EQ(analysis.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_LE(analysis.enclosure.hi(), 2.0 + 1e-9);
+}
+
+TEST(GrowthCriterionTest, PropositionD2DivergesForEveryC) {
+  // The Example 5.6 TI-PDB violates the criterion for every c: the
+  // reduced series carries a certified infinite tail.
+  for (int c = 1; c <= 4; ++c) {
+    Series series = PropositionD2ReducedSeries(c);
+    SumAnalysis analysis = AnalyzeSum(series);
+    EXPECT_EQ(analysis.kind, SumAnalysis::Kind::kDiverged) << c;
+    // And the partial sums do grow: witness at modest thresholds.
+    Series no_cert = series;
+    no_cert.tail_lower_bound = nullptr;
+    SumOptions options;
+    options.divergence_witness_threshold = 1e6;
+    options.max_terms = 200;
+    SumAnalysis witness = AnalyzeSum(no_cert, options);
+    EXPECT_EQ(witness.kind, SumAnalysis::Kind::kDivergedWitness) << c;
+  }
+}
+
+TEST(GrowthCriterionTest, PropositionD3DivergesForEveryC) {
+  for (int c = 1; c <= 3; ++c) {
+    SumAnalysis analysis = AnalyzeSum(PropositionD3ReducedSeries(c));
+    EXPECT_EQ(analysis.kind, SumAnalysis::Kind::kDiverged) << c;
+  }
+}
+
+TEST(GrowthCriterionTest, CeilingFormAgreesOnConvergence) {
+  // Lemma D.1: the ceiling form converges iff the plain form does.
+  CriterionFamily ex55 = Example55Criterion();
+  Series plain = CriterionSeries(ex55, 2);
+  Series ceiling = CeilingCriterionSeries(ex55, 2);
+  double plain_sum = 0.0;
+  double ceiling_sum = 0.0;
+  for (int64_t i = 0; i < 200; ++i) {
+    plain_sum += plain.term(i);
+    ceiling_sum += ceiling.term(i);
+  }
+  // Both stabilize to finite values; the Lemma D.1 inequalities relate
+  // them: plain <= c * ceiling-with-c and ceiling-with-2c <= 1 + plain/c.
+  EXPECT_LT(plain_sum, 2.0 * ceiling_sum + 1e-9);
+  Series ceiling2c = CeilingCriterionSeries(ex55, 4);
+  double ceiling2c_sum = 0.0;
+  for (int64_t i = 0; i < 200; ++i) ceiling2c_sum += ceiling2c.term(i);
+  EXPECT_LE(ceiling2c_sum, 1.0 + plain_sum / 2.0 + 1e-9);
+}
+
+TEST(GrowthCriterionTest, EmptyWorldsContributeNothing) {
+  CriterionFamily family;
+  family.size_at = [](int64_t i) { return i == 0 ? 0 : 1; };
+  family.prob_at = [](int64_t i) {
+    return i == 0 ? 0.5 : 0.5 * std::pow(0.5, static_cast<double>(i));
+  };
+  family.tail_upper = [](int, int64_t N) {
+    return std::pow(2.0, -static_cast<double>(N));
+  };
+  SumAnalysis analysis = CheckGrowthCriterion(family, 1);
+  ASSERT_EQ(analysis.kind, SumAnalysis::Kind::kConverged);
+  // Σ_{i>=1} 1 * (2^{-(i+1)})^{1/1} = 1/2.
+  EXPECT_TRUE(analysis.enclosure.Contains(0.5));
+}
+
+TEST(GrowthCriterionTest, FindWitnessNeedsLargerC) {
+  // A family that separates c = 1 from c = 2: sizes s_i = i+2 and
+  // probabilities p_i = (i+2)^{-2(i+2)}, so the criterion term is
+  // s_i · p_i^{c/s_i} = (i+2)^{1-2c} — harmonic-like (divergent) for
+  // c = 1, a convergent power series for c = 2. (The p_i sum to less
+  // than 1; the criterion mechanics do not need normalization.)
+  CriterionFamily family;
+  family.size_at = [](int64_t i) { return i + 2; };
+  family.prob_at = [](int64_t i) {
+    double s = static_cast<double>(i + 2);
+    return std::pow(s, -2.0 * s);
+  };
+  family.tail_lower = [](int c, int64_t N) {
+    // term(i) = (i+2)^{1-2c}: diverges exactly when 2c - 1 <= 1.
+    return PowerTailLower(1.0, 2.0 * c - 1.0, N + 2);
+  };
+  family.tail_upper = [](int c, int64_t N) {
+    if (c < 2) return Interval::kInfinity;
+    return PowerTailUpper(1.0, 2.0 * c - 1.0, N + 2);
+  };
+  family.description = "c-separation fixture";
+  GrowthCriterionResult result = FindCriterionWitness(family, 3);
+  EXPECT_EQ(result.witness_c, 2);
+  SumAnalysis c1 = CheckGrowthCriterion(family, 1);
+  EXPECT_EQ(c1.kind, SumAnalysis::Kind::kDiverged);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,129 @@
+#include "core/idb_assignments.h"
+
+#include <gtest/gtest.h>
+
+#include "core/size_moments.h"
+
+namespace ipdb {
+namespace core {
+namespace {
+
+/// An unbounded-size IDB: D_i has i unary facts over disjoint ranges.
+CountableIdbFamily UnboundedIdb() {
+  CountableIdbFamily idb;
+  idb.schema = rel::Schema({{"U", 1}});
+  idb.size_at = [](int64_t i) { return i; };
+  idb.world_at = [](int64_t i) {
+    std::vector<rel::Fact> facts;
+    int64_t base = i * (i - 1) / 2;
+    for (int64_t t = 0; t < i; ++t) {
+      facts.emplace_back(0,
+                         std::vector<rel::Value>{rel::Value::Int(base + t)});
+    }
+    return rel::Instance(std::move(facts));
+  };
+  idb.description = "unbounded IDB (|D_i| = i)";
+  return idb;
+}
+
+TEST(IdbAssignmentsTest, Lemma65ProducesCriterionWitness) {
+  // Lemma 6.5: the assignment satisfies the Theorem 5.3 criterion with
+  // c = 1, so the resulting PDB is in FO(TI) — for ANY sample space.
+  auto result = Lemma65Assignment(UnboundedIdb());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Normalizer within the paper's range (1/2 <= 1/x, x <= 2).
+  EXPECT_LE(result.value().normalizer.hi(), 2.0);
+  EXPECT_GT(result.value().normalizer.lo(), 0.0);
+  // Probabilities normalize.
+  SumAnalysis mass = AnalyzeSum(result.value().pdb.ProbabilitySeries());
+  ASSERT_EQ(mass.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_NEAR(mass.enclosure.midpoint(), 1.0, 1e-6);
+  // Criterion converges with c = 1.
+  SumAnalysis criterion = CheckGrowthCriterion(result.value().criterion, 1);
+  EXPECT_EQ(criterion.kind, SumAnalysis::Kind::kConverged)
+      << criterion.ToString();
+}
+
+TEST(IdbAssignmentsTest, Lemma65MomentsFinite) {
+  auto result = Lemma65Assignment(UnboundedIdb());
+  ASSERT_TRUE(result.ok());
+  FiniteMomentsReport report = CheckFiniteMoments(result.value().pdb, 3);
+  EXPECT_TRUE(report.all_finite_certified) << report.ToString();
+}
+
+TEST(IdbAssignmentsTest, Lemma66ProducesInfiniteExpectation) {
+  // Lemma 6.6: over the same sample space, another assignment has
+  // E[|D|] = ∞ — certified NOT in FO(TI) (Theorem 6.7's dichotomy).
+  CountableIdbFamily idb = UnboundedIdb();
+  auto subsequence = MakeIncreasingSubsequence(idb);
+  auto pdb = Lemma66Assignment(idb, subsequence);
+  ASSERT_TRUE(pdb.ok()) << pdb.status().ToString();
+  // Probabilities normalize. The heavy-mass tail certificate decays like
+  // 1/N, so cap the scan and accept the resulting enclosure width.
+  SumOptions options;
+  options.max_terms = 1 << 15;
+  options.target_width = 1e-4;
+  SumAnalysis mass = AnalyzeSum(pdb.value().ProbabilitySeries(), options);
+  ASSERT_EQ(mass.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_TRUE(mass.enclosure.Contains(1.0)) << mass.ToString();
+  // Expected size certified infinite.
+  SumAnalysis m1 = pdb.value().AnalyzeMoment(1);
+  EXPECT_EQ(m1.kind, SumAnalysis::Kind::kDiverged);
+  // Every world keeps positive probability (same induced IDB).
+  for (int64_t i = 0; i < 32; ++i) {
+    EXPECT_GT(pdb.value().ProbAt(i), 0.0) << i;
+  }
+}
+
+TEST(IdbAssignmentsTest, IncreasingSubsequenceSkipsRepeats) {
+  // A family with repeated sizes: 0, 1, 1, 2, 2, 3, 3, ...
+  CountableIdbFamily idb;
+  idb.schema = rel::Schema({{"U", 1}});
+  idb.size_at = [](int64_t i) { return (i + 1) / 2; };
+  idb.world_at = [size_at = idb.size_at](int64_t i) {
+    std::vector<rel::Fact> facts;
+    for (int64_t t = 0; t < size_at(i); ++t) {
+      facts.emplace_back(
+          0, std::vector<rel::Value>{rel::Value::Int(i * 1000 + t)});
+    }
+    return rel::Instance(std::move(facts));
+  };
+  auto subsequence = MakeIncreasingSubsequence(idb);
+  EXPECT_EQ(subsequence(0), 0);
+  EXPECT_EQ(subsequence(1), 1);
+  EXPECT_EQ(subsequence(2), 3);
+  EXPECT_EQ(subsequence(3), 5);
+  // Sizes along the subsequence strictly increase.
+  for (int64_t k = 0; k < 8; ++k) {
+    EXPECT_LT(idb.size_at(subsequence(k)), idb.size_at(subsequence(k + 1)));
+  }
+}
+
+TEST(IdbAssignmentsTest, Theorem67Dichotomy) {
+  // The same unbounded IDB supports both a representable and a
+  // non-representable probability assignment — there are no logical
+  // reasons (Theorem 6.7, second bullet).
+  CountableIdbFamily idb = UnboundedIdb();
+  auto in_foti = Lemma65Assignment(idb);
+  ASSERT_TRUE(in_foti.ok());
+  auto out_of_foti =
+      Lemma66Assignment(idb, MakeIncreasingSubsequence(idb));
+  ASSERT_TRUE(out_of_foti.ok());
+  // Same induced IDB (worlds with positive probability coincide).
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_GT(in_foti.value().pdb.ProbAt(i), 0.0);
+    EXPECT_GT(out_of_foti.value().ProbAt(i), 0.0);
+    EXPECT_EQ(in_foti.value().pdb.WorldAt(i),
+              out_of_foti.value().WorldAt(i));
+  }
+  // One satisfies the sufficient criterion, the other violates the
+  // necessary condition.
+  EXPECT_EQ(CheckGrowthCriterion(in_foti.value().criterion, 1).kind,
+            SumAnalysis::Kind::kConverged);
+  EXPECT_EQ(out_of_foti.value().AnalyzeMoment(1).kind,
+            SumAnalysis::Kind::kDiverged);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,113 @@
+#include "core/idb.h"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+#include "pdb/pushforward.h"
+
+namespace ipdb {
+namespace core {
+namespace {
+
+using math::Rational;
+
+rel::Schema UnarySchema() { return rel::Schema({{"U", 1}}); }
+
+rel::Fact U(int64_t v) { return rel::Fact(0, {rel::Value::Int(v)}); }
+
+TEST(IdbTest, InducedIdbDropsNullWorlds) {
+  rel::Schema schema = UnarySchema();
+  pdb::FinitePdb<Rational> pdb = pdb::FinitePdb<Rational>::CreateOrDie(
+      schema, {{rel::Instance(), Rational(1)},
+               {rel::Instance({U(1)}), Rational(0)}});
+  Idb idb = InducedIdb(pdb);
+  ASSERT_EQ(idb.size(), 1u);
+  EXPECT_TRUE(idb[0].empty());
+}
+
+TEST(IdbTest, Observation61Shape) {
+  // IDB of a TI-PDB: T_always ∪ all subsets of T_sometimes.
+  rel::Schema schema = UnarySchema();
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      schema, {{U(1), Rational(1)},
+               {U(2), Rational::Ratio(1, 2)},
+               {U(3), Rational::Ratio(1, 3)},
+               {U(4), Rational(0)}});
+  Idb idb = TiInducedIdb(ti);
+  EXPECT_EQ(idb.size(), 4u);  // 2^2 subsets of {U(2), U(3)}
+  for (const rel::Instance& instance : idb) {
+    EXPECT_TRUE(instance.Contains(U(1)));
+    EXPECT_FALSE(instance.Contains(U(4)));
+  }
+  EXPECT_TRUE(HasTiIdbShape(idb));
+  // Matches the induced IDB of the expansion.
+  EXPECT_EQ(idb, InducedIdb(ti.Expand()));
+}
+
+TEST(IdbTest, NonTiShapesDetected) {
+  rel::Fact f1 = U(1);
+  rel::Fact f2 = U(2);
+  // Missing the union {f1, f2}: not a TI IDB.
+  Idb no_union = {rel::Instance(), rel::Instance({f1}),
+                  rel::Instance({f2})};
+  EXPECT_FALSE(HasTiIdbShape(no_union));
+  // Missing a middle layer.
+  Idb gap = {rel::Instance(), rel::Instance({f1, f2})};
+  EXPECT_FALSE(HasTiIdbShape(gap));
+  // Single world: trivially TI-shaped.
+  EXPECT_TRUE(HasTiIdbShape({rel::Instance({f1})}));
+}
+
+TEST(IdbTest, MutuallyExclusiveFactsInExampleB2) {
+  // Proposition 6.4 applied to Example B.2: the two block facts are
+  // mutually exclusive, certifying non-representability by ANY monotone
+  // view over TI.
+  pdb::FinitePdb<Rational> pdb = ExampleB2().Expand();
+  auto pair = FindMutuallyExclusiveFacts(pdb);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_TRUE(CertifyNotMonotoneOverTi(pdb));
+  // A TI-PDB has no mutually exclusive facts.
+  rel::Schema schema = UnarySchema();
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      schema,
+      {{U(1), Rational::Ratio(1, 2)}, {U(2), Rational::Ratio(1, 2)}});
+  EXPECT_FALSE(CertifyNotMonotoneOverTi(ti.Expand()));
+}
+
+TEST(IdbTest, UniqueMaximalWorld) {
+  // Proposition B.1 criterion: Example B.2 has two maximal worlds.
+  EXPECT_FALSE(HasUniqueMaximalWorld(ExampleB2().Expand()));
+  rel::Schema schema = UnarySchema();
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      schema,
+      {{U(1), Rational::Ratio(1, 2)}, {U(2), Rational::Ratio(1, 2)}});
+  EXPECT_TRUE(HasUniqueMaximalWorld(ti.Expand()));
+}
+
+TEST(IdbTest, ExampleB3ImageIsNeitherTiNorBid) {
+  // The Figure 1 separation CQ(TI_fin) ⊄ BID_fin: Φ(I) has worlds ∅,
+  // {S(a,a)}, {S(a,a), S(a,b)} — and no valid block partition.
+  ExampleB3 example =
+      MakeExampleB3(Rational::Ratio(1, 2), Rational::Ratio(1, 3));
+  pdb::FinitePdb<Rational> expanded = example.ti.Expand();
+  auto image = pdb::Pushforward(expanded, example.view);
+  ASSERT_TRUE(image.ok());
+  pdb::FinitePdb<Rational> result = image.value().DropNullWorlds();
+  EXPECT_EQ(result.num_worlds(), 3);
+  EXPECT_FALSE(result.IsTupleIndependent());
+  // The image's fact set {S(a,a), S(a,b)}: neither one block nor two
+  // singleton blocks satisfy the BID conditions.
+  std::vector<rel::Fact> facts = result.FactSet();
+  ASSERT_EQ(facts.size(), 2u);
+  EXPECT_FALSE(result.IsBlockIndependentDisjoint({{facts[0], facts[1]}}));
+  EXPECT_FALSE(result.IsBlockIndependentDisjoint({{facts[0]}, {facts[1]}}));
+  // But the IDB obstruction does NOT fire: no mutually exclusive pair
+  // (both facts co-occur in the top world) — consistent with Φ(I) being
+  // a CQ view of a TI-PDB.
+  EXPECT_FALSE(CertifyNotMonotoneOverTi(result));
+  EXPECT_TRUE(HasUniqueMaximalWorld(result));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,132 @@
+#include "pdb/information.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/paper_examples.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace pdb {
+namespace {
+
+using math::Rational;
+
+rel::Schema UnarySchema() { return rel::Schema({{"U", 1}}); }
+
+rel::Fact U(int64_t v) { return rel::Fact(0, {rel::Value::Int(v)}); }
+
+TEST(InformationTest, EntropyOfUniformAndPointMass) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<double> uniform = FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance(), 0.25},
+               {rel::Instance({U(1)}), 0.25},
+               {rel::Instance({U(2)}), 0.25},
+               {rel::Instance({U(1), U(2)}), 0.25}});
+  EXPECT_NEAR(ShannonEntropy(uniform), 2.0, 1e-12);
+  FinitePdb<double> point = FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance({U(1)}), 1.0}});
+  EXPECT_NEAR(ShannonEntropy(point), 0.0, 1e-12);
+}
+
+TEST(InformationTest, TiEntropyClosedFormMatchesExpansion) {
+  Pcg32 rng(911);
+  rel::Schema schema = UnarySchema();
+  for (int trial = 0; trial < 8; ++trial) {
+    TiPdb<Rational> exact =
+        testing_util::RandomRationalTi(schema, 6, 10, 12, &rng);
+    TiPdb<double>::FactList facts;
+    for (const auto& [fact, marginal] : exact.facts()) {
+      facts.emplace_back(fact, marginal.ToDouble());
+    }
+    TiPdb<double> ti = TiPdb<double>::CreateOrDie(schema, std::move(facts));
+    EXPECT_NEAR(TiEntropy(ti), ShannonEntropy(ti.Expand()), 1e-9)
+        << trial;
+  }
+}
+
+TEST(InformationTest, KlDivergenceBasics) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<double> a = FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance(), 0.5}, {rel::Instance({U(1)}), 0.5}});
+  FinitePdb<double> b = FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance(), 0.25}, {rel::Instance({U(1)}), 0.75}});
+  // KL(a ‖ a) = 0.
+  EXPECT_DOUBLE_EQ(KlDivergence(a, a).value(), 0.0);
+  // Closed form: 0.5 log(0.5/0.25) + 0.5 log(0.5/0.75).
+  EXPECT_NEAR(KlDivergence(a, b).value(),
+              0.5 * std::log2(2.0) + 0.5 * std::log2(2.0 / 3.0), 1e-12);
+  // Asymmetry.
+  EXPECT_NE(KlDivergence(a, b).value(), KlDivergence(b, a).value());
+  // Support mismatch -> error.
+  FinitePdb<double> narrow = FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance({U(2)}), 1.0}});
+  EXPECT_FALSE(KlDivergence(narrow, b).ok());
+}
+
+TEST(InformationTest, HellingerBounds) {
+  rel::Schema schema = UnarySchema();
+  FinitePdb<double> a = FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance(), 0.5}, {rel::Instance({U(1)}), 0.5}});
+  FinitePdb<double> disjoint = FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance({U(2)}), 1.0}});
+  EXPECT_NEAR(HellingerDistance(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(HellingerDistance(a, disjoint), 1.0, 1e-12);
+  // Between TV bounds: H² <= TV <= H·sqrt(2).
+  FinitePdb<double> b = FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance(), 0.3}, {rel::Instance({U(1)}), 0.7}});
+  double h = HellingerDistance(a, b);
+  double tv = TotalVariationDistance(a, b);
+  EXPECT_LE(h * h, tv + 1e-12);
+  EXPECT_LE(tv, h * std::sqrt(2.0) + 1e-12);
+}
+
+TEST(InformationTest, IndependenceGapZeroIffTi) {
+  rel::Schema schema = UnarySchema();
+  // A genuine TI expansion: gap 0.
+  TiPdb<double> ti = TiPdb<double>::CreateOrDie(
+      schema, {{U(1), 0.5}, {U(2), 0.25}});
+  auto gap = IndependenceGap(ti.Expand());
+  ASSERT_TRUE(gap.ok());
+  EXPECT_NEAR(gap.value(), 0.0, 1e-10);
+
+  // Example B.2's expansion is maximally non-independent for its
+  // marginals: strictly positive gap.
+  FinitePdb<Rational> b2 = core::ExampleB2().Expand();
+  auto b2_gap = IndependenceGap(b2);
+  ASSERT_TRUE(b2_gap.ok());
+  EXPECT_GT(b2_gap.value(), 0.1);
+  // Cross-check the detection agreement with the exact test.
+  EXPECT_FALSE(b2.IsTupleIndependent());
+}
+
+TEST(InformationTest, IndependenceGapTracksCorrelationStrength) {
+  // Mixtures interpolating between independent and perfectly correlated
+  // coins: the gap grows with correlation.
+  rel::Schema schema = UnarySchema();
+  auto mixture = [&](double lambda) {
+    // lambda·(perfectly correlated) + (1-lambda)·(independent), both
+    // with marginals 1/2.
+    FinitePdb<double>::WorldList worlds = {
+        {rel::Instance(), lambda * 0.5 + (1 - lambda) * 0.25},
+        {rel::Instance({U(1)}), (1 - lambda) * 0.25},
+        {rel::Instance({U(2)}), (1 - lambda) * 0.25},
+        {rel::Instance({U(1), U(2)}), lambda * 0.5 + (1 - lambda) * 0.25},
+    };
+    return FinitePdb<double>::CreateOrDie(schema, std::move(worlds));
+  };
+  double previous = -1.0;
+  for (double lambda : {0.0, 0.3, 0.6, 0.9}) {
+    auto gap = IndependenceGap(mixture(lambda));
+    ASSERT_TRUE(gap.ok());
+    EXPECT_GT(gap.value(), previous);
+    previous = gap.value();
+  }
+  EXPECT_NEAR(IndependenceGap(mixture(0.0)).value(), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace pdb
+}  // namespace ipdb

@@ -1,0 +1,181 @@
+// Cross-module integration tests: full pipelines chaining the paper's
+// constructions, Monte Carlo validation of exact machinery, and view
+// composition through the probabilistic layer.
+
+#include <gtest/gtest.h>
+
+#include "core/bid_to_ti.h"
+#include "core/conditional_views.h"
+#include "core/finite_completeness.h"
+#include "core/paper_examples.h"
+#include "core/segment_construction.h"
+#include "logic/evaluator.h"
+#include "logic/parser.h"
+#include "pdb/conditioning.h"
+#include "pdb/metrics.h"
+#include "pdb/pushforward.h"
+#include "pdb/sampling.h"
+#include "pqe/wmc.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace {
+
+using math::Rational;
+
+TEST(IntegrationTest, BidToTiThenConditionEliminationExact) {
+  // Chain Theorem 5.9 into Theorem 4.1: represent a BID-PDB as
+  // Φ(I | φ), then eliminate the condition — landing in plain FO(TI),
+  // exactly as in the paper's proof of Theorem 5.9.
+  pdb::BidPdb<Rational> bid = core::ExampleB2();
+  auto step1 = core::BuildBidToTi(bid);
+  ASSERT_TRUE(step1.ok());
+  auto step2 = core::EliminateCondition(step1.value().ti,
+                                        step1.value().view,
+                                        step1.value().condition);
+  ASSERT_TRUE(step2.ok()) << step2.status().ToString();
+  auto tv = core::VerifyConditionElimination(step2.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+  // And the final target equals the original BID distribution.
+  EXPECT_DOUBLE_EQ(
+      pdb::TotalVariationDistance(step2.value().target.DropNullWorlds(),
+                                  bid.Expand().DropNullWorlds()),
+      0.0);
+}
+
+TEST(IntegrationTest, SegmentConstructionSampledValidation) {
+  // Monte Carlo cross-check of the Lemma 5.1 pipeline: sample from the
+  // TI-PDB, keep representations, push through the view, and compare
+  // the empirical distribution to the input PDB.
+  rel::Schema schema({{"U", 1}});
+  auto world = [](std::vector<int64_t> values) {
+    std::vector<rel::Fact> facts;
+    for (int64_t v : values) {
+      facts.emplace_back(0, std::vector<rel::Value>{rel::Value::Int(v)});
+    }
+    return rel::Instance(std::move(facts));
+  };
+  pdb::FinitePdb<double> input = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{world({1, 2}), 0.3}, {world({5}), 0.7}});
+  auto built = core::BuildSegmentConstruction(input, 1);
+  ASSERT_TRUE(built.ok());
+
+  Pcg32 rng(131);
+  pdb::EmpiricalDistribution empirical;
+  int64_t accepted = 0;
+  for (int64_t i = 0; i < 20000 && accepted < 4000; ++i) {
+    rel::Instance sample = built.value().ti.Sample(&rng);
+    if (!logic::Satisfies(sample, built.value().hat_schema,
+                          built.value().condition)) {
+      continue;
+    }
+    ++accepted;
+    empirical.Add(built.value().view.ApplyOrDie(sample));
+  }
+  ASSERT_GT(accepted, 1000);
+  EXPECT_LT(empirical.TvDistance(input), 0.05);
+}
+
+TEST(IntegrationTest, ComposedViewThroughPushforward) {
+  // FO(FO(TI)) = FO(TI) at the distribution level: pushing through two
+  // views sequentially equals pushing through their composition.
+  Pcg32 rng(137);
+  rel::Schema base({{"R", 2}});
+  rel::Schema mid({{"T", 2}});
+  rel::Schema out({{"U1", 1}});
+  logic::FoView::Definition inner_def;
+  inner_def.output_relation = 0;
+  inner_def.head_vars = {"x", "z"};
+  inner_def.body =
+      logic::ParseFormula("exists y. R(x, y) & R(y, z)", base).value();
+  logic::FoView inner =
+      logic::FoView::Create(base, mid, {inner_def}).value();
+  logic::FoView::Definition outer_def;
+  outer_def.output_relation = 0;
+  outer_def.head_vars = {"x"};
+  outer_def.body = logic::ParseFormula("exists z. T(x, z)", mid).value();
+  logic::FoView outer =
+      logic::FoView::Create(mid, out, {outer_def}).value();
+  logic::FoView composed = logic::ComposeViews(inner, outer).value();
+
+  for (int trial = 0; trial < 5; ++trial) {
+    pdb::FinitePdb<Rational> pdb =
+        testing_util::RandomRationalPdb(base, 4, 3, 0.3, 24, &rng);
+    pdb::FinitePdb<Rational> two_step =
+        pdb::PushforwardOrDie(pdb::PushforwardOrDie(pdb, inner), outer);
+    pdb::FinitePdb<Rational> one_step = pdb::PushforwardOrDie(pdb, composed);
+    EXPECT_DOUBLE_EQ(pdb::TotalVariationDistance(two_step, one_step), 0.0);
+  }
+}
+
+TEST(IntegrationTest, PqeAgreesWithPushforwardMarginals) {
+  // Two roads to the same number: Pr(q) by lineage WMC vs. the marginal
+  // of the corresponding boolean view under pushforward.
+  rel::Schema schema({{"R", 2}});
+  auto r = [](int64_t a, int64_t b) {
+    return rel::Fact(0, {rel::Value::Int(a), rel::Value::Int(b)});
+  };
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema,
+      {{r(1, 2), 0.3}, {r(2, 3), 0.6}, {r(3, 1), 0.5}, {r(1, 3), 0.2}});
+  logic::Formula query =
+      logic::ParseSentence("exists x y z. R(x, y) & R(y, z) & R(z, x)",
+                           schema)
+          .value();
+  double by_wmc = pqe::QueryProbability(ti, query).value();
+
+  rel::Schema out({{"Yes", 0}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.body = query;
+  logic::FoView view = logic::FoView::Create(schema, out, {def}).value();
+  pdb::FinitePdb<double> image =
+      pdb::PushforwardOrDie(ti.Expand(), view);
+  double by_pushforward = image.Marginal(rel::Fact(0, {}));
+  EXPECT_NEAR(by_wmc, by_pushforward, 1e-10);
+}
+
+TEST(IntegrationTest, FiniteCompletenessOfConditionedBid) {
+  // Condition a BID-PDB, then represent the conditioned PDB over a TI —
+  // finite-setting closure under both operations.
+  rel::Schema schema({{"U", 1}});
+  rel::Fact u1(0, {rel::Value::Int(1)});
+  rel::Fact u2(0, {rel::Value::Int(2)});
+  rel::Fact u3(0, {rel::Value::Int(3)});
+  pdb::BidPdb<Rational> bid = pdb::BidPdb<Rational>::CreateOrDie(
+      schema, {{{u1, Rational::Ratio(1, 2)}, {u2, Rational::Ratio(1, 4)}},
+               {{u3, Rational::Ratio(1, 3)}}});
+  pdb::FinitePdb<Rational> expanded = bid.Expand();
+  logic::Formula phi =
+      logic::ParseSentence("exists x. U(x)", schema).value();
+  pdb::FinitePdb<Rational> conditioned =
+      pdb::ConditionOrDie(expanded, phi);
+  auto built = core::BuildFiniteCompleteness(conditioned);
+  ASSERT_TRUE(built.ok());
+  auto tv = core::VerifyFiniteCompleteness(conditioned, built.value());
+  ASSERT_TRUE(tv.ok());
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(IntegrationTest, CountableBidSamplingRespectsBlockMarginals) {
+  // The car-accidents BID: empirical marginals of sampled counts match
+  // the Poisson block probabilities.
+  pdb::CountableBidPdb bid = core::CarAccidentsBid({1.5, 3.0}, 32);
+  Pcg32 rng(139);
+  const int samples = 20000;
+  int count_zero_accidents_c0 = 0;
+  for (int i = 0; i < samples; ++i) {
+    auto world = bid.Sample(&rng, 1e-9);
+    ASSERT_TRUE(world.ok());
+    rel::Fact zero(0, {rel::Value::Int(0), rel::Value::Int(0)});
+    if (world.value().Contains(zero)) ++count_zero_accidents_c0;
+  }
+  // Poisson(1.5): P(0) = e^{-1.5} ≈ 0.2231.
+  EXPECT_NEAR(count_zero_accidents_c0 / static_cast<double>(samples),
+              std::exp(-1.5), 0.02);
+}
+
+}  // namespace
+}  // namespace ipdb

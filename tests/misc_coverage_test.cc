@@ -1,0 +1,130 @@
+// Remaining coverage: printing/fallback paths, metric accessors, interval
+// string forms, schema-less fact rendering, empirical-distribution
+// bookkeeping, and countable-PDB analysis options.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/paper_examples.h"
+#include "pdb/metrics.h"
+#include "pdb/sampling.h"
+#include "pdb/ti_pdb.h"
+#include "relational/fact.h"
+#include "util/interval.h"
+#include "util/random.h"
+#include "util/series.h"
+
+namespace ipdb {
+namespace {
+
+using math::Rational;
+
+TEST(MiscCoverageTest, FactRenderingWithoutSchema) {
+  rel::Fact fact(7, {rel::Value::Int(1), rel::Value::Symbol("a")});
+  EXPECT_EQ(fact.ToString(), "R#7(1, a)");
+  std::ostringstream os;
+  os << fact;
+  EXPECT_EQ(os.str(), "R#7(1, a)");
+}
+
+TEST(MiscCoverageTest, InstanceStreaming) {
+  rel::Instance instance({rel::Fact(0, {rel::Value::Int(3)})});
+  std::ostringstream os;
+  os << instance;
+  EXPECT_EQ(os.str(), "{R#0(3)}");
+}
+
+TEST(MiscCoverageTest, IntervalStreamForms) {
+  std::ostringstream os;
+  os << Interval(1.25, 2.5) << " " << Interval::AtLeast(3.0);
+  EXPECT_EQ(os.str(), "[1.25, 2.5] [3, inf]");
+}
+
+TEST(MiscCoverageTest, SumAnalysisToStringVariants) {
+  SumAnalysis converged;
+  converged.kind = SumAnalysis::Kind::kConverged;
+  converged.enclosure = Interval(1.0, 1.0);
+  converged.terms_used = 5;
+  EXPECT_NE(converged.ToString().find("converged"), std::string::npos);
+  SumAnalysis diverged;
+  diverged.kind = SumAnalysis::Kind::kDiverged;
+  EXPECT_NE(diverged.ToString().find("diverges"), std::string::npos);
+  SumAnalysis witness;
+  witness.kind = SumAnalysis::Kind::kDivergedWitness;
+  witness.partial_sum = 7.0;
+  EXPECT_NE(witness.ToString().find("witness"), std::string::npos);
+}
+
+TEST(MiscCoverageTest, EmpiricalDistributionBookkeeping) {
+  rel::Instance a({rel::Fact(0, {rel::Value::Int(1)})});
+  rel::Instance b;
+  pdb::EmpiricalDistribution empirical;
+  EXPECT_DOUBLE_EQ(empirical.Frequency(a), 0.0);
+  empirical.Add(a);
+  empirical.Add(a);
+  empirical.Add(b);
+  EXPECT_EQ(empirical.total(), 3);
+  EXPECT_EQ(empirical.Count(a), 2);
+  EXPECT_DOUBLE_EQ(empirical.Frequency(a), 2.0 / 3.0);
+  EXPECT_EQ(empirical.counts().size(), 2u);
+}
+
+TEST(MiscCoverageTest, TvDistanceMixedExactVsDouble) {
+  rel::Schema schema({{"U", 1}});
+  rel::Instance w({rel::Fact(0, {rel::Value::Int(1)})});
+  pdb::FinitePdb<Rational> exact = pdb::FinitePdb<Rational>::CreateOrDie(
+      schema, {{rel::Instance(), Rational::Ratio(1, 4)},
+               {w, Rational::Ratio(3, 4)}});
+  pdb::FinitePdb<double> approx = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance(), 0.25}, {w, 0.75}});
+  EXPECT_NEAR(pdb::TvDistanceMixed(exact, approx), 0.0, 1e-15);
+  pdb::FinitePdb<double> shifted = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance(), 0.5}, {w, 0.5}});
+  EXPECT_NEAR(pdb::TvDistanceMixed(exact, shifted), 0.25, 1e-15);
+}
+
+TEST(MiscCoverageTest, TiToStringAndCountableAccessors) {
+  pdb::CountableTiPdb ti = core::Example56Ti();
+  EXPECT_NE(ti.description().find("Example 5.6"), std::string::npos);
+  EXPECT_EQ(ti.FactAt(0), rel::Fact(0, {rel::Value::Int(1)}));
+  EXPECT_DOUBLE_EQ(ti.MarginalAt(0), 0.5);
+  pdb::TiPdb<Rational> finite = pdb::TiPdb<Rational>::CreateOrDie(
+      rel::Schema({{"U", 1}}),
+      {{rel::Fact(0, {rel::Value::Int(1)}), Rational::Ratio(1, 2)}});
+  EXPECT_NE(finite.ToString().find("1/2"), std::string::npos);
+}
+
+TEST(MiscCoverageTest, GeometricSeriesHelpersAtBoundaries) {
+  // r = 0: sum is just the first term.
+  Series series = GeometricSeries(3.0, 0.0);
+  SumAnalysis result = AnalyzeSum(series);
+  ASSERT_EQ(result.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_TRUE(result.enclosure.Contains(3.0));
+  // c = 0: the zero series.
+  Series zero = GeometricSeries(0.0, 0.5);
+  SumAnalysis zero_result = AnalyzeSum(zero);
+  ASSERT_EQ(zero_result.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_TRUE(zero_result.enclosure.Contains(0.0));
+}
+
+TEST(MiscCoverageTest, SchemaToStringAndEquality) {
+  rel::Schema a({{"R", 2}, {"S", 0}});
+  rel::Schema b({{"R", 2}, {"S", 0}});
+  rel::Schema c({{"R", 2}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.ToString(), "{R/2, S/0}");
+}
+
+TEST(MiscCoverageTest, CountablePdbDescriptionsArePropagated) {
+  pdb::CountablePdb ex39 = core::Example39();
+  EXPECT_NE(ex39.description().find("3.9"), std::string::npos);
+  EXPECT_NE(ex39.ProbabilitySeries().description.find("3.9"),
+            std::string::npos);
+  EXPECT_NE(ex39.MomentSeries(2).description.find("k=2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipdb

@@ -1,0 +1,90 @@
+#include "core/monotone_to_cq.h"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+#include "logic/classify.h"
+#include "logic/parser.h"
+
+namespace ipdb {
+namespace core {
+namespace {
+
+using math::Rational;
+
+TEST(MonotoneToCqTest, ExampleB3BecomesCq) {
+  // Example B.3's view is already a CQ, so Proposition B.4 applies
+  // directly; the rebuilt representation must be exactly equivalent.
+  ExampleB3 example =
+      MakeExampleB3(Rational::Ratio(1, 2), Rational::Ratio(1, 3));
+  auto built = BuildMonotoneToCq(example.ti, example.view);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_TRUE(logic::IsCqView(built.value().view));
+  auto tv = VerifyMonotoneToCq(example.ti, example.view, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(MonotoneToCqTest, UcqViewBecomesCq) {
+  // A genuine UCQ (not CQ) view collapses into CQ(TI_fin) — the
+  // Figure 1 equality CQ(TI_fin) = UCQ(TI_fin).
+  rel::Schema in({{"A", 1}, {"B", 1}});
+  rel::Fact a(0, {rel::Value::Int(1)});
+  rel::Fact b(1, {rel::Value::Int(2)});
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      in, {{a, Rational::Ratio(1, 2)}, {b, Rational::Ratio(1, 4)}});
+  rel::Schema out({{"T", 1}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x"};
+  def.body = logic::ParseFormula("A(x) | B(x)", in).value();
+  logic::FoView ucq_view = logic::FoView::Create(in, out, {def}).value();
+  ASSERT_TRUE(logic::IsUcqView(ucq_view));
+  ASSERT_FALSE(logic::IsCqView(ucq_view));
+
+  auto built = BuildMonotoneToCq(ti, ucq_view);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_TRUE(logic::IsCqView(built.value().view));
+  auto tv = VerifyMonotoneToCq(ti, ucq_view, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(MonotoneToCqTest, CertainFactsGoToTAlways) {
+  rel::Schema in({{"A", 1}});
+  rel::Fact sure(0, {rel::Value::Int(1)});
+  rel::Fact maybe(0, {rel::Value::Int(2)});
+  pdb::TiPdb<Rational> ti = pdb::TiPdb<Rational>::CreateOrDie(
+      in, {{sure, Rational(1)}, {maybe, Rational::Ratio(1, 2)}});
+  logic::FoView identity = logic::FoView::Identity(in);
+  auto built = BuildMonotoneToCq(ti, identity);
+  ASSERT_TRUE(built.ok());
+  // Only one uncertain fact ⇒ selector facts Ŝ(0), Ŝ(1).
+  int selector_count = 0;
+  for (const auto& [fact, marginal] : built.value().ti.facts()) {
+    if (built.value().cq_schema.relation_name(fact.relation()) == "S_hat") {
+      ++selector_count;
+    }
+  }
+  EXPECT_EQ(selector_count, 2);
+  auto tv = VerifyMonotoneToCq(ti, identity, built.value());
+  ASSERT_TRUE(tv.ok());
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST(MonotoneToCqTest, TooManyFactsRejected) {
+  rel::Schema in({{"A", 1}});
+  pdb::TiPdb<Rational>::FactList facts;
+  for (int i = 0; i < 6; ++i) {
+    facts.emplace_back(rel::Fact(0, {rel::Value::Int(i)}),
+                       Rational::Ratio(1, 2));
+  }
+  pdb::TiPdb<Rational> ti =
+      pdb::TiPdb<Rational>::CreateOrDie(in, std::move(facts));
+  logic::FoView identity = logic::FoView::Identity(in);
+  EXPECT_FALSE(BuildMonotoneToCq(ti, identity, /*max_n=*/4).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ipdb

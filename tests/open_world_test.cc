@@ -1,0 +1,92 @@
+#include "pqe/open_world.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "pqe/wmc.h"
+
+namespace ipdb {
+namespace pqe {
+namespace {
+
+rel::Schema TestSchema() { return rel::Schema({{"R", 2}}); }
+
+rel::Fact R(int64_t a, int64_t b) {
+  return rel::Fact(0, {rel::Value::Int(a), rel::Value::Int(b)});
+}
+
+TEST(OpenWorldTest, IntervalBracketsClosedWorld) {
+  rel::Schema schema = TestSchema();
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema, {{R(1, 2), 0.5}});
+  logic::Formula query =
+      logic::ParseSentence("exists x y z. R(x, y) & R(y, z)", schema)
+          .value();
+  // Closed world: no 2-path exists (needs R(2, _)); probability 0.
+  auto interval = OpenQueryProbabilityInterval(ti, query, 0.3,
+                                               {R(2, 3), R(2, 1)});
+  ASSERT_TRUE(interval.ok()) << interval.status().ToString();
+  EXPECT_DOUBLE_EQ(interval.value().lo(), 0.0);
+  // Upper: R(1,2) present AND at least one of R(2,3)/R(2,1) at 0.3, or a
+  // path among the unknowns themselves (R(2,1) & R(1,2)):
+  // verified against direct WMC on the completed TI.
+  pdb::TiPdb<double> completed = pdb::TiPdb<double>::CreateOrDie(
+      schema, {{R(1, 2), 0.5}, {R(2, 3), 0.3}, {R(2, 1), 0.3}});
+  EXPECT_NEAR(interval.value().hi(),
+              QueryProbability(completed, query).value(), 1e-12);
+  EXPECT_GT(interval.value().hi(), 0.0);
+}
+
+TEST(OpenWorldTest, LambdaZeroCollapsesToPoint) {
+  rel::Schema schema = TestSchema();
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema, {{R(1, 2), 0.5}});
+  logic::Formula query =
+      logic::ParseSentence("exists x y. R(x, y)", schema).value();
+  auto interval =
+      OpenQueryProbabilityInterval(ti, query, 0.0, {R(7, 7)});
+  ASSERT_TRUE(interval.ok());
+  EXPECT_DOUBLE_EQ(interval.value().lo(), 0.5);
+  EXPECT_DOUBLE_EQ(interval.value().hi(), 0.5);
+}
+
+TEST(OpenWorldTest, KnownFactsNotOverwritten) {
+  // A candidate that is already a known fact keeps its stated marginal.
+  rel::Schema schema = TestSchema();
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema, {{R(1, 2), 0.5}});
+  logic::Formula query =
+      logic::ParseSentence("exists x y. R(x, y)", schema).value();
+  auto interval =
+      OpenQueryProbabilityInterval(ti, query, 0.99, {R(1, 2)});
+  ASSERT_TRUE(interval.ok());
+  EXPECT_DOUBLE_EQ(interval.value().hi(), 0.5);
+}
+
+TEST(OpenWorldTest, NonMonotoneRejected) {
+  rel::Schema schema = TestSchema();
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema, {{R(1, 2), 0.5}});
+  logic::Formula query =
+      logic::ParseSentence("!(exists x y. R(x, y))", schema).value();
+  auto interval = OpenQueryProbabilityInterval(ti, query, 0.3, {});
+  EXPECT_FALSE(interval.ok());
+  EXPECT_EQ(interval.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OpenWorldTest, Validation) {
+  rel::Schema schema = TestSchema();
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema, {{R(1, 2), 0.5}});
+  logic::Formula query =
+      logic::ParseSentence("exists x y. R(x, y)", schema).value();
+  EXPECT_FALSE(OpenQueryProbabilityInterval(ti, query, -0.1, {}).ok());
+  EXPECT_FALSE(OpenQueryProbabilityInterval(ti, query, 1.5, {}).ok());
+  rel::Fact bad(3, {rel::Value::Int(1)});
+  EXPECT_FALSE(
+      OpenQueryProbabilityInterval(ti, query, 0.5, {bad}).ok());
+}
+
+}  // namespace
+}  // namespace pqe
+}  // namespace ipdb

@@ -1,0 +1,116 @@
+#include "prob/pgf.h"
+
+#include <gtest/gtest.h>
+
+#include "prob/poisson_binomial.h"
+
+namespace ipdb {
+namespace prob {
+namespace {
+
+using math::Rational;
+
+TEST(RationalPolynomialTest, Algebra) {
+  RationalPolynomial p({Rational(1), Rational(2)});   // 1 + 2x
+  RationalPolynomial q({Rational(0), Rational(1), Rational(3)});  // x+3x²
+  RationalPolynomial sum = p + q;
+  EXPECT_EQ(sum.Coefficient(0), Rational(1));
+  EXPECT_EQ(sum.Coefficient(1), Rational(3));
+  EXPECT_EQ(sum.Coefficient(2), Rational(3));
+  RationalPolynomial product = p * q;
+  // (1+2x)(x+3x²) = x + 5x² + 6x³.
+  EXPECT_EQ(product.Coefficient(1), Rational(1));
+  EXPECT_EQ(product.Coefficient(2), Rational(5));
+  EXPECT_EQ(product.Coefficient(3), Rational(6));
+  EXPECT_EQ(product.degree(), 3);
+  // Derivative of the product: 1 + 10x + 18x².
+  RationalPolynomial derivative = product.Derivative();
+  EXPECT_EQ(derivative.Coefficient(0), Rational(1));
+  EXPECT_EQ(derivative.Coefficient(1), Rational(10));
+  EXPECT_EQ(derivative.Coefficient(2), Rational(18));
+  // Evaluation.
+  EXPECT_EQ(p.Evaluate(Rational::Ratio(1, 2)), Rational(2));
+  // Zero handling.
+  EXPECT_EQ(RationalPolynomial().degree(), -1);
+  EXPECT_EQ(RationalPolynomial({Rational(0)}).degree(), -1);
+}
+
+TEST(PgfTest, PmfCoefficientsMatchDp) {
+  std::vector<Rational> marginals = {
+      Rational::Ratio(1, 2), Rational::Ratio(1, 4), Rational::Ratio(2, 3)};
+  RationalPolynomial pgf = TiSizePgf(marginals);
+  // Coefficients sum to 1 and match the double DP.
+  std::vector<double> dp =
+      PoissonBinomialPmf({0.5, 0.25, 2.0 / 3.0});
+  Rational total;
+  for (int64_t k = 0; k <= pgf.degree(); ++k) {
+    total += pgf.Coefficient(k);
+    EXPECT_NEAR(pgf.Coefficient(k).ToDouble(), dp[k], 1e-12) << k;
+  }
+  EXPECT_EQ(total, Rational(1));
+  EXPECT_EQ(pgf.Evaluate(Rational(1)), Rational(1));
+}
+
+TEST(PgfTest, ExactMomentsOfBernoulliSum) {
+  // Two fair coins: S ~ Binomial(2, 1/2): E[S] = 1, E[S²] = 3/2,
+  // E[S³] = 0·(1/4) + 1·(1/2) + 8·(1/4) = 5/2.
+  std::vector<Rational> marginals = {Rational::Ratio(1, 2),
+                                     Rational::Ratio(1, 2)};
+  RationalPolynomial pgf = TiSizePgf(marginals);
+  EXPECT_EQ(RawMomentFromPgf(pgf, 0), Rational(1));
+  EXPECT_EQ(RawMomentFromPgf(pgf, 1), Rational(1));
+  EXPECT_EQ(RawMomentFromPgf(pgf, 2), Rational::Ratio(3, 2));
+  EXPECT_EQ(RawMomentFromPgf(pgf, 3), Rational::Ratio(5, 2));
+  // Factorial moments: E[S(S-1)] = 2·(1/2)² = 1/2.
+  EXPECT_EQ(FactorialMomentFromPgf(pgf, 2), Rational::Ratio(1, 2));
+}
+
+TEST(PgfTest, MomentsMatchDoubleDp) {
+  std::vector<Rational> exact = {Rational::Ratio(1, 10),
+                                 Rational::Ratio(9, 10),
+                                 Rational::Ratio(1, 2),
+                                 Rational::Ratio(3, 10)};
+  std::vector<double> approx = {0.1, 0.9, 0.5, 0.3};
+  RationalPolynomial pgf = TiSizePgf(exact);
+  std::vector<double> pmf = PoissonBinomialPmf(approx);
+  for (int k = 0; k <= 5; ++k) {
+    EXPECT_NEAR(RawMomentFromPgf(pgf, k).ToDouble(),
+                MomentFromPmf(pmf, k), 1e-9)
+        << k;
+  }
+}
+
+TEST(PgfTest, LemmaC1BoundHoldsExactly) {
+  // The Lemma C.1 inequality E[S^k] <= E[S^{k-1}](k-1+E[S]) as an exact
+  // rational comparison — the quantitative engine of Proposition 3.2.
+  std::vector<Rational> marginals = {
+      Rational::Ratio(1, 3), Rational::Ratio(2, 5), Rational::Ratio(1, 7),
+      Rational::Ratio(4, 5)};
+  RationalPolynomial pgf = TiSizePgf(marginals);
+  Rational mean = RawMomentFromPgf(pgf, 1);
+  for (int k = 1; k <= 6; ++k) {
+    Rational lhs = RawMomentFromPgf(pgf, k);
+    Rational rhs = RawMomentFromPgf(pgf, k - 1) *
+                   (Rational(k - 1) + mean);
+    EXPECT_LE(lhs, rhs) << k;
+  }
+}
+
+TEST(PgfTest, StirlingNumbers) {
+  // Row n = 4: S(4, 0..4) = 0, 1, 7, 6, 1.
+  std::vector<math::BigInt> row = StirlingSecondKind(4);
+  ASSERT_EQ(row.size(), 5u);
+  EXPECT_EQ(row[0], math::BigInt(0));
+  EXPECT_EQ(row[1], math::BigInt(1));
+  EXPECT_EQ(row[2], math::BigInt(7));
+  EXPECT_EQ(row[3], math::BigInt(6));
+  EXPECT_EQ(row[4], math::BigInt(1));
+  // Row 0.
+  std::vector<math::BigInt> zero = StirlingSecondKind(0);
+  ASSERT_EQ(zero.size(), 1u);
+  EXPECT_EQ(zero[0], math::BigInt(1));
+}
+
+}  // namespace
+}  // namespace prob
+}  // namespace ipdb

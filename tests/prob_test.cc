@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/distribution.h"
+#include "prob/moments.h"
+#include "prob/poisson_binomial.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace prob {
+namespace {
+
+TEST(DistributionTest, GeometricPmfAndTail) {
+  IntDistribution g = Geometric(0.5);
+  EXPECT_DOUBLE_EQ(g.pmf(0), 0.5);
+  EXPECT_DOUBLE_EQ(g.pmf(2), 0.125);
+  EXPECT_DOUBLE_EQ(g.pmf(-1), 0.0);
+  // Tail bound is exact for geometric.
+  EXPECT_DOUBLE_EQ(g.tail_upper(3), 0.125);
+  double mass = 0.0;
+  for (int i = 0; i < 64; ++i) mass += g.pmf(i);
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(DistributionTest, GeometricMoments) {
+  IntDistribution g = Geometric(0.5);
+  // E[X] = q/(1-q) = 1; E[X²] = q(1+q)/(1-q)² = 3.
+  Interval m1 = MomentInterval(g, 1);
+  ASSERT_TRUE(m1.is_finite());
+  EXPECT_TRUE(m1.Contains(1.0));
+  Interval m2 = MomentInterval(g, 2);
+  ASSERT_TRUE(m2.is_finite());
+  EXPECT_TRUE(m2.Contains(3.0));
+}
+
+TEST(DistributionTest, PoissonPmfAndMean) {
+  IntDistribution p = Poisson(3.0);
+  double mass = 0.0;
+  double mean = 0.0;
+  for (int i = 0; i < 128; ++i) {
+    mass += p.pmf(i);
+    mean += i * p.pmf(i);
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+  EXPECT_NEAR(mean, 3.0, 1e-10);
+  Interval m1 = MomentInterval(p, 1);
+  ASSERT_TRUE(m1.is_finite());
+  EXPECT_TRUE(m1.Contains(3.0));
+  // E[X²] = λ² + λ = 12.
+  Interval m2 = MomentInterval(p, 2);
+  ASSERT_TRUE(m2.is_finite());
+  EXPECT_TRUE(m2.Contains(12.0));
+  // Tail bound dominates the true tail.
+  double true_tail = 1.0;
+  for (int i = 0; i < 10; ++i) true_tail -= p.pmf(i);
+  EXPECT_GE(p.tail_upper(10), true_tail);
+}
+
+TEST(DistributionTest, PowerLawMomentFiniteness) {
+  IntDistribution z = PowerLaw(3.5);
+  double mass = 0.0;
+  for (int i = 0; i < (1 << 16); ++i) mass += z.pmf(i);
+  EXPECT_NEAR(mass, 1.0, 1e-3);
+  // k = 1, 2 finite (s - k > 1); k = 3 infinite.
+  EXPECT_TRUE(MomentInterval(z, 1).is_finite());
+  EXPECT_TRUE(MomentInterval(z, 2).is_finite());
+  EXPECT_FALSE(MomentInterval(z, 3).is_finite());
+}
+
+TEST(DistributionTest, SamplingMatchesPmf) {
+  IntDistribution g = Geometric(0.4);
+  Pcg32 rng(77);
+  int counts[4] = {0, 0, 0, 0};
+  const int samples = 40000;
+  for (int i = 0; i < samples; ++i) {
+    int64_t x = Sample(g, &rng);
+    if (x < 4) ++counts[x];
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(samples), g.pmf(i), 0.01);
+  }
+}
+
+TEST(PoissonBinomialTest, MatchesBinomialClosedForm) {
+  // Equal p: S ~ Binomial(n, p).
+  const int n = 10;
+  const double p = 0.3;
+  std::vector<double> marginals(n, p);
+  std::vector<double> pmf = PoissonBinomialPmf(marginals);
+  ASSERT_EQ(pmf.size(), static_cast<size_t>(n + 1));
+  double binom = 1.0;
+  for (int k = 0; k <= n; ++k) {
+    double expected =
+        binom * std::pow(p, k) * std::pow(1 - p, n - k);
+    EXPECT_NEAR(pmf[k], expected, 1e-12) << k;
+    binom = binom * (n - k) / (k + 1.0);
+  }
+}
+
+TEST(PoissonBinomialTest, HeterogeneousSmallCase) {
+  // p = {0.5, 0.25}: P(0)=3/8, P(1)=1/2, P(2)=1/8.
+  std::vector<double> pmf = PoissonBinomialPmf({0.5, 0.25});
+  EXPECT_DOUBLE_EQ(pmf[0], 0.375);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.5);
+  EXPECT_DOUBLE_EQ(pmf[2], 0.125);
+}
+
+TEST(PoissonBinomialTest, MomentsMatchFormulas) {
+  std::vector<double> p = {0.1, 0.9, 0.5, 0.3};
+  std::vector<double> pmf = PoissonBinomialPmf(p);
+  double mu = 0.1 + 0.9 + 0.5 + 0.3;
+  EXPECT_NEAR(MomentFromPmf(pmf, 0), 1.0, 1e-12);
+  EXPECT_NEAR(MomentFromPmf(pmf, 1), mu, 1e-12);
+  // Var = Σ p(1-p); E[S²] = Var + mu².
+  double var = 0.1 * 0.9 + 0.9 * 0.1 + 0.5 * 0.5 + 0.3 * 0.7;
+  EXPECT_NEAR(MomentFromPmf(pmf, 2), var + mu * mu, 1e-12);
+}
+
+TEST(PoissonBinomialTest, LemmaC1BoundHolds) {
+  // E[S^k] <= Π_{i<k} (i + E[S]) — the iterated Lemma C.1 bound.
+  std::vector<double> p = {0.2, 0.7, 0.4, 0.6, 0.1};
+  std::vector<double> pmf = PoissonBinomialPmf(p);
+  double mu = MomentFromPmf(pmf, 1);
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_LE(MomentFromPmf(pmf, k), BernoulliSumMomentUpper(mu, k) + 1e-9)
+        << k;
+  }
+}
+
+TEST(PoissonBinomialTest, MomentIntervalEnclosesTruth) {
+  // Treat a 12-fact TI as a truncated infinite one: the interval from the
+  // 8-fact prefix plus the exact remaining mass must contain the true
+  // moment.
+  std::vector<double> all = {0.3, 0.1, 0.25, 0.4,  0.05, 0.2,
+                             0.15, 0.35, 0.1,  0.05, 0.02, 0.01};
+  std::vector<double> prefix(all.begin(), all.begin() + 8);
+  double tail_mass = 0.0;
+  for (size_t i = 8; i < all.size(); ++i) tail_mass += all[i];
+  std::vector<double> full_pmf = PoissonBinomialPmf(all);
+  for (int k = 1; k <= 4; ++k) {
+    Interval enclosure = PoissonBinomialMomentInterval(prefix, tail_mass, k);
+    double truth = MomentFromPmf(full_pmf, k);
+    EXPECT_TRUE(enclosure.Contains(truth))
+        << "k=" << k << " " << enclosure.ToString() << " truth " << truth;
+  }
+}
+
+TEST(MomentsTest, FiniteSizeMoment) {
+  std::vector<std::pair<int64_t, double>> dist = {{0, 0.5}, {2, 0.25},
+                                                  {4, 0.25}};
+  EXPECT_DOUBLE_EQ(SizeMomentFinite(dist, 0), 1.0);
+  EXPECT_DOUBLE_EQ(SizeMomentFinite(dist, 1), 1.5);
+  EXPECT_DOUBLE_EQ(SizeMomentFinite(dist, 2), 5.0);
+}
+
+TEST(MomentsTest, MomentSeriesWithCertificates) {
+  // Family: size i, prob (1/2)^{i+1} — E[size] = Σ i 2^{-(i+1)} = 1.
+  MomentTailCertificates certs;
+  certs.upper = [](int k, int64_t N) {
+    // Ratio bound: a_{i+1}/a_i = ((i+1)/i)^k / 2 <= ((N+1)/N)^k / 2.
+    auto term = [k](int64_t i) {
+      return std::pow(static_cast<double>(i), static_cast<double>(k)) *
+             std::pow(0.5, static_cast<double>(i + 1));
+    };
+    int64_t n = std::max<int64_t>(N, 2 * k + 2);
+    double skipped = 0.0;
+    for (int64_t i = N; i < n; ++i) skipped += term(i);
+    double ratio = std::pow((n + 1.0) / n, k) / 2.0;
+    return skipped + RatioTailBound(term(n), ratio);
+  };
+  Series series = MakeMomentSeries(
+      [](int64_t i) { return i; },
+      [](int64_t i) { return std::pow(0.5, static_cast<double>(i + 1)); },
+      1, certs);
+  SumAnalysis result = AnalyzeSum(series);
+  ASSERT_EQ(result.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_TRUE(result.enclosure.Contains(1.0));
+}
+
+TEST(DistributionTest, RatioTailBound) {
+  EXPECT_DOUBLE_EQ(RatioTailBound(1.0, 0.5), 2.0);
+  EXPECT_TRUE(std::isinf(RatioTailBound(1.0, 1.0)));
+}
+
+}  // namespace
+}  // namespace prob
+}  // namespace ipdb

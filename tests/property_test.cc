@@ -1,0 +1,153 @@
+// Property-based suites (parameterized sweeps over random seeds): laws
+// that must hold for every PDB/view/condition, exercised across many
+// random fixtures.
+
+#include <gtest/gtest.h>
+
+#include "core/finite_completeness.h"
+#include "logic/parser.h"
+#include "pdb/conditioning.h"
+#include "pdb/metrics.h"
+#include "pdb/pushforward.h"
+#include "pdb/sampling.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace {
+
+using math::Rational;
+
+class RandomPdbProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPdbProperty, PushforwardPreservesMassAndMergesPreimages) {
+  Pcg32 rng(1000 + GetParam());
+  rel::Schema in({{"R", 2}, {"S", 1}});
+  rel::Schema out({{"T", 1}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x"};
+  def.body = logic::ParseFormula("exists y. R(x, y) & S(y)", in).value();
+  logic::FoView view = logic::FoView::Create(in, out, {def}).value();
+
+  pdb::FinitePdb<Rational> input =
+      testing_util::RandomRationalPdb(in, 5, 3, 0.3, 36, &rng);
+  pdb::FinitePdb<Rational> image = pdb::PushforwardOrDie(input, view);
+  // Mass 1 (validated by Create) and per-world consistency:
+  for (const auto& [world, probability] : image.worlds()) {
+    Rational direct;
+    for (const auto& [pre, p] : input.worlds()) {
+      if (view.ApplyOrDie(pre) == world) direct += p;
+    }
+    EXPECT_EQ(direct, probability);
+  }
+}
+
+TEST_P(RandomPdbProperty, ConditioningIsIdempotentAndConsistent) {
+  Pcg32 rng(2000 + GetParam());
+  rel::Schema schema({{"S", 1}});
+  pdb::FinitePdb<Rational> input =
+      testing_util::RandomRationalPdb(schema, 6, 4, 0.4, 48, &rng);
+  logic::Formula phi =
+      logic::ParseSentence("exists x. S(x)", schema).value();
+  auto conditioned = pdb::Condition(input, phi);
+  if (!conditioned.ok()) return;  // event had probability 0: fine
+  // Conditioning again on the same event changes nothing.
+  auto twice = pdb::Condition(conditioned.value(), phi);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(conditioned.value(), twice.value());
+  // Bayes consistency: P(D | φ) · P(φ) = P(D) for satisfying worlds.
+  Rational mass = pdb::EventProbability(input, phi).value();
+  for (const auto& [world, probability] : conditioned.value().worlds()) {
+    EXPECT_EQ(probability * mass, input.Probability(world));
+  }
+}
+
+TEST_P(RandomPdbProperty, TotalVariationIsAMetricOnRandomTriples) {
+  Pcg32 rng(3000 + GetParam());
+  rel::Schema schema({{"S", 1}});
+  pdb::FinitePdb<double> a = testing_util::ToDoublePdb(
+      testing_util::RandomRationalPdb(schema, 4, 3, 0.4, 24, &rng));
+  pdb::FinitePdb<double> b = testing_util::ToDoublePdb(
+      testing_util::RandomRationalPdb(schema, 4, 3, 0.4, 24, &rng));
+  pdb::FinitePdb<double> c = testing_util::ToDoublePdb(
+      testing_util::RandomRationalPdb(schema, 4, 3, 0.4, 24, &rng));
+  double ab = pdb::TotalVariationDistance(a, b);
+  double bc = pdb::TotalVariationDistance(b, c);
+  double ac = pdb::TotalVariationDistance(a, c);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0 + 1e-12);
+  EXPECT_NEAR(ab, pdb::TotalVariationDistance(b, a), 1e-12);
+  EXPECT_LE(ac, ab + bc + 1e-12);
+  EXPECT_DOUBLE_EQ(pdb::TotalVariationDistance(a, a), 0.0);
+}
+
+TEST_P(RandomPdbProperty, TiExpansionRoundTripsMarginals) {
+  Pcg32 rng(4000 + GetParam());
+  rel::Schema schema({{"R", 2}});
+  pdb::TiPdb<Rational> ti =
+      testing_util::RandomRationalTi(schema, 5, 3, 16, &rng);
+  pdb::FinitePdb<Rational> expanded = ti.Expand();
+  EXPECT_TRUE(expanded.IsTupleIndependent());
+  for (const auto& [fact, marginal] : ti.facts()) {
+    EXPECT_EQ(expanded.Marginal(fact), marginal);
+  }
+  // World probabilities factorize exactly.
+  for (const auto& [world, probability] : expanded.worlds()) {
+    EXPECT_EQ(ti.WorldProbability(world), probability);
+  }
+}
+
+TEST_P(RandomPdbProperty, FiniteCompletenessAlwaysExact) {
+  Pcg32 rng(5000 + GetParam());
+  rel::Schema schema({{"S", 1}});
+  pdb::FinitePdb<Rational> input =
+      testing_util::RandomRationalPdb(schema, 3 + GetParam() % 4, 3, 0.4,
+                                      60, &rng);
+  auto built = core::BuildFiniteCompleteness(input);
+  ASSERT_TRUE(built.ok());
+  auto tv = core::VerifyFiniteCompleteness(input, built.value());
+  ASSERT_TRUE(tv.ok());
+  EXPECT_DOUBLE_EQ(tv.value(), 0.0);
+}
+
+TEST_P(RandomPdbProperty, SamplerMatchesDistribution) {
+  Pcg32 rng(6000 + GetParam());
+  rel::Schema schema({{"S", 1}});
+  pdb::FinitePdb<double> input = testing_util::ToDoublePdb(
+      testing_util::RandomRationalPdb(schema, 5, 3, 0.4, 20, &rng));
+  pdb::EmpiricalDistribution empirical = pdb::Accumulate(
+      [&] { return pdb::SampleWorld(input, &rng); }, 20000);
+  EXPECT_LT(empirical.TvDistance(input), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPdbProperty,
+                         ::testing::Range(0, 8));
+
+class MomentLawProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MomentLawProperty, JensenOrderingOfMoments) {
+  // E[X]^2 <= E[X^2] and E[X^2]^{3/2} <= ... spot-check the first two
+  // via Cauchy-Schwarz on random TI size distributions.
+  Pcg32 rng(7000 + GetParam());
+  rel::Schema schema({{"S", 1}});
+  pdb::TiPdb<Rational> exact =
+      testing_util::RandomRationalTi(schema, 6, 8, 12, &rng);
+  pdb::TiPdb<double>::FactList facts;
+  for (const auto& [fact, marginal] : exact.facts()) {
+    facts.emplace_back(fact, marginal.ToDouble());
+  }
+  pdb::TiPdb<double> ti =
+      pdb::TiPdb<double>::CreateOrDie(schema, std::move(facts));
+  double m1 = ti.SizeMoment(1);
+  double m2 = ti.SizeMoment(2);
+  double m3 = ti.SizeMoment(3);
+  EXPECT_LE(m1 * m1, m2 + 1e-12);
+  EXPECT_LE(m2 * m2, m1 * m3 + 1e-12);  // Cauchy-Schwarz on X^{1/2}·X^{3/2}
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MomentLawProperty,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ipdb

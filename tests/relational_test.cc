@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "relational/fact.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace ipdb {
+namespace rel {
+namespace {
+
+TEST(ValueTest, KindsAndPayloads) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_EQ(Value::Int(3).int_value(), 3);
+  EXPECT_TRUE(Value::Symbol("a").is_symbol());
+  EXPECT_EQ(Value::Symbol("a").symbol(), "a");
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Int(5), Value::Symbol(""));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Symbol("a"), Value::Symbol("b"));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, EqualityAndHash) {
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+  EXPECT_NE(Value::Int(7), Value::Int(8));
+  EXPECT_NE(Value::Int(0), Value::Null());
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_NE(Value::Int(7).Hash(), Value::Symbol("7").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "_|_");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Symbol("x").ToString(), "x");
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  auto r = schema.AddRelation("R", 2);
+  ASSERT_TRUE(r.ok());
+  auto s = schema.AddRelation("S", 0);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(schema.num_relations(), 2);
+  EXPECT_EQ(schema.arity(r.value()), 2);
+  EXPECT_EQ(schema.relation_name(s.value()), "S");
+  EXPECT_EQ(schema.max_arity(), 2);
+  EXPECT_TRUE(schema.FindRelation("R").ok());
+  EXPECT_FALSE(schema.FindRelation("T").ok());
+}
+
+TEST(SchemaTest, RejectsBadInput) {
+  Schema schema;
+  EXPECT_FALSE(schema.AddRelation("", 1).ok());
+  EXPECT_FALSE(schema.AddRelation("R", -1).ok());
+  ASSERT_TRUE(schema.AddRelation("R", 1).ok());
+  EXPECT_FALSE(schema.AddRelation("R", 2).ok());
+}
+
+TEST(SchemaTest, InitializerList) {
+  Schema schema({{"R", 2}, {"S", 1}});
+  EXPECT_EQ(schema.ToString(), "{R/2, S/1}");
+}
+
+TEST(FactTest, SchemaMatching) {
+  Schema schema({{"R", 2}});
+  Fact good(0, {Value::Int(1), Value::Int(2)});
+  Fact bad_arity(0, {Value::Int(1)});
+  Fact bad_relation(5, {Value::Int(1)});
+  EXPECT_TRUE(good.MatchesSchema(schema));
+  EXPECT_FALSE(bad_arity.MatchesSchema(schema));
+  EXPECT_FALSE(bad_relation.MatchesSchema(schema));
+  EXPECT_EQ(good.ToString(schema), "R(1, 2)");
+}
+
+TEST(FactTest, Ordering) {
+  Fact a(0, {Value::Int(1)});
+  Fact b(0, {Value::Int(2)});
+  Fact c(1, {Value::Int(0)});
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, Fact(0, {Value::Int(1)}));
+}
+
+TEST(InstanceTest, CanonicalForm) {
+  Fact a(0, {Value::Int(1)});
+  Fact b(0, {Value::Int(2)});
+  Instance x({b, a, a});
+  EXPECT_EQ(x.size(), 2);
+  EXPECT_EQ(x, Instance({a, b}));
+  EXPECT_TRUE(x.Contains(a));
+  EXPECT_FALSE(x.Contains(Fact(0, {Value::Int(3)})));
+}
+
+TEST(InstanceTest, InsertEraseSubset) {
+  Fact a(0, {Value::Int(1)});
+  Fact b(0, {Value::Int(2)});
+  Instance x;
+  x.Insert(a);
+  x.Insert(a);
+  EXPECT_EQ(x.size(), 1);
+  x.Insert(b);
+  EXPECT_TRUE(Instance({a}).IsSubsetOf(x));
+  EXPECT_FALSE(x.IsSubsetOf(Instance({a})));
+  x.Erase(a);
+  EXPECT_EQ(x, Instance({b}));
+  x.Erase(a);  // no-op
+  EXPECT_EQ(x.size(), 1);
+}
+
+TEST(InstanceTest, SetOperations) {
+  Fact a(0, {Value::Int(1)});
+  Fact b(0, {Value::Int(2)});
+  Fact c(0, {Value::Int(3)});
+  Instance x({a, b});
+  Instance y({b, c});
+  EXPECT_EQ(Instance::Union(x, y), Instance({a, b, c}));
+  EXPECT_EQ(Instance::Intersection(x, y), Instance({b}));
+  EXPECT_EQ(Instance::Difference(x, y), Instance({a}));
+}
+
+TEST(InstanceTest, ActiveDomain) {
+  Schema schema({{"R", 2}});
+  Instance x({Fact(0, {Value::Int(2), Value::Int(1)}),
+              Fact(0, {Value::Int(1), Value::Symbol("a")})});
+  std::vector<Value> adom = x.ActiveDomain();
+  ASSERT_EQ(adom.size(), 3u);
+  EXPECT_EQ(adom[0], Value::Int(1));
+  EXPECT_EQ(adom[1], Value::Int(2));
+  EXPECT_EQ(adom[2], Value::Symbol("a"));
+}
+
+TEST(InstanceTest, FactsOfRelation) {
+  Instance x({Fact(0, {Value::Int(1)}), Fact(1, {Value::Int(2)}),
+              Fact(0, {Value::Int(3)})});
+  EXPECT_EQ(x.FactsOf(0).size(), 2u);
+  EXPECT_EQ(x.FactsOf(1).size(), 1u);
+  EXPECT_EQ(x.FactsOf(2).size(), 0u);
+}
+
+TEST(InstanceTest, OrderingAndHash) {
+  Fact a(0, {Value::Int(1)});
+  Fact b(0, {Value::Int(2)});
+  EXPECT_LT(Instance({a}), Instance({b}));
+  EXPECT_LT(Instance(), Instance({a}));
+  EXPECT_EQ(Instance({a, b}).Hash(), Instance({b, a}).Hash());
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace ipdb

@@ -1,0 +1,74 @@
+#include "core/representability.h"
+
+#include <gtest/gtest.h>
+
+#include "core/idb.h"
+#include "core/paper_examples.h"
+#include "logic/parser.h"
+#include "pdb/pushforward.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace core {
+namespace {
+
+TEST(RepresentabilityTest, Example35IsOut) {
+  pdb::CountablePdb ex35 = Example35();
+  RepresentabilityReport report =
+      DecideRepresentability(ex35, nullptr, 2, 0);
+  EXPECT_EQ(report.verdict, Verdict::kNotInFoTi);
+  EXPECT_NE(report.explanation.find("Proposition 3.4"), std::string::npos);
+}
+
+TEST(RepresentabilityTest, Example55IsIn) {
+  pdb::CountablePdb ex55 = Example55();
+  CriterionFamily criterion = Example55Criterion();
+  RepresentabilityReport report =
+      DecideRepresentability(ex55, &criterion, 3, 3);
+  EXPECT_EQ(report.verdict, Verdict::kInFoTi);
+  EXPECT_EQ(report.criterion.witness_c, 1);
+}
+
+TEST(RepresentabilityTest, Example39IsInTheGap) {
+  // The pipeline alone cannot decide Example 3.9 — the honest outcome.
+  pdb::CountablePdb ex39 = Example39();
+  RepresentabilityReport report =
+      DecideRepresentability(ex39, nullptr, 4, 0);
+  EXPECT_EQ(report.verdict, Verdict::kUndecided);
+  EXPECT_TRUE(report.moments.all_finite_certified);
+}
+
+TEST(RepresentabilityTest, ReportRendersAllParts) {
+  pdb::CountablePdb ex35 = Example35();
+  RepresentabilityReport report =
+      DecideRepresentability(ex35, nullptr, 2, 0);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("NOT in FO(TI)"), std::string::npos);
+  EXPECT_NE(text.find("E[|D|^2]"), std::string::npos);
+}
+
+TEST(IdbViewCommutationTest, Observation62OnRandomPdbs) {
+  // V(IDB(D)) = IDB(V(D)), exactly as Observation 6.2 states.
+  Pcg32 rng(701);
+  rel::Schema in({{"R", 2}, {"S", 1}});
+  rel::Schema out({{"T", 1}});
+  logic::FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x"};
+  def.body =
+      logic::ParseFormula("exists y. R(x, y) & S(y)", in).value();
+  logic::FoView view = logic::FoView::Create(in, out, {def}).value();
+  for (int trial = 0; trial < 8; ++trial) {
+    pdb::FinitePdb<math::Rational> random_pdb =
+        testing_util::RandomRationalPdb(in, 5, 3, 0.3, 30, &rng);
+    Idb direct = InducedIdb(pdb::PushforwardOrDie(random_pdb, view));
+    auto image = ApplyViewToIdb(InducedIdb(random_pdb), view);
+    ASSERT_TRUE(image.ok());
+    EXPECT_EQ(direct, image.value()) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ipdb

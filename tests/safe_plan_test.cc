@@ -1,0 +1,151 @@
+#include "pqe/safe_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "pqe/wmc.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace pqe {
+namespace {
+
+rel::Schema Schema3() { return rel::Schema({{"R", 1}, {"S", 2}, {"T", 1}}); }
+
+pdb::TiPdb<double> RandomTi(const rel::Schema& schema, int universe,
+                            Pcg32* rng, int facts = 8) {
+  pdb::TiPdb<math::Rational> exact =
+      testing_util::RandomRationalTi(schema, facts, universe, 10, rng);
+  pdb::TiPdb<double>::FactList list;
+  for (const auto& [fact, marginal] : exact.facts()) {
+    list.emplace_back(fact, marginal.ToDouble());
+  }
+  return pdb::TiPdb<double>::CreateOrDie(schema, std::move(list));
+}
+
+TEST(SafePlanTest, ParseAndClassify) {
+  rel::Schema schema = Schema3();
+  auto h1 = logic::ParseSentence("exists x y. R(x) & S(x, y)", schema);
+  auto parsed = ParseSelfJoinFreeCq(h1.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(IsHierarchical(parsed.value()));
+
+  // The canonical non-hierarchical (#P-hard) query H0:
+  // ∃x∃y R(x) ∧ S(x,y) ∧ T(y).
+  auto h0 = logic::ParseSentence("exists x y. R(x) & S(x, y) & T(y)",
+                                 schema);
+  auto parsed0 = ParseSelfJoinFreeCq(h0.value());
+  ASSERT_TRUE(parsed0.ok());
+  EXPECT_FALSE(IsHierarchical(parsed0.value()));
+
+  // Self-joins rejected.
+  rel::Schema schema2({{"E", 2}});
+  auto sj =
+      logic::ParseSentence("exists x y z. E(x, y) & E(y, z)", schema2);
+  EXPECT_FALSE(ParseSelfJoinFreeCq(sj.value()).ok());
+
+  // Non-CQ shapes rejected.
+  auto neg = logic::ParseSentence("!(exists x. R(x))", schema);
+  EXPECT_FALSE(ParseSelfJoinFreeCq(neg.value()).ok());
+}
+
+TEST(SafePlanTest, GroundQuery) {
+  rel::Schema schema = Schema3();
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema, {{rel::Fact(0, {rel::Value::Int(1)}), 0.4},
+               {rel::Fact(2, {rel::Value::Int(2)}), 0.5}});
+  auto p = SafeQueryProbability(
+      ti, logic::ParseSentence("R(1) & T(2)", schema).value());
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value(), 0.2);
+  // Missing fact: probability 0.
+  p = SafeQueryProbability(
+      ti, logic::ParseSentence("R(9)", schema).value());
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value(), 0.0);
+}
+
+TEST(SafePlanTest, IndependentProjectHandComputed) {
+  // Pr(∃x R(x)) = 1 − Π (1 − p_a).
+  rel::Schema schema = Schema3();
+  pdb::TiPdb<double> ti = pdb::TiPdb<double>::CreateOrDie(
+      schema, {{rel::Fact(0, {rel::Value::Int(1)}), 0.5},
+               {rel::Fact(0, {rel::Value::Int(2)}), 0.25}});
+  SafePlanStats stats;
+  auto p = SafeQueryProbability(
+      ti, logic::ParseSentence("exists x. R(x)", schema).value(), &stats);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value(), 1.0 - 0.5 * 0.75);
+  EXPECT_EQ(stats.independent_projects, 1);
+}
+
+TEST(SafePlanTest, NonHierarchicalRejected) {
+  rel::Schema schema = Schema3();
+  Pcg32 rng(331);
+  pdb::TiPdb<double> ti = RandomTi(schema, 3, &rng);
+  auto p = SafeQueryProbability(
+      ti,
+      logic::ParseSentence("exists x y. R(x) & S(x, y) & T(y)", schema)
+          .value());
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kFailedPrecondition);
+}
+
+struct SafeCase {
+  std::string name;
+  std::string sentence;
+};
+
+class SafePlanAgreement : public ::testing::TestWithParam<SafeCase> {};
+
+TEST_P(SafePlanAgreement, MatchesWmcOnRandomTis) {
+  rel::Schema schema = Schema3();
+  logic::Formula sentence =
+      logic::ParseSentence(GetParam().sentence, schema).value();
+  Pcg32 rng(347);
+  for (int trial = 0; trial < 8; ++trial) {
+    pdb::TiPdb<double> ti = RandomTi(schema, 3, &rng, 9);
+    auto safe = SafeQueryProbability(ti, sentence);
+    ASSERT_TRUE(safe.ok()) << safe.status().ToString();
+    auto wmc = QueryProbability(ti, sentence);
+    ASSERT_TRUE(wmc.ok());
+    EXPECT_NEAR(safe.value(), wmc.value(), 1e-10)
+        << GetParam().sentence << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, SafePlanAgreement,
+    ::testing::Values(
+        SafeCase{"ExistsR", "exists x. R(x)"},
+        SafeCase{"ExistsS", "exists x y. S(x, y)"},
+        SafeCase{"RJoinS", "exists x y. R(x) & S(x, y)"},
+        SafeCase{"SAndT", "(exists x y. S(x, y)) & (exists z. T(z))"},
+        SafeCase{"Rooted", "exists x. R(x) & T(x) & (exists y. S(x, y))"},
+        SafeCase{"GroundMixed", "exists x. S(1, x)"},
+        SafeCase{"RepeatedVarAtom", "exists x. S(x, x)"}),
+    [](const ::testing::TestParamInfo<SafeCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SafePlanTest, StatsReflectPlanShape) {
+  rel::Schema schema = Schema3();
+  Pcg32 rng(353);
+  pdb::TiPdb<double> ti = RandomTi(schema, 3, &rng, 10);
+  SafePlanStats stats;
+  auto p = SafeQueryProbability(
+      ti,
+      logic::ParseSentence("(exists x y. S(x, y)) & (exists z. T(z))",
+                           schema)
+          .value(),
+      &stats);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GE(stats.independent_joins, 1);
+  EXPECT_GE(stats.independent_projects, 2);
+  EXPECT_GE(stats.ground_lookups, 1);
+}
+
+}  // namespace
+}  // namespace pqe
+}  // namespace ipdb

@@ -1,0 +1,221 @@
+#include "core/segment_construction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/paper_examples.h"
+#include "util/random.h"
+#include "logic/evaluator.h"
+#include "pdb/conditioning.h"
+#include "pdb/pushforward.h"
+
+namespace ipdb {
+namespace core {
+namespace {
+
+rel::Schema UnarySchema() { return rel::Schema({{"U", 1}}); }
+
+rel::Instance World(std::vector<int64_t> values) {
+  std::vector<rel::Fact> facts;
+  for (int64_t v : values) {
+    facts.emplace_back(0, std::vector<rel::Value>{rel::Value::Int(v)});
+  }
+  return rel::Instance(std::move(facts));
+}
+
+TEST(SegmentConstructionTest, TwoWorldsSingleSegment) {
+  rel::Schema schema = UnarySchema();
+  pdb::FinitePdb<double> input = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({1}), 0.25}, {World({2}), 0.75}});
+  auto built = BuildSegmentConstruction(input, 1);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built.value().ti.num_facts(), 2);  // one segment per world
+  auto tv = VerifySegmentConstruction(input, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_NEAR(tv.value(), 0.0, 1e-12);
+}
+
+TEST(SegmentConstructionTest, EmptyWorldIncluded) {
+  rel::Schema schema = UnarySchema();
+  pdb::FinitePdb<double> input = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({}), 0.5}, {World({1}), 0.5}});
+  auto built = BuildSegmentConstruction(input, 1);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto tv = VerifySegmentConstruction(input, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_NEAR(tv.value(), 0.0, 1e-12);
+}
+
+TEST(SegmentConstructionTest, MultiSegmentChains) {
+  // c = 1 with a 3-fact world: a chain of 3 segments with next pointers.
+  rel::Schema schema = UnarySchema();
+  pdb::FinitePdb<double> input = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({1, 2, 3}), 0.5}, {World({7}), 0.5}});
+  auto built = BuildSegmentConstruction(input, 1);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built.value().ti.num_facts(), 4);
+  auto tv = VerifySegmentConstruction(input, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_NEAR(tv.value(), 0.0, 1e-12);
+}
+
+TEST(SegmentConstructionTest, WiderSegmentsC2) {
+  // c = 2 packs two facts per segment: the 3-fact world needs 2 segments.
+  rel::Schema schema = UnarySchema();
+  pdb::FinitePdb<double> input = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({1, 2, 3}), 0.25}, {World({4, 5}), 0.75}});
+  auto built = BuildSegmentConstruction(input, 2);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built.value().ti.num_facts(), 3);  // 2 + 1 segments
+  auto tv = VerifySegmentConstruction(input, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_NEAR(tv.value(), 0.0, 1e-12);
+}
+
+TEST(SegmentConstructionTest, MultiRelationSchema) {
+  rel::Schema schema({{"A", 1}, {"B", 2}});
+  rel::Instance w1({rel::Fact(0, {rel::Value::Int(1)}),
+                    rel::Fact(1, {rel::Value::Int(1), rel::Value::Int(2)})});
+  rel::Instance w2({rel::Fact(1, {rel::Value::Int(3), rel::Value::Int(3)})});
+  pdb::FinitePdb<double> input = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{w1, 0.5}, {w2, 0.5}});
+  auto built = BuildSegmentConstruction(input, 2);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto tv = VerifySegmentConstruction(input, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_NEAR(tv.value(), 0.0, 1e-12);
+}
+
+TEST(SegmentConstructionTest, BoundedSizeCorollary54) {
+  // Corollary 5.4: c = max size makes every world one fact; the marginal
+  // sum is bounded by Σ p/(1+p) < 1.
+  rel::Schema schema = UnarySchema();
+  pdb::FinitePdb<double> input = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({1, 2}), 0.2},
+               {World({3}), 0.3},
+               {World({4, 5}), 0.5}});
+  auto built = BuildBoundedSizeConstruction(input);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built.value().c, 2);
+  EXPECT_EQ(built.value().ti.num_facts(), 3);
+  EXPECT_LT(built.value().marginal_sum, 1.0);
+  auto tv = VerifySegmentConstruction(input, built.value());
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_NEAR(tv.value(), 0.0, 1e-12);
+}
+
+TEST(SegmentConstructionTest, ConditionSemantics) {
+  // The sentence φ holds exactly on "representations": instances
+  // containing one complete chain.
+  rel::Schema schema = UnarySchema();
+  pdb::FinitePdb<double> input = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({1, 2}), 0.5}, {World({3}), 0.5}});
+  auto built = BuildSegmentConstruction(input, 1);
+  ASSERT_TRUE(built.ok());
+  const auto& ti = built.value().ti;
+  ASSERT_EQ(ti.num_facts(), 3);  // 2-chain + 1-chain
+
+  // Facts: world 0 segments (0,0), (0,1); world 1 segment (1,0).
+  rel::Fact w0s0 = ti.facts()[0].first;
+  rel::Fact w0s1 = ti.facts()[1].first;
+  rel::Fact w1s0 = ti.facts()[2].first;
+  const auto& phi = built.value().condition;
+  const auto& hat = built.value().hat_schema;
+
+  // Complete chain of world 0: representation.
+  EXPECT_TRUE(
+      logic::Satisfies(rel::Instance({w0s0, w0s1}), hat, phi));
+  // Incomplete chain: not a representation.
+  EXPECT_FALSE(logic::Satisfies(rel::Instance({w0s0}), hat, phi));
+  // Dangling tail without segment 0: not a representation.
+  EXPECT_FALSE(logic::Satisfies(rel::Instance({w0s1}), hat, phi));
+  // Two complete chains: not a representation (must be unique).
+  EXPECT_FALSE(logic::Satisfies(
+      rel::Instance({w0s0, w0s1, w1s0}), hat, phi));
+  // Complete chain plus a stray incomplete fact: still a representation.
+  EXPECT_TRUE(
+      logic::Satisfies(rel::Instance({w1s0, w0s1}), hat, phi));
+  // Empty instance: no chain at all.
+  EXPECT_FALSE(logic::Satisfies(rel::Instance(), hat, phi));
+}
+
+TEST(SegmentConstructionTest, ViewExtractsRepresentedWorld) {
+  rel::Schema schema = UnarySchema();
+  pdb::FinitePdb<double> input = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({1, 2}), 0.5}, {World({3}), 0.5}});
+  auto built = BuildSegmentConstruction(input, 1);
+  ASSERT_TRUE(built.ok());
+  const auto& ti = built.value().ti;
+  rel::Fact w0s0 = ti.facts()[0].first;
+  rel::Fact w0s1 = ti.facts()[1].first;
+  rel::Fact w1s0 = ti.facts()[2].first;
+  // Representation of world 0 with a stray fact from world 1's chain —
+  // the view must output exactly world 0.
+  rel::Instance rep({w0s0, w0s1});
+  EXPECT_EQ(built.value().view.ApplyOrDie(rep), World({1, 2}));
+  rel::Instance rep_with_stray({w1s0});
+  EXPECT_EQ(built.value().view.ApplyOrDie(rep_with_stray), World({3}));
+}
+
+TEST(SegmentConstructionTest, CountableFamilyFromExample55) {
+  // Lemma 5.1 on the full (infinite) Example 5.5: the segmented-fact
+  // family is a well-defined countable TI-PDB — the constructive content
+  // of "Example 5.5 is in FO(TI)".
+  pdb::CountablePdb ex55 = core::Example55();
+  CriterionFamily criterion = Example55Criterion();
+  // For c = 1 the ceiling criterion equals the plain criterion.
+  auto built = BuildSegmentTiFamily(
+      ex55, 1, [tail = criterion.tail_upper](int64_t N) {
+        return tail(1, N);
+      });
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  SumAnalysis well_defined = built.value().CheckWellDefined();
+  EXPECT_EQ(well_defined.kind, SumAnalysis::Kind::kConverged)
+      << well_defined.ToString();
+
+  // The family's facts follow the chain layout: world i contributes i
+  // segments (c = 1), with matching marginals (p/(1+p))^{1/i}.
+  int64_t index = 0;
+  for (int64_t world = 0; world < 4; ++world) {
+    int64_t segments = world + 1;  // |D_i| = i, i = world+1
+    double p = ex55.ProbAt(world);
+    double expected_q =
+        std::pow(p / (1.0 + p), 1.0 / static_cast<double>(segments));
+    for (int64_t j = 0; j < segments; ++j, ++index) {
+      rel::Fact fact = built.value().FactAt(index);
+      EXPECT_EQ(fact.args()[0], rel::Value::Int(world)) << index;
+      EXPECT_EQ(fact.args()[1], rel::Value::Int(j)) << index;
+      EXPECT_NEAR(built.value().MarginalAt(index), expected_q, 1e-12);
+    }
+  }
+
+  // Sampled worlds satisfy the finite construction's condition with the
+  // paper's probability Z = Π(1 - q_i) > 0 — at minimum, sampling works
+  // and never yields a fact outside the schema.
+  Pcg32 rng(211);
+  auto sample = built.value().Sample(&rng, 1e-4);
+  ASSERT_TRUE(sample.ok()) << sample.status().ToString();
+  EXPECT_TRUE(sample.value().MatchesSchema(built.value().schema()));
+}
+
+TEST(SegmentConstructionTest, CountableFamilyRequiresCertificate) {
+  pdb::CountablePdb ex55 = core::Example55();
+  EXPECT_FALSE(BuildSegmentTiFamily(ex55, 1, nullptr).ok());
+  EXPECT_FALSE(BuildSegmentTiFamily(ex55, 0, [](int64_t) {
+                 return 0.0;
+               }).ok());
+}
+
+TEST(SegmentConstructionTest, InvalidInputs) {
+  rel::Schema schema = UnarySchema();
+  pdb::FinitePdb<double> input = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{World({1}), 1.0}});
+  EXPECT_FALSE(BuildSegmentConstruction(input, 0).ok());
+  pdb::FinitePdb<double> empty;
+  EXPECT_FALSE(BuildSegmentConstruction(empty, 1).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ipdb

@@ -1,0 +1,65 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace ipdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, Status::Ok());
+}
+
+TEST(StatusTest, ErrorConstructors) {
+  EXPECT_EQ(InvalidArgumentError("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FailedPreconditionError("no").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(DivergedError("x").code(), StatusCode::kDiverged);
+  EXPECT_EQ(InconclusiveError("x").code(), StatusCode::kInconclusive);
+  EXPECT_EQ(InvalidArgumentError("bad input").ToString(),
+            "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDiverged), "DIVERGED");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> value = 42;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 42);
+  EXPECT_EQ(*value, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> error = InvalidArgumentError("nope");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(error.status().message(), "nope");
+}
+
+TEST(StatusOrTest, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> holder = std::make_unique<int>(7);
+  ASSERT_TRUE(holder.ok());
+  std::unique_ptr<int> extracted = std::move(holder).value();
+  EXPECT_EQ(*extracted, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> text = std::string("hello");
+  EXPECT_EQ(text->size(), 5u);
+}
+
+}  // namespace
+}  // namespace ipdb

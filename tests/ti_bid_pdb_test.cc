@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/paper_examples.h"
+#include "pdb/bid_pdb.h"
+#include "pdb/metrics.h"
+#include "pdb/sampling.h"
+#include "pdb/ti_pdb.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace pdb {
+namespace {
+
+using math::Rational;
+
+rel::Schema UnarySchema() { return rel::Schema({{"U", 1}}); }
+
+rel::Fact U(int64_t v) { return rel::Fact(0, {rel::Value::Int(v)}); }
+
+TEST(TiPdbTest, CreateValidates) {
+  rel::Schema schema = UnarySchema();
+  EXPECT_FALSE(TiPdb<double>::Create(schema, {{U(1), 1.5}}).ok());
+  EXPECT_FALSE(TiPdb<double>::Create(schema, {{U(1), -0.1}}).ok());
+  EXPECT_FALSE(
+      TiPdb<double>::Create(schema, {{U(1), 0.5}, {U(1), 0.5}}).ok());
+  rel::Fact bad(3, {rel::Value::Int(1)});
+  EXPECT_FALSE(TiPdb<double>::Create(schema, {{bad, 0.5}}).ok());
+}
+
+TEST(TiPdbTest, WorldProbability) {
+  rel::Schema schema = UnarySchema();
+  TiPdb<Rational> ti = TiPdb<Rational>::CreateOrDie(
+      schema,
+      {{U(1), Rational::Ratio(1, 2)}, {U(2), Rational::Ratio(1, 3)}});
+  EXPECT_EQ(ti.WorldProbability(rel::Instance()), Rational::Ratio(1, 3));
+  EXPECT_EQ(ti.WorldProbability(rel::Instance({U(1)})),
+            Rational::Ratio(1, 3));
+  EXPECT_EQ(ti.WorldProbability(rel::Instance({U(1), U(2)})),
+            Rational::Ratio(1, 6));
+  // Foreign facts give probability 0.
+  EXPECT_EQ(ti.WorldProbability(rel::Instance({U(9)})), Rational(0));
+  EXPECT_EQ(ti.MarginalSum(), Rational::Ratio(5, 6));
+}
+
+TEST(TiPdbTest, ExpandIsConsistent) {
+  rel::Schema schema = UnarySchema();
+  TiPdb<Rational> ti = TiPdb<Rational>::CreateOrDie(
+      schema,
+      {{U(1), Rational::Ratio(1, 2)}, {U(2), Rational::Ratio(1, 4)}});
+  FinitePdb<Rational> expanded = ti.Expand();
+  EXPECT_EQ(expanded.num_worlds(), 4);
+  EXPECT_TRUE(expanded.IsTupleIndependent());
+  for (const auto& [world, probability] : expanded.worlds()) {
+    EXPECT_EQ(probability, ti.WorldProbability(world));
+  }
+  // Marginals agree.
+  EXPECT_EQ(expanded.Marginal(U(1)), Rational::Ratio(1, 2));
+}
+
+TEST(TiPdbTest, ExpandSkipsCertainFacts) {
+  rel::Schema schema = UnarySchema();
+  TiPdb<Rational> ti = TiPdb<Rational>::CreateOrDie(
+      schema, {{U(1), Rational(1)},
+               {U(2), Rational::Ratio(1, 2)},
+               {U(3), Rational(0)}});
+  FinitePdb<Rational> expanded = ti.Expand();
+  // Only U(2) is uncertain: two worlds, both containing U(1), never U(3).
+  EXPECT_EQ(expanded.num_worlds(), 2);
+  for (const auto& [world, probability] : expanded.worlds()) {
+    EXPECT_TRUE(world.Contains(U(1)));
+    EXPECT_FALSE(world.Contains(U(3)));
+  }
+}
+
+TEST(TiPdbTest, SizeDistributionAndMoments) {
+  rel::Schema schema = UnarySchema();
+  TiPdb<double> ti = TiPdb<double>::CreateOrDie(
+      schema, {{U(1), 0.5}, {U(2), 0.25}});
+  std::vector<double> pmf = ti.SizeDistribution();
+  EXPECT_DOUBLE_EQ(pmf[0], 0.375);
+  EXPECT_DOUBLE_EQ(ti.SizeMoment(1), 0.75);
+}
+
+TEST(TiPdbTest, SamplingMatchesDistribution) {
+  rel::Schema schema = UnarySchema();
+  TiPdb<double> ti = TiPdb<double>::CreateOrDie(
+      schema, {{U(1), 0.3}, {U(2), 0.7}, {U(3), 0.5}});
+  FinitePdb<double> expanded = ti.Expand();
+  Pcg32 rng(41);
+  EmpiricalDistribution empirical =
+      Accumulate([&] { return ti.Sample(&rng); }, 50000);
+  EXPECT_LT(empirical.TvDistance(expanded), 0.02);
+}
+
+TEST(BidPdbTest, CreateValidates) {
+  rel::Schema schema = UnarySchema();
+  // Block mass above 1 rejected.
+  EXPECT_FALSE(BidPdb<double>::Create(
+                   schema, {{{U(1), 0.6}, {U(2), 0.6}}})
+                   .ok());
+  // Duplicate facts across blocks rejected.
+  EXPECT_FALSE(BidPdb<double>::Create(
+                   schema, {{{U(1), 0.2}}, {{U(1), 0.2}}})
+                   .ok());
+}
+
+TEST(BidPdbTest, WorldProbabilityAndResidual) {
+  rel::Schema schema = UnarySchema();
+  BidPdb<Rational> bid = BidPdb<Rational>::CreateOrDie(
+      schema, {{{U(1), Rational::Ratio(1, 2)}, {U(2), Rational::Ratio(1, 4)}},
+               {{U(3), Rational::Ratio(1, 3)}}});
+  EXPECT_EQ(bid.Residual(0), Rational::Ratio(1, 4));
+  EXPECT_EQ(bid.Residual(1), Rational::Ratio(2, 3));
+  EXPECT_EQ(bid.WorldProbability(rel::Instance()),
+            Rational::Ratio(1, 4) * Rational::Ratio(2, 3));
+  EXPECT_EQ(bid.WorldProbability(rel::Instance({U(1), U(3)})),
+            Rational::Ratio(1, 6));
+  // Two facts of one block: impossible.
+  EXPECT_EQ(bid.WorldProbability(rel::Instance({U(1), U(2)})), Rational(0));
+}
+
+TEST(BidPdbTest, ExpandIsBid) {
+  rel::Schema schema = UnarySchema();
+  BidPdb<Rational> bid = BidPdb<Rational>::CreateOrDie(
+      schema, {{{U(1), Rational::Ratio(1, 2)}, {U(2), Rational::Ratio(1, 4)}},
+               {{U(3), Rational::Ratio(1, 3)}}});
+  FinitePdb<Rational> expanded = bid.Expand();
+  EXPECT_EQ(expanded.num_worlds(), 6);  // 3 options × 2 options
+  EXPECT_TRUE(
+      expanded.IsBlockIndependentDisjoint({{U(1), U(2)}, {U(3)}}));
+  Rational total;
+  for (const auto& [world, probability] : expanded.worlds()) {
+    total += probability;
+    EXPECT_EQ(probability, bid.WorldProbability(world));
+  }
+  EXPECT_EQ(total, Rational(1));
+}
+
+TEST(BidPdbTest, SamplingMatchesDistribution) {
+  rel::Schema schema = UnarySchema();
+  BidPdb<double> bid = BidPdb<double>::CreateOrDie(
+      schema, {{{U(1), 0.5}, {U(2), 0.25}}, {{U(3), 0.4}}});
+  FinitePdb<double> expanded = bid.Expand();
+  Pcg32 rng(43);
+  EmpiricalDistribution empirical =
+      Accumulate([&] { return bid.Sample(&rng); }, 50000);
+  EXPECT_LT(empirical.TvDistance(expanded), 0.02);
+}
+
+TEST(CountableTiTest, WellDefinedIffMarginalsSummable) {
+  // Example 5.6: p_i = 1/(i²+1) — summable, hence a TI-PDB.
+  pdb::CountableTiPdb ti = core::Example56Ti();
+  SumAnalysis analysis = ti.CheckWellDefined();
+  EXPECT_EQ(analysis.kind, SumAnalysis::Kind::kConverged);
+
+  // Harmonic marginals are not summable: certified NOT a TI-PDB
+  // (Theorem 2.4 fails).
+  CountableTiPdb::Family family;
+  family.schema = UnarySchema();
+  family.fact_at = [](int64_t i) { return U(i + 1); };
+  family.marginal_at = [](int64_t i) { return 1.0 / (i + 1.0); };
+  family.marginal_tail_lower = [](int64_t N) {
+    return PowerTailLower(1.0, 1.0, N < 1 ? 1 : N);
+  };
+  family.description = "harmonic marginals";
+  auto bad = CountableTiPdb::Create(std::move(family));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().CheckWellDefined().kind,
+            SumAnalysis::Kind::kDiverged);
+}
+
+TEST(CountableTiTest, MomentIntervalsFinite) {
+  pdb::CountableTiPdb ti = core::Example56Ti();
+  // Proposition 3.2: all moments finite. Spot-check k = 1..3 and compare
+  // E|D| with Σ p_i.
+  for (int k = 1; k <= 3; ++k) {
+    auto moment = ti.SizeMomentInterval(k);
+    ASSERT_TRUE(moment.ok());
+    EXPECT_TRUE(moment.value().is_finite()) << k;
+  }
+  SumAnalysis marginal_sum = ti.CheckWellDefined();
+  auto m1 = ti.SizeMomentInterval(1);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_TRUE(m1.value().Contains(marginal_sum.enclosure.midpoint()));
+}
+
+TEST(CountableTiTest, SamplingAndTruncation) {
+  pdb::CountableTiPdb ti = core::Example56Ti();
+  Pcg32 rng(47);
+  auto sample = ti.Sample(&rng, 1e-6);
+  ASSERT_TRUE(sample.ok());
+  // The truncated prefix is a valid finite TI with the same marginals.
+  TiPdb<double> prefix = ti.Truncate(8);
+  EXPECT_EQ(prefix.num_facts(), 8);
+  EXPECT_DOUBLE_EQ(prefix.Marginal(U(1)), 0.5);
+}
+
+TEST(CountableBidTest, WellDefinedAndSampling) {
+  pdb::CountableBidPdb bid = core::PropositionD3Bid();
+  EXPECT_EQ(bid.CheckWellDefined().kind, SumAnalysis::Kind::kConverged);
+  Pcg32 rng(53);
+  auto sample = bid.Sample(&rng, 1e-6);
+  ASSERT_TRUE(sample.ok());
+  // No two facts of one block can be sampled together.
+  for (const rel::Fact& f : sample.value().facts()) {
+    for (const rel::Fact& g : sample.value().facts()) {
+      if (f == g) continue;
+      EXPECT_NE(f.args()[0], g.args()[0]);
+    }
+  }
+  BidPdb<double> prefix = bid.Truncate(4);
+  EXPECT_EQ(prefix.num_blocks(), 4);
+}
+
+}  // namespace
+}  // namespace pdb
+}  // namespace ipdb

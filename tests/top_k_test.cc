@@ -1,0 +1,121 @@
+#include "pdb/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace pdb {
+namespace {
+
+rel::Schema UnarySchema() { return rel::Schema({{"U", 1}}); }
+
+rel::Fact U(int64_t v) { return rel::Fact(0, {rel::Value::Int(v)}); }
+
+TEST(TopKTest, MatchesExpansionOrdering) {
+  Pcg32 rng(401);
+  rel::Schema schema = UnarySchema();
+  for (int trial = 0; trial < 10; ++trial) {
+    pdb::TiPdb<math::Rational> exact =
+        testing_util::RandomRationalTi(schema, 8, 12, 9, &rng);
+    TiPdb<double>::FactList facts;
+    for (const auto& [fact, marginal] : exact.facts()) {
+      facts.emplace_back(fact, marginal.ToDouble());
+    }
+    TiPdb<double> ti = TiPdb<double>::CreateOrDie(schema, std::move(facts));
+
+    auto best = TopKWorlds(ti, 10);
+    ASSERT_TRUE(best.ok());
+    ASSERT_EQ(best.value().size(), 10u);
+
+    // Reference: sort the full expansion.
+    std::vector<std::pair<rel::Instance, double>> reference =
+        TopKWorlds(ti.Expand(), 10);
+    for (size_t i = 0; i < best.value().size(); ++i) {
+      // Probabilities must agree exactly in value (ties may reorder
+      // worlds of equal probability).
+      EXPECT_NEAR(best.value()[i].second, reference[i].second, 1e-12)
+          << "trial " << trial << " rank " << i;
+      EXPECT_NEAR(best.value()[i].second,
+                  ti.WorldProbability(best.value()[i].first), 1e-12);
+    }
+    // Non-increasing order.
+    for (size_t i = 1; i < best.value().size(); ++i) {
+      EXPECT_GE(best.value()[i - 1].second,
+                best.value()[i].second - 1e-15);
+    }
+    // No duplicate worlds.
+    std::vector<rel::Instance> seen;
+    for (const auto& [world, probability] : best.value()) {
+      seen.push_back(world);
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+  }
+}
+
+TEST(TopKTest, ModeWorldFirst) {
+  rel::Schema schema = UnarySchema();
+  TiPdb<double> ti = TiPdb<double>::CreateOrDie(
+      schema, {{U(1), 0.9}, {U(2), 0.2}, {U(3), 0.6}});
+  auto best = TopKWorlds(ti, 1);
+  ASSERT_TRUE(best.ok());
+  // Mode: include U(1) and U(3), exclude U(2).
+  EXPECT_EQ(best.value()[0].first, rel::Instance({U(1), U(3)}));
+  EXPECT_NEAR(best.value()[0].second, 0.9 * 0.8 * 0.6, 1e-12);
+}
+
+TEST(TopKTest, ScalesBeyondExpansion) {
+  // 40 facts: 2^40 worlds — expansion impossible, top-k fine.
+  rel::Schema schema = UnarySchema();
+  TiPdb<double>::FactList facts;
+  double mode = 1.0;
+  for (int i = 0; i < 40; ++i) {
+    double p = 0.1 + 0.02 * i;
+    facts.emplace_back(U(i), p);
+    mode *= std::max(p, 1.0 - p);
+  }
+  TiPdb<double> ti = TiPdb<double>::CreateOrDie(schema, std::move(facts));
+  auto best = TopKWorlds(ti, 100);
+  ASSERT_TRUE(best.ok());
+  ASSERT_EQ(best.value().size(), 100u);
+  EXPECT_NEAR(best.value()[0].second, mode, 1e-12);
+  for (size_t i = 1; i < 100; ++i) {
+    EXPECT_GE(best.value()[i - 1].second, best.value()[i].second - 1e-18);
+  }
+}
+
+TEST(TopKTest, DeterministicFactsHandled) {
+  rel::Schema schema = UnarySchema();
+  TiPdb<double> ti = TiPdb<double>::CreateOrDie(
+      schema, {{U(1), 1.0}, {U(2), 0.0}, {U(3), 0.5}});
+  auto best = TopKWorlds(ti, 4);
+  ASSERT_TRUE(best.ok());
+  // Two worlds of probability 1/2, then probability-0 variants.
+  EXPECT_NEAR(best.value()[0].second, 0.5, 1e-12);
+  EXPECT_NEAR(best.value()[1].second, 0.5, 1e-12);
+  EXPECT_NEAR(best.value()[2].second, 0.0, 1e-12);
+  EXPECT_TRUE(best.value()[0].first.Contains(U(1)));
+  EXPECT_FALSE(best.value()[0].first.Contains(U(2)));
+}
+
+TEST(TopKTest, Validation) {
+  rel::Schema schema = UnarySchema();
+  TiPdb<double> ti =
+      TiPdb<double>::CreateOrDie(schema, {{U(1), 0.5}});
+  EXPECT_FALSE(TopKWorlds(ti, -1).ok());
+  auto empty = TopKWorlds(ti, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+  // More than 2^n requested: returns all worlds.
+  auto all = TopKWorlds(ti, 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pdb
+}  // namespace ipdb

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/interval.h"
+#include "util/random.h"
+#include "util/series.h"
+
+namespace ipdb {
+namespace {
+
+TEST(IntervalTest, BasicProperties) {
+  Interval i(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(i.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(i.hi(), 3.0);
+  EXPECT_DOUBLE_EQ(i.width(), 2.0);
+  EXPECT_DOUBLE_EQ(i.midpoint(), 2.0);
+  EXPECT_TRUE(i.Contains(2.0));
+  EXPECT_TRUE(i.Contains(1.0));
+  EXPECT_FALSE(i.Contains(0.999));
+  EXPECT_TRUE(i.CertainlyBelow(3.5));
+  EXPECT_FALSE(i.CertainlyBelow(3.0));
+  EXPECT_TRUE(i.CertainlyAbove(0.5));
+}
+
+TEST(IntervalTest, PointAndAtLeast) {
+  EXPECT_TRUE(Interval::Point(2.0).is_point());
+  EXPECT_FALSE(Interval::AtLeast(1.0).is_finite());
+  EXPECT_TRUE(Interval::AtLeast(1.0).Contains(1e100));
+}
+
+TEST(IntervalTest, Arithmetic) {
+  Interval a(1.0, 2.0);
+  Interval b(-1.0, 3.0);
+  EXPECT_EQ(a + b, Interval(0.0, 5.0));
+  EXPECT_EQ(a - b, Interval(-2.0, 3.0));
+  EXPECT_EQ(a * b, Interval(-2.0, 6.0));
+  EXPECT_EQ(a.ScaleNonNegative(2.0), Interval(2.0, 4.0));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(Interval(0.5, 1.5).ToString(), "[0.5, 1.5]");
+  EXPECT_EQ(Interval::AtLeast(0.0).ToString(), "[0, inf]");
+}
+
+TEST(RandomTest, Deterministic) {
+  Pcg32 a(123);
+  Pcg32 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RandomTest, SeedsDiffer) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, BoundedCoversRange) {
+  Pcg32 rng(9);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t x = rng.NextBounded(7);
+    ASSERT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Pcg32 rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(RandomTest, DiscreteRespectsWeights) {
+  Pcg32 rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.NextDiscrete(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+}
+
+TEST(SeriesTest, GeometricConverges) {
+  Series series = GeometricSeries(1.0, 0.5);
+  SumAnalysis result = AnalyzeSum(series);
+  ASSERT_EQ(result.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_TRUE(result.enclosure.Contains(2.0));
+  EXPECT_LT(result.enclosure.width(), 1e-11);
+}
+
+TEST(SeriesTest, PowerSeriesBaselP2) {
+  // Σ 1/i² = π²/6.
+  Series series = PowerSeries(1.0, 2.0);
+  SumOptions options;
+  options.max_terms = 1 << 22;
+  options.target_width = 1e-6;
+  SumAnalysis result = AnalyzeSum(series, options);
+  ASSERT_EQ(result.kind, SumAnalysis::Kind::kConverged);
+  EXPECT_TRUE(result.enclosure.Contains(M_PI * M_PI / 6.0));
+}
+
+TEST(SeriesTest, HarmonicCertifiedDivergent) {
+  Series series = PowerSeries(1.0, 1.0);
+  SumAnalysis result = AnalyzeSum(series);
+  EXPECT_EQ(result.kind, SumAnalysis::Kind::kDiverged);
+}
+
+TEST(SeriesTest, DivergenceWitnessWithoutCertificates) {
+  Series series;
+  series.term = [](int64_t) { return 1.0; };
+  SumOptions options;
+  options.divergence_witness_threshold = 100.0;
+  SumAnalysis result = AnalyzeSum(series, options);
+  EXPECT_EQ(result.kind, SumAnalysis::Kind::kDivergedWitness);
+  EXPECT_GT(result.partial_sum, 100.0);
+}
+
+TEST(SeriesTest, InconclusiveWithoutCertificates) {
+  Series series;
+  series.term = [](int64_t i) { return 1.0 / ((i + 1.0) * (i + 1.0)); };
+  SumOptions options;
+  options.max_terms = 100;
+  SumAnalysis result = AnalyzeSum(series, options);
+  EXPECT_EQ(result.kind, SumAnalysis::Kind::kInconclusive);
+  EXPECT_GT(result.partial_sum, 1.5);
+}
+
+TEST(SeriesTest, TailBoundsAreValid) {
+  // Geometric: exact tail is r^N c/(1-r); the bound equals it.
+  EXPECT_DOUBLE_EQ(GeometricTailUpper(2.0, 0.5, 3), 2.0 * 0.125 / 0.5);
+  // Power: upper bound dominates the true tail (spot check numerically).
+  double true_tail = 0.0;
+  for (int64_t i = 10; i < 2000000; ++i) {
+    true_tail += std::pow(static_cast<double>(i), -2.0);
+  }
+  EXPECT_GE(PowerTailUpper(1.0, 2.0, 10), true_tail);
+  EXPECT_LE(PowerTailLower(1.0, 2.0, 10), true_tail);
+  EXPECT_TRUE(std::isinf(PowerTailLower(1.0, 1.0, 10)));
+}
+
+}  // namespace
+}  // namespace ipdb

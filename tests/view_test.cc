@@ -1,0 +1,164 @@
+#include "logic/view.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/classify.h"
+#include "logic/parser.h"
+#include "relational/instance.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ipdb {
+namespace logic {
+namespace {
+
+rel::Schema InSchema() { return rel::Schema({{"R", 2}, {"S", 1}}); }
+
+FoView MakeView(const std::string& body_text,
+                const std::vector<std::string>& head,
+                const rel::Schema& in_schema, const rel::Schema& out_schema) {
+  FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = head;
+  def.body = ParseFormula(body_text, in_schema).value();
+  auto view = FoView::Create(in_schema, out_schema, {def});
+  EXPECT_TRUE(view.ok()) << view.status().ToString();
+  return std::move(view).value();
+}
+
+TEST(ViewTest, IdentityView) {
+  rel::Schema schema = InSchema();
+  FoView identity = FoView::Identity(schema);
+  Pcg32 rng(3);
+  for (int i = 0; i < 20; ++i) {
+    rel::Instance instance =
+        testing_util::RandomInstance(schema, 3, 0.3, &rng);
+    EXPECT_EQ(identity.ApplyOrDie(instance), instance);
+  }
+}
+
+TEST(ViewTest, JoinView) {
+  rel::Schema in = InSchema();
+  rel::Schema out({{"T", 2}});
+  FoView view = MakeView("exists y. R(x, y) & R(y, z)", {"x", "z"}, in, out);
+  rel::Instance instance({
+      rel::Fact(0, {rel::Value::Int(1), rel::Value::Int(2)}),
+      rel::Fact(0, {rel::Value::Int(2), rel::Value::Int(3)}),
+  });
+  rel::Instance image = view.ApplyOrDie(instance);
+  EXPECT_EQ(image, rel::Instance({rel::Fact(
+                       0, {rel::Value::Int(1), rel::Value::Int(3)})}));
+}
+
+TEST(ViewTest, CreateValidation) {
+  rel::Schema in = InSchema();
+  rel::Schema out({{"T", 1}});
+  FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x", "x"};  // repeated head var
+  def.body = ParseFormula("S(x)", in).value();
+  EXPECT_FALSE(FoView::Create(in, out, {def}).ok());
+
+  def.head_vars = {};  // free var not in head
+  EXPECT_FALSE(FoView::Create(in, out, {def}).ok());
+
+  def.head_vars = {"x"};
+  EXPECT_TRUE(FoView::Create(in, out, {def}).ok());
+  // Missing definition for an output relation.
+  EXPECT_FALSE(FoView::Create(in, out, {}).ok());
+  // Duplicate definitions.
+  EXPECT_FALSE(FoView::Create(in, out, {def, def}).ok());
+}
+
+TEST(ViewTest, ConstantsCollected) {
+  rel::Schema in = InSchema();
+  rel::Schema out({{"T", 1}});
+  FoView view = MakeView("S(x) & R(x, 7)", {"x"}, in, out);
+  EXPECT_EQ(view.NumConstants(), 1);
+  EXPECT_EQ(view.Constants()[0], rel::Value::Int(7));
+}
+
+TEST(ViewTest, ComposeMatchesSequentialApplication) {
+  rel::Schema base = InSchema();
+  rel::Schema mid({{"T", 2}});
+  rel::Schema out({{"U", 1}});
+  FoView inner = MakeView("exists y. R(x, y) & R(y, z)", {"x", "z"}, base,
+                          mid);
+  // Outer: U(x) := ∃z T(x, z).
+  FoView::Definition def;
+  def.output_relation = 0;
+  def.head_vars = {"x"};
+  def.body = ParseFormula("exists z. T(x, z)", mid).value();
+  FoView outer = FoView::Create(mid, out, {def}).value();
+
+  auto composed = ComposeViews(inner, outer);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+
+  Pcg32 rng(17);
+  for (int i = 0; i < 30; ++i) {
+    rel::Instance instance =
+        testing_util::RandomInstance(base, 4, 0.25, &rng);
+    rel::Instance sequential = outer.ApplyOrDie(inner.ApplyOrDie(instance));
+    rel::Instance direct = composed.value().ApplyOrDie(instance);
+    EXPECT_EQ(sequential, direct) << instance.ToString(base);
+  }
+}
+
+TEST(ViewTest, ComposeSchemaMismatchFails) {
+  rel::Schema base = InSchema();
+  FoView identity = FoView::Identity(base);
+  rel::Schema other({{"X", 1}});
+  FoView other_identity = FoView::Identity(other);
+  EXPECT_FALSE(ComposeViews(identity, other_identity).ok());
+}
+
+TEST(ClassifyTest, FormulaClasses) {
+  rel::Schema schema = InSchema();
+  Formula cq = ParseFormula("exists y. R(x, y) & S(y)", schema).value();
+  Formula ucq = ParseFormula("S(x) | exists y. R(x, y)", schema).value();
+  Formula neg = ParseFormula("!S(x)", schema).value();
+  Formula univ = ParseFormula("forall y. R(x, y) -> S(y)", schema).value();
+  EXPECT_TRUE(IsConjunctiveQuery(cq));
+  EXPECT_FALSE(IsConjunctiveQuery(ucq));
+  EXPECT_TRUE(IsUnionOfConjunctiveQueries(ucq));
+  EXPECT_FALSE(IsUnionOfConjunctiveQueries(neg));
+  EXPECT_TRUE(IsSyntacticallyMonotone(cq));
+  EXPECT_TRUE(IsSyntacticallyMonotone(ucq));
+  EXPECT_FALSE(IsSyntacticallyMonotone(neg));
+  EXPECT_FALSE(IsSyntacticallyMonotone(univ));
+}
+
+TEST(ClassifyTest, ViewClassesAndDynamicMonotonicity) {
+  rel::Schema in = InSchema();
+  rel::Schema out({{"T", 2}});
+  FoView cq_view =
+      MakeView("exists y. R(x, y) & R(y, z)", {"x", "z"}, in, out);
+  EXPECT_TRUE(IsCqView(cq_view));
+  EXPECT_TRUE(IsMonotoneView(cq_view));
+
+  rel::Schema out1({{"T", 1}});
+  FoView neg_view = MakeView("!S(x) & exists y. R(x, y)", {"x"}, in, out1);
+  EXPECT_FALSE(IsMonotoneView(neg_view));
+
+  // Dynamic check: the CQ view is monotone on samples, the negated one
+  // is caught violating monotonicity.
+  Pcg32 rng(23);
+  std::vector<rel::Instance> instances;
+  for (int i = 0; i < 8; ++i) {
+    instances.push_back(testing_util::RandomInstance(in, 3, 0.3, &rng));
+  }
+  // Ensure some subset pairs exist: add unions.
+  instances.push_back(
+      rel::Instance::Union(instances[0], instances[1]));
+  EXPECT_TRUE(CheckMonotoneOnSample(cq_view, instances));
+
+  rel::Instance small({rel::Fact(0, {rel::Value::Int(0),
+                                     rel::Value::Int(1)})});
+  rel::Instance big = small;
+  big.Insert(rel::Fact(1, {rel::Value::Int(0)}));
+  EXPECT_FALSE(CheckMonotoneOnSample(neg_view, {small, big}));
+}
+
+}  // namespace
+}  // namespace logic
+}  // namespace ipdb
