@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bid_to_ti_bench.dir/bench/bid_to_ti_bench.cc.o"
+  "CMakeFiles/bid_to_ti_bench.dir/bench/bid_to_ti_bench.cc.o.d"
+  "bench/bid_to_ti_bench"
+  "bench/bid_to_ti_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bid_to_ti_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bid_to_ti_bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bid_to_ti_bench.
+# This may be replaced when dependencies are built.

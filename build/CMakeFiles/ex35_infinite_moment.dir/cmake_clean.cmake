@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex35_infinite_moment.dir/bench/ex35_infinite_moment.cc.o"
+  "CMakeFiles/ex35_infinite_moment.dir/bench/ex35_infinite_moment.cc.o.d"
+  "bench/ex35_infinite_moment"
+  "bench/ex35_infinite_moment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex35_infinite_moment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ex35_infinite_moment.
+# This may be replaced when dependencies are built.

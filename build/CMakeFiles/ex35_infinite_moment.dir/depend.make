@@ -1,0 +1,2 @@
+# Empty dependencies file for ex35_infinite_moment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex39_balance_bound.dir/bench/ex39_balance_bound.cc.o"
+  "CMakeFiles/ex39_balance_bound.dir/bench/ex39_balance_bound.cc.o.d"
+  "bench/ex39_balance_bound"
+  "bench/ex39_balance_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex39_balance_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex55_growth_criterion.dir/bench/ex55_growth_criterion.cc.o"
+  "CMakeFiles/ex55_growth_criterion.dir/bench/ex55_growth_criterion.cc.o.d"
+  "bench/ex55_growth_criterion"
+  "bench/ex55_growth_criterion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex55_growth_criterion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ex55_growth_criterion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ex55_growth_criterion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex56_criterion_gap.dir/bench/ex56_criterion_gap.cc.o"
+  "CMakeFiles/ex56_criterion_gap.dir/bench/ex56_criterion_gap.cc.o.d"
+  "bench/ex56_criterion_gap"
+  "bench/ex56_criterion_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex56_criterion_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ex56_criterion_gap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_finite_hierarchy.dir/bench/fig1_finite_hierarchy.cc.o"
+  "CMakeFiles/fig1_finite_hierarchy.dir/bench/fig1_finite_hierarchy.cc.o.d"
+  "bench/fig1_finite_hierarchy"
+  "bench/fig1_finite_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_finite_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_conditional_views.dir/bench/fig2_conditional_views.cc.o"
+  "CMakeFiles/fig2_conditional_views.dir/bench/fig2_conditional_views.cc.o.d"
+  "bench/fig2_conditional_views"
+  "bench/fig2_conditional_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_conditional_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_conditional_views.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_segment_construction.dir/bench/fig3_segment_construction.cc.o"
+  "CMakeFiles/fig3_segment_construction.dir/bench/fig3_segment_construction.cc.o.d"
+  "bench/fig3_segment_construction"
+  "bench/fig3_segment_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_segment_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

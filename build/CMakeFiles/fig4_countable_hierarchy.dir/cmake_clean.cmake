@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_countable_hierarchy.dir/bench/fig4_countable_hierarchy.cc.o"
+  "CMakeFiles/fig4_countable_hierarchy.dir/bench/fig4_countable_hierarchy.cc.o.d"
+  "bench/fig4_countable_hierarchy"
+  "bench/fig4_countable_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_countable_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

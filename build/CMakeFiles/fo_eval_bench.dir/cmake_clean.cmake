@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_eval_bench.dir/bench/fo_eval_bench.cc.o"
+  "CMakeFiles/fo_eval_bench.dir/bench/fo_eval_bench.cc.o.d"
+  "bench/fo_eval_bench"
+  "bench/fo_eval_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_eval_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_bench.dir/bench/math_bench.cc.o"
+  "CMakeFiles/math_bench.dir/bench/math_bench.cc.o.d"
+  "bench/math_bench"
+  "bench/math_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moments_microbench.dir/bench/moments_microbench.cc.o"
+  "CMakeFiles/moments_microbench.dir/bench/moments_microbench.cc.o.d"
+  "bench/moments_microbench"
+  "bench/moments_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moments_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

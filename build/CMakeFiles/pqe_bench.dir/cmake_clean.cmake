@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqe_bench.dir/bench/pqe_bench.cc.o"
+  "CMakeFiles/pqe_bench.dir/bench/pqe_bench.cc.o.d"
+  "bench/pqe_bench"
+  "bench/pqe_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqe_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_bench.dir/bench/sampling_bench.cc.o"
+  "CMakeFiles/sampling_bench.dir/bench/sampling_bench.cc.o.d"
+  "bench/sampling_bench"
+  "bench/sampling_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

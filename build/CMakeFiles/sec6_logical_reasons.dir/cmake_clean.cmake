@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_logical_reasons.dir/bench/sec6_logical_reasons.cc.o"
+  "CMakeFiles/sec6_logical_reasons.dir/bench/sec6_logical_reasons.cc.o.d"
+  "bench/sec6_logical_reasons"
+  "bench/sec6_logical_reasons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_logical_reasons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6_logical_reasons.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_accidents.dir/car_accidents.cpp.o"
+  "CMakeFiles/car_accidents.dir/car_accidents.cpp.o.d"
+  "car_accidents"
+  "car_accidents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_accidents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for car_accidents.
+# This may be replaced when dependencies are built.

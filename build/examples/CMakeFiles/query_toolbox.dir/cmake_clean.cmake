@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_toolbox.dir/query_toolbox.cpp.o"
+  "CMakeFiles/query_toolbox.dir/query_toolbox.cpp.o.d"
+  "query_toolbox"
+  "query_toolbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

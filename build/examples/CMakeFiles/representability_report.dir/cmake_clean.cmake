@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/representability_report.dir/representability_report.cpp.o"
+  "CMakeFiles/representability_report.dir/representability_report.cpp.o.d"
+  "representability_report"
+  "representability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/representability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_network.dir/sensor_network.cpp.o"
+  "CMakeFiles/sensor_network.dir/sensor_network.cpp.o.d"
+  "sensor_network"
+  "sensor_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balance_bound.cc" "src/CMakeFiles/ipdb.dir/core/balance_bound.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/balance_bound.cc.o.d"
+  "/root/repo/src/core/bid_to_ti.cc" "src/CMakeFiles/ipdb.dir/core/bid_to_ti.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/bid_to_ti.cc.o.d"
+  "/root/repo/src/core/conditional_views.cc" "src/CMakeFiles/ipdb.dir/core/conditional_views.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/conditional_views.cc.o.d"
+  "/root/repo/src/core/edge_cover.cc" "src/CMakeFiles/ipdb.dir/core/edge_cover.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/edge_cover.cc.o.d"
+  "/root/repo/src/core/finite_completeness.cc" "src/CMakeFiles/ipdb.dir/core/finite_completeness.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/finite_completeness.cc.o.d"
+  "/root/repo/src/core/growth_criterion.cc" "src/CMakeFiles/ipdb.dir/core/growth_criterion.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/growth_criterion.cc.o.d"
+  "/root/repo/src/core/idb.cc" "src/CMakeFiles/ipdb.dir/core/idb.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/idb.cc.o.d"
+  "/root/repo/src/core/idb_assignments.cc" "src/CMakeFiles/ipdb.dir/core/idb_assignments.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/idb_assignments.cc.o.d"
+  "/root/repo/src/core/monotone_to_cq.cc" "src/CMakeFiles/ipdb.dir/core/monotone_to_cq.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/monotone_to_cq.cc.o.d"
+  "/root/repo/src/core/paper_examples.cc" "src/CMakeFiles/ipdb.dir/core/paper_examples.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/paper_examples.cc.o.d"
+  "/root/repo/src/core/representability.cc" "src/CMakeFiles/ipdb.dir/core/representability.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/representability.cc.o.d"
+  "/root/repo/src/core/segment_construction.cc" "src/CMakeFiles/ipdb.dir/core/segment_construction.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/segment_construction.cc.o.d"
+  "/root/repo/src/core/size_moments.cc" "src/CMakeFiles/ipdb.dir/core/size_moments.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/core/size_moments.cc.o.d"
+  "/root/repo/src/logic/classify.cc" "src/CMakeFiles/ipdb.dir/logic/classify.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/logic/classify.cc.o.d"
+  "/root/repo/src/logic/evaluator.cc" "src/CMakeFiles/ipdb.dir/logic/evaluator.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/logic/evaluator.cc.o.d"
+  "/root/repo/src/logic/formula.cc" "src/CMakeFiles/ipdb.dir/logic/formula.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/logic/formula.cc.o.d"
+  "/root/repo/src/logic/normalize.cc" "src/CMakeFiles/ipdb.dir/logic/normalize.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/logic/normalize.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/CMakeFiles/ipdb.dir/logic/parser.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/logic/parser.cc.o.d"
+  "/root/repo/src/logic/view.cc" "src/CMakeFiles/ipdb.dir/logic/view.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/logic/view.cc.o.d"
+  "/root/repo/src/math/bigint.cc" "src/CMakeFiles/ipdb.dir/math/bigint.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/math/bigint.cc.o.d"
+  "/root/repo/src/math/rational.cc" "src/CMakeFiles/ipdb.dir/math/rational.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/math/rational.cc.o.d"
+  "/root/repo/src/pdb/bid_pdb.cc" "src/CMakeFiles/ipdb.dir/pdb/bid_pdb.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/bid_pdb.cc.o.d"
+  "/root/repo/src/pdb/combinators.cc" "src/CMakeFiles/ipdb.dir/pdb/combinators.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/combinators.cc.o.d"
+  "/root/repo/src/pdb/conditioning.cc" "src/CMakeFiles/ipdb.dir/pdb/conditioning.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/conditioning.cc.o.d"
+  "/root/repo/src/pdb/countable_pdb.cc" "src/CMakeFiles/ipdb.dir/pdb/countable_pdb.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/countable_pdb.cc.o.d"
+  "/root/repo/src/pdb/finite_pdb.cc" "src/CMakeFiles/ipdb.dir/pdb/finite_pdb.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/finite_pdb.cc.o.d"
+  "/root/repo/src/pdb/information.cc" "src/CMakeFiles/ipdb.dir/pdb/information.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/information.cc.o.d"
+  "/root/repo/src/pdb/metrics.cc" "src/CMakeFiles/ipdb.dir/pdb/metrics.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/metrics.cc.o.d"
+  "/root/repo/src/pdb/pushforward.cc" "src/CMakeFiles/ipdb.dir/pdb/pushforward.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/pushforward.cc.o.d"
+  "/root/repo/src/pdb/sampling.cc" "src/CMakeFiles/ipdb.dir/pdb/sampling.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/sampling.cc.o.d"
+  "/root/repo/src/pdb/ti_pdb.cc" "src/CMakeFiles/ipdb.dir/pdb/ti_pdb.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/ti_pdb.cc.o.d"
+  "/root/repo/src/pdb/top_k.cc" "src/CMakeFiles/ipdb.dir/pdb/top_k.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pdb/top_k.cc.o.d"
+  "/root/repo/src/pqe/expected_answers.cc" "src/CMakeFiles/ipdb.dir/pqe/expected_answers.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pqe/expected_answers.cc.o.d"
+  "/root/repo/src/pqe/lineage.cc" "src/CMakeFiles/ipdb.dir/pqe/lineage.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pqe/lineage.cc.o.d"
+  "/root/repo/src/pqe/monte_carlo.cc" "src/CMakeFiles/ipdb.dir/pqe/monte_carlo.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pqe/monte_carlo.cc.o.d"
+  "/root/repo/src/pqe/open_world.cc" "src/CMakeFiles/ipdb.dir/pqe/open_world.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pqe/open_world.cc.o.d"
+  "/root/repo/src/pqe/safe_plan.cc" "src/CMakeFiles/ipdb.dir/pqe/safe_plan.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pqe/safe_plan.cc.o.d"
+  "/root/repo/src/pqe/wmc.cc" "src/CMakeFiles/ipdb.dir/pqe/wmc.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/pqe/wmc.cc.o.d"
+  "/root/repo/src/prob/distribution.cc" "src/CMakeFiles/ipdb.dir/prob/distribution.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/prob/distribution.cc.o.d"
+  "/root/repo/src/prob/moments.cc" "src/CMakeFiles/ipdb.dir/prob/moments.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/prob/moments.cc.o.d"
+  "/root/repo/src/prob/pgf.cc" "src/CMakeFiles/ipdb.dir/prob/pgf.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/prob/pgf.cc.o.d"
+  "/root/repo/src/prob/poisson_binomial.cc" "src/CMakeFiles/ipdb.dir/prob/poisson_binomial.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/prob/poisson_binomial.cc.o.d"
+  "/root/repo/src/relational/fact.cc" "src/CMakeFiles/ipdb.dir/relational/fact.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/relational/fact.cc.o.d"
+  "/root/repo/src/relational/instance.cc" "src/CMakeFiles/ipdb.dir/relational/instance.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/relational/instance.cc.o.d"
+  "/root/repo/src/relational/parse.cc" "src/CMakeFiles/ipdb.dir/relational/parse.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/relational/parse.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/ipdb.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/ipdb.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/relational/value.cc.o.d"
+  "/root/repo/src/util/interval.cc" "src/CMakeFiles/ipdb.dir/util/interval.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/util/interval.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/ipdb.dir/util/random.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/util/random.cc.o.d"
+  "/root/repo/src/util/series.cc" "src/CMakeFiles/ipdb.dir/util/series.cc.o" "gcc" "src/CMakeFiles/ipdb.dir/util/series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

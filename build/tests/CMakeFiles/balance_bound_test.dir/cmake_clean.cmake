@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_bound_test.dir/balance_bound_test.cc.o"
+  "CMakeFiles/balance_bound_test.dir/balance_bound_test.cc.o.d"
+  "balance_bound_test"
+  "balance_bound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bid_to_ti_test.dir/bid_to_ti_test.cc.o"
+  "CMakeFiles/bid_to_ti_test.dir/bid_to_ti_test.cc.o.d"
+  "bid_to_ti_test"
+  "bid_to_ti_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bid_to_ti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

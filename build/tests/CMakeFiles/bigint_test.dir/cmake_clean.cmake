@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigint_test.dir/bigint_test.cc.o"
+  "CMakeFiles/bigint_test.dir/bigint_test.cc.o.d"
+  "bigint_test"
+  "bigint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combinators_test.dir/combinators_test.cc.o"
+  "CMakeFiles/combinators_test.dir/combinators_test.cc.o.d"
+  "combinators_test"
+  "combinators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combinators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

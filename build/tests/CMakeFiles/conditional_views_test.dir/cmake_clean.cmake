@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_views_test.dir/conditional_views_test.cc.o"
+  "CMakeFiles/conditional_views_test.dir/conditional_views_test.cc.o.d"
+  "conditional_views_test"
+  "conditional_views_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

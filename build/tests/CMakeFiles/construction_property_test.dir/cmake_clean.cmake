@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/construction_property_test.dir/construction_property_test.cc.o"
+  "CMakeFiles/construction_property_test.dir/construction_property_test.cc.o.d"
+  "construction_property_test"
+  "construction_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/construction_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

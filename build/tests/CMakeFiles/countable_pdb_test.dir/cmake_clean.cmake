@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countable_pdb_test.dir/countable_pdb_test.cc.o"
+  "CMakeFiles/countable_pdb_test.dir/countable_pdb_test.cc.o.d"
+  "countable_pdb_test"
+  "countable_pdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countable_pdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expected_answers_test.dir/expected_answers_test.cc.o"
+  "CMakeFiles/expected_answers_test.dir/expected_answers_test.cc.o.d"
+  "expected_answers_test"
+  "expected_answers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expected_answers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

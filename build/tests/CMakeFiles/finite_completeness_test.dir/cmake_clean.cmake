@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_completeness_test.dir/finite_completeness_test.cc.o"
+  "CMakeFiles/finite_completeness_test.dir/finite_completeness_test.cc.o.d"
+  "finite_completeness_test"
+  "finite_completeness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_completeness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

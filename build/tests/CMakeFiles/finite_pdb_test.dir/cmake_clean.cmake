@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_pdb_test.dir/finite_pdb_test.cc.o"
+  "CMakeFiles/finite_pdb_test.dir/finite_pdb_test.cc.o.d"
+  "finite_pdb_test"
+  "finite_pdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_pdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

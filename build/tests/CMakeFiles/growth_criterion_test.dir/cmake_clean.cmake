@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growth_criterion_test.dir/growth_criterion_test.cc.o"
+  "CMakeFiles/growth_criterion_test.dir/growth_criterion_test.cc.o.d"
+  "growth_criterion_test"
+  "growth_criterion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growth_criterion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

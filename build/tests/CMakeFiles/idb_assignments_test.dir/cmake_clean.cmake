@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idb_assignments_test.dir/idb_assignments_test.cc.o"
+  "CMakeFiles/idb_assignments_test.dir/idb_assignments_test.cc.o.d"
+  "idb_assignments_test"
+  "idb_assignments_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idb_assignments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

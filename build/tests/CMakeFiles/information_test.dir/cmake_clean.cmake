@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/information_test.dir/information_test.cc.o"
+  "CMakeFiles/information_test.dir/information_test.cc.o.d"
+  "information_test"
+  "information_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/information_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdb_test_util.dir/test_util.cc.o"
+  "CMakeFiles/ipdb_test_util.dir/test_util.cc.o.d"
+  "libipdb_test_util.a"
+  "libipdb_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdb_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipdb_test_util.a"
+)

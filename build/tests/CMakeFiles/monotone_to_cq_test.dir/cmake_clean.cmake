@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotone_to_cq_test.dir/monotone_to_cq_test.cc.o"
+  "CMakeFiles/monotone_to_cq_test.dir/monotone_to_cq_test.cc.o.d"
+  "monotone_to_cq_test"
+  "monotone_to_cq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotone_to_cq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

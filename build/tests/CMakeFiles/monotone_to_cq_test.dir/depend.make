@@ -1,0 +1,2 @@
+# Empty dependencies file for monotone_to_cq_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_world_test.dir/open_world_test.cc.o"
+  "CMakeFiles/open_world_test.dir/open_world_test.cc.o.d"
+  "open_world_test"
+  "open_world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_instance_test.dir/parse_instance_test.cc.o"
+  "CMakeFiles/parse_instance_test.dir/parse_instance_test.cc.o.d"
+  "parse_instance_test"
+  "parse_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgf_test.dir/pgf_test.cc.o"
+  "CMakeFiles/pgf_test.dir/pgf_test.cc.o.d"
+  "pgf_test"
+  "pgf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

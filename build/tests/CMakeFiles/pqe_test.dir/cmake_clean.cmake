@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqe_test.dir/pqe_test.cc.o"
+  "CMakeFiles/pqe_test.dir/pqe_test.cc.o.d"
+  "pqe_test"
+  "pqe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

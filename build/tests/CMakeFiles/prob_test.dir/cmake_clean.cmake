@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prob_test.dir/prob_test.cc.o"
+  "CMakeFiles/prob_test.dir/prob_test.cc.o.d"
+  "prob_test"
+  "prob_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/representability_test.dir/representability_test.cc.o"
+  "CMakeFiles/representability_test.dir/representability_test.cc.o.d"
+  "representability_test"
+  "representability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/representability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

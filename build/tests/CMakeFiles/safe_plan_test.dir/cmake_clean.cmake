@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_plan_test.dir/safe_plan_test.cc.o"
+  "CMakeFiles/safe_plan_test.dir/safe_plan_test.cc.o.d"
+  "safe_plan_test"
+  "safe_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_construction_test.dir/segment_construction_test.cc.o"
+  "CMakeFiles/segment_construction_test.dir/segment_construction_test.cc.o.d"
+  "segment_construction_test"
+  "segment_construction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_construction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

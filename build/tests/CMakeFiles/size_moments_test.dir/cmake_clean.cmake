@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_moments_test.dir/size_moments_test.cc.o"
+  "CMakeFiles/size_moments_test.dir/size_moments_test.cc.o.d"
+  "size_moments_test"
+  "size_moments_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_moments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for size_moments_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ti_bid_pdb_test.dir/ti_bid_pdb_test.cc.o"
+  "CMakeFiles/ti_bid_pdb_test.dir/ti_bid_pdb_test.cc.o.d"
+  "ti_bid_pdb_test"
+  "ti_bid_pdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ti_bid_pdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

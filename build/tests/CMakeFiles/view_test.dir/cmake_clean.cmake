@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_test.dir/view_test.cc.o"
+  "CMakeFiles/view_test.dir/view_test.cc.o.d"
+  "view_test"
+  "view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
