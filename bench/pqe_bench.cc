@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include "logic/parser.h"
+#include "pqe/expected_answers.h"
 #include "pqe/lineage.h"
+#include "pqe/monte_carlo.h"
 #include "pqe/safe_plan.h"
 #include "pqe/wmc.h"
 
@@ -182,6 +184,52 @@ void BM_WmcDecompositionAblation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WmcDecompositionAblation)->Arg(2)->Arg(4);
+
+void BM_MonteCarloEstimate(benchmark::State& state) {
+  // Thread-scaling of the deterministic parallel Monte Carlo estimator:
+  // each row reports the same bit-identical estimate, only faster.
+  pdb::TiPdb<double> ti = ChainTi(16);
+  ipdb::logic::Formula query =
+      ipdb::logic::ParseSentence("exists x y z. R(x, y) & R(y, z)",
+                                 ti.schema())
+          .value();
+  ipdb::Pcg32 base(21);
+  pdb::SamplingOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  const int64_t samples = 4000;
+  for (auto _ : state) {
+    auto estimate =
+        pqe::EstimateQueryProbability(ti, query, samples, base, options);
+    benchmark::DoNotOptimize(estimate.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK(BM_MonteCarloEstimate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_ParallelRankedAnswers(benchmark::State& state) {
+  // Exact per-tuple WMC over the candidate grid, fanned out across
+  // workers (pqe::RankedAnswers with a thread knob).
+  pdb::TiPdb<double> ti = BipartiteTi(6, 6);
+  ipdb::logic::Formula query =
+      ipdb::logic::ParseFormula("exists y. R(x, y)", ti.schema()).value();
+  pdb::SamplingOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto answers = pqe::RankedAnswers(ti, query, {"x"}, options);
+    benchmark::DoNotOptimize(answers.ok());
+  }
+}
+BENCHMARK(BM_ParallelRankedAnswers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_LineageRestrict(benchmark::State& state) {
   pdb::TiPdb<double> ti = ChainTi(24);

@@ -106,6 +106,53 @@ void BM_EmpiricalAccumulate(benchmark::State& state) {
 }
 BENCHMARK(BM_EmpiricalAccumulate)->Arg(1000)->Arg(10000);
 
+void BM_ParallelAccumulate(benchmark::State& state) {
+  // Thread-scaling of the deterministic sharded accumulator; the result
+  // is bit-identical at every thread count, only the wall clock moves.
+  // Compare items_per_second across the 1/2/4/8-thread rows.
+  pdb::TiPdb<double> ti = MakeTi(64);
+  ipdb::Pcg32 base(7);
+  pdb::SamplingOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  const int64_t samples = 100000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdb::Accumulate(
+        [&ti](ipdb::Pcg32* rng) { return ti.Sample(rng); }, samples, base,
+        options));
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK(BM_ParallelAccumulate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_ParallelSampleCountableTi(benchmark::State& state) {
+  // The countable certified-tail sampler under the same parallel harness
+  // (epsilon = 1e-2 keeps the Example 5.6 cutoff small).
+  pdb::CountableTiPdb ti = ipdb::core::Example56Ti();
+  ipdb::Pcg32 base(11);
+  pdb::SamplingOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  const int64_t samples = 20000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdb::Accumulate(
+        [&ti](ipdb::Pcg32* rng) {
+          return ti.Sample(rng, 1e-2).value();
+        },
+        samples, base, options));
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK(BM_ParallelSampleCountableTi)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

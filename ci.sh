@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run twice: once plain and once with
+# ASan/UBSan instrumentation (-DIPDB_SANITIZE="address;undefined").
+# Usage: ./ci.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== plain build + tests ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${jobs}"
+ctest --test-dir build --output-on-failure -j"${jobs}" "$@"
+
+echo "=== sanitized build + tests (address;undefined) ==="
+cmake -B build-sanitize -S . -DIPDB_SANITIZE="address;undefined" >/dev/null
+cmake --build build-sanitize -j"${jobs}"
+ctest --test-dir build-sanitize --output-on-failure -j"${jobs}" "$@"
+
+echo "=== ci.sh: all green ==="

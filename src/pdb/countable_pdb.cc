@@ -36,6 +36,9 @@ SumAnalysis CountablePdb::AnalyzeMoment(int k,
 
 StatusOr<int64_t> CountablePdb::SampleIndex(Pcg32* rng,
                                             double epsilon) const {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return InvalidArgumentError("epsilon must lie in (0, 1)");
+  }
   double x = rng->NextDouble();
   double cumulative = 0.0;
   int64_t i = 0;

@@ -23,6 +23,17 @@ class EmpiricalDistribution {
     ++total_;
   }
 
+  /// Adds every count of `other`; the workhorse of merging per-shard
+  /// tallies from parallel accumulation. Merging is order-insensitive
+  /// (counts are exact integers), so any merge order yields the same
+  /// distribution.
+  void MergeFrom(const EmpiricalDistribution& other) {
+    for (const auto& [instance, count] : other.counts_) {
+      counts_[instance] += count;
+    }
+    total_ += other.total_;
+  }
+
   int64_t total() const { return total_; }
   int64_t Count(const rel::Instance& instance) const;
   double Frequency(const rel::Instance& instance) const;

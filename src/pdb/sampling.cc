@@ -1,5 +1,10 @@
 #include "pdb/sampling.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "util/parallel.h"
+
 namespace ipdb {
 namespace pdb {
 
@@ -25,6 +30,27 @@ EmpiricalDistribution Accumulate(
     empirical.Add(sampler());
   }
   return empirical;
+}
+
+EmpiricalDistribution Accumulate(
+    const std::function<rel::Instance(Pcg32*)>& sampler, int64_t samples,
+    const Pcg32& base_rng, const SamplingOptions& options) {
+  const int shards = std::max(1, options.shards);
+  // Shard s draws ceil/floor(samples / shards) samples from substream s.
+  // The decomposition depends only on (samples, shards), so any thread
+  // count replays exactly the same draws.
+  std::vector<EmpiricalDistribution> partial(shards);
+  ParallelFor(options.threads, shards, [&](int64_t s) {
+    Pcg32 rng = base_rng.Split(static_cast<uint64_t>(s));
+    int64_t count =
+        samples / shards + (s < samples % shards ? 1 : 0);
+    for (int64_t i = 0; i < count; ++i) {
+      partial[s].Add(sampler(&rng));
+    }
+  });
+  EmpiricalDistribution merged;
+  for (EmpiricalDistribution& p : partial) merged.MergeFrom(p);
+  return merged;
 }
 
 }  // namespace pdb

@@ -13,6 +13,24 @@
 namespace ipdb {
 namespace pdb {
 
+/// Knobs for the parallel Monte Carlo paths (Accumulate,
+/// pqe::EstimateQueryProbability, pqe::RankedAnswers).
+///
+/// Determinism contract: the sample stream is partitioned into `shards`
+/// logical substreams, shard s drawing from base_rng.Split(s), and
+/// per-shard results are merged in shard order. The output is therefore a
+/// pure function of (base seed, shards, samples) and NEVER depends on
+/// `threads`, which only controls how shards are scheduled onto workers.
+struct SamplingOptions {
+  /// Worker threads (including the caller); <= 0 means
+  /// HardwareThreadCount(), 1 means fully sequential.
+  int threads = 1;
+  /// Logical RNG substreams. Changing this changes which samples are
+  /// drawn (a different but equally valid sample stream); changing
+  /// `threads` does not.
+  int shards = 64;
+};
+
 /// Draws a world from an explicit finite PDB (linear inversion; adequate
 /// for test-sized PDBs).
 template <typename P>
@@ -22,6 +40,13 @@ rel::Instance SampleWorld(const FinitePdb<P>& pdb, Pcg32* rng);
 /// distribution; the workhorse of Monte Carlo construction checks.
 EmpiricalDistribution Accumulate(
     const std::function<rel::Instance()>& sampler, int64_t samples);
+
+/// Parallel overload: `sampler` is invoked concurrently, once per draw,
+/// with a shard-local rng derived via base_rng.Split(shard). Bit-identical
+/// for a fixed base_rng and options.shards regardless of options.threads.
+EmpiricalDistribution Accumulate(
+    const std::function<rel::Instance(Pcg32*)>& sampler, int64_t samples,
+    const Pcg32& base_rng, const SamplingOptions& options = {});
 
 }  // namespace pdb
 }  // namespace ipdb

@@ -178,6 +178,8 @@ SumAnalysis CountableTiPdb::CheckWellDefined(const SumOptions& options) const {
 
 StatusOr<Interval> CountableTiPdb::SizeMomentInterval(int k,
                                                       int64_t prefix) const {
+  if (k < 0) return InvalidArgumentError("moment order must be >= 0");
+  if (prefix <= 0) return InvalidArgumentError("prefix must be positive");
   if (!family_.marginal_tail_upper) {
     return FailedPreconditionError(
         "size moments need a marginal tail certificate");
@@ -196,6 +198,9 @@ StatusOr<Interval> CountableTiPdb::SizeMomentInterval(int k,
 
 StatusOr<rel::Instance> CountableTiPdb::Sample(Pcg32* rng,
                                                double epsilon) const {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return InvalidArgumentError("epsilon must lie in (0, 1)");
+  }
   if (!family_.marginal_tail_upper) {
     return FailedPreconditionError("sampling needs a tail certificate");
   }

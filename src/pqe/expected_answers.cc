@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "pqe/wmc.h"
+#include "util/parallel.h"
 
 namespace ipdb {
 namespace pqe {
@@ -15,7 +17,8 @@ using logic::Term;
 
 StatusOr<std::vector<RankedAnswer>> EnumerateAnswers(
     const pdb::TiPdb<double>& ti, const Formula& query,
-    const std::vector<std::string>& head_vars) {
+    const std::vector<std::string>& head_vars,
+    const pdb::SamplingOptions& options) {
   std::vector<std::string> free = query.FreeVariables();
   for (const std::string& v : free) {
     if (std::find(head_vars.begin(), head_vars.end(), v) ==
@@ -42,18 +45,19 @@ StatusOr<std::vector<RankedAnswer>> EnumerateAnswers(
   }
   if (candidates.empty()) return answers;
 
+  // Materialize the candidate grid first, then evaluate each grounded
+  // query by exact WMC — independent work items, fanned out across
+  // options.threads and recombined in grid order so the result does not
+  // depend on the schedule.
+  std::vector<std::vector<rel::Value>> tuples;
   std::vector<size_t> odometer(head_vars.size(), 0);
   while (true) {
-    Formula grounded = query;
     std::vector<rel::Value> tuple;
+    tuple.reserve(head_vars.size());
     for (size_t i = 0; i < head_vars.size(); ++i) {
-      grounded = grounded.Substitute(
-          head_vars[i], Term::Const(candidates[odometer[i]]));
       tuple.push_back(candidates[odometer[i]]);
     }
-    StatusOr<double> p = QueryProbability(ti, grounded);
-    if (!p.ok()) return p.status();
-    if (p.value() > 0.0) answers.push_back({std::move(tuple), p.value()});
+    tuples.push_back(std::move(tuple));
     size_t pos = 0;
     while (pos < odometer.size()) {
       if (++odometer[pos] < candidates.size()) break;
@@ -61,6 +65,29 @@ StatusOr<std::vector<RankedAnswer>> EnumerateAnswers(
       ++pos;
     }
     if (pos == odometer.size()) break;
+  }
+
+  std::vector<double> probabilities(tuples.size(), 0.0);
+  std::vector<Status> statuses(tuples.size(), Status::Ok());
+  ParallelFor(options.threads, static_cast<int64_t>(tuples.size()),
+              [&](int64_t t) {
+                Formula grounded = query;
+                for (size_t i = 0; i < head_vars.size(); ++i) {
+                  grounded = grounded.Substitute(
+                      head_vars[i], Term::Const(tuples[t][i]));
+                }
+                StatusOr<double> p = QueryProbability(ti, grounded);
+                if (!p.ok()) {
+                  statuses[t] = p.status();
+                  return;
+                }
+                probabilities[t] = p.value();
+              });
+  for (size_t t = 0; t < tuples.size(); ++t) {
+    if (!statuses[t].ok()) return statuses[t];
+    if (probabilities[t] > 0.0) {
+      answers.push_back({std::move(tuples[t]), probabilities[t]});
+    }
   }
   std::sort(answers.begin(), answers.end(),
             [](const RankedAnswer& a, const RankedAnswer& b) {
@@ -76,15 +103,17 @@ StatusOr<std::vector<RankedAnswer>> EnumerateAnswers(
 
 StatusOr<std::vector<RankedAnswer>> RankedAnswers(
     const pdb::TiPdb<double>& ti, const logic::Formula& query,
-    const std::vector<std::string>& head_vars) {
-  return EnumerateAnswers(ti, query, head_vars);
+    const std::vector<std::string>& head_vars,
+    const pdb::SamplingOptions& options) {
+  return EnumerateAnswers(ti, query, head_vars, options);
 }
 
 StatusOr<double> ExpectedAnswerCount(
     const pdb::TiPdb<double>& ti, const logic::Formula& query,
-    const std::vector<std::string>& head_vars) {
+    const std::vector<std::string>& head_vars,
+    const pdb::SamplingOptions& options) {
   StatusOr<std::vector<RankedAnswer>> answers =
-      EnumerateAnswers(ti, query, head_vars);
+      EnumerateAnswers(ti, query, head_vars, options);
   if (!answers.ok()) return answers.status();
   double total = 0.0;
   for (const RankedAnswer& answer : answers.value()) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "logic/formula.h"
+#include "pdb/sampling.h"
 #include "pdb/ti_pdb.h"
 #include "util/status.h"
 
@@ -22,9 +23,16 @@ namespace pqe {
 /// with ā ranging over (adom(T(I)) ∪ consts(q))^k (the output-safety
 /// candidate set) and each summand evaluated by exact WMC. `head_vars`
 /// orders the free variables, as in logic::EvaluateQuery.
+///
+/// The per-tuple WMC calls are independent, so both entry points accept
+/// an optional options knob whose `threads` field fans the candidate
+/// grid out across workers; summands and answers are combined in
+/// candidate order, making the result independent of the thread count
+/// (options.shards is ignored — the computation is exact, not sampled).
 StatusOr<double> ExpectedAnswerCount(
     const pdb::TiPdb<double>& ti, const logic::Formula& query,
-    const std::vector<std::string>& head_vars);
+    const std::vector<std::string>& head_vars,
+    const pdb::SamplingOptions& options = {});
 
 /// Per-tuple answer probabilities: the pairs (ā, Pr(D ⊨ q(ā))) with
 /// positive probability — the standard "probabilistic answers, ranked"
@@ -35,7 +43,8 @@ struct RankedAnswer {
 };
 StatusOr<std::vector<RankedAnswer>> RankedAnswers(
     const pdb::TiPdb<double>& ti, const logic::Formula& query,
-    const std::vector<std::string>& head_vars);
+    const std::vector<std::string>& head_vars,
+    const pdb::SamplingOptions& options = {});
 
 }  // namespace pqe
 }  // namespace ipdb

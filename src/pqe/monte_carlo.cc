@@ -1,8 +1,11 @@
 #include "pqe/monte_carlo.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "logic/evaluator.h"
+#include "util/parallel.h"
 
 namespace ipdb {
 namespace pqe {
@@ -17,6 +20,46 @@ StatusOr<double> HoeffdingHalfWidth(int64_t samples, double confidence) {
   double delta = 1.0 - confidence;
   return std::sqrt(std::log(2.0 / delta) /
                    (2.0 * static_cast<double>(samples)));
+}
+
+Status ValidateEpsilon(double epsilon) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return InvalidArgumentError("epsilon must lie in (0, 1)");
+  }
+  return Status::Ok();
+}
+
+/// Shared skeleton of the parallel estimators: partitions `samples` into
+/// `shards` substreams, runs `shard_body(shard rng, shard samples, hits
+/// out)` per shard, and merges hit tallies in shard order. The hit count
+/// is an integer, so the merged estimate is exact and independent of the
+/// thread schedule.
+StatusOr<MonteCarloEstimate> EstimateSharded(
+    int64_t samples, const Pcg32& base_rng,
+    const pdb::SamplingOptions& options, double confidence,
+    const std::function<Status(Pcg32* rng, int64_t count, int64_t* hits)>&
+        shard_body) {
+  StatusOr<double> half_width = HoeffdingHalfWidth(samples, confidence);
+  if (!half_width.ok()) return half_width.status();
+  const int shards = std::max(1, options.shards);
+  std::vector<int64_t> shard_hits(shards, 0);
+  std::vector<Status> shard_status(shards, Status::Ok());
+  ParallelFor(options.threads, shards, [&](int64_t s) {
+    Pcg32 rng = base_rng.Split(static_cast<uint64_t>(s));
+    int64_t count = samples / shards + (s < samples % shards ? 1 : 0);
+    shard_status[s] = shard_body(&rng, count, &shard_hits[s]);
+  });
+  int64_t hits = 0;
+  for (int s = 0; s < shards; ++s) {
+    if (!shard_status[s].ok()) return shard_status[s];
+    hits += shard_hits[s];
+  }
+  MonteCarloEstimate result;
+  result.estimate =
+      static_cast<double>(hits) / static_cast<double>(samples);
+  result.half_width = half_width.value();
+  result.samples = samples;
+  return result;
 }
 
 }  // namespace
@@ -49,6 +92,8 @@ StatusOr<MonteCarloEstimate> EstimateQueryProbability(
     int64_t samples, Pcg32* rng, double confidence, double epsilon) {
   StatusOr<double> half_width = HoeffdingHalfWidth(samples, confidence);
   if (!half_width.ok()) return half_width.status();
+  Status epsilon_ok = ValidateEpsilon(epsilon);
+  if (!epsilon_ok.ok()) return epsilon_ok;
   if (!sentence.FreeVariables().empty()) {
     return InvalidArgumentError("query must be a sentence");
   }
@@ -67,6 +112,55 @@ StatusOr<MonteCarloEstimate> EstimateQueryProbability(
   result.half_width = half_width.value();
   result.samples = samples;
   result.sampler_bias = epsilon;
+  return result;
+}
+
+StatusOr<MonteCarloEstimate> EstimateQueryProbability(
+    const pdb::TiPdb<double>& ti, const logic::Formula& sentence,
+    int64_t samples, const Pcg32& base_rng,
+    const pdb::SamplingOptions& options, double confidence) {
+  if (!sentence.FreeVariables().empty()) {
+    return InvalidArgumentError("query must be a sentence");
+  }
+  return EstimateSharded(
+      samples, base_rng, options, confidence,
+      [&](Pcg32* rng, int64_t count, int64_t* hits) -> Status {
+        for (int64_t i = 0; i < count; ++i) {
+          rel::Instance world = ti.Sample(rng);
+          StatusOr<bool> holds =
+              logic::Evaluate(world, ti.schema(), sentence);
+          if (!holds.ok()) return holds.status();
+          if (holds.value()) ++*hits;
+        }
+        return Status::Ok();
+      });
+}
+
+StatusOr<MonteCarloEstimate> EstimateQueryProbability(
+    const pdb::CountableTiPdb& ti, const logic::Formula& sentence,
+    int64_t samples, const Pcg32& base_rng,
+    const pdb::SamplingOptions& options, double confidence,
+    double epsilon) {
+  Status epsilon_ok = ValidateEpsilon(epsilon);
+  if (!epsilon_ok.ok()) return epsilon_ok;
+  if (!sentence.FreeVariables().empty()) {
+    return InvalidArgumentError("query must be a sentence");
+  }
+  StatusOr<MonteCarloEstimate> result = EstimateSharded(
+      samples, base_rng, options, confidence,
+      [&](Pcg32* rng, int64_t count, int64_t* hits) -> Status {
+        for (int64_t i = 0; i < count; ++i) {
+          StatusOr<rel::Instance> world = ti.Sample(rng, epsilon);
+          if (!world.ok()) return world.status();
+          StatusOr<bool> holds =
+              logic::Evaluate(world.value(), ti.schema(), sentence);
+          if (!holds.ok()) return holds.status();
+          if (holds.value()) ++*hits;
+        }
+        return Status::Ok();
+      });
+  if (!result.ok()) return result;
+  result.value().sampler_bias = epsilon;
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "logic/formula.h"
+#include "pdb/sampling.h"
 #include "pdb/ti_pdb.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -36,10 +37,28 @@ StatusOr<MonteCarloEstimate> EstimateQueryProbability(
 
 /// Countably infinite TI-PDB: each sampled world is exact except with
 /// probability <= epsilon (the tail mass beyond the cutoff), adding at
-/// most epsilon of bias, reported in `sampler_bias`.
+/// most epsilon of bias, reported in `sampler_bias`. epsilon must lie in
+/// (0, 1).
 StatusOr<MonteCarloEstimate> EstimateQueryProbability(
     const pdb::CountableTiPdb& ti, const logic::Formula& sentence,
     int64_t samples, Pcg32* rng, double confidence = 0.99,
+    double epsilon = 1e-9);
+
+/// Parallel overloads: the sample stream is partitioned into
+/// options.shards substreams (shard s drawing from base_rng.Split(s)) and
+/// per-shard hit tallies are merged in shard order. Hits are integers, so
+/// the merged estimate — and the unchanged Hoeffding interval over the
+/// total sample count — is bit-identical for a fixed base_rng and shard
+/// count regardless of options.threads.
+StatusOr<MonteCarloEstimate> EstimateQueryProbability(
+    const pdb::TiPdb<double>& ti, const logic::Formula& sentence,
+    int64_t samples, const Pcg32& base_rng,
+    const pdb::SamplingOptions& options, double confidence = 0.99);
+
+StatusOr<MonteCarloEstimate> EstimateQueryProbability(
+    const pdb::CountableTiPdb& ti, const logic::Formula& sentence,
+    int64_t samples, const Pcg32& base_rng,
+    const pdb::SamplingOptions& options, double confidence = 0.99,
     double epsilon = 1e-9);
 
 }  // namespace pqe

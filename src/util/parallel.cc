@@ -1,0 +1,112 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.h"
+
+namespace ipdb {
+
+int HardwareThreadCount() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+/// Per-batch state. Heap-allocated and shared so that a worker which
+/// wakes up late (after the batch already completed and a new one was
+/// posted) still claims against the *old* exhausted counter and retires
+/// harmlessly instead of stealing indices from the new batch.
+struct ThreadPool::Batch {
+  std::atomic<int64_t> next{0};
+  int64_t size = 0;
+  const std::function<void(int64_t)>* fn = nullptr;
+  int64_t completed = 0;  // guarded by the pool's mu_
+};
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = HardwareThreadCount();
+  // The calling thread participates, so spawn threads - 1 workers.
+  int workers = std::max(0, threads - 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      batch = current_;
+    }
+    if (batch != nullptr) RunBatch(batch.get());
+  }
+}
+
+void ThreadPool::RunBatch(Batch* batch) {
+  int64_t done = 0;
+  for (;;) {
+    int64_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->size) break;
+    (*batch->fn)(i);
+    ++done;
+  }
+  if (done > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch->completed += done;
+    if (batch->completed == batch->size) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::shared_ptr<Batch> batch = std::make_shared<Batch>();
+  batch->size = n;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IPDB_CHECK(current_ == nullptr)
+        << "ThreadPool::ParallelFor is not reentrant";
+    current_ = batch;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunBatch(batch.get());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch->completed == batch->size; });
+    current_.reset();
+  }
+}
+
+void ParallelFor(int threads, int64_t n,
+                 const std::function<void(int64_t)>& fn) {
+  if (threads <= 0) threads = HardwareThreadCount();
+  if (threads == 1 || n <= 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(static_cast<int>(std::min<int64_t>(threads, n)));
+  pool.ParallelFor(n, fn);
+}
+
+}  // namespace ipdb

@@ -1,0 +1,76 @@
+#ifndef IPDB_UTIL_PARALLEL_H_
+#define IPDB_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ipdb {
+
+/// Number of hardware threads (always >= 1; falls back to 1 when the
+/// platform reports nothing).
+int HardwareThreadCount();
+
+/// A small fixed-size pool of worker threads executing index-range
+/// batches. The pool exists so that the Monte Carlo hot paths
+/// (pdb::Accumulate, pqe::EstimateQueryProbability) can fan work out
+/// without paying thread creation per call; later sharding/batching
+/// layers build on the same primitive.
+///
+/// Determinism: the pool schedules *which thread* runs which index
+/// non-deterministically, so callers that need reproducible results must
+/// make each index's work a pure function of the index (e.g. one RNG
+/// substream per index, see Pcg32::Split) and combine per-index results
+/// in index order. ParallelFor itself guarantees only that every index
+/// in [0, n) runs exactly once and has completed when the call returns.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers; `threads <= 0` means
+  /// HardwareThreadCount(). The calling thread participates in
+  /// ParallelFor batches, so the pool runs work on `threads` threads
+  /// total.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Threads participating in a batch (workers plus the caller).
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n); blocks until all indices complete.
+  /// Indices are claimed dynamically (an atomic counter), so fn must be
+  /// safe to call concurrently from multiple threads. Not reentrant: do
+  /// not call ParallelFor from inside fn or from two threads at once.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  struct Batch;
+
+  void WorkerLoop();
+  void RunBatch(Batch* batch);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;               // bumped when a new batch is posted
+  std::shared_ptr<Batch> current_;   // null when no batch is in flight
+  bool stop_ = false;
+};
+
+/// One-shot ParallelFor over a transient pool: runs fn(i) for i in [0, n)
+/// on up to `threads` threads (including the caller). threads == 1 (or
+/// n <= 1) degrades to a plain sequential loop with zero threading
+/// overhead; threads <= 0 means HardwareThreadCount().
+void ParallelFor(int threads, int64_t n,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace ipdb
+
+#endif  // IPDB_UTIL_PARALLEL_H_

@@ -1,15 +1,42 @@
 #include "util/random.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace ipdb {
 
-Pcg32::Pcg32(uint64_t seed, uint64_t stream) {
+namespace {
+
+/// SplitMix64 finalizer (Steele, Lea, Flood 2014): a bijective mixer
+/// that sends nearby inputs to well-separated outputs.
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream)
+    : seed_(seed), stream_(stream) {
   inc_ = (stream << 1u) | 1u;
   state_ = 0u;
   NextU32();
   state_ += seed;
   NextU32();
+}
+
+Pcg32 Pcg32::Split(uint64_t worker_index) const {
+  // Children differ from the parent and from each other in both the PCG
+  // stream selector (distinct `stream` => distinct inc => a different
+  // orbit of the underlying LCG) and the starting state. The mixed
+  // offset keeps consecutive worker indices far apart in state space;
+  // `stream_ + worker_index + 1` keeps the streams pairwise distinct and
+  // distinct from the parent's.
+  uint64_t mixed = SplitMix64(worker_index);
+  return Pcg32(seed_ ^ mixed, stream_ + worker_index + 1);
 }
 
 uint32_t Pcg32::NextU32() {
@@ -54,13 +81,21 @@ uint32_t Pcg32::NextBounded(uint32_t bound) {
   return static_cast<uint32_t>(product >> 32);
 }
 
-size_t Pcg32::NextDiscrete(const std::vector<double>& weights) {
+StatusOr<size_t> Pcg32::NextDiscrete(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return InvalidArgumentError("discrete draw needs at least one weight");
+  }
   double total = 0.0;
   for (double w : weights) {
-    IPDB_CHECK_GE(w, 0.0);
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return InvalidArgumentError(
+          "discrete weights must be finite and non-negative");
+    }
     total += w;
   }
-  IPDB_CHECK_GT(total, 0.0) << "all discrete weights are zero";
+  if (!(total > 0.0)) {
+    return InvalidArgumentError("all discrete weights are zero");
+  }
   double x = NextDouble() * total;
   double cumulative = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
+
 namespace ipdb {
 
 /// A PCG32 pseudo-random generator (O'Neill 2014, pcg32 variant
@@ -17,6 +19,15 @@ class Pcg32 {
   /// selects one of 2^63 independent sequences.
   explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
                  uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Derives an independent child generator for the logical worker (or
+  /// shard) `worker_index`: a deterministic function of this generator's
+  /// *seeding* (seed, stream) — not of how many draws have been made —
+  /// and of the index. Distinct indices select distinct PCG streams with
+  /// decorrelated starting states, so parallel samplers can give each
+  /// shard `base.Split(shard)` and get reproducible, independent draws
+  /// regardless of which thread runs which shard.
+  Pcg32 Split(uint64_t worker_index) const;
 
   /// Uniform 32-bit output.
   uint32_t NextU32();
@@ -34,12 +45,18 @@ class Pcg32 {
   uint32_t NextBounded(uint32_t bound);
 
   /// Draws an index according to the (not necessarily normalized)
-  /// non-negative weights. At least one weight must be positive.
-  size_t NextDiscrete(const std::vector<double>& weights);
+  /// non-negative weights. Returns InvalidArgument if `weights` is
+  /// empty, contains a negative or non-finite weight, or sums to zero;
+  /// the generator state is only advanced when the draw succeeds.
+  StatusOr<size_t> NextDiscrete(const std::vector<double>& weights);
 
  private:
   uint64_t state_;
   uint64_t inc_;
+  // The seeding values, retained so Split() can derive substreams that
+  // are independent of the parent's draw position.
+  uint64_t seed_;
+  uint64_t stream_;
 };
 
 }  // namespace ipdb

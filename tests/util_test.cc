@@ -44,6 +44,18 @@ TEST(IntervalTest, ToString) {
   EXPECT_EQ(Interval::AtLeast(0.0).ToString(), "[0, inf]");
 }
 
+TEST(RandomTest, ReferenceVectors) {
+  // Golden values from O'Neill's pcg32 reference implementation
+  // (pcg32-global-demo with pcg32_srandom(42u, 54u)); pins both the
+  // output function and the seeding sequence.
+  Pcg32 rng(42, 54);
+  const uint32_t kExpected[] = {0xa15c02b7u, 0x7b47f409u, 0xba1d3330u,
+                                0x83d2f293u, 0xbfa4784bu, 0xcbed606eu};
+  for (uint32_t expected : kExpected) {
+    EXPECT_EQ(rng.NextU32(), expected);
+  }
+}
+
 TEST(RandomTest, Deterministic) {
   Pcg32 a(123);
   Pcg32 b(123);
@@ -101,11 +113,55 @@ TEST(RandomTest, DiscreteRespectsWeights) {
   std::vector<double> weights = {1.0, 0.0, 3.0};
   int counts[3] = {0, 0, 0};
   for (int i = 0; i < 20000; ++i) {
-    ++counts[rng.NextDiscrete(weights)];
+    ++counts[rng.NextDiscrete(weights).value()];
   }
   EXPECT_EQ(counts[1], 0);
   EXPECT_NEAR(counts[0] / 20000.0, 0.25, 0.02);
   EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+}
+
+TEST(RandomTest, DiscreteRejectsBadWeights) {
+  Pcg32 rng(17);
+  EXPECT_EQ(rng.NextDiscrete({}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rng.NextDiscrete({0.0, 0.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rng.NextDiscrete({1.0, -0.5}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Failed draws must not advance the generator.
+  Pcg32 untouched(17);
+  EXPECT_EQ(rng.NextU32(), untouched.NextU32());
+}
+
+TEST(RandomTest, SplitIsDeterministicAndPositionIndependent) {
+  Pcg32 base(123, 7);
+  Pcg32 advanced(123, 7);
+  for (int i = 0; i < 50; ++i) advanced.NextU32();
+  // Split depends only on the seeding and the worker index, not on how
+  // many draws the parent has made.
+  Pcg32 a = base.Split(3);
+  Pcg32 b = advanced.Split(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RandomTest, SplitStreamsAreDistinct) {
+  Pcg32 base(99);
+  Pcg32 s0 = base.Split(0);
+  Pcg32 s1 = base.Split(1);
+  Pcg32 parent(99);
+  int same01 = 0;
+  int same0p = 0;
+  for (int i = 0; i < 200; ++i) {
+    uint32_t x0 = s0.NextU32();
+    uint32_t x1 = s1.NextU32();
+    uint32_t xp = parent.NextU32();
+    if (x0 == x1) ++same01;
+    if (x0 == xp) ++same0p;
+  }
+  EXPECT_LT(same01, 5);
+  EXPECT_LT(same0p, 5);
 }
 
 TEST(SeriesTest, GeometricConverges) {
