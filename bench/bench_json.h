@@ -1,0 +1,119 @@
+#ifndef IPDB_BENCH_BENCH_JSON_H_
+#define IPDB_BENCH_BENCH_JSON_H_
+
+// Console reporting plus a machine-readable dump for before/after
+// comparisons. Each Google-Benchmark binary calls RunWithJsonDump with a
+// suite name and an output path; results are merged into that file with
+// one JSON object per line:
+//
+//   {
+//     "schema": "ipdb-bench-v1",
+//     "results": [
+//       {"suite": "math_bench", "op": "BM_RationalSum/512",
+//        "ns_per_op": 68839.2, "iterations": 10240},
+//       ...
+//     ]
+//   }
+//
+// Re-running a binary replaces only its own suite's lines (matched by the
+// `"suite": "<name>"` prefix every result line carries), so several
+// binaries can feed one file.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ipdb {
+namespace bench_json {
+
+class JsonDumpReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      std::ostringstream line;
+      line << "{\"suite\": \"" << suite_ << "\", \"op\": \""
+           << run.benchmark_name() << "\", \"ns_per_op\": "
+           << run.GetAdjustedRealTime() << ", \"iterations\": "
+           << run.iterations << "}";
+      lines_.push_back(line.str());
+    }
+  }
+
+  void set_suite(std::string suite) { suite_ = std::move(suite); }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::string suite_;
+  std::vector<std::string> lines_;
+};
+
+// Rewrites `path`, keeping result lines of other suites and replacing the
+// ones belonging to `suite`.
+inline void MergeIntoFile(const std::string& path, const std::string& suite,
+                          const std::vector<std::string>& fresh) {
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    std::string line;
+    const std::string any = "{\"suite\": \"";
+    const std::string mine = any + suite + "\"";
+    while (std::getline(in, line)) {
+      size_t start = line.find_first_not_of(" \t");
+      if (start == std::string::npos) continue;
+      std::string body = line.substr(start);
+      if (body.compare(0, any.size(), any) != 0) continue;  // header/footer
+      if (!body.empty() && body.back() == ',') body.pop_back();
+      if (body.compare(0, mine.size(), mine) == 0) continue;
+      kept.push_back(body);
+    }
+  }
+  kept.insert(kept.end(), fresh.begin(), fresh.end());
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"schema\": \"ipdb-bench-v1\",\n  \"results\": [\n";
+  for (size_t i = 0; i < kept.size(); ++i) {
+    out << "    " << kept[i] << (i + 1 < kept.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+// Drop-in replacement for BENCHMARK_MAIN(): runs all registered
+// benchmarks with console output and merges the results into `path`.
+inline int RunWithJsonDump(int argc, char** argv, const std::string& suite,
+                           const std::string& path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonDumpReporter reporter;
+  reporter.set_suite(suite);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  MergeIntoFile(path, suite, reporter.lines());
+  std::fprintf(stderr, "wrote %zu result(s) for suite '%s' to %s\n",
+               reporter.lines().size(), suite.c_str(), path.c_str());
+  return 0;
+}
+
+}  // namespace bench_json
+}  // namespace ipdb
+
+#define IPDB_BENCHMARK_JSON_MAIN(suite)                                    \
+  int main(int argc, char** argv) {                                        \
+    std::string path = "BENCH_math.json";                                  \
+    for (int i = 1; i < argc; ++i) {                                       \
+      std::string arg = argv[i];                                           \
+      const std::string prefix = "--bench_json_out=";                      \
+      if (arg.compare(0, prefix.size(), prefix) == 0) {                    \
+        path = arg.substr(prefix.size());                                  \
+        for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];          \
+        --argc;                                                            \
+        break;                                                             \
+      }                                                                    \
+    }                                                                      \
+    return ipdb::bench_json::RunWithJsonDump(argc, argv, suite, path);     \
+  }
+
+#endif  // IPDB_BENCH_BENCH_JSON_H_

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "math/bigint.h"
 #include "math/rational.h"
 
@@ -77,4 +78,4 @@ BENCHMARK(BM_RationalPow)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+IPDB_BENCHMARK_JSON_MAIN("math_bench")

@@ -7,7 +7,10 @@
 
 #include <cmath>
 
+#include "bench_json.h"
 #include "core/paper_examples.h"
+#include "math/rational.h"
+#include "prob/pgf.h"
 #include "prob/poisson_binomial.h"
 #include "util/series.h"
 
@@ -69,6 +72,23 @@ void BM_CountableTiSizeMoment(benchmark::State& state) {
 }
 BENCHMARK(BM_CountableTiSizeMoment)->Arg(256)->Arg(1024)->Arg(4096);
 
+void BM_ExactPoissonBinomialMoment(benchmark::State& state) {
+  // Exact (Rational) size-PGF of a truncated TI-PDB and its k-th raw
+  // moment — the arbitrary-precision counterpart of BM_TiMomentInterval.
+  int n = static_cast<int>(state.range(0));
+  std::vector<ipdb::math::Rational> marginals;
+  marginals.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    marginals.push_back(ipdb::math::Rational::Ratio(
+        1, static_cast<int64_t>(i + 1) * (i + 1) + 1));
+  }
+  for (auto _ : state) {
+    prob::RationalPolynomial pgf = prob::TiSizePgf(marginals);
+    benchmark::DoNotOptimize(prob::RawMomentFromPgf(pgf, 2));
+  }
+}
+BENCHMARK(BM_ExactPoissonBinomialMoment)->Arg(16)->Arg(32)->Arg(64);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+IPDB_BENCHMARK_JSON_MAIN("moments_microbench")

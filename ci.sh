@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification, run twice: once plain and once with
-# ASan/UBSan instrumentation (-DIPDB_SANITIZE="address;undefined").
+# Tier-1 verification, run three times: plain, with ASan/UBSan
+# instrumentation (-DIPDB_SANITIZE="address;undefined"), and as an
+# optimized Release build (-O2 -DNDEBUG) so the arithmetic kernels are
+# exercised the way benchmarks and users run them.
 # Usage: ./ci.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -16,5 +18,11 @@ echo "=== sanitized build + tests (address;undefined) ==="
 cmake -B build-sanitize -S . -DIPDB_SANITIZE="address;undefined" >/dev/null
 cmake --build build-sanitize -j"${jobs}"
 ctest --test-dir build-sanitize --output-on-failure -j"${jobs}" "$@"
+
+echo "=== release build + tests (-O2 -DNDEBUG) ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" >/dev/null
+cmake --build build-release -j"${jobs}"
+ctest --test-dir build-release --output-on-failure -j"${jobs}" "$@"
 
 echo "=== ci.sh: all green ==="

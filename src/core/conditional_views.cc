@@ -157,7 +157,7 @@ StatusOr<ConditionElimination<P>> EliminateCondition(
   P miss_pow = miss;
   while (!(miss_pow < built.p0)) {
     ++k;
-    miss_pow = miss_pow * miss;
+    miss_pow *= miss;
     if (k > 64) {
       return FailedPreconditionError(
           "k exceeded 64 — p0 too small or P(psi) too close to 0");

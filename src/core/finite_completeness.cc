@@ -42,7 +42,7 @@ StatusOr<FiniteCompleteness<P>> BuildFiniteCompleteness(
   for (int i = 0; i + 1 < n; ++i) {
     P q = worlds[i].second / remaining;
     facts.emplace_back(rel::Fact(sel, {rel::Value::Int(i)}), q);
-    remaining = remaining - worlds[i].second;
+    remaining -= worlds[i].second;
   }
   StatusOr<pdb::TiPdb<P>> ti =
       pdb::TiPdb<P>::Create(built.selector_schema, std::move(facts));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
+#include <utility>
 
 #include "util/check.h"
 
@@ -13,155 +14,196 @@ namespace {
 
 constexpr uint64_t kBase = 1ULL << 32;
 
-}  // namespace
+// Operand size (in limbs of the smaller factor) above which
+// multiplication switches from schoolbook to Karatsuba. 32 limbs =
+// 1024 bits; below that the O(n²) kernel's constant factor wins.
+constexpr size_t kKaratsubaThreshold = 32;
 
-BigInt::BigInt(int64_t value) {
-  negative_ = value < 0;
-  // Careful with INT64_MIN: negate in unsigned space.
-  uint64_t magnitude =
-      negative_ ? ~static_cast<uint64_t>(value) + 1 : static_cast<uint64_t>(value);
-  while (magnitude != 0) {
-    limbs_.push_back(static_cast<uint32_t>(magnitude & 0xffffffffULL));
-    magnitude >>= 32;
-  }
-  if (limbs_.empty()) negative_ = false;
+using Limbs = std::vector<uint32_t>;
+
+void Normalize(Limbs* limbs) {
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
 }
 
-BigInt::BigInt(bool negative, std::vector<uint32_t> limbs)
-    : negative_(negative), limbs_(std::move(limbs)) {
-  Normalize(&limbs_);
-  if (limbs_.empty()) negative_ = false;
-}
-
-StatusOr<BigInt> BigInt::FromString(const std::string& text) {
-  size_t pos = 0;
-  bool negative = false;
-  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
-    negative = text[pos] == '-';
-    ++pos;
-  }
-  if (pos >= text.size()) {
-    return InvalidArgumentError("empty integer literal: '" + text + "'");
-  }
-  BigInt result;
-  const BigInt ten(10);
-  for (; pos < text.size(); ++pos) {
-    char c = text[pos];
-    if (c < '0' || c > '9') {
-      return InvalidArgumentError("bad digit in integer literal: '" + text +
-                                  "'");
-    }
-    result = result * ten + BigInt(c - '0');
-  }
-  if (negative) result = -result;
-  return result;
-}
-
-int BigInt::sign() const {
-  if (limbs_.empty()) return 0;
-  return negative_ ? -1 : 1;
-}
-
-BigInt BigInt::operator-() const {
-  if (is_zero()) return *this;
-  BigInt result = *this;
-  result.negative_ = !negative_;
-  return result;
-}
-
-BigInt BigInt::Abs() const {
-  BigInt result = *this;
-  result.negative_ = false;
-  return result;
-}
-
-int BigInt::Compare(const BigInt& a, const BigInt& b) {
-  if (a.negative_ != b.negative_) return a.negative_ ? -1 : 1;
-  int magnitude = CompareMagnitude(a.limbs_, b.limbs_);
-  return a.negative_ ? -magnitude : magnitude;
-}
-
-int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
-                             const std::vector<uint32_t>& b) {
-  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
-  for (size_t i = a.size(); i-- > 0;) {
+int CompareMag(const uint32_t* a, size_t an, const uint32_t* b, size_t bn) {
+  while (an > 0 && a[an - 1] == 0) --an;
+  while (bn > 0 && b[bn - 1] == 0) --bn;
+  if (an != bn) return an < bn ? -1 : 1;
+  for (size_t i = an; i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
   }
   return 0;
 }
 
-void BigInt::Normalize(std::vector<uint32_t>* limbs) {
-  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+int CompareMag(const Limbs& a, const Limbs& b) {
+  return CompareMag(a.data(), a.size(), b.data(), b.size());
 }
 
-std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
-  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
-  std::vector<uint32_t> result;
-  result.reserve(longer.size() + 1);
+// *a += b. `b` must not alias a's storage.
+void AddMagInPlace(Limbs* a, const uint32_t* b, size_t bn) {
+  if (a->size() < bn) a->resize(bn, 0);
   uint64_t carry = 0;
-  for (size_t i = 0; i < longer.size(); ++i) {
-    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0u);
-    result.push_back(static_cast<uint32_t>(sum & 0xffffffffULL));
+  size_t i = 0;
+  for (; i < bn; ++i) {
+    uint64_t sum = static_cast<uint64_t>((*a)[i]) + b[i] + carry;
+    (*a)[i] = static_cast<uint32_t>(sum);
     carry = sum >> 32;
   }
-  if (carry != 0) result.push_back(static_cast<uint32_t>(carry));
-  return result;
+  for (; carry != 0 && i < a->size(); ++i) {
+    uint64_t sum = static_cast<uint64_t>((*a)[i]) + carry;
+    (*a)[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry != 0) a->push_back(static_cast<uint32_t>(carry));
 }
 
-std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  IPDB_CHECK_GE(CompareMagnitude(a, b), 0);
-  std::vector<uint32_t> result;
-  result.reserve(a.size());
+// a -= b in place. Requires |a| >= |b|; the caller normalizes.
+void SubMagInPlace(uint32_t* a, size_t an, const uint32_t* b, size_t bn) {
   int64_t borrow = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  size_t i = 0;
+  for (; i < bn; ++i) {
     int64_t diff = static_cast<int64_t>(a[i]) - borrow -
-                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+                   static_cast<int64_t>(b[i]);
     if (diff < 0) {
       diff += static_cast<int64_t>(kBase);
       borrow = 1;
     } else {
       borrow = 0;
     }
-    result.push_back(static_cast<uint32_t>(diff));
+    a[i] = static_cast<uint32_t>(diff);
   }
+  for (; borrow != 0 && i < an; ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow;
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    a[i] = static_cast<uint32_t>(diff);
+  }
+  IPDB_CHECK_EQ(borrow, 0) << "SubMagInPlace underflow";
+}
+
+// a - b as a fresh vector. Requires |a| >= |b|.
+Limbs SubMag(const uint32_t* a, size_t an, const uint32_t* b, size_t bn) {
+  Limbs result(a, a + an);
+  SubMagInPlace(result.data(), result.size(), b, bn);
   Normalize(&result);
   return result;
 }
 
-std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  if (a.empty() || b.empty()) return {};
-  std::vector<uint32_t> result(a.size() + b.size(), 0);
-  for (size_t i = 0; i < a.size(); ++i) {
+// out[0..an+bn) += nothing; writes a*b into the zero-initialized
+// window. 64-bit accumulator schoolbook.
+void MulSchoolbook(const uint32_t* a, size_t an, const uint32_t* b,
+                   size_t bn, uint32_t* out) {
+  if (an == 1 || bn == 1) {
+    // Single-limb factor: one linear pass.
+    const uint32_t* v = an == 1 ? b : a;
+    size_t vn = an == 1 ? bn : an;
+    uint64_t m = an == 1 ? a[0] : b[0];
     uint64_t carry = 0;
-    for (size_t j = 0; j < b.size(); ++j) {
-      uint64_t cur = static_cast<uint64_t>(a[i]) * b[j] + result[i + j] + carry;
-      result[i + j] = static_cast<uint32_t>(cur & 0xffffffffULL);
+    for (size_t i = 0; i < vn; ++i) {
+      uint64_t cur = static_cast<uint64_t>(v[i]) * m + carry;
+      out[i] = static_cast<uint32_t>(cur);
       carry = cur >> 32;
     }
-    size_t k = i + b.size();
-    while (carry != 0) {
-      uint64_t cur = result[k] + carry;
-      result[k] = static_cast<uint32_t>(cur & 0xffffffffULL);
-      carry = cur >> 32;
-      ++k;
-    }
+    out[vn] = static_cast<uint32_t>(carry);
+    return;
   }
-  Normalize(&result);
-  return result;
+  for (size_t i = 0; i < an; ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < bn; ++j) {
+      uint64_t cur = ai * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out[i + bn] = static_cast<uint32_t>(carry);
+  }
 }
 
-void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
-                             const std::vector<uint32_t>& b,
-                             std::vector<uint32_t>* quotient,
-                             std::vector<uint32_t>* remainder) {
+// out[offset..] += v with carry propagation; the carry must die inside
+// the window (guaranteed when adding partial products of a product that
+// fits the window).
+void AddAt(uint32_t* out, size_t out_size, const uint32_t* v, size_t vn) {
+  uint64_t carry = 0;
+  size_t i = 0;
+  for (; i < vn; ++i) {
+    uint64_t sum = static_cast<uint64_t>(out[i]) + v[i] + carry;
+    out[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  for (; carry != 0 && i < out_size; ++i) {
+    uint64_t sum = static_cast<uint64_t>(out[i]) + carry;
+    out[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  IPDB_CHECK_EQ(carry, 0u) << "AddAt overflowed the product window";
+}
+
+// *a -= b (magnitudes, |a| >= |b|); trailing zero limbs of b allowed.
+void SubFromRaw(Limbs* a, const uint32_t* b, size_t bn) {
+  while (bn > 0 && b[bn - 1] == 0) --bn;
+  IPDB_CHECK_GE(a->size(), bn);
+  SubMagInPlace(a->data(), a->size(), b, bn);
+  Normalize(a);
+}
+
+// Karatsuba/schoolbook dispatch; writes a*b into the zero-initialized
+// out[0..an+bn).
+void MulInto(const uint32_t* a, size_t an, const uint32_t* b, size_t bn,
+             uint32_t* out) {
+  if (an == 0 || bn == 0) return;
+  if (std::min(an, bn) < kKaratsubaThreshold) {
+    MulSchoolbook(a, an, b, bn, out);
+    return;
+  }
+  // Split both operands at m limbs: x = x1·B^m + x0. z0 and z2 land in
+  // disjoint windows of `out`; the middle term is assembled separately
+  // because it overlaps both.
+  size_t m = std::max(an, bn) / 2;
+  size_t a0n = std::min(an, m), a1n = an - a0n;
+  size_t b0n = std::min(bn, m), b1n = bn - b0n;
+  const uint32_t* a1 = a + a0n;
+  const uint32_t* b1 = b + b0n;
+
+  MulInto(a, a0n, b, b0n, out);                    // z0 = a0·b0
+  if (a1n != 0 && b1n != 0) {
+    MulInto(a1, a1n, b1, b1n, out + 2 * m);        // z2 = a1·b1
+  }
+
+  // z1 = (a0+a1)(b0+b1) − z0 − z2, added at offset m.
+  Limbs t1(a, a + a0n);
+  AddMagInPlace(&t1, a1, a1n);
+  Normalize(&t1);
+  Limbs t2(b, b + b0n);
+  AddMagInPlace(&t2, b1, b1n);
+  Normalize(&t2);
+  Limbs z1(t1.size() + t2.size(), 0);
+  MulInto(t1.data(), t1.size(), t2.data(), t2.size(), z1.data());
+  Normalize(&z1);
+  SubFromRaw(&z1, out, a0n + b0n);
+  if (a1n != 0 && b1n != 0) {
+    SubFromRaw(&z1, out + 2 * m, a1n + b1n);
+  }
+  AddAt(out + m, an + bn - m, z1.data(), z1.size());
+}
+
+Limbs MulMag(const uint32_t* a, size_t an, const uint32_t* b, size_t bn) {
+  if (an == 0 || bn == 0) return {};
+  Limbs out(an + bn, 0);
+  MulInto(a, an, b, bn, out.data());
+  Normalize(&out);
+  return out;
+}
+
+void DivModMag(const Limbs& a, const Limbs& b, Limbs* quotient,
+               Limbs* remainder) {
   IPDB_CHECK(!b.empty()) << "division by zero";
   quotient->clear();
   remainder->clear();
-  if (CompareMagnitude(a, b) < 0) {
+  if (CompareMag(a, b) < 0) {
     *remainder = a;
     Normalize(remainder);
     return;
@@ -191,9 +233,9 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
       ++shift;
     }
   }
-  auto shift_left = [](const std::vector<uint32_t>& v, int s) {
+  auto shift_left = [](const Limbs& v, int s) {
     if (s == 0) return v;
-    std::vector<uint32_t> out(v.size() + 1, 0);
+    Limbs out(v.size() + 1, 0);
     for (size_t i = 0; i < v.size(); ++i) {
       out[i] |= v[i] << s;
       out[i + 1] |= static_cast<uint32_t>(static_cast<uint64_t>(v[i]) >>
@@ -202,8 +244,8 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
     Normalize(&out);
     return out;
   };
-  std::vector<uint32_t> u = shift_left(a, shift);
-  std::vector<uint32_t> v = shift_left(b, shift);
+  Limbs u = shift_left(a, shift);
+  Limbs v = shift_left(b, shift);
   size_t n = v.size();
   size_t m = u.size() - n;
   u.resize(u.size() + 1, 0);  // extra high limb for the algorithm
@@ -240,7 +282,8 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
     int64_t diff = static_cast<int64_t>(u[j + n]) -
                    static_cast<int64_t>(carry) - borrow;
     bool negative = diff < 0;
-    u[j + n] = static_cast<uint32_t>(diff + (negative ? static_cast<int64_t>(kBase) : 0));
+    u[j + n] = static_cast<uint32_t>(
+        diff + (negative ? static_cast<int64_t>(kBase) : 0));
 
     if (negative) {
       // q_hat was one too large: add v back.
@@ -271,59 +314,508 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
   *remainder = std::move(u);
 }
 
-BigInt BigInt::operator+(const BigInt& other) const {
-  if (negative_ == other.negative_) {
-    return BigInt(negative_, AddMagnitude(limbs_, other.limbs_));
+// *v = *v * mul + add, for small constants (decimal parsing).
+void MulSmallAddInPlace(Limbs* v, uint32_t mul, uint32_t add) {
+  uint64_t carry = add;
+  for (uint32_t& limb : *v) {
+    uint64_t cur = static_cast<uint64_t>(limb) * mul + carry;
+    limb = static_cast<uint32_t>(cur);
+    carry = cur >> 32;
   }
-  int cmp = CompareMagnitude(limbs_, other.limbs_);
-  if (cmp == 0) return BigInt();
+  if (carry != 0) v->push_back(static_cast<uint32_t>(carry));
+}
+
+size_t TrailingZeroBits(const Limbs& v) {
+  size_t i = 0;
+  while (i < v.size() && v[i] == 0) ++i;
+  if (i == v.size()) return 32 * v.size();
+  return 32 * i + static_cast<size_t>(__builtin_ctz(v[i]));
+}
+
+void ShrBitsInPlace(Limbs* v, size_t bits) {
+  if (v->empty() || bits == 0) return;
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  if (limb_shift >= v->size()) {
+    v->clear();
+    return;
+  }
+  if (limb_shift != 0) v->erase(v->begin(), v->begin() + limb_shift);
+  if (bit_shift != 0) {
+    for (size_t i = 0; i + 1 < v->size(); ++i) {
+      (*v)[i] = ((*v)[i] >> bit_shift) |
+                static_cast<uint32_t>(static_cast<uint64_t>((*v)[i + 1])
+                                      << (32 - bit_shift));
+    }
+    v->back() >>= bit_shift;
+  }
+  Normalize(v);
+}
+
+void ShlBitsInPlace(Limbs* v, size_t bits) {
+  if (v->empty() || bits == 0) return;
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  if (bit_shift != 0) {
+    v->push_back(0);
+    for (size_t i = v->size(); i-- > 0;) {
+      uint32_t hi = (*v)[i] << bit_shift;
+      uint32_t lo = i > 0
+                        ? static_cast<uint32_t>(
+                              static_cast<uint64_t>((*v)[i - 1]) >>
+                              (32 - bit_shift))
+                        : 0;
+      (*v)[i] = hi | lo;
+    }
+  }
+  if (limb_shift != 0) v->insert(v->begin(), limb_shift, 0);
+  Normalize(v);
+}
+
+uint64_t Gcd64(uint64_t a, uint64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  int shift = __builtin_ctzll(a | b);
+  a >>= __builtin_ctzll(a);
+  do {
+    b >>= __builtin_ctzll(b);
+    if (a > b) std::swap(a, b);
+    b -= a;
+  } while (b != 0);
+  return a << shift;
+}
+
+// Binary (Stein) GCD on magnitudes, with Euclid reduction steps while
+// the operand sizes are badly unbalanced (a pure binary ladder would
+// take O(bits) linear passes to close a large size gap).
+Limbs GcdMag(Limbs a, Limbs b) {
+  while (!a.empty() && !b.empty() &&
+         (a.size() > b.size() + 1 || b.size() > a.size() + 1)) {
+    if (CompareMag(a, b) < 0) a.swap(b);
+    Limbs q;
+    Limbs r;
+    DivModMag(a, b, &q, &r);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  size_t a_twos = TrailingZeroBits(a);
+  size_t b_twos = TrailingZeroBits(b);
+  size_t shift = std::min(a_twos, b_twos);
+  ShrBitsInPlace(&a, a_twos);
+  ShrBitsInPlace(&b, b_twos);
+  while (true) {
+    int cmp = CompareMag(a, b);
+    if (cmp == 0) break;
+    if (cmp > 0) a.swap(b);
+    SubMagInPlace(b.data(), b.size(), a.data(), a.size());
+    Normalize(&b);
+    ShrBitsInPlace(&b, TrailingZeroBits(b));
+  }
+  ShlBitsInPlace(&a, shift);
+  return a;
+}
+
+}  // namespace
+
+BigInt::BigInt(bool negative, std::vector<uint32_t> limbs)
+    : inline_(false), negative_(negative), limbs_(std::move(limbs)) {
+  Normalize(&limbs_);
+  if (limbs_.empty()) negative_ = false;
+  CollapseIfSmall();
+}
+
+BigInt BigInt::FromWide(bool negative, unsigned __int128 magnitude) {
+  if (magnitude == 0) return BigInt();
+  if (!negative &&
+      magnitude <= static_cast<unsigned __int128>(INT64_MAX)) {
+    return BigInt(static_cast<int64_t>(static_cast<uint64_t>(magnitude)));
+  }
+  if (negative && magnitude <= (static_cast<unsigned __int128>(1) << 63)) {
+    return BigInt(
+        static_cast<int64_t>(~static_cast<uint64_t>(magnitude) + 1));
+  }
+  BigInt result;
+  result.inline_ = false;
+  result.negative_ = negative;
+  while (magnitude != 0) {
+    result.limbs_.push_back(static_cast<uint32_t>(magnitude));
+    magnitude >>= 32;
+  }
+  return result;
+}
+
+uint64_t BigInt::InlineMagnitude() const {
+  return small_ < 0 ? ~static_cast<uint64_t>(small_) + 1
+                    : static_cast<uint64_t>(small_);
+}
+
+void BigInt::SpillToLimbs() {
+  if (!inline_) return;
+  uint64_t magnitude = InlineMagnitude();
+  negative_ = small_ < 0;
+  limbs_.clear();
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<uint32_t>(magnitude));
+    magnitude >>= 32;
+  }
+  inline_ = false;
+  small_ = 0;
+}
+
+void BigInt::CollapseIfSmall() {
+  if (inline_) return;
+  if (limbs_.size() > 2) return;
+  uint64_t magnitude = 0;
+  if (!limbs_.empty()) magnitude = limbs_[0];
+  if (limbs_.size() == 2) {
+    magnitude |= static_cast<uint64_t>(limbs_[1]) << 32;
+  }
+  if (negative_) {
+    if (magnitude > (1ULL << 63)) return;
+    small_ = static_cast<int64_t>(~magnitude + 1);
+  } else {
+    if (magnitude > static_cast<uint64_t>(INT64_MAX)) return;
+    small_ = static_cast<int64_t>(magnitude);
+  }
+  inline_ = true;
+  negative_ = false;
+  limbs_.clear();
+}
+
+const uint32_t* BigInt::MagnitudeView(const BigInt& v, uint32_t buf[2],
+                                      size_t* n, bool* negative) {
+  if (!v.inline_) {
+    *n = v.limbs_.size();
+    *negative = v.negative_;
+    return v.limbs_.data();
+  }
+  uint64_t magnitude = v.InlineMagnitude();
+  buf[0] = static_cast<uint32_t>(magnitude);
+  buf[1] = static_cast<uint32_t>(magnitude >> 32);
+  *n = magnitude == 0 ? 0 : (magnitude >> 32 != 0 ? 2 : 1);
+  *negative = v.small_ < 0;
+  return buf;
+}
+
+void BigInt::AccumulateMagnitude(bool other_negative, const uint32_t* other,
+                                 size_t other_size) {
+  if (negative_ == other_negative) {
+    AddMagInPlace(&limbs_, other, other_size);
+    return;
+  }
+  int cmp = CompareMag(limbs_.data(), limbs_.size(), other, other_size);
+  if (cmp == 0) {
+    limbs_.clear();
+    negative_ = false;
+    return;
+  }
   if (cmp > 0) {
-    return BigInt(negative_, SubMagnitude(limbs_, other.limbs_));
+    SubMagInPlace(limbs_.data(), limbs_.size(), other, other_size);
+    Normalize(&limbs_);
+  } else {
+    limbs_ = SubMag(other, other_size, limbs_.data(), limbs_.size());
+    negative_ = other_negative;
   }
-  return BigInt(other.negative_, SubMagnitude(other.limbs_, limbs_));
+  if (limbs_.empty()) negative_ = false;
+}
+
+StatusOr<BigInt> BigInt::FromString(const std::string& text) {
+  size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  if (pos >= text.size()) {
+    return InvalidArgumentError("empty integer literal: '" + text + "'");
+  }
+  for (size_t i = pos; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') {
+      return InvalidArgumentError("bad digit in integer literal: '" + text +
+                                  "'");
+    }
+  }
+  size_t digits = text.size() - pos;
+  if (digits <= 18) {
+    // Fits in int64_t with room to spare: stay inline.
+    int64_t value = 0;
+    for (size_t i = pos; i < text.size(); ++i) {
+      value = value * 10 + (text[i] - '0');
+    }
+    return BigInt(negative ? -value : value);
+  }
+  // Limb accumulation in base-10^9 chunks: one multiply-add pass per
+  // nine digits instead of one BigInt multiply per digit.
+  Limbs limbs;
+  size_t head = digits % 9;
+  size_t i = pos;
+  if (head != 0) {
+    uint32_t chunk = 0;
+    for (size_t k = 0; k < head; ++k) chunk = chunk * 10 + (text[i++] - '0');
+    limbs.push_back(chunk);
+    Normalize(&limbs);
+  }
+  for (; i < text.size(); i += 9) {
+    uint32_t chunk = 0;
+    for (size_t k = 0; k < 9; ++k) chunk = chunk * 10 + (text[i + k] - '0');
+    MulSmallAddInPlace(&limbs, 1000000000u, chunk);
+  }
+  return BigInt(negative, std::move(limbs));
+}
+
+int BigInt::sign() const {
+  if (inline_) return small_ < 0 ? -1 : (small_ > 0 ? 1 : 0);
+  return negative_ ? -1 : 1;
+}
+
+BigInt BigInt::operator-() const {
+  if (inline_) {
+    if (small_ == INT64_MIN) return FromWide(false, 1ULL << 63);
+    return BigInt(-small_);
+  }
+  BigInt result = *this;
+  result.negative_ = !negative_;
+  // +2^63 is limb-form but -2^63 is inline: keep the form canonical.
+  result.CollapseIfSmall();
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  if (inline_) {
+    if (small_ == INT64_MIN) return FromWide(false, 1ULL << 63);
+    return BigInt(small_ < 0 ? -small_ : small_);
+  }
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.inline_ && b.inline_) {
+    if (a.small_ != b.small_) return a.small_ < b.small_ ? -1 : 1;
+    return 0;
+  }
+  bool a_negative = a.is_negative();
+  bool b_negative = b.is_negative();
+  if (a_negative != b_negative) return a_negative ? -1 : 1;
+  int magnitude;
+  if (a.inline_ != b.inline_) {
+    // Canonical invariant: a limb-form magnitude never fits in int64_t,
+    // so it strictly exceeds any inline magnitude.
+    magnitude = a.inline_ ? -1 : 1;
+  } else {
+    magnitude = CompareMag(a.limbs_, b.limbs_);
+  }
+  return a_negative ? -magnitude : magnitude;
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) {
+  if (inline_ && other.inline_) {
+    int64_t sum;
+    if (!__builtin_add_overflow(small_, other.small_, &sum)) {
+      small_ = sum;
+      return *this;
+    }
+    __int128 wide = static_cast<__int128>(small_) + other.small_;
+    *this = FromWide(wide < 0, wide < 0
+                                   ? static_cast<unsigned __int128>(-wide)
+                                   : static_cast<unsigned __int128>(wide));
+    return *this;
+  }
+  if (&other == this) {
+    BigInt copy = other;
+    return *this += copy;
+  }
+  SpillToLimbs();
+  uint32_t buf[2];
+  size_t bn;
+  bool b_negative;
+  const uint32_t* bp = MagnitudeView(other, buf, &bn, &b_negative);
+  AccumulateMagnitude(b_negative, bp, bn);
+  CollapseIfSmall();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& other) {
+  if (inline_ && other.inline_) {
+    int64_t diff;
+    if (!__builtin_sub_overflow(small_, other.small_, &diff)) {
+      small_ = diff;
+      return *this;
+    }
+    __int128 wide = static_cast<__int128>(small_) - other.small_;
+    *this = FromWide(wide < 0, wide < 0
+                                   ? static_cast<unsigned __int128>(-wide)
+                                   : static_cast<unsigned __int128>(wide));
+    return *this;
+  }
+  if (&other == this) {
+    *this = BigInt();
+    return *this;
+  }
+  SpillToLimbs();
+  uint32_t buf[2];
+  size_t bn;
+  bool b_negative;
+  const uint32_t* bp = MagnitudeView(other, buf, &bn, &b_negative);
+  AccumulateMagnitude(!b_negative, bp, bn);
+  CollapseIfSmall();
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+  if (inline_ && other.inline_) {
+    int64_t product;
+    if (!__builtin_mul_overflow(small_, other.small_, &product)) {
+      small_ = product;
+      return *this;
+    }
+    unsigned __int128 magnitude =
+        static_cast<unsigned __int128>(InlineMagnitude()) *
+        other.InlineMagnitude();
+    *this = FromWide((small_ < 0) != (other.small_ < 0), magnitude);
+    return *this;
+  }
+  *this = *this * other;
+  return *this;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (inline_ && other.inline_) {
+    int64_t sum;
+    if (!__builtin_add_overflow(small_, other.small_, &sum)) {
+      return BigInt(sum);
+    }
+    __int128 wide = static_cast<__int128>(small_) + other.small_;
+    return FromWide(wide < 0, wide < 0
+                                  ? static_cast<unsigned __int128>(-wide)
+                                  : static_cast<unsigned __int128>(wide));
+  }
+  BigInt result = *this;
+  result += other;
+  return result;
 }
 
 BigInt BigInt::operator-(const BigInt& other) const {
-  return *this + (-other);
+  if (inline_ && other.inline_) {
+    int64_t diff;
+    if (!__builtin_sub_overflow(small_, other.small_, &diff)) {
+      return BigInt(diff);
+    }
+    __int128 wide = static_cast<__int128>(small_) - other.small_;
+    return FromWide(wide < 0, wide < 0
+                                  ? static_cast<unsigned __int128>(-wide)
+                                  : static_cast<unsigned __int128>(wide));
+  }
+  BigInt result = *this;
+  result -= other;
+  return result;
 }
 
 BigInt BigInt::operator*(const BigInt& other) const {
-  return BigInt(negative_ != other.negative_,
-                MulMagnitude(limbs_, other.limbs_));
+  if (inline_ && other.inline_) {
+    int64_t product;
+    if (!__builtin_mul_overflow(small_, other.small_, &product)) {
+      return BigInt(product);
+    }
+    unsigned __int128 magnitude =
+        static_cast<unsigned __int128>(InlineMagnitude()) *
+        other.InlineMagnitude();
+    return FromWide((small_ < 0) != (other.small_ < 0), magnitude);
+  }
+  uint32_t a_buf[2];
+  uint32_t b_buf[2];
+  size_t an;
+  size_t bn;
+  bool a_negative;
+  bool b_negative;
+  const uint32_t* ap = MagnitudeView(*this, a_buf, &an, &a_negative);
+  const uint32_t* bp = MagnitudeView(other, b_buf, &bn, &b_negative);
+  return BigInt(a_negative != b_negative, MulMag(ap, an, bp, bn));
 }
 
-void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
-                    BigInt* quotient, BigInt* remainder) {
-  std::vector<uint32_t> q;
-  std::vector<uint32_t> r;
-  DivModMagnitude(dividend.limbs_, divisor.limbs_, &q, &r);
-  *quotient = BigInt(dividend.negative_ != divisor.negative_, std::move(q));
-  *remainder = BigInt(dividend.negative_, std::move(r));
+Status BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                      BigInt* quotient, BigInt* remainder) {
+  if (divisor.is_zero()) {
+    return InvalidArgumentError("BigInt division by zero");
+  }
+  if (dividend.inline_ && divisor.inline_) {
+    // __int128 covers INT64_MIN / -1, which overflows int64_t.
+    __int128 q = static_cast<__int128>(dividend.small_) / divisor.small_;
+    __int128 r = static_cast<__int128>(dividend.small_) % divisor.small_;
+    *quotient = FromWide(q < 0, q < 0
+                                    ? static_cast<unsigned __int128>(-q)
+                                    : static_cast<unsigned __int128>(q));
+    *remainder = BigInt(static_cast<int64_t>(r));
+    return Status::Ok();
+  }
+  uint32_t a_buf[2];
+  uint32_t b_buf[2];
+  size_t an;
+  size_t bn;
+  bool a_negative;
+  bool b_negative;
+  const uint32_t* ap = MagnitudeView(dividend, a_buf, &an, &a_negative);
+  const uint32_t* bp = MagnitudeView(divisor, b_buf, &bn, &b_negative);
+  Limbs a(ap, ap + an);
+  Limbs b(bp, bp + bn);
+  Limbs q;
+  Limbs r;
+  DivModMag(a, b, &q, &r);
+  *quotient = BigInt(a_negative != b_negative, std::move(q));
+  *remainder = BigInt(a_negative, std::move(r));
+  return Status::Ok();
+}
+
+StatusOr<BigInt> BigInt::CheckedDiv(const BigInt& dividend,
+                                    const BigInt& divisor) {
+  BigInt quotient;
+  BigInt remainder;
+  Status status = DivMod(dividend, divisor, &quotient, &remainder);
+  if (!status.ok()) return status;
+  return quotient;
+}
+
+StatusOr<BigInt> BigInt::CheckedMod(const BigInt& dividend,
+                                    const BigInt& divisor) {
+  BigInt quotient;
+  BigInt remainder;
+  Status status = DivMod(dividend, divisor, &quotient, &remainder);
+  if (!status.ok()) return status;
+  return remainder;
 }
 
 BigInt BigInt::operator/(const BigInt& other) const {
   BigInt quotient;
   BigInt remainder;
-  DivMod(*this, other, &quotient, &remainder);
+  Status status = DivMod(*this, other, &quotient, &remainder);
+  IPDB_CHECK(status.ok()) << status.ToString();
   return quotient;
 }
 
 BigInt BigInt::operator%(const BigInt& other) const {
   BigInt quotient;
   BigInt remainder;
-  DivMod(*this, other, &quotient, &remainder);
+  Status status = DivMod(*this, other, &quotient, &remainder);
+  IPDB_CHECK(status.ok()) << status.ToString();
   return remainder;
 }
 
 BigInt BigInt::Gcd(BigInt a, BigInt b) {
-  a = a.Abs();
-  b = b.Abs();
-  while (!b.is_zero()) {
-    BigInt r = a % b;
-    a = std::move(b);
-    b = std::move(r);
+  if (a.is_zero()) return b.Abs();
+  if (b.is_zero()) return a.Abs();
+  if (a.inline_ && b.inline_) {
+    uint64_t g = Gcd64(a.InlineMagnitude(), b.InlineMagnitude());
+    if (g <= static_cast<uint64_t>(INT64_MAX)) {
+      return BigInt(static_cast<int64_t>(g));
+    }
+    return FromWide(false, g);
   }
-  return a;
+  a.SpillToLimbs();
+  b.SpillToLimbs();
+  return BigInt(false, GcdMag(std::move(a.limbs_), std::move(b.limbs_)));
 }
 
 BigInt BigInt::Pow(uint64_t exponent) const {
@@ -338,12 +830,16 @@ BigInt BigInt::Pow(uint64_t exponent) const {
 }
 
 BigInt BigInt::TwoToThe(uint64_t exponent) {
+  if (exponent <= 62) {
+    return BigInt(static_cast<int64_t>(1) << exponent);
+  }
   std::vector<uint32_t> limbs(exponent / 32 + 1, 0);
   limbs.back() = 1u << (exponent % 32);
   return BigInt(false, std::move(limbs));
 }
 
 double BigInt::ToDouble() const {
+  if (inline_) return static_cast<double>(small_);
   double magnitude = 0.0;
   for (size_t i = limbs_.size(); i-- > 0;) {
     magnitude = magnitude * 4294967296.0 + static_cast<double>(limbs_[i]);
@@ -352,26 +848,13 @@ double BigInt::ToDouble() const {
 }
 
 StatusOr<int64_t> BigInt::ToInt64() const {
-  if (limbs_.size() > 2) {
-    return OutOfRangeError("BigInt does not fit in int64_t: " + ToString());
-  }
-  uint64_t magnitude = 0;
-  if (limbs_.size() >= 1) magnitude = limbs_[0];
-  if (limbs_.size() == 2) magnitude |= static_cast<uint64_t>(limbs_[1]) << 32;
-  if (negative_) {
-    if (magnitude > 0x8000000000000000ULL) {
-      return OutOfRangeError("BigInt does not fit in int64_t: " + ToString());
-    }
-    return static_cast<int64_t>(~magnitude + 1);
-  }
-  if (magnitude > 0x7fffffffffffffffULL) {
-    return OutOfRangeError("BigInt does not fit in int64_t: " + ToString());
-  }
-  return static_cast<int64_t>(magnitude);
+  // Canonical invariant: every value that fits in int64_t is inline.
+  if (inline_) return small_;
+  return OutOfRangeError("BigInt does not fit in int64_t: " + ToString());
 }
 
 std::string BigInt::ToString() const {
-  if (is_zero()) return "0";
+  if (inline_) return std::to_string(small_);
   std::vector<uint32_t> digits;  // base 10^9 chunks, little-endian
   std::vector<uint32_t> current = limbs_;
   while (!current.empty()) {
@@ -396,7 +879,11 @@ std::string BigInt::ToString() const {
 }
 
 size_t BigInt::BitLength() const {
-  if (limbs_.empty()) return 0;
+  if (inline_) {
+    uint64_t magnitude = InlineMagnitude();
+    if (magnitude == 0) return 0;
+    return 64 - static_cast<size_t>(__builtin_clzll(magnitude));
+  }
   uint32_t top = limbs_.back();
   size_t bits = (limbs_.size() - 1) * 32;
   while (top != 0) {

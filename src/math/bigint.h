@@ -11,22 +11,36 @@
 namespace ipdb {
 namespace math {
 
-/// Arbitrary-precision signed integer.
+/// Arbitrary-precision signed integer with a small-value fast path.
 ///
-/// Representation: sign/magnitude with base-2^32 limbs (little-endian,
-/// normalized so the most significant limb is non-zero; zero has no limbs
-/// and non-negative sign). Value semantics; all operations are
-/// out-of-place. Multiplication is schoolbook, division is Knuth
-/// Algorithm D — adequate for the magnitudes arising from exact
-/// probability computations in this library (hundreds of digits).
+/// Representation: a tagged union of
+///  * an *inline* `int64_t` (no heap allocation) — the common case for
+///    the exact probability computations in this library, and
+///  * a sign/magnitude *limb* form with base-2^32 limbs (little-endian,
+///    normalized so the most significant limb is non-zero), used only
+///    once a value no longer fits in an `int64_t`.
+///
+/// The representation is canonical: any value representable as an
+/// `int64_t` is stored inline, so equality is field-wise and never has
+/// to compare across forms. Arithmetic on two inline operands runs on
+/// machine words with overflow checks and only *spills* to limbs when
+/// the result leaves the inline range; limb arithmetic collapses back
+/// to inline form whenever a result fits.
+///
+/// Value semantics. The compound operators (`+=`, `-=`, `*=`) mutate in
+/// place and avoid reallocating limb storage where possible.
+/// Multiplication is schoolbook with 64-bit accumulators below a
+/// crossover and Karatsuba above it; division is Knuth Algorithm D;
+/// GCD is binary (Stein) with a hybrid Euclid step for very unbalanced
+/// operands.
 class BigInt {
  public:
   /// Zero.
   BigInt() = default;
 
   /// Conversion from a machine integer (implicit: BigInt is a drop-in
-  /// numeric type).
-  BigInt(int64_t value);  // NOLINT
+  /// numeric type). Always inline.
+  BigInt(int64_t value) : small_(value) {}  // NOLINT
 
   /// Parses an optionally signed decimal string.
   static StatusOr<BigInt> FromString(const std::string& text);
@@ -36,8 +50,15 @@ class BigInt {
   BigInt(BigInt&&) = default;
   BigInt& operator=(BigInt&&) = default;
 
-  bool is_zero() const { return limbs_.empty(); }
-  bool is_negative() const { return negative_; }
+  bool is_zero() const { return inline_ && small_ == 0; }
+  bool is_one() const { return inline_ && small_ == 1; }
+  bool is_negative() const { return inline_ ? small_ < 0 : negative_; }
+
+  /// True when the value is stored inline (fits in int64_t). Exposed so
+  /// exact-arithmetic hot paths (Rational) can stay on machine words.
+  bool is_inline() const { return inline_; }
+  /// The inline value; only meaningful when `is_inline()`.
+  int64_t inline_value() const { return small_; }
 
   /// -1, 0 or +1.
   int sign() const;
@@ -50,21 +71,30 @@ class BigInt {
   BigInt operator*(const BigInt& other) const;
 
   /// Truncated division (C++ semantics: quotient rounds toward zero,
-  /// remainder has the sign of the dividend). Divisor must be non-zero.
+  /// remainder has the sign of the dividend). Divisor must be non-zero;
+  /// use `CheckedDiv`/`CheckedMod`/`DivMod` for untrusted divisors.
   BigInt operator/(const BigInt& other) const;
   BigInt operator%(const BigInt& other) const;
 
-  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
-  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
-  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
   BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
   BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
 
-  /// Computes quotient and remainder in one pass.
-  static void DivMod(const BigInt& dividend, const BigInt& divisor,
-                     BigInt* quotient, BigInt* remainder);
+  /// Computes quotient and remainder in one pass. Returns
+  /// InvalidArgument (leaving the outputs untouched) on a zero divisor
+  /// instead of aborting.
+  static Status DivMod(const BigInt& dividend, const BigInt& divisor,
+                       BigInt* quotient, BigInt* remainder);
 
-  /// Greatest common divisor (always non-negative).
+  /// Division/remainder that reject a zero divisor with a Status.
+  static StatusOr<BigInt> CheckedDiv(const BigInt& dividend,
+                                     const BigInt& divisor);
+  static StatusOr<BigInt> CheckedMod(const BigInt& dividend,
+                                     const BigInt& divisor);
+
+  /// Greatest common divisor (always non-negative). Binary GCD.
   static BigInt Gcd(BigInt a, BigInt b);
 
   /// this^exponent for exponent >= 0 (square-and-multiply).
@@ -86,6 +116,8 @@ class BigInt {
   size_t BitLength() const;
 
   friend bool operator==(const BigInt& a, const BigInt& b) {
+    if (a.inline_ != b.inline_) return false;
+    if (a.inline_) return a.small_ == b.small_;
     return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
   }
   friend bool operator!=(const BigInt& a, const BigInt& b) {
@@ -108,24 +140,37 @@ class BigInt {
   static int Compare(const BigInt& a, const BigInt& b);
 
  private:
-  // Magnitude-only helpers; ignore signs.
-  static int CompareMagnitude(const std::vector<uint32_t>& a,
-                              const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  // Requires |a| >= |b|.
-  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  static void DivModMagnitude(const std::vector<uint32_t>& a,
-                              const std::vector<uint32_t>& b,
-                              std::vector<uint32_t>* quotient,
-                              std::vector<uint32_t>* remainder);
-  static void Normalize(std::vector<uint32_t>* limbs);
-
+  // Limb-form constructor; normalizes and collapses to inline form when
+  // the magnitude fits in an int64_t.
   BigInt(bool negative, std::vector<uint32_t> limbs);
 
+  // Builds the canonical representation of a signed 128-bit magnitude.
+  static BigInt FromWide(bool negative, unsigned __int128 magnitude);
+
+  // Fills a limb view of `v`'s magnitude without allocating (`buf`
+  // backs inline values). Returns the limb pointer, sets *n and
+  // *negative.
+  static const uint32_t* MagnitudeView(const BigInt& v, uint32_t buf[2],
+                                       size_t* n, bool* negative);
+
+  // |small_| as an unsigned 64-bit magnitude (correct for INT64_MIN).
+  uint64_t InlineMagnitude() const;
+
+  // Replaces the inline form with an equivalent limb form (used before
+  // running a limb kernel in place).
+  void SpillToLimbs();
+
+  // Collapses the limb form back to inline when the magnitude fits.
+  void CollapseIfSmall();
+
+  // Adds/subtracts `other`'s magnitude into this limb-form value given
+  // the effective sign of the other operand.
+  void AccumulateMagnitude(bool other_negative, const uint32_t* other,
+                           size_t other_size);
+
+  bool inline_ = true;
+  int64_t small_ = 0;
+  // Limb form only (inline_ == false):
   bool negative_ = false;
   std::vector<uint32_t> limbs_;
 };

@@ -18,6 +18,12 @@ namespace math {
 /// probability distributions (Theorem 4.1, Lemma 5.7, the finite
 /// completeness theorem): world probabilities are computed and compared
 /// with no rounding at all.
+///
+/// Normalization uses binary GCD with the Henrici fast paths: integer
+/// operands and additions over equal or coprime denominators skip the
+/// reduction entirely (canonicality is implied), multiplication cross-
+/// reduces gcd(n1,d2) and gcd(n2,d1) so the product needs no final GCD.
+/// The compound operators (`+=`, `-=`, `*=`, `/=`) accumulate in place.
 class Rational {
  public:
   /// Zero.
@@ -29,8 +35,13 @@ class Rational {
   Rational(BigInt value)  // NOLINT
       : numerator_(std::move(value)), denominator_(1) {}
 
-  /// numerator / denominator; denominator must be non-zero.
+  /// numerator / denominator; denominator must be non-zero (use
+  /// `Create` for untrusted input).
   Rational(BigInt numerator, BigInt denominator);
+
+  /// numerator / denominator; rejects a zero denominator with a Status
+  /// instead of aborting.
+  static StatusOr<Rational> Create(BigInt numerator, BigInt denominator);
 
   /// Parses "a/b" or "a" with optional signs.
   static StatusOr<Rational> FromString(const std::string& text);
@@ -53,13 +64,18 @@ class Rational {
   Rational operator+(const Rational& other) const;
   Rational operator-(const Rational& other) const;
   Rational operator*(const Rational& other) const;
-  /// Division; other must be non-zero.
+  /// Division; other must be non-zero (use `CheckedDiv` for untrusted
+  /// divisors).
   Rational operator/(const Rational& other) const;
 
-  Rational& operator+=(const Rational& o) { return *this = *this + o; }
-  Rational& operator-=(const Rational& o) { return *this = *this - o; }
-  Rational& operator*=(const Rational& o) { return *this = *this * o; }
-  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+  Rational& operator+=(const Rational& other);
+  Rational& operator-=(const Rational& other);
+  Rational& operator*=(const Rational& other);
+  Rational& operator/=(const Rational& other);
+
+  /// Division that rejects a zero divisor with a Status.
+  static StatusOr<Rational> CheckedDiv(const Rational& dividend,
+                                       const Rational& divisor);
 
   /// this^exponent; negative exponents require a non-zero value.
   Rational Pow(int64_t exponent) const;
@@ -92,6 +108,16 @@ class Rational {
   static int Compare(const Rational& a, const Rational& b);
 
  private:
+  // Tag for constructing from values already known to be canonical
+  // (coprime, positive denominator) — skips the GCD.
+  struct CanonicalTag {};
+  Rational(BigInt numerator, BigInt denominator, CanonicalTag)
+      : numerator_(std::move(numerator)),
+        denominator_(std::move(denominator)) {}
+
+  // *this = *this ± other with all Henrici fast paths.
+  void AddSigned(const Rational& other, bool negate);
+
   void Canonicalize();
 
   BigInt numerator_;

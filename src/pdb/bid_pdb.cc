@@ -28,7 +28,7 @@ StatusOr<BidPdb<P>> BidPdb<P>::Create(rel::Schema schema,
       if (!Traits::IsNonNegative(marginal)) {
         return InvalidArgumentError("negative marginal");
       }
-      block_sum = block_sum + marginal;
+      block_sum += marginal;
     }
     if (Traits::ToDouble(block_sum) > 1.0 + 1e-12) {
       return InvalidArgumentError("block marginal mass exceeds 1");
@@ -54,7 +54,7 @@ P BidPdb<P>::Residual(int block) const {
   IPDB_CHECK_LT(block, num_blocks());
   P total = ProbTraits<P>::Zero();
   for (const auto& [fact, marginal] : blocks_[block]) {
-    total = total + marginal;
+    total += marginal;
   }
   return ProbTraits<P>::One() - total;
 }
@@ -87,10 +87,10 @@ P BidPdb<P>::WorldProbability(const rel::Instance& instance) const {
     }
     if (found_in_block > 1) return ProbTraits<P>::Zero();
     if (found_in_block == 1) {
-      probability = probability * chosen;
+      probability *= chosen;
       ++matched;
     } else {
-      probability = probability * Residual(b);
+      probability *= Residual(b);
     }
   }
   if (matched != instance.size()) return ProbTraits<P>::Zero();
@@ -114,10 +114,10 @@ FinitePdb<P> BidPdb<P>::Expand() const {
     P probability = ProbTraits<P>::One();
     for (int b = 0; b < num_blocks(); ++b) {
       if (choice[b] == 0) {
-        probability = probability * Residual(b);
+        probability *= Residual(b);
       } else {
         chosen.push_back(blocks_[b][choice[b] - 1].first);
-        probability = probability * blocks_[b][choice[b] - 1].second;
+        probability *= blocks_[b][choice[b] - 1].second;
       }
     }
     worlds.emplace_back(rel::Instance(std::move(chosen)),

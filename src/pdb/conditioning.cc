@@ -18,7 +18,7 @@ StatusOr<P> EventProbability(const FinitePdb<P>& pdb,
   for (const auto& [instance, probability] : pdb.worlds()) {
     StatusOr<bool> holds = logic::Evaluate(instance, pdb.schema(), sentence);
     if (!holds.ok()) return holds.status();
-    if (holds.value()) total = total + probability;
+    if (holds.value()) total += probability;
   }
   return total;
 }

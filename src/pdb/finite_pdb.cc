@@ -26,14 +26,14 @@ StatusOr<FinitePdb<P>> FinitePdb<P>::Create(rel::Schema schema,
                                   instance.ToString(schema));
     }
     if (!merged.empty() && merged.back().first == instance) {
-      merged.back().second = merged.back().second + probability;
+      merged.back().second += probability;
     } else {
       merged.emplace_back(std::move(instance), std::move(probability));
     }
   }
   P total = Traits::Zero();
   for (const auto& [instance, probability] : merged) {
-    total = total + probability;
+    total += probability;
   }
   if (!Traits::IsOne(total)) {
     return InvalidArgumentError("world probabilities sum to " +
@@ -67,7 +67,7 @@ template <typename P>
 P FinitePdb<P>::Marginal(const rel::Fact& fact) const {
   P total = ProbTraits<P>::Zero();
   for (const auto& [instance, probability] : worlds_) {
-    if (instance.Contains(fact)) total = total + probability;
+    if (instance.Contains(fact)) total += probability;
   }
   return total;
 }
@@ -103,9 +103,9 @@ P FinitePdb<P>::SizeMomentExact(int k) const {
   for (const auto& [instance, probability] : worlds_) {
     P size_power = ProbTraits<P>::One();
     for (int i = 0; i < k; ++i) {
-      size_power = size_power * P(instance.size());
+      size_power *= P(instance.size());
     }
-    total = total + size_power * probability;
+    total += size_power * probability;
   }
   return total;
 }
@@ -153,11 +153,11 @@ bool FinitePdb<P>::IsTupleIndependent() const {
           }
         }
       }
-      if (covers) joint = joint + probability;
+      if (covers) joint += probability;
     }
     P product = ProbTraits<P>::One();
     for (size_t i = 0; i < facts.size(); ++i) {
-      if ((mask >> i) & 1) product = product * marginals[i];
+      if ((mask >> i) & 1) product *= marginals[i];
     }
     if (!ProbablyEqual(joint, product)) return false;
   }
@@ -202,10 +202,10 @@ bool FinitePdb<P>::IsBlockIndependentDisjoint(
             break;
           }
         }
-        if (covers) joint = joint + probability;
+        if (covers) joint += probability;
       }
       P product = ProbTraits<P>::One();
-      for (const rel::Fact& f : chosen) product = product * Marginal(f);
+      for (const rel::Fact& f : chosen) product *= Marginal(f);
       if (!ProbablyEqual(joint, product)) return false;
     }
     // Advance the mixed-radix counter.

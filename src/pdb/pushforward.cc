@@ -20,7 +20,7 @@ StatusOr<FinitePdb<P>> Pushforward(const FinitePdb<P>& pdb,
     if (!image.ok()) return image.status();
     auto [it, inserted] =
         grouped.emplace(std::move(image).value(), probability);
-    if (!inserted) it->second = it->second + probability;
+    if (!inserted) it->second += probability;
   }
   typename FinitePdb<P>::WorldList worlds;
   worlds.reserve(grouped.size());

@@ -63,9 +63,9 @@ P TiPdb<P>::WorldProbability(const rel::Instance& instance) const {
   P probability = ProbTraits<P>::One();
   for (const auto& [fact, marginal] : facts_) {
     if (instance.Contains(fact)) {
-      probability = probability * marginal;
+      probability *= marginal;
     } else {
-      probability = probability * (ProbTraits<P>::One() - marginal);
+      probability *= ProbTraits<P>::One() - marginal;
     }
   }
   return probability;
@@ -74,7 +74,7 @@ P TiPdb<P>::WorldProbability(const rel::Instance& instance) const {
 template <typename P>
 P TiPdb<P>::MarginalSum() const {
   P total = ProbTraits<P>::Zero();
-  for (const auto& [fact, marginal] : facts_) total = total + marginal;
+  for (const auto& [fact, marginal] : facts_) total += marginal;
   return total;
 }
 
@@ -104,7 +104,7 @@ FinitePdb<P> TiPdb<P>::Expand() const {
     for (size_t i = 0; i < uncertain.size(); ++i) {
       if ((mask >> i) & 1) {
         chosen.push_back(uncertain[i].first);
-        probability = probability * uncertain[i].second;
+        probability *= uncertain[i].second;
       } else {
         probability =
             probability * (ProbTraits<P>::One() - uncertain[i].second);

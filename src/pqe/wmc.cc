@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
+#include <vector>
 
 #include "logic/evaluator.h"
 #include "util/check.h"
@@ -22,12 +22,18 @@ class WmcSolver {
         options_(options) {}
 
   double Solve(NodeId id) {
-    auto it = cache_.find(id);
-    if (it != cache_.end()) {
+    // Dense cache indexed by NodeId (ids are small and contiguous);
+    // kUnsolved is a sentinel outside [0, 1], the range of every result.
+    if (static_cast<size_t>(id) < cache_.size() && cache_[id] != kUnsolved) {
       if (stats_ != nullptr) ++stats_->cache_hits;
-      return it->second;
+      return cache_[id];
     }
     double result = SolveUncached(id);
+    if (static_cast<size_t>(id) >= cache_.size()) {
+      // The lineage grows during solving (Restrict/MakeAnd create
+      // nodes); size up to the current node count in one step.
+      cache_.resize(static_cast<size_t>(lineage_.size()), kUnsolved);
+    }
     cache_[id] = result;
     return result;
   }
@@ -138,11 +144,13 @@ class WmcSolver {
     return total;
   }
 
+  static constexpr double kUnsolved = -1.0;
+
   Lineage& lineage_;
   const std::vector<double>& var_probs_;
   WmcStats* stats_;
   WmcOptions options_;
-  std::unordered_map<NodeId, double> cache_;
+  std::vector<double> cache_;
 };
 
 }  // namespace

@@ -12,8 +12,10 @@ double SizeMomentFinite(const std::vector<std::pair<int64_t, double>>& dist,
   IPDB_CHECK_GE(k, 0);
   double total = 0.0;
   for (const auto& [value, probability] : dist) {
-    total += std::pow(static_cast<double>(value), static_cast<double>(k)) *
-             probability;
+    // value^k by repeated multiplication; k is a small moment order.
+    double power = 1.0;
+    for (int i = 0; i < k; ++i) power *= static_cast<double>(value);
+    total += power * probability;
   }
   return total;
 }

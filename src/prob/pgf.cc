@@ -56,7 +56,10 @@ RationalPolynomial RationalPolynomial::operator*(
   for (size_t i = 0; i < coefficients_.size(); ++i) {
     if (coefficients_[i].is_zero()) continue;
     for (size_t j = 0; j < other.coefficients_.size(); ++j) {
-      product[i + j] += coefficients_[i] * other.coefficients_[j];
+      if (other.coefficients_[j].is_zero()) continue;
+      Rational term = coefficients_[i];
+      term *= other.coefficients_[j];
+      product[i + j] += term;
     }
   }
   return RationalPolynomial(std::move(product));
@@ -75,7 +78,8 @@ RationalPolynomial RationalPolynomial::Derivative() const {
 Rational RationalPolynomial::Evaluate(const Rational& x) const {
   Rational result;
   for (size_t i = coefficients_.size(); i-- > 0;) {
-    result = result * x + coefficients_[i];
+    result *= x;
+    result += coefficients_[i];
   }
   return result;
 }
@@ -94,13 +98,24 @@ std::string RationalPolynomial::ToString() const {
 }
 
 RationalPolynomial TiSizePgf(const std::vector<Rational>& marginals) {
-  RationalPolynomial pgf = RationalPolynomial::Constant(Rational(1));
+  // In-place convolution with each linear factor (1 - p) + p·x, from the
+  // top coefficient down (the exact-arithmetic counterpart of the
+  // PoissonBinomialPmf DP) — no intermediate polynomials.
+  std::vector<Rational> coefficients = {Rational(1)};
+  coefficients.reserve(marginals.size() + 1);
   for (const Rational& p : marginals) {
-    RationalPolynomial factor(
-        {Rational(1) - p, p});  // (1 - p) + p·x
-    pgf = pgf * factor;
+    const Rational stay = Rational(1) - p;
+    coefficients.push_back(Rational(0));
+    for (size_t j = coefficients.size(); j-- > 0;) {
+      coefficients[j] *= stay;
+      if (j > 0) {
+        Rational from_below = coefficients[j - 1];
+        from_below *= p;
+        coefficients[j] += from_below;
+      }
+    }
   }
-  return pgf;
+  return RationalPolynomial(std::move(coefficients));
 }
 
 Rational FactorialMomentFromPgf(const RationalPolynomial& pgf, int k) {
@@ -137,8 +152,14 @@ Rational RawMomentFromPgf(const RationalPolynomial& pgf, int k) {
   // G^{(j)}(1).
   std::vector<BigInt> stirling = StirlingSecondKind(k);
   Rational total;
+  // Derive incrementally: the j-th term needs G^{(j)}, so one
+  // Derivative() per step instead of re-deriving from the PGF each time.
+  RationalPolynomial derivative = pgf;
   for (int j = 0; j <= k; ++j) {
-    total += Rational(stirling[j]) * FactorialMomentFromPgf(pgf, j);
+    if (j > 0) derivative = derivative.Derivative();
+    Rational term(stirling[j]);
+    term *= derivative.Evaluate(Rational(1));
+    total += term;
   }
   return total;
 }

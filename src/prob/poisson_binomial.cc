@@ -28,8 +28,10 @@ double MomentFromPmf(const std::vector<double>& pmf, int k) {
   IPDB_CHECK_GE(k, 0);
   double total = 0.0;
   for (size_t j = 0; j < pmf.size(); ++j) {
-    total += std::pow(static_cast<double>(j), static_cast<double>(k)) *
-             pmf[j];
+    // j^k by repeated multiplication; k is a small moment order.
+    double power = 1.0;
+    for (int i = 0; i < k; ++i) power *= static_cast<double>(j);
+    total += power * pmf[j];
   }
   return total;
 }
@@ -50,10 +52,15 @@ Interval PoissonBinomialMomentInterval(const std::vector<double>& p,
   IPDB_CHECK_GE(tail_mass, 0.0);
   std::vector<double> pmf = PoissonBinomialPmf(p);
 
-  // Prefix moments E[S_n^j] for j = 0..k.
-  std::vector<double> prefix_moment(k + 1);
-  for (int j = 0; j <= k; ++j) {
-    prefix_moment[j] = MomentFromPmf(pmf, j);
+  // Prefix moments E[S_n^j] for j = 0..k, all in a single pass over the
+  // pmf with incremental powers.
+  std::vector<double> prefix_moment(k + 1, 0.0);
+  for (size_t idx = 0; idx < pmf.size(); ++idx) {
+    double power = 1.0;
+    for (int j = 0; j <= k; ++j) {
+      prefix_moment[j] += power * pmf[idx];
+      power *= static_cast<double>(idx);
+    }
   }
 
   double lower = prefix_moment[k];
