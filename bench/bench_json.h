@@ -100,9 +100,9 @@ inline int RunWithJsonDump(int argc, char** argv, const std::string& suite,
 }  // namespace bench_json
 }  // namespace ipdb
 
-#define IPDB_BENCHMARK_JSON_MAIN(suite)                                    \
+#define IPDB_BENCHMARK_JSON_MAIN(suite, default_path)                      \
   int main(int argc, char** argv) {                                        \
-    std::string path = "BENCH_math.json";                                  \
+    std::string path = default_path;                                       \
     for (int i = 1; i < argc; ++i) {                                       \
       std::string arg = argv[i];                                           \
       const std::string prefix = "--bench_json_out=";                      \

@@ -78,4 +78,4 @@ BENCHMARK(BM_RationalPow)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 
-IPDB_BENCHMARK_JSON_MAIN("math_bench")
+IPDB_BENCHMARK_JSON_MAIN("math_bench", "BENCH_math.json")

@@ -91,4 +91,4 @@ BENCHMARK(BM_ExactPoissonBinomialMoment)->Arg(16)->Arg(32)->Arg(64);
 
 }  // namespace
 
-IPDB_BENCHMARK_JSON_MAIN("moments_microbench")
+IPDB_BENCHMARK_JSON_MAIN("moments_microbench", "BENCH_math.json")

@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "bench_json.h"
+#include "kc/compile.h"
+#include "kc/evaluate.h"
 #include "logic/parser.h"
 #include "pqe/expected_answers.h"
 #include "pqe/lineage.h"
@@ -231,6 +236,103 @@ BENCHMARK(BM_ParallelRankedAnswers)
     ->Arg(8)
     ->UseRealTime();
 
+/// The decomposable-suite lineage shared by the compile-once rows: the
+/// path query over a chain TI (independent-component decomposition with
+/// a little Shannon expansion — the regime knowledge compilation is
+/// built for).
+void GroundDecomposableSuite(int n, pqe::Lineage* lineage, pqe::NodeId* root,
+                             std::vector<double>* probs) {
+  pdb::TiPdb<double> ti = ChainTi(n);
+  ipdb::logic::Formula query =
+      ipdb::logic::ParseSentence("exists x y z. R(x, y) & R(y, z)",
+                                 ti.schema())
+          .value();
+  *root = pqe::GroundSentence(ti, query, lineage).value();
+  probs->clear();
+  for (const auto& [fact, marginal] : ti.facts()) {
+    probs->push_back(marginal);
+  }
+}
+
+/// Deterministic per-round perturbation of the marginals — the
+/// "evaluate-many" workload re-weights the same lineage, it does not
+/// change it (what-if / sensitivity queries over one compiled circuit).
+void PerturbProbs(int round, std::vector<double>* probs) {
+  for (size_t i = 0; i < probs->size(); ++i) {
+    double delta = 0.001 * (((round * 31 + static_cast<int>(i) * 17) % 13) - 6);
+    (*probs)[i] = std::min(0.99, std::max(0.01, (*probs)[i] + delta));
+  }
+}
+
+void BM_CompileOnceEvaluate64(benchmark::State& state) {
+  // One d-DNNF compilation, then 64 re-evaluations under perturbed
+  // marginals — the compile-once / evaluate-many serving pattern.
+  int n = static_cast<int>(state.range(0));
+  // Grounding is identical for both serving strategies, so it happens
+  // once in setup; the timed region is one compilation plus 64
+  // evaluations (the lineage is pre-warmed so Shannon restrictions are
+  // already interned, as they are after any first solve).
+  pqe::Lineage lineage;
+  pqe::NodeId root;
+  std::vector<double> probs;
+  GroundDecomposableSuite(n, &lineage, &root, &probs);
+  (void)ipdb::kc::CompileLineage(&lineage, root);
+  for (auto _ : state) {
+    auto compiled = ipdb::kc::CompileLineage(&lineage, root);
+    double checksum = 0.0;
+    for (int round = 0; round < 64; ++round) {
+      PerturbProbs(round, &probs);
+      checksum += ipdb::kc::EvaluateCircuit<double>(compiled->circuit,
+                                                    compiled->root, probs)
+                      .value();
+    }
+    benchmark::DoNotOptimize(checksum);
+    state.counters["circuit_nodes"] =
+        static_cast<double>(compiled->stats.circuit_nodes);
+  }
+}
+BENCHMARK(BM_CompileOnceEvaluate64)->Arg(16)->Arg(32);
+
+void BM_LegacyWmc64(benchmark::State& state) {
+  // The same 64 re-weighted queries answered by the legacy solver: a
+  // full Shannon/decomposition solve per round.
+  int n = static_cast<int>(state.range(0));
+  // Same setup as BM_CompileOnceEvaluate64: ground once, pre-warm the
+  // lineage, then time the 64 re-weighted solves.
+  pqe::Lineage lineage;
+  pqe::NodeId root;
+  std::vector<double> probs;
+  GroundDecomposableSuite(n, &lineage, &root, &probs);
+  (void)pqe::ComputeProbability(&lineage, root, probs);
+  for (auto _ : state) {
+    double checksum = 0.0;
+    for (int round = 0; round < 64; ++round) {
+      PerturbProbs(round, &probs);
+      checksum += pqe::ComputeProbability(&lineage, root, probs).value();
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_LegacyWmc64)->Arg(16)->Arg(32);
+
+void BM_ArtifactCacheHitServing(benchmark::State& state) {
+  // End-to-end QueryProbability with a warm artifact cache: ground,
+  // fingerprint, evaluate — no compilation after the first call.
+  pdb::TiPdb<double> ti = ChainTi(static_cast<int>(state.range(0)));
+  ipdb::logic::Formula query =
+      ipdb::logic::ParseSentence("exists x y z. R(x, y) & R(y, z)",
+                                 ti.schema())
+          .value();
+  (void)pqe::QueryProbability(ti, query);  // warm the cache
+  for (auto _ : state) {
+    pqe::WmcStats stats;
+    benchmark::DoNotOptimize(pqe::QueryProbability(ti, query, &stats));
+    state.counters["artifact_hits"] =
+        static_cast<double>(stats.artifact_cache_hits);
+  }
+}
+BENCHMARK(BM_ArtifactCacheHitServing)->Arg(16)->Arg(32);
+
 void BM_LineageRestrict(benchmark::State& state) {
   pdb::TiPdb<double> ti = ChainTi(24);
   ipdb::logic::Formula query =
@@ -247,4 +349,4 @@ BENCHMARK(BM_LineageRestrict);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+IPDB_BENCHMARK_JSON_MAIN("pqe_bench", "BENCH_pqe.json")

@@ -2,27 +2,72 @@
 # Tier-1 verification, run three times: plain, with ASan/UBSan
 # instrumentation (-DIPDB_SANITIZE="address;undefined"), and as an
 # optimized Release build (-O2 -DNDEBUG) so the arithmetic kernels are
-# exercised the way benchmarks and users run them.
+# exercised the way benchmarks and users run them. Every leg includes
+# the knowledge-compilation tests (kc_test, kc_property_test); the
+# Release leg additionally gates compiled-vs-legacy single-shot parity.
 # Usage: ./ci.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
+# The kc tests ride along in every ctest invocation below; fail loudly
+# if they ever drop out of the registered test list.
+require_kc_tests() {
+  local build_dir="$1" listing
+  listing="$(ctest --test-dir "${build_dir}" -N)"
+  for t in kc_test kc_property_test; do
+    if ! grep -q "${t}" <<<"${listing}"; then
+      echo "ci.sh: ${t} missing from ${build_dir} test list" >&2
+      exit 1
+    fi
+  done
+}
+
 echo "=== plain build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j"${jobs}"
+require_kc_tests build
 ctest --test-dir build --output-on-failure -j"${jobs}" "$@"
 
 echo "=== sanitized build + tests (address;undefined) ==="
 cmake -B build-sanitize -S . -DIPDB_SANITIZE="address;undefined" >/dev/null
 cmake --build build-sanitize -j"${jobs}"
+require_kc_tests build-sanitize
 ctest --test-dir build-sanitize --output-on-failure -j"${jobs}" "$@"
 
 echo "=== release build + tests (-O2 -DNDEBUG) ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" >/dev/null
 cmake --build build-release -j"${jobs}"
+require_kc_tests build-release
 ctest --test-dir build-release --output-on-failure -j"${jobs}" "$@"
+
+echo "=== kc_bench single-shot parity gate (Release) ==="
+# One d-DNNF compile + evaluation must stay within 2x of a legacy WMC
+# solve on the gated rows. The tiny bipartite side-4 row is reported but
+# not gated (the legacy solve there is ~4us, so fixed circuit-
+# construction costs dominate the ratio), and side 8 sits near the
+# threshold, so the gate reads the chain rows plus bipartite side 6.
+parity_json="build-release/BENCH_ci_parity.json"
+rm -f "${parity_json}"
+./build-release/bench/kc_bench --bench_json_out="${parity_json}" \
+  --benchmark_filter='SingleShot' --benchmark_min_time=0.2 >/dev/null
+python3 - "${parity_json}" <<'EOF'
+import json, sys
+
+rows = {r["op"]: r["ns_per_op"] for r in json.load(open(sys.argv[1]))["results"]}
+gated = [("BM_KcSingleShotChain/8", "BM_WmcSingleShotChain/8"),
+         ("BM_KcSingleShotChain/16", "BM_WmcSingleShotChain/16"),
+         ("BM_KcSingleShotChain/32", "BM_WmcSingleShotChain/32"),
+         ("BM_KcSingleShotBipartite/6", "BM_WmcSingleShotBipartite/6")]
+failed = False
+for kc, wmc in gated:
+    ratio = rows[kc] / rows[wmc]
+    verdict = "ok" if ratio <= 2.0 else "FAIL (> 2x)"
+    print(f"  {kc:34s} {ratio:5.2f}x of legacy   {verdict}")
+    failed |= ratio > 2.0
+sys.exit(1 if failed else 0)
+EOF
 
 echo "=== ci.sh: all green ==="

@@ -1,0 +1,80 @@
+#include "kc/cache.h"
+
+namespace ipdb {
+namespace kc {
+
+CompiledQueryCache::CompiledQueryCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+StatusOr<std::shared_ptr<const CompiledQuery>>
+CompiledQueryCache::GetOrCompile(pqe::Lineage* lineage, pqe::NodeId root,
+                                 bool* was_hit) {
+  if (lineage == nullptr) return InvalidArgumentError("null lineage");
+  if (root < 0 || root >= lineage->size()) {
+    return InvalidArgumentError("lineage root out of range");
+  }
+  const Key key = LineageFingerprint(*lineage, root);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      if (was_hit != nullptr) *was_hit = true;
+      return it->second->second;
+    }
+  }
+  // Compile outside the lock: compilation can be expensive and other
+  // queries should not stall behind it. A racing thread may compile the
+  // same fingerprint concurrently; the second insert is a no-op.
+  StatusOr<CompiledQuery> compiled = CompileLineage(lineage, root);
+  if (!compiled.ok()) return compiled.status();
+  auto artifact =
+      std::make_shared<const CompiledQuery>(std::move(compiled).value());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      lru_.emplace_front(key, artifact);
+      index_.emplace(key, lru_.begin());
+      while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+    }
+  }
+  if (was_hit != nullptr) *was_hit = false;
+  return artifact;
+}
+
+void CompiledQueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+size_t CompiledQueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+int64_t CompiledQueryCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t CompiledQueryCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+CompiledQueryCache& GlobalCompiledQueryCache() {
+  static CompiledQueryCache* cache = new CompiledQueryCache(128);
+  return *cache;
+}
+
+}  // namespace kc
+}  // namespace ipdb

@@ -1,0 +1,64 @@
+#ifndef IPDB_KC_CACHE_H_
+#define IPDB_KC_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "kc/compile.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace kc {
+
+/// An LRU cache of compiled d-DNNF artifacts keyed by the 128-bit
+/// structural lineage fingerprint. Repeated queries whose grounding
+/// yields a structurally identical lineage — the same query re-asked
+/// with updated marginals, or per-tuple lineages that are isomorphic
+/// across a candidate grid — skip compilation entirely and go straight
+/// to circuit-linear evaluation. Thread-safe: pqe::RankedAnswers and
+/// friends call into it from worker threads.
+class CompiledQueryCache {
+ public:
+  explicit CompiledQueryCache(size_t capacity = 128);
+
+  /// Returns the cached artifact for `root`'s fingerprint, compiling
+  /// (and inserting) on a miss. `was_hit`, if non-null, reports whether
+  /// the artifact came from the cache. Artifacts are shared_ptr-held,
+  /// so an entry evicted mid-use stays alive for its holders.
+  StatusOr<std::shared_ptr<const CompiledQuery>> GetOrCompile(
+      pqe::Lineage* lineage, pqe::NodeId root, bool* was_hit = nullptr);
+
+  void Clear();
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const;
+  int64_t misses() const;
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return static_cast<size_t>(key.first ^ (key.second * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  using Entry = std::pair<Key, std::shared_ptr<const CompiledQuery>>;
+
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+/// The process-wide cache behind pqe::QueryProbability.
+CompiledQueryCache& GlobalCompiledQueryCache();
+
+}  // namespace kc
+}  // namespace ipdb
+
+#endif  // IPDB_KC_CACHE_H_

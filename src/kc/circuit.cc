@@ -1,0 +1,327 @@
+#include "kc/circuit.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace kc {
+
+namespace {
+
+/// Merges two sorted variable lists.
+std::vector<int> MergeSupport(const std::vector<int>& a,
+                              const std::vector<int>& b) {
+  std::vector<int> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+uint64_t ComplementKey(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+Circuit::Circuit() {
+  nodes_.push_back({CircuitKind::kTrue, -1, true, {}});
+  nodes_.push_back({CircuitKind::kFalse, -1, true, {}});
+}
+
+void Circuit::Reserve(size_t expected_nodes) {
+  nodes_.reserve(expected_nodes);
+  intern_.reserve(expected_nodes);
+}
+
+uint64_t Circuit::NodeHashKey(const Node& node) const {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(node.kind));
+  mix(static_cast<uint64_t>(node.variable) + 0x9e3779b9u);
+  mix(node.positive ? 0x7f4a7c15u : 0x2545f491u);
+  for (NodeId c : node.children) mix(static_cast<uint64_t>(c));
+  return h;
+}
+
+NodeId Circuit::Intern(Node node) {
+  const uint64_t key = NodeHashKey(node);
+  // Single-slot intern table: on a (vanishingly rare) 64-bit hash
+  // collision the new node is simply appended without dedup — a
+  // duplicate structure is a size cost, never a correctness one.
+  auto [it, inserted] = intern_.try_emplace(key, kFalseId);
+  if (!inserted) {
+    const Node& existing = nodes_[it->second];
+    if (existing.kind == node.kind && existing.variable == node.variable &&
+        existing.positive == node.positive &&
+        existing.children == node.children) {
+      return it->second;
+    }
+  }
+  num_edges_ += static_cast<int64_t>(node.children.size());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  if (inserted) it->second = id;
+  return id;
+}
+
+NodeId Circuit::Literal(int variable, bool positive) {
+  IPDB_CHECK_GE(variable, 0);
+  // Dense dedup slot per (variable, sign) — literals are by far the
+  // most frequently requested nodes during compilation.
+  const size_t slot = static_cast<size_t>(variable) * 2 + (positive ? 0 : 1);
+  if (slot >= literal_ids_.size()) literal_ids_.resize(slot + 8, NodeId{-1});
+  if (literal_ids_[slot] >= 0) return literal_ids_[slot];
+  num_variables_ = std::max(num_variables_, variable + 1);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({CircuitKind::kLiteral, variable, positive, {}});
+  literal_ids_[slot] = id;
+  return id;
+}
+
+const std::vector<int>& Circuit::Support(NodeId id) const {
+  if (static_cast<size_t>(id) >= supports_computed_) {
+    supports_.resize(nodes_.size());
+    for (size_t i = supports_computed_; i < nodes_.size(); ++i) {
+      const Node& node = nodes_[i];
+      if (node.kind == CircuitKind::kLiteral) {
+        supports_[i] = {node.variable};
+      } else {
+        for (NodeId c : node.children) {
+          supports_[i] = supports_[i].empty()
+                             ? supports_[c]
+                             : MergeSupport(supports_[i], supports_[c]);
+        }
+      }
+    }
+    supports_computed_ = nodes_.size();
+  }
+  return supports_[id];
+}
+
+NodeId Circuit::MakeAnd(std::vector<NodeId> operands) {
+  // No flattening of nested ANDs: the compiler's first-success chains
+  // nest ANDs of ANDs, and keeping them nested makes chain construction
+  // linear instead of quadratic (and keeps the certified negation nodes
+  // visible to the determinism checker as direct conjuncts).
+  std::vector<NodeId> kept;
+  kept.reserve(operands.size());
+  for (NodeId id : operands) {
+    if (id == kFalseId) return kFalseId;
+    if (id == kTrueId) continue;
+    kept.push_back(id);
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  if (kept.empty()) return kTrueId;
+  if (kept.size() == 1) return kept[0];
+  return Intern({CircuitKind::kAnd, -1, true, std::move(kept)});
+}
+
+NodeId Circuit::MakeOr(std::vector<NodeId> operands) {
+  std::vector<NodeId> kept;
+  for (NodeId id : operands) {
+    if (id == kFalseId) continue;
+    kept.push_back(id);
+  }
+  if (kept.empty()) return kFalseId;
+  if (kept.size() == 1) return kept[0];
+  // A ⊤ child among others would make the gate non-deterministic; the
+  // compiler never produces one (⊥ siblings were already dropped).
+  for (NodeId id : kept) IPDB_CHECK_NE(id, kTrueId);
+  return Intern({CircuitKind::kOr, -1, true, std::move(kept)});
+}
+
+NodeId Circuit::MakeDecision(int variable, NodeId hi, NodeId lo) {
+  if (hi == lo) return hi;  // (v ∧ f) ∨ (¬v ∧ f) = f
+  NodeId hi_branch = MakeAnd({Literal(variable, true), hi});
+  NodeId lo_branch = MakeAnd({Literal(variable, false), lo});
+  return MakeOr({hi_branch, lo_branch});
+}
+
+void Circuit::MarkComplements(NodeId a, NodeId b) {
+  if (complements_.insert(ComplementKey(a, b)).second) {
+    complement_partners_[a].push_back(b);
+    complement_partners_[b].push_back(a);
+  }
+}
+
+bool Circuit::AreComplements(NodeId a, NodeId b) const {
+  if ((a == kTrueId && b == kFalseId) || (a == kFalseId && b == kTrueId)) {
+    return true;
+  }
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  if (na.kind == CircuitKind::kLiteral && nb.kind == CircuitKind::kLiteral &&
+      na.variable == nb.variable && na.positive != nb.positive) {
+    return true;
+  }
+  return complements_.count(ComplementKey(a, b)) > 0;
+}
+
+void Circuit::AppendConjuncts(NodeId id, std::vector<NodeId>* out) const {
+  if (nodes_[id].kind == CircuitKind::kAnd) {
+    for (NodeId c : nodes_[id].children) out->push_back(c);
+  } else {
+    out->push_back(id);
+  }
+}
+
+bool Circuit::MutuallyExclusive(NodeId a, NodeId b) const {
+  std::vector<NodeId> ca;
+  std::vector<NodeId> cb;
+  AppendConjuncts(a, &ca);
+  AppendConjuncts(b, &cb);
+  for (NodeId x : ca) {
+    for (NodeId y : cb) {
+      if (AreComplements(x, y)) return true;
+    }
+  }
+  // A certified node may also be entailed without appearing as a
+  // conjunct itself: if some registered partner of a conjunct on one
+  // side has all of *its* conjuncts present on the other side, the
+  // other side entails that partner and the children are exclusive.
+  auto entails_partner_of = [this](const std::vector<NodeId>& conjuncts,
+                                   const std::vector<NodeId>& other) {
+    std::unordered_set<NodeId> other_set(other.begin(), other.end());
+    for (NodeId x : conjuncts) {
+      auto it = complement_partners_.find(x);
+      if (it == complement_partners_.end()) continue;
+      for (NodeId partner : it->second) {
+        std::vector<NodeId> parts;
+        AppendConjuncts(partner, &parts);
+        bool contained = true;
+        for (NodeId p : parts) {
+          if (other_set.count(p) == 0) {
+            contained = false;
+            break;
+          }
+        }
+        if (contained) return true;
+      }
+    }
+    return false;
+  };
+  return entails_partner_of(ca, cb) || entails_partner_of(cb, ca);
+}
+
+namespace {
+
+/// Reachable node set from `root` (ids are topologically ordered, so a
+/// simple reverse sweep with a seen-mask suffices).
+std::vector<NodeId> Reachable(const Circuit& circuit, NodeId root) {
+  std::vector<bool> seen(static_cast<size_t>(root) + 1, false);
+  seen[root] = true;
+  std::vector<NodeId> out;
+  for (NodeId id = root; id >= 0; --id) {
+    if (!seen[id]) continue;
+    out.push_back(id);
+    for (NodeId c : circuit.children(id)) seen[c] = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Circuit::CheckDecomposable(NodeId root) const {
+  if (root < 0 || root >= size()) {
+    return InvalidArgumentError("circuit root out of range");
+  }
+  for (NodeId id : Reachable(*this, root)) {
+    if (nodes_[id].kind != CircuitKind::kAnd) continue;
+    const std::vector<NodeId>& kids = nodes_[id].children;
+    // Children supports are pairwise disjoint iff their sizes add up to
+    // the size of the (deduplicated) union, which is the gate support.
+    size_t total = 0;
+    for (NodeId c : kids) total += Support(c).size();
+    if (total != Support(id).size()) {
+      return InternalError("AND gate " + std::to_string(id) +
+                           " is not decomposable (children share variables)");
+    }
+  }
+  return Status::Ok();
+}
+
+Status Circuit::CheckDeterministic(NodeId root) const {
+  if (root < 0 || root >= size()) {
+    return InvalidArgumentError("circuit root out of range");
+  }
+  for (NodeId id : Reachable(*this, root)) {
+    if (nodes_[id].kind != CircuitKind::kOr) continue;
+    const std::vector<NodeId>& kids = nodes_[id].children;
+    for (size_t i = 0; i < kids.size(); ++i) {
+      for (size_t j = i + 1; j < kids.size(); ++j) {
+        if (!MutuallyExclusive(kids[i], kids[j])) {
+          return InternalError(
+              "OR gate " + std::to_string(id) +
+              " has no exclusivity certificate for children " +
+              std::to_string(kids[i]) + ", " + std::to_string(kids[j]));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool Circuit::Evaluate(NodeId root, const std::vector<bool>& assignment) const {
+  std::vector<bool> value(static_cast<size_t>(root) + 1, false);
+  for (NodeId id = 0; id <= root; ++id) {
+    const Node& node = nodes_[id];
+    switch (node.kind) {
+      case CircuitKind::kTrue:
+        value[id] = true;
+        break;
+      case CircuitKind::kFalse:
+        value[id] = false;
+        break;
+      case CircuitKind::kLiteral:
+        IPDB_CHECK_LT(static_cast<size_t>(node.variable), assignment.size());
+        value[id] = assignment[node.variable] == node.positive;
+        break;
+      case CircuitKind::kAnd: {
+        bool v = true;
+        for (NodeId c : node.children) v = v && value[c];
+        value[id] = v;
+        break;
+      }
+      case CircuitKind::kOr: {
+        bool v = false;
+        for (NodeId c : node.children) v = v || value[c];
+        value[id] = v;
+        break;
+      }
+    }
+  }
+  return value[root];
+}
+
+std::string Circuit::ToString(NodeId id) const {
+  const Node& node = nodes_[id];
+  switch (node.kind) {
+    case CircuitKind::kTrue:
+      return "T";
+    case CircuitKind::kFalse:
+      return "F";
+    case CircuitKind::kLiteral:
+      return (node.positive ? "x" : "!x") + std::to_string(node.variable);
+    case CircuitKind::kAnd:
+    case CircuitKind::kOr: {
+      std::string out = "(";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out += node.kind == CircuitKind::kAnd ? " & " : " | ";
+        out += ToString(node.children[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace kc
+}  // namespace ipdb

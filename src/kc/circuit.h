@@ -1,0 +1,150 @@
+#ifndef IPDB_KC_CIRCUIT_H_
+#define IPDB_KC_CIRCUIT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ipdb {
+namespace kc {
+
+/// Knowledge compilation: d-DNNF circuits for compile-once /
+/// evaluate-many probabilistic inference.
+///
+/// A d-DNNF circuit is a negation normal form DAG (negation only at
+/// literals) whose AND gates are *decomposable* (children mention
+/// pairwise disjoint variable sets) and whose OR gates are
+/// *deterministic* (children are pairwise logically inconsistent).
+/// These two properties make weighted model counting a single
+/// bottom-up pass: AND multiplies, OR adds — over any commutative
+/// semiring, so the same circuit answers double, exact-rational and
+/// certified-interval queries, and reverse-mode differentiation yields
+/// all tuple marginal sensitivities in one extra pass (evaluate.h).
+
+using NodeId = int32_t;
+
+enum class CircuitKind : uint8_t { kTrue, kFalse, kLiteral, kAnd, kOr };
+
+/// A hash-consed d-DNNF circuit. Construction applies structural
+/// simplification (constant folding, single-child collapse) and dedups
+/// identical nodes, so equal ids mean equal structure. Children always have smaller ids than their parents;
+/// `nodes` is therefore a topological order and evaluation is a single
+/// linear scan.
+///
+/// The factory methods do not *enforce* decomposability/determinism
+/// (tests build invalid circuits on purpose); `CheckDecomposable` and
+/// `CheckDeterministic` are the validity gate, run by the compiler
+/// under `CompileOptions::verify` and by the property tests on every
+/// compile. Determinism of non-decision OR gates is certified
+/// structurally: the compiler registers complement pairs (two nodes it
+/// compiled from the same lineage node under opposite polarities) via
+/// `MarkComplements`, and the checker accepts two OR children as
+/// mutually exclusive iff they contain conjuncts that are opposite
+/// literals or a registered complement pair.
+class Circuit {
+ public:
+  Circuit();
+
+  static constexpr NodeId kTrueId = 0;
+  static constexpr NodeId kFalseId = 1;
+
+  NodeId True() const { return kTrueId; }
+  NodeId False() const { return kFalseId; }
+  /// Pre-sizes the node store and intern table (the compiler calls this
+  /// with its lineage size to avoid rehashing during construction).
+  void Reserve(size_t expected_nodes);
+  /// The literal `variable` (positive) or `¬variable` (negative).
+  NodeId Literal(int variable, bool positive);
+  /// Decomposable conjunction: folds constants and dedups children.
+  /// Nested ANDs stay nested — the compiler's first-success chains nest
+  /// linearly, and flattening them would be quadratic and would hide
+  /// certified negation nodes from the determinism checker.
+  NodeId MakeAnd(std::vector<NodeId> operands);
+  /// Deterministic disjunction: drops ⊥ children, collapses singletons.
+  /// Does not flatten (flattening would invalidate the per-gate
+  /// exclusivity certificates).
+  NodeId MakeOr(std::vector<NodeId> operands);
+  /// The decision gate (v ∧ hi) ∨ (¬v ∧ lo) — deterministic by
+  /// construction; requires v ∉ support(hi) ∪ support(lo).
+  NodeId MakeDecision(int variable, NodeId hi, NodeId lo);
+
+  /// Registers that `a` and `b` represent complementary functions
+  /// (the compiler's structural determinism certificate).
+  void MarkComplements(NodeId a, NodeId b);
+  /// True for opposite literals, {⊤,⊥}, and registered pairs.
+  bool AreComplements(NodeId a, NodeId b) const;
+
+  CircuitKind kind(NodeId id) const { return nodes_[id].kind; }
+  int variable(NodeId id) const { return nodes_[id].variable; }
+  bool positive(NodeId id) const { return nodes_[id].positive; }
+  const std::vector<NodeId>& children(NodeId id) const {
+    return nodes_[id].children;
+  }
+  /// Sorted variables occurring under `id`. Computed lazily (one
+  /// bottom-up sweep, memoized): neither compilation nor evaluation
+  /// needs supports, only the validity checkers and tests do.
+  const std::vector<int>& Support(NodeId id) const;
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  /// 1 + the largest variable index mentioned anywhere (0 if none):
+  /// the minimum length of a probability vector for evaluation.
+  int num_variables() const { return num_variables_; }
+  /// Total child-edge count over all nodes (circuit size measure).
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Verifies that every AND gate reachable from `root` has children
+  /// with pairwise disjoint supports.
+  Status CheckDecomposable(NodeId root) const;
+  /// Verifies that every OR gate reachable from `root` has pairwise
+  /// mutually exclusive children, using the structural certificates
+  /// (opposite literals / registered complement pairs among conjuncts).
+  Status CheckDeterministic(NodeId root) const;
+
+  /// Evaluates under a complete assignment (for tests; probabilistic
+  /// evaluation lives in evaluate.h).
+  bool Evaluate(NodeId root, const std::vector<bool>& assignment) const;
+
+  std::string ToString(NodeId id) const;
+
+ private:
+  struct Node {
+    CircuitKind kind;
+    int variable = -1;   // kLiteral only
+    bool positive = true;
+    std::vector<NodeId> children;
+  };
+
+  NodeId Intern(Node node);
+  uint64_t NodeHashKey(const Node& node) const;
+  /// The conjunct set of a node: its children if an AND, else {id}.
+  /// Used by the determinism checker.
+  void AppendConjuncts(NodeId id, std::vector<NodeId>* out) const;
+  bool MutuallyExclusive(NodeId a, NodeId b) const;
+
+  std::vector<Node> nodes_;
+  /// Lazily filled support sets, valid for ids < supports_computed_
+  /// (ids are topologically ordered, so one forward sweep extends it).
+  mutable std::vector<std::vector<int>> supports_;
+  mutable size_t supports_computed_ = 0;
+  /// Hash → node id. Single-slot: a 64-bit collision skips dedup for
+  /// the colliding node (duplicate structure, still a correct circuit).
+  std::unordered_map<uint64_t, NodeId> intern_;
+  std::unordered_set<uint64_t> complements_;  // key: (min<<32)|max
+  /// Per-node list of registered complement partners — the robustness
+  /// fallback for the checker when a certified node's conjuncts appear
+  /// inline in a bigger AND rather than as the node itself.
+  std::unordered_map<NodeId, std::vector<NodeId>> complement_partners_;
+  /// Dense literal dedup: slot 2·v (positive) / 2·v+1 (negative).
+  std::vector<NodeId> literal_ids_;
+  int num_variables_ = 0;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace kc
+}  // namespace ipdb
+
+#endif  // IPDB_KC_CIRCUIT_H_

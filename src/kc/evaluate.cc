@@ -1,0 +1,21 @@
+#include "kc/evaluate.h"
+
+#include <string>
+
+namespace ipdb {
+namespace kc {
+
+Status ValidateProbabilities(const std::vector<double>& probs) {
+  for (size_t i = 0; i < probs.size(); ++i) {
+    // Negated comparison also rejects NaN.
+    if (!(probs[i] >= 0.0 && probs[i] <= 1.0)) {
+      return InvalidArgumentError(
+          "probability " + std::to_string(i) + " is " +
+          std::to_string(probs[i]) + ", outside [0, 1]");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace kc
+}  // namespace ipdb

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "kc/cache.h"
+#include "kc/evaluate.h"
 #include "logic/evaluator.h"
 #include "util/check.h"
 
@@ -160,11 +164,19 @@ StatusOr<double> ComputeProbability(Lineage* lineage, NodeId root,
                                     WmcStats* stats,
                                     const WmcOptions& options) {
   if (lineage == nullptr) return InvalidArgumentError("null lineage");
+  if (root < 0 || root >= lineage->size()) {
+    return InvalidArgumentError("lineage root out of range");
+  }
   const std::vector<int>& support = lineage->Support(root);
   if (!support.empty() &&
       static_cast<size_t>(support.back()) >= var_probs.size()) {
-    return InvalidArgumentError("variable probabilities missing");
+    return InvalidArgumentError(
+        "variable probabilities missing: lineage mentions variable " +
+        std::to_string(support.back()) + " but only " +
+        std::to_string(var_probs.size()) + " probabilities were given");
   }
+  Status valid = kc::ValidateProbabilities(var_probs);
+  if (!valid.ok()) return valid;
   WmcSolver solver(lineage, var_probs, stats, options);
   return solver.Solve(root);
 }
@@ -180,7 +192,24 @@ StatusOr<double> QueryProbability(const pdb::TiPdb<double>& ti,
   for (const auto& [fact, marginal] : ti.facts()) {
     probs.push_back(marginal);
   }
-  return ComputeProbability(&lineage, root.value(), probs, stats);
+  // Compile-once / evaluate-many: structurally identical lineages
+  // (the same query re-asked, or isomorphic per-tuple lineages) share
+  // one compiled artifact and pay only a circuit-linear evaluation.
+  bool was_hit = false;
+  StatusOr<std::shared_ptr<const kc::CompiledQuery>> compiled =
+      kc::GlobalCompiledQueryCache().GetOrCompile(&lineage, root.value(),
+                                                  &was_hit);
+  if (!compiled.ok()) return compiled.status();
+  const kc::CompiledQuery& artifact = **compiled;
+  if (stats != nullptr) {
+    // Replay the compilation trace (from the artifact on a hit) so the
+    // counters describe the query's inference structure either way.
+    stats->shannon_expansions += artifact.stats.decisions;
+    stats->decompositions += artifact.stats.decompositions;
+    stats->cache_hits += artifact.stats.cache_hits;
+    if (was_hit) ++stats->artifact_cache_hits;
+  }
+  return kc::EvaluateCircuit<double>(artifact.circuit, artifact.root, probs);
 }
 
 StatusOr<double> QueryProbabilityBruteForce(const pdb::TiPdb<double>& ti,

@@ -21,10 +21,21 @@ namespace pqe {
 /// Shannon expansion on the most-shared variable, with memoization on
 /// hash-consed node ids. Exponential in the worst case (PQE is #P-hard
 /// in general [17]) but fast on decomposable lineages.
+///
+/// `QueryProbability` no longer runs this solver: it compiles the
+/// lineage into a d-DNNF circuit (kc/compile.h) through a process-wide
+/// LRU artifact cache and evaluates the circuit, so repeated queries
+/// with updated marginals skip everything but a circuit-linear pass.
+/// For a compiled query the stats report the *compilation* trace
+/// (replayed from the cached artifact on a hit) plus
+/// `artifact_cache_hits`; `ComputeProbability` remains the direct
+/// Shannon/decomposition solver (parity baseline and ablations).
 struct WmcStats {
   int64_t shannon_expansions = 0;
   int64_t decompositions = 0;
   int64_t cache_hits = 0;
+  /// Times QueryProbability answered from an already-compiled circuit.
+  int64_t artifact_cache_hits = 0;
 };
 
 /// Solver knobs. `decompose` toggles independent-component detection —
@@ -34,12 +45,15 @@ struct WmcOptions {
   bool decompose = true;
 };
 
+/// Rejects `var_probs` that do not cover the lineage's variables or
+/// contain entries outside [0, 1] (NaN included).
 StatusOr<double> ComputeProbability(Lineage* lineage, NodeId root,
                                     const std::vector<double>& var_probs,
                                     WmcStats* stats = nullptr,
                                     const WmcOptions& options = {});
 
-/// End-to-end PQE: Pr_{I ~ ti}(I ⊨ φ) by grounding + WMC.
+/// End-to-end PQE: Pr_{I ~ ti}(I ⊨ φ) by grounding, then compiled
+/// d-DNNF evaluation via the global artifact cache (see kc/cache.h).
 StatusOr<double> QueryProbability(const pdb::TiPdb<double>& ti,
                                   const logic::Formula& sentence,
                                   WmcStats* stats = nullptr);
