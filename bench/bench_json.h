@@ -2,22 +2,35 @@
 #define IPDB_BENCH_BENCH_JSON_H_
 
 // Console reporting plus a machine-readable dump for before/after
-// comparisons. Each Google-Benchmark binary calls RunWithJsonDump with a
-// suite name and an output path; results are merged into that file with
-// one JSON object per line:
+// comparisons, shared by every Google-Benchmark binary in bench/. Each
+// binary calls IPDB_BENCHMARK_JSON_MAIN(suite, default_path); results
+// are merged into that file with one JSON object per line:
 //
 //   {
 //     "schema": "ipdb-bench-v1",
 //     "results": [
 //       {"suite": "math_bench", "op": "BM_RationalSum/512",
-//        "ns_per_op": 68839.2, "iterations": 10240},
+//        "ns_per_op": 68839.2, "iterations": 10240,
+//        "counters": {"shannon": 12}},
 //       ...
 //     ]
 //   }
 //
-// Re-running a binary replaces only its own suite's lines (matched by the
+// ResultLine is the single place that knows this schema: per-benchmark
+// user counters (state.counters, e.g. pqe_bench's artifact_hits) ride
+// along in each row instead of being dropped on the floor. Re-running a
+// binary replaces only its own suite's lines (matched by the
 // `"suite": "<name>"` prefix every result line carries), so several
 // binaries can feed one file.
+//
+// Every binary also understands two flags, parsed before Google
+// Benchmark sees the command line:
+//   --bench_json_out=PATH   where to merge the result rows
+//   --trace-out PATH        enable span tracing for the run and write a
+//                           Chrome-trace/Perfetto file (with the final
+//                           metrics snapshot embedded under
+//                           otherData.metrics) when the run finishes
+// Both accept `--flag=value` and `--flag value`.
 
 #include <benchmark/benchmark.h>
 
@@ -25,10 +38,34 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace ipdb {
 namespace bench_json {
+
+// The one place that knows the per-result schema.
+inline std::string ResultLine(
+    const std::string& suite, const std::string& op, double ns_per_op,
+    int64_t iterations,
+    const std::vector<std::pair<std::string, double>>& counters) {
+  std::ostringstream line;
+  line << "{\"suite\": \"" << suite << "\", \"op\": \"" << op
+       << "\", \"ns_per_op\": " << ns_per_op
+       << ", \"iterations\": " << iterations;
+  if (!counters.empty()) {
+    line << ", \"counters\": {";
+    for (size_t i = 0; i < counters.size(); ++i) {
+      line << (i == 0 ? "" : ", ") << '"' << counters[i].first
+           << "\": " << counters[i].second;
+    }
+    line << '}';
+  }
+  line << '}';
+  return line.str();
+}
 
 class JsonDumpReporter : public benchmark::ConsoleReporter {
  public:
@@ -36,12 +73,14 @@ class JsonDumpReporter : public benchmark::ConsoleReporter {
     ConsoleReporter::ReportRuns(reports);
     for (const Run& run : reports) {
       if (run.error_occurred) continue;
-      std::ostringstream line;
-      line << "{\"suite\": \"" << suite_ << "\", \"op\": \""
-           << run.benchmark_name() << "\", \"ns_per_op\": "
-           << run.GetAdjustedRealTime() << ", \"iterations\": "
-           << run.iterations << "}";
-      lines_.push_back(line.str());
+      std::vector<std::pair<std::string, double>> counters;
+      counters.reserve(run.counters.size());
+      for (const auto& [name, counter] : run.counters) {
+        counters.emplace_back(name, static_cast<double>(counter));
+      }
+      lines_.push_back(ResultLine(suite_, run.benchmark_name(),
+                                  run.GetAdjustedRealTime(), run.iterations,
+                                  counters));
     }
   }
 
@@ -82,38 +121,78 @@ inline void MergeIntoFile(const std::string& path, const std::string& suite,
   out << "  ]\n}\n";
 }
 
+// Removes `--name=value` or `--name value` from argv and returns the
+// value ("" when the flag is absent).
+inline std::string ExtractFlag(int* argc, char** argv,
+                               const std::string& name) {
+  const std::string with_equals = name + "=";
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    int consumed = 0;
+    if (arg.compare(0, with_equals.size(), with_equals) == 0) {
+      value = arg.substr(with_equals.size());
+      consumed = 1;
+    } else if (arg == name && i + 1 < *argc) {
+      value = argv[i + 1];
+      consumed = 2;
+    } else {
+      continue;
+    }
+    for (int j = i; j + consumed < *argc; ++j) argv[j] = argv[j + consumed];
+    *argc -= consumed;
+    return value;
+  }
+  return "";
+}
+
 // Drop-in replacement for BENCHMARK_MAIN(): runs all registered
-// benchmarks with console output and merges the results into `path`.
+// benchmarks with console output, merges the results into the JSON
+// file, and honours --trace-out (span tracing + Chrome-trace export).
 inline int RunWithJsonDump(int argc, char** argv, const std::string& suite,
-                           const std::string& path) {
+                           const std::string& default_json_path) {
+  std::string json_path = ExtractFlag(&argc, argv, "--bench_json_out");
+  if (json_path.empty()) json_path = default_json_path;
+  const std::string trace_path = ExtractFlag(&argc, argv, "--trace-out");
+  if (!trace_path.empty()) obs::SetTracingEnabled(true);
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonDumpReporter reporter;
   reporter.set_suite(suite);
   benchmark::RunSpecifiedBenchmarks(&reporter);
-  MergeIntoFile(path, suite, reporter.lines());
+  MergeIntoFile(json_path, suite, reporter.lines());
   std::fprintf(stderr, "wrote %zu result(s) for suite '%s' to %s\n",
-               reporter.lines().size(), suite.c_str(), path.c_str());
+               reporter.lines().size(), suite.c_str(), json_path.c_str());
+
+  if (!trace_path.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    const int64_t dropped = recorder.dropped_events();
+    const std::vector<obs::TraceEvent> events = recorder.Drain();
+    const obs::MetricsSnapshot snapshot = obs::GlobalMetrics().Snapshot();
+    Status written =
+        obs::WriteChromeTrace(trace_path, events, &snapshot, dropped);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "wrote %zu span(s) (%lld dropped) and a metrics snapshot "
+                 "to %s\n",
+                 events.size(), static_cast<long long>(dropped),
+                 trace_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace bench_json
 }  // namespace ipdb
 
-#define IPDB_BENCHMARK_JSON_MAIN(suite, default_path)                      \
-  int main(int argc, char** argv) {                                        \
-    std::string path = default_path;                                       \
-    for (int i = 1; i < argc; ++i) {                                       \
-      std::string arg = argv[i];                                           \
-      const std::string prefix = "--bench_json_out=";                      \
-      if (arg.compare(0, prefix.size(), prefix) == 0) {                    \
-        path = arg.substr(prefix.size());                                  \
-        for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];          \
-        --argc;                                                            \
-        break;                                                             \
-      }                                                                    \
-    }                                                                      \
-    return ipdb::bench_json::RunWithJsonDump(argc, argv, suite, path);     \
+#define IPDB_BENCHMARK_JSON_MAIN(suite, default_path)                     \
+  int main(int argc, char** argv) {                                       \
+    return ipdb::bench_json::RunWithJsonDump(argc, argv, suite,           \
+                                             default_path);               \
   }
 
 #endif  // IPDB_BENCH_BENCH_JSON_H_

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification, run three times: plain, with ASan/UBSan
-# instrumentation (-DIPDB_SANITIZE="address;undefined"), and as an
+# Tier-1 verification, run four times: plain, with ASan/UBSan
+# instrumentation (-DIPDB_SANITIZE="address;undefined"), as an
 # optimized Release build (-O2 -DNDEBUG) so the arithmetic kernels are
-# exercised the way benchmarks and users run them. Every leg includes
-# the knowledge-compilation tests (kc_test, kc_property_test); the
-# Release leg additionally gates compiled-vs-legacy single-shot parity.
+# exercised the way benchmarks and users run them, and as a Release
+# build with -DIPDB_OBSERVABILITY=OFF so the compiled-out macro
+# expansions stay buildable. Every leg includes the knowledge-
+# compilation tests (kc_test, kc_property_test); the Release legs
+# additionally gate compiled-vs-legacy single-shot parity, the
+# observability overhead (instrumented within 5% of compiled-out), and
+# the trace exporter (span coverage + counter consistency on a real
+# trace artifact).
 # Usage: ./ci.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -43,6 +48,14 @@ cmake --build build-release -j"${jobs}"
 require_kc_tests build-release
 ctest --test-dir build-release --output-on-failure -j"${jobs}" "$@"
 
+echo "=== release build + tests, observability compiled out ==="
+cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" \
+  -DIPDB_OBSERVABILITY=OFF >/dev/null
+cmake --build build-obs-off -j"${jobs}"
+require_kc_tests build-obs-off
+ctest --test-dir build-obs-off --output-on-failure -j"${jobs}" "$@"
+
 echo "=== kc_bench single-shot parity gate (Release) ==="
 # One d-DNNF compile + evaluation must stay within 2x of a legacy WMC
 # solve on the gated rows. The tiny bipartite side-4 row is reported but
@@ -68,6 +81,86 @@ for kc, wmc in gated:
     print(f"  {kc:34s} {ratio:5.2f}x of legacy   {verdict}")
     failed |= ratio > 2.0
 sys.exit(1 if failed else 0)
+EOF
+
+echo "=== observability overhead gate (Release vs obs-off) ==="
+# The permanently-instrumented serving path must cost within 5% of the
+# same code with the macros compiled out. Both runs write into their own
+# build dirs so the repo-root BENCH_pqe.json is left alone; min of 5
+# repetitions to damp scheduler noise.
+overhead_row='BM_WmcPathQuery/32'
+for dir in build-release build-obs-off; do
+  rm -f "${dir}/BENCH_ci_overhead.json"
+  ./"${dir}"/bench/pqe_bench \
+    --bench_json_out="${dir}/BENCH_ci_overhead.json" \
+    --benchmark_filter="${overhead_row}\$" \
+    --benchmark_repetitions=5 --benchmark_min_time=0.1 >/dev/null
+done
+python3 - "${overhead_row}" <<'EOF'
+import json, sys
+
+row = sys.argv[1]
+def best(path):
+    rows = [r["ns_per_op"] for r in json.load(open(path))["results"]
+            if r["op"].startswith(row)]
+    assert rows, f"no '{row}' rows in {path}"
+    return min(rows)
+
+on = best("build-release/BENCH_ci_overhead.json")
+off = best("build-obs-off/BENCH_ci_overhead.json")
+ratio = on / off
+verdict = "ok" if ratio <= 1.05 else "FAIL (> 5% overhead)"
+print(f"  {row}: instrumented {on:.0f} ns vs compiled-out {off:.0f} ns "
+      f"= {ratio:5.3f}x   {verdict}")
+sys.exit(1 if ratio > 1.05 else 0)
+EOF
+
+echo "=== trace artifact: span coverage + counter consistency ==="
+# A real --trace-out run must attribute >= 95% of pqe.query wall-clock
+# to named child phases, and the embedded metrics snapshot must satisfy
+# artifact-cache hits + misses == queries. The trace is left in
+# build-release/artifacts/ for upload.
+mkdir -p build-release/artifacts
+trace_json="build-release/artifacts/pqe_trace.json"
+rm -f "${trace_json}"
+./build-release/bench/pqe_bench \
+  --bench_json_out=build-release/BENCH_ci_trace.json \
+  --benchmark_filter='BM_WmcPathQuery/32$' --benchmark_min_time=0.1 \
+  --trace-out "${trace_json}" >/dev/null
+python3 - "${trace_json}" <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+names = {e["name"] for e in events}
+for required in ("pqe.query", "pqe.ground", "pqe.cache_probe",
+                 "pqe.evaluate", "kc.compile"):
+    assert required in names, f"span {required} missing from trace"
+
+phases = [e for e in events
+          if e["name"] in ("pqe.ground", "pqe.cache_probe", "pqe.evaluate")]
+total = covered = 0.0
+for q in (e for e in events if e["name"] == "pqe.query"):
+    total += q["dur"]
+    end = q["ts"] + q["dur"]
+    covered += sum(p["dur"] for p in phases
+                   if p["tid"] == q["tid"] and p["ts"] >= q["ts"]
+                   and p["ts"] + p["dur"] <= end
+                   and p["args"]["depth"] == q["args"]["depth"] + 1)
+coverage = covered / total if total else 0.0
+print(f"  phase coverage of pqe.query wall-clock: {coverage:.1%}")
+assert coverage >= 0.95, "trace spans cover < 95% of query time"
+
+counters = trace["otherData"]["metrics"]["counters"]
+hits = counters["kc.artifact_cache.hits"]
+misses = counters["kc.artifact_cache.misses"]
+queries = counters["pqe.queries"]
+print(f"  kc.artifact_cache: {hits} hits + {misses} misses "
+      f"== {queries} queries")
+assert hits + misses == queries, "cache probes != queries"
+assert trace["otherData"]["droppedEvents"] == 0, "trace dropped events"
+print(f"  artifact: {sys.argv[1]} ({len(events)} spans)")
 EOF
 
 echo "=== ci.sh: all green ==="

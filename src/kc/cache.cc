@@ -1,7 +1,24 @@
 #include "kc/cache.h"
 
+#include "obs/obs.h"
+
 namespace ipdb {
 namespace kc {
+
+namespace {
+
+/// Estimated resident bytes of a compiled artifact: node records plus
+/// child-edge storage plus the fixed struct. Feeds the
+/// kc.artifact_cache.bytes gauge; an estimate is enough to spot a cache
+/// whose artifacts dwarf its entry count.
+int64_t ArtifactApproxBytes(const CompiledQuery& artifact) {
+  return static_cast<int64_t>(sizeof(CompiledQuery)) +
+         static_cast<int64_t>(artifact.circuit.size()) * 48 +
+         artifact.circuit.num_edges() *
+             static_cast<int64_t>(sizeof(NodeId));
+}
+
+}  // namespace
 
 CompiledQueryCache::CompiledQueryCache(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
@@ -19,7 +36,8 @@ CompiledQueryCache::GetOrCompile(pqe::Lineage* lineage, pqe::NodeId root,
     auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      IPDB_OBS_COUNT("kc.artifact_cache.hits", 1);
       if (was_hit != nullptr) *was_hit = true;
       return it->second->second;
     }
@@ -31,18 +49,27 @@ CompiledQueryCache::GetOrCompile(pqe::Lineage* lineage, pqe::NodeId root,
   if (!compiled.ok()) return compiled.status();
   auto artifact =
       std::make_shared<const CompiledQuery>(std::move(compiled).value());
+  const int64_t artifact_bytes = ArtifactApproxBytes(*artifact);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    IPDB_OBS_COUNT("kc.artifact_cache.misses", 1);
     auto it = index_.find(key);
     if (it == index_.end()) {
       lru_.emplace_front(key, artifact);
       index_.emplace(key, lru_.begin());
+      approx_bytes_ += artifact_bytes;
       while (lru_.size() > capacity_) {
+        approx_bytes_ -= ArtifactApproxBytes(*lru_.back().second);
         index_.erase(lru_.back().first);
         lru_.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        IPDB_OBS_COUNT("kc.artifact_cache.evictions", 1);
       }
     }
+    IPDB_OBS_GAUGE_SET("kc.artifact_cache.entries",
+                       static_cast<int64_t>(lru_.size()));
+    IPDB_OBS_GAUGE_SET("kc.artifact_cache.bytes", approx_bytes_);
   }
   if (was_hit != nullptr) *was_hit = false;
   return artifact;
@@ -52,8 +79,12 @@ void CompiledQueryCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  approx_bytes_ = 0;
+  IPDB_OBS_GAUGE_SET("kc.artifact_cache.entries", 0);
+  IPDB_OBS_GAUGE_SET("kc.artifact_cache.bytes", 0);
 }
 
 size_t CompiledQueryCache::size() const {
@@ -61,14 +92,9 @@ size_t CompiledQueryCache::size() const {
   return lru_.size();
 }
 
-int64_t CompiledQueryCache::hits() const {
+int64_t CompiledQueryCache::approx_bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
-}
-
-int64_t CompiledQueryCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  return approx_bytes_;
 }
 
 CompiledQueryCache& GlobalCompiledQueryCache() {

@@ -1,6 +1,7 @@
 #ifndef IPDB_KC_CACHE_H_
 #define IPDB_KC_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -35,8 +36,20 @@ class CompiledQueryCache {
   void Clear();
   size_t size() const;
   size_t capacity() const { return capacity_; }
-  int64_t hits() const;
-  int64_t misses() const;
+
+  // Counters are atomics, so these accessors are lock-free and safe to
+  // poll while other threads are querying. The same tallies flow into
+  // the global metrics registry ("kc.artifact_cache.*"), where they are
+  // cumulative for the process (Clear resets the accessors below, never
+  // the registry).
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Estimated heap footprint of the resident artifacts (node/edge
+  /// counts times their storage cost; not an allocator measurement).
+  int64_t approx_bytes() const;
 
  private:
   using Key = std::pair<uint64_t, uint64_t>;
@@ -51,8 +64,10 @@ class CompiledQueryCache {
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  int64_t approx_bytes_ = 0;  // guarded by mutex_
 };
 
 /// The process-wide cache behind pqe::QueryProbability.

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ipdb {
@@ -218,6 +219,8 @@ StatusOr<CompiledQuery> CompileLineage(pqe::Lineage* lineage,
   if (root < 0 || root >= lineage->size()) {
     return InvalidArgumentError("lineage root out of range");
   }
+  IPDB_OBS_SPAN("kc.compile", "kc");
+  IPDB_OBS_SCOPED_TIMER("kc.compile_ns");
   CompiledQuery compiled;
   Compiler compiler(lineage, &compiled.stats, /*certify=*/options.verify);
   compiler.ReserveFor(static_cast<size_t>(lineage->size()));
@@ -232,6 +235,10 @@ StatusOr<CompiledQuery> CompileLineage(pqe::Lineage* lineage,
     Status deterministic = compiled.circuit.CheckDeterministic(compiled.root);
     if (!deterministic.ok()) return deterministic;
   }
+  IPDB_OBS_COUNT("kc.compiles", 1);
+  IPDB_OBS_COUNT("kc.compile.decisions", compiled.stats.decisions);
+  IPDB_OBS_COUNT("kc.compile.decompositions", compiled.stats.decompositions);
+  IPDB_OBS_COUNT("kc.compile.circuit_nodes", compiled.stats.circuit_nodes);
   return compiled;
 }
 

@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ipdb {
+namespace obs {
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  int bits = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  while (v != 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return std::min(bits, kBuckets - 1);
+}
+
+int64_t Histogram::BucketLowerBound(int bucket) {
+  return bucket <= 0 ? 0 : int64_t{1} << (bucket - 1);
+}
+
+HistogramStats Histogram::Read() const {
+  HistogramStats stats;
+  stats.min = INT64_MAX;
+  stats.max = INT64_MIN;
+  int64_t merged_buckets[kBuckets] = {};
+  for (const Shard& shard : shards_) {
+    stats.count += shard.count.load(std::memory_order_relaxed);
+    stats.sum += shard.sum.load(std::memory_order_relaxed);
+    stats.min = std::min(stats.min, shard.min.load(std::memory_order_relaxed));
+    stats.max = std::max(stats.max, shard.max.load(std::memory_order_relaxed));
+    for (int b = 0; b < kBuckets; ++b) {
+      merged_buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  if (stats.count == 0) {
+    stats.min = 0;
+    stats.max = 0;
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    if (merged_buckets[b] != 0) {
+      stats.buckets.emplace_back(BucketLowerBound(b), merged_buckets[b]);
+    }
+  }
+  return stats;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(INT64_MAX, std::memory_order_relaxed);
+    shard.max.store(INT64_MIN, std::memory_order_relaxed);
+    for (int b = 0; b < kBuckets; ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Read());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+int64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramStats* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, stats] : histograms) {
+    if (n == name) return &stats;
+  }
+  return nullptr;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"schema\": \"ipdb-metrics-v1\", \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << '"' << JsonEscape(counters[i].first)
+        << "\": " << counters[i].second;
+  }
+  out << "}, \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << '"' << JsonEscape(gauges[i].first)
+        << "\": " << gauges[i].second;
+  }
+  out << "}, \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramStats& h = histograms[i].second;
+    out << (i == 0 ? "" : ", ") << '"' << JsonEscape(histograms[i].first)
+        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"min\": " << h.min << ", \"max\": " << h.max
+        << ", \"mean\": " << h.Mean() << ", \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << '[' << h.buckets[b].first << ", "
+          << h.buckets[b].second << ']';
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace ipdb

@@ -1,0 +1,242 @@
+#ifndef IPDB_OBS_METRICS_H_
+#define IPDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ipdb {
+namespace obs {
+
+/// Process-wide metrics: named counters, gauges and histograms held in a
+/// registry and merged into an immutable snapshot on demand.
+///
+/// Hot-path cost model: an update is one relaxed atomic RMW on a
+/// per-thread *shard* (a cache-line-padded slot chosen by a thread-local
+/// index), so concurrent writers on different threads touch different
+/// cache lines and pay no contention. All merging — summing shards,
+/// joining histogram buckets — happens at snapshot time, off the hot
+/// path. Relaxed ordering is sufficient because metric values are
+/// monotone tallies, not synchronization; a snapshot taken while writers
+/// are running may lag individual increments but equals the exact total
+/// once the writing threads are joined (the concurrency tests pin this
+/// down).
+
+/// Number of per-metric shards. Threads are striped across shards by a
+/// thread-local slot, so up to kMetricShards threads update disjoint
+/// cache lines.
+inline constexpr int kMetricShards = 16;
+
+/// The shard this thread updates. Slots are handed out round-robin at
+/// first use, so the first kMetricShards threads get private shards.
+inline int MetricShardIndex() {
+  static std::atomic<unsigned> next_slot{0};
+  thread_local const unsigned slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(slot % kMetricShards);
+}
+
+/// Nanoseconds on the monotonic clock (timestamps for spans and timers).
+inline int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A monotone counter. Increment is one relaxed add on this thread's
+/// shard; Value sums the shards.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    shards_[MetricShardIndex()].value.fetch_add(delta,
+                                                std::memory_order_relaxed);
+  }
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  /// Zeroes every shard (registry Reset; references stay valid).
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// A last-write-wins instantaneous value (queue depths, cache entry
+/// counts). Set/Add are single relaxed atomics — gauges are updated at
+/// batch granularity, not per-item, so sharding would only blur the
+/// "current value" reading.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Merged histogram state as reported by a snapshot.
+struct HistogramStats {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;  // 0 when count == 0
+  int64_t max = 0;
+  /// (inclusive lower bound, count) for every non-empty bucket, in
+  /// increasing bound order. Bucket b >= 1 covers [2^(b-1), 2^b); bucket
+  /// 0 covers values <= 0... see Histogram::BucketIndex.
+  std::vector<std::pair<int64_t, int64_t>> buckets;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+/// A histogram over non-negative int64 values (typically nanoseconds)
+/// with power-of-two buckets: bucket 0 holds values <= 1 (including the
+/// clamped negatives), bucket b >= 1 holds [2^(b-1), 2^b) shifted by one
+/// so that bucket(v) = bit_width(v). 48 buckets cover ~39 hours in ns.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void Observe(int64_t value) {
+    if (value < 0) value = 0;
+    Shard& shard = shards_[MetricShardIndex()];
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    AtomicMin(&shard.min, value);
+    AtomicMax(&shard.max, value);
+  }
+
+  HistogramStats Read() const;
+  void Reset();
+
+  /// bit_width(value), capped: 0 -> 0, 1 -> 1, [2,3] -> 2, [4,7] -> 3, …
+  static int BucketIndex(int64_t value);
+  /// Inclusive lower bound of bucket b (0 for b == 0, else 2^(b-1)).
+  static int64_t BucketLowerBound(int bucket);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> min{INT64_MAX};
+    std::atomic<int64_t> max{INT64_MIN};
+    std::atomic<int64_t> buckets[kBuckets] = {};
+  };
+
+  static void AtomicMin(std::atomic<int64_t>* slot, int64_t value) {
+    int64_t current = slot->load(std::memory_order_relaxed);
+    while (value < current &&
+           !slot->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<int64_t>* slot, int64_t value) {
+    int64_t current = slot->load(std::memory_order_relaxed);
+    while (value > current &&
+           !slot->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  Shard shards_[kMetricShards];
+};
+
+/// An immutable, name-sorted view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+
+  /// 0 when the metric was never registered.
+  int64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+  /// nullptr when the histogram was never registered.
+  const HistogramStats* FindHistogram(const std::string& name) const;
+
+  /// {"schema": "ipdb-metrics-v1", "counters": {...}, "gauges": {...},
+  ///  "histograms": {name: {count, sum, min, max, mean, buckets}}}.
+  std::string ToJson() const;
+};
+
+/// Owns the named metrics. Get* registers on first use and returns a
+/// reference that stays valid for the registry's lifetime, so hot call
+/// sites resolve the name once (e.g. into a function-local static) and
+/// pay only the atomic update afterwards. Counter, gauge and histogram
+/// namespaces are independent; reusing a name across kinds is allowed.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric in place (handles stay valid). Intended for
+  /// tests and bench setup; concurrent writers may land updates across
+  /// the reset.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: snapshots come out sorted by name, deterministically.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry behind the IPDB_OBS_* macros.
+MetricsRegistry& GlobalMetrics();
+
+/// Observes the elapsed monotonic nanoseconds into `histogram` on
+/// destruction; a null histogram makes it a no-op (the runtime-disabled
+/// path).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_ns_(histogram == nullptr ? 0 : MonotonicNowNs()) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(MonotonicNowNs() - start_ns_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  int64_t ElapsedNs() const {
+    return histogram_ == nullptr ? 0 : MonotonicNowNs() - start_ns_;
+  }
+
+ private:
+  Histogram* histogram_;
+  int64_t start_ns_;
+};
+
+/// Minimal JSON string escaping shared by the exporters.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace obs
+}  // namespace ipdb
+
+#endif  // IPDB_OBS_METRICS_H_

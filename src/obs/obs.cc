@@ -1,0 +1,42 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace ipdb {
+namespace obs {
+
+namespace {
+
+bool MetricsEnabledAtStartup() {
+  // Metrics default ON (one relaxed add per update is serving-path
+  // cheap); IPDB_OBS=0 opts out at process level.
+  const char* env = std::getenv("IPDB_OBS");
+  if (env == nullptr) return true;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+std::atomic<bool>& MetricsFlag() {
+  // Function-local static: safe against use from other translation
+  // units' static initializers.
+  static std::atomic<bool> flag(MetricsEnabledAtStartup());
+  return flag;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return MetricsFlag().load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool on) {
+  MetricsFlag().store(on, std::memory_order_relaxed);
+}
+
+void Configure(const ObsOptions& options) {
+  SetMetricsEnabled(options.metrics);
+  SetTracingEnabled(options.tracing);
+}
+
+}  // namespace obs
+}  // namespace ipdb

@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ipdb {
+namespace obs {
+
+/// `events` and `dropped` are shared with Drain and guarded by `mu`;
+/// `depth` is touched only by the owning thread (span open/close are
+/// same-thread by construction).
+struct TraceRecorder::ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int64_t dropped = 0;
+  int tid = 0;
+  int depth = 0;
+};
+
+TraceRecorder::TraceRecorder() {
+  const char* env = std::getenv("IPDB_TRACE");
+  enabled_.store(env != nullptr && !(env[0] == '0' && env[1] == '\0'),
+                 std::memory_order_relaxed);
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  // One cached pointer per thread is enough because the recorder is a
+  // process singleton; the recorder owns the buffer, so it outlives the
+  // thread and dead threads' events survive until the next Drain.
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = next_tid_++;
+    cached = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return cached;
+}
+
+std::vector<TraceEvent> TraceRecorder::Drain() {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+      buffer->events.clear();
+      buffer->dropped = 0;
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.duration_ns > b.duration_ns;
+            });
+  return all;
+}
+
+int64_t TraceRecorder::dropped_events() const {
+  int64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+Span::Span(const char* name, const char* category)
+    : name_(name), category_(category) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  TraceRecorder::ThreadBuffer* buffer = recorder.BufferForThisThread();
+  buffer_ = buffer;
+  depth_ = buffer->depth++;
+  start_ns_ = MonotonicNowNs();
+}
+
+Span::~Span() {
+  if (buffer_ == nullptr) return;
+  const int64_t end_ns = MonotonicNowNs();
+  auto* buffer = static_cast<TraceRecorder::ThreadBuffer*>(buffer_);
+  --buffer->depth;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= TraceRecorder::kMaxEventsPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  buffer->events.push_back(TraceEvent{name_, category_, start_ns_,
+                                      end_ns - start_ns_, buffer->tid,
+                                      depth_});
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const MetricsSnapshot* metrics,
+                            int64_t dropped_events) {
+  int64_t origin_ns = INT64_MAX;
+  for (const TraceEvent& event : events) {
+    origin_ns = std::min(origin_ns, event.start_ns);
+  }
+  if (events.empty()) origin_ns = 0;
+
+  std::ostringstream out;
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  auto microseconds = [](int64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    return std::string(buf);
+  };
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    out << "    {\"name\": \"" << JsonEscape(event.name) << "\", \"cat\": \""
+        << JsonEscape(event.category) << "\", \"ph\": \"X\", \"ts\": "
+        << microseconds(event.start_ns - origin_ns) << ", \"dur\": "
+        << microseconds(event.duration_ns) << ", \"pid\": 1, \"tid\": "
+        << event.tid << ", \"args\": {\"depth\": " << event.depth << "}}"
+        << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"otherData\": {\"droppedEvents\": " << dropped_events;
+  if (metrics != nullptr) {
+    out << ", \"metrics\": " << metrics->ToJson();
+  }
+  out << "}\n}\n";
+  return out.str();
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        const MetricsSnapshot* metrics,
+                        int64_t dropped_events) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InvalidArgumentError("cannot open trace output file: " + path);
+  }
+  out << ChromeTraceJson(events, metrics, dropped_events);
+  out.flush();
+  if (!out) return InternalError("failed writing trace file: " + path);
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace ipdb

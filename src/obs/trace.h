@@ -1,0 +1,118 @@
+#ifndef IPDB_OBS_TRACE_H_
+#define IPDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace obs {
+
+/// Scoped tracing: RAII spans record (name, start, duration, thread,
+/// nesting depth) into per-thread buffers owned by a process-wide
+/// recorder, and the buffered events export as Chrome trace-event JSON
+/// (load in chrome://tracing or https://ui.perfetto.dev).
+///
+/// Cost model: a span on a disabled recorder is one relaxed atomic load
+/// per constructor — the serving path keeps its spans permanently in
+/// place and pays only that check. An enabled span adds two monotonic
+/// clock reads and one push onto this thread's buffer (the buffer mutex
+/// is only ever contended by Drain/export). Span *names must be string
+/// literals* (or otherwise outlive the recorder): events store the
+/// pointers, not copies.
+
+/// One completed span. `depth` is the number of enclosing spans on the
+/// same thread when this span opened (0 = top-level), which makes
+/// well-nestedness checkable without re-deriving it from timestamps.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  int64_t start_ns = 0;     // MonotonicNowNs() at span open
+  int64_t duration_ns = 0;  // close - open
+  int tid = 0;              // stable small id, assigned per thread
+  int depth = 0;
+};
+
+/// The process-wide span sink. Threads register a buffer on first use
+/// and append completed spans to it; Drain merges and clears all
+/// buffers. Enabled state starts from the IPDB_TRACE environment
+/// variable ("1" or any non-"0" value turns tracing on) and can be
+/// flipped at runtime (Configure / SetEnabled / bench --trace-out).
+class TraceRecorder {
+ public:
+  /// Per-thread buffers stop accepting events past this size (Drain
+  /// resets the limit): a tracing run left on across a long benchmark
+  /// degrades to a truncated trace instead of unbounded memory growth.
+  static constexpr size_t kMaxEventsPerThread = size_t{1} << 16;
+
+  static TraceRecorder& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Removes and returns every buffered event, sorted by (tid, start,
+  /// -duration) so parents precede their children deterministically.
+  /// Also resets the dropped-event tally.
+  std::vector<TraceEvent> Drain();
+
+  /// Events rejected because a per-thread buffer hit its cap since the
+  /// last Drain.
+  int64_t dropped_events() const;
+
+ private:
+  struct ThreadBuffer;
+  friend class Span;
+
+  TraceRecorder();
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards buffers_ / next_tid_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  int next_tid_ = 0;
+};
+
+/// RAII span recording into TraceRecorder::Global(). Captures the
+/// enabled flag at construction: a span that opened while tracing was on
+/// records even if tracing is switched off before it closes (and vice
+/// versa), so traces never contain half-open spans.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "ipdb");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  int64_t start_ns_ = 0;
+  int depth_ = 0;
+  void* buffer_ = nullptr;  // TraceRecorder::ThreadBuffer*; null = inactive
+};
+
+/// Chrome trace-event JSON ("X" complete events, microsecond
+/// timestamps normalized to the earliest span). When `metrics` is
+/// non-null the snapshot is embedded under otherData.metrics so a trace
+/// file carries the counters needed to correlate it with BENCH_*.json
+/// rows; `dropped_events` is recorded under otherData.droppedEvents.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const MetricsSnapshot* metrics = nullptr,
+                            int64_t dropped_events = 0);
+
+/// Writes ChromeTraceJson to `path` (truncating).
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        const MetricsSnapshot* metrics = nullptr,
+                        int64_t dropped_events = 0);
+
+}  // namespace obs
+}  // namespace ipdb
+
+#endif  // IPDB_OBS_TRACE_H_

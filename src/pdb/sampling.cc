@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/parallel.h"
 
 namespace ipdb {
@@ -25,22 +26,28 @@ template rel::Instance SampleWorld(const FinitePdb<math::Rational>&, Pcg32*);
 
 EmpiricalDistribution Accumulate(
     const std::function<rel::Instance()>& sampler, int64_t samples) {
+  IPDB_OBS_SPAN("pdb.accumulate", "sampling");
   EmpiricalDistribution empirical;
   for (int64_t i = 0; i < samples; ++i) {
     empirical.Add(sampler());
   }
+  IPDB_OBS_COUNT("pdb.mc.samples", samples);
   return empirical;
 }
 
 EmpiricalDistribution Accumulate(
     const std::function<rel::Instance(Pcg32*)>& sampler, int64_t samples,
     const Pcg32& base_rng, const SamplingOptions& options) {
+  IPDB_OBS_SPAN("pdb.accumulate", "sampling");
   const int shards = std::max(1, options.shards);
   // Shard s draws ceil/floor(samples / shards) samples from substream s.
   // The decomposition depends only on (samples, shards), so any thread
   // count replays exactly the same draws.
   std::vector<EmpiricalDistribution> partial(shards);
   ParallelFor(options.threads, shards, [&](int64_t s) {
+    // Per-shard wall-clock: the histogram's spread shows scheduling
+    // skew, its sum over the counter below gives samples/second.
+    IPDB_OBS_SCOPED_TIMER("pdb.mc.shard_ns");
     Pcg32 rng = base_rng.Split(static_cast<uint64_t>(s));
     int64_t count =
         samples / shards + (s < samples % shards ? 1 : 0);
@@ -48,6 +55,7 @@ EmpiricalDistribution Accumulate(
       partial[s].Add(sampler(&rng));
     }
   });
+  IPDB_OBS_COUNT("pdb.mc.samples", samples);
   EmpiricalDistribution merged;
   for (EmpiricalDistribution& p : partial) merged.MergeFrom(p);
   return merged;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "logic/evaluator.h"
+#include "obs/obs.h"
 #include "util/parallel.h"
 
 namespace ipdb {
@@ -41,14 +42,17 @@ StatusOr<MonteCarloEstimate> EstimateSharded(
         shard_body) {
   StatusOr<double> half_width = HoeffdingHalfWidth(samples, confidence);
   if (!half_width.ok()) return half_width.status();
+  IPDB_OBS_SPAN("pqe.mc.estimate", "sampling");
   const int shards = std::max(1, options.shards);
   std::vector<int64_t> shard_hits(shards, 0);
   std::vector<Status> shard_status(shards, Status::Ok());
   ParallelFor(options.threads, shards, [&](int64_t s) {
+    IPDB_OBS_SCOPED_TIMER("pqe.mc.shard_ns");
     Pcg32 rng = base_rng.Split(static_cast<uint64_t>(s));
     int64_t count = samples / shards + (s < samples % shards ? 1 : 0);
     shard_status[s] = shard_body(&rng, count, &shard_hits[s]);
   });
+  IPDB_OBS_COUNT("pqe.mc.samples", samples);
   int64_t hits = 0;
   for (int s = 0; s < shards; ++s) {
     if (!shard_status[s].ok()) return shard_status[s];
@@ -72,6 +76,7 @@ StatusOr<MonteCarloEstimate> EstimateQueryProbability(
   if (!sentence.FreeVariables().empty()) {
     return InvalidArgumentError("query must be a sentence");
   }
+  IPDB_OBS_SPAN("pqe.mc.estimate", "sampling");
   int64_t hits = 0;
   for (int64_t i = 0; i < samples; ++i) {
     rel::Instance world = ti.Sample(rng);
@@ -79,6 +84,7 @@ StatusOr<MonteCarloEstimate> EstimateQueryProbability(
     if (!holds.ok()) return holds.status();
     if (holds.value()) ++hits;
   }
+  IPDB_OBS_COUNT("pqe.mc.samples", samples);
   MonteCarloEstimate result;
   result.estimate =
       static_cast<double>(hits) / static_cast<double>(samples);
@@ -97,6 +103,7 @@ StatusOr<MonteCarloEstimate> EstimateQueryProbability(
   if (!sentence.FreeVariables().empty()) {
     return InvalidArgumentError("query must be a sentence");
   }
+  IPDB_OBS_SPAN("pqe.mc.estimate", "sampling");
   int64_t hits = 0;
   for (int64_t i = 0; i < samples; ++i) {
     StatusOr<rel::Instance> world = ti.Sample(rng, epsilon);
@@ -106,6 +113,7 @@ StatusOr<MonteCarloEstimate> EstimateQueryProbability(
     if (!holds.ok()) return holds.status();
     if (holds.value()) ++hits;
   }
+  IPDB_OBS_COUNT("pqe.mc.samples", samples);
   MonteCarloEstimate result;
   result.estimate =
       static_cast<double>(hits) / static_cast<double>(samples);

@@ -9,12 +9,22 @@
 #include "kc/cache.h"
 #include "kc/evaluate.h"
 #include "logic/evaluator.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ipdb {
 namespace pqe {
 
 namespace {
+
+/// Mirrors a per-query WmcStats delta into the cumulative registry
+/// counters, so every path through the solver feeds the same process-
+/// wide tallies the public struct reports per call.
+void MirrorWmcStats([[maybe_unused]] const WmcStats& delta) {
+  IPDB_OBS_COUNT("pqe.wmc.shannon_expansions", delta.shannon_expansions);
+  IPDB_OBS_COUNT("pqe.wmc.decompositions", delta.decompositions);
+  IPDB_OBS_COUNT("pqe.wmc.cache_hits", delta.cache_hits);
+}
 
 class WmcSolver {
  public:
@@ -177,39 +187,78 @@ StatusOr<double> ComputeProbability(Lineage* lineage, NodeId root,
   }
   Status valid = kc::ValidateProbabilities(var_probs);
   if (!valid.ok()) return valid;
-  WmcSolver solver(lineage, var_probs, stats, options);
-  return solver.Solve(root);
+  IPDB_OBS_SPAN("pqe.wmc_solve", "pqe");
+  IPDB_OBS_SCOPED_TIMER("pqe.wmc_solve_ns");
+  // Always collect stats locally so the registry sees the trace even
+  // when the caller passed no stats struct.
+  WmcStats local;
+  WmcSolver solver(lineage, var_probs, &local, options);
+  const double result = solver.Solve(root);
+  if (stats != nullptr) {
+    stats->shannon_expansions += local.shannon_expansions;
+    stats->decompositions += local.decompositions;
+    stats->cache_hits += local.cache_hits;
+  }
+  IPDB_OBS_COUNT("pqe.wmc.solves", 1);
+  MirrorWmcStats(local);
+  return result;
 }
 
 StatusOr<double> QueryProbability(const pdb::TiPdb<double>& ti,
                                   const logic::Formula& sentence,
                                   WmcStats* stats) {
+  // The span tree below is the serving pipeline's cost breakdown:
+  // pqe.query = pqe.ground + pqe.cache_probe (kc.compile nests inside on
+  // a miss) + pqe.evaluate, with only branch checks in between — a
+  // trace therefore attributes essentially all query wall-clock to a
+  // named phase (ci.sh gates the coverage at 95%).
+  IPDB_OBS_SPAN("pqe.query", "pqe");
+  IPDB_OBS_SCOPED_TIMER("pqe.query_ns");
+  IPDB_OBS_COUNT("pqe.queries", 1);
+
   Lineage lineage;
-  StatusOr<NodeId> root = GroundSentence(ti, sentence, &lineage);
-  if (!root.ok()) return root.status();
+  NodeId root = -1;
   std::vector<double> probs;
-  probs.reserve(ti.facts().size());
-  for (const auto& [fact, marginal] : ti.facts()) {
-    probs.push_back(marginal);
+  {
+    IPDB_OBS_SPAN("pqe.ground", "pqe");
+    StatusOr<NodeId> grounded = GroundSentence(ti, sentence, &lineage);
+    if (!grounded.ok()) return grounded.status();
+    root = grounded.value();
+    probs.reserve(ti.facts().size());
+    for (const auto& [fact, marginal] : ti.facts()) {
+      probs.push_back(marginal);
+    }
   }
+
   // Compile-once / evaluate-many: structurally identical lineages
   // (the same query re-asked, or isomorphic per-tuple lineages) share
   // one compiled artifact and pay only a circuit-linear evaluation.
   bool was_hit = false;
-  StatusOr<std::shared_ptr<const kc::CompiledQuery>> compiled =
-      kc::GlobalCompiledQueryCache().GetOrCompile(&lineage, root.value(),
-                                                  &was_hit);
-  if (!compiled.ok()) return compiled.status();
-  const kc::CompiledQuery& artifact = **compiled;
+  std::shared_ptr<const kc::CompiledQuery> artifact;
+  {
+    IPDB_OBS_SPAN("pqe.cache_probe", "pqe");
+    StatusOr<std::shared_ptr<const kc::CompiledQuery>> compiled =
+        kc::GlobalCompiledQueryCache().GetOrCompile(&lineage, root, &was_hit);
+    if (!compiled.ok()) return compiled.status();
+    artifact = std::move(compiled).value();
+  }
+
+  IPDB_OBS_SPAN("pqe.evaluate", "pqe");
   if (stats != nullptr) {
     // Replay the compilation trace (from the artifact on a hit) so the
     // counters describe the query's inference structure either way.
-    stats->shannon_expansions += artifact.stats.decisions;
-    stats->decompositions += artifact.stats.decompositions;
-    stats->cache_hits += artifact.stats.cache_hits;
+    stats->shannon_expansions += artifact->stats.decisions;
+    stats->decompositions += artifact->stats.decompositions;
+    stats->cache_hits += artifact->stats.cache_hits;
     if (was_hit) ++stats->artifact_cache_hits;
   }
-  return kc::EvaluateCircuit<double>(artifact.circuit, artifact.root, probs);
+  // The registry's cumulative view of the same replayed trace (the
+  // artifact-cache hit itself is counted inside kc::CompiledQueryCache).
+  MirrorWmcStats(WmcStats{artifact->stats.decisions,
+                          artifact->stats.decompositions,
+                          artifact->stats.cache_hits, 0});
+  return kc::EvaluateCircuit<double>(artifact->circuit, artifact->root,
+                                     probs);
 }
 
 StatusOr<double> QueryProbabilityBruteForce(const pdb::TiPdb<double>& ti,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ipdb {
@@ -75,6 +76,8 @@ void ThreadPool::RunBatch(Batch* batch) {
 void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
+  IPDB_OBS_COUNT("util.pool.batches", 1);
+  IPDB_OBS_COUNT("util.pool.indices", n);
   if (workers_.empty() || n == 1) {
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
@@ -89,6 +92,10 @@ void ThreadPool::ParallelFor(int64_t n,
     current_ = batch;
     ++epoch_;
   }
+  // Queue depth at batch granularity: the whole batch is outstanding
+  // while it runs, 0 when the pool is idle (per-index updates would put
+  // an atomic write in the work-claiming hot loop).
+  IPDB_OBS_GAUGE_SET("util.pool.queue_depth", n);
   work_cv_.notify_all();
   RunBatch(batch.get());
   {
@@ -96,6 +103,7 @@ void ThreadPool::ParallelFor(int64_t n,
     done_cv_.wait(lock, [&] { return batch->completed == batch->size; });
     current_.reset();
   }
+  IPDB_OBS_GAUGE_SET("util.pool.queue_depth", 0);
 }
 
 void ParallelFor(int threads, int64_t n,

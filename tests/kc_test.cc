@@ -9,6 +9,7 @@
 #include "kc/compile.h"
 #include "kc/evaluate.h"
 #include "logic/parser.h"
+#include "obs/obs.h"
 #include "pqe/lineage.h"
 #include "pqe/wmc.h"
 #include "util/interval.h"
@@ -282,6 +283,58 @@ TEST(QueryProbabilityTest, AnswersViaCompiledCacheWithStats) {
   auto brute = pqe::QueryProbabilityBruteForce(ti, sentence);
   ASSERT_TRUE(brute.ok());
   EXPECT_NEAR(second.value(), brute.value(), 1e-12);
+}
+
+/// Acceptance check for the observability layer: the process-wide
+/// registry's kc.artifact_cache.{hits,misses} move in lockstep with the
+/// cache's own accessors AND with the per-call WmcStats hit flag —
+/// delta-based, since other tests in this binary also touch the global
+/// cache and registry.
+TEST(QueryProbabilityTest, RegistryMirrorsArtifactCacheHits) {
+  obs::SetMetricsEnabled(true);
+  pdb::TiPdb<double> ti = PathTi();
+  logic::Formula sentence =
+      logic::ParseSentence("exists x y. R(x, y) & S(y)", ti.schema())
+          .value();
+
+  CompiledQueryCache& cache = GlobalCompiledQueryCache();
+  [[maybe_unused]] obs::MetricsSnapshot before =
+      obs::GlobalMetrics().Snapshot();
+  const int64_t cache_hits_before = cache.hits();
+  const int64_t cache_misses_before = cache.misses();
+
+  pqe::WmcStats stats;
+  ASSERT_TRUE(pqe::QueryProbability(ti, sentence, &stats).ok());
+  ASSERT_TRUE(pqe::QueryProbability(ti, sentence, &stats).ok());
+  ASSERT_TRUE(pqe::QueryProbability(ti, sentence, &stats).ok());
+
+  // The cache's own accessors always tally the three probes (they are
+  // core cache state, not instrumentation)...
+  const int64_t acc_hits = cache.hits() - cache_hits_before;
+  const int64_t acc_misses = cache.misses() - cache_misses_before;
+  EXPECT_EQ(acc_hits + acc_misses, 3);
+  EXPECT_EQ(acc_hits, stats.artifact_cache_hits);
+  // At most the first probe can miss (the sentence may have been
+  // compiled by an earlier test): the last two always hit.
+  EXPECT_GE(acc_hits, 2);
+
+#if !defined(IPDB_OBSERVABILITY_DISABLED)
+  // ...and with instrumentation compiled in, the registry mirrors them
+  // exactly (ci.sh also builds this test with the macros compiled out,
+  // where the registry legitimately sees nothing).
+  obs::MetricsSnapshot after = obs::GlobalMetrics().Snapshot();
+  const int64_t hit_delta = after.CounterValue("kc.artifact_cache.hits") -
+                            before.CounterValue("kc.artifact_cache.hits");
+  const int64_t miss_delta =
+      after.CounterValue("kc.artifact_cache.misses") -
+      before.CounterValue("kc.artifact_cache.misses");
+  EXPECT_EQ(hit_delta, acc_hits);
+  EXPECT_EQ(miss_delta, acc_misses);
+  // Every query was counted.
+  EXPECT_EQ(after.CounterValue("pqe.queries") -
+                before.CounterValue("pqe.queries"),
+            3);
+#endif
 }
 
 TEST(ValidationTest, ComputeProbabilityRejectsBadInput) {

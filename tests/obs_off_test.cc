@@ -1,0 +1,68 @@
+// Regression test for the compile-time observability switch: with
+// IPDB_OBSERVABILITY_DISABLED defined (what -DIPDB_OBSERVABILITY=OFF
+// does for the whole build), every IPDB_OBS_* macro must still compile
+// in statement position and must record nothing. This file forces the
+// define locally so the default build exercises the disabled expansion
+// of obs.h alongside the enabled one; ci.sh additionally builds and
+// tests the whole tree with the option off.
+
+#define IPDB_OBSERVABILITY_DISABLED 1
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+
+namespace ipdb {
+namespace obs {
+namespace {
+
+int InstrumentedFunction(int x) {
+  IPDB_OBS_SPAN("off.span", "test");
+  IPDB_OBS_SCOPED_TIMER("off.timer_ns");
+  IPDB_OBS_COUNT("off.counter", 1);
+  IPDB_OBS_GAUGE_SET("off.gauge", 7);
+  IPDB_OBS_GAUGE_ADD("off.gauge", 1);
+  IPDB_OBS_OBSERVE("off.histogram", 123);
+  if (x > 0) IPDB_OBS_COUNT("off.counter", x);  // unbraced-if position
+  return x * 2;
+}
+
+TEST(ObsOffTest, MacrosCompileOutAndRecordNothing) {
+  SetTracingEnabled(true);
+  TraceRecorder::Global().Drain();
+  EXPECT_EQ(InstrumentedFunction(21), 42);
+  SetTracingEnabled(false);
+
+  // No span reached the recorder...
+  EXPECT_TRUE(TraceRecorder::Global().Drain().empty());
+
+  // ...and no metric reached the registry.
+  MetricsSnapshot snapshot = GlobalMetrics().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("off.counter"), 0);
+  EXPECT_EQ(snapshot.GaugeValue("off.gauge"), 0);
+  EXPECT_EQ(snapshot.FindHistogram("off.timer_ns"), nullptr);
+  EXPECT_EQ(snapshot.FindHistogram("off.histogram"), nullptr);
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_NE(name.rfind("off.", 0), 0u) << name;
+  }
+}
+
+// The library APIs stay available when only the macros are disabled:
+// a binary compiled with the define can still read metrics written by
+// code compiled without it.
+TEST(ObsOffTest, RegistryAndRecorderApisStillWork) {
+  MetricsRegistry registry;
+  registry.GetCounter("explicit.counter").Increment(3);
+  EXPECT_EQ(registry.Snapshot().CounterValue("explicit.counter"), 3);
+
+  std::vector<TraceEvent> no_events;
+  std::string json = ChromeTraceJson(no_events);
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ipdb

@@ -1,0 +1,567 @@
+// Tests for the observability layer: metrics-registry concurrency
+// (exact totals under contention), histogram bucketing, span nesting,
+// and the Chrome-trace exporter (validated with a small JSON parser so
+// the emitted file is known to be syntactically sound, not just
+// string-matched).
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+
+namespace ipdb {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader, just enough to validate exporter output.
+// Values are doubles, strings, bools, null, arrays and objects.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char escaped = text_[pos_++];
+        switch (escaped) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // tests never inspect non-ASCII content
+            out->push_back('?');
+            break;
+          default: out->push_back(escaped); break;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      SkipSpace();
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// Busy-waits long enough for the monotonic clock to visibly advance, so
+// span durations are strictly positive and containment is checkable.
+void SpinFor(int64_t ns) {
+  int64_t start = MonotonicNowNs();
+  while (MonotonicNowNs() - start < ns) {
+  }
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsTest, CounterConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kIncrements);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("test.concurrent"),
+            int64_t{kThreads} * kIncrements);
+}
+
+TEST(MetricsTest, CounterDeltasAndReset) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.delta");
+  counter.Increment(5);
+  counter.Increment(37);
+  EXPECT_EQ(counter.Value(), 42);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0);  // the handle survives a reset
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 1);
+}
+
+TEST(MetricsTest, GetReturnsSameMetricForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("same");
+  Counter& b = registry.GetCounter("same");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.Value(), 3);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("test.gauge");
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  EXPECT_EQ(registry.Snapshot().GaugeValue("test.gauge"), 7);
+}
+
+TEST(MetricsTest, HistogramConcurrentObservationsExact) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("test.histogram");
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kObservations; ++i) {
+        histogram.Observe(t + 1);  // values 1..8
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  HistogramStats stats = histogram.Read();
+  EXPECT_EQ(stats.count, int64_t{kThreads} * kObservations);
+  // sum = 20000 * (1 + 2 + ... + 8)
+  EXPECT_EQ(stats.sum, int64_t{kObservations} * 36);
+  EXPECT_EQ(stats.min, 1);
+  EXPECT_EQ(stats.max, 8);
+  int64_t bucket_total = 0;
+  for (const auto& [lower, count] : stats.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, stats.count);
+}
+
+TEST(MetricsTest, HistogramBucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024);
+}
+
+TEST(MetricsTest, EmptyHistogramReadsAsZeros) {
+  MetricsRegistry registry;
+  HistogramStats stats = registry.GetHistogram("never.observed").Read();
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_EQ(stats.sum, 0);
+  EXPECT_EQ(stats.min, 0);
+  EXPECT_EQ(stats.max, 0);
+  EXPECT_TRUE(stats.buckets.empty());
+}
+
+TEST(MetricsTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra");
+  registry.GetCounter("alpha");
+  registry.GetCounter("middle");
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.counters.begin(), snapshot.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(MetricsTest, SnapshotJsonParses) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one").Increment(7);
+  registry.GetGauge("g.one").Set(-2);
+  registry.GetHistogram("h.one").Observe(100);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(registry.Snapshot().ToJson()).Parse(&root));
+  const JsonValue* schema = root.Find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, "ipdb-metrics-v1");
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* c = counters->Find("c.one");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->number, 7.0);
+  const JsonValue* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("g.one")->number, -2.0);
+  const JsonValue* histograms = root.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* h = histograms->Find("h.one");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Find("count")->number, 1.0);
+  EXPECT_EQ(h->Find("sum")->number, 100.0);
+}
+
+// ---------------------------------------------------------------------
+// Macros against the global registry. Only meaningful when the macros
+// are compiled in: ci.sh also builds this test with
+// -DIPDB_OBSERVABILITY=OFF, where they expand to nothing (the
+// compiled-out behaviour itself is pinned down by obs_off_test).
+#if !defined(IPDB_OBSERVABILITY_DISABLED)
+
+TEST(MacrosTest, CountMacroRecordsWhenEnabled) {
+  SetMetricsEnabled(true);
+  int64_t before =
+      GlobalMetrics().Snapshot().CounterValue("obs_test.macro_counter");
+  IPDB_OBS_COUNT("obs_test.macro_counter", 2);
+  IPDB_OBS_COUNT("obs_test.macro_counter", 3);
+  EXPECT_EQ(
+      GlobalMetrics().Snapshot().CounterValue("obs_test.macro_counter"),
+      before + 5);
+}
+
+TEST(MacrosTest, CountMacroSkipsWhenDisabled) {
+  SetMetricsEnabled(true);
+  IPDB_OBS_COUNT("obs_test.toggled", 1);  // ensure the metric exists
+  int64_t before = GlobalMetrics().Snapshot().CounterValue("obs_test.toggled");
+  SetMetricsEnabled(false);
+  IPDB_OBS_COUNT("obs_test.toggled", 100);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(GlobalMetrics().Snapshot().CounterValue("obs_test.toggled"),
+            before);
+}
+
+TEST(MacrosTest, ScopedTimerObservesOnce) {
+  SetMetricsEnabled(true);
+  const HistogramStats* found =
+      GlobalMetrics().Snapshot().FindHistogram("obs_test.timer_ns");
+  int64_t before = found == nullptr ? 0 : found->count;
+  {
+    IPDB_OBS_SCOPED_TIMER("obs_test.timer_ns");
+    SpinFor(1000);
+  }
+  MetricsSnapshot snapshot = GlobalMetrics().Snapshot();
+  const HistogramStats* stats = snapshot.FindHistogram("obs_test.timer_ns");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, before + 1);
+  EXPECT_GT(stats->sum, 0);
+}
+
+#endif  // !IPDB_OBSERVABILITY_DISABLED
+
+// ---------------------------------------------------------------------
+// Tracing. These tests share the global recorder, so each drains first.
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  SetTracingEnabled(false);
+  recorder.Drain();
+  {
+    Span span("trace_test.invisible", "test");
+    SpinFor(1000);
+  }
+  EXPECT_TRUE(recorder.Drain().empty());
+}
+
+TEST(TraceTest, NestedSpansRecordDepthAndContainment) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  SetTracingEnabled(false);
+  recorder.Drain();
+  SetTracingEnabled(true);
+  {
+    Span outer("trace_test.outer", "test");
+    SpinFor(20000);
+    {
+      Span middle("trace_test.middle", "test");
+      SpinFor(20000);
+      {
+        Span inner("trace_test.inner", "test");
+        SpinFor(20000);
+      }
+    }
+    {
+      Span sibling("trace_test.sibling", "test");
+      SpinFor(20000);
+    }
+  }
+  SetTracingEnabled(false);
+  std::vector<TraceEvent> events = recorder.Drain();
+  ASSERT_EQ(events.size(), 4u);
+
+  auto find = [&](const std::string& name) -> const TraceEvent& {
+    for (const TraceEvent& event : events) {
+      if (name == event.name) return event;
+    }
+    ADD_FAILURE() << "missing span " << name;
+    static TraceEvent none;
+    return none;
+  };
+  const TraceEvent& outer = find("trace_test.outer");
+  const TraceEvent& middle = find("trace_test.middle");
+  const TraceEvent& inner = find("trace_test.inner");
+  const TraceEvent& sibling = find("trace_test.sibling");
+
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(middle.depth, 1);
+  EXPECT_EQ(inner.depth, 2);
+  EXPECT_EQ(sibling.depth, 1);
+  for (const TraceEvent& event : events) {
+    EXPECT_GT(event.duration_ns, 0) << event.name;
+    EXPECT_EQ(event.tid, outer.tid);  // all on this thread
+  }
+
+  auto contains = [](const TraceEvent& parent, const TraceEvent& child) {
+    return parent.start_ns <= child.start_ns &&
+           child.start_ns + child.duration_ns <=
+               parent.start_ns + parent.duration_ns;
+  };
+  EXPECT_TRUE(contains(outer, middle));
+  EXPECT_TRUE(contains(middle, inner));
+  EXPECT_TRUE(contains(outer, sibling));
+  // Siblings are disjoint in time.
+  EXPECT_TRUE(middle.start_ns + middle.duration_ns <= sibling.start_ns ||
+              sibling.start_ns + sibling.duration_ns <= middle.start_ns);
+
+  // Drain sorted parents before children (tid, start, -duration).
+  EXPECT_EQ(std::string(events[0].name), "trace_test.outer");
+}
+
+TEST(TraceTest, SpanOpenStateIsCapturedAtConstruction) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  SetTracingEnabled(false);
+  recorder.Drain();
+  SetTracingEnabled(true);
+  std::unique_ptr<Span> span =
+      std::make_unique<Span>("trace_test.captured", "test");
+  SetTracingEnabled(false);
+  span.reset();  // still records: it opened while tracing was on
+  std::vector<TraceEvent> events = recorder.Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name), "trace_test.captured");
+}
+
+TEST(TraceTest, ChromeTraceJsonParsesAndIsWellNested) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  SetTracingEnabled(false);
+  recorder.Drain();
+  SetTracingEnabled(true);
+  std::thread other([] {
+    Span span("trace_test.other_thread", "test");
+    SpinFor(20000);
+  });
+  {
+    Span a("trace_test.a", "test");
+    SpinFor(20000);
+    {
+      Span b("trace_test.b", "test");
+      SpinFor(20000);
+    }
+  }
+  other.join();
+  SetTracingEnabled(false);
+  std::vector<TraceEvent> events = recorder.Drain();
+  ASSERT_EQ(events.size(), 3u);
+
+  MetricsRegistry registry;
+  registry.GetCounter("trace_test.counter").Increment(9);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  std::string json = ChromeTraceJson(events, &snapshot, 0);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue* trace_events = root.Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_EQ(trace_events->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(trace_events->array.size(), 3u);
+
+  // Every event is a complete ("X") event with the expected fields, and
+  // events on one thread are well-nested: for any two, either disjoint
+  // in time or one contains the other and depth increases inward.
+  std::map<std::string, const JsonValue*> by_name;
+  for (const JsonValue& event : trace_events->array) {
+    ASSERT_EQ(event.kind, JsonValue::Kind::kObject);
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->string, "X");
+    ASSERT_NE(event.Find("name"), nullptr);
+    ASSERT_NE(event.Find("cat"), nullptr);
+    ASSERT_NE(event.Find("ts"), nullptr);
+    ASSERT_NE(event.Find("dur"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    EXPECT_GE(event.Find("ts")->number, 0.0);  // normalized to earliest
+    EXPECT_GT(event.Find("dur")->number, 0.0);
+    const JsonValue* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    ASSERT_NE(args->Find("depth"), nullptr);
+    by_name[event.Find("name")->string] = &event;
+  }
+  ASSERT_EQ(by_name.size(), 3u);
+  for (const auto& [name_a, ea] : by_name) {
+    for (const auto& [name_b, eb] : by_name) {
+      if (name_a == name_b) continue;
+      if (ea->Find("tid")->number != eb->Find("tid")->number) continue;
+      double a0 = ea->Find("ts")->number;
+      double a1 = a0 + ea->Find("dur")->number;
+      double b0 = eb->Find("ts")->number;
+      double b1 = b0 + eb->Find("dur")->number;
+      bool disjoint = a1 <= b0 || b1 <= a0;
+      bool a_in_b = b0 <= a0 && a1 <= b1;
+      bool b_in_a = a0 <= b0 && b1 <= a1;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << name_a << " vs " << name_b;
+      if (a_in_b && !b_in_a) {
+        EXPECT_GT(ea->Find("args")->Find("depth")->number,
+                  eb->Find("args")->Find("depth")->number);
+      }
+    }
+  }
+
+  // The metrics snapshot rides along under otherData.
+  const JsonValue* other_data = root.Find("otherData");
+  ASSERT_NE(other_data, nullptr);
+  const JsonValue* metrics = other_data->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("trace_test.counter")->number, 9.0);
+  EXPECT_EQ(other_data->Find("droppedEvents")->number, 0.0);
+}
+
+TEST(TraceTest, EmptyTraceStillParses) {
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(ChromeTraceJson({})).Parse(&root));
+  const JsonValue* trace_events = root.Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  EXPECT_TRUE(trace_events->array.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ipdb
