@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "bench_json.h"
+#include "kc/cache.h"
 #include "kc/compile.h"
 #include "kc/evaluate.h"
 #include "logic/parser.h"
@@ -16,6 +17,7 @@
 #include "pqe/monte_carlo.h"
 #include "pqe/safe_plan.h"
 #include "pqe/wmc.h"
+#include "util/budget.h"
 
 namespace {
 
@@ -332,6 +334,36 @@ void BM_ArtifactCacheHitServing(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ArtifactCacheHitServing)->Arg(16)->Arg(32);
+
+void BM_BudgetedFallback(benchmark::State& state) {
+  // The degradation rung end to end: a node cap the path query cannot
+  // meet forces every iteration down the certified Monte Carlo fallback
+  // (cache miss, compile aborted at the cap, bounded sampling). The row
+  // prices "a bounded answer now" against the exact rows above.
+  pdb::TiPdb<double> ti = ChainTi(static_cast<int>(state.range(0)));
+  ipdb::logic::Formula query =
+      ipdb::logic::ParseSentence("exists x y z. R(x, y) & R(y, z)",
+                                 ti.schema())
+          .value();
+  // Earlier rows in this binary compile the same lineage; a cached
+  // artifact would serve the query budget-free, so drop it. A failed
+  // compile inserts nothing, so one clear keeps every iteration on the
+  // fallback rung.
+  ipdb::kc::GlobalCompiledQueryCache().Clear();
+  ipdb::ExecutionBudget budget;
+  budget.max_circuit_nodes = 1;
+  pqe::QueryOptions options;
+  options.budget = &budget;
+  options.fallback_samples = 4000;
+  for (auto _ : state) {
+    auto answer = pqe::QueryProbability(ti, query, options);
+    benchmark::DoNotOptimize(answer.ok());
+    state.counters["samples"] =
+        static_cast<double>(answer->samples);
+    state.counters["half_width"] = answer->half_width;
+  }
+}
+BENCHMARK(BM_BudgetedFallback)->Arg(16)->Arg(32);
 
 void BM_LineageRestrict(benchmark::State& state) {
   pdb::TiPdb<double> ti = ChainTi(24);

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification, run four times: plain, with ASan/UBSan
-# instrumentation (-DIPDB_SANITIZE="address;undefined"), as an
-# optimized Release build (-O2 -DNDEBUG) so the arithmetic kernels are
-# exercised the way benchmarks and users run them, and as a Release
-# build with -DIPDB_OBSERVABILITY=OFF so the compiled-out macro
+# Tier-1 verification across six build legs: plain, ASan/UBSan
+# (-DIPDB_SANITIZE="address;undefined"), fault injection under ASan
+# (-DIPDB_FAULT_INJECTION=ON — every registered fault site is armed in
+# turn and must unwind as a clean Status), TSan over the concurrency
+# tests, an optimized Release build (-O2 -DNDEBUG) so the arithmetic
+# kernels are exercised the way benchmarks and users run them, and a
+# Release build with -DIPDB_OBSERVABILITY=OFF so the compiled-out macro
 # expansions stay buildable. Every leg includes the knowledge-
 # compilation tests (kc_test, kc_property_test); the Release legs
 # additionally gate compiled-vs-legacy single-shot parity, the
@@ -40,6 +42,29 @@ cmake -B build-sanitize -S . -DIPDB_SANITIZE="address;undefined" >/dev/null
 cmake --build build-sanitize -j"${jobs}"
 require_kc_tests build-sanitize
 ctest --test-dir build-sanitize --output-on-failure -j"${jobs}" "$@"
+
+echo "=== fault-injection build + tests (ASan, IPDB_FAULT_INJECTION=ON) ==="
+# Error paths are tested on purpose: with fault points compiled in,
+# fault_test arms every registered site in turn and proves each injected
+# failure unwinds as a clean Status — no abort, no leak (ASan) — with at
+# least 8 sites actually reached by the representative workload
+# (FaultFiringTest.EverySiteUnwindsCleanly). The rest of the suite rides
+# along to show armed-but-unplanned sites stay inert.
+cmake -B build-fault -S . -DIPDB_SANITIZE="address" \
+  -DIPDB_FAULT_INJECTION=ON >/dev/null
+cmake --build build-fault -j"${jobs}"
+require_kc_tests build-fault
+ctest --test-dir build-fault --output-on-failure -j"${jobs}" "$@"
+
+echo "=== thread-sanitized build + concurrency tests ==="
+# TSan over the code that shares state across threads: the pool's
+# drain-on-error batches, budget/cancellation polling from workers, the
+# sharded Monte Carlo engines, and the metrics registry.
+cmake -B build-tsan -S . -DIPDB_SANITIZE="thread" >/dev/null
+cmake --build build-tsan -j"${jobs}" --target \
+  parallel_test budget_test obs_test pqe_test fault_test
+ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
+  -R '^(parallel_test|budget_test|obs_test|pqe_test|fault_test)$'
 
 echo "=== release build + tests (-O2 -DNDEBUG) ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
@@ -101,8 +126,11 @@ import json, sys
 
 row = sys.argv[1]
 def best(path):
+    # Exact-match the op name: with --benchmark_repetitions the JSON also
+    # carries _mean/_median/_stddev/_cv aggregate rows, and a prefix match
+    # would let min() pick the stddev row.
     rows = [r["ns_per_op"] for r in json.load(open(path))["results"]
-            if r["op"].startswith(row)]
+            if r["op"] == row]
     assert rows, f"no '{row}' rows in {path}"
     return min(rows)
 

@@ -1,6 +1,7 @@
 #include "kc/cache.h"
 
 #include "obs/obs.h"
+#include "util/fault.h"
 
 namespace ipdb {
 namespace kc {
@@ -25,11 +26,13 @@ CompiledQueryCache::CompiledQueryCache(size_t capacity)
 
 StatusOr<std::shared_ptr<const CompiledQuery>>
 CompiledQueryCache::GetOrCompile(pqe::Lineage* lineage, pqe::NodeId root,
-                                 bool* was_hit) {
+                                 bool* was_hit,
+                                 const CompileOptions& options) {
   if (lineage == nullptr) return InvalidArgumentError("null lineage");
   if (root < 0 || root >= lineage->size()) {
     return InvalidArgumentError("lineage root out of range");
   }
+  IPDB_FAULT_POINT("kc.cache.lookup");
   const Key key = LineageFingerprint(*lineage, root);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -45,8 +48,9 @@ CompiledQueryCache::GetOrCompile(pqe::Lineage* lineage, pqe::NodeId root,
   // Compile outside the lock: compilation can be expensive and other
   // queries should not stall behind it. A racing thread may compile the
   // same fingerprint concurrently; the second insert is a no-op.
-  StatusOr<CompiledQuery> compiled = CompileLineage(lineage, root);
+  StatusOr<CompiledQuery> compiled = CompileLineage(lineage, root, options);
   if (!compiled.ok()) return compiled.status();
+  IPDB_FAULT_POINT("kc.cache.insert");
   auto artifact =
       std::make_shared<const CompiledQuery>(std::move(compiled).value());
   const int64_t artifact_bytes = ArtifactApproxBytes(*artifact);

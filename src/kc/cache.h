@@ -30,8 +30,16 @@ class CompiledQueryCache {
   /// (and inserting) on a miss. `was_hit`, if non-null, reports whether
   /// the artifact came from the cache. Artifacts are shared_ptr-held,
   /// so an entry evicted mid-use stays alive for its holders.
+  ///
+  /// `options` govern the miss-path compilation only (a hit never
+  /// consults them): a budget-aborted compile propagates its error and
+  /// leaves the cache untouched, so a later retry with a bigger budget
+  /// starts clean. Note a cache hit can satisfy a query whose budget
+  /// would have rejected compiling it — the artifact is already paid
+  /// for, which is the point of the cache.
   StatusOr<std::shared_ptr<const CompiledQuery>> GetOrCompile(
-      pqe::Lineage* lineage, pqe::NodeId root, bool* was_hit = nullptr);
+      pqe::Lineage* lineage, pqe::NodeId root, bool* was_hit = nullptr,
+      const CompileOptions& options = {});
 
   void Clear();
   size_t size() const;

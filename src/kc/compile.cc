@@ -1,11 +1,14 @@
 #include "kc/compile.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace ipdb {
 namespace kc {
@@ -18,10 +21,23 @@ using LineageId = pqe::NodeId;
 
 class Compiler {
  public:
-  Compiler(Lineage* lineage, CompileStats* stats, bool certify)
-      : lineage_(*lineage), stats_(*stats), certify_(certify) {}
+  Compiler(Lineage* lineage, CompileStats* stats, bool certify,
+           const ExecutionBudget* budget)
+      : lineage_(*lineage),
+        stats_(*stats),
+        certify_(certify),
+        budget_(budget),
+        max_depth_(budget != nullptr ? budget->max_recursion_depth : 0),
+        meter_(budget, budget != nullptr ? budget->max_circuit_nodes : 0,
+               "kc.compile circuit-node") {}
 
   Circuit&& TakeCircuit() { return std::move(circuit_); }
+
+  /// OK, or the budget/fault error that aborted compilation. Once set,
+  /// the compiler stops doing real work: every further Compile call
+  /// returns a False placeholder and unwinds, so the (worthless) partial
+  /// circuit is cheap to abandon.
+  const Status& error() const { return error_; }
 
   void ReserveFor(size_t lineage_size) {
     circuit_.Reserve(lineage_size * 2 + 16);
@@ -41,6 +57,10 @@ class Compiler {
       default:
         break;
     }
+    // Aborted compilations unwind through here constantly; the False
+    // placeholder keeps every caller's invariants (a valid NodeId)
+    // without growing the circuit.
+    if (!error_.ok()) return circuit_.False();
     // Dense memo indexed by (lineage id, polarity) — ids are small and
     // contiguous, and the lineage grows during compilation.
     const size_t key = (static_cast<size_t>(id) << 1) | (negated ? 1 : 0);
@@ -54,6 +74,8 @@ class Compiler {
     } else {
       result = CompileGate(id, negated);
     }
+    // Never memoize a placeholder produced while unwinding an abort.
+    if (!error_.ok()) return circuit_.False();
     if (key >= memo_.size()) {
       memo_.resize(static_cast<size_t>(lineage_.size()) * 2, kUncompiled);
     }
@@ -149,11 +171,46 @@ class Compiler {
   }
 
   NodeId CompileGate(LineageId id, bool negated) {
+    ++depth_;
+    NodeId result = CompileGateGoverned(id, negated);
+    --depth_;
+    return result;
+  }
+
+  /// Budget/fault gatekeeper around the real gate compilation. Charges
+  /// the meter with the circuit's growth since the last gate (so `used`
+  /// tracks actual circuit nodes, amortized) plus one progress unit, and
+  /// enforces the recursion-depth cap exactly.
+  NodeId CompileGateGoverned(LineageId id, bool negated) {
+    if (budget_ != nullptr) {
+      if (max_depth_ > 0 && depth_ > max_depth_) {
+        error_ = ResourceExhaustedError(
+            "kc.compile recursion depth cap of " +
+            std::to_string(max_depth_) + " exceeded");
+        return circuit_.False();
+      }
+      const int64_t size_now = circuit_.size();
+      const int64_t growth = size_now > charged_ ? size_now - charged_ : 0;
+      charged_ = size_now > charged_ ? size_now : charged_;
+      Status status = meter_.Charge(growth + 1);
+      if (!status.ok()) {
+        error_ = std::move(status);
+        return circuit_.False();
+      }
+    }
+    if (IPDB_FAULT_FIRED("kc.compile.node_alloc")) {
+      error_ = fault::InjectedFault("kc.compile.node_alloc");
+      return circuit_.False();
+    }
     const bool is_and = lineage_.kind(id) == NodeKind::kAnd;
     // Copy the structure: recursive Compile calls can rehash the memo.
     GateStructure structure = AnalyzeGate(id);
     if (structure.component_ids.empty()) {
       // Shannon decision gate on the shared branch variable.
+      if (IPDB_FAULT_FIRED("kc.compile.shannon")) {
+        error_ = fault::InjectedFault("kc.compile.shannon");
+        return circuit_.False();
+      }
       return circuit_.MakeDecision(structure.branch_var,
                                    Compile(structure.hi, negated),
                                    Compile(structure.lo, negated));
@@ -205,6 +262,12 @@ class Compiler {
   Lineage& lineage_;
   CompileStats& stats_;
   const bool certify_;
+  const ExecutionBudget* budget_;
+  const int64_t max_depth_;
+  BudgetMeter meter_;
+  int64_t depth_ = 0;
+  int64_t charged_ = 0;  // circuit size already billed to the meter
+  Status error_;
   Circuit circuit_;
   std::vector<NodeId> memo_;
   std::unordered_map<LineageId, GateStructure> structure_;
@@ -221,10 +284,23 @@ StatusOr<CompiledQuery> CompileLineage(pqe::Lineage* lineage,
   }
   IPDB_OBS_SPAN("kc.compile", "kc");
   IPDB_OBS_SCOPED_TIMER("kc.compile_ns");
+  const ExecutionBudget* budget =
+      options.budget != nullptr && options.budget->unlimited()
+          ? nullptr
+          : options.budget;
+  if (budget != nullptr) {
+    IPDB_RETURN_IF_ERROR(budget->CheckTime("kc.compile"));
+  }
   CompiledQuery compiled;
-  Compiler compiler(lineage, &compiled.stats, /*certify=*/options.verify);
+  Compiler compiler(lineage, &compiled.stats, /*certify=*/options.verify,
+                    budget);
   compiler.ReserveFor(static_cast<size_t>(lineage->size()));
   compiled.root = compiler.Compile(root, /*negated=*/false);
+  if (!compiler.error().ok()) {
+    IPDB_OBS_COUNT("kc.compile.aborted", 1);
+    return IPDB_STATUS_FORWARD(compiler.error())
+           << "d-DNNF compilation aborted";
+  }
   compiled.circuit = compiler.TakeCircuit();
   compiled.num_variables = compiled.circuit.num_variables();
   compiled.stats.circuit_nodes = compiled.circuit.size();

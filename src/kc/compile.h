@@ -6,6 +6,7 @@
 
 #include "kc/circuit.h"
 #include "pqe/lineage.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace ipdb {
@@ -46,6 +47,16 @@ struct CompileOptions {
   /// makes the compiler register its complement certificates on the
   /// circuit — the structural evidence the determinism checker consumes.
   bool verify = false;
+
+  /// Optional resource governor. Compilation is worst-case exponential,
+  /// so a serving path sets `budget->max_circuit_nodes` /
+  /// `max_recursion_depth` / `deadline` and gets kResourceExhausted /
+  /// kDeadlineExceeded / kCancelled back instead of an unbounded
+  /// compile. Checks are amortized (BudgetMeter): the clock is polled
+  /// every few hundred charged nodes, and the node cap may overshoot by
+  /// the handful of gates one compilation step creates. Null or
+  /// unlimited = ungoverned, with no extra work on the hot path.
+  const ExecutionBudget* budget = nullptr;
 };
 
 /// A compiled lineage: the circuit, its root, and how it was built.

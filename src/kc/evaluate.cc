@@ -2,6 +2,9 @@
 
 #include <string>
 
+#include "math/bigint.h"
+#include "util/fault.h"
+
 namespace ipdb {
 namespace kc {
 
@@ -15,6 +18,29 @@ Status ValidateProbabilities(const std::vector<double>& probs) {
     }
   }
   return Status::Ok();
+}
+
+StatusOr<math::Rational> EvaluateCircuitExact(
+    const Circuit& circuit, NodeId root,
+    const std::vector<math::Rational>& probs,
+    const ExecutionBudget* budget) {
+  IPDB_FAULT_POINT("kc.evaluate.exact");
+  if (budget != nullptr && budget->unlimited()) budget = nullptr;
+  if (budget == nullptr) {
+    return EvaluateCircuit<math::Rational>(circuit, root, probs);
+  }
+  // The limb cap works by suppression: an over-cap product latches the
+  // thread-local flag and yields zero, which keeps the rest of the pass
+  // cheap (inline-zero arithmetic) while we unwind to this checkpoint.
+  // Anything computed under a tripped cap is garbage by design, so the
+  // flag is checked before the result is surfaced.
+  math::ScopedLimbCap limb_cap(budget->max_bigint_limbs);
+  BudgetMeter meter(budget, 0, "kc.evaluate.exact");
+  StatusOr<math::Rational> result =
+      EvaluateCircuit<math::Rational>(circuit, root, probs, &meter);
+  if (!result.ok()) return result.status();
+  IPDB_RETURN_IF_ERROR(limb_cap.ToStatus("kc.evaluate.exact"));
+  return result;
 }
 
 }  // namespace kc

@@ -5,6 +5,7 @@
 
 #include "kc/circuit.h"
 #include "math/rational.h"
+#include "util/budget.h"
 #include "util/interval.h"
 #include "util/status.h"
 
@@ -52,13 +53,31 @@ struct SemiringTraits<Interval> {
 /// included) — the shared input gate of the double-valued entry points.
 Status ValidateProbabilities(const std::vector<double>& probs);
 
+/// Budget-governed exact evaluation: EvaluateCircuit<math::Rational>
+/// with `budget->max_bigint_limbs` enforced through a math::ScopedLimbCap
+/// around the whole pass (exact weights grow without bound; the cap is
+/// what keeps one adversarial query from eating the heap) and the
+/// deadline/cancel token polled per node. Returns kResourceExhausted
+/// when any intermediate exceeded the limb cap — partial over-cap values
+/// are never returned. A null/unlimited budget is the plain exact pass.
+StatusOr<math::Rational> EvaluateCircuitExact(
+    const Circuit& circuit, NodeId root,
+    const std::vector<math::Rational>& probs,
+    const ExecutionBudget* budget = nullptr);
+
 /// The weighted model count of the circuit under `probs` (marginal of
 /// variable v at index v). Requires probs.size() >= num_variables().
 /// Correct only on valid d-DNNF circuits (see the Check* methods); the
 /// compiler guarantees validity by construction.
+///
+/// `meter`, when non-null, is charged one unit per circuit node so a
+/// governed caller's deadline/cancel token is polled amortized during
+/// long evaluations; a tripped meter aborts with its error. Null keeps
+/// the loop exactly as cheap as before (one pointer test per node).
 template <typename T>
 StatusOr<T> EvaluateCircuit(const Circuit& circuit, NodeId root,
-                            const std::vector<T>& probs) {
+                            const std::vector<T>& probs,
+                            BudgetMeter* meter = nullptr) {
   if (root < 0 || root >= circuit.size()) {
     return InvalidArgumentError("circuit root out of range");
   }
@@ -69,6 +88,10 @@ StatusOr<T> EvaluateCircuit(const Circuit& circuit, NodeId root,
   std::vector<T> value(static_cast<size_t>(root) + 1,
                        SemiringTraits<T>::Zero());
   for (NodeId id = 0; id <= root; ++id) {
+    if (meter != nullptr) {
+      Status status = meter->Charge();
+      if (!status.ok()) return status;
+    }
     switch (circuit.kind(id)) {
       case CircuitKind::kTrue:
         value[id] = SemiringTraits<T>::One();

@@ -21,6 +21,12 @@ constexpr size_t kKaratsubaThreshold = 32;
 
 using Limbs = std::vector<uint32_t>;
 
+// ScopedLimbCap state (see bigint.h). A cap of 0 means uncapped. The
+// flag is sticky within a scope so governed callers can batch work and
+// poll once per checkpoint.
+thread_local int64_t tl_limb_cap = 0;
+thread_local bool tl_limb_exceeded = false;
+
 void Normalize(Limbs* limbs) {
   while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
 }
@@ -192,6 +198,16 @@ void MulInto(const uint32_t* a, size_t an, const uint32_t* b, size_t bn,
 
 Limbs MulMag(const uint32_t* a, size_t an, const uint32_t* b, size_t bn) {
   if (an == 0 || bn == 0) return {};
+  // Every limb-form product funnels through here (operator*, *=, the
+  // Rational/pgf convolutions), so this is the single choke point for
+  // the ScopedLimbCap governor: suppress the product and latch the flag
+  // rather than allocate an over-cap result. The placeholder is 1, not
+  // 0, so a suppressed denominator can never become a zero divisor
+  // while the caller unwinds to its checkpoint.
+  if (tl_limb_cap > 0 && static_cast<int64_t>(an + bn) > tl_limb_cap) {
+    tl_limb_exceeded = true;
+    return {1};
+  }
   Limbs out(an + bn, 0);
   MulInto(a, an, b, bn, out.data());
   Normalize(&out);
@@ -895,6 +911,26 @@ size_t BigInt::BitLength() const {
 
 std::ostream& operator<<(std::ostream& os, const BigInt& value) {
   return os << value.ToString();
+}
+
+ScopedLimbCap::ScopedLimbCap(int64_t max_limbs)
+    : prev_cap_(tl_limb_cap), prev_exceeded_(tl_limb_exceeded) {
+  tl_limb_cap = max_limbs > 0 ? max_limbs : 0;
+  tl_limb_exceeded = false;
+}
+
+ScopedLimbCap::~ScopedLimbCap() {
+  tl_limb_cap = prev_cap_;
+  tl_limb_exceeded = prev_exceeded_;
+}
+
+bool ScopedLimbCap::exceeded() const { return tl_limb_exceeded; }
+
+Status ScopedLimbCap::ToStatus(const char* what) const {
+  if (!tl_limb_exceeded) return Status::Ok();
+  return ResourceExhaustedError(
+      std::string(what) + ": exact-arithmetic limb cap of " +
+      std::to_string(tl_limb_cap) + " limbs exceeded");
 }
 
 }  // namespace math

@@ -177,6 +177,45 @@ class BigInt {
 
 std::ostream& operator<<(std::ostream& os, const BigInt& value);
 
+/// Thread-local governor on the exact-arithmetic multiply kernels,
+/// enforcing ExecutionBudget::max_bigint_limbs.
+///
+/// BigInt's operators return values and cannot return Status, so the cap
+/// works through a sticky flag instead of an error return: while a
+/// ScopedLimbCap is active on the current thread, any limb-form multiply
+/// whose result would exceed `max_limbs` base-2^32 limbs *latches the
+/// exceeded flag and yields ±1* instead of allocating the product (1
+/// rather than 0 so a suppressed denominator never divides by zero).
+/// Results computed after the flag latches are therefore garbage by
+/// design — a governed caller (e.g. kc::EvaluateCircuitExact) must poll
+/// `exceeded()` at its checkpoints and discard everything computed under
+/// a tripped cap, surfacing `ToStatus()` (kResourceExhausted) instead.
+///
+/// The inline-int64 fast path is never guarded (its operands are bounded
+/// by machine words); only the limb kernels check the cap, so ungoverned
+/// small-value arithmetic pays nothing. Scopes nest: the constructor
+/// saves the previous cap and flag, the destructor restores both.
+class ScopedLimbCap {
+ public:
+  /// Caps limb-form products at `max_limbs` limbs on this thread for the
+  /// lifetime of the scope; `max_limbs <= 0` means uncapped (the scope
+  /// still isolates the exceeded flag). Clears the flag on entry.
+  explicit ScopedLimbCap(int64_t max_limbs);
+  ScopedLimbCap(const ScopedLimbCap&) = delete;
+  ScopedLimbCap& operator=(const ScopedLimbCap&) = delete;
+  ~ScopedLimbCap();
+
+  /// True once any multiply under this scope was suppressed by the cap.
+  bool exceeded() const;
+
+  /// Ok, or kResourceExhausted naming `what` once `exceeded()`.
+  Status ToStatus(const char* what) const;
+
+ private:
+  int64_t prev_cap_;
+  bool prev_exceeded_;
+};
+
 }  // namespace math
 }  // namespace ipdb
 

@@ -98,13 +98,16 @@ P BidPdb<P>::WorldProbability(const rel::Instance& instance) const {
 }
 
 template <typename P>
-FinitePdb<P> BidPdb<P>::Expand() const {
+StatusOr<FinitePdb<P>> BidPdb<P>::TryExpand() const {
   // Mixed-radix enumeration over (|B_b| + 1) options per block, option 0
   // meaning "no fact from this block".
   uint64_t world_count = 1;
   for (const Block& block : blocks_) {
     world_count *= block.size() + 1;
-    IPDB_CHECK_LE(world_count, (1ULL << 22)) << "BID expansion too large";
+    if (world_count > (1ULL << 22)) {
+      return ResourceExhaustedError(
+          "BID expansion too large: world count exceeds 2^22");
+    }
   }
   typename FinitePdb<P>::WorldList worlds;
   worlds.reserve(world_count);
@@ -131,6 +134,13 @@ FinitePdb<P> BidPdb<P>::Expand() const {
     if (b == blocks_.size()) break;
   }
   return FinitePdb<P>::CreateOrDie(schema_, std::move(worlds));
+}
+
+template <typename P>
+FinitePdb<P> BidPdb<P>::Expand() const {
+  StatusOr<FinitePdb<P>> expanded = TryExpand();
+  IPDB_CHECK(expanded.ok()) << expanded.status().ToString();
+  return std::move(expanded).value();
 }
 
 template <typename P>

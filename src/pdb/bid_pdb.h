@@ -55,6 +55,12 @@ class BidPdb {
   P WorldProbability(const rel::Instance& instance) const;
 
   /// Enumerates all Π_b (|B_b|+1) worlds as an explicit finite PDB.
+  /// Returns kResourceExhausted when the world count would exceed 2^22
+  /// (a data-dependent limit, so a recoverable Status, not a crash).
+  StatusOr<FinitePdb<P>> TryExpand() const;
+
+  /// TryExpand() or die — for callers whose block structure is small by
+  /// construction.
   FinitePdb<P> Expand() const;
 
   /// Independent per-block draws.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <string>
 
 #include "util/check.h"
 
@@ -134,9 +135,13 @@ bool ProbablyEqual(const math::Rational& a, const math::Rational& b) {
 }  // namespace
 
 template <typename P>
-bool FinitePdb<P>::IsTupleIndependent() const {
+StatusOr<bool> FinitePdb<P>::CheckTupleIndependent() const {
   std::vector<rel::Fact> facts = FactSet();
-  IPDB_CHECK_LE(facts.size(), 24u) << "tuple-independence check is 2^n";
+  if (facts.size() > 24u) {
+    return ResourceExhaustedError(
+        "tuple-independence check is 2^n: " + std::to_string(facts.size()) +
+        " facts exceed the 24-fact limit");
+  }
   // For every subset S of facts: Pr(S ⊆ D) must equal Π_{t∈S} Pr(t ∈ D).
   std::vector<P> marginals;
   marginals.reserve(facts.size());
@@ -165,8 +170,20 @@ bool FinitePdb<P>::IsTupleIndependent() const {
 }
 
 template <typename P>
-bool FinitePdb<P>::IsBlockIndependentDisjoint(
+bool FinitePdb<P>::IsTupleIndependent() const {
+  StatusOr<bool> independent = CheckTupleIndependent();
+  IPDB_CHECK(independent.ok()) << independent.status().ToString();
+  return independent.value();
+}
+
+template <typename P>
+StatusOr<bool> FinitePdb<P>::CheckBlockIndependentDisjoint(
     const std::vector<std::vector<rel::Fact>>& blocks) const {
+  if (blocks.size() > 12u) {
+    return ResourceExhaustedError(
+        "BID check is exponential in blocks: " +
+        std::to_string(blocks.size()) + " blocks exceed the 12-block limit");
+  }
   // (2) facts within a block are mutually exclusive.
   for (const auto& block : blocks) {
     for (size_t i = 0; i < block.size(); ++i) {
@@ -184,8 +201,7 @@ bool FinitePdb<P>::IsBlockIndependentDisjoint(
   // per block, the joint probability factorizes. We check all tuples of
   // facts from pairwise different blocks (product over block choices,
   // including "no fact"), which is exponential in the number of blocks —
-  // intended for small fixtures.
-  IPDB_CHECK_LE(blocks.size(), 12u) << "BID check is exponential in blocks";
+  // intended for small fixtures (hence the 12-block cap above).
   std::vector<size_t> choice(blocks.size(), 0);  // 0 = skip block
   while (true) {
     std::vector<rel::Fact> chosen;
@@ -221,6 +237,14 @@ bool FinitePdb<P>::IsBlockIndependentDisjoint(
 }
 
 template <typename P>
+bool FinitePdb<P>::IsBlockIndependentDisjoint(
+    const std::vector<std::vector<rel::Fact>>& blocks) const {
+  StatusOr<bool> bid = CheckBlockIndependentDisjoint(blocks);
+  IPDB_CHECK(bid.ok()) << bid.status().ToString();
+  return bid.value();
+}
+
+template <typename P>
 std::string FinitePdb<P>::ToString() const {
   std::string out;
   for (const auto& [instance, probability] : worlds_) {
@@ -231,8 +255,11 @@ std::string FinitePdb<P>::ToString() const {
 }
 
 template <typename P>
-double TotalVariationDistance(const FinitePdb<P>& a, const FinitePdb<P>& b) {
-  IPDB_CHECK(a.schema() == b.schema()) << "TV distance across schemas";
+StatusOr<double> TryTotalVariationDistance(const FinitePdb<P>& a,
+                                           const FinitePdb<P>& b) {
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("TV distance across schemas");
+  }
   double total = 0.0;
   // Merge the two sorted world lists.
   const auto& wa = a.worlds();
@@ -256,11 +283,22 @@ double TotalVariationDistance(const FinitePdb<P>& a, const FinitePdb<P>& b) {
   return total / 2.0;
 }
 
+template <typename P>
+double TotalVariationDistance(const FinitePdb<P>& a, const FinitePdb<P>& b) {
+  StatusOr<double> distance = TryTotalVariationDistance(a, b);
+  IPDB_CHECK(distance.ok()) << distance.status().ToString();
+  return distance.value();
+}
+
 template class FinitePdb<double>;
 template class FinitePdb<math::Rational>;
 template double TotalVariationDistance<double>(const FinitePdb<double>&,
                                                const FinitePdb<double>&);
 template double TotalVariationDistance<math::Rational>(
+    const FinitePdb<math::Rational>&, const FinitePdb<math::Rational>&);
+template StatusOr<double> TryTotalVariationDistance<double>(
+    const FinitePdb<double>&, const FinitePdb<double>&);
+template StatusOr<double> TryTotalVariationDistance<math::Rational>(
     const FinitePdb<math::Rational>&, const FinitePdb<math::Rational>&);
 
 }  // namespace pdb

@@ -65,11 +65,20 @@ class FinitePdb {
 
   /// Tuple-independence test (Definition 2.3): checks that for every
   /// subset of the fact set, the joint membership probability factorizes.
-  /// Exponential in |T(D)|; intended for small test fixtures.
+  /// Exponential in |T(D)|: returns kResourceExhausted beyond 24 facts
+  /// (a data-dependent limit, hence a recoverable Status).
+  StatusOr<bool> CheckTupleIndependent() const;
+
+  /// CheckTupleIndependent() or die — for small test fixtures.
   bool IsTupleIndependent() const;
 
   /// Block-independent-disjointness test for a given partition of the
-  /// fact set into blocks (Definition 2.5).
+  /// fact set into blocks (Definition 2.5). Exponential in the number of
+  /// blocks: returns kResourceExhausted beyond 12 blocks.
+  StatusOr<bool> CheckBlockIndependentDisjoint(
+      const std::vector<std::vector<rel::Fact>>& blocks) const;
+
+  /// CheckBlockIndependentDisjoint() or die — for small test fixtures.
   bool IsBlockIndependentDisjoint(
       const std::vector<std::vector<rel::Fact>>& blocks) const;
 
@@ -88,7 +97,14 @@ using FinitePdbD = FinitePdb<double>;
 using FinitePdbQ = FinitePdb<math::Rational>;
 
 /// Total variation distance between two finite PDBs over the same schema:
-/// (1/2) Σ_D |P₁(D) − P₂(D)| (as a double).
+/// (1/2) Σ_D |P₁(D) − P₂(D)| (as a double). Returns kInvalidArgument on
+/// a schema mismatch.
+template <typename P>
+StatusOr<double> TryTotalVariationDistance(const FinitePdb<P>& a,
+                                           const FinitePdb<P>& b);
+
+/// TryTotalVariationDistance() or die — for callers that constructed
+/// both PDBs over one schema.
 template <typename P>
 double TotalVariationDistance(const FinitePdb<P>& a, const FinitePdb<P>& b);
 

@@ -62,8 +62,11 @@ StatusOr<double> KlDivergence(const FinitePdb<P>& a, const FinitePdb<P>& b) {
 }
 
 template <typename P>
-double HellingerDistance(const FinitePdb<P>& a, const FinitePdb<P>& b) {
-  IPDB_CHECK(a.schema() == b.schema()) << "Hellinger across schemas";
+StatusOr<double> TryHellingerDistance(const FinitePdb<P>& a,
+                                      const FinitePdb<P>& b) {
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("Hellinger distance across schemas");
+  }
   // Bhattacharyya coefficient over the union of supports.
   double coefficient = 0.0;
   for (const auto& [world, probability] : a.worlds()) {
@@ -74,6 +77,13 @@ double HellingerDistance(const FinitePdb<P>& a, const FinitePdb<P>& b) {
   double inside = 1.0 - coefficient;
   if (inside < 0.0) inside = 0.0;  // rounding
   return std::sqrt(inside);
+}
+
+template <typename P>
+double HellingerDistance(const FinitePdb<P>& a, const FinitePdb<P>& b) {
+  StatusOr<double> distance = TryHellingerDistance(a, b);
+  IPDB_CHECK(distance.ok()) << distance.status().ToString();
+  return distance.value();
 }
 
 template <typename P>
@@ -113,6 +123,10 @@ template StatusOr<double> KlDivergence(const FinitePdb<double>&,
                                        const FinitePdb<double>&);
 template StatusOr<double> KlDivergence(const FinitePdb<math::Rational>&,
                                        const FinitePdb<math::Rational>&);
+template StatusOr<double> TryHellingerDistance(const FinitePdb<double>&,
+                                               const FinitePdb<double>&);
+template StatusOr<double> TryHellingerDistance(
+    const FinitePdb<math::Rational>&, const FinitePdb<math::Rational>&);
 template double HellingerDistance(const FinitePdb<double>&,
                                   const FinitePdb<double>&);
 template double HellingerDistance(const FinitePdb<math::Rational>&,

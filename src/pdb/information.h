@@ -31,6 +31,12 @@ template <typename P>
 StatusOr<double> KlDivergence(const FinitePdb<P>& a, const FinitePdb<P>& b);
 
 /// Hellinger distance H(a, b) = sqrt(1 − Σ sqrt(P_a P_b)) ∈ [0, 1].
+/// Returns kInvalidArgument on a schema mismatch.
+template <typename P>
+StatusOr<double> TryHellingerDistance(const FinitePdb<P>& a,
+                                      const FinitePdb<P>& b);
+
+/// TryHellingerDistance() or die.
 template <typename P>
 double HellingerDistance(const FinitePdb<P>& a, const FinitePdb<P>& b);
 

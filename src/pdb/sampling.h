@@ -8,6 +8,7 @@
 #include "pdb/finite_pdb.h"
 #include "pdb/metrics.h"
 #include "pdb/ti_pdb.h"
+#include "util/budget.h"
 #include "util/random.h"
 
 namespace ipdb {
@@ -29,6 +30,14 @@ struct SamplingOptions {
   /// drawn (a different but equally valid sample stream); changing
   /// `threads` does not.
   int shards = 64;
+  /// Optional resource governor for the sampling loop. The deadline and
+  /// cancel token are polled per chunk of ~64 samples inside each shard;
+  /// `max_samples` clamps the total draw count up front. A sampler
+  /// stopped early returns the partial estimate (with its interval
+  /// widened to the samples actually drawn) and marks it `truncated` —
+  /// a truncated run's sample count depends on timing, so the
+  /// determinism contract above applies only to un-truncated runs.
+  const ExecutionBudget* budget = nullptr;
 };
 
 /// Draws a world from an explicit finite PDB (linear inversion; adequate

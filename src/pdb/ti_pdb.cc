@@ -79,7 +79,7 @@ P TiPdb<P>::MarginalSum() const {
 }
 
 template <typename P>
-FinitePdb<P> TiPdb<P>::Expand() const {
+StatusOr<FinitePdb<P>> TiPdb<P>::TryExpand() const {
   // Facts with marginal exactly 1 are present in every world and facts
   // with marginal 0 in none, so only "uncertain" facts drive the 2^n
   // expansion.
@@ -94,7 +94,11 @@ FinitePdb<P> TiPdb<P>::Expand() const {
       uncertain.emplace_back(fact, marginal);
     }
   }
-  IPDB_CHECK_LE(uncertain.size(), 20u) << "TI expansion is 2^n";
+  if (uncertain.size() > 20u) {
+    return ResourceExhaustedError(
+        "TI expansion is 2^n: " + std::to_string(uncertain.size()) +
+        " uncertain facts exceed the 20-fact enumeration limit");
+  }
   typename FinitePdb<P>::WorldList worlds;
   const uint64_t count = 1ULL << uncertain.size();
   worlds.reserve(count);
@@ -114,6 +118,13 @@ FinitePdb<P> TiPdb<P>::Expand() const {
                         std::move(probability));
   }
   return FinitePdb<P>::CreateOrDie(schema_, std::move(worlds));
+}
+
+template <typename P>
+FinitePdb<P> TiPdb<P>::Expand() const {
+  StatusOr<FinitePdb<P>> expanded = TryExpand();
+  IPDB_CHECK(expanded.ok()) << expanded.status().ToString();
+  return std::move(expanded).value();
 }
 
 template <typename P>

@@ -51,7 +51,14 @@ class TiPdb {
   /// Sum of marginals (always finite here; the object of Theorem 2.4).
   P MarginalSum() const;
 
-  /// Enumerates all 2^n worlds as an explicit finite PDB (n <= 20).
+  /// Enumerates all 2^n worlds as an explicit finite PDB. Returns
+  /// kResourceExhausted when more than 20 facts have marginals strictly
+  /// between 0 and 1 (the expansion would exceed 2^20 worlds) — a data-
+  /// dependent limit, so it is a recoverable Status, not a crash.
+  StatusOr<FinitePdb<P>> TryExpand() const;
+
+  /// TryExpand() or die — for callers (tests, fixtures) whose fact sets
+  /// are small by construction.
   FinitePdb<P> Expand() const;
 
   /// Independent coin flips (uses double approximations of marginals).

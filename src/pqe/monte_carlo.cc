@@ -6,12 +6,32 @@
 
 #include "logic/evaluator.h"
 #include "obs/obs.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 
 namespace ipdb {
 namespace pqe {
 
 namespace {
+
+/// Samples between budget checkpoints: small enough that a deadline
+/// overshoots by microseconds of work, large enough that the clock read
+/// vanishes against per-sample world materialization cost.
+constexpr int64_t kBudgetChunk = 64;
+
+/// A null budget, or one with nothing to enforce, costs nothing below.
+const ExecutionBudget* NormalizeBudget(const ExecutionBudget* budget) {
+  return budget != nullptr && budget->unlimited() ? nullptr : budget;
+}
+
+/// The requested sample count clamped to the budget's max_samples.
+int64_t ClampSamples(int64_t samples, const ExecutionBudget* budget) {
+  if (budget != nullptr && budget->max_samples > 0 &&
+      samples > budget->max_samples) {
+    return budget->max_samples;
+  }
+  return samples;
+}
 
 StatusOr<double> HoeffdingHalfWidth(int64_t samples, double confidence) {
   if (samples <= 0) return InvalidArgumentError("need at least one sample");
@@ -35,6 +55,14 @@ Status ValidateEpsilon(double epsilon) {
 /// out)` per shard, and merges hit tallies in shard order. The hit count
 /// is an integer, so the merged estimate is exact and independent of the
 /// thread schedule.
+///
+/// Budget handling lives here, not in shard_body: each shard calls its
+/// body in chunks of kBudgetChunk samples against the *same* rng (the
+/// sample stream is identical to one uninterrupted call) and polls the
+/// deadline/cancel token between chunks. A budget stop is not an error:
+/// the shard records how far it got and the partial tallies merge into a
+/// truncated estimate. Real evaluation errors cancel the remaining
+/// batch via TryParallelFor and propagate.
 StatusOr<MonteCarloEstimate> EstimateSharded(
     int64_t samples, const Pcg32& base_rng,
     const pdb::SamplingOptions& options, double confidence,
@@ -43,26 +71,112 @@ StatusOr<MonteCarloEstimate> EstimateSharded(
   StatusOr<double> half_width = HoeffdingHalfWidth(samples, confidence);
   if (!half_width.ok()) return half_width.status();
   IPDB_OBS_SPAN("pqe.mc.estimate", "sampling");
+  const ExecutionBudget* budget = NormalizeBudget(options.budget);
+  const int64_t target = ClampSamples(samples, budget);
   const int shards = std::max(1, options.shards);
   std::vector<int64_t> shard_hits(shards, 0);
-  std::vector<Status> shard_status(shards, Status::Ok());
-  ParallelFor(options.threads, shards, [&](int64_t s) {
-    IPDB_OBS_SCOPED_TIMER("pqe.mc.shard_ns");
-    Pcg32 rng = base_rng.Split(static_cast<uint64_t>(s));
-    int64_t count = samples / shards + (s < samples % shards ? 1 : 0);
-    shard_status[s] = shard_body(&rng, count, &shard_hits[s]);
-  });
-  IPDB_OBS_COUNT("pqe.mc.samples", samples);
+  std::vector<int64_t> shard_done(shards, 0);
+  std::vector<Status> shard_stop(shards, Status::Ok());
+  Status batch = TryParallelFor(
+      options.threads, shards,
+      [&](int64_t s) -> Status {
+        IPDB_OBS_SCOPED_TIMER("pqe.mc.shard_ns");
+        IPDB_FAULT_POINT("pqe.mc.shard");
+        Pcg32 rng = base_rng.Split(static_cast<uint64_t>(s));
+        const int64_t count =
+            target / shards + (s < target % shards ? 1 : 0);
+        while (shard_done[s] < count) {
+          if (budget != nullptr) {
+            Status time = budget->CheckTime("pqe.mc");
+            if (!time.ok()) {
+              shard_stop[s] = std::move(time);
+              return Status::Ok();  // partial result, not an error
+            }
+          }
+          const int64_t chunk =
+              std::min(kBudgetChunk, count - shard_done[s]);
+          IPDB_RETURN_IF_ERROR(shard_body(&rng, chunk, &shard_hits[s]));
+          shard_done[s] += chunk;
+        }
+        return Status::Ok();
+      },
+      budget != nullptr ? budget->cancel : nullptr);
+  if (!batch.ok()) return batch;
   int64_t hits = 0;
+  int64_t done = 0;
   for (int s = 0; s < shards; ++s) {
-    if (!shard_status[s].ok()) return shard_status[s];
     hits += shard_hits[s];
+    done += shard_done[s];
+  }
+  IPDB_OBS_COUNT("pqe.mc.samples", done);
+  if (done == 0) {
+    // Nothing was drawn before the budget tripped: surface the stop.
+    for (int s = 0; s < shards; ++s) {
+      if (!shard_stop[s].ok()) return shard_stop[s];
+    }
+    return DeadlineExceededError("pqe.mc drew no samples within budget");
   }
   MonteCarloEstimate result;
-  result.estimate =
-      static_cast<double>(hits) / static_cast<double>(samples);
+  result.estimate = static_cast<double>(hits) / static_cast<double>(done);
+  // The certified interval covers the samples actually drawn: recompute
+  // when a budget truncated the run (wider interval, same confidence).
   result.half_width = half_width.value();
-  result.samples = samples;
+  result.samples = done;
+  result.truncated = done < samples;
+  if (done != samples) {
+    StatusOr<double> partial = HoeffdingHalfWidth(done, confidence);
+    if (!partial.ok()) return partial.status();
+    result.half_width = partial.value();
+    IPDB_OBS_COUNT("pqe.mc.truncated", 1);
+  }
+  return result;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared sequential loop: draw-and-check `target` samples with budget
+/// checkpoints every kBudgetChunk draws; on a budget stop return the
+/// partial (possibly zero-sample) state through *done.
+StatusOr<MonteCarloEstimate> EstimateSequential(
+    int64_t samples, double confidence, const ExecutionBudget* budget,
+    const std::function<StatusOr<bool>(Pcg32*)>& draw_and_check,
+    Pcg32* rng) {
+  StatusOr<double> half_width = HoeffdingHalfWidth(samples, confidence);
+  if (!half_width.ok()) return half_width.status();
+  IPDB_OBS_SPAN("pqe.mc.estimate", "sampling");
+  budget = NormalizeBudget(budget);
+  const int64_t target = ClampSamples(samples, budget);
+  int64_t hits = 0;
+  int64_t done = 0;
+  Status stop;
+  while (done < target) {
+    if (budget != nullptr && done % kBudgetChunk == 0) {
+      stop = budget->CheckTime("pqe.mc");
+      if (!stop.ok()) break;
+    }
+    StatusOr<bool> holds = draw_and_check(rng);
+    if (!holds.ok()) return holds.status();
+    if (holds.value()) ++hits;
+    ++done;
+  }
+  IPDB_OBS_COUNT("pqe.mc.samples", done);
+  if (done == 0) {
+    if (!stop.ok()) return stop;
+    return DeadlineExceededError("pqe.mc drew no samples within budget");
+  }
+  MonteCarloEstimate result;
+  result.estimate = static_cast<double>(hits) / static_cast<double>(done);
+  result.half_width = half_width.value();
+  result.samples = done;
+  result.truncated = done < samples;
+  if (done != samples) {
+    StatusOr<double> partial = HoeffdingHalfWidth(done, confidence);
+    if (!partial.ok()) return partial.status();
+    result.half_width = partial.value();
+    IPDB_OBS_COUNT("pqe.mc.truncated", 1);
+  }
   return result;
 }
 
@@ -70,56 +184,39 @@ StatusOr<MonteCarloEstimate> EstimateSharded(
 
 StatusOr<MonteCarloEstimate> EstimateQueryProbability(
     const pdb::TiPdb<double>& ti, const logic::Formula& sentence,
-    int64_t samples, Pcg32* rng, double confidence) {
-  StatusOr<double> half_width = HoeffdingHalfWidth(samples, confidence);
-  if (!half_width.ok()) return half_width.status();
+    int64_t samples, Pcg32* rng, double confidence,
+    const ExecutionBudget* budget) {
   if (!sentence.FreeVariables().empty()) {
     return InvalidArgumentError("query must be a sentence");
   }
-  IPDB_OBS_SPAN("pqe.mc.estimate", "sampling");
-  int64_t hits = 0;
-  for (int64_t i = 0; i < samples; ++i) {
-    rel::Instance world = ti.Sample(rng);
-    StatusOr<bool> holds = logic::Evaluate(world, ti.schema(), sentence);
-    if (!holds.ok()) return holds.status();
-    if (holds.value()) ++hits;
-  }
-  IPDB_OBS_COUNT("pqe.mc.samples", samples);
-  MonteCarloEstimate result;
-  result.estimate =
-      static_cast<double>(hits) / static_cast<double>(samples);
-  result.half_width = half_width.value();
-  result.samples = samples;
-  return result;
+  return EstimateSequential(
+      samples, confidence, budget,
+      [&](Pcg32* r) -> StatusOr<bool> {
+        rel::Instance world = ti.Sample(r);
+        return logic::Evaluate(world, ti.schema(), sentence);
+      },
+      rng);
 }
 
 StatusOr<MonteCarloEstimate> EstimateQueryProbability(
     const pdb::CountableTiPdb& ti, const logic::Formula& sentence,
-    int64_t samples, Pcg32* rng, double confidence, double epsilon) {
-  StatusOr<double> half_width = HoeffdingHalfWidth(samples, confidence);
-  if (!half_width.ok()) return half_width.status();
+    int64_t samples, Pcg32* rng, double confidence, double epsilon,
+    const ExecutionBudget* budget) {
   Status epsilon_ok = ValidateEpsilon(epsilon);
   if (!epsilon_ok.ok()) return epsilon_ok;
   if (!sentence.FreeVariables().empty()) {
     return InvalidArgumentError("query must be a sentence");
   }
-  IPDB_OBS_SPAN("pqe.mc.estimate", "sampling");
-  int64_t hits = 0;
-  for (int64_t i = 0; i < samples; ++i) {
-    StatusOr<rel::Instance> world = ti.Sample(rng, epsilon);
-    if (!world.ok()) return world.status();
-    StatusOr<bool> holds =
-        logic::Evaluate(world.value(), ti.schema(), sentence);
-    if (!holds.ok()) return holds.status();
-    if (holds.value()) ++hits;
-  }
-  IPDB_OBS_COUNT("pqe.mc.samples", samples);
-  MonteCarloEstimate result;
-  result.estimate =
-      static_cast<double>(hits) / static_cast<double>(samples);
-  result.half_width = half_width.value();
-  result.samples = samples;
-  result.sampler_bias = epsilon;
+  StatusOr<MonteCarloEstimate> result = EstimateSequential(
+      samples, confidence, budget,
+      [&](Pcg32* r) -> StatusOr<bool> {
+        StatusOr<rel::Instance> world = ti.Sample(r, epsilon);
+        if (!world.ok()) return world.status();
+        return logic::Evaluate(world.value(), ti.schema(), sentence);
+      },
+      rng);
+  if (!result.ok()) return result;
+  result.value().sampler_bias = epsilon;
   return result;
 }
 

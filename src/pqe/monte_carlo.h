@@ -6,6 +6,7 @@
 #include "logic/formula.h"
 #include "pdb/sampling.h"
 #include "pdb/ti_pdb.h"
+#include "util/budget.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -27,22 +28,33 @@ struct MonteCarloEstimate {
   /// Additional one-sided bias bound from truncated sampling (countable
   /// overload only; 0 for finite TI-PDBs).
   double sampler_bias = 0.0;
+  /// True when a budget (deadline, cancel token, or max_samples) stopped
+  /// sampling before the requested count: `samples` is then what was
+  /// actually drawn and `half_width` is the certified interval for that
+  /// count. A truncated estimate is still valid — just wider — but its
+  /// sample count may depend on timing, so bit-exact reproducibility is
+  /// only guaranteed for un-truncated runs.
+  bool truncated = false;
 };
 
 /// Finite TI-PDB: unbiased estimator, Hoeffding interval at the given
-/// confidence level (in (0, 1)).
+/// confidence level (in (0, 1)). `budget`, when set, is polled amortized
+/// during the loop: a deadline/cancel stop after at least one sample
+/// returns the partial estimate marked `truncated`; a stop before any
+/// sample returns the budget error itself.
 StatusOr<MonteCarloEstimate> EstimateQueryProbability(
     const pdb::TiPdb<double>& ti, const logic::Formula& sentence,
-    int64_t samples, Pcg32* rng, double confidence = 0.99);
+    int64_t samples, Pcg32* rng, double confidence = 0.99,
+    const ExecutionBudget* budget = nullptr);
 
 /// Countably infinite TI-PDB: each sampled world is exact except with
 /// probability <= epsilon (the tail mass beyond the cutoff), adding at
 /// most epsilon of bias, reported in `sampler_bias`. epsilon must lie in
-/// (0, 1).
+/// (0, 1). Budget semantics as in the finite overload.
 StatusOr<MonteCarloEstimate> EstimateQueryProbability(
     const pdb::CountableTiPdb& ti, const logic::Formula& sentence,
     int64_t samples, Pcg32* rng, double confidence = 0.99,
-    double epsilon = 1e-9);
+    double epsilon = 1e-9, const ExecutionBudget* budget = nullptr);
 
 /// Parallel overloads: the sample stream is partitioned into
 /// options.shards substreams (shard s drawing from base_rng.Split(s)) and
@@ -50,6 +62,13 @@ StatusOr<MonteCarloEstimate> EstimateQueryProbability(
 /// the merged estimate — and the unchanged Hoeffding interval over the
 /// total sample count — is bit-identical for a fixed base_rng and shard
 /// count regardless of options.threads.
+///
+/// With options.budget set, each shard checkpoints between chunks of
+/// samples: a deadline/cancel stop freezes every shard at its last
+/// completed chunk and the partial tallies merge into a `truncated`
+/// estimate over the samples actually drawn (zero total samples becomes
+/// the budget error instead). Evaluation errors still cancel the whole
+/// batch and propagate.
 StatusOr<MonteCarloEstimate> EstimateQueryProbability(
     const pdb::TiPdb<double>& ti, const logic::Formula& sentence,
     int64_t samples, const Pcg32& base_rng,

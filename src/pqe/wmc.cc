@@ -10,7 +10,9 @@
 #include "kc/evaluate.h"
 #include "logic/evaluator.h"
 #include "obs/obs.h"
+#include "pqe/monte_carlo.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace ipdb {
 namespace pqe {
@@ -33,9 +35,21 @@ class WmcSolver {
       : lineage_(*lineage),
         var_probs_(var_probs),
         stats_(stats),
-        options_(options) {}
+        options_(options),
+        max_depth_(options.budget != nullptr
+                       ? options.budget->max_recursion_depth
+                       : 0),
+        meter_(options.budget,
+               options.budget != nullptr ? options.budget->max_circuit_nodes
+                                         : 0,
+               "pqe.wmc node") {}
+
+  /// OK, or the budget error that aborted solving. Once set, every
+  /// further Solve returns 0.0 and unwinds without doing real work.
+  const Status& error() const { return error_; }
 
   double Solve(NodeId id) {
+    if (!error_.ok()) return 0.0;
     // Dense cache indexed by NodeId (ids are small and contiguous);
     // kUnsolved is a sentinel outside [0, 1], the range of every result.
     if (static_cast<size_t>(id) < cache_.size() && cache_[id] != kUnsolved) {
@@ -43,6 +57,8 @@ class WmcSolver {
       return cache_[id];
     }
     double result = SolveUncached(id);
+    // Never cache a placeholder computed while unwinding an abort.
+    if (!error_.ok()) return 0.0;
     if (static_cast<size_t>(id) >= cache_.size()) {
       // The lineage grows during solving (Restrict/MakeAnd create
       // nodes); size up to the current node count in one step.
@@ -54,6 +70,11 @@ class WmcSolver {
 
  private:
   double SolveUncached(NodeId id) {
+    Status charge = meter_.Charge();
+    if (!charge.ok()) {
+      error_ = std::move(charge);
+      return 0.0;
+    }
     switch (lineage_.kind(id)) {
       case NodeKind::kTrue:
         return 1.0;
@@ -75,6 +96,19 @@ class WmcSolver {
   /// complement). Components with more than one child (or a single
   /// complex child shared across) are resolved by Shannon expansion.
   double SolveGate(NodeId id) {
+    ++depth_;
+    const double result = SolveGateImpl(id);
+    --depth_;
+    return result;
+  }
+
+  double SolveGateImpl(NodeId id) {
+    if (max_depth_ > 0 && depth_ > max_depth_) {
+      error_ = ResourceExhaustedError("pqe.wmc recursion depth cap of " +
+                                      std::to_string(max_depth_) +
+                                      " exceeded");
+      return 0.0;
+    }
     const bool is_and = lineage_.kind(id) == NodeKind::kAnd;
     const std::vector<NodeId>& children = lineage_.children(id);
 
@@ -164,6 +198,10 @@ class WmcSolver {
   const std::vector<double>& var_probs_;
   WmcStats* stats_;
   WmcOptions options_;
+  const int64_t max_depth_;
+  BudgetMeter meter_;
+  int64_t depth_ = 0;
+  Status error_;
   std::vector<double> cache_;
 };
 
@@ -187,6 +225,7 @@ StatusOr<double> ComputeProbability(Lineage* lineage, NodeId root,
   }
   Status valid = kc::ValidateProbabilities(var_probs);
   if (!valid.ok()) return valid;
+  IPDB_FAULT_POINT("pqe.wmc.solve");
   IPDB_OBS_SPAN("pqe.wmc_solve", "pqe");
   IPDB_OBS_SCOPED_TIMER("pqe.wmc_solve_ns");
   // Always collect stats locally so the registry sees the trace even
@@ -194,6 +233,9 @@ StatusOr<double> ComputeProbability(Lineage* lineage, NodeId root,
   WmcStats local;
   WmcSolver solver(lineage, var_probs, &local, options);
   const double result = solver.Solve(root);
+  if (!solver.error().ok()) {
+    return IPDB_STATUS_FORWARD(solver.error()) << "WMC solve aborted";
+  }
   if (stats != nullptr) {
     stats->shannon_expansions += local.shannon_expansions;
     stats->decompositions += local.decompositions;
@@ -207,6 +249,20 @@ StatusOr<double> ComputeProbability(Lineage* lineage, NodeId root,
 StatusOr<double> QueryProbability(const pdb::TiPdb<double>& ti,
                                   const logic::Formula& sentence,
                                   WmcStats* stats) {
+  // The ungoverned entry point is the governed one with an unlimited
+  // budget: the ladder's exact rung is the whole pipeline, no budget
+  // checks fire (null budget short-circuits them), and every error
+  // propagates as before.
+  StatusOr<QueryAnswer> answer =
+      QueryProbability(ti, sentence, QueryOptions{}, stats);
+  if (!answer.ok()) return answer.status();
+  return answer.value().probability;
+}
+
+StatusOr<QueryAnswer> QueryProbability(const pdb::TiPdb<double>& ti,
+                                       const logic::Formula& sentence,
+                                       const QueryOptions& options,
+                                       WmcStats* stats) {
   // The span tree below is the serving pipeline's cost breakdown:
   // pqe.query = pqe.ground + pqe.cache_probe (kc.compile nests inside on
   // a miss) + pqe.evaluate, with only branch checks in between — a
@@ -215,12 +271,17 @@ StatusOr<double> QueryProbability(const pdb::TiPdb<double>& ti,
   IPDB_OBS_SPAN("pqe.query", "pqe");
   IPDB_OBS_SCOPED_TIMER("pqe.query_ns");
   IPDB_OBS_COUNT("pqe.queries", 1);
+  const ExecutionBudget* budget =
+      options.budget != nullptr && options.budget->unlimited()
+          ? nullptr
+          : options.budget;
 
   Lineage lineage;
   NodeId root = -1;
   std::vector<double> probs;
   {
     IPDB_OBS_SPAN("pqe.ground", "pqe");
+    IPDB_FAULT_POINT("pqe.ground");
     StatusOr<NodeId> grounded = GroundSentence(ti, sentence, &lineage);
     if (!grounded.ok()) return grounded.status();
     root = grounded.value();
@@ -230,35 +291,107 @@ StatusOr<double> QueryProbability(const pdb::TiPdb<double>& ti,
     }
   }
 
-  // Compile-once / evaluate-many: structurally identical lineages
-  // (the same query re-asked, or isomorphic per-tuple lineages) share
-  // one compiled artifact and pay only a circuit-linear evaluation.
-  bool was_hit = false;
-  std::shared_ptr<const kc::CompiledQuery> artifact;
-  {
-    IPDB_OBS_SPAN("pqe.cache_probe", "pqe");
-    StatusOr<std::shared_ptr<const kc::CompiledQuery>> compiled =
-        kc::GlobalCompiledQueryCache().GetOrCompile(&lineage, root, &was_hit);
-    if (!compiled.ok()) return compiled.status();
-    artifact = std::move(compiled).value();
-  }
+  // Exact rung: compile (budget-governed) through the artifact cache,
+  // then evaluate (deadline polled per circuit node). Budget errors fall
+  // through to the degraded rung; everything else propagates.
+  Status exact_error;
+  do {
+    if (budget != nullptr) {
+      exact_error = budget->CheckTime("pqe.query");
+      if (!exact_error.ok()) break;
+    }
+    // Compile-once / evaluate-many: structurally identical lineages
+    // (the same query re-asked, or isomorphic per-tuple lineages) share
+    // one compiled artifact and pay only a circuit-linear evaluation.
+    bool was_hit = false;
+    std::shared_ptr<const kc::CompiledQuery> artifact;
+    {
+      IPDB_OBS_SPAN("pqe.cache_probe", "pqe");
+      kc::CompileOptions compile_options;
+      compile_options.budget = budget;
+      StatusOr<std::shared_ptr<const kc::CompiledQuery>> compiled =
+          kc::GlobalCompiledQueryCache().GetOrCompile(
+              &lineage, root, &was_hit, compile_options);
+      if (!compiled.ok()) {
+        if (!IsBudgetError(compiled.status())) return compiled.status();
+        exact_error = compiled.status();
+        break;
+      }
+      artifact = std::move(compiled).value();
+    }
 
-  IPDB_OBS_SPAN("pqe.evaluate", "pqe");
-  if (stats != nullptr) {
-    // Replay the compilation trace (from the artifact on a hit) so the
-    // counters describe the query's inference structure either way.
-    stats->shannon_expansions += artifact->stats.decisions;
-    stats->decompositions += artifact->stats.decompositions;
-    stats->cache_hits += artifact->stats.cache_hits;
-    if (was_hit) ++stats->artifact_cache_hits;
+    IPDB_OBS_SPAN("pqe.evaluate", "pqe");
+    if (stats != nullptr) {
+      // Replay the compilation trace (from the artifact on a hit) so the
+      // counters describe the query's inference structure either way.
+      stats->shannon_expansions += artifact->stats.decisions;
+      stats->decompositions += artifact->stats.decompositions;
+      stats->cache_hits += artifact->stats.cache_hits;
+      if (was_hit) ++stats->artifact_cache_hits;
+    }
+    // The registry's cumulative view of the same replayed trace (the
+    // artifact-cache hit itself is counted inside kc::CompiledQueryCache).
+    MirrorWmcStats(WmcStats{artifact->stats.decisions,
+                            artifact->stats.decompositions,
+                            artifact->stats.cache_hits, 0});
+    BudgetMeter meter(budget, 0, "pqe.evaluate");
+    StatusOr<double> probability = kc::EvaluateCircuit<double>(
+        artifact->circuit, artifact->root, probs,
+        budget != nullptr ? &meter : nullptr);
+    if (!probability.ok()) {
+      if (!IsBudgetError(probability.status())) return probability.status();
+      exact_error = probability.status();
+      break;
+    }
+    QueryAnswer answer;
+    answer.probability = probability.value();
+    answer.half_width = 0.0;
+    answer.confidence = 1.0;
+    answer.quality = AnswerQuality::kExact;
+    return answer;
+  } while (false);
+
+  // Degraded rung: a certified Monte Carlo interval over the same
+  // TI-PDB. A bounded answer now beats an exact answer never — the
+  // fallback runs under the same budget (remaining deadline, sample
+  // cap), so it degrades further to kFailed rather than overrunning.
+  IPDB_OBS_COUNT("pqe.fallback.queries", 1);
+  if (!options.fallback) {
+    return IPDB_STATUS_FORWARD(exact_error)
+           << "exact inference exceeded its budget and fallback is "
+              "disabled";
   }
-  // The registry's cumulative view of the same replayed trace (the
-  // artifact-cache hit itself is counted inside kc::CompiledQueryCache).
-  MirrorWmcStats(WmcStats{artifact->stats.decisions,
-                          artifact->stats.decompositions,
-                          artifact->stats.cache_hits, 0});
-  return kc::EvaluateCircuit<double>(artifact->circuit, artifact->root,
-                                     probs);
+  IPDB_FAULT_POINT("pqe.query.fallback");
+  IPDB_OBS_SPAN("pqe.fallback", "pqe");
+  QueryAnswer answer;
+  answer.exact_error = exact_error;
+  pdb::SamplingOptions sampling;
+  sampling.threads = options.fallback_threads;
+  sampling.budget = budget;
+  Pcg32 base_rng(options.fallback_seed);
+  StatusOr<MonteCarloEstimate> estimate =
+      EstimateQueryProbability(ti, sentence, options.fallback_samples,
+                               base_rng, sampling,
+                               options.fallback_confidence);
+  if (!estimate.ok()) {
+    if (!IsBudgetError(estimate.status())) return estimate.status();
+    // Both rungs exhausted: report the failure as a value, with the
+    // exact-path error attached, so the caller still learns what was
+    // attempted (and pqe.fallback.failed counts it).
+    IPDB_OBS_COUNT("pqe.fallback.failed", 1);
+    answer.quality = AnswerQuality::kFailed;
+    exact_error.Append("fallback: " + estimate.status().message());
+    answer.exact_error = std::move(exact_error);
+    return answer;
+  }
+  answer.probability = estimate.value().estimate;
+  answer.half_width = estimate.value().half_width;
+  answer.confidence = options.fallback_confidence;
+  answer.quality = AnswerQuality::kInterval;
+  answer.samples = estimate.value().samples;
+  IPDB_OBS_COUNT("pqe.fallback.interval_answers", 1);
+  IPDB_OBS_COUNT("pqe.fallback.samples", estimate.value().samples);
+  return answer;
 }
 
 StatusOr<double> QueryProbabilityBruteForce(const pdb::TiPdb<double>& ti,

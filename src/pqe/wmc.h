@@ -6,6 +6,7 @@
 #include "logic/formula.h"
 #include "pdb/ti_pdb.h"
 #include "pqe/lineage.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace ipdb {
@@ -40,9 +41,14 @@ struct WmcStats {
 
 /// Solver knobs. `decompose` toggles independent-component detection —
 /// on by default; off exists for the ablation benchmark (every gate then
-/// goes through Shannon expansion).
+/// goes through Shannon expansion). `budget`, when set, governs the
+/// solver: Shannon recursion is worst-case exponential, so the deadline
+/// and cancel token are polled amortized and `max_recursion_depth` /
+/// `max_circuit_nodes` (charged per solved lineage node) bound the
+/// blow-up; a tripped budget returns its error from ComputeProbability.
 struct WmcOptions {
   bool decompose = true;
+  const ExecutionBudget* budget = nullptr;
 };
 
 /// Rejects `var_probs` that do not cover the lineage's variables or
@@ -57,6 +63,70 @@ StatusOr<double> ComputeProbability(Lineage* lineage, NodeId root,
 StatusOr<double> QueryProbability(const pdb::TiPdb<double>& ti,
                                   const logic::Formula& sentence,
                                   WmcStats* stats = nullptr);
+
+/// How a governed query's answer was obtained — the rungs of the
+/// degradation ladder, best first.
+enum class AnswerQuality {
+  /// The exact compiled answer, finished within budget. half_width = 0.
+  kExact,
+  /// Exact inference exceeded the budget; the answer is a certified
+  /// Monte Carlo confidence interval: with probability >= `confidence`,
+  /// the true probability lies within probability ± half_width.
+  kInterval,
+  /// Neither rung finished within budget; `probability` is meaningless
+  /// and `exact_error` holds the terminal budget error.
+  kFailed,
+};
+
+/// The result of a budget-governed query (see the QueryOptions
+/// overload of QueryProbability).
+struct QueryAnswer {
+  double probability = 0.0;
+  /// Certified half-width of the answer: 0 when exact.
+  double half_width = 0.0;
+  /// Confidence of the interval: 1 when exact, the fallback confidence
+  /// level for kInterval, 0 for kFailed.
+  double confidence = 0.0;
+  AnswerQuality quality = AnswerQuality::kFailed;
+  /// Monte Carlo samples drawn by the fallback (0 on the exact path).
+  int64_t samples = 0;
+  /// Why the exact path degraded (kResourceExhausted / kDeadlineExceeded
+  /// / kCancelled); OK when quality == kExact.
+  Status exact_error;
+};
+
+/// Governance knobs for the QueryOptions overload below.
+struct QueryOptions {
+  /// Resource limits for the whole query (grounding + compilation +
+  /// evaluation + fallback). Null = unlimited, in which case the
+  /// overload behaves exactly like plain QueryProbability.
+  const ExecutionBudget* budget = nullptr;
+  /// Degrade to a certified Monte Carlo interval when exact inference
+  /// exceeds the budget. Off = budget errors propagate as Statuses.
+  bool fallback = true;
+  /// Fallback sampling: requested sample count (still clamped by
+  /// budget->max_samples and the remaining deadline), confidence level
+  /// of the reported interval, worker threads, and the deterministic
+  /// base seed of the sample stream.
+  int64_t fallback_samples = 100000;
+  double fallback_confidence = 0.99;
+  int fallback_threads = 1;
+  uint64_t fallback_seed = 0x51ed;
+};
+
+/// Budget-governed PQE with graceful degradation: the exact pipeline
+/// (ground, compile via the artifact cache, evaluate) runs under
+/// options.budget; if a cap or the deadline trips, the query degrades to
+/// a certified Monte Carlo interval over the same TI-PDB (quality
+/// kInterval) instead of failing — a bounded answer now beats an exact
+/// answer never. Real errors (malformed queries, evaluation failures)
+/// propagate as Statuses regardless; with fallback disabled, budget
+/// errors do too. Fallback traffic is visible in the pqe.fallback.*
+/// registry counters.
+StatusOr<QueryAnswer> QueryProbability(const pdb::TiPdb<double>& ti,
+                                       const logic::Formula& sentence,
+                                       const QueryOptions& options,
+                                       WmcStats* stats = nullptr);
 
 /// Reference implementation by brute-force enumeration of all 2^n worlds
 /// (n <= 20): used to validate the WMC path in tests.

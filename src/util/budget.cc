@@ -1,0 +1,25 @@
+#include "util/budget.h"
+
+#include <string>
+
+namespace ipdb {
+
+Status ExecutionBudget::CheckTime(const char* what) const {
+  if (cancel != nullptr && cancel->cancelled()) {
+    return CancelledError(std::string(what) + " cancelled");
+  }
+  if (has_deadline() && Clock::now() >= deadline) {
+    return DeadlineExceededError(std::string(what) +
+                                 " exceeded the wall-clock deadline");
+  }
+  return Status::Ok();
+}
+
+BudgetMeter::BudgetMeter(const ExecutionBudget* budget, int64_t unit_cap,
+                         const char* resource, int64_t poll_stride)
+    : budget_(budget != nullptr && budget->unlimited() ? nullptr : budget),
+      unit_cap_(unit_cap),
+      resource_(resource),
+      poll_stride_(poll_stride < 1 ? 1 : poll_stride) {}
+
+}  // namespace ipdb

@@ -1,0 +1,156 @@
+#ifndef IPDB_UTIL_BUDGET_H_
+#define IPDB_UTIL_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace ipdb {
+
+/// Cooperative cancellation: the owner calls `Cancel()`, workers poll
+/// `cancelled()` (one relaxed atomic load) at amortized checkpoints and
+/// unwind with StatusCode::kCancelled. A token can be shared by any
+/// number of concurrent computations and is reusable after `Reset()`.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Resource limits for one query-pipeline computation. Exact inference
+/// over lineages is worst-case exponential (d-DNNF compilation) and
+/// exact weights grow without bound (Rational limbs), so a serving
+/// system needs a vocabulary for "stop here and degrade" — this struct
+/// is that vocabulary. A default-constructed budget is unlimited; every
+/// cap uses 0 to mean "no limit".
+///
+/// Semantics of each field:
+///  * `deadline` — steady-clock instant after which governed loops
+///    return kDeadlineExceeded. Polled amortized (see BudgetMeter), so
+///    overshoot is bounded by one poll stride of work, not one node.
+///  * `max_circuit_nodes` — cap on d-DNNF circuit size during
+///    kc::CompileLineage; exceeding it returns kResourceExhausted.
+///  * `max_recursion_depth` — cap on the compiler's/solver's recursion
+///    depth (guards pathological Shannon chains and the C++ stack).
+///  * `max_bigint_limbs` — cap on exact-arithmetic operand width in
+///    32-bit limbs (enforced by math::ScopedLimbCap inside the
+///    multiply kernels; governed callers surface kResourceExhausted).
+///  * `max_samples` — cap on Monte Carlo samples; the samplers clamp
+///    their sample count to this and mark the estimate truncated.
+///  * `cancel` — optional cooperative cancellation token, polled at the
+///    same checkpoints as the deadline; triggers kCancelled.
+struct ExecutionBudget {
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point deadline = Clock::time_point::max();
+  int64_t max_circuit_nodes = 0;
+  int64_t max_recursion_depth = 0;
+  int64_t max_bigint_limbs = 0;
+  int64_t max_samples = 0;
+  const CancelToken* cancel = nullptr;
+
+  bool has_deadline() const { return deadline != Clock::time_point::max(); }
+
+  bool unlimited() const {
+    return !has_deadline() && max_circuit_nodes == 0 &&
+           max_recursion_depth == 0 && max_bigint_limbs == 0 &&
+           max_samples == 0 && cancel == nullptr;
+  }
+
+  /// A budget whose deadline is `timeout` from now (other caps unset).
+  static ExecutionBudget WithTimeout(Clock::duration timeout) {
+    ExecutionBudget budget;
+    budget.deadline = Clock::now() + timeout;
+    return budget;
+  }
+
+  /// Immediate deadline/cancellation check (no amortization): OK, or
+  /// kDeadlineExceeded / kCancelled. `what` names the governed
+  /// operation in the error message.
+  Status CheckTime(const char* what) const;
+};
+
+/// True for the three codes a tripped ExecutionBudget produces — the
+/// errors a degradation ladder treats as "try a cheaper strategy"
+/// rather than "the query is broken".
+inline bool IsBudgetError(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kCancelled;
+}
+
+/// Amortized budget enforcement for a hot loop. Construct one meter per
+/// governed computation, then call `Charge(units)` as work proceeds:
+///
+///  * the unit cap (`unit_cap`, e.g. budget->max_circuit_nodes) is a
+///    plain integer comparison on every call;
+///  * the deadline and the cancel token are only polled every
+///    `poll_stride` charged units, so the clock read stays off the hot
+///    path (the observability overhead gate stays intact).
+///
+/// A null or unlimited budget makes `Charge` a single branch. Once a
+/// meter reports an error it keeps reporting it (sticky), so callers
+/// may keep charging while unwinding.
+class BudgetMeter {
+ public:
+  /// `budget` may be null (unlimited). `unit_cap` is the cap to enforce
+  /// on total charged units (0 = none) and `resource` names the capped
+  /// resource in error messages.
+  BudgetMeter(const ExecutionBudget* budget, int64_t unit_cap,
+              const char* resource, int64_t poll_stride = 256);
+
+  /// Charges `units` of work; returns non-OK when over budget.
+  Status Charge(int64_t units = 1) {
+    if (budget_ == nullptr) return Status::Ok();
+    if (!error_.ok()) return error_;
+    used_ += units;
+    if (unit_cap_ > 0 && used_ > unit_cap_) {
+      error_ = ResourceExhaustedError(std::string(resource_) + " cap of " +
+                                      std::to_string(unit_cap_) +
+                                      " exceeded");
+      return error_;
+    }
+    if (used_ >= next_poll_) {
+      next_poll_ = used_ + poll_stride_;
+      error_ = budget_->CheckTime(resource_);
+      return error_;
+    }
+    return Status::Ok();
+  }
+
+  /// Unamortized deadline/cancel check (e.g. at phase boundaries).
+  Status CheckNow() {
+    if (budget_ == nullptr) return Status::Ok();
+    if (!error_.ok()) return error_;
+    error_ = budget_->CheckTime(resource_);
+    return error_;
+  }
+
+  int64_t used() const { return used_; }
+  const Status& error() const { return error_; }
+
+ private:
+  const ExecutionBudget* budget_;
+  int64_t unit_cap_;
+  const char* resource_;
+  int64_t poll_stride_;
+  int64_t used_ = 0;
+  int64_t next_poll_ = 0;
+  Status error_;
+};
+
+}  // namespace ipdb
+
+#endif  // IPDB_UTIL_BUDGET_H_

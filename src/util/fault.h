@@ -1,0 +1,128 @@
+#ifndef IPDB_UTIL_FAULT_H_
+#define IPDB_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ipdb {
+namespace fault {
+
+/// Deterministic fault injection for the query pipeline.
+///
+/// Error paths are the least-travelled code in a serving system, so they
+/// are exercised on purpose: the library's fallible functions declare
+/// *fault points* — named sites where an injected error Status can be
+/// made to surface — and the CI fault leg arms every site in turn under
+/// ASan, proving each failure unwinds cleanly (clean Status, no abort,
+/// no leak).
+///
+/// Usage at a site (inside a function returning Status or StatusOr<T>):
+///
+///   Status DoWork() {
+///     IPDB_FAULT_POINT("kc.cache.insert");
+///     ...
+///   }
+///
+/// or, where control flow cannot early-return directly:
+///
+///   if (IPDB_FAULT_FIRED("kc.compile.node_alloc")) {
+///     error_ = fault::InjectedFault("kc.compile.node_alloc");
+///   }
+///
+/// Sites are compiled out entirely unless the build defines
+/// IPDB_FAULT_INJECTION (CMake -DIPDB_FAULT_INJECTION=ON; CI only), so
+/// production binaries pay nothing. With injection compiled in, sites
+/// are still inert until a plan arms them:
+///
+///  * env var IPDB_FAULTS="site:nth[,site:nth...]" — site fires on
+///    exactly its nth dynamic hit process-wide (nth >= 1), or
+///  * a test-scoped ScopedFaultPlan, active for its lifetime. Plans
+///    stack additively: every installed plan counts hits independently
+///    and a site fails when any plan says it is due.
+///
+/// Every site name must be registered in the central site table
+/// (KnownSites() / fault.cc); this is what lets the CI leg enumerate and
+/// drive them all, and it catches typos at test time.
+
+/// One armed site: fire on exactly the `nth` dynamic hit (1-based).
+struct FaultSpec {
+  std::string site;
+  int64_t nth = 1;
+};
+
+/// True when the build compiled fault points in (IPDB_FAULT_INJECTION).
+bool CompiledIn();
+
+/// All site names declared in the library (sorted, duplicate-free).
+/// Available regardless of whether injection is compiled in.
+const std::vector<std::string>& KnownSites();
+
+/// True when `site` appears in KnownSites().
+bool IsKnownSite(const std::string& site);
+
+/// Hook behind IPDB_FAULT_FIRED / IPDB_FAULT_POINT: counts the hit and
+/// reports whether the active plan says this hit should fail.
+/// Thread-safe; false whenever no plan arms the site.
+bool ShouldFail(const char* site);
+
+/// The Status an armed site surfaces: kInternal with a message
+/// containing "injected fault" and the site name.
+Status InjectedFault(const char* site);
+
+/// Dynamic hits recorded for `site` since its plan was installed (for
+/// tests asserting a site was actually reached).
+int64_t HitCount(const std::string& site);
+
+/// Installs `specs` as an active plan for this scope and removes it
+/// (with its hit counts) on destruction. Unknown site names abort (a
+/// typo would silently test nothing). Plans stack additively; concurrent
+/// workers may hit armed sites (counters are internally synchronized),
+/// but installation itself is not meant to race with in-flight queries.
+struct FaultPlanImpl;
+
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(std::vector<FaultSpec> specs);
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+  ~ScopedFaultPlan();
+
+  /// Times the named site actually fired under this plan.
+  int64_t triggered(const std::string& site) const;
+
+ private:
+  std::shared_ptr<FaultPlanImpl> plan_;
+};
+
+}  // namespace fault
+}  // namespace ipdb
+
+#if defined(IPDB_FAULT_INJECTION)
+
+/// Declares a fault site; returns an injected error Status from the
+/// enclosing function when the site is armed and due.
+#define IPDB_FAULT_POINT(site)                   \
+  do {                                           \
+    if (::ipdb::fault::ShouldFail(site)) {       \
+      return ::ipdb::fault::InjectedFault(site); \
+    }                                            \
+  } while (0)
+
+/// Expression form for call sites that cannot early-return a Status
+/// directly (e.g. setting a member error field).
+#define IPDB_FAULT_FIRED(site) (::ipdb::fault::ShouldFail(site))
+
+#else  // !IPDB_FAULT_INJECTION
+
+#define IPDB_FAULT_POINT(site) \
+  do {                         \
+  } while (0)
+#define IPDB_FAULT_FIRED(site) (false)
+
+#endif  // IPDB_FAULT_INJECTION
+
+#endif  // IPDB_UTIL_FAULT_H_

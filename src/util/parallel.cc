@@ -5,8 +5,63 @@
 
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace ipdb {
+
+namespace {
+
+/// Shared state for one TryParallelFor batch: a lock-free "someone
+/// failed, start draining" flag plus the lowest-index error seen among
+/// indices that actually executed (lowest index so a deterministic fn
+/// yields a deterministic error regardless of scheduling).
+struct TryBatchState {
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  Status first_error;
+  int64_t first_error_index = -1;
+
+  void Record(int64_t index, Status status) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_error_index < 0 || index < first_error_index) {
+      first_error_index = index;
+      first_error = std::move(status);
+    }
+    failed.store(true, std::memory_order_release);
+  }
+
+  /// Wraps the Status-returning fn into the void task the pool runs.
+  std::function<void(int64_t)> Wrap(
+      const std::function<Status(int64_t)>& fn, const CancelToken* cancel) {
+    return [this, &fn, cancel](int64_t i) {
+      // Drain mode: after the first error the batch still claims every
+      // remaining index (the pool's completion count needs them) but
+      // skips the work.
+      if (failed.load(std::memory_order_acquire)) return;
+      if (cancel != nullptr && cancel->cancelled()) {
+        Record(i, CancelledError("parallel batch cancelled"));
+        return;
+      }
+      if (IPDB_FAULT_FIRED("util.pool.task")) {
+        Record(i, fault::InjectedFault("util.pool.task"));
+        return;
+      }
+      Status status = fn(i);
+      if (!status.ok()) Record(i, std::move(status));
+    };
+  }
+
+  Status Result(const CancelToken* cancel) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_error_index >= 0) return first_error;
+    if (cancel != nullptr && cancel->cancelled()) {
+      return CancelledError("parallel batch cancelled");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
 
 int HardwareThreadCount() {
   unsigned n = std::thread::hardware_concurrency();
@@ -106,6 +161,16 @@ void ThreadPool::ParallelFor(int64_t n,
   IPDB_OBS_GAUGE_SET("util.pool.queue_depth", 0);
 }
 
+Status ThreadPool::TryParallelFor(int64_t n,
+                                  const std::function<Status(int64_t)>& fn,
+                                  const CancelToken* cancel) {
+  if (n <= 0) return Status::Ok();
+  TryBatchState state;
+  std::function<void(int64_t)> task = state.Wrap(fn, cancel);
+  ParallelFor(n, task);
+  return state.Result(cancel);
+}
+
 void ParallelFor(int threads, int64_t n,
                  const std::function<void(int64_t)>& fn) {
   if (threads <= 0) threads = HardwareThreadCount();
@@ -115,6 +180,27 @@ void ParallelFor(int threads, int64_t n,
   }
   ThreadPool pool(static_cast<int>(std::min<int64_t>(threads, n)));
   pool.ParallelFor(n, fn);
+}
+
+Status TryParallelFor(int threads, int64_t n,
+                      const std::function<Status(int64_t)>& fn,
+                      const CancelToken* cancel) {
+  if (n <= 0) return Status::Ok();
+  if (threads <= 0) threads = HardwareThreadCount();
+  if (threads == 1 || n <= 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        return CancelledError("parallel batch cancelled");
+      }
+      if (IPDB_FAULT_FIRED("util.pool.task")) {
+        return fault::InjectedFault("util.pool.task");
+      }
+      IPDB_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::Ok();
+  }
+  ThreadPool pool(static_cast<int>(std::min<int64_t>(threads, n)));
+  return pool.TryParallelFor(n, fn, cancel);
 }
 
 }  // namespace ipdb

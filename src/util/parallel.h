@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/budget.h"
+#include "util/status.h"
+
 namespace ipdb {
 
 /// Number of hardware threads (always >= 1; falls back to 1 when the
@@ -48,6 +51,20 @@ class ThreadPool {
   /// not call ParallelFor from inside fn or from two threads at once.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
+  /// Error-propagating ParallelFor. Runs fn(i) for i in [0, n) until the
+  /// first error: once any index returns non-OK (or `cancel` trips), the
+  /// remaining unstarted indices are *drained* — claimed but not
+  /// executed — so the batch still completes promptly and the pool is
+  /// reusable afterwards. In-flight indices on other threads run to
+  /// completion; fn is never interrupted mid-call.
+  ///
+  /// Returns OK when every index ran and succeeded; otherwise the error
+  /// of the lowest-numbered failed index that actually executed (so a
+  /// deterministic fn yields a deterministic error), or kCancelled when
+  /// the token tripped before any index failed. `cancel` may be null.
+  Status TryParallelFor(int64_t n, const std::function<Status(int64_t)>& fn,
+                        const CancelToken* cancel = nullptr);
+
  private:
   struct Batch;
 
@@ -70,6 +87,13 @@ class ThreadPool {
 /// overhead; threads <= 0 means HardwareThreadCount().
 void ParallelFor(int threads, int64_t n,
                  const std::function<void(int64_t)>& fn);
+
+/// One-shot TryParallelFor over a transient pool; same error/drain
+/// semantics as ThreadPool::TryParallelFor. threads == 1 (or n <= 1)
+/// degrades to a sequential loop that stops at the first error.
+Status TryParallelFor(int threads, int64_t n,
+                      const std::function<Status(int64_t)>& fn,
+                      const CancelToken* cancel = nullptr);
 
 }  // namespace ipdb
 

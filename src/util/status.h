@@ -2,6 +2,7 @@
 #define IPDB_UTIL_STATUS_H_
 
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -21,6 +22,10 @@ enum class StatusCode {
   kDiverged,          // a series/criterion was certified to diverge
   kInconclusive,      // a numeric criterion could not be decided at the
                       // requested precision/prefix length
+  kResourceExhausted, // an ExecutionBudget cap (nodes, limbs, samples)
+                      // was hit before the computation finished
+  kDeadlineExceeded,  // the ExecutionBudget wall-clock deadline passed
+  kCancelled,         // a CancelToken was triggered mid-computation
 };
 
 /// Human-readable name of a StatusCode (e.g. "INVALID_ARGUMENT").
@@ -29,7 +34,9 @@ const char* StatusCodeName(StatusCode code);
 /// A lightweight absl::Status-style error carrier.
 ///
 /// `Status::Ok()` is the success value. All other statuses carry a code and
-/// a message. Statuses are cheap to copy.
+/// a message, and optionally the `file:line` of the call site that created
+/// them (set by the IPDB_STATUS macro / StatusBuilder). Statuses are cheap
+/// to copy; the location strings are string literals and are never owned.
 class Status {
  public:
   /// Constructs an OK status.
@@ -46,9 +53,35 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// "OK" or "CODE_NAME: message".
+  /// Source location of the error, when known. `file()` is nullptr (and
+  /// `line()` 0) for statuses built without location context.
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+
+  /// Attaches the creating call site; returns *this for chaining. `file`
+  /// must outlive the status (it is __FILE__ in practice).
+  Status& WithSourceLocation(const char* file, int line) {
+    file_ = file;
+    line_ = line;
+    return *this;
+  }
+
+  /// Appends further context to the message, separated by "; " — the
+  /// StatusBuilder-style enrichment used when a Status propagates up
+  /// through layers that each know a bit more about the operation.
+  Status& Append(const std::string& context) {
+    if (!context.empty()) {
+      if (!message_.empty()) message_ += "; ";
+      message_ += context;
+    }
+    return *this;
+  }
+
+  /// "OK" or "CODE_NAME: message [file:line]".
   std::string ToString() const;
 
+  /// Equality compares code and message only — two statuses reporting the
+  /// same error from different call sites are equal.
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
   }
@@ -56,6 +89,8 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  const char* file_ = nullptr;
+  int line_ = 0;
 };
 
 /// Convenience constructors mirroring absl's.
@@ -66,6 +101,9 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status DivergedError(std::string message);
 Status InconclusiveError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
 
 /// Either a value of type T or a non-OK Status.
 ///
@@ -106,6 +144,80 @@ class StatusOr {
   std::optional<T> value_;
 };
 
+/// Builds a Status with streamed message context and automatic source
+/// location, absl::StatusBuilder-style. Use through IPDB_STATUS:
+///
+///   return IPDB_STATUS(StatusCode::kResourceExhausted)
+///          << "circuit node cap " << cap << " exceeded";
+///
+/// An existing Status can also be enriched while it propagates:
+///
+///   return IPDB_STATUS_FORWARD(status) << "while compiling " << name;
+///
+/// The builder converts implicitly to Status and to any StatusOr<T>.
+class StatusBuilder {
+ public:
+  StatusBuilder(StatusCode code, const char* file, int line)
+      : code_(code), file_(file), line_(line) {}
+
+  StatusBuilder(Status status, const char* file, int line)
+      : code_(status.code()),
+        base_message_(status.message()),
+        file_(status.file() != nullptr ? status.file() : file),
+        line_(status.file() != nullptr ? status.line() : line) {}
+
+  template <typename T>
+  StatusBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  Status Build() const {
+    std::string message = base_message_;
+    const std::string extra = stream_.str();
+    if (!extra.empty()) {
+      if (!message.empty()) message += "; ";
+      message += extra;
+    }
+    Status status(code_, std::move(message));
+    status.WithSourceLocation(file_, line_);
+    return status;
+  }
+
+  operator Status() const { return Build(); }  // NOLINT
+
+  template <typename T>
+  operator StatusOr<T>() const {  // NOLINT
+    return StatusOr<T>(Build());
+  }
+
+ private:
+  StatusCode code_;
+  std::string base_message_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// A StatusBuilder for a fresh error with the current source location.
+#define IPDB_STATUS(code) ::ipdb::StatusBuilder((code), __FILE__, __LINE__)
+
+/// A StatusBuilder that enriches an existing non-OK Status, keeping its
+/// original source location when it has one.
+#define IPDB_STATUS_FORWARD(status) \
+  ::ipdb::StatusBuilder((status), __FILE__, __LINE__)
+
+/// Evaluates `expr` (a Status or StatusOr-typed expression is not
+/// accepted — pass a Status) and returns it from the enclosing function
+/// if it is an error.
+#define IPDB_RETURN_IF_ERROR(expr)                    \
+  do {                                                \
+    ::ipdb::Status ipdb_return_if_error_st = (expr);  \
+    if (!ipdb_return_if_error_st.ok()) {              \
+      return ipdb_return_if_error_st;                 \
+    }                                                 \
+  } while (0)
+
 // Implementation details only below here.
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -118,6 +230,9 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kDiverged: return "DIVERGED";
     case StatusCode::kInconclusive: return "INCONCLUSIVE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -128,6 +243,13 @@ inline std::string Status::ToString() const {
   if (!message_.empty()) {
     out += ": ";
     out += message_;
+  }
+  if (file_ != nullptr) {
+    out += " [";
+    out += file_;
+    out += ":";
+    out += std::to_string(line_);
+    out += "]";
   }
   return out;
 }
@@ -152,6 +274,15 @@ inline Status DivergedError(std::string message) {
 }
 inline Status InconclusiveError(std::string message) {
   return Status(StatusCode::kInconclusive, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 }  // namespace ipdb

@@ -6,13 +6,18 @@
 
 #include "core/conditional_views.h"
 #include "core/segment_construction.h"
+#include "kc/compile.h"
+#include "pdb/information.h"
 #include "logic/evaluator.h"
 #include "logic/parser.h"
 #include "pdb/bid_pdb.h"
 #include "pdb/conditioning.h"
 #include "pdb/pushforward.h"
 #include "pdb/ti_pdb.h"
+#include "pqe/lineage.h"
+#include "pqe/wmc.h"
 #include "test_util.h"
+#include "util/budget.h"
 #include "util/random.h"
 #include "util/series.h"
 
@@ -194,6 +199,129 @@ TEST(EdgeCasesTest, BidZeroResidualSamplingAlwaysPicks) {
   for (int i = 0; i < 200; ++i) {
     EXPECT_EQ(bid.Sample(&rng).size(), 1);
   }
+}
+
+TEST(EdgeCasesTest, OversizedTiExpansionIsARecoverableStatus) {
+  // 21 uncertain facts exceed the 2^20-world enumeration limit: the
+  // governed entry point reports kResourceExhausted instead of dying.
+  rel::Schema schema({{"U", 1}});
+  pdb::TiPdb<double>::FactList facts;
+  for (int i = 0; i < 21; ++i) {
+    facts.emplace_back(rel::Fact(0, {rel::Value::Int(i)}), 0.5);
+  }
+  pdb::TiPdb<double> ti =
+      pdb::TiPdb<double>::CreateOrDie(schema, std::move(facts));
+  StatusOr<pdb::FinitePdb<double>> expanded = ti.TryExpand();
+  ASSERT_FALSE(expanded.ok());
+  EXPECT_EQ(expanded.status().code(), StatusCode::kResourceExhausted);
+  // Certain facts (marginal 0 or 1) do not count against the limit.
+  pdb::TiPdb<double>::FactList mixed;
+  for (int i = 0; i < 21; ++i) {
+    mixed.emplace_back(rel::Fact(0, {rel::Value::Int(i)}),
+                       i < 3 ? 0.5 : 1.0);
+  }
+  pdb::TiPdb<double> small_ti =
+      pdb::TiPdb<double>::CreateOrDie(schema, std::move(mixed));
+  EXPECT_TRUE(small_ti.TryExpand().ok());
+}
+
+TEST(EdgeCasesTest, OversizedBidExpansionIsARecoverableStatus) {
+  // 23 one-fact blocks give 2^23 worlds, past the 2^22 expansion cap.
+  rel::Schema schema({{"U", 1}});
+  std::vector<pdb::BidPdb<double>::Block> blocks;
+  for (int i = 0; i < 23; ++i) {
+    blocks.push_back({{rel::Fact(0, {rel::Value::Int(i)}), 0.4}});
+  }
+  pdb::BidPdb<double> bid =
+      pdb::BidPdb<double>::CreateOrDie(schema, std::move(blocks));
+  StatusOr<pdb::FinitePdb<double>> expanded = bid.TryExpand();
+  ASSERT_FALSE(expanded.ok());
+  EXPECT_EQ(expanded.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EdgeCasesTest, OversizedIndependenceChecksAreRecoverable) {
+  // A single certain world with 25 facts: the 2^25-subset tuple-
+  // independence check refuses with a Status rather than running.
+  rel::Schema schema({{"U", 1}});
+  std::vector<rel::Fact> many;
+  for (int i = 0; i < 25; ++i) {
+    many.push_back(rel::Fact(0, {rel::Value::Int(i)}));
+  }
+  pdb::FinitePdb<double> pdb = pdb::FinitePdb<double>::CreateOrDie(
+      schema, {{rel::Instance(std::move(many)), 1.0}});
+  StatusOr<bool> ti_check = pdb.CheckTupleIndependent();
+  ASSERT_FALSE(ti_check.ok());
+  EXPECT_EQ(ti_check.status().code(), StatusCode::kResourceExhausted);
+
+  std::vector<std::vector<rel::Fact>> blocks(13);
+  for (int i = 0; i < 13; ++i) {
+    blocks[i].push_back(rel::Fact(0, {rel::Value::Int(i)}));
+  }
+  StatusOr<bool> bid_check = pdb.CheckBlockIndependentDisjoint(blocks);
+  ASSERT_FALSE(bid_check.ok());
+  EXPECT_EQ(bid_check.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EdgeCasesTest, DistanceAcrossSchemasIsInvalidArgument) {
+  rel::Schema unary({{"U", 1}});
+  rel::Schema binary({{"R", 2}});
+  pdb::FinitePdb<double> a = pdb::FinitePdb<double>::CreateOrDie(
+      unary, {{rel::Instance(), 1.0}});
+  pdb::FinitePdb<double> b = pdb::FinitePdb<double>::CreateOrDie(
+      binary, {{rel::Instance(), 1.0}});
+  StatusOr<double> tv = pdb::TryTotalVariationDistance(a, b);
+  ASSERT_FALSE(tv.ok());
+  EXPECT_EQ(tv.status().code(), StatusCode::kInvalidArgument);
+  StatusOr<double> hellinger = pdb::TryHellingerDistance(a, b);
+  ASSERT_FALSE(hellinger.ok());
+  EXPECT_EQ(hellinger.status().code(), StatusCode::kInvalidArgument);
+  // Same-schema distances still agree with the OrDie entry points.
+  pdb::FinitePdb<double> c = pdb::FinitePdb<double>::CreateOrDie(
+      unary, {{rel::Instance(), 1.0}});
+  EXPECT_EQ(pdb::TryTotalVariationDistance(a, c).value(),
+            pdb::TotalVariationDistance(a, c));
+  EXPECT_EQ(pdb::TryHellingerDistance(a, c).value(),
+            pdb::HellingerDistance(a, c));
+}
+
+TEST(EdgeCasesTest, DegenerateBudgetsFailCleanlyNotFatally) {
+  // A zero-length timeout, a one-node cap and a one-limb cap are all
+  // absurd budgets a caller can construct; each must come back as the
+  // right StatusCode, never an abort.
+  pqe::Lineage lineage;
+  std::vector<pqe::NodeId> terms;
+  for (int i = 0; i + 1 < 10; ++i) {
+    terms.push_back(
+        lineage.MakeAnd({lineage.Var(i), lineage.Var(i + 1)}));
+  }
+  pqe::NodeId root = lineage.MakeOr(std::move(terms));
+
+  ExecutionBudget zero_deadline =
+      ExecutionBudget::WithTimeout(std::chrono::nanoseconds(0));
+  kc::CompileOptions zero_options;
+  zero_options.budget = &zero_deadline;
+  StatusOr<kc::CompiledQuery> timed_out =
+      kc::CompileLineage(&lineage, root, zero_options);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+
+  ExecutionBudget one_node;
+  one_node.max_circuit_nodes = 1;
+  kc::CompileOptions node_options;
+  node_options.budget = &one_node;
+  StatusOr<kc::CompiledQuery> node_capped =
+      kc::CompileLineage(&lineage, root, node_options);
+  ASSERT_FALSE(node_capped.ok());
+  EXPECT_EQ(node_capped.status().code(), StatusCode::kResourceExhausted);
+
+  // The direct WMC solver under the same degenerate budgets.
+  std::vector<double> probs(10, 0.5);
+  pqe::WmcOptions wmc_options;
+  wmc_options.budget = &one_node;
+  StatusOr<double> wmc =
+      pqe::ComputeProbability(&lineage, root, probs, nullptr, wmc_options);
+  ASSERT_FALSE(wmc.ok());
+  EXPECT_EQ(wmc.status().code(), StatusCode::kResourceExhausted);
 }
 
 }  // namespace

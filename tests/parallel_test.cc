@@ -10,8 +10,10 @@
 #include "pdb/ti_pdb.h"
 #include "pqe/expected_answers.h"
 #include "pqe/monte_carlo.h"
+#include "util/budget.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace ipdb {
 namespace {
@@ -214,6 +216,81 @@ TEST(ParallelExpectedAnswersTest, MatchesSequentialResult) {
   ASSERT_TRUE(seq_count.ok());
   ASSERT_TRUE(par_count.ok());
   EXPECT_EQ(seq_count.value(), par_count.value());
+}
+
+TEST(TryParallelForTest, AllOkRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  const int64_t n = 500;
+  std::vector<std::atomic<int>> hits(n);
+  Status status = pool.TryParallelFor(n, [&](int64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(TryParallelForTest, FirstErrorCancelsBatchAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  const int64_t n = 10000;
+  std::atomic<int64_t> executed{0};
+  Status status = pool.TryParallelFor(n, [&](int64_t i) -> Status {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    if (i >= 100) return OutOfRangeError("boom " + std::to_string(i));
+    return Status::Ok();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(status.message().rfind("boom ", 0), 0u) << status.message();
+
+  // Regression: the drain must still claim every remaining index so the
+  // batch completes (no deadlock) and the pool accepts the next batch.
+  std::atomic<int64_t> second{0};
+  Status again = pool.TryParallelFor(1000, [&](int64_t) {
+    second.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  });
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(second.load(), 1000);
+}
+
+TEST(TryParallelForTest, PreCancelledTokenSkipsAllWork) {
+  CancelToken token;
+  token.Cancel();
+  std::atomic<int64_t> executed{0};
+  Status status = TryParallelFor(4, 256, [&](int64_t) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }, &token);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(TryParallelForTest, SequentialFastPathStopsAtFirstError) {
+  std::vector<int64_t> executed;
+  Status status = TryParallelFor(1, 100, [&](int64_t i) -> Status {
+    executed.push_back(i);
+    if (i == 3) return InternalError("boom 3");
+    return Status::Ok();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "boom 3");
+  EXPECT_EQ(executed, (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(TryParallelForTest, MidBatchCancellationReportsCancelled) {
+  CancelToken token;
+  std::atomic<int64_t> executed{0};
+  Status status = TryParallelFor(4, 50000, [&](int64_t i) {
+    if (i == 0) token.Cancel();
+    executed.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }, &token);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  // Cooperative: some indices ran, but the batch stopped early.
+  EXPECT_LT(executed.load(), 50000);
 }
 
 }  // namespace

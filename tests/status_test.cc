@@ -61,5 +61,88 @@ TEST(StatusOrTest, ArrowOperator) {
   EXPECT_EQ(text->size(), 5u);
 }
 
+TEST(StatusTest, BudgetErrorConstructors) {
+  EXPECT_EQ(ResourceExhaustedError("cap").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(DeadlineExceededError("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CancelledError("stop").code(), StatusCode::kCancelled);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+}
+
+TEST(StatusTest, SourceLocationInToString) {
+  Status status = InternalError("boom");
+  EXPECT_EQ(status.file(), nullptr);
+  EXPECT_EQ(status.line(), 0);
+  status.WithSourceLocation("solver.cc", 42);
+  EXPECT_STREQ(status.file(), "solver.cc");
+  EXPECT_EQ(status.line(), 42);
+  EXPECT_EQ(status.ToString(), "INTERNAL: boom [solver.cc:42]");
+}
+
+TEST(StatusTest, EqualityIgnoresLocation) {
+  Status a = InternalError("boom");
+  Status b = InternalError("boom");
+  b.WithSourceLocation("other.cc", 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatusTest, AppendJoinsWithSemicolon) {
+  Status status = InvalidArgumentError("bad input");
+  status.Append("while parsing query").Append("");
+  EXPECT_EQ(status.message(), "bad input; while parsing query");
+}
+
+TEST(StatusBuilderTest, BuildsCodeMessageAndLocation) {
+  Status status = IPDB_STATUS(StatusCode::kResourceExhausted)
+                  << "node cap " << 128 << " exceeded";
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.message(), "node cap 128 exceeded");
+  ASSERT_NE(status.file(), nullptr);
+  EXPECT_NE(std::string(status.file()).find("status_test"),
+            std::string::npos);
+  EXPECT_GT(status.line(), 0);
+}
+
+TEST(StatusBuilderTest, ConvertsToStatusOr) {
+  StatusOr<int> result =
+      IPDB_STATUS(StatusCode::kDeadlineExceeded) << "too slow";
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.status().message(), "too slow");
+}
+
+TEST(StatusBuilderTest, ForwardKeepsOriginalLocationAndEnriches) {
+  Status inner = ResourceExhaustedError("limb cap exceeded");
+  inner.WithSourceLocation("bigint.cc", 99);
+  Status outer = IPDB_STATUS_FORWARD(inner) << "while evaluating circuit";
+  EXPECT_EQ(outer.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(outer.message(),
+            "limb cap exceeded; while evaluating circuit");
+  EXPECT_STREQ(outer.file(), "bigint.cc");
+  EXPECT_EQ(outer.line(), 99);
+}
+
+TEST(StatusBuilderTest, ForwardWithoutLocationTakesForwardSite) {
+  Status inner = InternalError("oops");
+  Status outer = IPDB_STATUS_FORWARD(inner) << "context";
+  ASSERT_NE(outer.file(), nullptr);
+  EXPECT_NE(std::string(outer.file()).find("status_test"),
+            std::string::npos);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto run = [](Status inner) -> Status {
+    IPDB_RETURN_IF_ERROR(inner);
+    return InternalError("reached the end");
+  };
+  EXPECT_EQ(run(CancelledError("stop")).code(), StatusCode::kCancelled);
+  EXPECT_EQ(run(Status::Ok()).message(), "reached the end");
+}
+
 }  // namespace
 }  // namespace ipdb
