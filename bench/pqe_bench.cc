@@ -86,9 +86,14 @@ void BM_WmcBipartiteExists(benchmark::State& state) {
   ipdb::logic::Formula query =
       ipdb::logic::ParseSentence("exists x y. R(x, y)", ti.schema())
           .value();
+  // The single-atom existence query is safe, so the default ladder would
+  // answer it on the lifted rung; pin this row to the circuit pipeline
+  // it is meant to measure (lifted_bench prices the lifted path).
+  pqe::QueryOptions circuit_only;
+  circuit_only.lifted = false;
   for (auto _ : state) {
     pqe::WmcStats stats;
-    auto p = pqe::QueryProbability(ti, query, &stats);
+    auto p = pqe::QueryProbability(ti, query, circuit_only, &stats);
     benchmark::DoNotOptimize(p.ok());
     state.counters["shannon"] =
         static_cast<double>(stats.shannon_expansions);
@@ -159,8 +164,13 @@ void BM_SafePlanVsWmc_Wmc(benchmark::State& state) {
   ipdb::logic::Formula query =
       ipdb::logic::ParseSentence("exists x y. R(x) & S(x, y)", schema)
           .value();
+  // This row is the generic-pipeline side of the comparison: keep it on
+  // the circuit rung (the default ladder would take the lifted fast
+  // path for this hierarchical query and measure the wrong thing).
+  pqe::QueryOptions circuit_only;
+  circuit_only.lifted = false;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pqe::QueryProbability(ti, query));
+    benchmark::DoNotOptimize(pqe::QueryProbability(ti, query, circuit_only));
   }
 }
 BENCHMARK(BM_SafePlanVsWmc_Wmc)->Arg(4)->Arg(16);

@@ -27,6 +27,7 @@ ipdb_add_bench(sec6_logical_reasons)
 ipdb_add_bench(bid_to_ti_bench)
 
 ipdb_add_gbench(pqe_bench)
+ipdb_add_gbench(lifted_bench)
 ipdb_add_gbench(kc_bench)
 ipdb_add_gbench(fo_eval_bench)
 ipdb_add_gbench(moments_microbench)

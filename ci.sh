@@ -8,10 +8,11 @@
 # Release build with -DIPDB_OBSERVABILITY=OFF so the compiled-out macro
 # expansions stay buildable. Every leg includes the knowledge-
 # compilation tests (kc_test, kc_property_test); the Release legs
-# additionally gate compiled-vs-legacy single-shot parity, the
-# observability overhead (instrumented within 5% of compiled-out), and
-# the trace exporter (span coverage + counter consistency on a real
-# trace artifact).
+# additionally gate compiled-vs-legacy single-shot parity, the lifted
+# safe-plan rung (1e-9 parity with the circuit rung plus a >= 10x
+# speedup on the chain query at 10^4 facts), the observability overhead
+# (instrumented within 5% of compiled-out), and the trace exporter
+# (span coverage + counter consistency on a real trace artifact).
 # Usage: ./ci.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -59,12 +60,14 @@ ctest --test-dir build-fault --output-on-failure -j"${jobs}" "$@"
 echo "=== thread-sanitized build + concurrency tests ==="
 # TSan over the code that shares state across threads: the pool's
 # drain-on-error batches, budget/cancellation polling from workers, the
-# sharded Monte Carlo engines, and the metrics registry.
+# sharded Monte Carlo engines, the metrics registry, and the lifted
+# rung's counter/cancellation traffic (safe_plan_test, lifted_parity_test).
 cmake -B build-tsan -S . -DIPDB_SANITIZE="thread" >/dev/null
 cmake --build build-tsan -j"${jobs}" --target \
-  parallel_test budget_test obs_test pqe_test fault_test
+  parallel_test budget_test obs_test pqe_test fault_test \
+  safe_plan_test lifted_parity_test
 ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
-  -R '^(parallel_test|budget_test|obs_test|pqe_test|fault_test)$'
+  -R '^(parallel_test|budget_test|obs_test|pqe_test|fault_test|safe_plan_test|lifted_parity_test)$'
 
 echo "=== release build + tests (-O2 -DNDEBUG) ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
@@ -105,6 +108,39 @@ for kc, wmc in gated:
     verdict = "ok" if ratio <= 2.0 else "FAIL (> 2x)"
     print(f"  {kc:34s} {ratio:5.2f}x of legacy   {verdict}")
     failed |= ratio > 2.0
+sys.exit(1 if failed else 0)
+EOF
+
+echo "=== lifted-rung parity + speedup gate (Release) ==="
+# The lifted safe-plan rung must (a) agree with the circuit rung to
+# 1e-9 on every row that carries a parity counter and (b) beat the
+# ground-and-compile pipeline by >= 10x on the chain query at 10^4
+# facts. The star rows are reported for the crossover table in
+# EXPERIMENTS.md but not gated (same engine, noisier setup).
+lifted_json="build-release/BENCH_ci_lifted.json"
+rm -f "${lifted_json}"
+./build-release/bench/lifted_bench --bench_json_out="${lifted_json}" \
+  --benchmark_min_time=0.2 >/dev/null
+python3 - "${lifted_json}" <<'EOF'
+import json, sys
+
+rows = {r["op"]: r for r in json.load(open(sys.argv[1]))["results"]}
+failed = False
+for op, row in sorted(rows.items()):
+    err = row.get("counters", {}).get("parity_abs_err")
+    if err is None:
+        continue
+    verdict = "ok" if err <= 1e-9 else "FAIL (> 1e-9)"
+    print(f"  {op:26s} parity_abs_err={err:.3g}   {verdict}")
+    failed |= err > 1e-9
+speedup = (rows["BM_CircuitChain/10000"]["ns_per_op"]
+           / rows["BM_LiftedChain/10000"]["ns_per_op"])
+star = (rows["BM_CircuitStar/1000"]["ns_per_op"]
+        / rows["BM_LiftedStar/1000"]["ns_per_op"])
+verdict = "ok" if speedup >= 10.0 else "FAIL (< 10x)"
+print(f"  chain@10^4 lifted speedup: {speedup:5.1f}x   {verdict}")
+print(f"  star@10^3  lifted speedup: {star:5.1f}x   (reported)")
+failed |= speedup < 10.0
 sys.exit(1 if failed else 0)
 EOF
 
@@ -162,12 +198,13 @@ trace = json.load(open(sys.argv[1]))
 events = trace["traceEvents"]
 assert events, "trace has no events"
 names = {e["name"] for e in events}
-for required in ("pqe.query", "pqe.ground", "pqe.cache_probe",
+for required in ("pqe.query", "pqe.lifted", "pqe.ground", "pqe.cache_probe",
                  "pqe.evaluate", "kc.compile"):
     assert required in names, f"span {required} missing from trace"
 
 phases = [e for e in events
-          if e["name"] in ("pqe.ground", "pqe.cache_probe", "pqe.evaluate")]
+          if e["name"] in ("pqe.lifted", "pqe.ground", "pqe.cache_probe",
+                           "pqe.evaluate")]
 total = covered = 0.0
 for q in (e for e in events if e["name"] == "pqe.query"):
     total += q["dur"]

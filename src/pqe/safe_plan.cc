@@ -1,11 +1,17 @@
 #include "pqe/safe_plan.h"
 
 #include <algorithm>
-#include <map>
+#include <cmath>
+#include <numeric>
 #include <set>
+#include <string>
+#include <utility>
 
+#include "math/rational.h"
+#include "obs/obs.h"
 #include "relational/fact.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace ipdb {
 namespace pqe {
@@ -25,8 +31,30 @@ std::set<std::string> AtomVariables(const Formula& atom) {
   return vars;
 }
 
-/// Collects atoms from a ∃-prefixed conjunction tree.
-Status CollectAtoms(const Formula& formula, ParsedCq* out) {
+/// Every variable name mentioned anywhere in the formula (terms and
+/// quantifiers), so alpha-renaming can pick names fresh with respect to
+/// scopes not yet visited.
+void AllVariableNames(const Formula& formula, std::set<std::string>* names) {
+  for (const Term& t : formula.terms()) {
+    if (t.is_var()) names->insert(t.var());
+  }
+  if (formula.kind() == FormulaKind::kExists ||
+      formula.kind() == FormulaKind::kForall) {
+    names->insert(formula.quantified_var());
+  }
+  for (const Formula& child : formula.children()) {
+    AllVariableNames(child, names);
+  }
+}
+
+/// Collects atoms from a ∃-prefixed conjunction tree, alpha-renaming
+/// quantifiers apart: ∃x R(x) ∧ ∃x S(x) must not alias the two scopes
+/// (conflating them by name would wrongly compute P(∃x (R(x) ∧ S(x)))),
+/// so a re-used name gets a fresh variant before its body is visited.
+/// `quantified` is the set of quantifier names already claimed, `names`
+/// every name the fresh variants must avoid.
+Status CollectAtoms(const Formula& formula, std::set<std::string>* quantified,
+                    std::set<std::string>* names, ParsedCq* out) {
   switch (formula.kind()) {
     case FormulaKind::kAtom:
       out->atoms.push_back(formula);
@@ -35,13 +63,31 @@ Status CollectAtoms(const Formula& formula, ParsedCq* out) {
       return Status::Ok();
     case FormulaKind::kAnd:
       for (const Formula& child : formula.children()) {
-        Status status = CollectAtoms(child, out);
+        Status status = CollectAtoms(child, quantified, names, out);
         if (!status.ok()) return status;
       }
       return Status::Ok();
-    case FormulaKind::kExists:
-      out->variables.push_back(formula.quantified_var());
-      return CollectAtoms(formula.children()[0], out);
+    case FormulaKind::kExists: {
+      const std::string& name = formula.quantified_var();
+      if (quantified->insert(name).second) {
+        names->insert(name);
+        out->variables.push_back(name);
+        return CollectAtoms(formula.children()[0], quantified, names, out);
+      }
+      std::string fresh;
+      for (int k = 1;; ++k) {
+        fresh = name + "#" + std::to_string(k);
+        if (names->insert(fresh).second) break;
+      }
+      quantified->insert(fresh);
+      out->variables.push_back(fresh);
+      // Substitute is capture-avoiding: a nested re-shadowing ∃name stops
+      // the substitution, and that deeper scope is renamed on its own
+      // visit below.
+      Formula body =
+          formula.children()[0].Substitute(name, Term::Var(fresh));
+      return CollectAtoms(body, quantified, names, out);
+    }
     default:
       return FailedPreconditionError(
           "not a pure conjunctive query (only ∃, ∧ and relational atoms "
@@ -56,7 +102,10 @@ StatusOr<ParsedCq> ParseSelfJoinFreeCq(const logic::Formula& sentence) {
     return FailedPreconditionError("safe plans evaluate boolean queries");
   }
   ParsedCq parsed;
-  Status status = CollectAtoms(sentence, &parsed);
+  std::set<std::string> quantified;
+  std::set<std::string> names;
+  AllVariableNames(sentence, &names);
+  Status status = CollectAtoms(sentence, &quantified, &names, &parsed);
   if (!status.ok()) return status;
   std::set<rel::RelationId> relations;
   for (const Formula& atom : parsed.atoms) {
@@ -95,148 +144,472 @@ bool IsHierarchical(const ParsedCq& query) {
 
 namespace {
 
-/// The recursive safe-plan evaluator over a list of (partially ground)
-/// atoms.
-class SafePlan {
- public:
-  SafePlan(const pdb::TiPdb<double>& ti, SafePlanStats* stats)
-      : ti_(ti), stats_(stats) {
-    for (const auto& [fact, marginal] : ti.facts()) {
-      marginals_[fact] = marginal;
-    }
-  }
+/// Per-semiring arithmetic of the plan evaluator. Joins need the plain
+/// product; projects need Π(1 − pᵢ), which each semiring accumulates its
+/// own way — the double specialization avoids the catastrophic
+/// cancellation of the naive running complement product.
+template <typename T>
+struct LiftedSemiring;
 
-  StatusOr<double> Evaluate(std::vector<Formula> atoms) {
-    // Partition into connected components via shared variables.
-    const size_t n = atoms.size();
-    if (n == 0) return 1.0;
-    std::vector<int> component(n, -1);
-    int components = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (component[i] != -1) continue;
-      // BFS from atom i.
-      std::vector<size_t> queue = {i};
-      component[i] = components;
-      while (!queue.empty()) {
-        size_t a = queue.back();
-        queue.pop_back();
-        std::set<std::string> va = AtomVariables(atoms[a]);
-        for (size_t b = 0; b < n; ++b) {
-          if (component[b] != -1) continue;
-          std::set<std::string> vb = AtomVariables(atoms[b]);
-          bool shares = false;
-          for (const std::string& v : va) {
-            if (vb.count(v) != 0) shares = true;
-          }
-          if (shares) {
-            component[b] = components;
-            queue.push_back(b);
-          }
-        }
+template <>
+struct LiftedSemiring<double> {
+  static double Zero() { return 0.0; }
+  static double One() { return 1.0; }
+  /// Accumulates Π(1 − pᵢ) as exp(Σ log1p(−pᵢ)) and returns
+  /// 1 − Π via expm1, so many small marginals keep their full relative
+  /// precision instead of vanishing against a running product ≈ 1.
+  class ComplementProduct {
+   public:
+    void MulComplement(double p) {
+      if (p >= 1.0) {
+        certain_ = true;
+        return;
       }
-      ++components;
+      log_none_ += std::log1p(-p);
     }
-    if (components > 1) {
-      if (stats_ != nullptr) stats_->independent_joins += components - 1;
-      double product = 1.0;
-      for (int comp = 0; comp < components; ++comp) {
-        std::vector<Formula> group;
-        for (size_t i = 0; i < n; ++i) {
-          if (component[i] == comp) group.push_back(atoms[i]);
-        }
-        StatusOr<double> p = Evaluate(std::move(group));
-        if (!p.ok()) return p.status();
-        product *= p.value();
-      }
-      return product;
-    }
+    double Result() const { return certain_ ? 1.0 : -std::expm1(log_none_); }
 
-    // Single connected component. Fully ground? Multiply fact marginals.
-    bool ground = true;
-    for (const Formula& atom : atoms) {
-      if (!AtomVariables(atom).empty()) ground = false;
-    }
-    if (ground) {
-      double product = 1.0;
-      for (const Formula& atom : atoms) {
-        if (stats_ != nullptr) ++stats_->ground_lookups;
-        std::vector<rel::Value> args;
-        for (const Term& t : atom.terms()) args.push_back(t.value());
-        auto it = marginals_.find(rel::Fact(atom.relation(), args));
-        product *= it == marginals_.end() ? 0.0 : it->second;
-        if (product == 0.0) return 0.0;
-      }
-      return product;
-    }
+   private:
+    double log_none_ = 0.0;
+    bool certain_ = false;
+  };
+};
 
-    // Independent project: find a root variable occurring in EVERY atom.
-    std::string root;
-    for (const std::string& v : AtomVariables(atoms[0])) {
-      bool in_all = true;
-      for (const Formula& atom : atoms) {
-        if (AtomVariables(atom).count(v) == 0) in_all = false;
-      }
-      if (in_all) {
-        root = v;
-        break;
-      }
+template <>
+struct LiftedSemiring<math::Rational> {
+  static math::Rational Zero() { return math::Rational(); }
+  static math::Rational One() { return math::Rational(1); }
+  class ComplementProduct {
+   public:
+    void MulComplement(const math::Rational& p) {
+      none_ *= math::Rational(1) - p;
     }
-    if (root.empty()) {
-      return FailedPreconditionError(
-          "no root variable in a connected subquery — the query is not "
-          "hierarchical (#P-hard; use wmc.h)");
-    }
-    if (stats_ != nullptr) ++stats_->independent_projects;
+    math::Rational Result() const { return math::Rational(1) - none_; }
 
-    // Candidate values: the TI facts' values at the root's positions in
-    // the first atom (any atom works; values missing there make the
-    // subquery probability 0).
-    std::set<rel::Value> candidates;
-    const Formula& guard = atoms[0];
-    for (const auto& [fact, marginal] : ti_.facts()) {
-      if (fact.relation() != guard.relation()) continue;
-      for (size_t i = 0; i < guard.terms().size(); ++i) {
-        if (guard.terms()[i].is_var() && guard.terms()[i].var() == root) {
-          candidates.insert(fact.args()[i]);
-        }
-      }
-    }
-    double none = 1.0;
-    for (const rel::Value& value : candidates) {
-      std::vector<Formula> substituted;
-      substituted.reserve(atoms.size());
-      for (const Formula& atom : atoms) {
-        substituted.push_back(atom.Substitute(root, Term::Const(value)));
-      }
-      StatusOr<double> p = Evaluate(std::move(substituted));
-      if (!p.ok()) return p.status();
-      none *= 1.0 - p.value();
-    }
-    return 1.0 - none;
-  }
+   private:
+    math::Rational none_ = math::Rational(1);
+  };
+};
 
- private:
-  const pdb::TiPdb<double>& ti_;
-  SafePlanStats* stats_;
-  std::map<rel::Fact, double> marginals_;
+template <>
+struct LiftedSemiring<Interval> {
+  static Interval Zero() { return Interval::Point(0.0); }
+  static Interval One() { return Interval::Point(1.0); }
+  class ComplementProduct {
+   public:
+    void MulComplement(const Interval& p) {
+      none_ = none_ * (Interval::Point(1.0) - p);
+    }
+    Interval Result() const { return Interval::Point(1.0) - none_; }
+
+   private:
+    Interval none_ = Interval::Point(1.0);
+  };
 };
 
 }  // namespace
 
+StatusOr<LiftedPlan> LiftedPlan::Compile(const logic::Formula& sentence) {
+  StatusOr<ParsedCq> parsed = ParseSelfJoinFreeCq(sentence);
+  if (!parsed.ok()) return parsed.status();
+  LiftedPlan plan;
+  plan.atoms_ = std::move(parsed.value().atoms);
+
+  // Variable ids in quantifier order (alpha-renaming made them unique).
+  std::map<std::string, int> var_id;
+  for (const std::string& v : parsed.value().variables) {
+    if (var_id.emplace(v, static_cast<int>(plan.variables_.size())).second) {
+      plan.variables_.push_back(v);
+    }
+  }
+
+  const size_t m = plan.atoms_.size();
+  plan.term_vars_.resize(m);
+  plan.term_consts_.resize(m);
+  plan.atom_vars_.resize(m);
+  for (size_t a = 0; a < m; ++a) {
+    const Formula& atom = plan.atoms_[a];
+    for (const Term& t : atom.terms()) {
+      if (t.is_var()) {
+        auto it = var_id.find(t.var());
+        // The sentence is closed, so every term variable is quantified.
+        IPDB_CHECK(it != var_id.end()) << "unquantified variable " << t.var();
+        plan.term_vars_[a].push_back(it->second);
+        plan.term_consts_[a].push_back(rel::Value::Null());
+      } else {
+        plan.term_vars_[a].push_back(-1);
+        plan.term_consts_[a].push_back(t.value());
+      }
+    }
+    std::vector<int>& vars = plan.atom_vars_[a];
+    for (int v : plan.term_vars_[a]) {
+      if (v >= 0) vars.push_back(v);
+    }
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    plan.relation_atom_[atom.relation()] = static_cast<int>(a);
+  }
+
+  if (m > 0) {
+    std::vector<int> all(m);
+    std::iota(all.begin(), all.end(), 0);
+    std::vector<bool> bound(plan.variables_.size(), false);
+    StatusOr<int> root = plan.Build(all, &bound, 0);
+    if (!root.ok()) return root.status();
+    plan.root_ = root.value();
+  }
+  return plan;
+}
+
+StatusOr<int> LiftedPlan::Build(const std::vector<int>& atom_set,
+                                std::vector<bool>* bound, int depth) {
+  // Connected components over shared *unbound* variables.
+  const int n = static_cast<int>(atom_set.size());
+  std::vector<int> comp(n, -1);
+  int num_comp = 0;
+  for (int i = 0; i < n; ++i) {
+    if (comp[i] != -1) continue;
+    comp[i] = num_comp;
+    std::vector<int> queue = {i};
+    while (!queue.empty()) {
+      const int a = queue.back();
+      queue.pop_back();
+      const std::vector<int>& va = atom_vars_[atom_set[a]];
+      for (int j = 0; j < n; ++j) {
+        if (comp[j] != -1) continue;
+        const std::vector<int>& vj = atom_vars_[atom_set[j]];
+        bool shares = false;
+        for (int v : va) {
+          if ((*bound)[v]) continue;
+          if (std::binary_search(vj.begin(), vj.end(), v)) {
+            shares = true;
+            break;
+          }
+        }
+        if (shares) {
+          comp[j] = num_comp;
+          queue.push_back(j);
+        }
+      }
+    }
+    ++num_comp;
+  }
+
+  if (num_comp > 1) {
+    PlanNode node;
+    node.op = PlanOp::kIndependentJoin;
+    for (int c = 0; c < num_comp; ++c) {
+      std::vector<int> group;
+      for (int i = 0; i < n; ++i) {
+        if (comp[i] == c) group.push_back(atom_set[i]);
+      }
+      StatusOr<int> child = Build(group, bound, depth);
+      if (!child.ok()) return child.status();
+      node.children.push_back(child.value());
+    }
+    nodes_.push_back(std::move(node));
+    node_atoms_.push_back(atom_set);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  // Single connected component: ground atom, or independent project.
+  bool has_unbound = false;
+  for (int i = 0; i < n && !has_unbound; ++i) {
+    for (int v : atom_vars_[atom_set[i]]) {
+      if (!(*bound)[v]) {
+        has_unbound = true;
+        break;
+      }
+    }
+  }
+  if (!has_unbound) {
+    // Atoms without shared unbound variables are singleton components.
+    IPDB_CHECK_EQ(n, 1);
+    PlanNode node;
+    node.op = PlanOp::kGroundLookup;
+    node.atom = atom_set[0];
+    nodes_.push_back(std::move(node));
+    node_atoms_.push_back(atom_set);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  // Root variable: an unbound variable occurring in EVERY atom of the
+  // component. Its absence is the hierarchy witness's failure.
+  int root_var = -1;
+  for (int v : atom_vars_[atom_set[0]]) {
+    if ((*bound)[v]) continue;
+    bool in_all = true;
+    for (int i = 1; i < n && in_all; ++i) {
+      const std::vector<int>& vi = atom_vars_[atom_set[i]];
+      in_all = std::binary_search(vi.begin(), vi.end(), v);
+    }
+    if (in_all) {
+      root_var = v;
+      break;
+    }
+  }
+  if (root_var == -1) {
+    return FailedPreconditionError(
+        "no root variable in a connected subquery — the query is not "
+        "hierarchical (#P-hard; use wmc.h)");
+  }
+  (*bound)[root_var] = true;
+  StatusOr<int> child = Build(atom_set, bound, depth + 1);
+  (*bound)[root_var] = false;
+  if (!child.ok()) return child.status();
+  depth_ = std::max(depth_, depth + 1);
+  PlanNode node;
+  node.op = PlanOp::kIndependentProject;
+  node.project_var = root_var;
+  node.children.push_back(child.value());
+  nodes_.push_back(std::move(node));
+  node_atoms_.push_back(atom_set);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+template <typename T, typename P, typename Convert>
+StatusOr<T> LiftedPlan::EvaluateImpl(const pdb::TiPdb<P>& ti, Convert convert,
+                                     const LiftedOptions& options) const {
+  for (const Formula& atom : atoms_) {
+    if (!ti.schema().has_relation(atom.relation()) ||
+        ti.schema().arity(atom.relation()) !=
+            static_cast<int>(atom.terms().size())) {
+      return InvalidArgumentError("query does not match the TI schema");
+    }
+  }
+  IPDB_FAULT_POINT("pqe.lifted.evaluate");
+  IPDB_OBS_SPAN("pqe.lifted_eval", "pqe");
+  IPDB_OBS_SCOPED_TIMER("pqe.lifted.eval_ns");
+  const ExecutionBudget* budget =
+      options.budget != nullptr && options.budget->unlimited()
+          ? nullptr
+          : options.budget;
+  if (budget != nullptr) {
+    Status now = budget->CheckTime("pqe.lifted");
+    if (!now.ok()) return now;
+    // The plan's project-nesting depth is static: check it once here
+    // instead of per recursion step.
+    if (budget->max_recursion_depth > 0 &&
+        depth_ > budget->max_recursion_depth) {
+      return ResourceExhaustedError(
+          "pqe.lifted plan depth " + std::to_string(depth_) +
+          " exceeds the recursion cap of " +
+          std::to_string(budget->max_recursion_depth));
+    }
+  }
+
+  // Plan-shape counters; ground lookups are counted dynamically below.
+  SafePlanStats local;
+  for (const PlanNode& node : nodes_) {
+    if (node.op == PlanOp::kIndependentJoin) ++local.independent_joins;
+    if (node.op == PlanOp::kIndependentProject) ++local.independent_projects;
+  }
+
+  struct Row {
+    const rel::Fact* fact;
+    T prob;
+  };
+  // Per-atom fact tables in ONE scan of the instance (the query is
+  // self-join-free, so each fact feeds at most one atom). Facts that
+  // disagree with an atom's constant positions are filtered here, once,
+  // instead of at every recursion level.
+  std::vector<std::vector<Row>> tables(atoms_.size());
+  BudgetMeter meter(budget, 0, "pqe.lifted");
+  if (root_ >= 0) {
+    for (const auto& [fact, marginal] : ti.facts()) {
+      Status charge = meter.Charge();
+      if (!charge.ok()) return charge;
+      auto it = relation_atom_.find(fact.relation());
+      if (it == relation_atom_.end()) continue;
+      const int a = it->second;
+      const std::vector<int>& vars = term_vars_[a];
+      const std::vector<rel::Value>& consts = term_consts_[a];
+      bool matches = true;
+      for (size_t pos = 0; pos < vars.size(); ++pos) {
+        if (vars[pos] < 0 && !(fact.args()[pos] == consts[pos])) {
+          matches = false;
+          break;
+        }
+      }
+      if (matches) tables[a].push_back(Row{&fact, convert(marginal)});
+    }
+  }
+
+  // The recursive plan walk. A local struct so the recursion can carry
+  // the sticky budget error without threading StatusOr through every
+  // semiring operation (the WmcSolver pattern).
+  struct Evaluator {
+    const LiftedPlan& plan;
+    std::vector<std::vector<Row>>& tables;
+    BudgetMeter& meter;
+    SafePlanStats& stats;
+    Status error;
+
+    T Eval(int id) {
+      if (!error.ok()) return LiftedSemiring<T>::Zero();
+      Status charge = meter.Charge();
+      if (!charge.ok()) {
+        error = std::move(charge);
+        return LiftedSemiring<T>::Zero();
+      }
+      const PlanNode& node = plan.nodes_[id];
+      switch (node.op) {
+        case PlanOp::kGroundLookup: {
+          ++stats.ground_lookups;
+          // The table narrowed to the enclosing projects' candidate and
+          // the atom's constants: at most one (distinct) fact remains.
+          const std::vector<Row>& rows = tables[node.atom];
+          return rows.empty() ? LiftedSemiring<T>::Zero()
+                              : rows.front().prob;
+        }
+        case PlanOp::kIndependentJoin: {
+          T product = LiftedSemiring<T>::One();
+          for (int child : node.children) {
+            product = product * Eval(child);
+            if (!error.ok()) return LiftedSemiring<T>::Zero();
+          }
+          return product;
+        }
+        case PlanOp::kIndependentProject:
+          return EvalProject(id, node);
+      }
+      return LiftedSemiring<T>::Zero();
+    }
+
+    T EvalProject(int id, const PlanNode& node) {
+      const std::vector<int>& scope = plan.node_atoms_[id];
+      const int var = node.project_var;
+      // Bucket each in-scope atom's rows by the projected variable's
+      // value; rows whose repeated positions disagree (e.g. S(x, x) on a
+      // fact S(1, 2)) drop out here. std::map keeps candidates in Value
+      // order, so double accumulation order is deterministic.
+      std::vector<std::map<rel::Value, std::vector<Row>>> buckets(
+          scope.size());
+      for (size_t k = 0; k < scope.size(); ++k) {
+        std::vector<Row>& rows = tables[scope[k]];
+        Status charge = meter.Charge(static_cast<int64_t>(rows.size()) + 1);
+        if (!charge.ok()) {
+          error = std::move(charge);
+          return LiftedSemiring<T>::Zero();
+        }
+        const std::vector<int>& vars = plan.term_vars_[scope[k]];
+        size_t first_pos = 0;
+        while (vars[first_pos] != var) ++first_pos;  // root var: occurs
+        for (Row& row : rows) {
+          const std::vector<rel::Value>& args = row.fact->args();
+          const rel::Value& value = args[first_pos];
+          bool consistent = true;
+          for (size_t pos = first_pos + 1; pos < vars.size(); ++pos) {
+            if (vars[pos] == var && !(args[pos] == value)) {
+              consistent = false;
+              break;
+            }
+          }
+          if (consistent) buckets[k][value].push_back(std::move(row));
+        }
+      }
+      // A candidate contributes 0 unless present in every atom's bucket
+      // (the component is connected through the root variable), so
+      // iterate the smallest map and intersect.
+      size_t guard = 0;
+      for (size_t k = 1; k < scope.size(); ++k) {
+        if (buckets[k].size() < buckets[guard].size()) guard = k;
+      }
+      typename LiftedSemiring<T>::ComplementProduct complement;
+      for (auto& [value, guard_rows] : buckets[guard]) {
+        bool everywhere = true;
+        for (size_t k = 0; k < scope.size() && everywhere; ++k) {
+          if (k != guard) everywhere = buckets[k].count(value) > 0;
+        }
+        if (!everywhere) continue;
+        // Install the candidate's rows; each child evaluation re-installs
+        // before reading, so nothing needs restoring afterwards.
+        for (size_t k = 0; k < scope.size(); ++k) {
+          tables[scope[k]] = std::move(buckets[k][value]);
+        }
+        T p = Eval(node.children[0]);
+        if (!error.ok()) return LiftedSemiring<T>::Zero();
+        complement.MulComplement(p);
+      }
+      return complement.Result();
+    }
+  };
+
+  T result = LiftedSemiring<T>::One();  // empty conjunction: ⊤
+  if (root_ >= 0) {
+    Evaluator evaluator{*this, tables, meter, local, Status::Ok()};
+    result = evaluator.Eval(root_);
+    if (!evaluator.error.ok()) {
+      return IPDB_STATUS_FORWARD(evaluator.error)
+             << "lifted evaluation aborted";
+    }
+  }
+
+  IPDB_OBS_COUNT("pqe.lifted.evaluations", 1);
+  IPDB_OBS_COUNT("pqe.lifted.independent_joins", local.independent_joins);
+  IPDB_OBS_COUNT("pqe.lifted.independent_projects",
+                 local.independent_projects);
+  IPDB_OBS_COUNT("pqe.lifted.ground_lookups", local.ground_lookups);
+  if (options.stats != nullptr) {
+    options.stats->independent_joins += local.independent_joins;
+    options.stats->independent_projects += local.independent_projects;
+    options.stats->ground_lookups += local.ground_lookups;
+  }
+  return result;
+}
+
+template <typename P>
+StatusOr<P> LiftedPlan::Evaluate(const pdb::TiPdb<P>& ti,
+                                 const LiftedOptions& options) const {
+  return EvaluateImpl<P>(
+      ti, [](const P& p) { return p; }, options);
+}
+
+template StatusOr<double> LiftedPlan::Evaluate<double>(
+    const pdb::TiPdb<double>&, const LiftedOptions&) const;
+template StatusOr<math::Rational> LiftedPlan::Evaluate<math::Rational>(
+    const pdb::TiPdb<math::Rational>&, const LiftedOptions&) const;
+
+StatusOr<Interval> LiftedPlan::EvaluateInterval(
+    const pdb::TiPdb<double>& ti, const LiftedOptions& options) const {
+  return EvaluateImpl<Interval>(
+      ti, [](double p) { return Interval::Point(p); }, options);
+}
+
+std::string LiftedPlan::NodeToString(int node,
+                                     const rel::Schema& schema) const {
+  const PlanNode& n = nodes_[node];
+  switch (n.op) {
+    case PlanOp::kGroundLookup:
+      return "lookup(" + atoms_[n.atom].ToString(schema) + ")";
+    case PlanOp::kIndependentProject:
+      return "project[" + variables_[n.project_var] + "](" +
+             NodeToString(n.children[0], schema) + ")";
+    case PlanOp::kIndependentJoin: {
+      std::string out = "join(";
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += NodeToString(n.children[i], schema);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string LiftedPlan::ToString(const rel::Schema& schema) const {
+  if (root_ < 0) return "true";
+  return NodeToString(root_, schema);
+}
+
 StatusOr<double> SafeQueryProbability(const pdb::TiPdb<double>& ti,
                                       const logic::Formula& sentence,
                                       SafePlanStats* stats) {
-  StatusOr<ParsedCq> parsed = ParseSelfJoinFreeCq(sentence);
-  if (!parsed.ok()) return parsed.status();
-  if (!sentence.MatchesSchema(ti.schema())) {
-    return InvalidArgumentError("query does not match the TI schema");
-  }
-  if (!IsHierarchical(parsed.value())) {
-    return FailedPreconditionError(
-        "query is not hierarchical — #P-hard in general; use wmc.h");
-  }
-  SafePlan plan(ti, stats);
-  return plan.Evaluate(parsed.value().atoms);
+  StatusOr<LiftedPlan> plan = LiftedPlan::Compile(sentence);
+  if (!plan.ok()) return plan.status();
+  LiftedOptions options;
+  options.stats = stats;
+  return plan.value().Evaluate(ti, options);
 }
 
 }  // namespace pqe

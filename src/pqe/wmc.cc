@@ -11,6 +11,7 @@
 #include "logic/evaluator.h"
 #include "obs/obs.h"
 #include "pqe/monte_carlo.h"
+#include "pqe/safe_plan.h"
 #include "util/check.h"
 #include "util/fault.h"
 
@@ -276,10 +277,58 @@ StatusOr<QueryAnswer> QueryProbability(const pdb::TiPdb<double>& ti,
           ? nullptr
           : options.budget;
 
+  // Lifted rung: hierarchical self-join-free CQs are answered by the
+  // safe-plan engine without grounding or compiling anything. Queries
+  // outside the class (kFailedPrecondition from the plan compiler) fall
+  // through to the circuit rung; a budget trip *during* evaluation skips
+  // the circuit rung too (the same deadline governs it, and grounding
+  // costs strictly more than the plan walk that just tripped) and goes
+  // straight to the Monte Carlo fallback.
+  Status exact_error;
+  bool skip_exact = false;
+  if (options.lifted) {
+    IPDB_OBS_SPAN("pqe.lifted", "pqe");
+    StatusOr<LiftedPlan> plan = LiftedPlan::Compile(sentence);
+    if (plan.ok()) {
+      IPDB_OBS_COUNT("pqe.lifted.queries", 1);
+      SafePlanStats plan_stats;
+      LiftedOptions lifted_options;
+      lifted_options.budget = budget;
+      lifted_options.stats = &plan_stats;
+      StatusOr<double> probability =
+          plan.value().Evaluate(ti, lifted_options);
+      if (probability.ok()) {
+        // The lifted independence steps are decompositions in the
+        // WmcStats vocabulary; no Shannon expansion ever happens here.
+        const int64_t decompositions =
+            plan_stats.independent_joins + plan_stats.independent_projects;
+        if (stats != nullptr) stats->decompositions += decompositions;
+        MirrorWmcStats(WmcStats{0, decompositions, 0, 0});
+        IPDB_OBS_COUNT("pqe.lifted.answers", 1);
+        QueryAnswer answer;
+        answer.probability = probability.value();
+        answer.half_width = 0.0;
+        answer.confidence = 1.0;
+        answer.quality = AnswerQuality::kExact;
+        answer.lifted = true;
+        return answer;
+      }
+      if (!IsBudgetError(probability.status())) {
+        return probability.status();
+      }
+      exact_error = probability.status();
+      skip_exact = true;
+    } else if (plan.status().code() == StatusCode::kFailedPrecondition) {
+      IPDB_OBS_COUNT("pqe.lifted.rejected", 1);
+    } else {
+      return plan.status();
+    }
+  }
+
   Lineage lineage;
   NodeId root = -1;
   std::vector<double> probs;
-  {
+  if (!skip_exact) {
     IPDB_OBS_SPAN("pqe.ground", "pqe");
     IPDB_FAULT_POINT("pqe.ground");
     StatusOr<NodeId> grounded = GroundSentence(ti, sentence, &lineage);
@@ -294,8 +343,8 @@ StatusOr<QueryAnswer> QueryProbability(const pdb::TiPdb<double>& ti,
   // Exact rung: compile (budget-governed) through the artifact cache,
   // then evaluate (deadline polled per circuit node). Budget errors fall
   // through to the degraded rung; everything else propagates.
-  Status exact_error;
   do {
+    if (skip_exact) break;
     if (budget != nullptr) {
       exact_error = budget->CheckTime("pqe.query");
       if (!exact_error.ok()) break;

@@ -58,8 +58,10 @@ StatusOr<double> ComputeProbability(Lineage* lineage, NodeId root,
                                     WmcStats* stats = nullptr,
                                     const WmcOptions& options = {});
 
-/// End-to-end PQE: Pr_{I ~ ti}(I ⊨ φ) by grounding, then compiled
-/// d-DNNF evaluation via the global artifact cache (see kc/cache.h).
+/// End-to-end PQE: Pr_{I ~ ti}(I ⊨ φ). Hierarchical self-join-free CQs
+/// are answered by the lifted safe-plan engine (safe_plan.h, linear-ish
+/// in the data); everything else grounds and runs compiled d-DNNF
+/// evaluation via the global artifact cache (see kc/cache.h).
 StatusOr<double> QueryProbability(const pdb::TiPdb<double>& ti,
                                   const logic::Formula& sentence,
                                   WmcStats* stats = nullptr);
@@ -88,6 +90,10 @@ struct QueryAnswer {
   /// level for kInterval, 0 for kFailed.
   double confidence = 0.0;
   AnswerQuality quality = AnswerQuality::kFailed;
+  /// True when the lifted safe-plan rung produced the (exact) answer —
+  /// the query was a hierarchical self-join-free CQ and no grounding or
+  /// circuit work happened at all.
+  bool lifted = false;
   /// Monte Carlo samples drawn by the fallback (0 on the exact path).
   int64_t samples = 0;
   /// Why the exact path degraded (kResourceExhausted / kDeadlineExceeded
@@ -101,6 +107,13 @@ struct QueryOptions {
   /// evaluation + fallback). Null = unlimited, in which case the
   /// overload behaves exactly like plain QueryProbability.
   const ExecutionBudget* budget = nullptr;
+  /// Try the lifted safe-plan engine first (safe_plan.h): hierarchical
+  /// self-join-free CQs are answered exactly without grounding or
+  /// compiling, orders of magnitude faster at scale. Queries outside
+  /// that class fall through to the circuit rung transparently. Off
+  /// forces the ground-then-compile path (ablations; tests of the
+  /// circuit ladder machinery).
+  bool lifted = true;
   /// Degrade to a certified Monte Carlo interval when exact inference
   /// exceeds the budget. Off = budget errors propagate as Statuses.
   bool fallback = true;
@@ -114,14 +127,25 @@ struct QueryOptions {
   uint64_t fallback_seed = 0x51ed;
 };
 
-/// Budget-governed PQE with graceful degradation: the exact pipeline
-/// (ground, compile via the artifact cache, evaluate) runs under
-/// options.budget; if a cap or the deadline trips, the query degrades to
-/// a certified Monte Carlo interval over the same TI-PDB (quality
-/// kInterval) instead of failing — a bounded answer now beats an exact
-/// answer never. Real errors (malformed queries, evaluation failures)
-/// propagate as Statuses regardless; with fallback disabled, budget
-/// errors do too. Fallback traffic is visible in the pqe.fallback.*
+/// Budget-governed PQE with graceful degradation, a three-rung ladder:
+///
+///   1. lifted   — safe-plan evaluation for hierarchical self-join-free
+///                 CQs (exact, no grounding; skipped for queries outside
+///                 the class or when options.lifted is off);
+///   2. compile  — ground, compile via the artifact cache, evaluate the
+///                 d-DNNF (exact);
+///   3. fallback — a certified Monte Carlo interval (quality kInterval).
+///
+/// Every rung runs under options.budget; a cap or deadline trip degrades
+/// to the next rung instead of failing — a bounded answer now beats an
+/// exact answer never. (A budget trip *inside* the lifted rung skips the
+/// circuit rung too: the same deadline governs both, and grounding costs
+/// strictly more than the plan walk that just tripped.) When the lifted
+/// rung answers, stats->decompositions mirrors its independence steps
+/// (joins + projects); shannon_expansions stays 0. Real errors
+/// (malformed queries, evaluation failures) propagate as Statuses
+/// regardless; with fallback disabled, budget errors do too. Lifted and
+/// fallback traffic is visible in the pqe.lifted.* / pqe.fallback.*
 /// registry counters.
 StatusOr<QueryAnswer> QueryProbability(const pdb::TiPdb<double>& ti,
                                        const logic::Formula& sentence,

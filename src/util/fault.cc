@@ -26,6 +26,7 @@ const char* const kSites[] = {
     "kc.compile.shannon",     // d-DNNF compiler: Shannon expansion
     "kc.evaluate.exact",      // exact circuit evaluation entry
     "pqe.ground",             // sentence grounding entry
+    "pqe.lifted.evaluate",    // lifted safe-plan evaluation entry
     "pqe.mc.shard",           // Monte Carlo: per-shard body
     "pqe.query.fallback",     // degradation ladder: MC fallback branch
     "pqe.wmc.solve",          // legacy WMC solver entry

@@ -439,6 +439,9 @@ TEST(QueryDegradationTest, NodeCapFallsBackToCertifiedInterval) {
   ExecutionBudget budget;
   budget.max_circuit_nodes = 1;
   pqe::QueryOptions options;
+  // The query is safe, so the default ladder would answer it exactly on
+  // the lifted rung; force the circuit rung so the node cap can bite.
+  options.lifted = false;
   options.budget = &budget;
   options.fallback_samples = 20000;
   options.fallback_confidence = 0.999;
@@ -475,6 +478,7 @@ TEST(QueryDegradationTest, FallbackDisabledPropagatesBudgetError) {
   ExecutionBudget budget;
   budget.max_circuit_nodes = 1;
   pqe::QueryOptions options;
+  options.lifted = false;  // force the circuit rung (see above)
   options.budget = &budget;
   options.fallback = false;
   StatusOr<pqe::QueryAnswer> answer =

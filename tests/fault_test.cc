@@ -33,11 +33,12 @@ pdb::TiPdb<double> PathTi() {
 }
 
 /// A representative pass over the governed query pipeline, reaching
-/// every registered fault site: grounding, the artifact cache (lookup
-/// and, on a miss, compile + insert), exact circuit evaluation, the
-/// direct WMC solver, the Monte Carlo fallback (budget-forced), and the
-/// thread pool. `salt` varies the query structure so each invocation is
-/// a cache miss and the compile-path sites stay reachable.
+/// every registered fault site: the lifted safe-plan rung, grounding,
+/// the artifact cache (lookup and, on a miss, compile + insert), exact
+/// circuit evaluation, the direct WMC solver, the Monte Carlo fallback
+/// (budget-forced), and the thread pool. `salt` varies the query
+/// structure so each invocation is a cache miss and the compile-path
+/// sites stay reachable.
 Status RepresentativeWorkload(int salt) {
   // The two-hop path query grounds to a lineage with shared variables
   // ((a&b)|(b&c)|(d&c)), which is not independence-decomposable and so
@@ -49,8 +50,19 @@ Status RepresentativeWorkload(int salt) {
       logic::ParseSentence(text, ti.schema());
   if (!sentence.ok()) return sentence.status();
 
+  // Lifted safe-plan rung (pqe.lifted.evaluate): a hierarchical
+  // self-join-free CQ that the ladder answers without grounding.
+  StatusOr<logic::Formula> safe_sentence =
+      logic::ParseSentence("exists x y. R(x, y) & S(y)", ti.schema());
+  if (!safe_sentence.ok()) return safe_sentence.status();
+  StatusOr<double> lifted =
+      pqe::QueryProbability(ti, safe_sentence.value());
+  if (!lifted.ok()) return lifted.status();
+
   // Exact pipeline through the artifact cache (pqe.ground,
-  // kc.cache.lookup, kc.compile.*, kc.cache.insert, pqe.evaluate).
+  // kc.cache.lookup, kc.compile.*, kc.cache.insert, pqe.evaluate). The
+  // path query is a self-join, so the lifted rung rejects it and the
+  // circuit rung does the work.
   kc::GlobalCompiledQueryCache().Clear();
   StatusOr<double> exact = pqe::QueryProbability(ti, sentence.value());
   if (!exact.ok()) return exact.status();

@@ -303,10 +303,15 @@ TEST(QueryProbabilityTest, RegistryMirrorsArtifactCacheHits) {
   const int64_t cache_hits_before = cache.hits();
   const int64_t cache_misses_before = cache.misses();
 
+  // The sentence is a safe CQ, which the default ladder answers on the
+  // lifted rung without ever probing the artifact cache — opt out so
+  // this test keeps exercising the cache mirror.
+  pqe::QueryOptions options;
+  options.lifted = false;
   pqe::WmcStats stats;
-  ASSERT_TRUE(pqe::QueryProbability(ti, sentence, &stats).ok());
-  ASSERT_TRUE(pqe::QueryProbability(ti, sentence, &stats).ok());
-  ASSERT_TRUE(pqe::QueryProbability(ti, sentence, &stats).ok());
+  ASSERT_TRUE(pqe::QueryProbability(ti, sentence, options, &stats).ok());
+  ASSERT_TRUE(pqe::QueryProbability(ti, sentence, options, &stats).ok());
+  ASSERT_TRUE(pqe::QueryProbability(ti, sentence, options, &stats).ok());
 
   // The cache's own accessors always tally the three probes (they are
   // core cache state, not instrumentation)...
