@@ -33,3 +33,4 @@ ipdb_add_gbench(fo_eval_bench)
 ipdb_add_gbench(moments_microbench)
 ipdb_add_gbench(sampling_bench)
 ipdb_add_gbench(math_bench)
+ipdb_add_gbench(storage_bench)

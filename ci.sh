@@ -10,9 +10,12 @@
 # compilation tests (kc_test, kc_property_test); the Release legs
 # additionally gate compiled-vs-legacy single-shot parity, the lifted
 # safe-plan rung (1e-9 parity with the circuit rung plus a >= 10x
-# speedup on the chain query at 10^4 facts), the observability overhead
-# (instrumented within 5% of compiled-out), and the trace exporter
-# (span coverage + counter consistency on a real trace artifact).
+# speedup on the chain query at 10^4 facts), the columnar fact store
+# (<= 48 bytes/fact at 10^7 facts, >= 5x grounding speedup over the
+# legacy object-per-tuple path, incremental re-query >= 10x faster than
+# cold), the observability overhead (instrumented within 5% of
+# compiled-out), and the trace exporter (span coverage + counter
+# consistency on a real trace artifact).
 # Usage: ./ci.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -60,14 +63,16 @@ ctest --test-dir build-fault --output-on-failure -j"${jobs}" "$@"
 echo "=== thread-sanitized build + concurrency tests ==="
 # TSan over the code that shares state across threads: the pool's
 # drain-on-error batches, budget/cancellation polling from workers, the
-# sharded Monte Carlo engines, the metrics registry, and the lifted
-# rung's counter/cancellation traffic (safe_plan_test, lifted_parity_test).
+# sharded Monte Carlo engines, the metrics registry, the lifted rung's
+# counter/cancellation traffic (safe_plan_test, lifted_parity_test), and
+# the columnar store's concurrent readers + dependent-artifact
+# registrations (storage_test).
 cmake -B build-tsan -S . -DIPDB_SANITIZE="thread" >/dev/null
 cmake --build build-tsan -j"${jobs}" --target \
   parallel_test budget_test obs_test pqe_test fault_test \
-  safe_plan_test lifted_parity_test
+  safe_plan_test lifted_parity_test storage_test
 ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
-  -R '^(parallel_test|budget_test|obs_test|pqe_test|fault_test|safe_plan_test|lifted_parity_test)$'
+  -R '^(parallel_test|budget_test|obs_test|pqe_test|fault_test|safe_plan_test|lifted_parity_test|storage_test)$'
 
 echo "=== release build + tests (-O2 -DNDEBUG) ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
@@ -141,6 +146,47 @@ verdict = "ok" if speedup >= 10.0 else "FAIL (< 10x)"
 print(f"  chain@10^4 lifted speedup: {speedup:5.1f}x   {verdict}")
 print(f"  star@10^3  lifted speedup: {star:5.1f}x   (reported)")
 failed |= speedup < 10.0
+sys.exit(1 if failed else 0)
+EOF
+
+echo "=== columnar storage gates (Release) ==="
+# Three claims from the storage layer, measured by storage_bench:
+#  * a 10M-fact binary-relation TI fits in <= 48 bytes/fact
+#    (dictionary-encoded columns vs ~112 bytes for the object-per-tuple
+#    FactList view);
+#  * grounding a 64-atom disjunction against 10^6 facts is >= 5x faster
+#    columnar (dictionary probes + binary search per atom) than legacy
+#    (which materializes a std::map over the whole instance per call);
+#  * after UpdateProbability, a PreparedQuery re-answer (re-read the
+#    probability column, re-evaluate the cached circuit) is >= 10x
+#    faster than the cold ground + compile + evaluate pipeline.
+storage_json="build-release/BENCH_storage.json"
+rm -f "${storage_json}"
+(cd build-release && ./bench/storage_bench \
+  --bench_json_out=BENCH_storage.json --benchmark_min_time=0.2 >/dev/null)
+python3 - "${storage_json}" <<'EOF'
+import json, sys
+
+rows = {r["op"]: r for r in json.load(open(sys.argv[1]))["results"]}
+failed = False
+
+bpf = rows["BM_ColumnarBuild/10000000"]["counters"]["bytes_per_fact"]
+verdict = "ok" if bpf <= 48.0 else "FAIL (> 48)"
+print(f"  bytes/fact at 10^7 facts:      {bpf:6.2f}     {verdict}")
+failed |= bpf > 48.0
+
+ground = (rows["BM_GroundLegacy"]["ns_per_op"]
+          / rows["BM_GroundColumnar"]["ns_per_op"])
+verdict = "ok" if ground >= 5.0 else "FAIL (< 5x)"
+print(f"  columnar grounding speedup:    {ground:6.1f}x    {verdict}")
+failed |= ground < 5.0
+
+requery = (rows["BM_ColdRequery/200"]["ns_per_op"]
+           / rows["BM_IncrementalRequery/200"]["ns_per_op"])
+verdict = "ok" if requery >= 10.0 else "FAIL (< 10x)"
+print(f"  incremental re-query speedup:  {requery:6.1f}x    {verdict}")
+failed |= requery < 10.0
+
 sys.exit(1 if failed else 0)
 EOF
 

@@ -60,8 +60,8 @@ StatusOr<BidToTiConstruction<P>> BuildBidToTi(const pdb::BidPdb<P>& input) {
 
   // Facts with the Lemma 5.7 marginals.
   typename pdb::TiPdb<P>::FactList facts;
-  std::vector<int> zero_residual_blocks;
-  for (int b = 0; b < input.num_blocks(); ++b) {
+  std::vector<int64_t> zero_residual_blocks;
+  for (int64_t b = 0; b < input.num_blocks(); ++b) {
     P residual = input.Residual(b);
     bool residual_zero = Traits::IsZero(residual) &&
                          Traits::ToDouble(residual) <= 0.0;

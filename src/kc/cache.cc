@@ -79,6 +79,27 @@ CompiledQueryCache::GetOrCompile(pqe::Lineage* lineage, pqe::NodeId root,
   return artifact;
 }
 
+bool CompiledQueryCache::EraseFingerprint(uint64_t hi, uint64_t lo) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(Key{hi, lo});
+  if (it == index_.end()) return false;
+  approx_bytes_ -= ArtifactApproxBytes(*it->second->second);
+  lru_.erase(it->second);
+  index_.erase(it);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  IPDB_OBS_COUNT("kc.artifact_cache.evictions", 1);
+  IPDB_OBS_COUNT("kc.artifact_cache.invalidations", 1);
+  IPDB_OBS_GAUGE_SET("kc.artifact_cache.entries",
+                     static_cast<int64_t>(lru_.size()));
+  IPDB_OBS_GAUGE_SET("kc.artifact_cache.bytes", approx_bytes_);
+  return true;
+}
+
+bool CompiledQueryCache::ContainsFingerprint(uint64_t hi, uint64_t lo) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.find(Key{hi, lo}) != index_.end();
+}
+
 void CompiledQueryCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();

@@ -41,6 +41,18 @@ class CompiledQueryCache {
       pqe::Lineage* lineage, pqe::NodeId root, bool* was_hit = nullptr,
       const CompileOptions& options = {});
 
+  /// Drops the artifact with the given 128-bit lineage fingerprint, if
+  /// resident; true when something was erased. This is the incremental-
+  /// invalidation hook: a storage::TiStore whose fact set mutates hands
+  /// the fingerprints of dependent artifacts here (via the store's
+  /// artifact evictor), so only circuits grounded against the stale fact
+  /// layout are recompiled — the rest of the cache survives data churn.
+  bool EraseFingerprint(uint64_t hi, uint64_t lo);
+
+  /// True when an artifact with this fingerprint is resident (does not
+  /// touch LRU order; for tests and introspection).
+  bool ContainsFingerprint(uint64_t hi, uint64_t lo) const;
+
   void Clear();
   size_t size() const;
   size_t capacity() const { return capacity_; }

@@ -41,10 +41,10 @@ class BidPdb {
 
   const rel::Schema& schema() const { return schema_; }
   const std::vector<Block>& blocks() const { return blocks_; }
-  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
 
   /// Residual probability of block b: 1 − Σ_{t∈B_b} p_t.
-  P Residual(int block) const;
+  P Residual(int64_t block) const;
 
   /// Marginal of a fact (zero for unknown facts).
   P Marginal(const rel::Fact& fact) const;

@@ -41,7 +41,7 @@ class FinitePdb {
 
   const rel::Schema& schema() const { return schema_; }
   const WorldList& worlds() const { return worlds_; }
-  int num_worlds() const { return static_cast<int>(worlds_.size()); }
+  int64_t num_worlds() const { return static_cast<int64_t>(worlds_.size()); }
 
   /// Probability of one instance (zero if absent).
   P Probability(const rel::Instance& instance) const;

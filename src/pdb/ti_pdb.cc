@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 #include "util/check.h"
 
@@ -12,23 +11,33 @@ namespace pdb {
 template <typename P>
 StatusOr<TiPdb<P>> TiPdb<P>::Create(rel::Schema schema, FactList facts) {
   using Traits = ProbTraits<P>;
-  std::set<rel::Fact> seen;
+  // Validation rides on the columnar build: schema and range checks
+  // inline (preserving the legacy error order), distinctness via the
+  // per-relation sort in Builder::Finish instead of a std::set probe
+  // per fact.
+  storage::TiStore::Builder builder(schema);
+  builder.Reserve(static_cast<int64_t>(facts.size()));
   for (const auto& [fact, marginal] : facts) {
     if (!fact.MatchesSchema(schema)) {
       return InvalidArgumentError("fact does not match the schema: " +
                                   fact.ToString(schema));
     }
-    if (!seen.insert(fact).second) {
-      return InvalidArgumentError("duplicate fact: " + fact.ToString(schema));
-    }
     if (!Traits::IsNonNegative(marginal) ||
         Traits::ToDouble(marginal) > 1.0 + 1e-12) {
       return InvalidArgumentError("marginal probability outside [0, 1]");
     }
+    if constexpr (Traits::kExact) {
+      builder.AddExact(fact, marginal);
+    } else {
+      builder.Add(fact, marginal);
+    }
   }
+  StatusOr<std::shared_ptr<storage::TiStore>> store = builder.Finish();
+  if (!store.ok()) return store.status();
   TiPdb result;
   result.schema_ = std::move(schema);
   result.facts_ = std::move(facts);
+  result.store_ = std::move(store).value();
   return result;
 }
 
@@ -40,7 +49,38 @@ TiPdb<P> TiPdb<P>::CreateOrDie(rel::Schema schema, FactList facts) {
 }
 
 template <typename P>
+StatusOr<TiPdb<P>> TiPdb<P>::FromStore(
+    std::shared_ptr<const storage::TiStore> store) {
+  if (store == nullptr) return InvalidArgumentError("null store");
+  TiPdb result;
+  result.schema_ = store->schema();
+  result.facts_.reserve(static_cast<size_t>(store->num_facts()));
+  for (int64_t i = 0; i < store->num_facts(); ++i) {
+    if constexpr (ProbTraits<P>::kExact) {
+      const math::Rational* exact = store->ExactAt(i);
+      if (exact == nullptr) {
+        return FailedPreconditionError(
+            "exact TiPdb view requires an exact marginal for every stored "
+            "fact");
+      }
+      result.facts_.emplace_back(store->FactAt(i), *exact);
+    } else {
+      result.facts_.emplace_back(store->FactAt(i), store->ProbAt(i));
+    }
+  }
+  result.store_ = std::move(store);
+  return result;
+}
+
+template <typename P>
 P TiPdb<P>::Marginal(const rel::Fact& fact) const {
+  if (store_ != nullptr) {
+    // Binary search in the columnar store; the view's value is returned
+    // so exactness and above-one tolerance behave exactly as before.
+    const int64_t i = store_->FindFact(fact);
+    return i < 0 ? ProbTraits<P>::Zero()
+                 : facts_[static_cast<size_t>(i)].second;
+  }
   for (const auto& [candidate, marginal] : facts_) {
     if (candidate == fact) return marginal;
   }

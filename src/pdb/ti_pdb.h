@@ -1,7 +1,9 @@
 #ifndef IPDB_PDB_TI_PDB_H_
 #define IPDB_PDB_TI_PDB_H_
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "relational/fact.h"
 #include "relational/instance.h"
 #include "relational/schema.h"
+#include "storage/ti_store.h"
 #include "util/interval.h"
 #include "util/random.h"
 #include "util/series.h"
@@ -25,6 +28,13 @@ namespace pdb {
 /// facts' memberships are independent events with the given marginal
 /// probabilities. Represented by the marginals alone; the induced sample
 /// space is the power set of the fact set.
+///
+/// Storage: `Create` builds a columnar, dictionary-encoded
+/// storage::TiStore (the representation the grounding and lifted engines
+/// scan) and keeps the caller's FactList as a compatibility view — the
+/// view preserves insertion order, so sampling streams and double
+/// accumulation orders are bit-identical to the pre-columnar engine.
+/// Fact i of the view is global fact i of the store.
 template <typename P>
 class TiPdb {
  public:
@@ -37,9 +47,23 @@ class TiPdb {
   static StatusOr<TiPdb> Create(rel::Schema schema, FactList facts);
   static TiPdb CreateOrDie(rel::Schema schema, FactList facts);
 
+  /// Wraps an existing columnar store (e.g. one that went through live
+  /// mutators), materializing the compatibility view from its columns.
+  /// For P = math::Rational every fact must carry an exact side-table
+  /// entry (kFailedPrecondition otherwise).
+  static StatusOr<TiPdb> FromStore(
+      std::shared_ptr<const storage::TiStore> store);
+
   const rel::Schema& schema() const { return schema_; }
   const FactList& facts() const { return facts_; }
-  int num_facts() const { return static_cast<int>(facts_.size()); }
+  int64_t num_facts() const { return static_cast<int64_t>(facts_.size()); }
+
+  /// The columnar backing store; null only for a default-constructed
+  /// TiPdb. Hot consumers (grounding, the lifted engine, benches) scan
+  /// this instead of the object-per-tuple view.
+  const std::shared_ptr<const storage::TiStore>& store() const {
+    return store_;
+  }
 
   /// Marginal of a fact (zero for facts outside the fact set).
   P Marginal(const rel::Fact& fact) const;
@@ -76,6 +100,7 @@ class TiPdb {
  private:
   rel::Schema schema_;
   FactList facts_;
+  std::shared_ptr<const storage::TiStore> store_;
 };
 
 using TiPdbD = TiPdb<double>;

@@ -13,7 +13,7 @@ namespace pdb {
 StatusOr<std::vector<std::pair<rel::Instance, double>>> TopKWorlds(
     const TiPdb<double>& ti, int64_t k) {
   if (k < 0) return InvalidArgumentError("k must be non-negative");
-  const int n = ti.num_facts();
+  const int64_t n = ti.num_facts();
   if (n > 63) {
     return FailedPreconditionError("top-k search supports up to 63 facts");
   }
@@ -23,13 +23,13 @@ StatusOr<std::vector<std::pair<rel::Instance, double>>> TopKWorlds(
   // min(p, 1-p) / max(p, 1-p) <= 1. Facts with p exactly 0 or 1 have
   // ratio 0 (flipping yields probability 0; still enumerated last).
   struct Flip {
-    int fact;
+    int64_t fact;
     double ratio;
     bool in_mode;  // fact present in the modal world?
   };
   std::vector<Flip> flips(n);
   double mode_probability = 1.0;
-  for (int i = 0; i < n; ++i) {
+  for (int64_t i = 0; i < n; ++i) {
     double p = ti.facts()[i].second;
     bool take = p >= 0.5;
     mode_probability *= take ? p : 1.0 - p;

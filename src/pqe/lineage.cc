@@ -1,6 +1,7 @@
 #include "pqe/lineage.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -237,6 +238,9 @@ using logic::Term;
 struct GroundContext {
   Lineage* lineage;
   const rel::Schema* schema;
+  /// Columnar atom index; when set, fact_index stays empty and atoms
+  /// resolve by dictionary probe + binary search.
+  const storage::TiStore* store = nullptr;
   std::map<rel::Fact, int> fact_index;
   std::vector<rel::Value> domain;
 };
@@ -268,8 +272,13 @@ StatusOr<NodeId> Ground(GroundContext& context, const Formula& formula,
         args.push_back(std::move(v).value());
       }
       rel::Fact fact(formula.relation(), std::move(args));
-      auto it = context.fact_index.find(fact);
       // Closed-world over the fact set: facts outside T(I) never occur.
+      if (context.store != nullptr) {
+        const int64_t i = context.store->FindFact(fact);
+        if (i < 0) return lineage.False();
+        return lineage.Var(static_cast<int>(i));
+      }
+      auto it = context.fact_index.find(fact);
       if (it == context.fact_index.end()) return lineage.False();
       return lineage.Var(it->second);
     }
@@ -358,9 +367,62 @@ StatusOr<NodeId> Ground(GroundContext& context, const Formula& formula,
 
 }  // namespace
 
+namespace {
+
+/// Domain finalization shared by both grounding paths: constants and
+/// fresh witnesses join the active domain, then sort + unique — the
+/// same ordered set the legacy std::set construction produced.
+void FinishDomain(const logic::Formula& sentence,
+                  std::vector<rel::Value>* domain) {
+  for (const rel::Value& v : sentence.Constants()) domain->push_back(v);
+  int rank = sentence.QuantifierRank();
+  for (int i = 0; i < rank; ++i) {
+    domain->push_back(rel::Value::Symbol("$fresh" + std::to_string(i)));
+  }
+  std::sort(domain->begin(), domain->end());
+  domain->erase(std::unique(domain->begin(), domain->end()), domain->end());
+}
+
+}  // namespace
+
 StatusOr<NodeId> GroundSentence(const pdb::TiPdb<double>& ti,
                                 const logic::Formula& sentence,
                                 Lineage* lineage) {
+  // Global store index i is exactly facts()[i], so the columnar path
+  // yields the same variable numbering.
+  if (ti.store() != nullptr) {
+    return GroundSentence(*ti.store(), sentence, lineage);
+  }
+  return GroundSentenceLegacy(ti, sentence, lineage);
+}
+
+StatusOr<NodeId> GroundSentence(const storage::TiStore& store,
+                                const logic::Formula& sentence,
+                                Lineage* lineage) {
+  if (!sentence.FreeVariables().empty()) {
+    return InvalidArgumentError("grounding requires a sentence");
+  }
+  if (!sentence.MatchesSchema(store.schema())) {
+    return InvalidArgumentError("sentence does not match the TI schema");
+  }
+  if (store.num_facts() > std::numeric_limits<NodeId>::max()) {
+    return InvalidArgumentError(
+        "lineage variables are 32-bit: the store has too many facts to "
+        "ground");
+  }
+  GroundContext context;
+  context.lineage = lineage;
+  context.schema = &store.schema();
+  context.store = &store;
+  context.domain = store.SortedDomain();
+  FinishDomain(sentence, &context.domain);
+  logic::Assignment assignment;
+  return Ground(context, sentence, &assignment);
+}
+
+StatusOr<NodeId> GroundSentenceLegacy(const pdb::TiPdb<double>& ti,
+                                      const logic::Formula& sentence,
+                                      Lineage* lineage) {
   if (!sentence.FreeVariables().empty()) {
     return InvalidArgumentError("grounding requires a sentence");
   }

@@ -10,6 +10,7 @@
 #include "pdb/ti_pdb.h"
 #include "relational/instance.h"
 #include "relational/schema.h"
+#include "storage/ti_store.h"
 #include "util/status.h"
 
 namespace ipdb {
@@ -85,10 +86,28 @@ class Lineage {
 /// Grounds a boolean FO sentence over the fact set of a finite TI-PDB.
 /// Variable i of the lineage corresponds to `ti.facts()[i]`. Quantifiers
 /// follow the infinite-universe semantics of logic/evaluator.h
-/// (adom(T) ∪ consts(φ) ∪ fresh elements).
+/// (adom(T) ∪ consts(φ) ∪ fresh elements). Delegates to the columnar
+/// overload below when the TI carries a store (always, except for
+/// default-constructed TIs).
 StatusOr<NodeId> GroundSentence(const pdb::TiPdb<double>& ti,
                                 const logic::Formula& sentence,
                                 Lineage* lineage);
+
+/// Columnar grounding: atom lookups are dictionary probes plus one
+/// binary search in the relation's sorted run — no per-call
+/// std::map<Fact, int> is materialized. Variable i of the lineage is
+/// global fact i of the store; the produced lineage (node ids, domain
+/// order, hence fingerprints) is identical to the TiPdb overload's.
+StatusOr<NodeId> GroundSentence(const storage::TiStore& store,
+                                const logic::Formula& sentence,
+                                Lineage* lineage);
+
+/// The pre-columnar path — builds an ordered fact-index map over
+/// `ti.facts()` per call. Kept as the benchmark baseline the storage
+/// gate measures against; prefer GroundSentence.
+StatusOr<NodeId> GroundSentenceLegacy(const pdb::TiPdb<double>& ti,
+                                      const logic::Formula& sentence,
+                                      Lineage* lineage);
 
 }  // namespace pqe
 }  // namespace ipdb

@@ -191,6 +191,16 @@ struct LiftedSemiring<math::Rational> {
   };
 };
 
+/// Orders borrowed bucket keys by the pointed-to value, so project
+/// buckets keyed by `const rel::Value*` iterate in exactly the Value
+/// order the old by-value map used — without copying a rel::Value
+/// (potentially a heap string) per key.
+struct ValueDerefLess {
+  bool operator()(const rel::Value* a, const rel::Value* b) const {
+    return *a < *b;
+  }
+};
+
 template <>
 struct LiftedSemiring<Interval> {
   static Interval Zero() { return Interval::Point(0.0); }
@@ -481,10 +491,15 @@ StatusOr<T> LiftedPlan::EvaluateImpl(const pdb::TiPdb<P>& ti, Convert convert,
       const int var = node.project_var;
       // Bucket each in-scope atom's rows by the projected variable's
       // value; rows whose repeated positions disagree (e.g. S(x, x) on a
-      // fact S(1, 2)) drop out here. std::map keeps candidates in Value
-      // order, so double accumulation order is deterministic.
-      std::vector<std::map<rel::Value, std::vector<Row>>> buckets(
-          scope.size());
+      // fact S(1, 2)) drop out here. Keys *borrow* the value from the
+      // fact's argument vector (which outlives the buckets) — the old
+      // by-value keys copied a rel::Value per row per project level,
+      // which dominated allocation on string-heavy instances. The deref
+      // comparator keeps candidates in Value order, so double
+      // accumulation order is unchanged.
+      std::vector<
+          std::map<const rel::Value*, std::vector<Row>, ValueDerefLess>>
+          buckets(scope.size());
       for (size_t k = 0; k < scope.size(); ++k) {
         std::vector<Row>& rows = tables[scope[k]];
         Status charge = meter.Charge(static_cast<int64_t>(rows.size()) + 1);
@@ -505,7 +520,7 @@ StatusOr<T> LiftedPlan::EvaluateImpl(const pdb::TiPdb<P>& ti, Convert convert,
               break;
             }
           }
-          if (consistent) buckets[k][value].push_back(std::move(row));
+          if (consistent) buckets[k][&value].push_back(std::move(row));
         }
       }
       // A candidate contributes 0 unless present in every atom's bucket
@@ -574,6 +589,237 @@ StatusOr<Interval> LiftedPlan::EvaluateInterval(
     const pdb::TiPdb<double>& ti, const LiftedOptions& options) const {
   return EvaluateImpl<Interval>(
       ti, [](double p) { return Interval::Point(p); }, options);
+}
+
+template <typename T, typename ProbAt>
+StatusOr<T> LiftedPlan::EvaluateStoreImpl(const storage::TiStore& store,
+                                          ProbAt prob_at,
+                                          const LiftedOptions& options) const {
+  const rel::Schema& schema = store.schema();
+  for (const Formula& atom : atoms_) {
+    if (!schema.has_relation(atom.relation()) ||
+        schema.arity(atom.relation()) !=
+            static_cast<int>(atom.terms().size())) {
+      return InvalidArgumentError("query does not match the TI schema");
+    }
+  }
+  IPDB_FAULT_POINT("pqe.lifted.evaluate");
+  IPDB_OBS_SPAN("pqe.lifted_eval", "pqe");
+  IPDB_OBS_SCOPED_TIMER("pqe.lifted.eval_ns");
+  const ExecutionBudget* budget =
+      options.budget != nullptr && options.budget->unlimited()
+          ? nullptr
+          : options.budget;
+  if (budget != nullptr) {
+    Status now = budget->CheckTime("pqe.lifted");
+    if (!now.ok()) return now;
+    if (budget->max_recursion_depth > 0 &&
+        depth_ > budget->max_recursion_depth) {
+      return ResourceExhaustedError(
+          "pqe.lifted plan depth " + std::to_string(depth_) +
+          " exceeds the recursion cap of " +
+          std::to_string(budget->max_recursion_depth));
+    }
+  }
+
+  SafePlanStats local;
+  for (const PlanNode& node : nodes_) {
+    if (node.op == PlanOp::kIndependentJoin) ++local.independent_joins;
+    if (node.op == PlanOp::kIndependentProject) ++local.independent_projects;
+  }
+
+  struct Row {
+    uint32_t row;
+    T prob;
+  };
+  // Per-atom row tables straight off the columns: query constants
+  // resolve to dictionary ids once per call (a miss means the value
+  // occurs nowhere in the store, so the atom's table is empty), and the
+  // per-row filter compares uint32 ids — no rel::Fact materialization,
+  // no rel::Value comparisons.
+  std::vector<std::vector<Row>> tables(atoms_.size());
+  std::vector<const storage::ColumnTable*> atom_table(atoms_.size(), nullptr);
+  BudgetMeter meter(budget, 0, "pqe.lifted");
+  if (root_ >= 0) {
+    for (const auto& [relation, a] : relation_atom_) {
+      const storage::ColumnTable& table = store.table(relation);
+      atom_table[a] = &table;
+      const std::vector<int>& vars = term_vars_[a];
+      const std::vector<rel::Value>& consts = term_consts_[a];
+      std::vector<std::pair<int, uint32_t>> const_ids;
+      bool possible = true;
+      for (size_t pos = 0; pos < vars.size(); ++pos) {
+        if (vars[pos] >= 0) continue;
+        const uint32_t id = store.dictionary().Find(consts[pos]);
+        if (id == storage::Dictionary::kNotFound) {
+          possible = false;
+          break;
+        }
+        const_ids.emplace_back(static_cast<int>(pos), id);
+      }
+      if (!possible) continue;
+      const int64_t rows = table.num_rows();
+      Status charge = meter.Charge(rows + 1);
+      if (!charge.ok()) return charge;
+      for (int64_t r = 0; r < rows; ++r) {
+        bool matches = true;
+        for (const auto& [pos, id] : const_ids) {
+          if (table.id(pos, r) != id) {
+            matches = false;
+            break;
+          }
+        }
+        if (matches) {
+          tables[a].push_back(Row{static_cast<uint32_t>(r), prob_at(table, r)});
+        }
+      }
+    }
+  }
+
+  struct Evaluator {
+    const LiftedPlan& plan;
+    std::vector<std::vector<Row>>& tables;
+    const std::vector<const storage::ColumnTable*>& atom_table;
+    BudgetMeter& meter;
+    SafePlanStats& stats;
+    Status error;
+
+    T Eval(int id) {
+      if (!error.ok()) return LiftedSemiring<T>::Zero();
+      Status charge = meter.Charge();
+      if (!charge.ok()) {
+        error = std::move(charge);
+        return LiftedSemiring<T>::Zero();
+      }
+      const PlanNode& node = plan.nodes_[id];
+      switch (node.op) {
+        case PlanOp::kGroundLookup: {
+          ++stats.ground_lookups;
+          const std::vector<Row>& rows = tables[node.atom];
+          return rows.empty() ? LiftedSemiring<T>::Zero()
+                              : rows.front().prob;
+        }
+        case PlanOp::kIndependentJoin: {
+          T product = LiftedSemiring<T>::One();
+          for (int child : node.children) {
+            product = product * Eval(child);
+            if (!error.ok()) return LiftedSemiring<T>::Zero();
+          }
+          return product;
+        }
+        case PlanOp::kIndependentProject:
+          return EvalProject(id, node);
+      }
+      return LiftedSemiring<T>::Zero();
+    }
+
+    T EvalProject(int id, const PlanNode& node) {
+      const std::vector<int>& scope = plan.node_atoms_[id];
+      const int var = node.project_var;
+      // Bucket by the projected variable's dictionary id. Interning is
+      // injective, so id equality is value equality; candidates iterate
+      // in id order (deterministic, though not Value order — exact
+      // results are order-independent and double products commute up to
+      // rounding).
+      std::vector<std::map<uint32_t, std::vector<Row>>> buckets(scope.size());
+      for (size_t k = 0; k < scope.size(); ++k) {
+        std::vector<Row>& rows = tables[scope[k]];
+        Status charge = meter.Charge(static_cast<int64_t>(rows.size()) + 1);
+        if (!charge.ok()) {
+          error = std::move(charge);
+          return LiftedSemiring<T>::Zero();
+        }
+        const std::vector<int>& vars = plan.term_vars_[scope[k]];
+        const storage::ColumnTable& table = *atom_table[scope[k]];
+        size_t first_pos = 0;
+        while (vars[first_pos] != var) ++first_pos;  // root var: occurs
+        for (Row& row : rows) {
+          const uint32_t value =
+              table.id(static_cast<int>(first_pos), row.row);
+          bool consistent = true;
+          for (size_t pos = first_pos + 1; pos < vars.size(); ++pos) {
+            if (vars[pos] == var &&
+                table.id(static_cast<int>(pos), row.row) != value) {
+              consistent = false;
+              break;
+            }
+          }
+          if (consistent) buckets[k][value].push_back(std::move(row));
+        }
+      }
+      size_t guard = 0;
+      for (size_t k = 1; k < scope.size(); ++k) {
+        if (buckets[k].size() < buckets[guard].size()) guard = k;
+      }
+      typename LiftedSemiring<T>::ComplementProduct complement;
+      for (auto& [value, guard_rows] : buckets[guard]) {
+        bool everywhere = true;
+        for (size_t k = 0; k < scope.size() && everywhere; ++k) {
+          if (k != guard) everywhere = buckets[k].count(value) > 0;
+        }
+        if (!everywhere) continue;
+        for (size_t k = 0; k < scope.size(); ++k) {
+          tables[scope[k]] = std::move(buckets[k][value]);
+        }
+        T p = Eval(node.children[0]);
+        if (!error.ok()) return LiftedSemiring<T>::Zero();
+        complement.MulComplement(p);
+      }
+      return complement.Result();
+    }
+  };
+
+  T result = LiftedSemiring<T>::One();
+  if (root_ >= 0) {
+    Evaluator evaluator{*this, tables, atom_table, meter, local,
+                        Status::Ok()};
+    result = evaluator.Eval(root_);
+    if (!evaluator.error.ok()) {
+      return IPDB_STATUS_FORWARD(evaluator.error)
+             << "lifted evaluation aborted";
+    }
+  }
+
+  IPDB_OBS_COUNT("pqe.lifted.evaluations", 1);
+  IPDB_OBS_COUNT("pqe.lifted.independent_joins", local.independent_joins);
+  IPDB_OBS_COUNT("pqe.lifted.independent_projects",
+                 local.independent_projects);
+  IPDB_OBS_COUNT("pqe.lifted.ground_lookups", local.ground_lookups);
+  if (options.stats != nullptr) {
+    options.stats->independent_joins += local.independent_joins;
+    options.stats->independent_projects += local.independent_projects;
+    options.stats->ground_lookups += local.ground_lookups;
+  }
+  return result;
+}
+
+StatusOr<double> LiftedPlan::Evaluate(const storage::TiStore& store,
+                                      const LiftedOptions& options) const {
+  return EvaluateStoreImpl<double>(
+      store,
+      [](const storage::ColumnTable& table, int64_t row) {
+        return table.prob(row);
+      },
+      options);
+}
+
+StatusOr<math::Rational> LiftedPlan::EvaluateExact(
+    const storage::TiStore& store, const LiftedOptions& options) const {
+  for (const auto& [relation, a] : relation_atom_) {
+    if (!store.schema().has_relation(relation)) continue;  // caught below
+    const storage::ColumnTable& table = store.table(relation);
+    if (table.num_exact() != table.num_rows()) {
+      return FailedPreconditionError(
+          "exact lifted evaluation requires an exact marginal for every "
+          "fact of every queried relation");
+    }
+  }
+  return EvaluateStoreImpl<math::Rational>(
+      store,
+      [](const storage::ColumnTable& table, int64_t row) {
+        return *table.ExactAt(row);
+      },
+      options);
 }
 
 std::string LiftedPlan::NodeToString(int node,

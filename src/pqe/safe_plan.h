@@ -9,6 +9,7 @@
 #include "logic/formula.h"
 #include "pdb/ti_pdb.h"
 #include "relational/value.h"
+#include "storage/ti_store.h"
 #include "util/budget.h"
 #include "util/interval.h"
 #include "util/status.h"
@@ -131,6 +132,20 @@ class LiftedPlan {
   StatusOr<P> Evaluate(const pdb::TiPdb<P>& ti,
                        const LiftedOptions& options = {}) const;
 
+  /// Columnar evaluation: scans the store's per-relation column tables
+  /// directly — row tables hold (row index, marginal) pairs, query
+  /// constants resolve to dictionary ids once per call, and project
+  /// buckets key on `uint32_t` ids instead of `rel::Value` copies. No
+  /// rel::Fact or rel::Value is materialized on the hot path.
+  StatusOr<double> Evaluate(const storage::TiStore& store,
+                            const LiftedOptions& options = {}) const;
+
+  /// Exact columnar evaluation from the store's exact side table. Fails
+  /// with kFailedPrecondition unless every fact of every queried
+  /// relation carries an exact marginal.
+  StatusOr<math::Rational> EvaluateExact(
+      const storage::TiStore& store, const LiftedOptions& options = {}) const;
+
   /// Certified enclosure of the query probability from point-interval
   /// marginals (the interval semiring tracks the rounding of the
   /// plan's products; see util/interval.h for the certification model).
@@ -165,6 +180,12 @@ class LiftedPlan {
   template <typename T, typename P, typename Convert>
   StatusOr<T> EvaluateImpl(const pdb::TiPdb<P>& ti, Convert convert,
                            const LiftedOptions& options) const;
+
+  /// Columnar body of Evaluate(TiStore) / EvaluateExact: `prob_at`
+  /// reads a row's marginal as T from its column table.
+  template <typename T, typename ProbAt>
+  StatusOr<T> EvaluateStoreImpl(const storage::TiStore& store, ProbAt prob_at,
+                                const LiftedOptions& options) const;
 
   std::string NodeToString(int node, const rel::Schema& schema) const;
 

@@ -456,7 +456,7 @@ StatusOr<double> QueryProbabilityBruteForce(const pdb::TiPdb<double>& ti,
   for (uint64_t mask = 0; mask < count; ++mask) {
     std::vector<rel::Fact> chosen;
     double probability = 1.0;
-    for (int i = 0; i < ti.num_facts(); ++i) {
+    for (int64_t i = 0; i < ti.num_facts(); ++i) {
       if ((mask >> i) & 1) {
         chosen.push_back(ti.facts()[i].first);
         probability *= ti.facts()[i].second;

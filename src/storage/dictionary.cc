@@ -1,0 +1,136 @@
+#include "storage/dictionary.h"
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace ipdb {
+namespace storage {
+
+namespace {
+
+/// Mixes a 64-bit payload into a well-distributed hash (splitmix64
+/// finalizer) — the open-addressed table has no bucket chains to absorb
+/// clustering, so the hash has to do the work.
+inline size_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<size_t>(x ^ (x >> 31));
+}
+
+}  // namespace
+
+Dictionary::Dictionary() : buckets_(16, kNotFound) {}
+
+size_t Dictionary::HashValue(const rel::Value& value) const {
+  switch (value.kind()) {
+    case rel::Value::Kind::kNull:
+      return Mix(0);
+    case rel::Value::Kind::kInt:
+      return Mix(static_cast<uint64_t>(value.int_value()) ^ 0x1234567887654321ULL);
+    case rel::Value::Kind::kSymbol:
+      return Mix(std::hash<std::string>()(value.symbol()) ^ 0xabcdef0102030405ULL);
+  }
+  return 0;
+}
+
+size_t Dictionary::HashSlot(uint32_t id) const {
+  const Slot& slot = slots_[id];
+  switch (slot.kind) {
+    case rel::Value::Kind::kNull:
+      return Mix(0);
+    case rel::Value::Kind::kInt:
+      return Mix(static_cast<uint64_t>(slot.payload) ^ 0x1234567887654321ULL);
+    case rel::Value::Kind::kSymbol:
+      return Mix(std::hash<std::string>()(
+                     symbols_[static_cast<size_t>(slot.payload)]) ^
+                 0xabcdef0102030405ULL);
+  }
+  return 0;
+}
+
+bool Dictionary::SlotEquals(uint32_t id, const rel::Value& value) const {
+  const Slot& slot = slots_[id];
+  if (slot.kind != value.kind()) return false;
+  switch (slot.kind) {
+    case rel::Value::Kind::kNull:
+      return true;
+    case rel::Value::Kind::kInt:
+      return slot.payload == value.int_value();
+    case rel::Value::Kind::kSymbol:
+      return symbols_[static_cast<size_t>(slot.payload)] == value.symbol();
+  }
+  return false;
+}
+
+void Dictionary::Rehash(size_t new_bucket_count) {
+  buckets_.assign(new_bucket_count, kNotFound);
+  const size_t mask = new_bucket_count - 1;
+  for (uint32_t id = 0; id < slots_.size(); ++id) {
+    size_t bucket = HashSlot(id) & mask;
+    while (buckets_[bucket] != kNotFound) bucket = (bucket + 1) & mask;
+    buckets_[bucket] = id;
+  }
+}
+
+uint32_t Dictionary::Intern(const rel::Value& value) {
+  const size_t mask = buckets_.size() - 1;
+  size_t bucket = HashValue(value) & mask;
+  while (buckets_[bucket] != kNotFound) {
+    if (SlotEquals(buckets_[bucket], value)) return buckets_[bucket];
+    bucket = (bucket + 1) & mask;
+  }
+  IPDB_CHECK_LT(slots_.size(), static_cast<size_t>(kNotFound))
+      << "dictionary overflow: more than 2^32-1 distinct values";
+  const uint32_t id = static_cast<uint32_t>(slots_.size());
+  Slot slot;
+  slot.kind = value.kind();
+  if (value.is_symbol()) {
+    slot.payload = static_cast<int64_t>(symbols_.size());
+    symbols_.push_back(value.symbol());
+  } else {
+    slot.payload = value.is_int() ? value.int_value() : 0;
+  }
+  slots_.push_back(std::move(slot));
+  buckets_[bucket] = id;
+  // Keep the load factor at or below 1/2 so probe chains stay short.
+  if (slots_.size() * 2 > buckets_.size()) Rehash(buckets_.size() * 2);
+  return id;
+}
+
+uint32_t Dictionary::Find(const rel::Value& value) const {
+  const size_t mask = buckets_.size() - 1;
+  size_t bucket = HashValue(value) & mask;
+  while (buckets_[bucket] != kNotFound) {
+    if (SlotEquals(buckets_[bucket], value)) return buckets_[bucket];
+    bucket = (bucket + 1) & mask;
+  }
+  return kNotFound;
+}
+
+rel::Value Dictionary::ValueAt(uint32_t id) const {
+  IPDB_CHECK_LT(static_cast<size_t>(id), slots_.size());
+  const Slot& slot = slots_[id];
+  switch (slot.kind) {
+    case rel::Value::Kind::kNull:
+      return rel::Value::Null();
+    case rel::Value::Kind::kInt:
+      return rel::Value::Int(slot.payload);
+    case rel::Value::Kind::kSymbol:
+      return rel::Value::Symbol(symbols_[static_cast<size_t>(slot.payload)]);
+  }
+  return rel::Value::Null();
+}
+
+int64_t Dictionary::ApproxBytes() const {
+  int64_t bytes = static_cast<int64_t>(slots_.capacity() * sizeof(Slot)) +
+                  static_cast<int64_t>(buckets_.capacity() * sizeof(uint32_t));
+  for (const std::string& s : symbols_) {
+    bytes += static_cast<int64_t>(sizeof(std::string) + s.capacity());
+  }
+  return bytes;
+}
+
+}  // namespace storage
+}  // namespace ipdb

@@ -1,0 +1,77 @@
+#ifndef IPDB_STORAGE_DICTIONARY_H_
+#define IPDB_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace ipdb {
+namespace storage {
+
+/// Interns `rel::Value` payloads to dense `uint32_t` ids, the encoding
+/// that makes columnar fact storage possible: a fact's arguments become
+/// a fixed-width row of ids, and value equality becomes integer
+/// equality. Ids are assigned in interning order (0, 1, 2, …) and are
+/// stable for the dictionary's lifetime — erasing is deliberately not
+/// supported, so every column of every table sharing this dictionary
+/// stays valid as new values arrive.
+///
+/// The representation is deliberately compact (the dictionary is part
+/// of the ≤48 bytes/fact budget of the 10M-fact target): one 16-byte
+/// slot per distinct value (kind + int payload or symbol-arena index)
+/// plus an open-addressed id index at ≤50% load — no per-entry heap
+/// nodes, no std::unordered_map buckets.
+///
+/// Not internally synchronized: concurrent readers are fine, writers
+/// need external exclusion (the TiStore mutators that intern are
+/// documented single-writer).
+class Dictionary {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  Dictionary();
+
+  /// The id of `value`, interning it if new. At most 2^32 − 1 distinct
+  /// values are supported (checked).
+  uint32_t Intern(const rel::Value& value);
+
+  /// The id of `value`, or kNotFound — never interns. This is the probe
+  /// used when resolving query constants: a constant outside the
+  /// dictionary cannot match any stored fact.
+  uint32_t Find(const rel::Value& value) const;
+
+  /// Materializes the value behind an id; id must be < size().
+  rel::Value ValueAt(uint32_t id) const;
+
+  /// Number of distinct interned values.
+  int64_t size() const { return static_cast<int64_t>(slots_.size()); }
+
+  /// Estimated heap footprint (slots + index + symbol arena).
+  int64_t ApproxBytes() const;
+
+ private:
+  /// One interned value: kNull/kInt keep the payload inline; kSymbol
+  /// stores an index into the symbol arena.
+  struct Slot {
+    rel::Value::Kind kind;
+    int64_t payload;
+  };
+
+  size_t HashValue(const rel::Value& value) const;
+  size_t HashSlot(uint32_t id) const;
+  bool SlotEquals(uint32_t id, const rel::Value& value) const;
+  void Rehash(size_t new_bucket_count);
+
+  std::vector<Slot> slots_;
+  std::vector<std::string> symbols_;
+  /// Open-addressed index: bucket -> id, kNotFound = empty. Size is a
+  /// power of two, kept at least 2x the entry count.
+  std::vector<uint32_t> buckets_;
+};
+
+}  // namespace storage
+}  // namespace ipdb
+
+#endif  // IPDB_STORAGE_DICTIONARY_H_
