@@ -1,0 +1,321 @@
+// Closed-loop (and open-arrival) load harness for the embedded query
+// service — the gate for the serving PR. Drives a multi-tenant Engine
+// with concurrent clients and reports, per load point:
+//
+//   * p50/p99 client-observed latency and sustained throughput,
+//   * shed rate (kUnavailable admissions / offered load),
+//   * degraded-admission and fallback-answer rates,
+//   * the per-tenant artifact-cache hit breakdown, and
+//   * accounting_drift: 0 iff the shared cache's per-tenant accounting
+//     still partitions the resident set exactly after the run.
+//
+// Modes:
+//   closed/N — N clients, each issuing the mixed workload synchronously
+//              (a client's next request waits for its previous answer);
+//              offered load adapts to service capacity, so shed_rate
+//              stays ~0 and the row measures latency under concurrency.
+//   open/overload — submissions arrive on a fixed schedule faster than
+//              service capacity (no waiting), so the admission ladder
+//              must shed; the row measures graceful degradation.
+//
+// Rows merge into BENCH_serve.json (ipdb-bench-v1, suite serve_bench):
+//   {"suite": "serve_bench", "op": "closed/16", "ns_per_op": <mean>,
+//    "iterations": <completed>, "counters": {"p50_ms": ..,
+//    "p99_ms": .., "qps": .., "shed_rate": .., "degraded_rate": ..,
+//    "fallback_rate": .., "lifted_rate": .., "cache_hits": ..,
+//    "cache_misses": .., "accounting_drift": 0}}
+//
+// Flags: --bench_json_out=PATH (default BENCH_serve.json),
+//        --quick (CI-sized run), --clients_max=N (cap the closed rows).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "kc/cache.h"
+#include "pdb/ti_pdb.h"
+#include "server/engine.h"
+#include "server/tenant.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedNs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              since)
+      .count();
+}
+
+/// The served instance: R(x), S(x, y), T(y) with a few hub constants.
+pdb::TiPdbD BuildInstance(int hubs) {
+  rel::Schema schema({{"R", 1}, {"S", 2}, {"T", 1}});
+  pdb::TiPdbD::FactList facts;
+  for (int i = 0; i < hubs; ++i) {
+    facts.emplace_back(rel::Fact(0, {rel::Value::Int(i)}),
+                       0.25 + 0.03 * (i % 9));
+    for (int j = 0; j < 3; ++j) {
+      facts.emplace_back(
+          rel::Fact(1, {rel::Value::Int(i), rel::Value::Int(j)}),
+          0.15 + 0.02 * ((i + j) % 11));
+    }
+  }
+  for (int j = 0; j < 3; ++j) {
+    facts.emplace_back(rel::Fact(2, {rel::Value::Int(j)}),
+                       0.3 + 0.1 * j);
+  }
+  return pdb::TiPdbD::CreateOrDie(schema, facts);
+}
+
+/// The mixed workload: a cheap lifted query, repeated unsafe queries
+/// (cache hits after the first compile), and per-constant variants that
+/// churn distinct artifacts through the shared cache.
+std::vector<std::string> Workload() {
+  std::vector<std::string> queries = {
+      "exists x y. R(x) & S(x, y)",                     // lifted, exact
+      "exists x y. R(x) & S(x, y) & T(y)",              // circuit, cached
+      "exists x. R(x) & S(x, 0) & S(x, 1)",             // self-join: circuit
+      "exists x y. R(x) & S(x, y) & T(y) & S(x, 2)",    // self-join: circuit
+      "exists x y. S(x, y) & T(y)",                     // lifted, exact
+  };
+  return queries;
+}
+
+struct LoadPoint {
+  std::string op;
+  int64_t offered = 0;    // submissions attempted
+  int64_t completed = 0;  // OK results
+  int64_t shed = 0;       // kUnavailable at admission
+  int64_t errors = 0;     // non-shed failures (should stay 0)
+  int64_t degraded = 0;   // admitted on the sample-only rung
+  int64_t fallback = 0;   // answers below kExact
+  int64_t lifted = 0;     // answers from the safe-plan rung
+  std::vector<int64_t> latencies_ns;
+  int64_t wall_ns = 1;
+};
+
+double PercentileMs(std::vector<int64_t>* latencies, double q) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(latencies->size() - 1) + 0.5);
+  return static_cast<double>((*latencies)[index]) * 1e-6;
+}
+
+void Tally(const StatusOr<server::QueryResult>& result, LoadPoint* point,
+           std::mutex* mu) {
+  std::lock_guard<std::mutex> lock(*mu);
+  if (result.ok()) {
+    ++point->completed;
+    point->latencies_ns.push_back(result.value().total_ns);
+    if (result.value().degraded) ++point->degraded;
+    if (result.value().answer.quality != pqe::AnswerQuality::kExact) {
+      ++point->fallback;
+    }
+    if (result.value().answer.lifted) ++point->lifted;
+  } else if (result.status().code() == StatusCode::kUnavailable) {
+    ++point->shed;
+  } else {
+    ++point->errors;
+  }
+}
+
+/// closed/N: each client waits for its own previous answer.
+LoadPoint RunClosed(server::Engine* engine, int clients, int per_client) {
+  LoadPoint point;
+  point.op = "closed/" + std::to_string(clients);
+  const std::vector<std::string> queries = Workload();
+  std::mutex mu;
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::string tenant = (c % 2 == 0) ? "alpha" : "beta";
+      for (int i = 0; i < per_client; ++i) {
+        const std::string& query =
+            queries[static_cast<size_t>(c + i) % queries.size()];
+        StatusOr<server::QueryResult> result =
+            engine->Query(tenant, "db", query);
+        Tally(result, &point, &mu);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  point.offered = static_cast<int64_t>(clients) * per_client;
+  point.wall_ns = std::max<int64_t>(1, ElapsedNs(start));
+  return point;
+}
+
+/// open/overload: a fixed arrival schedule that outruns capacity — the
+/// submitter never waits for completions, so the ladder must shed.
+LoadPoint RunOpenOverload(server::Engine* engine, int submissions) {
+  LoadPoint point;
+  point.op = "open/overload";
+  std::mutex mu;
+  const Clock::time_point start = Clock::now();
+  std::vector<std::shared_ptr<server::PendingQuery>> pendings;
+  pendings.reserve(static_cast<size_t>(submissions));
+  // The overload tenant's compile rung is capped, so every admitted
+  // query Monte Carlos for a while: arrivals outpace service by
+  // construction, whatever the host's core count.
+  for (int i = 0; i < submissions; ++i) {
+    StatusOr<std::shared_ptr<server::PendingQuery>> pending =
+        engine->Submit("gamma", "db", "exists x y. R(x) & S(x, y) & T(y)");
+    if (pending.ok()) {
+      pendings.push_back(pending.value());
+    } else {
+      Tally(pending.status(), &point, &mu);
+    }
+  }
+  for (const auto& pending : pendings) {
+    Tally(pending->Wait(), &point, &mu);
+  }
+  point.offered = submissions;
+  point.wall_ns = std::max<int64_t>(1, ElapsedNs(start));
+  return point;
+}
+
+std::string RowFor(server::Engine* engine, LoadPoint point) {
+  const double completed = static_cast<double>(point.completed);
+  const double offered =
+      std::max<double>(1.0, static_cast<double>(point.offered));
+  const double mean_ns =
+      point.latencies_ns.empty()
+          ? 0.0
+          : [&] {
+              double sum = 0.0;
+              for (int64_t ns : point.latencies_ns) {
+                sum += static_cast<double>(ns);
+              }
+              return sum / completed;
+            }();
+  const double p50 = PercentileMs(&point.latencies_ns, 0.50);
+  const double p99 = PercentileMs(&point.latencies_ns, 0.99);
+  const double qps = completed * 1e9 / static_cast<double>(point.wall_ns);
+
+  server::TenantUsage alpha = engine->Usage("alpha").value();
+  server::TenantUsage beta = engine->Usage("beta").value();
+  server::TenantUsage gamma = engine->Usage("gamma").value();
+  const double cache_hits = static_cast<double>(
+      alpha.cache.hits + beta.cache.hits + gamma.cache.hits);
+  const double cache_misses = static_cast<double>(
+      alpha.cache.misses + beta.cache.misses + gamma.cache.misses);
+  const double drift =
+      kc::GlobalCompiledQueryCache().CheckAccounting().ok() ? 0.0 : 1.0;
+
+  std::fprintf(stderr,
+               "%-14s offered=%6lld completed=%6lld shed=%5lld "
+               "p50=%8.3fms p99=%8.3fms qps=%9.1f shed_rate=%.3f\n",
+               point.op.c_str(), static_cast<long long>(point.offered),
+               static_cast<long long>(point.completed),
+               static_cast<long long>(point.shed), p50, p99, qps,
+               static_cast<double>(point.shed) / offered);
+
+  return bench_json::ResultLine(
+      "serve_bench", point.op, mean_ns, point.completed,
+      {{"p50_ms", p50},
+       {"p99_ms", p99},
+       {"qps", qps},
+       {"shed_rate", static_cast<double>(point.shed) / offered},
+       {"error_rate", static_cast<double>(point.errors) / offered},
+       {"degraded_rate", completed > 0 ? point.degraded / completed : 0.0},
+       {"fallback_rate", completed > 0 ? point.fallback / completed : 0.0},
+       {"lifted_rate", completed > 0 ? point.lifted / completed : 0.0},
+       {"cache_hits", cache_hits},
+       {"cache_misses", cache_misses},
+       {"accounting_drift", drift}});
+}
+
+int Run(int argc, char** argv) {
+  std::string json_path =
+      bench_json::ExtractFlag(&argc, argv, "--bench_json_out");
+  if (json_path.empty()) json_path = "BENCH_serve.json";
+  // --quick is presence-only; ExtractFlag would swallow the next
+  // argument as its value, so scan for the literal token instead.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  std::string clients_flag =
+      bench_json::ExtractFlag(&argc, argv, "--clients_max");
+  const int clients_max =
+      clients_flag.empty() ? 16 : std::max(1, std::atoi(clients_flag.c_str()));
+
+  kc::GlobalCompiledQueryCache().Clear();
+  server::EngineOptions options;
+  options.admission.max_queue_depth = 64;
+  server::Engine engine(options);
+  Status status = engine.RegisterInstance("db", BuildInstance(quick ? 24 : 48));
+  if (!status.ok()) {
+    std::fprintf(stderr, "register instance: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  // Two well-behaved tenants with budgets and cache quotas (alpha's
+  // residency is capped, so eviction fairness runs under load), plus
+  // the overload tenant whose queries are deliberately expensive.
+  const char* tenants[][2] = {
+      {"alpha", "budget_ms=2000 cache_max_entries=8"},
+      {"beta", "budget_ms=2000"},
+      {"gamma",
+       "lifted=false max_circuit_nodes=1 fallback_samples=20000 "
+       "degraded_samples=4000 max_in_flight=512"},
+  };
+  for (const auto& tenant : tenants) {
+    status = engine.RegisterTenant(tenant[0], std::string(tenant[1]));
+    if (!status.ok()) {
+      std::fprintf(stderr, "register tenant %s: %s\n", tenant[0],
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Warmup compiles the workload's artifacts once, so the measured rows
+  // see the steady-state hit path the service is designed around.
+  for (const std::string& query : Workload()) {
+    (void)engine.Query("alpha", "db", query);
+    (void)engine.Query("beta", "db", query);
+  }
+
+  const int per_client = quick ? 40 : 200;
+  std::vector<std::string> rows;
+  for (int clients : {1, 4, 16}) {
+    if (clients > clients_max) break;
+    rows.push_back(
+        RowFor(&engine, RunClosed(&engine, clients, per_client)));
+  }
+  rows.push_back(
+      RowFor(&engine, RunOpenOverload(&engine, quick ? 400 : 1200)));
+
+  status = engine.Stop();
+  if (!status.ok()) {
+    std::fprintf(stderr, "stop: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  bench_json::MergeIntoFile(json_path, "serve_bench", rows);
+  std::fprintf(stderr, "wrote %zu result(s) for suite 'serve_bench' to %s\n",
+               rows.size(), json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipdb
+
+int main(int argc, char** argv) { return ipdb::Run(argc, argv); }

@@ -34,3 +34,7 @@ ipdb_add_gbench(moments_microbench)
 ipdb_add_gbench(sampling_bench)
 ipdb_add_gbench(math_bench)
 ipdb_add_gbench(storage_bench)
+# serve_bench has its own closed-loop main (no Google-Benchmark runner)
+# but shares the bench_json.h reporting header, which needs the
+# benchmark include path.
+ipdb_add_gbench(serve_bench)

@@ -13,9 +13,11 @@
 # speedup on the chain query at 10^4 facts), the columnar fact store
 # (<= 48 bytes/fact at 10^7 facts, >= 5x grounding speedup over the
 # legacy object-per-tuple path, incremental re-query >= 10x faster than
-# cold), the observability overhead (instrumented within 5% of
-# compiled-out), and the trace exporter (span coverage + counter
-# consistency on a real trace artifact).
+# cold), the query service under closed-loop load (serve_bench: p99
+# latency budget at 16 clients, bounded shed rates, zero cross-tenant
+# cache-accounting drift), the observability overhead (instrumented
+# within 5% of compiled-out), and the trace exporter (span coverage +
+# counter consistency on a real trace artifact).
 # Usage: ./ci.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -64,15 +66,17 @@ echo "=== thread-sanitized build + concurrency tests ==="
 # TSan over the code that shares state across threads: the pool's
 # drain-on-error batches, budget/cancellation polling from workers, the
 # sharded Monte Carlo engines, the metrics registry, the lifted rung's
-# counter/cancellation traffic (safe_plan_test, lifted_parity_test), and
-# the columnar store's concurrent readers + dependent-artifact
-# registrations (storage_test).
+# counter/cancellation traffic (safe_plan_test, lifted_parity_test), the
+# columnar store's concurrent readers + dependent-artifact
+# registrations (storage_test), and the query service (server_test: the
+# 16-thread concurrent-serving parity run, shared PreparedQuery handles
+# racing the refresh machinery, admission + shutdown drain).
 cmake -B build-tsan -S . -DIPDB_SANITIZE="thread" >/dev/null
 cmake --build build-tsan -j"${jobs}" --target \
   parallel_test budget_test obs_test pqe_test fault_test \
-  safe_plan_test lifted_parity_test storage_test
+  safe_plan_test lifted_parity_test storage_test server_test
 ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
-  -R '^(parallel_test|budget_test|obs_test|pqe_test|fault_test|safe_plan_test|lifted_parity_test|storage_test)$'
+  -R '^(parallel_test|budget_test|obs_test|pqe_test|fault_test|safe_plan_test|lifted_parity_test|storage_test|server_test)$'
 
 echo "=== release build + tests (-O2 -DNDEBUG) ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
@@ -187,6 +191,56 @@ verdict = "ok" if requery >= 10.0 else "FAIL (< 10x)"
 print(f"  incremental re-query speedup:  {requery:6.1f}x    {verdict}")
 failed |= requery < 10.0
 
+sys.exit(1 if failed else 0)
+EOF
+
+echo "=== query-service load gates (Release, serve_bench) ==="
+# The closed-loop harness drives the multi-tenant front door at 1/4/16
+# concurrent clients plus an open-arrival overload burst, and gates:
+#  * p99 latency at the closed 16-client row stays under 250 ms — the
+#    serving budget for the mixed workload on a warm artifact cache;
+#  * the closed rows shed (almost) nothing: a closed loop offers at
+#    most its client count in flight, far below the admission ceiling;
+#  * the overload row sheds SOME but not everything: the ladder
+#    degrades gracefully instead of collapsing or silently queueing;
+#  * no row reports non-shed errors;
+#  * accounting_drift == 0: per-tenant accounting of the shared
+#    artifact cache still partitions the resident set exactly.
+serve_json="build-release/BENCH_serve.json"
+rm -f "${serve_json}"
+./build-release/bench/serve_bench --quick \
+  --bench_json_out="${serve_json}" >/dev/null
+python3 - "${serve_json}" <<'EOF'
+import json, sys
+
+rows = {r["op"]: r["counters"] for r in
+        json.load(open(sys.argv[1]))["results"]}
+failed = False
+
+def gate(label, ok):
+    global failed
+    print(f"  {label:58s} {'ok' if ok else 'FAIL'}")
+    failed |= not ok
+
+for op in ("closed/1", "closed/4", "closed/16", "open/overload"):
+    assert op in rows, f"row {op} missing from BENCH_serve.json"
+
+p99 = rows["closed/16"]["p99_ms"]
+gate(f"closed/16 p99 = {p99:.1f} ms (budget 250 ms)", p99 <= 250.0)
+for op in ("closed/1", "closed/4", "closed/16"):
+    shed = rows[op]["shed_rate"]
+    gate(f"{op} shed_rate = {shed:.3f} (closed loop, <= 0.01)",
+         shed <= 0.01)
+overload = rows["open/overload"]["shed_rate"]
+gate(f"open/overload shed_rate = {overload:.3f} (in (0, 0.99])",
+     0.0 < overload <= 0.99)
+for op, counters in rows.items():
+    gate(f"{op} error_rate = {counters['error_rate']:.3f} (== 0)",
+         counters["error_rate"] == 0.0)
+    gate(f"{op} accounting_drift = {counters['accounting_drift']:.0f}",
+         counters["accounting_drift"] == 0.0)
+hits = rows["closed/16"]["cache_hits"]
+gate(f"closed/16 artifact-cache hits = {hits:.0f} (> 0)", hits > 0)
 sys.exit(1 if failed else 0)
 EOF
 

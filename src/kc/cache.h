@@ -8,12 +8,48 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "kc/compile.h"
 #include "util/status.h"
 
 namespace ipdb {
 namespace kc {
+
+/// Identifies who is charged for artifact-cache traffic. Owner 0 is the
+/// anonymous/shared owner every probe uses by default; the query service
+/// assigns each tenant a non-zero owner id and wraps query execution in
+/// a ScopedCacheOwner so that hits, misses, resident entries and bytes
+/// are attributed per tenant even though the cache itself is shared.
+using CacheOwner = uint32_t;
+
+/// Per-owner accounting of a shared CompiledQueryCache. `entries` and
+/// `bytes` describe the owner's residency right now (an entry belongs to
+/// the owner whose probe compiled it); the tallies are cumulative.
+struct CacheOwnerStats {
+  int64_t entries = 0;
+  int64_t bytes = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+};
+
+/// Installs `owner` as this thread's ambient cache owner for the scope's
+/// lifetime (restores the previous owner on destruction; nests).
+class ScopedCacheOwner {
+ public:
+  explicit ScopedCacheOwner(CacheOwner owner);
+  ~ScopedCacheOwner();
+  ScopedCacheOwner(const ScopedCacheOwner&) = delete;
+  ScopedCacheOwner& operator=(const ScopedCacheOwner&) = delete;
+
+ private:
+  CacheOwner previous_;
+};
+
+/// The ambient owner installed by the innermost live ScopedCacheOwner on
+/// this thread (0 when none is installed).
+CacheOwner CurrentCacheOwner();
 
 /// An LRU cache of compiled d-DNNF artifacts keyed by the 128-bit
 /// structural lineage fingerprint. Repeated queries whose grounding
@@ -57,6 +93,33 @@ class CompiledQueryCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  // --- Per-owner (tenant) accounting -------------------------------
+  //
+  // Every probe is charged to CurrentCacheOwner(): a hit or miss tallies
+  // against the prober, and a miss-compiled artifact is *owned* by the
+  // prober until it leaves the cache, so `entries`/`bytes` partition the
+  // resident set exactly (CheckAccounting gates the invariant in CI).
+
+  /// Caps an owner's resident footprint. Before inserting an artifact
+  /// for an owner over either cap, the owner's own least-recently-used
+  /// entries are evicted first — a tenant that floods the cache pays
+  /// with its own residency, not its neighbours'. 0 = uncapped.
+  void SetOwnerLimits(CacheOwner owner, int64_t max_bytes,
+                      int64_t max_entries);
+
+  /// Accounting for one owner (zeroes for an owner never seen).
+  CacheOwnerStats OwnerStats(CacheOwner owner) const;
+
+  /// Accounting for every owner with any recorded traffic, sorted by
+  /// owner id.
+  std::vector<std::pair<CacheOwner, CacheOwnerStats>> AccountingSnapshot()
+      const;
+
+  /// Verifies the cross-owner accounting invariant: per-owner entries
+  /// sum to size() and per-owner bytes sum to approx_bytes(). Any drift
+  /// (a misattributed eviction, a double charge) surfaces as kInternal.
+  Status CheckAccounting() const;
+
   // Counters are atomics, so these accessors are lock-free and safe to
   // poll while other threads are querying. The same tallies flow into
   // the global metrics registry ("kc.artifact_cache.*"), where they are
@@ -78,12 +141,36 @@ class CompiledQueryCache {
       return static_cast<size_t>(key.first ^ (key.second * 0x9e3779b97f4a7c15ULL));
     }
   };
-  using Entry = std::pair<Key, std::shared_ptr<const CompiledQuery>>;
+  struct Entry {
+    Key key;
+    std::shared_ptr<const CompiledQuery> artifact;
+    CacheOwner owner = 0;
+    int64_t bytes = 0;
+  };
+  struct OwnerLimits {
+    int64_t max_bytes = 0;    // 0 = uncapped
+    int64_t max_entries = 0;  // 0 = uncapped
+  };
+
+  /// Removes one entry, updating global and per-owner accounting.
+  /// `invalidation` distinguishes fingerprint invalidations from
+  /// capacity evictions in the registry counters.
+  void EvictLocked(std::list<Entry>::iterator it, bool invalidation);
+  /// Evicts `owner`'s least-recently-used entry; false when the owner
+  /// has no resident entries.
+  bool EvictOwnerLruLocked(CacheOwner owner);
+  /// Capacity eviction with cross-owner fairness: the owner holding the
+  /// most entries sheds its own LRU entry when it is over its fair share
+  /// of the capacity; otherwise the global LRU tail goes.
+  void EvictForCapacityLocked();
+  void PublishGaugesLocked();
 
   mutable std::mutex mutex_;
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::unordered_map<CacheOwner, CacheOwnerStats> owners_;
+  std::unordered_map<CacheOwner, OwnerLimits> owner_limits_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};

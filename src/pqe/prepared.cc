@@ -88,10 +88,17 @@ Status PreparedQuery::Refresh() {
 
 StatusOr<double> PreparedQuery::Query() {
   if (plan_ != nullptr) {
+    // Safe-plan mode is lock-free: the plan is immutable after Prepare
+    // and Evaluate keeps no state on the handle, so concurrent callers
+    // scan the store's columns independently.
     LiftedOptions lifted_options;
     lifted_options.budget = options_.budget;
     return plan_->Evaluate(*store_, lifted_options);
   }
+  // Circuit mode mutates the memoized answer/marginals on refresh, so
+  // concurrent callers serialize; whoever wins the lock performs the
+  // refresh and the rest see the already-current answer.
+  std::lock_guard<std::mutex> lock(*mu_);
   const uint64_t structure = store_->structure_generation();
   if (structure != structure_generation_) {
     Status cold = Rebuild();

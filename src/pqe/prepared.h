@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "kc/compile.h"
@@ -36,6 +38,15 @@ namespace pqe {
 /// kc::GlobalCompiledQueryCache() and registers the compiled
 /// fingerprint as a structural dependent — the storage layer stays
 /// free of a kc dependency, the pqe layer closes the loop.
+///
+/// Thread model: Query() and the counter accessors are safe for any
+/// number of concurrent callers on one handle — the query service
+/// shares prepared handles per tenant, so refreshes and recompiles are
+/// serialized by an internal mutex (safe-plan answers take no lock:
+/// the plan is immutable after Prepare). Store *mutations* remain
+/// single-writer per the TiStore contract; concurrency here means many
+/// readers racing each other and the refresh machinery, not racing the
+/// mutators.
 struct PreparedOptions {
   /// Answer hierarchical self-join-free CQs by the safe plan (no
   /// circuit, no cache). Off forces the ground-compile-evaluate
@@ -61,23 +72,38 @@ class PreparedQuery {
   bool lifted() const { return plan_ != nullptr; }
   /// Cold re-ground + recompile passes triggered by structural
   /// mutations (the Prepare-time pass is not counted).
-  int64_t recompiles() const { return recompiles_; }
+  int64_t recompiles() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return recompiles_;
+  }
   /// Probability-only refreshes that reused the compiled circuit.
-  int64_t incremental_refreshes() const { return incremental_refreshes_; }
+  int64_t incremental_refreshes() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return incremental_refreshes_;
+  }
   /// The compiled artifact's lineage fingerprint (circuit mode only).
-  std::pair<uint64_t, uint64_t> fingerprint() const { return fingerprint_; }
+  std::pair<uint64_t, uint64_t> fingerprint() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return fingerprint_;
+  }
 
  private:
   PreparedQuery() = default;
 
-  /// Ground + compile + register + evaluate (the cold path).
+  /// Ground + compile + register + evaluate (the cold path). Caller
+  /// holds mu_ (except during Prepare, before the handle is shared).
   Status Rebuild();
-  /// Re-read marginals and re-evaluate the cached circuit.
+  /// Re-read marginals and re-evaluate the cached circuit (mu_ held).
   Status Refresh();
 
   std::shared_ptr<const storage::TiStore> store_;
   logic::Formula sentence_;
   Options options_;
+
+  /// Serializes the circuit-mode state below across concurrent Query()
+  /// callers. Heap-held so the handle stays movable (Prepare returns by
+  /// value); never null after construction.
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
 
   // Safe-plan mode.
   std::unique_ptr<LiftedPlan> plan_;

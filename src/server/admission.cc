@@ -1,0 +1,58 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace ipdb {
+namespace server {
+
+const char* AdmissionName(Admission admission) {
+  switch (admission) {
+    case Admission::kFull: return "full";
+    case Admission::kDegraded: return "degraded";
+    case Admission::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  options_.max_queue_depth = std::max<int64_t>(1, options_.max_queue_depth);
+  options_.window = std::max(1, options_.window);
+  window_.assign(static_cast<size_t>(options_.window), 0);
+}
+
+Admission AdmissionController::Decide(int64_t queue_depth) {
+  if (queue_depth >= options_.max_queue_depth) {
+    IPDB_OBS_COUNT("serve.admission.shed", 1);
+    return Admission::kShed;
+  }
+  const double degrade_depth =
+      options_.degrade_fraction * static_cast<double>(options_.max_queue_depth);
+  if (static_cast<double>(queue_depth) >= degrade_depth ||
+      FallbackRate() >= options_.fallback_degrade_rate) {
+    IPDB_OBS_COUNT("serve.admission.degraded", 1);
+    return Admission::kDegraded;
+  }
+  IPDB_OBS_COUNT("serve.admission.full", 1);
+  return Admission::kFull;
+}
+
+void AdmissionController::RecordOutcome(bool fell_back) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint8_t value = fell_back ? 1 : 0;
+  fallbacks_ += value - window_[static_cast<size_t>(next_)];
+  window_[static_cast<size_t>(next_)] = value;
+  next_ = (next_ + 1) % options_.window;
+  filled_ = std::min(filled_ + 1, options_.window);
+}
+
+double AdmissionController::FallbackRate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (filled_ < (options_.window + 1) / 2) return 0.0;
+  return static_cast<double>(fallbacks_) / static_cast<double>(filled_);
+}
+
+}  // namespace server
+}  // namespace ipdb

@@ -1,0 +1,242 @@
+#include "server/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include "obs/obs.h"
+
+namespace ipdb {
+namespace server {
+
+namespace {
+
+std::atomic<bool> g_signal_requested{false};
+
+void OnSignal(int /*signum*/) {
+  g_signal_requested.store(true, std::memory_order_release);
+}
+
+const char* QualityName(pqe::AnswerQuality quality) {
+  switch (quality) {
+    case pqe::AnswerQuality::kExact: return "exact";
+    case pqe::AnswerQuality::kInterval: return "interval";
+    case pqe::AnswerQuality::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// "ERR CODE message" with newlines flattened (the protocol is
+/// line-framed).
+std::string ErrorLine(const Status& status) {
+  std::string message = status.message();
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  std::string line = "ERR ";
+  line += StatusCodeName(status.code());
+  if (!message.empty()) {
+    line += ' ';
+    line += message;
+  }
+  return line;
+}
+
+std::string ResultLine(const QueryResult& result) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "OK " << result.answer.probability << ' ' << result.answer.half_width
+      << ' ' << result.answer.confidence << ' '
+      << QualityName(result.answer.quality) << ' '
+      << (result.answer.lifted ? 1 : 0) << ' ' << (result.degraded ? 1 : 0);
+  return out.str();
+}
+
+}  // namespace
+
+Daemon::Daemon(Engine* engine, const DaemonOptions& options)
+    : engine_(engine), options_(options) {}
+
+Daemon::~Daemon() { Stop(); }
+
+Status Daemon::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return InvalidArgumentError("daemon already started");
+    started_ = true;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return IPDB_STATUS(StatusCode::kUnavailable)
+           << "socket() failed: " << std::strerror(errno);
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      htonl(options_.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return IPDB_STATUS(StatusCode::kUnavailable)
+           << "bind() failed: " << std::strerror(errno);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return IPDB_STATUS(StatusCode::kUnavailable)
+           << "listen() failed: " << std::strerror(errno);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  IPDB_OBS_COUNT("serve.daemon.starts", 1);
+  return Status::Ok();
+}
+
+void Daemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  stop_.store(true, std::memory_order_release);
+  {
+    // Unblock connection reads so their poll loops observe the flag.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  IPDB_OBS_COUNT("serve.daemon.stops", 1);
+}
+
+void Daemon::InstallSignalHandler() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool Daemon::signal_requested() {
+  return g_signal_requested.load(std::memory_order_acquire);
+}
+
+void Daemon::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    connection_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { Serve(fd); });
+    IPDB_OBS_COUNT("serve.daemon.connections", 1);
+  }
+}
+
+void Daemon::Serve(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit && !stop_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // peer closed or error
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::string response = HandleLine(line);
+      if (response == "BYE") quit = true;
+      response.push_back('\n');
+      size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t wrote =
+            ::send(fd, response.data() + sent, response.size() - sent, 0);
+        if (wrote <= 0) {
+          quit = true;
+          break;
+        }
+        sent += static_cast<size_t>(wrote);
+      }
+    }
+  }
+  ::close(fd);
+}
+
+std::string Daemon::HandleLine(const std::string& line) {
+  IPDB_OBS_COUNT("serve.daemon.requests", 1);
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  if (command.empty()) return "ERR INVALID_ARGUMENT empty request";
+  if (command == "PING") return "PONG";
+  if (command == "QUIT") return "BYE";
+  if (command == "METRICS") return Engine::MetricsJson();
+  if (command == "QUERY" || command == "PQUERY") {
+    std::string tenant;
+    std::string instance;
+    in >> tenant >> instance;
+    std::string formula;
+    std::getline(in, formula);
+    const size_t start = formula.find_first_not_of(" \t");
+    formula = start == std::string::npos ? "" : formula.substr(start);
+    if (tenant.empty() || instance.empty() || formula.empty()) {
+      return "ERR INVALID_ARGUMENT usage: " + command +
+             " <tenant> <instance> <formula>";
+    }
+    StatusOr<QueryResult> result =
+        command == "QUERY" ? engine_->Query(tenant, instance, formula)
+                           : engine_->QueryPrepared(tenant, instance, formula);
+    if (!result.ok()) return ErrorLine(result.status());
+    return ResultLine(result.value());
+  }
+  return "ERR INVALID_ARGUMENT unknown command '" + command + "'";
+}
+
+}  // namespace server
+}  // namespace ipdb

@@ -1,0 +1,98 @@
+#ifndef IPDB_SERVER_DAEMON_H_
+#define IPDB_SERVER_DAEMON_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/engine.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace server {
+
+/// Daemon knobs. Port 0 binds an ephemeral port (tests); the bound port
+/// is readable from port() after Start.
+struct DaemonOptions {
+  int port = 0;
+  /// Loopback-only by default; set false to bind INADDR_ANY.
+  bool loopback_only = true;
+};
+
+/// A thin TCP line-protocol front door over an Engine — one request per
+/// line, one response line per request, so any client (netcat, a bench
+/// harness, a test socket) can speak it without a library. Commands:
+///
+///   PING                                  -> PONG
+///   QUERY  <tenant> <instance> <formula>  -> OK <p> <half_width>
+///                                            <confidence> <quality>
+///                                            <lifted> <degraded>
+///   PQUERY <tenant> <instance> <formula>  -> same, via the tenant's
+///                                            shared PreparedQuery
+///   METRICS                               -> the single-line
+///                                            ipdb-metrics-v1 JSON
+///   QUIT                                  -> BYE (connection closes)
+///
+/// Failures answer `ERR <CODE> <message>` with the Status code name
+/// (UNAVAILABLE = shed or stopping; INVALID_ARGUMENT = unknown names or
+/// a malformed formula) — a bad request never takes the daemon down.
+/// The formula is the rest of the line, spaces included.
+///
+/// Threading: one accept loop thread plus one thread per connection,
+/// all polling a stop flag at ~100ms, so Stop converges without racing
+/// blocked reads. The daemon does not own the Engine; Stop() quiesces
+/// the daemon only (stop the engine afterwards for the full drain).
+class Daemon {
+ public:
+  /// `engine` must outlive the daemon.
+  Daemon(Engine* engine, const DaemonOptions& options = {});
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens and spawns the accept loop (kUnavailable when the
+  /// socket layer refuses — callers in sandboxed tests skip).
+  Status Start();
+
+  /// Stops accepting, shuts down live connections, joins all threads
+  /// (idempotent).
+  void Stop();
+
+  /// The bound port (0 before a successful Start).
+  int port() const { return port_; }
+
+  /// Process-wide SIGINT/SIGTERM latch for daemon mains: installs a
+  /// handler that records the signal (async-signal-safe store) instead
+  /// of killing the process, so the main loop can drain the engine
+  /// before exiting.
+  static void InstallSignalHandler();
+  static bool signal_requested();
+
+ private:
+  void AcceptLoop();
+  void Serve(int fd);
+  /// One request line -> one response line (no trailing newline).
+  std::string HandleLine(const std::string& line);
+
+  Engine* engine_;
+  DaemonOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::vector<std::thread> connections_;  // guarded by mu_
+  std::vector<int> connection_fds_;       // guarded by mu_
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace server
+}  // namespace ipdb
+
+#endif  // IPDB_SERVER_DAEMON_H_

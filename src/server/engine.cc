@@ -1,0 +1,390 @@
+#include "server/engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "logic/parser.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/fault.h"
+
+namespace ipdb {
+namespace server {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             ExecutionBudget::Clock::now().time_since_epoch())
+      .count();
+}
+
+ExecutionBudget::Clock::time_point TimePointFromNs(int64_t ns) {
+  return ExecutionBudget::Clock::time_point(
+      std::chrono::duration_cast<ExecutionBudget::Clock::duration>(
+          std::chrono::nanoseconds(ns)));
+}
+
+}  // namespace
+
+const StatusOr<QueryResult>& PendingQuery::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+bool PendingQuery::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void PendingQuery::Fulfill(StatusOr<QueryResult> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+Engine::Engine(const EngineOptions& options)
+    : options_(options), admission_(options.admission) {
+  const int threads =
+      options_.threads <= 0 ? HardwareThreadCount() : options_.threads;
+  options_.threads = threads;
+  // ThreadPool(n) spawns n - 1 workers (the caller is the n-th batch
+  // participant), but posted tasks run on workers only — so ask for one
+  // more to get `threads` true serving workers.
+  pool_ = std::make_unique<ThreadPool>(threads + 1);
+}
+
+Engine::~Engine() {
+  Status status = Stop();
+  (void)status;
+}
+
+Status Engine::RegisterInstance(const std::string& name,
+                                pdb::TiPdb<double> instance) {
+  if (name.empty()) {
+    return InvalidArgumentError("instance name must be non-empty");
+  }
+  if (instance.store() == nullptr) {
+    return InvalidArgumentError(
+        "instance '" + name + "' has no backing store (default-constructed?)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto inserted = instances_.emplace(
+      name, std::make_shared<const pdb::TiPdb<double>>(std::move(instance)));
+  if (!inserted.second) {
+    return InvalidArgumentError("instance '" + name + "' already registered");
+  }
+  return Status::Ok();
+}
+
+Status Engine::RegisterTenant(const std::string& name,
+                              const TenantConfig& config) {
+  if (name.empty()) {
+    return InvalidArgumentError("tenant name must be non-empty");
+  }
+  IPDB_RETURN_IF_ERROR(ValidateTenantConfig(config));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.count(name) != 0) {
+    return InvalidArgumentError("tenant '" + name + "' already registered");
+  }
+  auto state = std::make_unique<TenantState>();
+  state->config = config;
+  state->owner = next_owner_++;
+  kc::GlobalCompiledQueryCache().SetOwnerLimits(
+      state->owner, config.cache_max_bytes, config.cache_max_entries);
+  tenants_.emplace(name, std::move(state));
+  return Status::Ok();
+}
+
+Status Engine::RegisterTenant(const std::string& name,
+                              const std::string& config_text) {
+  StatusOr<TenantConfig> config = ParseTenantConfig(config_text);
+  if (!config.ok()) return config.status();
+  return RegisterTenant(name, config.value());
+}
+
+StatusOr<std::shared_ptr<PendingQuery>> Engine::Submit(
+    const std::string& tenant, const std::string& instance,
+    const std::string& query) {
+  return SubmitInternal(tenant, instance, query, /*prepared=*/false);
+}
+
+StatusOr<QueryResult> Engine::Query(const std::string& tenant,
+                                    const std::string& instance,
+                                    const std::string& query) {
+  StatusOr<std::shared_ptr<PendingQuery>> pending =
+      SubmitInternal(tenant, instance, query, /*prepared=*/false);
+  if (!pending.ok()) return pending.status();
+  return pending.value()->Wait();
+}
+
+StatusOr<QueryResult> Engine::QueryPrepared(const std::string& tenant,
+                                            const std::string& instance,
+                                            const std::string& query) {
+  StatusOr<std::shared_ptr<PendingQuery>> pending =
+      SubmitInternal(tenant, instance, query, /*prepared=*/true);
+  if (!pending.ok()) return pending.status();
+  return pending.value()->Wait();
+}
+
+StatusOr<std::shared_ptr<PendingQuery>> Engine::SubmitInternal(
+    const std::string& tenant, const std::string& instance,
+    const std::string& query, bool prepared) {
+  IPDB_OBS_SPAN("serve.submit", "serve");
+  IPDB_OBS_COUNT("serve.submitted", 1);
+  if (stopping_.load(std::memory_order_acquire)) {
+    IPDB_OBS_COUNT("serve.shed", 1);
+    return UnavailableError("query service is stopping");
+  }
+
+  TenantState* tenant_state = nullptr;
+  std::shared_ptr<const pdb::TiPdb<double>> inst;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto tenant_it = tenants_.find(tenant);
+    if (tenant_it == tenants_.end()) {
+      return InvalidArgumentError("unknown tenant '" + tenant + "'");
+    }
+    tenant_state = tenant_it->second.get();
+    auto instance_it = instances_.find(instance);
+    if (instance_it == instances_.end()) {
+      return InvalidArgumentError("unknown instance '" + instance + "'");
+    }
+    inst = instance_it->second;
+  }
+
+  // Parse outside the registry lock: parse cost is per-query, and a
+  // malformed query must come back as a Status, never take the engine
+  // down.
+  StatusOr<logic::Formula> sentence = logic::ParseSentence(query, inst->schema());
+  if (!sentence.ok()) {
+    tenant_state->errors.fetch_add(1, std::memory_order_relaxed);
+    IPDB_OBS_COUNT("serve.parse_errors", 1);
+    return sentence.status();
+  }
+
+  // Admission: the tenant's own in-flight quota first (a noisy tenant
+  // sheds before it pressures anyone else), then the engine-wide ladder.
+  const int64_t tenant_in_flight =
+      tenant_state->in_flight.load(std::memory_order_relaxed);
+  if (tenant_in_flight >= tenant_state->config.max_in_flight) {
+    tenant_state->shed.fetch_add(1, std::memory_order_relaxed);
+    IPDB_OBS_COUNT("serve.shed", 1);
+    IPDB_OBS_COUNT("serve.tenant_shed", 1);
+    return IPDB_STATUS(StatusCode::kUnavailable)
+           << "tenant '" << tenant << "' at its in-flight quota ("
+           << tenant_state->config.max_in_flight << ")";
+  }
+  const Admission decision =
+      admission_.Decide(in_flight_total_.load(std::memory_order_relaxed));
+  if (decision == Admission::kShed) {
+    tenant_state->shed.fetch_add(1, std::memory_order_relaxed);
+    IPDB_OBS_COUNT("serve.shed", 1);
+    return IPDB_STATUS(StatusCode::kUnavailable)
+           << "query service overloaded (queue depth "
+           << in_flight_total_.load(std::memory_order_relaxed) << " >= "
+           << admission_.options().max_queue_depth << ")";
+  }
+  const bool degraded = decision == Admission::kDegraded;
+  if (degraded) {
+    tenant_state->degraded.fetch_add(1, std::memory_order_relaxed);
+    IPDB_OBS_COUNT("serve.degraded", 1);
+  }
+
+  tenant_state->admitted.fetch_add(1, std::memory_order_relaxed);
+  tenant_state->in_flight.fetch_add(1, std::memory_order_relaxed);
+  const int64_t depth =
+      in_flight_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+  IPDB_OBS_GAUGE_SET("serve.queue_depth", depth);
+  IPDB_OBS_COUNT("serve.admitted", 1);
+
+  std::string prepared_key;
+  if (prepared) {
+    prepared_key = tenant;
+    prepared_key.push_back('\x1f');
+    prepared_key.append(instance);
+    prepared_key.push_back('\x1f');
+    prepared_key.append(query);
+  }
+
+  auto pending = std::make_shared<PendingQuery>();
+  logic::Formula parsed = std::move(sentence.value());
+  const int64_t admitted_ns = NowNs();
+  pool_->Post([this, tenant_state, inst, parsed, prepared_key, degraded,
+               admitted_ns, pending]() mutable {
+    Execute(tenant_state, std::move(inst), std::move(parsed), prepared_key,
+            degraded, admitted_ns, std::move(pending));
+  });
+  return pending;
+}
+
+void Engine::Execute(TenantState* tenant,
+                     std::shared_ptr<const pdb::TiPdb<double>> instance,
+                     logic::Formula sentence, const std::string& prepared_key,
+                     bool degraded, int64_t admitted_ns,
+                     std::shared_ptr<PendingQuery> pending) {
+  IPDB_OBS_SPAN("serve.execute", "serve");
+  const int64_t started_ns = NowNs();
+
+  // Everything this query does to the shared artifact cache — probes,
+  // compiles, residency — is charged to its tenant.
+  kc::ScopedCacheOwner owner_scope(tenant->owner);
+
+  ExecutionBudget budget;
+  const pqe::QueryOptions options =
+      ToQueryOptions(tenant->config, &budget, TimePointFromNs(admitted_ns),
+                     degraded, &cancel_);
+
+  StatusOr<QueryResult> outcome(InternalError("query never executed"));
+  if (!prepared_key.empty()) {
+    StatusOr<std::shared_ptr<pqe::PreparedQuery>> handle =
+        PreparedHandle(prepared_key, instance, sentence);
+    if (!handle.ok()) {
+      outcome = handle.status();
+    } else {
+      StatusOr<double> value = handle.value()->Query();
+      if (!value.ok()) {
+        outcome = value.status();
+      } else {
+        QueryResult result;
+        result.answer.probability = value.value();
+        result.answer.half_width = 0.0;
+        result.answer.confidence = 1.0;
+        result.answer.quality = pqe::AnswerQuality::kExact;
+        result.answer.lifted = handle.value()->lifted();
+        result.prepared = true;
+        result.degraded = degraded;
+        outcome = result;
+      }
+    }
+  } else {
+    StatusOr<pqe::QueryAnswer> answer =
+        pqe::QueryProbability(*instance, sentence, options);
+    if (!answer.ok()) {
+      outcome = answer.status();
+    } else {
+      QueryResult result;
+      result.answer = answer.value();
+      result.degraded = degraded;
+      outcome = result;
+    }
+  }
+
+  const int64_t finished_ns = NowNs();
+  bool fell_back;
+  if (outcome.ok()) {
+    QueryResult& result = outcome.value();
+    result.queue_ns = started_ns - admitted_ns;
+    result.total_ns = finished_ns - admitted_ns;
+    fell_back = result.answer.quality != pqe::AnswerQuality::kExact;
+    tenant->completed.fetch_add(1, std::memory_order_relaxed);
+    IPDB_OBS_COUNT("serve.completed", 1);
+    if (fell_back) IPDB_OBS_COUNT("serve.fallback_answers", 1);
+  } else {
+    // A budget trip with fallback disabled is still load pressure; any
+    // other error (bad query, evaluation failure) says nothing about
+    // load, so it stays out of the admission window.
+    fell_back = IsBudgetError(outcome.status());
+    tenant->errors.fetch_add(1, std::memory_order_relaxed);
+    IPDB_OBS_COUNT("serve.errors", 1);
+  }
+  if (outcome.ok() || IsBudgetError(outcome.status())) {
+    admission_.RecordOutcome(fell_back);
+  }
+
+  IPDB_OBS_OBSERVE("serve.queue_ns",
+                   static_cast<double>(started_ns - admitted_ns));
+  IPDB_OBS_OBSERVE("serve.latency_ns",
+                   static_cast<double>(finished_ns - admitted_ns));
+
+  tenant->in_flight.fetch_sub(1, std::memory_order_relaxed);
+  const int64_t depth =
+      in_flight_total_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  IPDB_OBS_GAUGE_SET("serve.queue_depth", depth);
+
+  pending->Fulfill(std::move(outcome));
+}
+
+StatusOr<std::shared_ptr<pqe::PreparedQuery>> Engine::PreparedHandle(
+    const std::string& key,
+    const std::shared_ptr<const pdb::TiPdb<double>>& instance,
+    const logic::Formula& sentence) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = prepared_.find(key);
+    if (it != prepared_.end()) return it->second;
+  }
+  // Cold path outside the lock: preparing can compile. Two racers may
+  // both prepare; the loser's handle is discarded (both are correct —
+  // the artifact cache already dedupes the circuit underneath).
+  StatusOr<pqe::PreparedQuery> built =
+      pqe::PreparedQuery::Prepare(instance->store(), sentence);
+  if (!built.ok()) return built.status();
+  auto handle =
+      std::make_shared<pqe::PreparedQuery>(std::move(built.value()));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto inserted = prepared_.emplace(key, handle);
+  return inserted.first->second;
+}
+
+StatusOr<TenantUsage> Engine::Usage(const std::string& tenant) const {
+  kc::CacheOwner owner = 0;
+  TenantUsage usage;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      return InvalidArgumentError("unknown tenant '" + tenant + "'");
+    }
+    const TenantState& state = *it->second;
+    owner = state.owner;
+    usage.in_flight = state.in_flight.load(std::memory_order_relaxed);
+    usage.admitted = state.admitted.load(std::memory_order_relaxed);
+    usage.degraded = state.degraded.load(std::memory_order_relaxed);
+    usage.shed = state.shed.load(std::memory_order_relaxed);
+    usage.completed = state.completed.load(std::memory_order_relaxed);
+    usage.errors = state.errors.load(std::memory_order_relaxed);
+  }
+  usage.cache = kc::GlobalCompiledQueryCache().OwnerStats(owner);
+  return usage;
+}
+
+Status Engine::Stop() {
+  IPDB_OBS_SPAN("serve.shutdown", "serve");
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::Ok();
+  }
+  // Drain, don't drop: cancel makes in-flight exact work trip its
+  // budget (queries with fallback degrade to clean answers; the rest
+  // unwind as kCancelled), then the pool runs the queue dry.
+  cancel_.Cancel();
+  pool_->DrainTasks();
+  IPDB_OBS_GAUGE_SET("serve.queue_depth", 0);
+  // An injected fault here models a crash between drain and the final
+  // flush: the engine is quiesced and Stop may be retried.
+  IPDB_FAULT_POINT("server.shutdown");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return Status::Ok();
+  stopped_ = true;
+  IPDB_OBS_COUNT("serve.shutdowns", 1);
+  final_metrics_json_ = obs::GlobalMetrics().Snapshot().ToJson();
+  return Status::Ok();
+}
+
+std::string Engine::final_metrics_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return final_metrics_json_;
+}
+
+std::string Engine::MetricsJson() {
+  return obs::GlobalMetrics().Snapshot().ToJson();
+}
+
+}  // namespace server
+}  // namespace ipdb

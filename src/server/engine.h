@@ -1,0 +1,221 @@
+#ifndef IPDB_SERVER_ENGINE_H_
+#define IPDB_SERVER_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kc/cache.h"
+#include "pdb/ti_pdb.h"
+#include "pqe/prepared.h"
+#include "pqe/wmc.h"
+#include "server/admission.h"
+#include "server/tenant.h"
+#include "util/budget.h"
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace server {
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Serving worker threads executing queries (<= 0 means the hardware
+  /// thread count). Workers are ThreadPool workers; queries are posted
+  /// tasks, so `threads` queries execute truly concurrently.
+  int threads = 0;
+  AdmissionOptions admission;
+};
+
+/// The outcome of one served query.
+struct QueryResult {
+  pqe::QueryAnswer answer;
+  /// Admission ran this query on the sample-only rung.
+  bool degraded = false;
+  /// Answered through the tenant's shared PreparedQuery handle.
+  bool prepared = false;
+  /// Admission -> execution start (time spent queued).
+  int64_t queue_ns = 0;
+  /// Admission -> completion (what a client observes).
+  int64_t total_ns = 0;
+};
+
+/// A submitted query's future result. Handles are shared_ptr-held by
+/// both the submitter and the worker, so either side may outlive the
+/// other.
+class PendingQuery {
+ public:
+  /// Blocks until the query finishes. The reference stays valid for the
+  /// handle's lifetime; repeated calls return the same result.
+  const StatusOr<QueryResult>& Wait();
+  bool done() const;
+
+ private:
+  friend class Engine;
+  void Fulfill(StatusOr<QueryResult> result);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  StatusOr<QueryResult> result_{InternalError("query still pending")};
+};
+
+/// Aggregate per-tenant serving state (see Engine::Usage).
+struct TenantUsage {
+  int64_t in_flight = 0;
+  int64_t admitted = 0;
+  int64_t degraded = 0;
+  int64_t shed = 0;
+  int64_t completed = 0;
+  int64_t errors = 0;
+  /// This tenant's slice of the shared compiled-artifact cache.
+  kc::CacheOwnerStats cache;
+};
+
+/// The in-process front door of the query engine: named TI instances,
+/// named tenants with budgets/quotas, concurrent execution on a
+/// ThreadPool, and a reject -> sample-only -> full admission ladder.
+///
+///  * Registration: `RegisterInstance` publishes an immutable
+///    `pdb::TiPdb<double>`; `RegisterTenant` binds a TenantConfig
+///    (parsed or built in code) and assigns the tenant a
+///    kc::CacheOwner, so the tenant's traffic through the shared
+///    compiled-artifact cache is accounted (and optionally capped) per
+///    tenant while artifacts themselves stay shared — two tenants
+///    asking the structurally same query share one circuit.
+///  * Submission: `Submit` parses the query against the instance's
+///    schema, runs admission (global queue depth + the fallback-rate
+///    signal + the tenant's own in-flight quota), and posts execution
+///    to the pool; `Wait` on the returned handle joins the result.
+///    `Query` is the synchronous convenience.
+///  * Sessions: `QueryPrepared` routes through a per-(tenant, instance,
+///    query) shared pqe::PreparedQuery handle — repeated queries skip
+///    re-grounding/re-compiling and react incrementally to store churn.
+///  * Shutdown: `Stop` rejects new admissions, cancels in-flight
+///    queries through the engine-wide CancelToken (they drain as
+///    degraded-but-clean answers), drains the pool, and freezes a
+///    final metrics snapshot (`final_metrics_json`).
+///
+/// Thread-safe throughout; destruction stops the engine.
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Publishes an instance under `name` (kInvalidArgument on duplicate
+  /// or empty names). Instances are immutable once registered.
+  Status RegisterInstance(const std::string& name,
+                          pdb::TiPdb<double> instance);
+
+  /// Registers a tenant with a validated config; duplicate names are
+  /// rejected. The tenant's artifact-cache quota is installed on the
+  /// global compiled-query cache.
+  Status RegisterTenant(const std::string& name, const TenantConfig& config);
+  /// Parses `config_text` (see ParseTenantConfig) and registers.
+  Status RegisterTenant(const std::string& name,
+                        const std::string& config_text);
+
+  /// Admits and enqueues one query. Synchronous failures: unknown
+  /// tenant/instance or parse errors (kInvalidArgument), admission shed
+  /// or shutdown (kUnavailable).
+  StatusOr<std::shared_ptr<PendingQuery>> Submit(
+      const std::string& tenant, const std::string& instance,
+      const std::string& query);
+
+  /// Submit + Wait.
+  StatusOr<QueryResult> Query(const std::string& tenant,
+                              const std::string& instance,
+                              const std::string& query);
+
+  /// Like Query, but served through the tenant's shared PreparedQuery
+  /// handle (compile-once / re-answer-many; exact answers only). The
+  /// first call pays the cold pipeline; later calls are memoized or
+  /// incremental. Prepared handles run without a per-query deadline —
+  /// the re-answer path is orders of magnitude below any sane budget.
+  StatusOr<QueryResult> QueryPrepared(const std::string& tenant,
+                                      const std::string& instance,
+                                      const std::string& query);
+
+  /// Queries admitted and not yet completed, engine-wide.
+  int64_t queue_depth() const {
+    return in_flight_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-tenant serving + cache accounting (kInvalidArgument for an
+  /// unknown tenant).
+  StatusOr<TenantUsage> Usage(const std::string& tenant) const;
+
+  /// Drains and stops the engine (idempotent). After Stop, Submit
+  /// returns kUnavailable and final_metrics_json() carries the frozen
+  /// snapshot.
+  Status Stop();
+  bool stopped() const { return stopping_.load(std::memory_order_acquire); }
+
+  /// The metrics snapshot frozen by Stop (empty before shutdown).
+  std::string final_metrics_json() const;
+  /// A live metrics snapshot (ipdb-metrics-v1 JSON).
+  static std::string MetricsJson();
+
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  struct TenantState {
+    TenantConfig config;
+    kc::CacheOwner owner = 0;
+    std::atomic<int64_t> in_flight{0};
+    std::atomic<int64_t> admitted{0};
+    std::atomic<int64_t> degraded{0};
+    std::atomic<int64_t> shed{0};
+    std::atomic<int64_t> completed{0};
+    std::atomic<int64_t> errors{0};
+  };
+
+  /// Shared body of Submit / QueryPrepared.
+  StatusOr<std::shared_ptr<PendingQuery>> SubmitInternal(
+      const std::string& tenant, const std::string& instance,
+      const std::string& query, bool prepared);
+
+  /// The per-query worker task (runs on the pool).
+  void Execute(TenantState* tenant,
+               std::shared_ptr<const pdb::TiPdb<double>> instance,
+               logic::Formula sentence, const std::string& prepared_key,
+               bool degraded, int64_t admitted_ns,
+               std::shared_ptr<PendingQuery> pending);
+
+  /// Returns (creating on first use) the shared prepared handle.
+  StatusOr<std::shared_ptr<pqe::PreparedQuery>> PreparedHandle(
+      const std::string& key,
+      const std::shared_ptr<const pdb::TiPdb<double>>& instance,
+      const logic::Formula& sentence);
+
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  AdmissionController admission_;
+  CancelToken cancel_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+  std::map<std::string, std::shared_ptr<const pdb::TiPdb<double>>> instances_;
+  std::unordered_map<std::string, std::shared_ptr<pqe::PreparedQuery>>
+      prepared_;
+  kc::CacheOwner next_owner_ = 1;
+
+  std::atomic<int64_t> in_flight_total_{0};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;          // guarded by mu_ (Stop idempotence)
+  std::string final_metrics_json_;  // guarded by mu_
+};
+
+}  // namespace server
+}  // namespace ipdb
+
+#endif  // IPDB_SERVER_ENGINE_H_

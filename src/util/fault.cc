@@ -30,6 +30,7 @@ const char* const kSites[] = {
     "pqe.mc.shard",           // Monte Carlo: per-shard body
     "pqe.query.fallback",     // degradation ladder: MC fallback branch
     "pqe.wmc.solve",          // legacy WMC solver entry
+    "server.shutdown",        // query service: drain/stop path
     "util.pool.task",         // thread pool: per-index task wrapper
 };
 

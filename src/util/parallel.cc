@@ -101,16 +101,63 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::WorkerLoop() {
   uint64_t seen_epoch = 0;
   for (;;) {
+    std::function<void()> task;
     std::shared_ptr<Batch> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
-      if (stop_) return;
-      seen_epoch = epoch_;
-      batch = current_;
+      work_cv_.wait(lock, [&] {
+        return stop_ || epoch_ != seen_epoch || !tasks_.empty();
+      });
+      if (!tasks_.empty()) {
+        // Posted tasks take priority over batch participation and are
+        // drained even while stopping: a task accepted by Post must run.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++running_tasks_;
+      } else if (stop_) {
+        return;
+      } else {
+        seen_epoch = epoch_;
+        batch = current_;
+      }
     }
-    if (batch != nullptr) RunBatch(batch.get());
+    if (task) {
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_tasks_;
+      if (tasks_.empty() && running_tasks_ == 0) tasks_cv_.notify_all();
+    } else if (batch != nullptr) {
+      RunBatch(batch.get());
+    }
   }
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  IPDB_OBS_COUNT("util.pool.tasks", 1);
+  if (workers_.empty()) {
+    // A one-thread pool has nobody to hand the task to; run it inline
+    // so Post keeps its "the task will run" contract.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    IPDB_OBS_GAUGE_SET("util.pool.task_queue_depth",
+                       static_cast<int64_t>(tasks_.size()) + running_tasks_);
+  }
+  work_cv_.notify_one();
+}
+
+int64_t ThreadPool::pending_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(tasks_.size()) + running_tasks_;
+}
+
+void ThreadPool::DrainTasks() {
+  std::unique_lock<std::mutex> lock(mu_);
+  tasks_cv_.wait(lock, [&] { return tasks_.empty() && running_tasks_ == 0; });
+  IPDB_OBS_GAUGE_SET("util.pool.task_queue_depth", 0);
 }
 
 void ThreadPool::RunBatch(Batch* batch) {

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,25 @@ class ThreadPool {
   Status TryParallelFor(int64_t n, const std::function<Status(int64_t)>& fn,
                         const CancelToken* cancel = nullptr);
 
+  /// Enqueues a one-off task for the worker threads and returns
+  /// immediately. Tasks run concurrently with each other (and with
+  /// ParallelFor batches) on whichever worker picks them up first, in
+  /// FIFO claim order; they are the serving layer's unit of work (one
+  /// posted task per admitted query). On a pool with no workers
+  /// (`threads == 1`) the task runs inline before Post returns.
+  ///
+  /// Tasks posted before the destructor runs are drained, not dropped:
+  /// the pool joins only after the queue is empty.
+  void Post(std::function<void()> task);
+
+  /// Posted tasks not yet finished (queued plus running).
+  int64_t pending_tasks() const;
+
+  /// Blocks until every posted task has finished — including tasks
+  /// posted by other threads while the wait is in progress. The serving
+  /// layer's shutdown drain.
+  void DrainTasks();
+
  private:
   struct Batch;
 
@@ -73,11 +93,14 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
+  std::condition_variable tasks_cv_;
   uint64_t epoch_ = 0;               // bumped when a new batch is posted
   std::shared_ptr<Batch> current_;   // null when no batch is in flight
+  std::deque<std::function<void()>> tasks_;  // posted, not yet claimed
+  int64_t running_tasks_ = 0;        // claimed, not yet finished
   bool stop_ = false;
 };
 

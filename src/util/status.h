@@ -26,6 +26,8 @@ enum class StatusCode {
                       // was hit before the computation finished
   kDeadlineExceeded,  // the ExecutionBudget wall-clock deadline passed
   kCancelled,         // a CancelToken was triggered mid-computation
+  kUnavailable,       // the service refused the work right now (admission
+                      // shed, shutdown in progress); safe to retry later
 };
 
 /// Human-readable name of a StatusCode (e.g. "INVALID_ARGUMENT").
@@ -104,6 +106,7 @@ Status InconclusiveError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status CancelledError(std::string message);
+Status UnavailableError(std::string message);
 
 /// Either a value of type T or a non-OK Status.
 ///
@@ -233,6 +236,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -283,6 +287,9 @@ inline Status DeadlineExceededError(std::string message) {
 }
 inline Status CancelledError(std::string message) {
   return Status(StatusCode::kCancelled, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace ipdb

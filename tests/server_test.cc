@@ -1,0 +1,732 @@
+/// Tests for the embedded query service: tenant-config parsing and
+/// QueryOptions mapping (a malformed config is a Status, never an
+/// abort), the admission ladder, engine end-to-end serving with exact
+/// parity against single-shot pqe::QueryProbability (including the
+/// 16-thread concurrent-serving run the TSan leg gates), per-tenant
+/// artifact-cache accounting, graceful shutdown (drain + reject +
+/// final snapshot, with the server.shutdown fault site), concurrent
+/// PreparedQuery handles, and the loopback line-protocol daemon.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kc/cache.h"
+#include "logic/parser.h"
+#include "pdb/ti_pdb.h"
+#include "pqe/prepared.h"
+#include "pqe/wmc.h"
+#include "server/admission.h"
+#include "server/daemon.h"
+#include "server/engine.h"
+#include "server/tenant.h"
+#include "storage/ti_store.h"
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace server {
+namespace {
+
+// ---------------------------------------------------------------------
+// Fixtures
+
+rel::Fact FactR(int i) { return rel::Fact(0, {rel::Value::Int(i)}); }
+rel::Fact FactS(int i, int j) {
+  return rel::Fact(1, {rel::Value::Int(i), rel::Value::Int(j)});
+}
+rel::Fact FactT(int j) { return rel::Fact(2, {rel::Value::Int(j)}); }
+
+/// A small three-relation instance: R(x), S(x, y), T(y).
+pdb::TiPdbD SmallInstance(int hubs = 4) {
+  rel::Schema schema({{"R", 1}, {"S", 2}, {"T", 1}});
+  pdb::TiPdbD::FactList facts;
+  for (int i = 0; i < hubs; ++i) {
+    facts.emplace_back(FactR(i), 0.3 + 0.05 * (i % 5));
+    for (int j = 0; j < 2; ++j) {
+      facts.emplace_back(FactS(i, j), 0.2 + 0.04 * ((i + j) % 7));
+    }
+  }
+  facts.emplace_back(FactT(0), 0.6);
+  facts.emplace_back(FactT(1), 0.35);
+  return pdb::TiPdbD::CreateOrDie(schema, facts);
+}
+
+/// Single-shot ground truth through the same governed ladder.
+pqe::QueryAnswer SingleShot(const pdb::TiPdbD& ti, const std::string& text) {
+  logic::Formula sentence =
+      logic::ParseSentence(text, ti.schema()).value();
+  StatusOr<pqe::QueryAnswer> answer =
+      pqe::QueryProbability(ti, sentence, pqe::QueryOptions{});
+  EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+  return answer.value();
+}
+
+constexpr char kSafeQuery[] = "exists x y. R(x) & S(x, y)";
+constexpr char kUnsafeQuery[] = "exists x y. R(x) & S(x, y) & T(y)";
+
+// ---------------------------------------------------------------------
+// Tenant config parsing / QueryOptions mapping
+
+TEST(TenantConfigTest, ParsesKeyValueText) {
+  StatusOr<TenantConfig> config = ParseTenantConfig(
+      "max_in_flight=8 budget_ms=250; fallback_samples=5000 "
+      "lifted=false cache_max_entries=2");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config.value().max_in_flight, 8);
+  EXPECT_EQ(config.value().budget_ms, 250);
+  EXPECT_EQ(config.value().fallback_samples, 5000);
+  EXPECT_FALSE(config.value().lifted);
+  EXPECT_EQ(config.value().cache_max_entries, 2);
+  // Untouched keys keep their defaults.
+  EXPECT_TRUE(config.value().fallback);
+  EXPECT_DOUBLE_EQ(config.value().fallback_confidence, 0.99);
+}
+
+TEST(TenantConfigTest, EmptyTextIsTheDefaultConfig) {
+  StatusOr<TenantConfig> config = ParseTenantConfig("");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().max_in_flight, TenantConfig{}.max_in_flight);
+}
+
+TEST(TenantConfigTest, MalformedConfigsReturnStatusNeverAbort) {
+  const char* malformed[] = {
+      "max_in_flight",            // no '='
+      "=5",                       // empty key
+      "max_in_flight=",           // empty value
+      "max_in_flight=abc",        // not an integer
+      "max_in_flight=3x",         // trailing garbage
+      "budget_ms=1e3garbage",     // bad number
+      "lifted=yes",               // bad boolean
+      "no_such_knob=1",           // unknown key
+      "max_in_flight=0",          // quota below 1
+      "max_in_flight=-3",         // negative quota
+      "budget_ms=-1",             // negative cap
+      "fallback_samples=0",       // sample count below 1
+      "fallback_confidence=1.5",  // confidence outside (0, 1)
+      "fallback_confidence=0",    // confidence outside (0, 1)
+      "fallback_confidence=nan",  // NaN fails the open-interval check
+  };
+  for (const char* text : malformed) {
+    StatusOr<TenantConfig> config = ParseTenantConfig(text);
+    EXPECT_FALSE(config.ok()) << "accepted: " << text;
+    EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(TenantConfigTest, ValidateRejectsBadConfigsBuiltInCode) {
+  TenantConfig config;
+  config.degraded_samples = 0;
+  EXPECT_EQ(ValidateTenantConfig(config).code(),
+            StatusCode::kInvalidArgument);
+  config = TenantConfig{};
+  config.cache_max_bytes = -1;
+  EXPECT_EQ(ValidateTenantConfig(config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ValidateTenantConfig(TenantConfig{}).ok());
+}
+
+TEST(TenantConfigTest, MapsOntoQueryOptionsAndBudget) {
+  TenantConfig config;
+  config.budget_ms = 100;
+  config.max_circuit_nodes = 500;
+  config.max_samples = 9000;
+  config.lifted = false;
+  config.fallback_samples = 7000;
+  config.fallback_confidence = 0.9;
+  CancelToken cancel;
+  ExecutionBudget budget;
+  const auto start = ExecutionBudget::Clock::now();
+  pqe::QueryOptions options =
+      ToQueryOptions(config, &budget, start, /*degraded=*/false, &cancel);
+  EXPECT_EQ(options.budget, &budget);
+  EXPECT_TRUE(budget.has_deadline());
+  EXPECT_EQ(budget.deadline, start + std::chrono::milliseconds(100));
+  EXPECT_EQ(budget.max_circuit_nodes, 500);
+  EXPECT_EQ(budget.max_samples, 9000);
+  EXPECT_EQ(budget.cancel, &cancel);
+  EXPECT_FALSE(options.lifted);
+  EXPECT_EQ(options.fallback_samples, 7000);
+  EXPECT_DOUBLE_EQ(options.fallback_confidence, 0.9);
+}
+
+TEST(TenantConfigTest, DegradedModeCapsTheCompileRung) {
+  TenantConfig config;
+  config.fallback = false;  // degraded mode must still turn fallback on
+  config.fallback_samples = 100000;
+  config.degraded_samples = 2048;
+  ExecutionBudget budget;
+  pqe::QueryOptions options =
+      ToQueryOptions(config, &budget, ExecutionBudget::Clock::now(),
+                     /*degraded=*/true, nullptr);
+  EXPECT_TRUE(options.fallback);
+  EXPECT_EQ(budget.max_circuit_nodes, 1);
+  EXPECT_EQ(options.fallback_samples, 2048);
+  EXPECT_TRUE(options.lifted);  // the cheap exact rung stays on
+}
+
+// ---------------------------------------------------------------------
+// Admission controller
+
+TEST(AdmissionTest, LadderByQueueDepth) {
+  AdmissionOptions options;
+  options.max_queue_depth = 10;
+  options.degrade_fraction = 0.5;
+  AdmissionController controller(options);
+  EXPECT_EQ(controller.Decide(0), Admission::kFull);
+  EXPECT_EQ(controller.Decide(4), Admission::kFull);
+  EXPECT_EQ(controller.Decide(5), Admission::kDegraded);
+  EXPECT_EQ(controller.Decide(9), Admission::kDegraded);
+  EXPECT_EQ(controller.Decide(10), Admission::kShed);
+  EXPECT_EQ(controller.Decide(1000), Admission::kShed);
+}
+
+TEST(AdmissionTest, FallbackWindowDegradesEvenWhenIdle) {
+  AdmissionOptions options;
+  options.max_queue_depth = 100;
+  options.fallback_degrade_rate = 0.5;
+  options.window = 8;
+  AdmissionController controller(options);
+  // Under half a window of outcomes: no signal, stays full.
+  for (int i = 0; i < 3; ++i) controller.RecordOutcome(true);
+  EXPECT_EQ(controller.Decide(0), Admission::kFull);
+  // A saturated window of fallbacks degrades even at depth zero.
+  for (int i = 0; i < 8; ++i) controller.RecordOutcome(true);
+  EXPECT_DOUBLE_EQ(controller.FallbackRate(), 1.0);
+  EXPECT_EQ(controller.Decide(0), Admission::kDegraded);
+  // Exact completions wash the window clean again.
+  for (int i = 0; i < 8; ++i) controller.RecordOutcome(false);
+  EXPECT_DOUBLE_EQ(controller.FallbackRate(), 0.0);
+  EXPECT_EQ(controller.Decide(0), Admission::kFull);
+}
+
+// ---------------------------------------------------------------------
+// Engine end-to-end
+
+TEST(EngineTest, RegistrationValidates) {
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  EXPECT_EQ(engine.RegisterInstance("", SmallInstance()).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(engine.RegisterInstance("db", SmallInstance()).ok());
+  EXPECT_EQ(engine.RegisterInstance("db", SmallInstance()).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(engine.RegisterTenant("acme", TenantConfig{}).ok());
+  EXPECT_EQ(engine.RegisterTenant("acme", TenantConfig{}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.RegisterTenant("bad", "no_such_knob=1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(engine.RegisterTenant("beta", "budget_ms=100").ok());
+  EXPECT_EQ(engine.Usage("nobody").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, ServesWithExactParityAgainstSingleShot) {
+  pdb::TiPdbD ti = SmallInstance();
+  const pqe::QueryAnswer safe_truth = SingleShot(ti, kSafeQuery);
+  const pqe::QueryAnswer unsafe_truth = SingleShot(ti, kUnsafeQuery);
+  ASSERT_EQ(safe_truth.quality, pqe::AnswerQuality::kExact);
+  ASSERT_EQ(unsafe_truth.quality, pqe::AnswerQuality::kExact);
+
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  ASSERT_TRUE(engine.RegisterTenant("acme", TenantConfig{}).ok());
+
+  StatusOr<QueryResult> safe = engine.Query("acme", "db", kSafeQuery);
+  ASSERT_TRUE(safe.ok()) << safe.status().ToString();
+  EXPECT_EQ(safe.value().answer.quality, pqe::AnswerQuality::kExact);
+  EXPECT_EQ(safe.value().answer.probability, safe_truth.probability);
+  EXPECT_TRUE(safe.value().answer.lifted);
+  EXPECT_FALSE(safe.value().degraded);
+  EXPECT_GE(safe.value().total_ns, safe.value().queue_ns);
+
+  StatusOr<QueryResult> unsafe = engine.Query("acme", "db", kUnsafeQuery);
+  ASSERT_TRUE(unsafe.ok());
+  EXPECT_EQ(unsafe.value().answer.quality, pqe::AnswerQuality::kExact);
+  EXPECT_EQ(unsafe.value().answer.probability, unsafe_truth.probability);
+  EXPECT_FALSE(unsafe.value().answer.lifted);
+
+  // Unknown names and malformed formulas come back as Statuses.
+  EXPECT_EQ(engine.Query("ghost", "db", kSafeQuery).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Query("acme", "ghost", kSafeQuery).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(engine.Query("acme", "db", "exists x. NoRel(x)").ok());
+  EXPECT_FALSE(engine.Query("acme", "db", "R(x) &").ok());
+
+  StatusOr<TenantUsage> usage = engine.Usage("acme");
+  ASSERT_TRUE(usage.ok());
+  EXPECT_EQ(usage.value().admitted, 2);
+  EXPECT_EQ(usage.value().completed, 2);
+  EXPECT_EQ(usage.value().errors, 2);  // the two malformed formulas
+  EXPECT_EQ(usage.value().in_flight, 0);
+}
+
+/// The 16-thread concurrent-serving run gated under TSan: every answer
+/// must match the single-shot ladder bit-for-bit.
+TEST(EngineTest, ConcurrentServingExactParitySixteenThreads) {
+  pdb::TiPdbD ti = SmallInstance();
+  const std::vector<std::string> queries = {
+      kSafeQuery,
+      kUnsafeQuery,
+      "exists x. R(x)",
+      "exists x y. S(x, y) & T(y)",
+  };
+  std::vector<double> truth;
+  for (const std::string& query : queries) {
+    const pqe::QueryAnswer answer = SingleShot(ti, query);
+    ASSERT_EQ(answer.quality, pqe::AnswerQuality::kExact);
+    truth.push_back(answer.probability);
+  }
+
+  Engine engine(EngineOptions{/*threads=*/4, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  ASSERT_TRUE(engine.RegisterTenant("acme", TenantConfig{}).ok());
+  ASSERT_TRUE(engine.RegisterTenant("beta", TenantConfig{}).ok());
+
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const std::string tenant = (t % 2 == 0) ? "acme" : "beta";
+      for (int q = 0; q < kPerThread; ++q) {
+        const size_t pick = static_cast<size_t>(t + q) % queries.size();
+        StatusOr<QueryResult> result =
+            engine.Query(tenant, "db", queries[pick]);
+        if (!result.ok() ||
+            result.value().answer.quality != pqe::AnswerQuality::kExact ||
+            result.value().answer.probability != truth[pick]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(engine.queue_depth(), 0);
+  StatusOr<TenantUsage> acme = engine.Usage("acme");
+  StatusOr<TenantUsage> beta = engine.Usage("beta");
+  ASSERT_TRUE(acme.ok());
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(acme.value().completed + beta.value().completed,
+            kThreads * kPerThread);
+}
+
+TEST(EngineTest, PreparedSessionsAnswerExactlyAndMemoize) {
+  pdb::TiPdbD ti = SmallInstance();
+  const pqe::QueryAnswer truth = SingleShot(ti, kUnsafeQuery);
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  ASSERT_TRUE(engine.RegisterTenant("acme", TenantConfig{}).ok());
+  for (int round = 0; round < 3; ++round) {
+    StatusOr<QueryResult> result =
+        engine.QueryPrepared("acme", "db", kUnsafeQuery);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result.value().prepared);
+    EXPECT_EQ(result.value().answer.quality, pqe::AnswerQuality::kExact);
+    EXPECT_EQ(result.value().answer.probability, truth.probability);
+  }
+}
+
+TEST(EngineTest, DegradedAdmissionAnswersWithCertifiedIntervals) {
+  pdb::TiPdbD ti = SmallInstance();
+  const pqe::QueryAnswer safe_truth = SingleShot(ti, kSafeQuery);
+  const pqe::QueryAnswer unsafe_truth = SingleShot(ti, kUnsafeQuery);
+  // A warm artifact cache would answer the capped query exactly (a hit
+  // is already paid for); go in cold so the cap actually bites.
+  kc::GlobalCompiledQueryCache().Clear();
+
+  EngineOptions options;
+  options.threads = 2;
+  options.admission.degrade_fraction = 0.0;  // every admission degrades
+  Engine engine(options);
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  ASSERT_TRUE(engine.RegisterTenant("acme", "degraded_samples=20000").ok());
+
+  // The lifted rung still answers exactly in degraded mode.
+  StatusOr<QueryResult> safe = engine.Query("acme", "db", kSafeQuery);
+  ASSERT_TRUE(safe.ok());
+  EXPECT_TRUE(safe.value().degraded);
+  EXPECT_EQ(safe.value().answer.quality, pqe::AnswerQuality::kExact);
+  EXPECT_EQ(safe.value().answer.probability, safe_truth.probability);
+
+  // The circuit rung is capped out: a certified interval answers.
+  StatusOr<QueryResult> unsafe = engine.Query("acme", "db", kUnsafeQuery);
+  ASSERT_TRUE(unsafe.ok());
+  EXPECT_TRUE(unsafe.value().degraded);
+  EXPECT_EQ(unsafe.value().answer.quality, pqe::AnswerQuality::kInterval);
+  EXPECT_GT(unsafe.value().answer.half_width, 0.0);
+  EXPECT_NEAR(unsafe.value().answer.probability, unsafe_truth.probability,
+              unsafe.value().answer.half_width + 0.05);
+}
+
+TEST(EngineTest, OverloadShedsWithUnavailable) {
+  // One worker, a shallow queue, and deliberately slow queries (the
+  // compile rung is capped, so each query Monte Carlos a while): the
+  // submission loop outruns the worker and the ladder must shed.
+  EngineOptions options;
+  options.threads = 1;
+  options.admission.max_queue_depth = 4;
+  options.admission.degrade_fraction = 1.0;  // isolate the shed rung
+  options.admission.fallback_degrade_rate = 2.0;
+  Engine engine(options);
+  ASSERT_TRUE(engine.RegisterInstance("db", SmallInstance()).ok());
+  ASSERT_TRUE(engine
+                  .RegisterTenant("acme",
+                                  "lifted=false max_circuit_nodes=1 "
+                                  "fallback_samples=20000")
+                  .ok());
+
+  constexpr int kBurst = 32;
+  std::vector<std::shared_ptr<PendingQuery>> admitted;
+  int shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    StatusOr<std::shared_ptr<PendingQuery>> pending =
+        engine.Submit("acme", "db", kUnsafeQuery);
+    if (pending.ok()) {
+      admitted.push_back(pending.value());
+    } else {
+      ASSERT_EQ(pending.status().code(), StatusCode::kUnavailable);
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0);
+  EXPECT_LE(engine.queue_depth(), options.admission.max_queue_depth);
+  for (const auto& pending : admitted) {
+    const StatusOr<QueryResult>& result = pending->Wait();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  StatusOr<TenantUsage> usage = engine.Usage("acme");
+  ASSERT_TRUE(usage.ok());
+  EXPECT_EQ(usage.value().shed, shed);
+  EXPECT_EQ(usage.value().admitted, static_cast<int64_t>(admitted.size()));
+}
+
+TEST(EngineTest, TenantQuotaShedsBeforeGlobalPressure) {
+  EngineOptions options;
+  options.threads = 1;
+  Engine engine(options);
+  ASSERT_TRUE(engine.RegisterInstance("db", SmallInstance()).ok());
+  ASSERT_TRUE(engine
+                  .RegisterTenant("tiny",
+                                  "max_in_flight=1 lifted=false "
+                                  "max_circuit_nodes=1 "
+                                  "fallback_samples=20000")
+                  .ok());
+  StatusOr<std::shared_ptr<PendingQuery>> first =
+      engine.Submit("tiny", "db", kUnsafeQuery);
+  ASSERT_TRUE(first.ok());
+  // With one slow query in flight, the tenant is at quota; the engine
+  // queue (depth 1 of 128) is nowhere near pressure.
+  int quota_shed = 0;
+  for (int i = 0; i < 16 && quota_shed == 0; ++i) {
+    StatusOr<std::shared_ptr<PendingQuery>> second =
+        engine.Submit("tiny", "db", kUnsafeQuery);
+    if (!second.ok()) {
+      EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+      ++quota_shed;
+    } else {
+      second.value()->Wait();
+    }
+  }
+  EXPECT_GT(quota_shed, 0);
+  first.value()->Wait();
+}
+
+// ---------------------------------------------------------------------
+// Per-tenant cache accounting
+
+TEST(EngineTest, TenantCacheAccountingIsExactAndCapped) {
+  kc::GlobalCompiledQueryCache().Clear();
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", SmallInstance()).ok());
+  // Both tenants force the circuit path; A may keep only one resident
+  // artifact, B is uncapped.
+  ASSERT_TRUE(
+      engine.RegisterTenant("capped", "lifted=false cache_max_entries=1")
+          .ok());
+  ASSERT_TRUE(engine.RegisterTenant("roomy", "lifted=false").ok());
+
+  const std::vector<std::string> queries = {
+      "exists x. R(x)",
+      "exists x y. S(x, y)",
+      "exists x. T(x)",
+  };
+  for (const std::string& query : queries) {
+    ASSERT_TRUE(engine.Query("capped", "db", query).ok());
+  }
+  for (const std::string& query : queries) {
+    ASSERT_TRUE(engine.Query("roomy", "db", query).ok());
+  }
+
+  StatusOr<TenantUsage> capped = engine.Usage("capped");
+  StatusOr<TenantUsage> roomy = engine.Usage("roomy");
+  ASSERT_TRUE(capped.ok());
+  ASSERT_TRUE(roomy.ok());
+  // The capped tenant compiled three distinct artifacts but may hold
+  // only one: its own LRU paid for every insert.
+  EXPECT_EQ(capped.value().cache.misses, 3);
+  EXPECT_EQ(capped.value().cache.entries, 1);
+  EXPECT_GE(capped.value().cache.evictions, 2);
+  // The roomy tenant probes the same fingerprints: whatever the capped
+  // tenant still holds is a hit, the rest recompile under roomy's
+  // ownership. Residency stays exactly partitioned.
+  EXPECT_GE(roomy.value().cache.hits, 1);
+  EXPECT_GE(roomy.value().cache.entries, 2);
+  EXPECT_TRUE(kc::GlobalCompiledQueryCache().CheckAccounting().ok());
+}
+
+// ---------------------------------------------------------------------
+// Graceful shutdown
+
+TEST(EngineTest, StopDrainsInFlightRejectsNewAndFlushesMetrics) {
+  EngineOptions options;
+  options.threads = 2;
+  Engine engine(options);
+  ASSERT_TRUE(engine.RegisterInstance("db", SmallInstance()).ok());
+  ASSERT_TRUE(engine
+                  .RegisterTenant("acme",
+                                  "lifted=false max_circuit_nodes=1 "
+                                  "fallback_samples=20000")
+                  .ok());
+
+  std::vector<std::shared_ptr<PendingQuery>> pendings;
+  for (int i = 0; i < 8; ++i) {
+    StatusOr<std::shared_ptr<PendingQuery>> pending =
+        engine.Submit("acme", "db", kUnsafeQuery);
+    if (pending.ok()) pendings.push_back(pending.value());
+  }
+  ASSERT_FALSE(pendings.empty());
+
+  ASSERT_TRUE(engine.Stop().ok());
+  // Every admitted query drained to a clean result: the cancel token
+  // turns unfinished sampling into kFailed answers, never hangs.
+  for (const auto& pending : pendings) {
+    EXPECT_TRUE(pending->done());
+    const StatusOr<QueryResult>& result = pending->Wait();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  EXPECT_EQ(engine.queue_depth(), 0);
+  // New work is rejected, idempotent Stop stays OK.
+  EXPECT_EQ(engine.Submit("acme", "db", kSafeQuery).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(engine.Stop().ok());
+  // The final snapshot was flushed and carries serving metrics.
+  const std::string snapshot = engine.final_metrics_json();
+  EXPECT_NE(snapshot.find("ipdb-metrics-v1"), std::string::npos);
+  EXPECT_NE(snapshot.find("serve."), std::string::npos);
+}
+
+#if defined(IPDB_FAULT_INJECTION)
+TEST(EngineTest, ShutdownFaultSiteUnwindsCleanlyAndStopRetries) {
+  ASSERT_TRUE(fault::IsKnownSite("server.shutdown"));
+  Engine engine(EngineOptions{/*threads=*/1, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", SmallInstance()).ok());
+  ASSERT_TRUE(engine.RegisterTenant("acme", TenantConfig{}).ok());
+  ASSERT_TRUE(engine.Query("acme", "db", kSafeQuery).ok());
+  {
+    fault::ScopedFaultPlan plan({{"server.shutdown", 1}});
+    const Status status = engine.Stop();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(plan.triggered("server.shutdown"), 1);
+  }
+  // The injected fault hit after the drain: the engine is quiesced and
+  // Stop retries to a clean shutdown with the final snapshot intact.
+  EXPECT_TRUE(engine.Stop().ok());
+  EXPECT_NE(engine.final_metrics_json().find("ipdb-metrics-v1"),
+            std::string::npos);
+}
+#endif  // IPDB_FAULT_INJECTION
+
+// ---------------------------------------------------------------------
+// Concurrent PreparedQuery handles (the TSan regression)
+
+TEST(PreparedConcurrencyTest, ManyReadersRaceTheRefreshMachinery) {
+  rel::Schema schema({{"R", 1}, {"S", 2}});
+  storage::TiStore::Builder builder(schema);
+  for (int i = 0; i < 5; ++i) {
+    builder.Add(rel::Fact(0, {rel::Value::Int(i)}), 0.3 + 0.05 * i);
+    builder.Add(rel::Fact(1, {rel::Value::Int(i), rel::Value::Int(100 + i)}),
+                0.2 + 0.04 * i);
+  }
+  StatusOr<std::shared_ptr<storage::TiStore>> built = builder.Finish();
+  ASSERT_TRUE(built.ok());
+  std::shared_ptr<storage::TiStore> store = built.value();
+  logic::Formula sentence =
+      logic::ParseSentence("exists x y. R(x) & S(x, y)", schema).value();
+
+  pqe::PreparedQuery::Options options;
+  options.allow_lifted = false;  // exercise the locked circuit path
+  StatusOr<pqe::PreparedQuery> prepared =
+      pqe::PreparedQuery::Prepare(store, sentence, options);
+  ASSERT_TRUE(prepared.ok());
+  pqe::PreparedQuery& handle = prepared.value();
+
+  auto race = [&handle](double expected) {
+    constexpr int kReaders = 8;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&] {
+        for (int i = 0; i < 16; ++i) {
+          StatusOr<double> answer = handle.Query();
+          // Tolerance, not equality: the circuit and the brute-force
+          // enumeration round differently.
+          if (!answer.ok() ||
+              std::abs(answer.value() - expected) > 1e-9) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : readers) t.join();
+    EXPECT_EQ(failures.load(), 0);
+  };
+
+  auto truth = [&] {
+    StatusOr<pdb::TiPdbD> view = pdb::TiPdbD::FromStore(store);
+    EXPECT_TRUE(view.ok());
+    return pqe::QueryProbabilityBruteForce(view.value(), sentence).value();
+  };
+
+  // Round 1: readers race each other on the memoized answer.
+  race(truth());
+  // Round 2: a probability update (single writer, readers quiesced per
+  // the TiStore contract) — readers then race the incremental refresh.
+  ASSERT_TRUE(store->UpdateProbability(rel::Fact(0, {rel::Value::Int(2)}),
+                                       0.85)
+                  .ok());
+  race(truth());
+  EXPECT_GE(handle.incremental_refreshes(), 1);
+  // Round 3: a structural mutation — readers race the cold recompile.
+  ASSERT_TRUE(store->Erase(rel::Fact(0, {rel::Value::Int(4)})).ok());
+  race(truth());
+  EXPECT_GE(handle.recompiles(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Daemon (loopback line protocol)
+
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  /// Sends one request line and reads one response line.
+  std::string RoundTrip(const std::string& request) {
+    std::string framed = request + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+      if (n <= 0) return "";
+      sent += static_cast<size_t>(n);
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t newline = buffer_.find('\n');
+    std::string line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(DaemonTest, SpeaksTheLineProtocolOverLoopback) {
+  pdb::TiPdbD ti = SmallInstance();
+  const pqe::QueryAnswer truth = SingleShot(ti, kSafeQuery);
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  ASSERT_TRUE(engine.RegisterTenant("acme", TenantConfig{}).ok());
+
+  Daemon daemon(&engine);
+  const Status started = daemon.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "no loopback sockets here: " << started.ToString();
+  }
+  ASSERT_GT(daemon.port(), 0);
+
+  LineClient client(daemon.port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(client.RoundTrip("PING"), "PONG");
+
+  // QUERY answers match the engine (and hence the single-shot ladder).
+  const std::string response =
+      client.RoundTrip(std::string("QUERY acme db ") + kSafeQuery);
+  std::istringstream parse(response);
+  std::string tag, quality;
+  double probability = -1.0, half_width = -1.0, confidence = -1.0;
+  int lifted = -1, degraded = -1;
+  parse >> tag >> probability >> half_width >> confidence >> quality >>
+      lifted >> degraded;
+  EXPECT_EQ(tag, "OK") << response;
+  EXPECT_EQ(probability, truth.probability);
+  EXPECT_EQ(half_width, 0.0);
+  EXPECT_EQ(quality, "exact");
+  EXPECT_EQ(lifted, 1);
+  EXPECT_EQ(degraded, 0);
+
+  // PQUERY serves the prepared path with the same exact answer.
+  const std::string prepared =
+      client.RoundTrip(std::string("PQUERY acme db ") + kSafeQuery);
+  EXPECT_EQ(prepared.substr(0, 3), "OK ");
+  std::istringstream reparse(prepared);
+  reparse >> tag >> probability;
+  EXPECT_EQ(probability, truth.probability);
+
+  // Errors are line-framed Statuses, never connection drops.
+  EXPECT_EQ(client.RoundTrip("QUERY ghost db true").substr(0, 20),
+            "ERR INVALID_ARGUMENT");
+  EXPECT_EQ(client.RoundTrip("NONSENSE").substr(0, 3), "ERR");
+  EXPECT_EQ(client.RoundTrip("QUERY acme db").substr(0, 3), "ERR");
+
+  // METRICS returns the one-line JSON snapshot.
+  const std::string metrics = client.RoundTrip("METRICS");
+  EXPECT_NE(metrics.find("ipdb-metrics-v1"), std::string::npos);
+  EXPECT_NE(metrics.find("serve."), std::string::npos);
+
+  EXPECT_EQ(client.RoundTrip("QUIT"), "BYE");
+  daemon.Stop();
+  EXPECT_TRUE(engine.Stop().ok());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ipdb
