@@ -23,10 +23,28 @@
 //    "iterations": <completed>, "counters": {"p50_ms": ..,
 //    "p99_ms": .., "qps": .., "shed_rate": .., "degraded_rate": ..,
 //    "fallback_rate": .., "lifted_rate": .., "cache_hits": ..,
-//    "cache_misses": .., "accounting_drift": 0}}
+//    "cache_misses": .., "accounting_drift": 0, "slo_breaching": ..,
+//    "label_drift": 0}}
+//
+// slo_breaching counts tenants whose STATS burn-rate state reads
+// "breaching" right after the row (the overload tenant carries an
+// availability SLO, so the open/overload row must flip it); label_drift
+// is |aggregate serve.latency_ns count - sum of per-tenant labeled
+// counts| and must stay 0.
+//
+// A final daemon/roundtrip row drives the line protocol over loopback
+// (QUERY -> TRACE <id> -> STATS) and reports queries_ok / trace_trees /
+// stats_ok, or daemon_skipped=1 in sandboxes without sockets.
 //
 // Flags: --bench_json_out=PATH (default BENCH_serve.json),
-//        --quick (CI-sized run), --clients_max=N (cap the closed rows).
+//        --quick (CI-sized run), --clients_max=N (cap the closed rows),
+//        --trace-out PATH (span tracing + Chrome-trace export; the CI
+//        connectivity gate reassembles per-request span trees from it).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -34,6 +52,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -43,6 +62,7 @@
 #include "bench_json.h"
 #include "kc/cache.h"
 #include "pdb/ti_pdb.h"
+#include "server/daemon.h"
 #include "server/engine.h"
 #include "server/tenant.h"
 #include "util/status.h"
@@ -187,6 +207,38 @@ LoadPoint RunOpenOverload(server::Engine* engine, int submissions) {
   return point;
 }
 
+/// Number of tenants whose STATS burn-rate state currently reads
+/// "breaching" (substring scan; the report nests exactly one state per
+/// tenant under "slo").
+double SloBreachingTenants(const server::Engine& engine) {
+  const std::string stats = engine.StatsJson();
+  const std::string needle = "\"state\": \"breaching\"";
+  double breaching = 0.0;
+  for (size_t pos = stats.find(needle); pos != std::string::npos;
+       pos = stats.find(needle, pos + needle.size())) {
+    breaching += 1.0;
+  }
+  return breaching;
+}
+
+/// |aggregate serve.latency_ns observations - sum over the per-tenant
+/// labeled family|. The engine records both adjacently, so any nonzero
+/// value means the labeled pipeline lost or double-counted a request.
+double LatencyLabelDrift() {
+  const obs::MetricsSnapshot snapshot = obs::GlobalMetrics().Snapshot();
+  int64_t labeled = 0;
+  for (const auto& cell : snapshot.histogram_families) {
+    if (cell.name == "serve.latency_ns" && cell.label_key == "tenant") {
+      labeled += cell.stats.count;
+    }
+  }
+  const obs::HistogramStats* aggregate =
+      snapshot.FindHistogram("serve.latency_ns");
+  const int64_t total = aggregate == nullptr ? 0 : aggregate->count;
+  return static_cast<double>(total > labeled ? total - labeled
+                                             : labeled - total);
+}
+
 std::string RowFor(server::Engine* engine, LoadPoint point) {
   const double completed = static_cast<double>(point.completed);
   const double offered =
@@ -235,7 +287,117 @@ std::string RowFor(server::Engine* engine, LoadPoint point) {
        {"lifted_rate", completed > 0 ? point.lifted / completed : 0.0},
        {"cache_hits", cache_hits},
        {"cache_misses", cache_misses},
-       {"accounting_drift", drift}});
+       {"accounting_drift", drift},
+       {"slo_breaching", SloBreachingTenants(*engine)},
+       {"label_drift", LatencyLabelDrift()}});
+}
+
+/// Minimal blocking loopback client for the daemon leg (same framing as
+/// the daemon: one request line, one response line).
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  std::string RoundTrip(const std::string& request) {
+    std::string framed = request + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+      if (n <= 0) return "";
+      sent += static_cast<size_t>(n);
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t newline = buffer_.find('\n');
+    std::string line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// daemon/roundtrip: the line protocol end to end — QUERY returns a
+/// trace id, TRACE <id> returns that request's span tree, STATS returns
+/// the tenant rollups. Sandboxes without loopback sockets report
+/// daemon_skipped=1 instead of failing the run.
+std::string RunDaemonLeg(server::Engine* engine, int queries) {
+  double skipped = 0.0;
+  double queries_ok = 0.0;
+  double trace_trees = 0.0;
+  double stats_ok = 0.0;
+  int64_t wall_ns = 1;
+
+  server::Daemon daemon(engine);
+  const Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "daemon leg skipped (no loopback): %s\n",
+                 started.ToString().c_str());
+    skipped = 1.0;
+  } else {
+    const Clock::time_point start = Clock::now();
+    LineClient client(daemon.port());
+    if (!client.ok()) {
+      skipped = 1.0;
+    } else {
+      for (int i = 0; i < queries; ++i) {
+        const std::string response =
+            client.RoundTrip("QUERY alpha db exists x y. R(x) & S(x, y)");
+        if (response.compare(0, 3, "OK ") != 0) continue;
+        ++queries_ok;
+        // The trace id is the final response field.
+        const size_t space = response.find_last_of(' ');
+        const std::string tree =
+            client.RoundTrip("TRACE " + response.substr(space + 1));
+        if (tree.find("ipdb-trace-tree-v1") != std::string::npos &&
+            tree.find("serve.request") != std::string::npos) {
+          ++trace_trees;
+        }
+      }
+      if (client.RoundTrip("STATS").find("ipdb-stats-v1") !=
+          std::string::npos) {
+        stats_ok = 1.0;
+      }
+    }
+    wall_ns = std::max<int64_t>(1, ElapsedNs(start));
+    daemon.Stop();
+  }
+
+  std::fprintf(stderr,
+               "daemon/roundtrip queries_ok=%.0f trace_trees=%.0f "
+               "stats_ok=%.0f skipped=%.0f\n",
+               queries_ok, trace_trees, stats_ok, skipped);
+  return bench_json::ResultLine(
+      "serve_bench", "daemon/roundtrip",
+      queries_ok > 0 ? static_cast<double>(wall_ns) / queries_ok : 0.0,
+      static_cast<int64_t>(queries_ok),
+      {{"daemon_skipped", skipped},
+       {"queries_ok", queries_ok},
+       {"trace_trees", trace_trees},
+       {"stats_ok", stats_ok}});
 }
 
 int Run(int argc, char** argv) {
@@ -257,6 +419,9 @@ int Run(int argc, char** argv) {
       bench_json::ExtractFlag(&argc, argv, "--clients_max");
   const int clients_max =
       clients_flag.empty() ? 16 : std::max(1, std::atoi(clients_flag.c_str()));
+  const std::string trace_path =
+      bench_json::ExtractFlag(&argc, argv, "--trace-out");
+  if (!trace_path.empty()) obs::SetTracingEnabled(true);
 
   kc::GlobalCompiledQueryCache().Clear();
   server::EngineOptions options;
@@ -270,13 +435,19 @@ int Run(int argc, char** argv) {
   }
   // Two well-behaved tenants with budgets and cache quotas (alpha's
   // residency is capped, so eviction fairness runs under load), plus
-  // the overload tenant whose queries are deliberately expensive.
+  // the overload tenant whose queries are deliberately expensive. The
+  // SLOs are part of the gate: alpha/beta carry generous objectives
+  // that must stay "ok" through the closed rows, while gamma's
+  // availability SLO must flip to "breaching" once the open/overload
+  // row sheds.
   const char* tenants[][2] = {
-      {"alpha", "budget_ms=2000 cache_max_entries=8"},
-      {"beta", "budget_ms=2000"},
+      {"alpha",
+       "budget_ms=2000 cache_max_entries=8 slo_p99_ms=5000 "
+       "slo_availability=0.999"},
+      {"beta", "budget_ms=2000 slo_p99_ms=5000 slo_availability=0.999"},
       {"gamma",
        "lifted=false max_circuit_nodes=1 fallback_samples=20000 "
-       "degraded_samples=4000 max_in_flight=512"},
+       "degraded_samples=4000 max_in_flight=512 slo_availability=0.95"},
   };
   for (const auto& tenant : tenants) {
     status = engine.RegisterTenant(tenant[0], std::string(tenant[1]));
@@ -303,6 +474,7 @@ int Run(int argc, char** argv) {
   }
   rows.push_back(
       RowFor(&engine, RunOpenOverload(&engine, quick ? 400 : 1200)));
+  rows.push_back(RunDaemonLeg(&engine, 20));
 
   status = engine.Stop();
   if (!status.ok()) {
@@ -312,6 +484,25 @@ int Run(int argc, char** argv) {
   bench_json::MergeIntoFile(json_path, "serve_bench", rows);
   std::fprintf(stderr, "wrote %zu result(s) for suite 'serve_bench' to %s\n",
                rows.size(), json_path.c_str());
+
+  if (!trace_path.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    const int64_t dropped = recorder.dropped_events();
+    const std::vector<obs::TraceEvent> events = recorder.Drain();
+    const obs::MetricsSnapshot snapshot = obs::GlobalMetrics().Snapshot();
+    Status written =
+        obs::WriteChromeTrace(trace_path, events, &snapshot, dropped);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "wrote %zu span(s) (%lld dropped) and a metrics snapshot "
+                 "to %s\n",
+                 events.size(), static_cast<long long>(dropped),
+                 trace_path.c_str());
+  }
   return 0;
 }
 

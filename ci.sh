@@ -15,7 +15,11 @@
 # legacy object-per-tuple path, incremental re-query >= 10x faster than
 # cold), the query service under closed-loop load (serve_bench: p99
 # latency budget at 16 clients, bounded shed rates, zero cross-tenant
-# cache-accounting drift), the observability overhead (instrumented
+# cache-accounting drift, zero labeled-metric drift, SLO burn-rate
+# breaching exactly on the overload row, and the daemon QUERY -> TRACE
+# -> STATS round trip), per-request span-tree connectivity on the serve
+# trace artifact (>= 95% of QUERYs reassemble into one connected tree
+# rooted at serve.request), the observability overhead (instrumented
 # within 5% of compiled-out), and the trace exporter (span coverage +
 # counter consistency on a real trace artifact).
 # Usage: ./ci.sh [extra ctest args...]
@@ -205,11 +209,19 @@ echo "=== query-service load gates (Release, serve_bench) ==="
 #    degrades gracefully instead of collapsing or silently queueing;
 #  * no row reports non-shed errors;
 #  * accounting_drift == 0: per-tenant accounting of the shared
-#    artifact cache still partitions the resident set exactly.
+#    artifact cache still partitions the resident set exactly;
+#  * label_drift == 0: the per-tenant serve.latency_ns family sums
+#    exactly to the unlabeled aggregate on every row;
+#  * slo_breaching: the burn-rate engine stays quiet through the
+#    closed rows and flips the overload tenant's availability SLO to
+#    "breaching" under the open-arrival burst;
+#  * the daemon leg round-trips QUERY -> TRACE -> STATS over loopback
+#    (tolerated as skipped only where sockets are unavailable).
 serve_json="build-release/BENCH_serve.json"
-rm -f "${serve_json}"
+serve_trace="build-release/TRACE_serve.json"
+rm -f "${serve_json}" "${serve_trace}"
 ./build-release/bench/serve_bench --quick \
-  --bench_json_out="${serve_json}" >/dev/null
+  --bench_json_out="${serve_json}" --trace-out "${serve_trace}" >/dev/null
 python3 - "${serve_json}" <<'EOF'
 import json, sys
 
@@ -222,7 +234,8 @@ def gate(label, ok):
     print(f"  {label:58s} {'ok' if ok else 'FAIL'}")
     failed |= not ok
 
-for op in ("closed/1", "closed/4", "closed/16", "open/overload"):
+load_rows = ("closed/1", "closed/4", "closed/16", "open/overload")
+for op in load_rows + ("daemon/roundtrip",):
     assert op in rows, f"row {op} missing from BENCH_serve.json"
 
 p99 = rows["closed/16"]["p99_ms"]
@@ -234,14 +247,68 @@ for op in ("closed/1", "closed/4", "closed/16"):
 overload = rows["open/overload"]["shed_rate"]
 gate(f"open/overload shed_rate = {overload:.3f} (in (0, 0.99])",
      0.0 < overload <= 0.99)
-for op, counters in rows.items():
+for op in load_rows:
+    counters = rows[op]
     gate(f"{op} error_rate = {counters['error_rate']:.3f} (== 0)",
          counters["error_rate"] == 0.0)
     gate(f"{op} accounting_drift = {counters['accounting_drift']:.0f}",
          counters["accounting_drift"] == 0.0)
+    gate(f"{op} label_drift = {counters['label_drift']:.0f} (== 0)",
+         counters["label_drift"] == 0.0)
 hits = rows["closed/16"]["cache_hits"]
 gate(f"closed/16 artifact-cache hits = {hits:.0f} (> 0)", hits > 0)
+
+for op in ("closed/1", "closed/4", "closed/16"):
+    breaching = rows[op]["slo_breaching"]
+    gate(f"{op} slo_breaching = {breaching:.0f} (== 0)", breaching == 0.0)
+breaching = rows["open/overload"]["slo_breaching"]
+gate(f"open/overload slo_breaching = {breaching:.0f} (>= 1)",
+     breaching >= 1.0)
+
+daemon = rows["daemon/roundtrip"]
+if daemon["daemon_skipped"] == 1.0:
+    gate("daemon/roundtrip skipped (no loopback sockets)", True)
+else:
+    gate(f"daemon queries_ok = {daemon['queries_ok']:.0f} (== 20)",
+         daemon["queries_ok"] == 20.0)
+    gate(f"daemon trace_trees = {daemon['trace_trees']:.0f} (== 20)",
+         daemon["trace_trees"] == 20.0)
+    gate(f"daemon stats_ok = {daemon['stats_ok']:.0f} (== 1)",
+         daemon["stats_ok"] == 1.0)
 sys.exit(1 if failed else 0)
+EOF
+
+echo "=== serve trace artifact: per-request span-tree connectivity ==="
+# Every QUERY the load harness issued must reassemble into one
+# connected span tree rooted at serve.request from the Chrome-trace
+# args (trace/span/parent): >= 95% of request traces with exactly one
+# root named serve.request and no orphan spans (a span whose parent id
+# is absent from its own trace).
+python3 - "${serve_trace}" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+by_trace = {}
+for event in doc["traceEvents"]:
+    args = event.get("args", {})
+    trace = args.get("trace", 0)
+    if trace:
+        by_trace.setdefault(trace, []).append(
+            (event["name"], args["span"], args.get("parent", 0)))
+
+total = len(by_trace)
+connected = 0
+for spans in by_trace.values():
+    ids = {span for _, span, _ in spans}
+    roots = [(name, span) for name, span, parent in spans if parent == 0]
+    ok = (len(roots) == 1 and roots[0][0] == "serve.request"
+          and all(parent in ids for _, _, parent in spans if parent != 0))
+    connected += ok
+frac = connected / max(1, total)
+verdict = "ok" if total > 0 and frac >= 0.95 else "FAIL"
+print(f"  request traces: {total}, fully connected under serve.request: "
+      f"{connected} ({100 * frac:.1f}%, need >= 95%)   {verdict}")
+sys.exit(0 if verdict == "ok" else 1)
 EOF
 
 echo "=== observability overhead gate (Release vs obs-off) ==="

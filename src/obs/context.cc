@@ -1,0 +1,149 @@
+#include "obs/context.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ipdb {
+namespace obs {
+
+uint64_t NewTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t NewSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct TraceStore::TraceData {
+  std::vector<StoredSpan> spans;
+  bool finished = false;
+  bool truncated = false;
+};
+
+TraceStore::TraceStore() = default;
+TraceStore::~TraceStore() = default;
+
+TraceStore& TraceStore::Global() {
+  static TraceStore* store = new TraceStore();
+  return *store;
+}
+
+void TraceStore::Begin(uint64_t trace_id) {
+  if (trace_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.count(trace_id) != 0) return;
+  while (traces_.size() >= kMaxTraces && !order_.empty()) {
+    traces_.erase(order_.front());
+    order_.pop_front();
+  }
+  traces_[trace_id] = std::make_unique<TraceData>();
+  order_.push_back(trace_id);
+}
+
+void TraceStore::Record(uint64_t trace_id, const StoredSpan& span) {
+  if (trace_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(trace_id);
+  if (it == traces_.end()) return;
+  TraceData& data = *it->second;
+  if (data.spans.size() >= kMaxSpansPerTrace) {
+    data.truncated = true;
+    return;
+  }
+  data.spans.push_back(span);
+}
+
+void TraceStore::Finish(uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(trace_id);
+  if (it != traces_.end()) it->second->finished = true;
+}
+
+size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+void TraceStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.clear();
+  order_.clear();
+}
+
+namespace {
+
+void AppendSpanJson(std::ostringstream& out, const StoredSpan& span,
+                    const std::vector<std::vector<size_t>>& children,
+                    const std::vector<StoredSpan>& spans, size_t index) {
+  out << "{\"name\": \"" << JsonEscape(span.name ? span.name : "") << "\""
+      << ", \"category\": \"" << JsonEscape(span.category ? span.category : "")
+      << "\", \"span\": " << span.span_id
+      << ", \"parent\": " << span.parent_span_id
+      << ", \"startNs\": " << span.start_ns
+      << ", \"durationNs\": " << span.duration_ns << ", \"tid\": " << span.tid
+      << ", \"children\": [";
+  const std::vector<size_t>& kids = children[index];
+  for (size_t k = 0; k < kids.size(); ++k) {
+    if (k != 0) out << ", ";
+    AppendSpanJson(out, spans[kids[k]], children, spans, kids[k]);
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+std::string TraceStore::TreeJson(uint64_t trace_id) const {
+  std::vector<StoredSpan> spans;
+  bool finished = false;
+  bool truncated = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = traces_.find(trace_id);
+    if (it == traces_.end()) return "";
+    spans = it->second->spans;
+    finished = it->second->finished;
+    truncated = it->second->truncated;
+  }
+  // Sort by start so children come out in temporal order, then index
+  // parents. Spans with a missing parent (e.g. dropped past the cap)
+  // surface as additional roots instead of vanishing.
+  std::sort(spans.begin(), spans.end(),
+            [](const StoredSpan& a, const StoredSpan& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.duration_ns > b.duration_ns;
+            });
+  std::unordered_map<uint64_t, size_t> by_id;
+  by_id.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) by_id.emplace(spans[i].span_id, i);
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    auto parent = by_id.find(spans[i].parent_span_id);
+    if (spans[i].parent_span_id != 0 && parent != by_id.end() &&
+        parent->second != i) {
+      children[parent->second].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::ostringstream out;
+  out << "{\"schema\": \"ipdb-trace-tree-v1\", \"trace\": " << trace_id
+      << ", \"finished\": " << (finished ? "true" : "false")
+      << ", \"truncated\": " << (truncated ? "true" : "false")
+      << ", \"spanCount\": " << spans.size() << ", \"roots\": [";
+  for (size_t r = 0; r < roots.size(); ++r) {
+    if (r != 0) out << ", ";
+    AppendSpanJson(out, spans[roots[r]], children, spans, roots[r]);
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace ipdb

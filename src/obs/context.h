@@ -1,0 +1,133 @@
+#ifndef IPDB_OBS_CONTEXT_H_
+#define IPDB_OBS_CONTEXT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace ipdb {
+namespace obs {
+
+/// Request-scoped trace context: a 64-bit trace id plus the id of the
+/// span that is currently "open" on this thread, carried in a
+/// thread-local so RAII spans can attach themselves to the request that
+/// created them even after the work hops across ThreadPool::Post /
+/// ParallelFor boundaries (the pool captures the submitter's context
+/// into the task closure and restores it in the worker).
+///
+/// `sampled` is decided head-based, once, when the request enters the
+/// system (per-tenant sampling rate): sampled requests additionally
+/// record their spans into the bounded TraceStore so the daemon can
+/// serve `TRACE <id>` after the request finishes. Unsampled requests
+/// still stamp trace/span ids onto Chrome-trace events whenever the
+/// trace recorder is enabled, so offline traces stay connectable.
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = no active request context
+  uint64_t span_id = 0;   // innermost open span (parent for new spans)
+  bool sampled = false;   // record spans into TraceStore
+
+  bool active() const { return trace_id != 0; }
+};
+
+namespace internal {
+/// The thread's current context. Zero-initialized (constant init, no
+/// guard) so reading it on an un-instrumented thread costs one TLS load.
+inline thread_local TraceContext g_trace_context;
+}  // namespace internal
+
+/// The context new spans on this thread attach to (copy; cheap POD).
+inline TraceContext CurrentTraceContext() { return internal::g_trace_context; }
+
+/// Process-unique non-zero ids. Trace ids and span ids draw from
+/// independent counters; both stay far below 2^53 so they survive a
+/// round-trip through JSON numbers.
+uint64_t NewTraceId();
+uint64_t NewSpanId();
+
+/// Installs `context` as the thread's current context for the enclosing
+/// scope and restores the previous one on destruction. Used at request
+/// entry (Engine::Submit) and inside pool-task wrappers.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context)
+      : saved_(internal::g_trace_context) {
+    internal::g_trace_context = context;
+  }
+  ~ScopedTraceContext() { internal::g_trace_context = saved_; }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// One finished span as kept by the TraceStore (names must be string
+/// literals, same contract as TraceEvent).
+struct StoredSpan {
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root
+  const char* name = nullptr;
+  const char* category = nullptr;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  int tid = 0;
+};
+
+/// Bounded in-memory store of span trees for sampled requests, keyed by
+/// trace id, serving the daemon's `TRACE <id>` command. Entirely off the
+/// un-sampled hot path: only spans whose thread context says
+/// `sampled` ever take the store mutex.
+///
+/// Bounds: at most kMaxTraces live traces (oldest evicted FIFO) and
+/// kMaxSpansPerTrace spans per trace (excess spans are dropped and the
+/// trace is marked truncated), so a busy daemon cannot grow without
+/// limit.
+class TraceStore {
+ public:
+  static constexpr size_t kMaxTraces = 256;
+  static constexpr size_t kMaxSpansPerTrace = 2048;
+
+  // Out-of-line so TraceData can stay private to the .cc.
+  TraceStore();
+  ~TraceStore();
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  static TraceStore& Global();
+
+  /// Registers `trace_id`, evicting the oldest trace when full.
+  void Begin(uint64_t trace_id);
+  /// Appends a finished span; unknown (never-begun or evicted) trace ids
+  /// are dropped silently.
+  void Record(uint64_t trace_id, const StoredSpan& span);
+  /// Marks the trace finished (TRACE replies include the flag, so
+  /// clients can tell an in-flight tree from a complete one).
+  void Finish(uint64_t trace_id);
+
+  /// Nested single-line JSON span tree ({"schema": "ipdb-trace-tree-v1",
+  /// ...}), or an empty string when the trace id is unknown. Children
+  /// are sorted by start time; spans whose parent is missing surface as
+  /// extra roots rather than disappearing.
+  std::string TreeJson(uint64_t trace_id) const;
+
+  /// Number of traces currently held (tests).
+  size_t size() const;
+  /// Drops every stored trace (tests / bench isolation).
+  void Clear();
+
+ private:
+  struct TraceData;
+  mutable std::mutex mu_;
+  // Open-addressed-enough for 256 entries: a vector scanned linearly
+  // would also do, but the map keeps Record O(1) under churn.
+  std::unordered_map<uint64_t, std::unique_ptr<TraceData>> traces_;
+  std::deque<uint64_t> order_;  // insertion order, for FIFO eviction
+};
+
+}  // namespace obs
+}  // namespace ipdb
+
+#endif  // IPDB_OBS_CONTEXT_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
+#include <map>
 #include <sstream>
 
 namespace ipdb {
@@ -60,6 +62,113 @@ void Histogram::Reset() {
   }
 }
 
+namespace {
+
+/// The label interner: one mutex-guarded table for the whole process.
+/// Interning is cold (tenant registration, function-local statics); the
+/// deque keeps LabelValue references stable as the table grows.
+struct LabelTable {
+  std::mutex mu;
+  std::unordered_map<std::string, LabelId> ids;
+  std::deque<std::string> values;
+};
+
+LabelTable& Labels() {
+  static LabelTable* table = new LabelTable();
+  return *table;
+}
+
+}  // namespace
+
+LabelId InternLabel(const std::string& value) {
+  LabelTable& table = Labels();
+  std::lock_guard<std::mutex> lock(table.mu);
+  auto it = table.ids.find(value);
+  if (it != table.ids.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(table.values.size());
+  table.values.push_back(value);
+  table.ids.emplace(value, id);
+  return id;
+}
+
+const std::string& LabelValue(LabelId id) {
+  LabelTable& table = Labels();
+  std::lock_guard<std::mutex> lock(table.mu);
+  static const std::string* unknown = new std::string("<unknown-label>");
+  if (id >= table.values.size()) return *unknown;
+  return table.values[id];
+}
+
+Counter& CounterFamily::Grow(LabelId id) {
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  const Slots* current = slots_.load(std::memory_order_acquire);
+  if (id < current->by_id.size() && current->by_id[id] != nullptr) {
+    return *current->by_id[id];  // another thread grew it first
+  }
+  auto next = std::make_unique<Slots>();
+  next->by_id = current->by_id;
+  if (next->by_id.size() <= id) next->by_id.resize(id + 1, nullptr);
+  owned_.push_back(std::make_unique<Counter>());
+  next->by_id[id] = owned_.back().get();
+  Counter& cell = *next->by_id[id];
+  retired_.emplace_back(current);
+  slots_.store(next.release(), std::memory_order_release);
+  return cell;
+}
+
+std::vector<std::pair<LabelId, int64_t>> CounterFamily::Read() const {
+  const Slots* slots = slots_.load(std::memory_order_acquire);
+  std::vector<std::pair<LabelId, int64_t>> out;
+  for (size_t id = 0; id < slots->by_id.size(); ++id) {
+    if (slots->by_id[id] != nullptr) {
+      out.emplace_back(static_cast<LabelId>(id), slots->by_id[id]->Value());
+    }
+  }
+  return out;
+}
+
+void CounterFamily::Reset() {
+  const Slots* slots = slots_.load(std::memory_order_acquire);
+  for (Counter* cell : slots->by_id) {
+    if (cell != nullptr) cell->Reset();
+  }
+}
+
+Histogram& HistogramFamily::Grow(LabelId id) {
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  const Slots* current = slots_.load(std::memory_order_acquire);
+  if (id < current->by_id.size() && current->by_id[id] != nullptr) {
+    return *current->by_id[id];
+  }
+  auto next = std::make_unique<Slots>();
+  next->by_id = current->by_id;
+  if (next->by_id.size() <= id) next->by_id.resize(id + 1, nullptr);
+  owned_.push_back(std::make_unique<Histogram>());
+  next->by_id[id] = owned_.back().get();
+  Histogram& cell = *next->by_id[id];
+  retired_.emplace_back(current);
+  slots_.store(next.release(), std::memory_order_release);
+  return cell;
+}
+
+std::vector<std::pair<LabelId, HistogramStats>> HistogramFamily::Read() const {
+  const Slots* slots = slots_.load(std::memory_order_acquire);
+  std::vector<std::pair<LabelId, HistogramStats>> out;
+  for (size_t id = 0; id < slots->by_id.size(); ++id) {
+    if (slots->by_id[id] != nullptr) {
+      out.emplace_back(static_cast<LabelId>(id), slots->by_id[id]->Read());
+    }
+  }
+  return out;
+}
+
+void HistogramFamily::Reset() {
+  const Slots* slots = slots_.load(std::memory_order_acquire);
+  for (Histogram* cell : slots->by_id) {
+    if (cell != nullptr) cell->Reset();
+  }
+}
+
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
@@ -81,6 +190,33 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   return *slot;
 }
 
+CounterFamily& MetricsRegistry::GetCounterFamily(const std::string& name,
+                                                 const std::string& label_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counter_families_[name];
+  if (slot == nullptr) slot = std::make_unique<CounterFamily>(name, label_key);
+  return *slot;
+}
+
+HistogramFamily& MetricsRegistry::GetHistogramFamily(
+    const std::string& name, const std::string& label_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histogram_families_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramFamily>(name, label_key);
+  }
+  return *slot;
+}
+
+namespace {
+
+std::string DecoratedName(const std::string& name, const std::string& key,
+                          const std::string& value) {
+  return name + "{" + key + "=\"" + value + "\"}";
+}
+
+}  // namespace
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   std::lock_guard<std::mutex> lock(mu_);
@@ -96,6 +232,38 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms.emplace_back(name, histogram->Read());
   }
+  for (const auto& [name, family] : counter_families_) {
+    for (const auto& [id, value] : family->Read()) {
+      const std::string& label = LabelValue(id);
+      snapshot.counter_families.push_back(
+          {name, family->label_key(), label, value});
+      snapshot.counters.emplace_back(
+          DecoratedName(name, family->label_key(), label), value);
+    }
+  }
+  for (const auto& [name, family] : histogram_families_) {
+    for (auto& [id, stats] : family->Read()) {
+      const std::string& label = LabelValue(id);
+      snapshot.histogram_families.push_back(
+          {name, family->label_key(), label, stats});
+      snapshot.histograms.emplace_back(
+          DecoratedName(name, family->label_key(), label), std::move(stats));
+    }
+  }
+  // The registry maps are unordered; sort every exported view so JSON /
+  // Prometheus output is byte-stable across runs (obs_test pins this).
+  auto by_first = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_first);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_first);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_first);
+  auto by_cell = [](const auto& a, const auto& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.label_value < b.label_value;
+  };
+  std::sort(snapshot.counter_families.begin(), snapshot.counter_families.end(),
+            by_cell);
+  std::sort(snapshot.histogram_families.begin(),
+            snapshot.histogram_families.end(), by_cell);
   return snapshot;
 }
 
@@ -104,6 +272,8 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, family] : counter_families_) family->Reset();
+  for (auto& [name, family] : histogram_families_) family->Reset();
 }
 
 MetricsRegistry& GlobalMetrics() {
@@ -182,6 +352,96 @@ std::string MetricsSnapshot::ToJson() const {
     out << "]}";
   }
   out << "}}";
+  return out.str();
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+std::string PromLabel(const std::string& key, const std::string& value) {
+  return PromName(key) + "=\"" + JsonEscape(value) + "\"";
+}
+
+void AppendPromHistogram(std::ostringstream& out, const std::string& prom_name,
+                         const std::string& label,  // "" or key="value"
+                         const HistogramStats& stats) {
+  // Power-of-two buckets: bucket with lower bound L >= 1 covers
+  // [L, 2L - 1], so its inclusive upper bound is 2L - 1; the <= 0 bucket
+  // reports le="0". Counts are cumulative per the exposition format.
+  int64_t cumulative = 0;
+  for (const auto& [lower, count] : stats.buckets) {
+    cumulative += count;
+    const long long le = lower <= 0 ? 0 : 2 * lower - 1;
+    out << prom_name << "_bucket{";
+    if (!label.empty()) out << label << ",";
+    out << "le=\"" << le << "\"} " << cumulative << "\n";
+  }
+  out << prom_name << "_bucket{";
+  if (!label.empty()) out << label << ",";
+  out << "le=\"+Inf\"} " << stats.count << "\n";
+  out << prom_name << "_sum";
+  if (!label.empty()) out << "{" << label << "}";
+  out << " " << stats.sum << "\n";
+  out << prom_name << "_count";
+  if (!label.empty()) out << "{" << label << "}";
+  out << " " << stats.count << "\n";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  // Group samples under one # TYPE header per metric name. The maps are
+  // keyed by the sanitized name so collisions after sanitizing still
+  // produce a single header.
+  std::map<std::string, std::ostringstream> counter_blocks;
+  std::map<std::string, std::ostringstream> gauge_blocks;
+  std::map<std::string, std::ostringstream> histogram_blocks;
+
+  for (const auto& [name, value] : counters) {
+    if (name.find('{') != std::string::npos) continue;  // decorated alias
+    counter_blocks[PromName(name)] << PromName(name) << " " << value << "\n";
+  }
+  for (const LabeledCounter& cell : counter_families) {
+    counter_blocks[PromName(cell.name)]
+        << PromName(cell.name) << "{"
+        << PromLabel(cell.label_key, cell.label_value) << "} " << cell.value
+        << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    gauge_blocks[PromName(name)] << PromName(name) << " " << value << "\n";
+  }
+  for (const auto& [name, stats] : histograms) {
+    if (name.find('{') != std::string::npos) continue;
+    AppendPromHistogram(histogram_blocks[PromName(name)], PromName(name), "",
+                        stats);
+  }
+  for (const LabeledHistogram& cell : histogram_families) {
+    AppendPromHistogram(histogram_blocks[PromName(cell.name)],
+                        PromName(cell.name),
+                        PromLabel(cell.label_key, cell.label_value),
+                        cell.stats);
+  }
+
+  std::ostringstream out;
+  for (const auto& [name, block] : counter_blocks) {
+    out << "# TYPE " << name << " counter\n" << block.str();
+  }
+  for (const auto& [name, block] : gauge_blocks) {
+    out << "# TYPE " << name << " gauge\n" << block.str();
+  }
+  for (const auto& [name, block] : histogram_blocks) {
+    out << "# TYPE " << name << " histogram\n" << block.str();
+  }
   return out.str();
 }
 

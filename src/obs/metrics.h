@@ -4,10 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -162,11 +162,126 @@ class Histogram {
   Shard shards_[kMetricShards];
 };
 
-/// An immutable, name-sorted view of every registered metric.
+/// A small interned label value (tenant name, answer quality, shed
+/// rung). Interning happens once per distinct string — at tenant
+/// registration, or into a function-local static — so the hot path
+/// carries a dense integer instead of a string.
+using LabelId = uint32_t;
+
+/// Returns the process-wide id for `value`, allocating on first use.
+/// Ids are dense (0, 1, 2, ...) so families can index a flat slot array.
+LabelId InternLabel(const std::string& value);
+/// The string behind an id (reference valid for the process lifetime).
+const std::string& LabelValue(LabelId id);
+
+/// A counter family: one Counter per label value, addressed by LabelId.
+/// The hot path is one acquire load of the slot array plus the counter's
+/// own relaxed shard add — no string hashing, no lock. Growing to a new
+/// label id copies the slot array under a mutex (copy-on-write; retired
+/// arrays are kept alive so in-flight readers stay valid).
+class CounterFamily {
+ public:
+  CounterFamily(std::string name, std::string label_key)
+      : name_(std::move(name)), label_key_(std::move(label_key)) {
+    slots_.store(new Slots(), std::memory_order_release);
+  }
+  // Retired arrays are owned by retired_; the live one only by the
+  // atomic, so reclaim it here (no concurrent readers can outlive us).
+  ~CounterFamily() { delete slots_.load(std::memory_order_acquire); }
+
+  Counter& At(LabelId id) {
+    const Slots* slots = slots_.load(std::memory_order_acquire);
+    if (id < slots->by_id.size() && slots->by_id[id] != nullptr) {
+      return *slots->by_id[id];
+    }
+    return Grow(id);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& label_key() const { return label_key_; }
+
+  /// (label id, merged value) for every registered cell.
+  std::vector<std::pair<LabelId, int64_t>> Read() const;
+  void Reset();
+
+ private:
+  struct Slots {
+    std::vector<Counter*> by_id;
+  };
+  Counter& Grow(LabelId id);
+
+  std::string name_;
+  std::string label_key_;
+  std::atomic<const Slots*> slots_;
+  std::mutex grow_mu_;
+  std::vector<std::unique_ptr<Counter>> owned_;
+  std::vector<std::unique_ptr<const Slots>> retired_;
+};
+
+/// A histogram family, same slot design as CounterFamily.
+class HistogramFamily {
+ public:
+  HistogramFamily(std::string name, std::string label_key)
+      : name_(std::move(name)), label_key_(std::move(label_key)) {
+    slots_.store(new Slots(), std::memory_order_release);
+  }
+  // Retired arrays are owned by retired_; the live one only by the
+  // atomic, so reclaim it here (no concurrent readers can outlive us).
+  ~HistogramFamily() { delete slots_.load(std::memory_order_acquire); }
+
+  Histogram& At(LabelId id) {
+    const Slots* slots = slots_.load(std::memory_order_acquire);
+    if (id < slots->by_id.size() && slots->by_id[id] != nullptr) {
+      return *slots->by_id[id];
+    }
+    return Grow(id);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& label_key() const { return label_key_; }
+
+  std::vector<std::pair<LabelId, HistogramStats>> Read() const;
+  void Reset();
+
+ private:
+  struct Slots {
+    std::vector<Histogram*> by_id;
+  };
+  Histogram& Grow(LabelId id);
+
+  std::string name_;
+  std::string label_key_;
+  std::atomic<const Slots*> slots_;
+  std::mutex grow_mu_;
+  std::vector<std::unique_ptr<Histogram>> owned_;
+  std::vector<std::unique_ptr<const Slots>> retired_;
+};
+
+/// An immutable, name-sorted view of every registered metric. Labeled
+/// family cells appear twice: once in the structured vectors below
+/// (name / key / value split out, for Prometheus and aggregation
+/// checks), and once merged into `counters` / `histograms` under the
+/// decorated name `name{key="value"}` so ToJson and the lookup helpers
+/// see them without special cases.
 struct MetricsSnapshot {
+  struct LabeledCounter {
+    std::string name;
+    std::string label_key;
+    std::string label_value;
+    int64_t value = 0;
+  };
+  struct LabeledHistogram {
+    std::string name;
+    std::string label_key;
+    std::string label_value;
+    HistogramStats stats;
+  };
+
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<std::pair<std::string, HistogramStats>> histograms;
+  std::vector<LabeledCounter> counter_families;
+  std::vector<LabeledHistogram> histogram_families;
 
   /// 0 when the metric was never registered.
   int64_t CounterValue(const std::string& name) const;
@@ -177,6 +292,13 @@ struct MetricsSnapshot {
   /// {"schema": "ipdb-metrics-v1", "counters": {...}, "gauges": {...},
   ///  "histograms": {name: {count, sum, min, max, mean, buckets}}}.
   std::string ToJson() const;
+
+  /// Prometheus text exposition format v0.0.4. Metric names are
+  /// sanitized ([^a-zA-Z0-9_:] -> '_'), labeled cells become
+  /// name{key="value"} samples under one # TYPE header, histograms
+  /// export cumulative _bucket{le=...} / _sum / _count series using the
+  /// power-of-two bucket upper bounds.
+  std::string ToPrometheus() const;
 };
 
 /// Owns the named metrics. Get* registers on first use and returns a
@@ -189,6 +311,12 @@ class MetricsRegistry {
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
+  /// Registers (or returns) the family for `name`. The label key is
+  /// fixed at first registration; later calls ignore a differing key.
+  CounterFamily& GetCounterFamily(const std::string& name,
+                                  const std::string& label_key);
+  HistogramFamily& GetHistogramFamily(const std::string& name,
+                                      const std::string& label_key);
 
   MetricsSnapshot Snapshot() const;
 
@@ -199,10 +327,15 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  // std::map: snapshots come out sorted by name, deterministically.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Unordered for O(1) registration; Snapshot() sorts by name so the
+  // exported views stay deterministic across runs and platforms.
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::unordered_map<std::string, std::unique_ptr<CounterFamily>>
+      counter_families_;
+  std::unordered_map<std::string, std::unique_ptr<HistogramFamily>>
+      histogram_families_;
 };
 
 /// The process-wide registry behind the IPDB_OBS_* macros.

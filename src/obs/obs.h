@@ -94,6 +94,30 @@ inline void SetTracingEnabled(bool on) {
     }                                                           \
   } while (0)
 
+/// Adds `delta` to the `label_id` cell of the named counter family.
+/// `name` and `label_key` are resolved once per call site; the hot path
+/// is one slot-array load plus the counter's relaxed shard add.
+/// `label_id` must come from ::ipdb::obs::InternLabel.
+#define IPDB_OBS_COUNT_LABELED(name, label_key, label_id, delta)            \
+  do {                                                                      \
+    if (::ipdb::obs::MetricsEnabled()) {                                    \
+      static ::ipdb::obs::CounterFamily& ipdb_obs_counter_family =          \
+          ::ipdb::obs::GlobalMetrics().GetCounterFamily(name, label_key);   \
+      ipdb_obs_counter_family.At(label_id).Increment(delta);                \
+    }                                                                       \
+  } while (0)
+
+/// Records `value` into the `label_id` cell of the named histogram
+/// family.
+#define IPDB_OBS_OBSERVE_LABELED(name, label_key, label_id, value)          \
+  do {                                                                      \
+    if (::ipdb::obs::MetricsEnabled()) {                                    \
+      static ::ipdb::obs::HistogramFamily& ipdb_obs_histogram_family =      \
+          ::ipdb::obs::GlobalMetrics().GetHistogramFamily(name, label_key); \
+      ipdb_obs_histogram_family.At(label_id).Observe(value);                \
+    }                                                                       \
+  } while (0)
+
 /// Times the rest of the enclosing scope into the named histogram
 /// (no-op when metrics are runtime-disabled).
 #define IPDB_OBS_SCOPED_TIMER(name)                             \
@@ -119,6 +143,12 @@ inline void SetTracingEnabled(bool on) {
   } while (0)
 #define IPDB_OBS_OBSERVE(name, value) \
   do {                                \
+  } while (0)
+#define IPDB_OBS_COUNT_LABELED(name, label_key, label_id, delta) \
+  do {                                                           \
+  } while (0)
+#define IPDB_OBS_OBSERVE_LABELED(name, label_key, label_id, value) \
+  do {                                                             \
   } while (0)
 #define IPDB_OBS_SCOPED_TIMER(name) \
   do {                              \

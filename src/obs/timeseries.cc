@@ -1,0 +1,203 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ipdb {
+namespace obs {
+
+namespace {
+
+constexpr int64_t kNsPerS = 1000000000;
+
+/// Quantile over merged power-of-two buckets: the lower bound of the
+/// first bucket whose cumulative count reaches q * total. Deterministic
+/// and conservative (never overstates the quantile by more than one
+/// bucket width), which is all the burn-rate math needs.
+int64_t BucketQuantile(const int64_t (&buckets)[Histogram::kBuckets],
+                       int64_t total, double q) {
+  if (total <= 0) return 0;
+  const int64_t rank = static_cast<int64_t>(std::ceil(q * total));
+  int64_t seen = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return Histogram::BucketLowerBound(b);
+  }
+  return Histogram::BucketLowerBound(Histogram::kBuckets - 1);
+}
+
+double SafeDiv(int64_t num, int64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / den;
+}
+
+/// burn = bad_fraction / allowed_bad_fraction. With no traffic there is
+/// nothing burning; with a zero error budget any bad event burns
+/// "infinitely" fast (capped to keep the JSON finite).
+double BurnRate(int64_t bad, int64_t total, double target) {
+  if (total <= 0) return 0.0;
+  const double bad_fraction = static_cast<double>(bad) / total;
+  const double allowed = 1.0 - target;
+  if (allowed <= 0.0) return bad_fraction > 0.0 ? 1e9 : 0.0;
+  return bad_fraction / allowed;
+}
+
+void AppendRollupJson(std::ostringstream& out, const SeriesRollup& r) {
+  out << "{\"windowS\": " << r.window_s << ", \"served\": " << r.served
+      << ", \"ok\": " << r.ok << ", \"errors\": " << r.errors
+      << ", \"shed\": " << r.shed << ", \"degraded\": " << r.degraded
+      << ", \"slow\": " << r.slow << ", \"qps\": " << r.qps
+      << ", \"p50Ms\": " << r.p50_ns / 1e6 << ", \"p99Ms\": " << r.p99_ns / 1e6
+      << ", \"shedRate\": " << r.shed_rate
+      << ", \"errorRate\": " << r.error_rate
+      << ", \"degradedRate\": " << r.degraded_rate << "}";
+}
+
+void AppendBurnJson(std::ostringstream& out, const SloBurn& burn) {
+  out << "{\"enabled\": " << (burn.enabled ? "true" : "false")
+      << ", \"fast\": " << burn.fast << ", \"slow\": " << burn.slow << "}";
+}
+
+}  // namespace
+
+TenantSeries::TenantSeries(const SloPolicy& policy)
+    : policy_(policy),
+      slow_threshold_ns_(static_cast<int64_t>(policy.latency_threshold_ms *
+                                              1e6)),
+      ring_(static_cast<size_t>(kWindows)) {}
+
+TenantSeries::Window& TenantSeries::At(int64_t now_ns) {
+  const int64_t epoch_s = now_ns / kNsPerS;
+  Window& window = ring_[static_cast<size_t>(epoch_s % kWindows)];
+  if (window.epoch_s != epoch_s) {
+    window = Window{};
+    window.epoch_s = epoch_s;
+  }
+  return window;
+}
+
+void TenantSeries::RecordServed(int64_t now_ns, int64_t latency_ns, bool ok,
+                                bool degraded) {
+  if (latency_ns < 0) latency_ns = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Window& window = At(now_ns);
+  ++window.served;
+  if (ok) {
+    ++window.ok;
+  } else {
+    ++window.errors;
+  }
+  if (degraded) ++window.degraded;
+  // "Slow" is judged at record time against the policy captured at
+  // registration, so rollups never rescan raw latencies.
+  if (slow_threshold_ns_ > 0 && latency_ns > slow_threshold_ns_) {
+    ++window.slow;
+  }
+  window.latency_sum_ns += latency_ns;
+  ++window.buckets[Histogram::BucketIndex(latency_ns)];
+}
+
+void TenantSeries::RecordShed(int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++At(now_ns).shed;
+}
+
+SeriesRollup TenantSeries::Rollup(int64_t now_ns, int64_t window_s) const {
+  SeriesRollup rollup;
+  rollup.window_s = std::min(window_s, kWindows);
+  const int64_t now_s = now_ns / kNsPerS;
+  const int64_t first_s = now_s - rollup.window_s + 1;
+  int64_t buckets[Histogram::kBuckets] = {};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Window& window : ring_) {
+      if (window.epoch_s < first_s || window.epoch_s > now_s) continue;
+      rollup.served += window.served;
+      rollup.ok += window.ok;
+      rollup.errors += window.errors;
+      rollup.shed += window.shed;
+      rollup.degraded += window.degraded;
+      rollup.slow += window.slow;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        buckets[b] += window.buckets[b];
+      }
+    }
+  }
+  rollup.qps = SafeDiv(rollup.served, rollup.window_s);
+  rollup.p50_ns = BucketQuantile(buckets, rollup.served, 0.50);
+  rollup.p99_ns = BucketQuantile(buckets, rollup.served, 0.99);
+  rollup.shed_rate = SafeDiv(rollup.shed, rollup.served + rollup.shed);
+  rollup.error_rate = SafeDiv(rollup.errors, rollup.served);
+  rollup.degraded_rate = SafeDiv(rollup.degraded, rollup.served);
+  return rollup;
+}
+
+SloReport TenantSeries::Evaluate(int64_t now_ns) const {
+  SloReport report;
+  if (!policy_.any()) return report;
+  const SeriesRollup fast = Rollup(now_ns, kFastWindowS);
+  const SeriesRollup slow = Rollup(now_ns, kSlowWindowS);
+  bool breaching = false;
+  if (policy_.latency_threshold_ms > 0.0) {
+    report.latency.enabled = true;
+    report.latency.fast =
+        BurnRate(fast.slow, fast.served, policy_.latency_target);
+    report.latency.slow =
+        BurnRate(slow.slow, slow.served, policy_.latency_target);
+    breaching = breaching || (report.latency.fast > policy_.burn_alert &&
+                              report.latency.slow > policy_.burn_alert);
+  }
+  if (policy_.availability_target > 0.0) {
+    report.availability.enabled = true;
+    report.availability.fast =
+        BurnRate(fast.errors + fast.shed, fast.served + fast.shed,
+                 policy_.availability_target);
+    report.availability.slow =
+        BurnRate(slow.errors + slow.shed, slow.served + slow.shed,
+                 policy_.availability_target);
+    breaching = breaching || (report.availability.fast > policy_.burn_alert &&
+                              report.availability.slow > policy_.burn_alert);
+  }
+  report.state = breaching ? "breaching" : "ok";
+  return report;
+}
+
+TenantSeries& ServiceStats::GetSeries(const std::string& tenant,
+                                      const SloPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[tenant];
+  if (slot == nullptr) slot = std::make_unique<TenantSeries>(policy);
+  return *slot;
+}
+
+TenantSeries* ServiceStats::FindSeries(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(tenant);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+std::string ServiceStats::ReportJson(int64_t now_ns) const {
+  std::ostringstream out;
+  out << "{\"schema\": \"ipdb-stats-v1\", \"tenants\": {";
+  std::lock_guard<std::mutex> lock(mu_);
+  bool first = true;
+  for (const auto& [tenant, series] : series_) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << JsonEscape(tenant) << "\": {\"1m\": ";
+    AppendRollupJson(out, series->Rollup(now_ns, TenantSeries::kFastWindowS));
+    out << ", \"10m\": ";
+    AppendRollupJson(out, series->Rollup(now_ns, TenantSeries::kSlowWindowS));
+    const SloReport slo = series->Evaluate(now_ns);
+    out << ", \"slo\": {\"state\": \"" << slo.state << "\", \"latency\": ";
+    AppendBurnJson(out, slo.latency);
+    out << ", \"availability\": ";
+    AppendBurnJson(out, slo.availability);
+    out << "}}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace ipdb

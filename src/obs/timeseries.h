@@ -1,0 +1,150 @@
+#ifndef IPDB_OBS_TIMESERIES_H_
+#define IPDB_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ipdb {
+namespace obs {
+
+/// Per-tenant time-series and SLO burn-rate evaluation.
+///
+/// Each tenant owns a ring of 1-second windows (10 minutes deep). A
+/// request completion lands one mutex-guarded tally in the current
+/// window; rollups (qps, p50/p99 over the power-of-two latency buckets,
+/// shed/error/degraded rates) merge a window range at read time. SLO
+/// health follows the multi-window burn-rate rule: an objective is
+/// `breaching` when the error budget burns faster than `burn_alert` in
+/// BOTH the fast (1m) and slow (10m) windows — the fast window makes the
+/// alert responsive, the slow window keeps one bad second from paging.
+///
+/// Every entry point takes an explicit `now_ns` (monotonic clock) so
+/// tests can drive the clock deterministically; production callers pass
+/// MonotonicNowNs().
+
+/// A tenant's declared objectives. Zeroed fields disable the matching
+/// objective; a policy with no objectives reports state "no_slo".
+struct SloPolicy {
+  /// Latency objective: at least `latency_target` of served requests
+  /// complete within `latency_threshold_ms` (0 disables).
+  double latency_threshold_ms = 0.0;
+  double latency_target = 0.99;
+  /// Availability objective: at least this fraction of submitted
+  /// requests are served without shed or error (0 disables).
+  double availability_target = 0.0;
+  /// Burn-rate multiple that flips an objective to breaching.
+  double burn_alert = 1.0;
+
+  bool any() const {
+    return latency_threshold_ms > 0.0 || availability_target > 0.0;
+  }
+};
+
+/// Merged view of a window range.
+struct SeriesRollup {
+  int64_t window_s = 0;
+  int64_t served = 0;   // completed requests (ok or error)
+  int64_t ok = 0;
+  int64_t errors = 0;
+  int64_t shed = 0;
+  int64_t degraded = 0;
+  int64_t slow = 0;     // served with latency > policy threshold
+  double qps = 0.0;     // served / window_s
+  int64_t p50_ns = 0;   // bucket lower-bound quantiles; 0 when served == 0
+  int64_t p99_ns = 0;
+  double shed_rate = 0.0;      // shed / (served + shed)
+  double error_rate = 0.0;     // errors / served
+  double degraded_rate = 0.0;  // degraded / served
+};
+
+/// Burn rates for one objective: (bad fraction) / (allowed bad
+/// fraction) per window. 1.0 = burning the budget exactly at the
+/// sustainable rate; > burn_alert in both windows = breaching.
+struct SloBurn {
+  bool enabled = false;
+  double fast = 0.0;  // 1m
+  double slow = 0.0;  // 10m
+};
+
+struct SloReport {
+  SloBurn latency;
+  SloBurn availability;
+  /// "no_slo", "ok", or "breaching".
+  std::string state = "no_slo";
+};
+
+/// One tenant's ring of per-second windows. Thread-safe; each record is
+/// one mutex acquisition on the tenant's own lock (cross-tenant traffic
+/// never contends).
+class TenantSeries {
+ public:
+  static constexpr int64_t kWindows = 600;  // ring depth: 10 minutes
+  static constexpr int64_t kFastWindowS = 60;
+  static constexpr int64_t kSlowWindowS = 600;
+
+  explicit TenantSeries(const SloPolicy& policy);
+
+  /// A request that completed (ok=false means it returned an error).
+  void RecordServed(int64_t now_ns, int64_t latency_ns, bool ok,
+                    bool degraded);
+  /// A request rejected by admission/quota before execution.
+  void RecordShed(int64_t now_ns);
+
+  SeriesRollup Rollup(int64_t now_ns, int64_t window_s) const;
+  SloReport Evaluate(int64_t now_ns) const;
+  const SloPolicy& policy() const { return policy_; }
+
+ private:
+  struct Window {
+    int64_t epoch_s = -1;  // second this window covers; -1 = empty
+    int64_t served = 0;
+    int64_t ok = 0;
+    int64_t errors = 0;
+    int64_t shed = 0;
+    int64_t degraded = 0;
+    int64_t slow = 0;
+    int64_t latency_sum_ns = 0;
+    int64_t buckets[Histogram::kBuckets] = {};
+  };
+
+  /// Returns the (reset-if-stale) window covering now_ns. Caller holds
+  /// mu_.
+  Window& At(int64_t now_ns);
+
+  mutable std::mutex mu_;
+  SloPolicy policy_;
+  int64_t slow_threshold_ns_ = 0;
+  std::vector<Window> ring_;
+};
+
+/// The per-service hub: tenant name -> series. Owned by the Engine (one
+/// per service instance, not process-global, so tests and multiple
+/// engines stay isolated).
+class ServiceStats {
+ public:
+  /// Returns the tenant's series, creating it with `policy` on first
+  /// use (later calls keep the original policy).
+  TenantSeries& GetSeries(const std::string& tenant, const SloPolicy& policy);
+  /// nullptr when the tenant was never registered.
+  TenantSeries* FindSeries(const std::string& tenant);
+
+  /// {"schema": "ipdb-stats-v1", "tenants": {name: {"1m": {...},
+  ///  "10m": {...}, "slo": {"state": ..., "latency": {...},
+  ///  "availability": {...}}}}} — single line, deterministic order.
+  std::string ReportJson(int64_t now_ns) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TenantSeries>> series_;
+};
+
+}  // namespace obs
+}  // namespace ipdb
+
+#endif  // IPDB_OBS_TIMESERIES_H_

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/obs.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +10,19 @@
 
 namespace ipdb {
 namespace obs {
+
+namespace {
+
+/// Cold path: only runs when a buffer is already at its cap. Declared in
+/// obs.h; guarded so the obs-off / metrics-off builds stay silent.
+void CountDroppedEvent() {
+  if (!MetricsEnabled()) return;
+  static Counter& dropped =
+      GlobalMetrics().GetCounter("obs.trace.dropped_events");
+  dropped.Increment();
+}
+
+}  // namespace
 
 /// `events` and `dropped` are shared with Drain and guarded by `mu`;
 /// `depth` is touched only by the owning thread (span open/close are
@@ -79,26 +94,88 @@ int64_t TraceRecorder::dropped_events() const {
 Span::Span(const char* name, const char* category)
     : name_(name), category_(category) {
   TraceRecorder& recorder = TraceRecorder::Global();
-  if (!recorder.enabled()) return;
-  TraceRecorder::ThreadBuffer* buffer = recorder.BufferForThisThread();
-  buffer_ = buffer;
-  depth_ = buffer->depth++;
+  const bool chrome = recorder.enabled();
+  const TraceContext context = CurrentTraceContext();
+  if (context.active()) {
+    trace_id_ = context.trace_id;
+    parent_span_id_ = context.span_id;
+    store_ = context.sampled;
+  }
+  if (!chrome && !store_) {
+    trace_id_ = 0;  // nothing will record; skip the clock reads
+    return;
+  }
+  if (trace_id_ != 0) {
+    span_id_ = NewSpanId();
+    internal::g_trace_context.span_id = span_id_;  // children nest under us
+  }
+  if (chrome) {
+    TraceRecorder::ThreadBuffer* buffer = recorder.BufferForThisThread();
+    buffer_ = buffer;
+    depth_ = buffer->depth++;
+  }
   start_ns_ = MonotonicNowNs();
 }
 
 Span::~Span() {
-  if (buffer_ == nullptr) return;
+  if (buffer_ == nullptr && !store_) return;
   const int64_t end_ns = MonotonicNowNs();
+  if (trace_id_ != 0) {
+    // Restore the parent as the thread's open span. The context may have
+    // been swapped mid-span (pool task wrappers install their own and
+    // restore it before we get here), so only write back if we are still
+    // the innermost open span of our own trace.
+    TraceContext& current = internal::g_trace_context;
+    if (current.trace_id == trace_id_ && current.span_id == span_id_) {
+      current.span_id = parent_span_id_;
+    }
+  }
+  if (store_) {
+    TraceStore::Global().Record(
+        trace_id_, StoredSpan{span_id_, parent_span_id_, name_, category_,
+                              start_ns_, end_ns - start_ns_, 0});
+  }
+  if (buffer_ == nullptr) return;
   auto* buffer = static_cast<TraceRecorder::ThreadBuffer*>(buffer_);
   --buffer->depth;
   std::lock_guard<std::mutex> lock(buffer->mu);
   if (buffer->events.size() >= TraceRecorder::kMaxEventsPerThread) {
     ++buffer->dropped;
+    CountDroppedEvent();
     return;
   }
   buffer->events.push_back(TraceEvent{name_, category_, start_ns_,
-                                      end_ns - start_ns_, buffer->tid,
-                                      depth_});
+                                      end_ns - start_ns_, buffer->tid, depth_,
+                                      trace_id_, span_id_, parent_span_id_});
+}
+
+void TraceRecorder::Append(const TraceEvent& event) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    ++buffer->dropped;
+    CountDroppedEvent();
+    return;
+  }
+  TraceEvent copy = event;
+  copy.tid = buffer->tid;
+  buffer->events.push_back(copy);
+}
+
+void RecordCompletedSpan(const TraceContext& context, uint64_t span_id,
+                         uint64_t parent_span_id, const char* name,
+                         const char* category, int64_t start_ns,
+                         int64_t duration_ns, int depth) {
+  if (context.sampled) {
+    TraceStore::Global().Record(
+        context.trace_id, StoredSpan{span_id, parent_span_id, name, category,
+                                     start_ns, duration_ns, 0});
+  }
+  TraceRecorder::Global().Append(TraceEvent{name, category, start_ns,
+                                            duration_ns, 0, depth,
+                                            context.trace_id, span_id,
+                                            parent_span_id});
 }
 
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
@@ -125,10 +202,15 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
         << JsonEscape(event.category) << "\", \"ph\": \"X\", \"ts\": "
         << microseconds(event.start_ns - origin_ns) << ", \"dur\": "
         << microseconds(event.duration_ns) << ", \"pid\": 1, \"tid\": "
-        << event.tid << ", \"args\": {\"depth\": " << event.depth << "}}"
-        << (i + 1 < events.size() ? "," : "") << "\n";
+        << event.tid << ", \"args\": {\"depth\": " << event.depth;
+    if (event.trace_id != 0) {
+      out << ", \"trace\": " << event.trace_id << ", \"span\": "
+          << event.span_id << ", \"parent\": " << event.parent_span_id;
+    }
+    out << "}}" << (i + 1 < events.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"otherData\": {\"droppedEvents\": " << dropped_events;
+  out << "  ],\n  \"otherData\": {\"droppedEvents\": " << dropped_events
+      << ", \"truncated\": " << (dropped_events > 0 ? "true" : "false");
   if (metrics != nullptr) {
     out << ", \"metrics\": " << metrics->ToJson();
   }

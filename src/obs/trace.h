@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -37,6 +38,12 @@ struct TraceEvent {
   int64_t duration_ns = 0;  // close - open
   int tid = 0;              // stable small id, assigned per thread
   int depth = 0;
+  // Request attribution, 0 when the span opened outside a request
+  // context (TraceContext in obs/context.h). Exported into the Chrome
+  // trace args so the CI connectivity gate can reassemble span trees.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 /// The process-wide span sink. Threads register a buffer on first use
@@ -65,6 +72,12 @@ class TraceRecorder {
   /// last Drain.
   int64_t dropped_events() const;
 
+  /// Appends an already-timed event to this thread's buffer (the tid
+  /// field is overwritten with the thread's id). Used for synthesized
+  /// spans whose start/end were measured elsewhere, e.g. the serve.queue
+  /// wait recorded by the worker after the fact. No-op while disabled.
+  void Append(const TraceEvent& event);
+
  private:
   struct ThreadBuffer;
   friend class Span;
@@ -82,6 +95,14 @@ class TraceRecorder {
 /// enabled flag at construction: a span that opened while tracing was on
 /// records even if tracing is switched off before it closes (and vice
 /// versa), so traces never contain half-open spans.
+///
+/// When the thread has an active TraceContext the span also allocates a
+/// span id, parents itself under the context's current span, and makes
+/// itself the parent for spans opened inside it (the context is restored
+/// on close, so sibling spans share a parent). Sampled contexts
+/// additionally record the finished span into TraceStore::Global() even
+/// while the Chrome recorder is off — the daemon's TRACE command works
+/// without a --trace-out run.
 class Span {
  public:
   explicit Span(const char* name, const char* category = "ipdb");
@@ -95,13 +116,29 @@ class Span {
   int64_t start_ns_ = 0;
   int depth_ = 0;
   void* buffer_ = nullptr;  // TraceRecorder::ThreadBuffer*; null = inactive
+  uint64_t trace_id_ = 0;   // 0 = no request context at open
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  bool store_ = false;  // record into TraceStore on close
 };
+
+/// Records a span whose lifetime was measured externally (explicit
+/// timestamps) into both sinks: the Chrome recorder (when enabled) and
+/// the TraceStore (when `context.sampled`). Used by the engine for the
+/// synthesized serve.request root and serve.queue wait spans.
+void RecordCompletedSpan(const TraceContext& context, uint64_t span_id,
+                         uint64_t parent_span_id, const char* name,
+                         const char* category, int64_t start_ns,
+                         int64_t duration_ns, int depth = 0);
 
 /// Chrome trace-event JSON ("X" complete events, microsecond
 /// timestamps normalized to the earliest span). When `metrics` is
 /// non-null the snapshot is embedded under otherData.metrics so a trace
 /// file carries the counters needed to correlate it with BENCH_*.json
-/// rows; `dropped_events` is recorded under otherData.droppedEvents.
+/// rows; `dropped_events` is recorded under otherData.droppedEvents and
+/// mirrored as otherData.truncated (true when any event was dropped).
+/// Events carrying a request context additionally export args.trace /
+/// args.span / args.parent.
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
                             const MetricsSnapshot* metrics = nullptr,
                             int64_t dropped_events = 0);

@@ -20,6 +20,16 @@ namespace pqe {
 
 namespace {
 
+/// Interned `quality` label values for the pqe.answers{quality=...}
+/// counter family — one cell per answer grade, so dashboards see the
+/// exact/interval/failed split without parsing counter names.
+[[maybe_unused]] const obs::LabelId kQualityExact =
+    obs::InternLabel("exact");
+[[maybe_unused]] const obs::LabelId kQualityInterval =
+    obs::InternLabel("interval");
+[[maybe_unused]] const obs::LabelId kQualityFailed =
+    obs::InternLabel("failed");
+
 /// Mirrors a per-query WmcStats delta into the cumulative registry
 /// counters, so every path through the solver feeds the same process-
 /// wide tallies the public struct reports per call.
@@ -305,6 +315,7 @@ StatusOr<QueryAnswer> QueryProbability(const pdb::TiPdb<double>& ti,
         if (stats != nullptr) stats->decompositions += decompositions;
         MirrorWmcStats(WmcStats{0, decompositions, 0, 0});
         IPDB_OBS_COUNT("pqe.lifted.answers", 1);
+        IPDB_OBS_COUNT_LABELED("pqe.answers", "quality", kQualityExact, 1);
         QueryAnswer answer;
         answer.probability = probability.value();
         answer.half_width = 0.0;
@@ -397,6 +408,7 @@ StatusOr<QueryAnswer> QueryProbability(const pdb::TiPdb<double>& ti,
     answer.half_width = 0.0;
     answer.confidence = 1.0;
     answer.quality = AnswerQuality::kExact;
+    IPDB_OBS_COUNT_LABELED("pqe.answers", "quality", kQualityExact, 1);
     return answer;
   } while (false);
 
@@ -428,6 +440,7 @@ StatusOr<QueryAnswer> QueryProbability(const pdb::TiPdb<double>& ti,
     // exact-path error attached, so the caller still learns what was
     // attempted (and pqe.fallback.failed counts it).
     IPDB_OBS_COUNT("pqe.fallback.failed", 1);
+    IPDB_OBS_COUNT_LABELED("pqe.answers", "quality", kQualityFailed, 1);
     answer.quality = AnswerQuality::kFailed;
     exact_error.Append("fallback: " + estimate.status().message());
     answer.exact_error = std::move(exact_error);
@@ -440,6 +453,7 @@ StatusOr<QueryAnswer> QueryProbability(const pdb::TiPdb<double>& ti,
   answer.samples = estimate.value().samples;
   IPDB_OBS_COUNT("pqe.fallback.interval_answers", 1);
   IPDB_OBS_COUNT("pqe.fallback.samples", estimate.value().samples);
+  IPDB_OBS_COUNT_LABELED("pqe.answers", "quality", kQualityInterval, 1);
   return answer;
 }
 

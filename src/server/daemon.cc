@@ -56,7 +56,8 @@ std::string ResultLine(const QueryResult& result) {
   out << "OK " << result.answer.probability << ' ' << result.answer.half_width
       << ' ' << result.answer.confidence << ' '
       << QualityName(result.answer.quality) << ' '
-      << (result.answer.lifted ? 1 : 0) << ' ' << (result.degraded ? 1 : 0);
+      << (result.answer.lifted ? 1 : 0) << ' ' << (result.degraded ? 1 : 0)
+      << ' ' << result.trace_id;
   return out.str();
 }
 
@@ -217,6 +218,17 @@ std::string Daemon::HandleLine(const std::string& line) {
   if (command == "PING") return "PONG";
   if (command == "QUIT") return "BYE";
   if (command == "METRICS") return Engine::MetricsJson();
+  if (command == "STATS") return engine_->StatsJson();
+  if (command == "TRACE") {
+    unsigned long long trace_id = 0;
+    if (!(in >> trace_id) || trace_id == 0) {
+      return "ERR INVALID_ARGUMENT usage: TRACE <trace-id>";
+    }
+    StatusOr<std::string> tree =
+        engine_->TraceJson(static_cast<uint64_t>(trace_id));
+    if (!tree.ok()) return ErrorLine(tree.status());
+    return tree.value();
+  }
   if (command == "QUERY" || command == "PQUERY") {
     std::string tenant;
     std::string instance;

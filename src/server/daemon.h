@@ -30,10 +30,20 @@ struct DaemonOptions {
 ///   QUERY  <tenant> <instance> <formula>  -> OK <p> <half_width>
 ///                                            <confidence> <quality>
 ///                                            <lifted> <degraded>
+///                                            <trace-id>
 ///   PQUERY <tenant> <instance> <formula>  -> same, via the tenant's
 ///                                            shared PreparedQuery
 ///   METRICS                               -> the single-line
 ///                                            ipdb-metrics-v1 JSON
+///   STATS                                 -> the single-line
+///                                            ipdb-stats-v1 JSON
+///                                            (per-tenant rollups + SLO
+///                                            burn-rate states)
+///   TRACE <trace-id>                      -> the single-line
+///                                            ipdb-trace-tree-v1 JSON
+///                                            span tree for a sampled
+///                                            request (id from a QUERY
+///                                            response)
 ///   QUIT                                  -> BYE (connection closes)
 ///
 /// Failures answer `ERR <CODE> <message>` with the Status code name

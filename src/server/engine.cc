@@ -1,17 +1,43 @@
 #include "server/engine.h"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "logic/parser.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 
 namespace ipdb {
 namespace server {
 
 namespace {
+
+/// Shed-rung labels, interned once. [[maybe_unused]] keeps the obs-off
+/// build quiet (the labeled macros expand to nothing there).
+[[maybe_unused]] const obs::LabelId kRungStopping =
+    obs::InternLabel("stopping");
+[[maybe_unused]] const obs::LabelId kRungTenantQuota =
+    obs::InternLabel("tenant_quota");
+[[maybe_unused]] const obs::LabelId kRungQueueDepth =
+    obs::InternLabel("queue_depth");
+
+obs::SloPolicy SloPolicyFor(const TenantConfig& config) {
+  obs::SloPolicy policy;
+  policy.latency_threshold_ms = config.slo_p99_ms;
+  policy.latency_target = 0.99;  // "p99 <= threshold" as a burn objective
+  policy.availability_target = config.slo_availability;
+  policy.burn_alert = config.slo_burn_alert;
+  return policy;
+}
+
+uint64_t SamplePeriodFor(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return 1;
+  return static_cast<uint64_t>(std::llround(1.0 / rate));
+}
 
 int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -94,6 +120,9 @@ Status Engine::RegisterTenant(const std::string& name,
   auto state = std::make_unique<TenantState>();
   state->config = config;
   state->owner = next_owner_++;
+  state->label = obs::InternLabel(name);
+  state->series = &stats_.GetSeries(name, SloPolicyFor(config));
+  state->sample_period = SamplePeriodFor(config.trace_sample);
   kc::GlobalCompiledQueryCache().SetOwnerLimits(
       state->owner, config.cache_max_bytes, config.cache_max_entries);
   tenants_.emplace(name, std::move(state));
@@ -134,10 +163,10 @@ StatusOr<QueryResult> Engine::QueryPrepared(const std::string& tenant,
 StatusOr<std::shared_ptr<PendingQuery>> Engine::SubmitInternal(
     const std::string& tenant, const std::string& instance,
     const std::string& query, bool prepared) {
-  IPDB_OBS_SPAN("serve.submit", "serve");
   IPDB_OBS_COUNT("serve.submitted", 1);
   if (stopping_.load(std::memory_order_acquire)) {
     IPDB_OBS_COUNT("serve.shed", 1);
+    IPDB_OBS_COUNT_LABELED("serve.shed", "rung", kRungStopping, 1);
     return UnavailableError("query service is stopping");
   }
 
@@ -157,39 +186,83 @@ StatusOr<std::shared_ptr<PendingQuery>> Engine::SubmitInternal(
     inst = instance_it->second;
   }
 
+  // The request's trace context: every admitted-or-shed request gets a
+  // trace id; head-based sampling decides whether the span tree is
+  // retained for TRACE. ctx.span_id is the serve.request root — spans
+  // opened below (and in the posted task) parent under it.
+  obs::TraceContext ctx;
+  ctx.trace_id = obs::NewTraceId();
+  ctx.span_id = obs::NewSpanId();
+  ctx.sampled = tenant_state->SampleTrace();
+  if (ctx.sampled) obs::TraceStore::Global().Begin(ctx.trace_id);
+  const uint64_t root_span_id = ctx.span_id;
+  const int64_t submitted_ns = NowNs();
+  obs::ScopedTraceContext trace_scope(ctx);
+  // Closes the trace for requests that never reach a worker (parse
+  // errors, shed): the root span still exists, so TRACE answers.
+  auto finish_request = [&]() {
+    obs::RecordCompletedSpan(ctx, root_span_id, 0, "serve.request", "serve",
+                             submitted_ns, NowNs() - submitted_ns);
+    obs::TraceStore::Global().Finish(ctx.trace_id);
+  };
+
   // Parse outside the registry lock: parse cost is per-query, and a
   // malformed query must come back as a Status, never take the engine
   // down.
-  StatusOr<logic::Formula> sentence = logic::ParseSentence(query, inst->schema());
+  StatusOr<logic::Formula> sentence = [&]() {
+    IPDB_OBS_SPAN("serve.parse", "serve");
+    return logic::ParseSentence(query, inst->schema());
+  }();
   if (!sentence.ok()) {
     tenant_state->errors.fetch_add(1, std::memory_order_relaxed);
+    tenant_state->series->RecordServed(obs::MonotonicNowNs(), 0, /*ok=*/false,
+                                       /*degraded=*/false);
     IPDB_OBS_COUNT("serve.parse_errors", 1);
+    finish_request();
     return sentence.status();
   }
 
   // Admission: the tenant's own in-flight quota first (a noisy tenant
   // sheds before it pressures anyone else), then the engine-wide ladder.
-  const int64_t tenant_in_flight =
-      tenant_state->in_flight.load(std::memory_order_relaxed);
-  if (tenant_in_flight >= tenant_state->config.max_in_flight) {
-    tenant_state->shed.fetch_add(1, std::memory_order_relaxed);
-    IPDB_OBS_COUNT("serve.shed", 1);
-    IPDB_OBS_COUNT("serve.tenant_shed", 1);
-    return IPDB_STATUS(StatusCode::kUnavailable)
-           << "tenant '" << tenant << "' at its in-flight quota ("
-           << tenant_state->config.max_in_flight << ")";
+  // Scoped into a lambda so the serve.admission span closes before the
+  // task is posted (the posted task must parent under serve.request,
+  // not under admission).
+  bool degraded = false;
+  Status admit = [&]() -> Status {
+    IPDB_OBS_SPAN("serve.admission", "serve");
+    const int64_t tenant_in_flight =
+        tenant_state->in_flight.load(std::memory_order_relaxed);
+    if (tenant_in_flight >= tenant_state->config.max_in_flight) {
+      tenant_state->shed.fetch_add(1, std::memory_order_relaxed);
+      tenant_state->series->RecordShed(obs::MonotonicNowNs());
+      IPDB_OBS_COUNT("serve.shed", 1);
+      IPDB_OBS_COUNT("serve.tenant_shed", 1);
+      IPDB_OBS_COUNT_LABELED("serve.shed", "rung", kRungTenantQuota,
+                             1);
+      return IPDB_STATUS(StatusCode::kUnavailable)
+             << "tenant '" << tenant << "' at its in-flight quota ("
+             << tenant_state->config.max_in_flight << ")";
+    }
+    const Admission decision =
+        admission_.Decide(in_flight_total_.load(std::memory_order_relaxed));
+    if (decision == Admission::kShed) {
+      tenant_state->shed.fetch_add(1, std::memory_order_relaxed);
+      tenant_state->series->RecordShed(obs::MonotonicNowNs());
+      IPDB_OBS_COUNT("serve.shed", 1);
+      IPDB_OBS_COUNT_LABELED("serve.shed", "rung", kRungQueueDepth,
+                             1);
+      return IPDB_STATUS(StatusCode::kUnavailable)
+             << "query service overloaded (queue depth "
+             << in_flight_total_.load(std::memory_order_relaxed) << " >= "
+             << admission_.options().max_queue_depth << ")";
+    }
+    degraded = decision == Admission::kDegraded;
+    return Status::Ok();
+  }();
+  if (!admit.ok()) {
+    finish_request();
+    return admit;
   }
-  const Admission decision =
-      admission_.Decide(in_flight_total_.load(std::memory_order_relaxed));
-  if (decision == Admission::kShed) {
-    tenant_state->shed.fetch_add(1, std::memory_order_relaxed);
-    IPDB_OBS_COUNT("serve.shed", 1);
-    return IPDB_STATUS(StatusCode::kUnavailable)
-           << "query service overloaded (queue depth "
-           << in_flight_total_.load(std::memory_order_relaxed) << " >= "
-           << admission_.options().max_queue_depth << ")";
-  }
-  const bool degraded = decision == Admission::kDegraded;
   if (degraded) {
     tenant_state->degraded.fetch_add(1, std::memory_order_relaxed);
     IPDB_OBS_COUNT("serve.degraded", 1);
@@ -197,7 +270,7 @@ StatusOr<std::shared_ptr<PendingQuery>> Engine::SubmitInternal(
 
   tenant_state->admitted.fetch_add(1, std::memory_order_relaxed);
   tenant_state->in_flight.fetch_add(1, std::memory_order_relaxed);
-  const int64_t depth =
+  [[maybe_unused]] const int64_t depth =
       in_flight_total_.fetch_add(1, std::memory_order_relaxed) + 1;
   IPDB_OBS_GAUGE_SET("serve.queue_depth", depth);
   IPDB_OBS_COUNT("serve.admitted", 1);
@@ -212,12 +285,15 @@ StatusOr<std::shared_ptr<PendingQuery>> Engine::SubmitInternal(
   }
 
   auto pending = std::make_shared<PendingQuery>();
+  pending->trace_id_ = ctx.trace_id;
   logic::Formula parsed = std::move(sentence.value());
   const int64_t admitted_ns = NowNs();
+  // Post runs under trace_scope, so the pool captures ctx (span_id =
+  // root) into the task closure and Execute inherits it on the worker.
   pool_->Post([this, tenant_state, inst, parsed, prepared_key, degraded,
-               admitted_ns, pending]() mutable {
+               submitted_ns, admitted_ns, pending]() mutable {
     Execute(tenant_state, std::move(inst), std::move(parsed), prepared_key,
-            degraded, admitted_ns, std::move(pending));
+            degraded, submitted_ns, admitted_ns, std::move(pending));
   });
   return pending;
 }
@@ -225,61 +301,75 @@ StatusOr<std::shared_ptr<PendingQuery>> Engine::SubmitInternal(
 void Engine::Execute(TenantState* tenant,
                      std::shared_ptr<const pdb::TiPdb<double>> instance,
                      logic::Formula sentence, const std::string& prepared_key,
-                     bool degraded, int64_t admitted_ns,
+                     bool degraded, int64_t submitted_ns, int64_t admitted_ns,
                      std::shared_ptr<PendingQuery> pending) {
-  IPDB_OBS_SPAN("serve.execute", "serve");
+  // The request context travelled here through ThreadPool::Post;
+  // ctx.span_id is the serve.request root allocated at submission.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  const uint64_t root_span_id = ctx.span_id;
   const int64_t started_ns = NowNs();
-
-  // Everything this query does to the shared artifact cache — probes,
-  // compiles, residency — is charged to its tenant.
-  kc::ScopedCacheOwner owner_scope(tenant->owner);
-
-  ExecutionBudget budget;
-  const pqe::QueryOptions options =
-      ToQueryOptions(tenant->config, &budget, TimePointFromNs(admitted_ns),
-                     degraded, &cancel_);
+  // The queue wait happened before any worker could open a span for it;
+  // synthesize it from the recorded timestamps.
+  obs::RecordCompletedSpan(ctx, obs::NewSpanId(), root_span_id, "serve.queue",
+                           "serve", admitted_ns, started_ns - admitted_ns,
+                           /*depth=*/1);
 
   StatusOr<QueryResult> outcome(InternalError("query never executed"));
-  if (!prepared_key.empty()) {
-    StatusOr<std::shared_ptr<pqe::PreparedQuery>> handle =
-        PreparedHandle(prepared_key, instance, sentence);
-    if (!handle.ok()) {
-      outcome = handle.status();
+  {
+    IPDB_OBS_SPAN("serve.execute", "serve");
+
+    // Everything this query does to the shared artifact cache — probes,
+    // compiles, residency — is charged to its tenant.
+    kc::ScopedCacheOwner owner_scope(tenant->owner);
+
+    ExecutionBudget budget;
+    const pqe::QueryOptions options =
+        ToQueryOptions(tenant->config, &budget, TimePointFromNs(admitted_ns),
+                       degraded, &cancel_);
+
+    if (!prepared_key.empty()) {
+      StatusOr<std::shared_ptr<pqe::PreparedQuery>> handle =
+          PreparedHandle(prepared_key, instance, sentence);
+      if (!handle.ok()) {
+        outcome = handle.status();
+      } else {
+        StatusOr<double> value = handle.value()->Query();
+        if (!value.ok()) {
+          outcome = value.status();
+        } else {
+          QueryResult result;
+          result.answer.probability = value.value();
+          result.answer.half_width = 0.0;
+          result.answer.confidence = 1.0;
+          result.answer.quality = pqe::AnswerQuality::kExact;
+          result.answer.lifted = handle.value()->lifted();
+          result.prepared = true;
+          result.degraded = degraded;
+          outcome = result;
+        }
+      }
     } else {
-      StatusOr<double> value = handle.value()->Query();
-      if (!value.ok()) {
-        outcome = value.status();
+      StatusOr<pqe::QueryAnswer> answer =
+          pqe::QueryProbability(*instance, sentence, options);
+      if (!answer.ok()) {
+        outcome = answer.status();
       } else {
         QueryResult result;
-        result.answer.probability = value.value();
-        result.answer.half_width = 0.0;
-        result.answer.confidence = 1.0;
-        result.answer.quality = pqe::AnswerQuality::kExact;
-        result.answer.lifted = handle.value()->lifted();
-        result.prepared = true;
+        result.answer = answer.value();
         result.degraded = degraded;
         outcome = result;
       }
     }
-  } else {
-    StatusOr<pqe::QueryAnswer> answer =
-        pqe::QueryProbability(*instance, sentence, options);
-    if (!answer.ok()) {
-      outcome = answer.status();
-    } else {
-      QueryResult result;
-      result.answer = answer.value();
-      result.degraded = degraded;
-      outcome = result;
-    }
   }
 
   const int64_t finished_ns = NowNs();
+  const int64_t latency_ns = finished_ns - admitted_ns;
   bool fell_back;
   if (outcome.ok()) {
     QueryResult& result = outcome.value();
     result.queue_ns = started_ns - admitted_ns;
-    result.total_ns = finished_ns - admitted_ns;
+    result.total_ns = latency_ns;
+    result.trace_id = ctx.trace_id;
     fell_back = result.answer.quality != pqe::AnswerQuality::kExact;
     tenant->completed.fetch_add(1, std::memory_order_relaxed);
     IPDB_OBS_COUNT("serve.completed", 1);
@@ -298,13 +388,27 @@ void Engine::Execute(TenantState* tenant,
 
   IPDB_OBS_OBSERVE("serve.queue_ns",
                    static_cast<double>(started_ns - admitted_ns));
-  IPDB_OBS_OBSERVE("serve.latency_ns",
-                   static_cast<double>(finished_ns - admitted_ns));
+  IPDB_OBS_OBSERVE("serve.latency_ns", static_cast<double>(latency_ns));
+  // The labeled observation records the same value as the unlabeled
+  // aggregate above, so summing the per-tenant histograms reproduces it
+  // exactly (the zero-drift gate in ci.sh). Families live in their own
+  // registry namespace, so the shared name does not collide.
+  IPDB_OBS_OBSERVE_LABELED("serve.latency_ns", "tenant", tenant->label,
+                           latency_ns);
+  tenant->series->RecordServed(obs::MonotonicNowNs(), latency_ns,
+                               outcome.ok(), degraded);
 
   tenant->in_flight.fetch_sub(1, std::memory_order_relaxed);
-  const int64_t depth =
+  [[maybe_unused]] const int64_t depth =
       in_flight_total_.fetch_sub(1, std::memory_order_relaxed) - 1;
   IPDB_OBS_GAUGE_SET("serve.queue_depth", depth);
+
+  // Close the request: the serve.request root spans submission to
+  // completion and parents everything this request did.
+  obs::RecordCompletedSpan(ctx, root_span_id, 0, "serve.request", "serve",
+                           submitted_ns, finished_ns - submitted_ns,
+                           /*depth=*/0);
+  obs::TraceStore::Global().Finish(ctx.trace_id);
 
   pending->Fulfill(std::move(outcome));
 }
@@ -384,6 +488,18 @@ std::string Engine::final_metrics_json() const {
 
 std::string Engine::MetricsJson() {
   return obs::GlobalMetrics().Snapshot().ToJson();
+}
+
+std::string Engine::StatsJson() const { return stats_.ReportJson(NowNs()); }
+
+StatusOr<std::string> Engine::TraceJson(uint64_t trace_id) const {
+  std::string json = obs::TraceStore::Global().TreeJson(trace_id);
+  if (json.empty()) {
+    return IPDB_STATUS(StatusCode::kInvalidArgument)
+           << "unknown trace id " << trace_id
+           << " (not sampled, or evicted from the bounded store)";
+  }
+  return json;
 }
 
 }  // namespace server

@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "kc/cache.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "pdb/ti_pdb.h"
 #include "pqe/prepared.h"
 #include "pqe/wmc.h"
@@ -44,6 +47,9 @@ struct QueryResult {
   int64_t queue_ns = 0;
   /// Admission -> completion (what a client observes).
   int64_t total_ns = 0;
+  /// The request's trace id (TRACE <id> on the daemon; nonzero for
+  /// every executed query).
+  uint64_t trace_id = 0;
 };
 
 /// A submitted query's future result. Handles are shared_ptr-held by
@@ -56,6 +62,10 @@ class PendingQuery {
   const StatusOr<QueryResult>& Wait();
   bool done() const;
 
+  /// The request's trace id, assigned at submission (available before
+  /// the query finishes — the per-request trace handle).
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
   friend class Engine;
   void Fulfill(StatusOr<QueryResult> result);
@@ -63,6 +73,7 @@ class PendingQuery {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;
+  uint64_t trace_id_ = 0;  // written once before the handle is shared
   StatusOr<QueryResult> result_{InternalError("query still pending")};
 };
 
@@ -165,6 +176,16 @@ class Engine {
   /// A live metrics snapshot (ipdb-metrics-v1 JSON).
   static std::string MetricsJson();
 
+  /// Per-tenant rolling telemetry + SLO burn-rate report
+  /// (ipdb-stats-v1 JSON; the daemon's STATS command).
+  std::string StatsJson() const;
+
+  /// The finished (or in-flight) span tree for a sampled request
+  /// (ipdb-trace-tree-v1 JSON; the daemon's TRACE command).
+  /// kInvalidArgument when the id is unknown — never sampled, or
+  /// evicted from the bounded store.
+  StatusOr<std::string> TraceJson(uint64_t trace_id) const;
+
   const AdmissionController& admission() const { return admission_; }
 
  private:
@@ -177,6 +198,21 @@ class Engine {
     std::atomic<int64_t> shed{0};
     std::atomic<int64_t> completed{0};
     std::atomic<int64_t> errors{0};
+    /// Interned tenant name for the serve.*{tenant=...} families.
+    obs::LabelId label = 0;
+    /// This tenant's rolling windows (owned by stats_).
+    obs::TenantSeries* series = nullptr;
+    /// Head-based sampling: every sample_period-th request is retained
+    /// in the TraceStore (0 = never).
+    uint64_t sample_period = 0;
+    std::atomic<uint64_t> sample_counter{0};
+
+    bool SampleTrace() {
+      if (sample_period == 0) return false;
+      return sample_counter.fetch_add(1, std::memory_order_relaxed) %
+                 sample_period ==
+             0;
+    }
   };
 
   /// Shared body of Submit / QueryPrepared.
@@ -184,11 +220,15 @@ class Engine {
       const std::string& tenant, const std::string& instance,
       const std::string& query, bool prepared);
 
-  /// The per-query worker task (runs on the pool).
+  /// The per-query worker task (runs on the pool). The request's
+  /// TraceContext arrives via the pool's context propagation;
+  /// `submitted_ns` (request entry) anchors the synthesized
+  /// serve.request root span, `admitted_ns` the budget deadline and the
+  /// serve.queue wait span.
   void Execute(TenantState* tenant,
                std::shared_ptr<const pdb::TiPdb<double>> instance,
                logic::Formula sentence, const std::string& prepared_key,
-               bool degraded, int64_t admitted_ns,
+               bool degraded, int64_t submitted_ns, int64_t admitted_ns,
                std::shared_ptr<PendingQuery> pending);
 
   /// Returns (creating on first use) the shared prepared handle.
@@ -201,6 +241,9 @@ class Engine {
   std::unique_ptr<ThreadPool> pool_;
   AdmissionController admission_;
   CancelToken cancel_;
+  /// Per-tenant time-series + SLO state. Engine-owned (not global) so
+  /// two engines in one process report independently.
+  obs::ServiceStats stats_;
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<TenantState>> tenants_;

@@ -125,6 +125,22 @@ StatusOr<TenantConfig> ParseTenantConfig(const std::string& text) {
       StatusOr<int64_t> parsed = ParseInt(key, value);
       if (!parsed.ok()) return parsed.status();
       config.cache_max_entries = parsed.value();
+    } else if (key == "trace_sample") {
+      StatusOr<double> parsed = ParseDouble(key, value);
+      if (!parsed.ok()) return parsed.status();
+      config.trace_sample = parsed.value();
+    } else if (key == "slo_p99_ms") {
+      StatusOr<double> parsed = ParseDouble(key, value);
+      if (!parsed.ok()) return parsed.status();
+      config.slo_p99_ms = parsed.value();
+    } else if (key == "slo_availability") {
+      StatusOr<double> parsed = ParseDouble(key, value);
+      if (!parsed.ok()) return parsed.status();
+      config.slo_availability = parsed.value();
+    } else if (key == "slo_burn_alert") {
+      StatusOr<double> parsed = ParseDouble(key, value);
+      if (!parsed.ok()) return parsed.status();
+      config.slo_burn_alert = parsed.value();
     } else {
       return IPDB_STATUS(StatusCode::kInvalidArgument)
              << "tenant config: unknown key '" << key << "'";
@@ -151,6 +167,21 @@ Status ValidateTenantConfig(const TenantConfig& config) {
         config.fallback_confidence < 1.0)) {
     return InvalidArgumentError(
         "tenant config: fallback_confidence must lie in (0, 1)");
+  }
+  if (!(config.trace_sample >= 0.0 && config.trace_sample <= 1.0)) {
+    return InvalidArgumentError(
+        "tenant config: trace_sample must lie in [0, 1]");
+  }
+  if (config.slo_p99_ms < 0.0) {
+    return InvalidArgumentError("tenant config: slo_p99_ms must be >= 0");
+  }
+  if (!(config.slo_availability >= 0.0 && config.slo_availability < 1.0)) {
+    return InvalidArgumentError(
+        "tenant config: slo_availability must lie in [0, 1)");
+  }
+  if (config.slo_burn_alert <= 0.0) {
+    return InvalidArgumentError(
+        "tenant config: slo_burn_alert must be > 0");
   }
   return Status::Ok();
 }

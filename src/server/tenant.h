@@ -46,6 +46,24 @@ struct TenantConfig {
   /// (kc::CompiledQueryCache::SetOwnerLimits). 0 = uncapped.
   int64_t cache_max_bytes = 0;
   int64_t cache_max_entries = 0;
+
+  /// Head-based trace sampling rate in [0, 1]: the fraction of this
+  /// tenant's requests whose span trees are retained in the
+  /// obs::TraceStore for the daemon's TRACE command. The decision is
+  /// made once at admission (every Nth request for rate 1/N); Chrome
+  /// trace export is unaffected.
+  double trace_sample = 1.0;
+
+  /// Declared SLOs, evaluated by the obs::ServiceStats burn-rate
+  /// engine (fast 1m / slow 10m windows). 0 disables an objective.
+  /// Latency objective: p99 of served requests <= slo_p99_ms (modelled
+  /// as "at most 1% of requests slower than the threshold").
+  double slo_p99_ms = 0.0;
+  /// Availability objective: at least this fraction of submitted
+  /// requests served without shed or error (e.g. 0.999).
+  double slo_availability = 0.0;
+  /// Burn-rate multiple that flips an objective to breaching.
+  double slo_burn_alert = 1.0;
 };
 
 /// Parses "key=value key=value ..." (whitespace- and/or semicolon-
@@ -56,7 +74,8 @@ struct TenantConfig {
 ///
 /// Keys: max_in_flight, budget_ms, max_circuit_nodes, max_samples,
 /// lifted, fallback, fallback_samples, fallback_confidence,
-/// degraded_samples, cache_max_bytes, cache_max_entries.
+/// degraded_samples, cache_max_bytes, cache_max_entries, trace_sample,
+/// slo_p99_ms, slo_availability, slo_burn_alert.
 StatusOr<TenantConfig> ParseTenantConfig(const std::string& text);
 
 /// Validates a config built in code (same rules as the parser).

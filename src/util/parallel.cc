@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/context.h"
 #include "obs/obs.h"
 #include "util/check.h"
 #include "util/fault.h"
@@ -77,6 +78,10 @@ struct ThreadPool::Batch {
   int64_t size = 0;
   const std::function<void(int64_t)>* fn = nullptr;
   int64_t completed = 0;  // guarded by the pool's mu_
+  // The submitter's trace context at ParallelFor time; workers install
+  // it for the duration of their claim loop so spans opened inside fn
+  // attach to the submitting request's span tree.
+  obs::TraceContext context;
 };
 
 ThreadPool::ThreadPool(int threads) {
@@ -136,9 +141,19 @@ void ThreadPool::Post(std::function<void()> task) {
   IPDB_OBS_COUNT("util.pool.tasks", 1);
   if (workers_.empty()) {
     // A one-thread pool has nobody to hand the task to; run it inline
-    // so Post keeps its "the task will run" contract.
+    // so Post keeps its "the task will run" contract. The submitter's
+    // trace context is already current, so no capture is needed.
     task();
     return;
+  }
+  const obs::TraceContext context = obs::CurrentTraceContext();
+  if (context.active()) {
+    // Carry the submitter's request context into the worker so spans
+    // opened by the task land in the same span tree.
+    task = [context, inner = std::move(task)]() {
+      obs::ScopedTraceContext scope(context);
+      inner();
+    };
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -161,6 +176,10 @@ void ThreadPool::DrainTasks() {
 }
 
 void ThreadPool::RunBatch(Batch* batch) {
+  // Inactive contexts install as a no-op; the submitter re-installing
+  // its own context is equally harmless (saved and restored around the
+  // claim loop).
+  obs::ScopedTraceContext scope(batch->context);
   int64_t done = 0;
   for (;;) {
     int64_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
@@ -187,6 +206,7 @@ void ThreadPool::ParallelFor(int64_t n,
   std::shared_ptr<Batch> batch = std::make_shared<Batch>();
   batch->size = n;
   batch->fn = &fn;
+  batch->context = obs::CurrentTraceContext();
   {
     std::lock_guard<std::mutex> lock(mu_);
     IPDB_CHECK(current_ == nullptr)

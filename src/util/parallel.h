@@ -50,6 +50,11 @@ class ThreadPool {
   /// Indices are claimed dynamically (an atomic counter), so fn must be
   /// safe to call concurrently from multiple threads. Not reentrant: do
   /// not call ParallelFor from inside fn or from two threads at once.
+  ///
+  /// The caller's obs::TraceContext is captured into the batch and
+  /// installed on every participating thread for the duration of its
+  /// claim loop, so spans opened inside fn join the submitting request's
+  /// span tree.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
   /// Error-propagating ParallelFor. Runs fn(i) for i in [0, n) until the
@@ -75,6 +80,11 @@ class ThreadPool {
   ///
   /// Tasks posted before the destructor runs are drained, not dropped:
   /// the pool joins only after the queue is empty.
+  ///
+  /// When the posting thread carries an active obs::TraceContext it is
+  /// captured into the task closure and restored around the task's
+  /// execution in the worker (request-scoped tracing across the
+  /// queue-hop).
   void Post(std::function<void()> task);
 
   /// Posted tasks not yet finished (queued plus running).

@@ -26,7 +26,12 @@ int InstrumentedFunction(int x) {
   IPDB_OBS_GAUGE_SET("off.gauge", 7);
   IPDB_OBS_GAUGE_ADD("off.gauge", 1);
   IPDB_OBS_OBSERVE("off.histogram", 123);
+  [[maybe_unused]] const LabelId label = InternLabel("off.label");
+  IPDB_OBS_COUNT_LABELED("off.family", "cell", label, 1);
+  IPDB_OBS_OBSERVE_LABELED("off.hist_family", "cell", label, 99);
   if (x > 0) IPDB_OBS_COUNT("off.counter", x);  // unbraced-if position
+  if (x > 0)
+    IPDB_OBS_COUNT_LABELED("off.family", "cell", label, x);  // same, labeled
   return x * 2;
 }
 
@@ -47,6 +52,14 @@ TEST(ObsOffTest, MacrosCompileOutAndRecordNothing) {
   EXPECT_EQ(snapshot.FindHistogram("off.histogram"), nullptr);
   for (const auto& [name, value] : snapshot.counters) {
     EXPECT_NE(name.rfind("off.", 0), 0u) << name;
+  }
+  // The labeled-family macros compiled to no-ops too: no family was
+  // ever registered, structurally or under a decorated name.
+  for (const auto& cell : snapshot.counter_families) {
+    EXPECT_NE(cell.name.rfind("off.", 0), 0u) << cell.name;
+  }
+  for (const auto& cell : snapshot.histogram_families) {
+    EXPECT_NE(cell.name.rfind("off.", 0), 0u) << cell.name;
   }
 }
 

@@ -1,186 +1,35 @@
 // Tests for the observability layer: metrics-registry concurrency
-// (exact totals under contention), histogram bucketing, span nesting,
-// and the Chrome-trace exporter (validated with a small JSON parser so
-// the emitted file is known to be syntactically sound, not just
+// (exact totals under contention), labeled counter/histogram families,
+// histogram bucketing, span nesting, request trace-context propagation
+// (including through the thread pool), the bounded TraceStore, the
+// per-tenant time-series / SLO burn-rate engine, and the Chrome-trace /
+// Prometheus exporters (validated with the shared test JSON parser so
+// emitted files are known to be syntactically sound, not just
 // string-matched).
 
 #include <algorithm>
-#include <cctype>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "json_reader.h"
 #include "obs/obs.h"
+#include "obs/timeseries.h"
+#include "util/parallel.h"
 
 namespace ipdb {
 namespace obs {
 namespace {
 
-// ---------------------------------------------------------------------
-// A minimal JSON reader, just enough to validate exporter output.
-// Values are doubles, strings, bools, null, arrays and objects.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    bool ok = ParseValue(out);
-    SkipSpace();
-    return ok && pos_ == text_.size();
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipSpace();
-    if (pos_ >= text_.size()) return false;
-    char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return ParseString(&out->string);
-    }
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out->kind = JsonValue::Kind::kBool;
-      pos_ += 5;
-      return true;
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return true;
-    }
-    return ParseNumber(out);
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) return false;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        char escaped = text_[pos_++];
-        switch (escaped) {
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'r': out->push_back('\r'); break;
-          case 'b': out->push_back('\b'); break;
-          case 'f': out->push_back('\f'); break;
-          case 'u':
-            if (pos_ + 4 > text_.size()) return false;
-            pos_ += 4;  // tests never inspect non-ASCII content
-            out->push_back('?');
-            break;
-          default: out->push_back(escaped); break;
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return Consume('"');
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out->kind = JsonValue::Kind::kNumber;
-    out->number = std::stod(text_.substr(start, pos_ - start));
-    return true;
-  }
-
-  bool ParseArray(JsonValue* out) {
-    if (!Consume('[')) return false;
-    out->kind = JsonValue::Kind::kArray;
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      JsonValue element;
-      if (!ParseValue(&element)) return false;
-      out->array.push_back(std::move(element));
-      SkipSpace();
-      if (Consume(',')) continue;
-      return Consume(']');
-    }
-  }
-
-  bool ParseObject(JsonValue* out) {
-    if (!Consume('{')) return false;
-    out->kind = JsonValue::Kind::kObject;
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      std::string key;
-      SkipSpace();
-      if (!ParseString(&key)) return false;
-      if (!Consume(':')) return false;
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->object.emplace(std::move(key), std::move(value));
-      SkipSpace();
-      if (Consume(',')) continue;
-      return Consume('}');
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+using testjson::JsonParser;
+using testjson::JsonValue;
 
 // Busy-waits long enough for the monotonic clock to visibly advance, so
 // span durations are strictly positive and containment is checkable.
@@ -360,8 +209,8 @@ TEST(MacrosTest, CountMacroSkipsWhenDisabled) {
 
 TEST(MacrosTest, ScopedTimerObservesOnce) {
   SetMetricsEnabled(true);
-  const HistogramStats* found =
-      GlobalMetrics().Snapshot().FindHistogram("obs_test.timer_ns");
+  const MetricsSnapshot initial = GlobalMetrics().Snapshot();
+  const HistogramStats* found = initial.FindHistogram("obs_test.timer_ns");
   int64_t before = found == nullptr ? 0 : found->count;
   {
     IPDB_OBS_SCOPED_TIMER("obs_test.timer_ns");
@@ -560,6 +409,604 @@ TEST(TraceTest, EmptyTraceStillParses) {
   const JsonValue* trace_events = root.Find("traceEvents");
   ASSERT_NE(trace_events, nullptr);
   EXPECT_TRUE(trace_events->array.empty());
+}
+
+TEST(TraceTest, RecorderDropsPastCapCountsAndFlagsTruncation) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  SetTracingEnabled(false);
+  recorder.Drain();
+  SetTracingEnabled(true);
+  const int64_t extra = 10;
+  const int64_t total =
+      static_cast<int64_t>(TraceRecorder::kMaxEventsPerThread) + extra;
+  for (int64_t i = 0; i < total; ++i) {
+    Span span("trace_test.flood", "test");
+  }
+  SetTracingEnabled(false);
+  const int64_t dropped = recorder.dropped_events();
+  EXPECT_EQ(dropped, extra);
+  std::vector<TraceEvent> events = recorder.Drain();
+  EXPECT_EQ(events.size(), TraceRecorder::kMaxEventsPerThread);
+  // Drain resets the tally.
+  EXPECT_EQ(recorder.dropped_events(), 0);
+
+  // The export carries both the count and the boolean truncation flag.
+  JsonValue root;
+  ASSERT_TRUE(
+      JsonParser(ChromeTraceJson({}, nullptr, dropped)).Parse(&root));
+  const JsonValue* other_data = root.Find("otherData");
+  ASSERT_NE(other_data, nullptr);
+  EXPECT_EQ(other_data->Find("droppedEvents")->number,
+            static_cast<double>(extra));
+  const JsonValue* truncated = other_data->Find("truncated");
+  ASSERT_NE(truncated, nullptr);
+  EXPECT_TRUE(truncated->boolean);
+  JsonValue clean;
+  ASSERT_TRUE(JsonParser(ChromeTraceJson({}, nullptr, 0)).Parse(&clean));
+  EXPECT_FALSE(clean.Find("otherData")->Find("truncated")->boolean);
+}
+
+#if !defined(IPDB_OBSERVABILITY_DISABLED)
+TEST(TraceTest, DroppedEventsFeedTheRegistryCounter) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  SetTracingEnabled(false);
+  recorder.Drain();
+  SetMetricsEnabled(true);
+  const int64_t before =
+      GlobalMetrics().Snapshot().CounterValue("obs.trace.dropped_events");
+  SetTracingEnabled(true);
+  const int64_t total =
+      static_cast<int64_t>(TraceRecorder::kMaxEventsPerThread) + 5;
+  for (int64_t i = 0; i < total; ++i) {
+    Span span("trace_test.flood2", "test");
+  }
+  SetTracingEnabled(false);
+  recorder.Drain();
+  EXPECT_EQ(
+      GlobalMetrics().Snapshot().CounterValue("obs.trace.dropped_events"),
+      before + 5);
+}
+#endif  // !IPDB_OBSERVABILITY_DISABLED
+
+// ---------------------------------------------------------------------
+// Labeled metric families.
+
+TEST(LabelTest, InternIsIdempotentAndRoundTrips) {
+  const LabelId a = InternLabel("label_test.alpha");
+  const LabelId b = InternLabel("label_test.beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(InternLabel("label_test.alpha"), a);
+  EXPECT_EQ(LabelValue(a), "label_test.alpha");
+  EXPECT_EQ(LabelValue(b), "label_test.beta");
+}
+
+TEST(FamilyTest, CounterFamilyCellsAreIndependent) {
+  MetricsRegistry registry;
+  CounterFamily& family = registry.GetCounterFamily("fam.requests", "tenant");
+  const LabelId a = InternLabel("fam_test.a");
+  const LabelId b = InternLabel("fam_test.b");
+  family.At(a).Increment(3);
+  family.At(b).Increment(7);
+  family.At(a).Increment(2);
+  EXPECT_EQ(family.At(a).Value(), 5);
+  EXPECT_EQ(family.At(b).Value(), 7);
+  EXPECT_EQ(&registry.GetCounterFamily("fam.requests", "tenant"), &family);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counter_families.size(), 2u);
+  // The structured view is sorted by (name, label value).
+  EXPECT_EQ(snapshot.counter_families[0].label_value, "fam_test.a");
+  EXPECT_EQ(snapshot.counter_families[0].value, 5);
+  EXPECT_EQ(snapshot.counter_families[1].label_value, "fam_test.b");
+  EXPECT_EQ(snapshot.counter_families[1].value, 7);
+  // Cells also surface under decorated names in the flat counter list.
+  EXPECT_EQ(snapshot.CounterValue("fam.requests{tenant=\"fam_test.a\"}"), 5);
+  EXPECT_EQ(snapshot.CounterValue("fam.requests{tenant=\"fam_test.b\"}"), 7);
+}
+
+TEST(FamilyTest, ConcurrentIncrementsAndGrowsSumExactly) {
+  MetricsRegistry registry;
+  CounterFamily& family = registry.GetCounterFamily("fam.grow", "cell");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  // Pre-intern half the labels; the rest are interned mid-flight so the
+  // copy-on-write Grow path runs concurrently with hot increments.
+  std::vector<LabelId> ids(kThreads);
+  for (int t = 0; t < kThreads; t += 2) {
+    ids[t] = InternLabel("fam_grow." + std::to_string(t));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&family, &ids, t] {
+      if (t % 2 == 1) {
+        ids[t] = InternLabel("fam_grow." + std::to_string(t));
+      }
+      for (int i = 0; i < kIncrements; ++i) family.At(ids[t]).Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(family.At(ids[t]).Value(), kIncrements) << t;
+  }
+  int64_t total = 0;
+  for (const auto& [id, value] : family.Read()) total += value;
+  EXPECT_EQ(total, int64_t{kThreads} * kIncrements);
+}
+
+TEST(FamilyTest, HistogramFamilyMergedTotalsMatchUnlabeledAggregate) {
+  MetricsRegistry registry;
+  Histogram& plain = registry.GetHistogram("fam.latency");
+  HistogramFamily& family = registry.GetHistogramFamily("fam.latency", "who");
+  const LabelId x = InternLabel("fam_hist.x");
+  const LabelId y = InternLabel("fam_hist.y");
+  for (int i = 1; i <= 100; ++i) {
+    const LabelId cell = i % 3 == 0 ? y : x;
+    family.At(cell).Observe(i);
+    plain.Observe(i);  // the engine records both sinks for every serve
+  }
+  HistogramStats aggregate = plain.Read();
+  int64_t labeled_count = 0;
+  int64_t labeled_sum = 0;
+  for (const auto& [id, stats] : family.Read()) {
+    labeled_count += stats.count;
+    labeled_sum += stats.sum;
+  }
+  // Zero drift: the per-label cells partition the unlabeled stream.
+  EXPECT_EQ(labeled_count, aggregate.count);
+  EXPECT_EQ(labeled_sum, aggregate.sum);
+}
+
+TEST(FamilyTest, SnapshotIsSortedAndStableAcrossCalls) {
+  MetricsRegistry registry;
+  registry.GetCounter("zed");
+  registry.GetCounter("abc");
+  CounterFamily& family = registry.GetCounterFamily("mid", "k");
+  family.At(InternLabel("v2")).Increment(1);
+  family.At(InternLabel("v1")).Increment(2);
+  registry.GetHistogramFamily("hist", "k").At(InternLabel("v1")).Observe(4);
+
+  MetricsSnapshot first = registry.Snapshot();
+  MetricsSnapshot second = registry.Snapshot();
+  auto names_of = [](const MetricsSnapshot& snapshot) {
+    std::vector<std::string> names;
+    for (const auto& [name, value] : snapshot.counters) names.push_back(name);
+    return names;
+  };
+  std::vector<std::string> names = names_of(first);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // Identical ordering on every call (the registry maps are unordered;
+  // the snapshot is the deterministic view).
+  EXPECT_EQ(names, names_of(second));
+  EXPECT_EQ(first.ToJson(), second.ToJson());
+  ASSERT_EQ(first.counter_families.size(), 2u);
+  EXPECT_EQ(first.counter_families[0].label_value, "v1");
+  EXPECT_EQ(first.counter_families[1].label_value, "v2");
+}
+
+TEST(FamilyTest, ToPrometheusExportsAllKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("prom.count").Increment(7);
+  registry.GetGauge("prom.gauge").Set(-2);
+  registry.GetHistogram("prom.lat").Observe(5);
+  registry.GetCounterFamily("prom.fam", "tenant")
+      .At(InternLabel("acme"))
+      .Increment(3);
+  std::string text = registry.Snapshot().ToPrometheus();
+  // Names are sanitized: '.' -> '_'.
+  EXPECT_NE(text.find("# TYPE prom_count counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("prom_count 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("prom_gauge -2"), std::string::npos);
+  EXPECT_NE(text.find("prom_fam{tenant=\"acme\"} 3"), std::string::npos);
+  // Observe(5) lands in the [4,7] bucket; le is the inclusive upper
+  // bound, and the cumulative series ends at +Inf with the total count.
+  EXPECT_NE(text.find("prom_lat_bucket{le=\"7\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("prom_lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("prom_lat_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("prom_lat_count 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Request trace context: propagation across threads and the TraceStore.
+
+TEST(ContextTest, ScopedContextInstallsAndRestores) {
+  EXPECT_FALSE(CurrentTraceContext().active());
+  TraceContext ctx;
+  ctx.trace_id = NewTraceId();
+  ctx.span_id = NewSpanId();
+  ctx.sampled = true;
+  {
+    ScopedTraceContext scope(ctx);
+    EXPECT_TRUE(CurrentTraceContext().active());
+    EXPECT_EQ(CurrentTraceContext().trace_id, ctx.trace_id);
+    EXPECT_EQ(CurrentTraceContext().span_id, ctx.span_id);
+    EXPECT_TRUE(CurrentTraceContext().sampled);
+  }
+  EXPECT_FALSE(CurrentTraceContext().active());
+}
+
+TEST(ContextTest, SpansChainParentIdsUnderAContext) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  SetTracingEnabled(false);
+  recorder.Drain();
+  SetTracingEnabled(true);
+  TraceContext ctx;
+  ctx.trace_id = NewTraceId();
+  ctx.span_id = NewSpanId();  // the synthetic request root
+  {
+    ScopedTraceContext scope(ctx);
+    Span outer("ctx_test.outer", "test");
+    SpinFor(1000);
+    {
+      Span inner("ctx_test.inner", "test");
+      SpinFor(1000);
+    }
+    // After inner closed, new spans parent under outer again.
+    Span sibling("ctx_test.sibling", "test");
+    SpinFor(1000);
+  }
+  SetTracingEnabled(false);
+  std::vector<TraceEvent> events = recorder.Drain();
+  ASSERT_EQ(events.size(), 3u);
+  auto find = [&](const std::string& name) -> const TraceEvent& {
+    for (const TraceEvent& event : events) {
+      if (name == event.name) return event;
+    }
+    ADD_FAILURE() << "missing span " << name;
+    static TraceEvent none;
+    return none;
+  };
+  const TraceEvent& outer = find("ctx_test.outer");
+  const TraceEvent& inner = find("ctx_test.inner");
+  const TraceEvent& sibling = find("ctx_test.sibling");
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.trace_id, ctx.trace_id) << event.name;
+    EXPECT_NE(event.span_id, 0u) << event.name;
+  }
+  EXPECT_EQ(outer.parent_span_id, ctx.span_id);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_EQ(sibling.parent_span_id, outer.span_id);
+}
+
+TEST(ContextTest, ThreadPoolPostCarriesContextToTheWorker) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  SetTracingEnabled(false);
+  recorder.Drain();
+  SetTracingEnabled(true);
+  ThreadPool pool(2);  // one worker: Post never runs inline
+  TraceContext ctx;
+  ctx.trace_id = NewTraceId();
+  ctx.span_id = NewSpanId();
+  std::atomic<uint64_t> seen_trace{0};
+  {
+    ScopedTraceContext scope(ctx);
+    pool.Post([&seen_trace] {
+      seen_trace.store(CurrentTraceContext().trace_id);
+      Span span("ctx_test.worker", "test");
+      SpinFor(1000);
+    });
+  }
+  pool.DrainTasks();
+  SetTracingEnabled(false);
+  EXPECT_EQ(seen_trace.load(), ctx.trace_id);
+  std::vector<TraceEvent> events = recorder.Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, ctx.trace_id);
+  EXPECT_EQ(events[0].parent_span_id, ctx.span_id);
+}
+
+TEST(ContextTest, ParallelForInstallsContextOnEveryShard) {
+  ThreadPool pool(4);
+  TraceContext ctx;
+  ctx.trace_id = NewTraceId();
+  ctx.span_id = NewSpanId();
+  constexpr int64_t kShards = 64;
+  std::vector<uint64_t> seen(kShards, 0);
+  {
+    ScopedTraceContext scope(ctx);
+    pool.ParallelFor(kShards, [&seen](int64_t i) {
+      seen[i] = CurrentTraceContext().trace_id;
+    });
+  }
+  for (int64_t i = 0; i < kShards; ++i) {
+    EXPECT_EQ(seen[i], ctx.trace_id) << i;
+  }
+  EXPECT_FALSE(CurrentTraceContext().active());
+}
+
+// Satellite: early-cancelled TryParallelFor batches must still close
+// every span they opened — drained (never-executed) indices open no
+// spans, executed ones close theirs via RAII even on the error path.
+// ci.sh runs this file under TSan, covering the context handoff races.
+TEST(ContextTest, TryParallelForEarlyCancelClosesEverySpan) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  SetTracingEnabled(false);
+  recorder.Drain();
+  SetTracingEnabled(true);
+  ThreadPool pool(4);
+  TraceContext ctx;
+  ctx.trace_id = NewTraceId();
+  ctx.span_id = NewSpanId();
+  std::atomic<int> executed{0};
+  std::atomic<int> context_mismatches{0};
+  Status status;
+  {
+    ScopedTraceContext scope(ctx);
+    status = pool.TryParallelFor(256, [&](int64_t i) -> Status {
+      Span span("ctx_test.shard", "test");
+      if (CurrentTraceContext().trace_id != ctx.trace_id) {
+        context_mismatches.fetch_add(1);
+      }
+      executed.fetch_add(1);
+      if (i == 3) return InvalidArgumentError("shard failure");
+      return Status::Ok();
+    });
+  }
+  SetTracingEnabled(false);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(context_mismatches.load(), 0);
+  std::vector<TraceEvent> events = recorder.Drain();
+  int shard_spans = 0;
+  for (const TraceEvent& event : events) {
+    if (std::string(event.name) == "ctx_test.shard") {
+      ++shard_spans;
+      // A drained event is by construction a *closed* span; balanced
+      // begin/end means exactly one event per executed index, each
+      // attributed to the request.
+      EXPECT_GE(event.duration_ns, 0);
+      EXPECT_EQ(event.trace_id, ctx.trace_id);
+      EXPECT_EQ(event.parent_span_id, ctx.span_id);
+    }
+  }
+  EXPECT_EQ(shard_spans, executed.load());
+  EXPECT_LT(executed.load(), 256);  // the cancel actually cut the batch
+  EXPECT_FALSE(CurrentTraceContext().active());
+}
+
+TEST(TraceStoreTest, BuildsNestedTreeJson) {
+  TraceStore store;
+  const uint64_t trace = NewTraceId();
+  store.Begin(trace);
+  EXPECT_EQ(store.size(), 1u);
+  const uint64_t root = NewSpanId();
+  const uint64_t child_a = NewSpanId();
+  const uint64_t child_b = NewSpanId();
+  StoredSpan span;
+  span.span_id = child_b;
+  span.parent_span_id = root;
+  span.name = "store_test.b";
+  span.category = "test";
+  span.start_ns = 300;
+  span.duration_ns = 50;
+  store.Record(trace, span);
+  span.span_id = child_a;
+  span.name = "store_test.a";
+  span.start_ns = 150;
+  store.Record(trace, span);
+  span.span_id = root;
+  span.parent_span_id = 0;
+  span.name = "store_test.root";
+  span.start_ns = 100;
+  span.duration_ns = 400;
+  store.Record(trace, span);
+  store.Finish(trace);
+
+  JsonValue parsed;
+  ASSERT_TRUE(JsonParser(store.TreeJson(trace)).Parse(&parsed));
+  EXPECT_EQ(parsed.Find("schema")->string, "ipdb-trace-tree-v1");
+  EXPECT_TRUE(parsed.Find("finished")->boolean);
+  EXPECT_FALSE(parsed.Find("truncated")->boolean);
+  EXPECT_EQ(parsed.Find("spanCount")->number, 3.0);
+  const JsonValue* roots = parsed.Find("roots");
+  ASSERT_NE(roots, nullptr);
+  ASSERT_EQ(roots->array.size(), 1u);
+  const JsonValue& tree_root = roots->array[0];
+  EXPECT_EQ(tree_root.Find("name")->string, "store_test.root");
+  const JsonValue* children = tree_root.Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->array.size(), 2u);
+  // Children sorted by start time.
+  EXPECT_EQ(children->array[0].Find("name")->string, "store_test.a");
+  EXPECT_EQ(children->array[1].Find("name")->string, "store_test.b");
+
+  // Unknown ids answer empty (the daemon turns this into an error).
+  EXPECT_TRUE(store.TreeJson(trace + 12345).empty());
+}
+
+TEST(TraceStoreTest, EvictsOldestTraceAtCapacity) {
+  TraceStore store;
+  const uint64_t first = NewTraceId();
+  store.Begin(first);
+  std::vector<uint64_t> later;
+  for (size_t i = 0; i < TraceStore::kMaxTraces; ++i) {
+    const uint64_t id = NewTraceId();
+    later.push_back(id);
+    store.Begin(id);
+  }
+  EXPECT_EQ(store.size(), TraceStore::kMaxTraces);
+  EXPECT_TRUE(store.TreeJson(first).empty());          // evicted
+  EXPECT_FALSE(store.TreeJson(later.back()).empty());  // newest survives
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TraceStoreTest, SampledSpansRecordWithoutTheChromeRecorder) {
+  SetTracingEnabled(false);
+  TraceRecorder::Global().Drain();
+  TraceContext ctx;
+  ctx.trace_id = NewTraceId();
+  ctx.span_id = NewSpanId();
+  ctx.sampled = true;
+  TraceStore::Global().Begin(ctx.trace_id);
+  {
+    ScopedTraceContext scope(ctx);
+    Span span("store_test.sampled", "test");
+    SpinFor(1000);
+  }
+  TraceStore::Global().Finish(ctx.trace_id);
+  JsonValue parsed;
+  ASSERT_TRUE(
+      JsonParser(TraceStore::Global().TreeJson(ctx.trace_id)).Parse(&parsed));
+  ASSERT_EQ(parsed.Find("roots")->array.size(), 1u);
+  EXPECT_EQ(parsed.Find("roots")->array[0].Find("name")->string,
+            "store_test.sampled");
+  // Nothing reached the (disabled) Chrome recorder.
+  EXPECT_TRUE(TraceRecorder::Global().Drain().empty());
+}
+
+// ---------------------------------------------------------------------
+// Per-tenant time series and SLO burn rates (clock injected, so every
+// assertion is deterministic).
+
+constexpr int64_t kNs = 1000000000;
+
+TEST(TimeSeriesTest, RollupComputesCountsRatesAndQuantiles) {
+  SloPolicy policy;  // no objectives; rollups work regardless
+  TenantSeries series(policy);
+  const int64_t t0 = 5000 * kNs;
+  for (int i = 0; i < 90; ++i) {
+    series.RecordServed(t0, /*latency_ns=*/1000, /*ok=*/true,
+                        /*degraded=*/false);
+  }
+  for (int i = 0; i < 10; ++i) {
+    series.RecordServed(t0, /*latency_ns=*/1000000, /*ok=*/false,
+                        /*degraded=*/true);
+  }
+  for (int i = 0; i < 25; ++i) series.RecordShed(t0);
+
+  SeriesRollup rollup = series.Rollup(t0, 60);
+  EXPECT_EQ(rollup.window_s, 60);
+  EXPECT_EQ(rollup.served, 100);
+  EXPECT_EQ(rollup.ok, 90);
+  EXPECT_EQ(rollup.errors, 10);
+  EXPECT_EQ(rollup.shed, 25);
+  EXPECT_EQ(rollup.degraded, 10);
+  EXPECT_DOUBLE_EQ(rollup.qps, 100.0 / 60.0);
+  EXPECT_DOUBLE_EQ(rollup.error_rate, 0.1);
+  EXPECT_DOUBLE_EQ(rollup.degraded_rate, 0.1);
+  EXPECT_DOUBLE_EQ(rollup.shed_rate, 25.0 / 125.0);
+  // Quantiles report power-of-two bucket lower bounds: 1000ns lands in
+  // [512, 1024), 1000000ns in [524288, 1048576).
+  EXPECT_EQ(rollup.p50_ns, 512);
+  EXPECT_EQ(rollup.p99_ns, 524288);
+}
+
+TEST(TimeSeriesTest, WindowsExpireAfterTheRingDepth) {
+  TenantSeries series(SloPolicy{});
+  const int64_t t0 = 9000 * kNs;
+  series.RecordServed(t0, 1000, true, false);
+  EXPECT_EQ(series.Rollup(t0, 60).served, 1);
+  // Ten minutes later the ring slot has been reused/reset.
+  const int64_t t1 = t0 + (TenantSeries::kWindows + 5) * kNs;
+  EXPECT_EQ(series.Rollup(t1, TenantSeries::kSlowWindowS).served, 0);
+}
+
+TEST(TimeSeriesTest, NoSloPolicyReportsNoSlo) {
+  TenantSeries series(SloPolicy{});
+  SloReport report = series.Evaluate(7000 * kNs);
+  EXPECT_EQ(report.state, "no_slo");
+  EXPECT_FALSE(report.latency.enabled);
+  EXPECT_FALSE(report.availability.enabled);
+}
+
+TEST(TimeSeriesTest, AvailabilityBreachNeedsBothWindowsBurning) {
+  SloPolicy policy;
+  policy.availability_target = 0.9;  // allows 10% bad
+  policy.burn_alert = 1.0;
+  TenantSeries series(policy);
+
+  // 540s of clean traffic, then a 60s shed burst. The fast window sees
+  // 50% shed (burn 5), but the slow window has absorbed enough good
+  // traffic that its burn stays under 1 -> not breaching yet.
+  const int64_t t0 = 20000 * kNs;
+  for (int64_t s = 0; s < 540; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      series.RecordServed(t0 + s * kNs, 1000, true, false);
+    }
+  }
+  const int64_t burst = t0 + 540 * kNs;
+  for (int64_t s = 0; s < 60; ++s) {
+    series.RecordServed(burst + s * kNs, 1000, true, false);
+    series.RecordShed(burst + s * kNs);
+  }
+  const int64_t now = burst + 59 * kNs;
+  SloReport partial = series.Evaluate(now);
+  ASSERT_TRUE(partial.availability.enabled);
+  EXPECT_GT(partial.availability.fast, 1.0);
+  EXPECT_LT(partial.availability.slow, 1.0);
+  EXPECT_EQ(partial.state, "ok");
+
+  // Keep shedding half the traffic long enough and the slow window
+  // burns too -> breaching.
+  for (int64_t s = 60; s < 600; ++s) {
+    series.RecordServed(burst + s * kNs, 1000, true, false);
+    series.RecordShed(burst + s * kNs);
+  }
+  SloReport sustained = series.Evaluate(burst + 599 * kNs);
+  EXPECT_GT(sustained.availability.fast, 1.0);
+  EXPECT_GT(sustained.availability.slow, 1.0);
+  EXPECT_EQ(sustained.state, "breaching");
+}
+
+TEST(TimeSeriesTest, LatencyObjectiveBurnsOnSlowRequests) {
+  SloPolicy policy;
+  policy.latency_threshold_ms = 1.0;  // 1ms p99 target
+  policy.latency_target = 0.99;       // 1% slow allowed
+  policy.burn_alert = 1.0;
+  TenantSeries series(policy);
+  const int64_t t0 = 40000 * kNs;
+  // Half the requests blow the threshold: bad fraction 0.5 vs 0.01
+  // allowed -> burn 50 in any window containing them.
+  for (int i = 0; i < 50; ++i) {
+    series.RecordServed(t0, /*latency_ns=*/100000, true, false);
+    series.RecordServed(t0, /*latency_ns=*/5000000, true, false);
+  }
+  SloReport report = series.Evaluate(t0);
+  ASSERT_TRUE(report.latency.enabled);
+  EXPECT_NEAR(report.latency.fast, 50.0, 1e-9);
+  EXPECT_NEAR(report.latency.slow, 50.0, 1e-9);
+  EXPECT_EQ(report.state, "breaching");
+
+  // All-fast traffic burns nothing.
+  TenantSeries healthy(policy);
+  for (int i = 0; i < 100; ++i) {
+    healthy.RecordServed(t0, 100000, true, false);
+  }
+  EXPECT_EQ(healthy.Evaluate(t0).state, "ok");
+}
+
+TEST(TimeSeriesTest, ServiceStatsReportJsonParses) {
+  ServiceStats stats;
+  SloPolicy slo;
+  slo.availability_target = 0.99;
+  TenantSeries& alpha = stats.GetSeries("alpha", slo);
+  stats.GetSeries("beta", SloPolicy{});
+  EXPECT_EQ(&stats.GetSeries("alpha", SloPolicy{}), &alpha);  // first wins
+  const int64_t t0 = 60000 * kNs;
+  alpha.RecordServed(t0, 2000, true, false);
+  alpha.RecordServed(t0, 3000, false, true);
+  alpha.RecordShed(t0);
+
+  JsonValue parsed;
+  ASSERT_TRUE(JsonParser(stats.ReportJson(t0)).Parse(&parsed));
+  EXPECT_EQ(parsed.Find("schema")->string, "ipdb-stats-v1");
+  const JsonValue* tenants = parsed.Find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_EQ(tenants->object.size(), 2u);
+  const JsonValue* alpha_json = tenants->Find("alpha");
+  ASSERT_NE(alpha_json, nullptr);
+  const JsonValue* fast = alpha_json->Find("1m");
+  ASSERT_NE(fast, nullptr);
+  EXPECT_EQ(fast->Find("served")->number, 2.0);
+  EXPECT_EQ(fast->Find("shed")->number, 1.0);
+  ASSERT_NE(alpha_json->Find("10m"), nullptr);
+  const JsonValue* slo_json = alpha_json->Find("slo");
+  ASSERT_NE(slo_json, nullptr);
+  EXPECT_EQ(slo_json->Find("state")->string, "breaching");
+  const JsonValue* beta_slo = tenants->Find("beta")->Find("slo");
+  ASSERT_NE(beta_slo, nullptr);
+  EXPECT_EQ(beta_slo->Find("state")->string, "no_slo");
 }
 
 }  // namespace

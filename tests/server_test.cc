@@ -14,17 +14,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "json_reader.h"
 #include "kc/cache.h"
 #include "logic/parser.h"
+#include "obs/obs.h"
 #include "pdb/ti_pdb.h"
 #include "pqe/prepared.h"
 #include "pqe/wmc.h"
@@ -39,6 +43,9 @@
 namespace ipdb {
 namespace server {
 namespace {
+
+using testjson::JsonParser;
+using testjson::JsonValue;
 
 // ---------------------------------------------------------------------
 // Fixtures
@@ -528,7 +535,9 @@ TEST(EngineTest, StopDrainsInFlightRejectsNewAndFlushesMetrics) {
   // The final snapshot was flushed and carries serving metrics.
   const std::string snapshot = engine.final_metrics_json();
   EXPECT_NE(snapshot.find("ipdb-metrics-v1"), std::string::npos);
+#if !defined(IPDB_OBSERVABILITY_DISABLED)
   EXPECT_NE(snapshot.find("serve."), std::string::npos);
+#endif
 }
 
 #if defined(IPDB_FAULT_INJECTION)
@@ -720,10 +729,285 @@ TEST(DaemonTest, SpeaksTheLineProtocolOverLoopback) {
   // METRICS returns the one-line JSON snapshot.
   const std::string metrics = client.RoundTrip("METRICS");
   EXPECT_NE(metrics.find("ipdb-metrics-v1"), std::string::npos);
+#if !defined(IPDB_OBSERVABILITY_DISABLED)
   EXPECT_NE(metrics.find("serve."), std::string::npos);
+#endif
 
   EXPECT_EQ(client.RoundTrip("QUIT"), "BYE");
   daemon.Stop();
+  EXPECT_TRUE(engine.Stop().ok());
+}
+
+// Satellite: the METRICS reply must be machine-readable, not just
+// grep-able — parse it with the shared test JSON reader and check the
+// serving counters moved.
+TEST(DaemonTest, MetricsCommandReturnsParseableJson) {
+  pdb::TiPdbD ti = SmallInstance();
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  ASSERT_TRUE(engine.RegisterTenant("acme", TenantConfig{}).ok());
+
+  Daemon daemon(&engine);
+  const Status started = daemon.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "no loopback sockets here: " << started.ToString();
+  }
+  LineClient client(daemon.port());
+  ASSERT_TRUE(client.ok());
+
+#if !defined(IPDB_OBSERVABILITY_DISABLED)
+  const int64_t before =
+      obs::GlobalMetrics().Snapshot().CounterValue("serve.completed");
+#endif
+  constexpr int kQueries = 3;
+  for (int i = 0; i < kQueries; ++i) {
+    const std::string response =
+        client.RoundTrip(std::string("QUERY acme db ") + kSafeQuery);
+    ASSERT_EQ(response.substr(0, 3), "OK ") << response;
+  }
+
+  JsonValue parsed;
+  ASSERT_TRUE(JsonParser(client.RoundTrip("METRICS")).Parse(&parsed));
+  EXPECT_EQ(parsed.Find("schema")->string, "ipdb-metrics-v1");
+#if !defined(IPDB_OBSERVABILITY_DISABLED)
+  const JsonValue* counters = parsed.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* completed = counters->Find("serve.completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_GE(completed->number, static_cast<double>(before + kQueries));
+  ASSERT_NE(parsed.Find("histograms"), nullptr);
+  const JsonValue* latency =
+      parsed.Find("histograms")->Find("serve.latency_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->Find("count")->number, static_cast<double>(kQueries));
+#endif
+
+  daemon.Stop();
+  EXPECT_TRUE(engine.Stop().ok());
+}
+
+// The request-scoped observability round trip over the wire: QUERY
+// returns a trace id, TRACE returns that request's connected span tree,
+// STATS returns the per-tenant rollups with the SLO state.
+TEST(DaemonTest, StatsAndTraceCommandsRoundTrip) {
+  pdb::TiPdbD ti = SmallInstance();
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  // trace_sample defaults to 1.0: every request is retained for TRACE.
+  ASSERT_TRUE(
+      engine.RegisterTenant("acme", "slo_p99_ms=5000 slo_availability=0.99")
+          .ok());
+
+  Daemon daemon(&engine);
+  const Status started = daemon.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "no loopback sockets here: " << started.ToString();
+  }
+  LineClient client(daemon.port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string response =
+      client.RoundTrip(std::string("QUERY acme db ") + kSafeQuery);
+  ASSERT_EQ(response.substr(0, 3), "OK ") << response;
+  // The trace id is the final response field.
+  std::istringstream parse(response);
+  std::string tag, quality;
+  double probability, half_width, confidence;
+  int lifted, degraded;
+  uint64_t trace_id = 0;
+  parse >> tag >> probability >> half_width >> confidence >> quality >>
+      lifted >> degraded >> trace_id;
+  ASSERT_GT(trace_id, 0u) << response;
+
+  // TRACE <id> answers the span tree: one root, serve.request, with the
+  // pipeline stages below it.
+  JsonValue tree;
+  ASSERT_TRUE(
+      JsonParser(client.RoundTrip("TRACE " + std::to_string(trace_id)))
+          .Parse(&tree));
+  EXPECT_EQ(tree.Find("schema")->string, "ipdb-trace-tree-v1");
+  EXPECT_TRUE(tree.Find("finished")->boolean);
+  const JsonValue* roots = tree.Find("roots");
+  ASSERT_NE(roots, nullptr);
+  ASSERT_EQ(roots->array.size(), 1u) << "orphan spans in the tree";
+  const JsonValue& root = roots->array[0];
+  EXPECT_EQ(root.Find("name")->string, "serve.request");
+  std::vector<std::string> child_names;
+  for (const JsonValue& child : root.Find("children")->array) {
+    child_names.push_back(child.Find("name")->string);
+  }
+  EXPECT_NE(std::find(child_names.begin(), child_names.end(), "serve.queue"),
+            child_names.end());
+#if !defined(IPDB_OBSERVABILITY_DISABLED)
+  // serve.execute comes from an IPDB_OBS_SPAN; only the synthesized
+  // serve.request / serve.queue spans survive an obs-off build.
+  EXPECT_NE(
+      std::find(child_names.begin(), child_names.end(), "serve.execute"),
+      child_names.end());
+#endif
+
+  // Unknown / malformed ids are line-framed errors.
+  EXPECT_EQ(client.RoundTrip("TRACE 18446744073709551615").substr(0, 20),
+            "ERR INVALID_ARGUMENT");
+  EXPECT_EQ(client.RoundTrip("TRACE zebra").substr(0, 20),
+            "ERR INVALID_ARGUMENT");
+  EXPECT_EQ(client.RoundTrip("TRACE").substr(0, 20), "ERR INVALID_ARGUMENT");
+
+  // STATS reports the tenant's rollups and SLO state.
+  JsonValue stats;
+  ASSERT_TRUE(JsonParser(client.RoundTrip("STATS")).Parse(&stats));
+  EXPECT_EQ(stats.Find("schema")->string, "ipdb-stats-v1");
+  const JsonValue* acme = stats.Find("tenants")->Find("acme");
+  ASSERT_NE(acme, nullptr);
+  EXPECT_GE(acme->Find("1m")->Find("served")->number, 1.0);
+  const JsonValue* slo = acme->Find("slo");
+  ASSERT_NE(slo, nullptr);
+  EXPECT_EQ(slo->Find("state")->string, "ok");
+  ASSERT_NE(slo->Find("latency"), nullptr);
+  ASSERT_NE(slo->Find("availability"), nullptr);
+
+  daemon.Stop();
+  EXPECT_TRUE(engine.Stop().ok());
+}
+
+// ---------------------------------------------------------------------
+// Request tracing + per-tenant telemetry through the Engine API
+
+TEST(EngineTest, TraceJsonReturnsAConnectedSpanTree) {
+  pdb::TiPdbD ti = SmallInstance();
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  ASSERT_TRUE(engine.RegisterTenant("acme", TenantConfig{}).ok());
+
+  // The handle exposes the trace id before the query finishes.
+  StatusOr<std::shared_ptr<PendingQuery>> pending =
+      engine.Submit("acme", "db", kUnsafeQuery);
+  ASSERT_TRUE(pending.ok()) << pending.status().ToString();
+  const uint64_t trace_id = pending.value()->trace_id();
+  EXPECT_GT(trace_id, 0u);
+  const StatusOr<QueryResult>& result = pending.value()->Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().trace_id, trace_id);
+
+  StatusOr<std::string> json = engine.TraceJson(trace_id);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  JsonValue tree;
+  ASSERT_TRUE(JsonParser(json.value()).Parse(&tree));
+  const JsonValue* roots = tree.Find("roots");
+  ASSERT_EQ(roots->array.size(), 1u);
+  EXPECT_EQ(roots->array[0].Find("name")->string, "serve.request");
+#if !defined(IPDB_OBSERVABILITY_DISABLED)
+  // The unsafe query goes through the full pipeline: execute nests the
+  // pqe spans under the root's serve.execute child. (These spans are
+  // IPDB_OBS_SPAN macros, so they only exist when instrumentation is
+  // compiled in.)
+  bool found_execute = false;
+  for (const JsonValue& child : roots->array[0].Find("children")->array) {
+    if (child.Find("name")->string == "serve.execute") {
+      found_execute = true;
+      EXPECT_FALSE(child.Find("children")->array.empty())
+          << "pqe spans should nest under serve.execute";
+    }
+  }
+  EXPECT_TRUE(found_execute);
+#endif
+
+  // Unknown ids are kInvalidArgument, not empty strings.
+  StatusOr<std::string> unknown = engine.TraceJson(trace_id + 1234567);
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(engine.Stop().ok());
+}
+
+TEST(EngineTest, TraceSampleZeroKeepsRequestsOutOfTheStore) {
+  pdb::TiPdbD ti = SmallInstance();
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  ASSERT_TRUE(engine.RegisterTenant("quiet", "trace_sample=0").ok());
+  StatusOr<QueryResult> result = engine.Query("quiet", "db", kSafeQuery);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().trace_id, 0u);  // ids are always assigned
+  EXPECT_FALSE(engine.TraceJson(result.value().trace_id).ok());
+  EXPECT_TRUE(engine.Stop().ok());
+}
+
+TEST(EngineTest, LabeledLatencyHistogramsSumToTheUnlabeledAggregate) {
+  pdb::TiPdbD ti = SmallInstance();
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  ASSERT_TRUE(engine.RegisterTenant("alpha", TenantConfig{}).ok());
+  ASSERT_TRUE(engine.RegisterTenant("beta", TenantConfig{}).ok());
+
+#if !defined(IPDB_OBSERVABILITY_DISABLED)
+  auto labeled_counts = [] {
+    std::map<std::string, int64_t> counts;
+    for (const auto& cell :
+         obs::GlobalMetrics().Snapshot().histogram_families) {
+      if (cell.name == "serve.latency_ns" && cell.label_key == "tenant") {
+        counts[cell.label_value] = cell.stats.count;
+      }
+    }
+    return counts;
+  };
+  auto unlabeled_count = [] {
+    const obs::MetricsSnapshot snapshot = obs::GlobalMetrics().Snapshot();
+    const obs::HistogramStats* stats =
+        snapshot.FindHistogram("serve.latency_ns");
+    return stats == nullptr ? int64_t{0} : stats->count;
+  };
+
+  const std::map<std::string, int64_t> before = labeled_counts();
+  const int64_t aggregate_before = unlabeled_count();
+  constexpr int kAlpha = 4;
+  constexpr int kBeta = 2;
+  for (int i = 0; i < kAlpha; ++i) {
+    ASSERT_TRUE(engine.Query("alpha", "db", kSafeQuery).ok());
+  }
+  for (int i = 0; i < kBeta; ++i) {
+    ASSERT_TRUE(engine.Query("beta", "db", kSafeQuery).ok());
+  }
+
+  std::map<std::string, int64_t> after = labeled_counts();
+  auto delta = [&](const std::string& tenant) {
+    int64_t was = 0;
+    auto it = before.find(tenant);
+    if (it != before.end()) was = it->second;
+    return after[tenant] - was;
+  };
+  EXPECT_EQ(delta("alpha"), kAlpha);
+  EXPECT_EQ(delta("beta"), kBeta);
+  // Zero drift: the sum of labeled deltas equals the aggregate delta.
+  EXPECT_EQ(unlabeled_count() - aggregate_before, kAlpha + kBeta);
+#else
+  // Labeled metrics are compiled out; the queries themselves still work.
+  ASSERT_TRUE(engine.Query("alpha", "db", kSafeQuery).ok());
+  ASSERT_TRUE(engine.Query("beta", "db", kSafeQuery).ok());
+#endif
+
+  EXPECT_TRUE(engine.Stop().ok());
+}
+
+TEST(EngineTest, StatsJsonTracksPerTenantServesAndSheds) {
+  pdb::TiPdbD ti = SmallInstance();
+  Engine engine(EngineOptions{/*threads=*/2, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+  ASSERT_TRUE(engine.RegisterTenant("acme", "slo_availability=0.5").ok());
+  ASSERT_TRUE(engine.Query("acme", "db", kSafeQuery).ok());
+  // A parse error is a served-with-error completion in the series.
+  EXPECT_FALSE(engine.Query("acme", "db", "this is not a formula").ok());
+
+  JsonValue stats;
+  ASSERT_TRUE(JsonParser(engine.StatsJson()).Parse(&stats));
+  const JsonValue* acme = stats.Find("tenants")->Find("acme");
+  ASSERT_NE(acme, nullptr);
+  const JsonValue* fast = acme->Find("1m");
+  EXPECT_EQ(fast->Find("served")->number, 2.0);
+  EXPECT_EQ(fast->Find("errors")->number, 1.0);
+  ASSERT_NE(acme->Find("slo"), nullptr);
+  // One error in two requests = 50% bad, exactly at the 0.5 allowance:
+  // burn 1.0 is not > burn_alert 1.0, so the state stays ok.
+  EXPECT_EQ(acme->Find("slo")->Find("state")->string, "ok");
   EXPECT_TRUE(engine.Stop().ok());
 }
 
