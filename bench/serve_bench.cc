@@ -48,6 +48,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -297,16 +298,31 @@ std::string RowFor(server::Engine* engine, LoadPoint point) {
 class LineClient {
  public:
   explicit LineClient(int port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) return;
-    sockaddr_in addr;
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<uint16_t>(port));
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    // Clients race the daemon's accept loop at startup: a connect that
+    // lands before listen() is serving (or while the backlog drains)
+    // fails transiently with ECONNREFUSED/ECONNRESET. Retry with capped
+    // exponential backoff instead of failing the whole run.
+    constexpr int kMaxAttempts = 8;
+    int backoff_us = 1000;  // 1ms, doubling to a 100ms cap
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0) return;
+      sockaddr_in addr;
+      std::memset(&addr, 0, sizeof(addr));
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<uint16_t>(port));
+      int rc;
+      do {
+        rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) return;
+      const bool transient = errno == ECONNREFUSED || errno == ECONNRESET;
       ::close(fd_);
       fd_ = -1;
+      if (!transient || attempt + 1 == kMaxAttempts) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = std::min(backoff_us * 2, 100000);
     }
   }
   ~LineClient() {
@@ -320,12 +336,14 @@ class LineClient {
     while (sent < framed.size()) {
       const ssize_t n =
           ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return "";
       sent += static_cast<size_t>(n);
     }
     while (buffer_.find('\n') == std::string::npos) {
       char chunk[1024];
       const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return "";
       buffer_.append(chunk, static_cast<size_t>(n));
     }

@@ -38,3 +38,6 @@ ipdb_add_gbench(storage_bench)
 # but shares the bench_json.h reporting header, which needs the
 # benchmark include path.
 ipdb_add_gbench(serve_bench)
+# durability_bench likewise runs a deterministic custom main (snapshot
+# MB/s, recovery time, WAL append overhead) over bench_json.h.
+ipdb_add_gbench(durability_bench)

@@ -13,7 +13,11 @@
 # speedup on the chain query at 10^4 facts), the columnar fact store
 # (<= 48 bytes/fact at 10^7 facts, >= 5x grounding speedup over the
 # legacy object-per-tuple path, incremental re-query >= 10x faster than
-# cold), the query service under closed-loop load (serve_bench: p99
+# cold), crash-safe durability (the fault leg drives durability_crash
+# through injected dur.* failures, a real kill -9, and a torn WAL tail,
+# gating bit-identical recovery; the Release leg gates the WAL append
+# overhead at <= 15% of a bare mutation), the query service under
+# closed-loop load (serve_bench: p99
 # latency budget at 16 clients, bounded shed rates, zero cross-tenant
 # cache-accounting drift, zero labeled-metric drift, SLO burn-rate
 # breaching exactly on the overload row, and the daemon QUERY -> TRACE
@@ -56,15 +60,99 @@ ctest --test-dir build-sanitize --output-on-failure -j"${jobs}" "$@"
 echo "=== fault-injection build + tests (ASan, IPDB_FAULT_INJECTION=ON) ==="
 # Error paths are tested on purpose: with fault points compiled in,
 # fault_test arms every registered site in turn and proves each injected
-# failure unwinds as a clean Status — no abort, no leak (ASan) — with at
-# least 8 sites actually reached by the representative workload
-# (FaultFiringTest.EverySiteUnwindsCleanly). The rest of the suite rides
-# along to show armed-but-unplanned sites stay inert.
+# failure unwinds as a clean Status — no abort, no leak (ASan) — and
+# FaultFiringTest.EverySiteUnwindsCleanly fails if even one registered
+# site is never reached by the representative workload, so a new
+# IPDB_FAULT_POINT cannot land without coverage. The rest of the suite
+# rides along to show armed-but-unplanned sites stay inert.
 cmake -B build-fault -S . -DIPDB_SANITIZE="address" \
   -DIPDB_FAULT_INJECTION=ON >/dev/null
 cmake --build build-fault -j"${jobs}"
 require_kc_tests build-fault
 ctest --test-dir build-fault --output-on-failure -j"${jobs}" "$@"
+
+echo "=== crash-recovery gate (ASan + fault build, durability_crash) ==="
+# Drives the durability_crash helper through injected I/O failures and a
+# real process death, gating that recovery reproduces bit-identical
+# state: the grounding FINGERPRINT, the exact rational MARGINAL, and the
+# FACTS count must match the pre-crash baseline line for line.
+crash_bin="./build-fault/tests/durability_crash"
+crash_dir="$(mktemp -d)"
+trap 'rm -rf "${crash_dir}"' EXIT
+
+crash_state() {  # mode dir -> the comparable state lines
+  "${crash_bin}" "$1" "$2" | grep -E '^(FINGERPRINT|MARGINAL|FACTS) '
+}
+crash_must_fail() {  # site mode dir
+  if IPDB_FAULTS="$1" "${crash_bin}" "$2" "$3" >/dev/null 2>&1; then
+    echo "ci.sh: ${2} with ${1} armed unexpectedly succeeded" >&2
+    exit 1
+  fi
+}
+crash_check() {  # label expected actual
+  if [[ "$2" != "$3" ]]; then
+    echo "ci.sh: crash-recovery state diverged (${1})" >&2
+    diff <(printf '%s\n' "$2") <(printf '%s\n' "$3") >&2 || true
+    exit 1
+  fi
+  echo "  ${1}: recovered state bit-identical"
+}
+
+# (a) WAL-append fault: the mutation batch fails up front (log-then-
+# apply rolls the buffered record back) and recovery still shows the
+# freshly prepared instance.
+d="${crash_dir}/append"; mkdir -p "${d}"
+seed_state="$(crash_state prepare "${d}")"
+crash_must_fail dur.wal.append:1 mutate "${d}"
+crash_check "dur.wal.append" "${seed_state}" "$(crash_state recover "${d}")"
+
+# (b) snapshot-write and rename faults: a failed checkpoint must leave
+# the journaled state fully recoverable (old snapshot + intact WAL).
+d="${crash_dir}/checkpoint"; mkdir -p "${d}"
+crash_state prepare "${d}" >/dev/null
+mutated_state="$(crash_state mutate "${d}")"
+crash_must_fail dur.snapshot.write:1 checkpoint "${d}"
+crash_check "dur.snapshot.write" "${mutated_state}" \
+  "$(crash_state recover "${d}")"
+crash_must_fail dur.rename:1 checkpoint "${d}"
+crash_check "dur.rename" "${mutated_state}" "$(crash_state recover "${d}")"
+
+# (c) replay fault: recovery fails loudly once, then succeeds unarmed
+# on the very same files.
+crash_must_fail dur.wal.replay:1 recover "${d}"
+crash_check "dur.wal.replay" "${mutated_state}" \
+  "$(crash_state recover "${d}")"
+
+# (d) kill -9 mid-batch: the helper commits batch A, Flush()es it to
+# the page cache, prints its state, buffers batch B in user space, and
+# raises SIGKILL. Batch A must survive, batch B must vanish — recovery
+# equals exactly what the victim printed before dying.
+d="${crash_dir}/kill9"; mkdir -p "${d}"
+crash_state prepare "${d}" >/dev/null
+set +e
+kill9_out="$("${crash_bin}" kill9 "${d}")"
+kill9_rc=$?
+set -e
+if [[ ${kill9_rc} -ne 137 ]]; then
+  echo "ci.sh: kill9 mode should die by SIGKILL (137), got ${kill9_rc}" >&2
+  exit 1
+fi
+kill9_state="$(grep -E '^(FINGERPRINT|MARGINAL|FACTS) ' <<<"${kill9_out}")"
+crash_check "kill -9" "${kill9_state}" "$(crash_state recover "${d}")"
+
+# (e) torn tail: garbage appended to the WAL is truncated on recovery
+# (TRUNCATED 1), never fatal, and the committed state is untouched.
+d="${crash_dir}/torn"; mkdir -p "${d}"
+crash_state prepare "${d}" >/dev/null
+mutated_state="$(crash_state mutate "${d}")"
+"${crash_bin}" garble "${d}" >/dev/null
+torn_out="$("${crash_bin}" recover "${d}")"
+if ! grep -q '^TRUNCATED 1$' <<<"${torn_out}"; then
+  echo "ci.sh: recovery did not report the torn tail" >&2
+  exit 1
+fi
+crash_check "torn WAL tail" "${mutated_state}" \
+  "$(grep -E '^(FINGERPRINT|MARGINAL|FACTS) ' <<<"${torn_out}")"
 
 echo "=== thread-sanitized build + concurrency tests ==="
 # TSan over the code that shares state across threads: the pool's
@@ -196,6 +284,31 @@ print(f"  incremental re-query speedup:  {requery:6.1f}x    {verdict}")
 failed |= requery < 10.0
 
 sys.exit(1 if failed else 0)
+EOF
+
+echo "=== durability gates (Release, durability_bench) ==="
+# The WAL cost envelope at 10^6 facts: journaling a mutation (encode +
+# CRC32C + group-commit buffering) must cost <= 15% over the bare
+# TiStore mutator. Snapshot write/restore throughput and full recovery
+# time (snapshot + 10^4-record WAL replay) are reported alongside.
+dur_json="build-release/BENCH_durability.json"
+rm -f "${dur_json}"
+./build-release/bench/durability_bench --facts=1000000 \
+  --bench_json_out="${dur_json}" >/dev/null
+python3 - "${dur_json}" <<'EOF'
+import json, sys
+
+rows = {r["op"]: r["counters"]
+        for r in json.load(open(sys.argv[1]))["results"]}
+write = rows["snapshot/write/1e6"]["mb_per_s"]
+restore = rows["snapshot/restore/1e6"]["mb_per_s"]
+recovery = rows["recover/1e6"]["recovery_ms"]
+overhead = rows["wal/append_overhead"]["wal_overhead"]
+print(f"  snapshot write {write:6.1f} MB/s, restore {restore:6.1f} MB/s, "
+      f"recovery at 10^6 facts {recovery:6.1f} ms")
+verdict = "ok" if overhead <= 0.15 else "FAIL (> 15%)"
+print(f"  WAL append overhead vs bare mutator: {overhead:+.1%}   {verdict}")
+sys.exit(1 if overhead > 0.15 else 0)
 EOF
 
 echo "=== query-service load gates (Release, serve_bench) ==="

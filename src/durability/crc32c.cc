@@ -1,0 +1,68 @@
+#include "durability/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace ipdb {
+namespace durability {
+
+namespace {
+
+/// Slicing-by-8 tables for the reflected Castagnoli polynomial: table 0
+/// is the classic byte-at-a-time table; table k folds a byte that sits
+/// k positions ahead of the CRC window, so the inner loop consumes 8
+/// bytes with 8 independent lookups per iteration instead of 8 serially
+/// dependent ones. Generated once at first use.
+const std::array<std::array<uint32_t, 256>, 8>& Tables() {
+  static const std::array<std::array<uint32_t, 256>, 8>* tables = [] {
+    auto* t = new std::array<std::array<uint32_t, 256>, 8>;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      (*t)[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = (*t)[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = (*t)[0][crc & 0xffu] ^ (crc >> 8);
+        (*t)[k][i] = crc;
+      }
+    }
+    return t;
+  }();
+  return *tables;
+}
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n) {
+  const auto& t = Tables();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    // Little-endian load of the 8-byte window (this project targets LE
+    // hosts; the snapshot/WAL formats are LE for the same reason).
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^
+          t[5][(lo >> 16) & 0xffu] ^ t[4][lo >> 24] ^ t[3][hi & 0xffu] ^
+          t[2][(hi >> 8) & 0xffu] ^ t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t n) { return ExtendCrc32c(0, data, n); }
+
+}  // namespace durability
+}  // namespace ipdb

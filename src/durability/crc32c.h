@@ -1,0 +1,25 @@
+#ifndef IPDB_DURABILITY_CRC32C_H_
+#define IPDB_DURABILITY_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ipdb {
+namespace durability {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum every persisted section and WAL record carries. Chosen
+/// over plain CRC-32 for its better error-detection properties on the
+/// short records a WAL is made of; implemented in software (slice-by-one
+/// table) so durability has no ISA dependency.
+///
+/// `Extend` continues a running checksum, so large sections can be
+/// checksummed without concatenating buffers. `Crc32c(p, n)` ==
+/// `Extend(0, p, n)`.
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n);
+uint32_t Crc32c(const void* data, size_t n);
+
+}  // namespace durability
+}  // namespace ipdb
+
+#endif  // IPDB_DURABILITY_CRC32C_H_

@@ -1,0 +1,140 @@
+#include "durability/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ipdb {
+namespace durability {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return IPDB_STATUS(StatusCode::kUnavailable)
+         << op << " '" << path << "': " << std::strerror(errno);
+}
+
+int OpenRetry(const char* path, int flags, mode_t mode) {
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+Status FullWrite(int fd, const char* data, size_t n, const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t wrote = ::write(fd, data + done, n - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("fsync", path);
+  return Status::Ok();
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Status MakeDirs(const std::string& path) {
+  if (path.empty()) {
+    return IPDB_STATUS(StatusCode::kInvalidArgument) << "empty directory path";
+  }
+  std::string prefix;
+  size_t start = 0;
+  if (path[0] == '/') prefix = "/";
+  while (start < path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    const std::string segment = path.substr(start, end - start);
+    start = end + 1;
+    if (segment.empty()) continue;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    prefix += segment;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  const int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) return Errno("open", path);
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (got == 0) break;
+    out->append(buf, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status WriteFileSync(const std::string& path, const std::string& bytes) {
+  const int fd = OpenRetry(path.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", path);
+  Status status = FullWrite(fd, bytes.data(), bytes.size(), path);
+  if (status.ok()) status = FsyncFd(fd, path);
+  ::close(fd);
+  return status;
+}
+
+Status RenameSync(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+  return SyncParentDir(to);
+}
+
+Status SyncParentDir(const std::string& path) {
+  const std::string dir = ParentDir(path);
+  const int fd = OpenRetry(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
+  if (fd < 0) return Errno("open dir", dir);
+  const Status status = FsyncFd(fd, dir);
+  ::close(fd);
+  return status;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace durability
+}  // namespace ipdb

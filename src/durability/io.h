@@ -1,0 +1,42 @@
+#ifndef IPDB_DURABILITY_IO_H_
+#define IPDB_DURABILITY_IO_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace ipdb {
+namespace durability {
+
+/// Thin EINTR-safe POSIX file helpers shared by the snapshot writer and
+/// the WAL. All failures come back as Status (kUnavailable for
+/// environmental I/O errors, kDataLoss only where bytes were read and
+/// found untrustworthy) — durability code never aborts on I/O.
+
+/// True when `path` names an existing regular file.
+bool FileExists(const std::string& path);
+
+/// Creates `path` and every missing parent (mkdir -p semantics).
+Status MakeDirs(const std::string& path);
+
+/// Reads the whole file into `out`.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Writes `bytes` to `path` + fsync. Not atomic — use for temp files.
+Status WriteFileSync(const std::string& path, const std::string& bytes);
+
+/// Renames `from` to `to` and fsyncs the containing directory, making
+/// the swap durable: after this returns OK a crash leaves `to` either
+/// absent (never started) or complete — never half-written.
+Status RenameSync(const std::string& from, const std::string& to);
+
+/// fsyncs the directory containing `path` (directory entry durability).
+Status SyncParentDir(const std::string& path);
+
+/// Removes a file, tolerating absence.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace durability
+}  // namespace ipdb
+
+#endif  // IPDB_DURABILITY_IO_H_

@@ -1,0 +1,251 @@
+#include "durability/manager.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "durability/io.h"
+#include "obs/obs.h"
+
+namespace ipdb {
+namespace durability {
+
+namespace {
+
+constexpr char kSnapshotFile[] = "snapshot.ipdb";
+constexpr char kWalFile[] = "wal.log";
+
+/// Applies one replayed record to the store. The record was validated by
+/// CRC + decode; a store that still rejects it (e.g. erase of an absent
+/// fact) means log and snapshot disagree — that is data loss, not a
+/// caller error.
+Status ApplyRecord(storage::TiStore* store, const WalRecord& record) {
+  switch (record.op) {
+    case WalOp::kInsert: {
+      auto row = store->Insert(record.fact, record.prob);
+      if (!row.ok()) {
+        return IPDB_STATUS(StatusCode::kDataLoss)
+               << "replayed insert rejected: " << row.status().ToString();
+      }
+      return Status::Ok();
+    }
+    case WalOp::kErase: {
+      const Status status = store->Erase(record.fact);
+      if (!status.ok()) {
+        return IPDB_STATUS(StatusCode::kDataLoss)
+               << "replayed erase rejected: " << status.ToString();
+      }
+      return Status::Ok();
+    }
+    case WalOp::kUpdateProbability: {
+      const Status status =
+          store->UpdateProbability(record.fact, record.prob);
+      if (!status.ok()) {
+        return IPDB_STATUS(StatusCode::kDataLoss)
+               << "replayed update rejected: " << status.ToString();
+      }
+      return Status::Ok();
+    }
+    case WalOp::kUpdateProbabilityExact: {
+      const Status status =
+          store->UpdateProbabilityExact(record.fact, record.exact);
+      if (!status.ok()) {
+        return IPDB_STATUS(StatusCode::kDataLoss)
+               << "replayed exact update rejected: " << status.ToString();
+      }
+      return Status::Ok();
+    }
+  }
+  return IPDB_STATUS(StatusCode::kDataLoss) << "replayed record has bad op";
+}
+
+}  // namespace
+
+DurableStore::DurableStore(std::shared_ptr<storage::TiStore> store,
+                           std::unique_ptr<Wal> wal,
+                           std::string snapshot_path, uint64_t last_lsn,
+                           ReplayStats recovery_stats)
+    : store_(std::move(store)),
+      wal_(std::move(wal)),
+      snapshot_path_(std::move(snapshot_path)),
+      last_lsn_(last_lsn),
+      recovery_stats_(recovery_stats) {}
+
+StatusOr<int64_t> DurableStore::Insert(const rel::Fact& fact, double prob) {
+  WalRecordRef record;
+  record.op = WalOp::kInsert;
+  record.fact = &fact;
+  record.prob = prob;
+  int64_t row = -1;
+  IPDB_RETURN_IF_ERROR(LogThenApply(record, [&] {
+    auto result = store_->Insert(fact, prob);
+    if (!result.ok()) return result.status();
+    row = *result;
+    return Status::Ok();
+  }));
+  return row;
+}
+
+Status DurableStore::Erase(const rel::Fact& fact) {
+  WalRecordRef record;
+  record.op = WalOp::kErase;
+  record.fact = &fact;
+  return LogThenApply(record, [&] { return store_->Erase(fact); });
+}
+
+Status DurableStore::UpdateProbability(const rel::Fact& fact, double prob) {
+  WalRecordRef record;
+  record.op = WalOp::kUpdateProbability;
+  record.fact = &fact;
+  record.prob = prob;
+  return LogThenApply(record,
+                      [&] { return store_->UpdateProbability(fact, prob); });
+}
+
+Status DurableStore::UpdateProbabilityExact(const rel::Fact& fact,
+                                            const math::Rational& prob) {
+  WalRecordRef record;
+  record.op = WalOp::kUpdateProbabilityExact;
+  record.fact = &fact;
+  record.prob = prob.ToDouble();
+  record.exact = &prob;
+  return LogThenApply(record, [&] {
+    return store_->UpdateProbabilityExact(fact, prob);
+  });
+}
+
+Status DurableStore::Flush() { return wal_->Flush(); }
+
+Status DurableStore::Sync() { return wal_->Sync(); }
+
+Status DurableStore::Checkpoint() {
+  IPDB_OBS_SPAN("dur.checkpoint", "durability");
+  // Buffered records must be on disk before the snapshot claims their
+  // LSNs (the snapshot's last_lsn makes replay skip them afterwards).
+  IPDB_RETURN_IF_ERROR(wal_->Sync());
+  IPDB_RETURN_IF_ERROR(WriteSnapshot(*store_, last_lsn_, snapshot_path_));
+  // A crash before this truncate is safe: every WAL record has
+  // lsn <= the snapshot's last_lsn and replay skips it.
+  IPDB_RETURN_IF_ERROR(wal_->TruncateAll());
+  IPDB_OBS_COUNT("dur.checkpoints", 1);
+  return Status::Ok();
+}
+
+Manager::Manager(std::string root_dir) : root_dir_(std::move(root_dir)) {}
+
+Status Manager::ValidateName(const std::string& name) {
+  if (name.empty() || name.size() > 128) {
+    return IPDB_STATUS(StatusCode::kInvalidArgument)
+           << "instance name must be 1..128 characters";
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) {
+      return IPDB_STATUS(StatusCode::kInvalidArgument)
+             << "instance name may only contain [A-Za-z0-9_.-]";
+    }
+  }
+  if (name == "." || name == "..") {
+    return IPDB_STATUS(StatusCode::kInvalidArgument)
+           << "instance name may not be a directory alias";
+  }
+  return Status::Ok();
+}
+
+std::string Manager::InstanceDir(const std::string& name) const {
+  return root_dir_ + "/" + name;
+}
+std::string Manager::SnapshotPath(const std::string& name) const {
+  return InstanceDir(name) + "/" + kSnapshotFile;
+}
+std::string Manager::WalPath(const std::string& name) const {
+  return InstanceDir(name) + "/" + kWalFile;
+}
+
+StatusOr<std::unique_ptr<DurableStore>> Manager::Create(
+    const std::string& name, std::shared_ptr<storage::TiStore> store) {
+  IPDB_RETURN_IF_ERROR(ValidateName(name));
+  if (store == nullptr) {
+    return IPDB_STATUS(StatusCode::kInvalidArgument)
+           << "Create requires a non-null store";
+  }
+  IPDB_RETURN_IF_ERROR(MakeDirs(InstanceDir(name)));
+  IPDB_RETURN_IF_ERROR(WriteSnapshot(*store, 0, SnapshotPath(name)));
+  auto wal = Wal::Open(WalPath(name));
+  if (!wal.ok()) return wal.status();
+  // A stale WAL from a previous incarnation must not replay over the
+  // fresh snapshot.
+  IPDB_RETURN_IF_ERROR((*wal)->TruncateAll());
+  return std::unique_ptr<DurableStore>(
+      new DurableStore(std::move(store), std::move(wal).value(),
+                       SnapshotPath(name), 0, ReplayStats{}));
+}
+
+Status Manager::Save(const std::string& name, const storage::TiStore& store) {
+  IPDB_RETURN_IF_ERROR(ValidateName(name));
+  IPDB_RETURN_IF_ERROR(MakeDirs(InstanceDir(name)));
+  IPDB_RETURN_IF_ERROR(WriteSnapshot(store, 0, SnapshotPath(name)));
+  auto wal = Wal::Open(WalPath(name));
+  if (!wal.ok()) return wal.status();
+  return (*wal)->TruncateAll();
+}
+
+StatusOr<std::unique_ptr<DurableStore>> Manager::Load(
+    const std::string& name) {
+  IPDB_OBS_SPAN("dur.recover", "durability");
+  IPDB_OBS_SCOPED_TIMER("dur.recover_ns");
+  IPDB_RETURN_IF_ERROR(ValidateName(name));
+  auto snapshot = ReadSnapshot(SnapshotPath(name));
+  if (!snapshot.ok()) {
+    return IPDB_STATUS_FORWARD(snapshot.status())
+           << "while loading instance '" << name << "'";
+  }
+  auto wal = Wal::Open(WalPath(name));
+  if (!wal.ok()) {
+    return IPDB_STATUS_FORWARD(wal.status())
+           << "while loading instance '" << name << "'";
+  }
+  storage::TiStore* store = snapshot->store.get();
+  ReplayStats stats;
+  const Status replayed = (*wal)->Replay(
+      snapshot->last_lsn,
+      [store](const WalRecord& record) {
+        return ApplyRecord(store, record);
+      },
+      &stats);
+  if (!replayed.ok()) {
+    return IPDB_STATUS_FORWARD(replayed)
+           << "while recovering instance '" << name << "'";
+  }
+  IPDB_OBS_COUNT("dur.recoveries", 1);
+  return std::unique_ptr<DurableStore>(new DurableStore(
+      std::move(snapshot->store), std::move(wal).value(), SnapshotPath(name),
+      stats.last_lsn, stats));
+}
+
+bool Manager::Exists(const std::string& name) const {
+  return ValidateName(name).ok() && FileExists(SnapshotPath(name));
+}
+
+StatusOr<std::vector<std::string>> Manager::List() const {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(root_dir_.c_str());
+  if (dir == nullptr) {
+    // A root that does not exist yet simply has no instances.
+    return names;
+  }
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    if (Exists(name)) names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace durability
+}  // namespace ipdb

@@ -1,0 +1,362 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "durability/crc32c.h"
+#include "durability/encoding.h"
+#include "obs/obs.h"
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace ipdb {
+namespace durability {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kFrameBytes = 8;  // u32 len + u32 crc
+
+Status Errno(const char* op, const std::string& path) {
+  return IPDB_STATUS(StatusCode::kUnavailable)
+         << op << " '" << path << "': " << std::strerror(errno);
+}
+
+Status PwriteFull(int fd, const char* data, size_t n, uint64_t offset,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t wrote = ::pwrite(fd, data + done, n - done,
+                                   static_cast<off_t>(offset + done));
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite", path);
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+Status FdatasyncRetry(int fd, const std::string& path) {
+  int rc;
+  do {
+    rc = ::fdatasync(fd);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("fdatasync", path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void EncodeWalPayload(const WalRecordRef& record, std::string* out) {
+  ByteWriter w(out);
+  w.PutU64(record.lsn);
+  w.PutU8(static_cast<uint8_t>(record.op));
+  w.PutU32(static_cast<uint32_t>(record.fact->relation()));
+  w.PutU16(static_cast<uint16_t>(record.fact->arity()));
+  for (const rel::Value& value : record.fact->args()) {
+    EncodeValue(&w, value);
+  }
+  switch (record.op) {
+    case WalOp::kInsert:
+    case WalOp::kUpdateProbability:
+      w.PutF64(record.prob);
+      break;
+    case WalOp::kUpdateProbabilityExact:
+      w.PutF64(record.prob);
+      w.PutString(record.exact->ToString());
+      break;
+    case WalOp::kErase:
+      break;
+  }
+}
+
+void EncodeWalPayload(const WalRecord& record, std::string* out) {
+  WalRecordRef ref;
+  ref.lsn = record.lsn;
+  ref.op = record.op;
+  ref.fact = &record.fact;
+  ref.prob = record.prob;
+  ref.exact = &record.exact;
+  EncodeWalPayload(ref, out);
+}
+
+bool DecodeWalPayload(const char* data, size_t size, WalRecord* out) {
+  ByteReader r(data, size);
+  uint8_t op = 0;
+  uint32_t relation = 0;
+  uint16_t arity = 0;
+  if (!r.GetU64(&out->lsn) || !r.GetU8(&op) || !r.GetU32(&relation) ||
+      !r.GetU16(&arity)) {
+    return false;
+  }
+  if (op < static_cast<uint8_t>(WalOp::kInsert) ||
+      op > static_cast<uint8_t>(WalOp::kUpdateProbabilityExact)) {
+    return false;
+  }
+  out->op = static_cast<WalOp>(op);
+  std::vector<rel::Value> args(arity);
+  for (uint16_t i = 0; i < arity; ++i) {
+    if (!DecodeValue(&r, &args[i])) return false;
+  }
+  out->fact = rel::Fact(static_cast<rel::RelationId>(relation),
+                        std::move(args));
+  switch (out->op) {
+    case WalOp::kInsert:
+    case WalOp::kUpdateProbability:
+      if (!r.GetF64(&out->prob)) return false;
+      break;
+    case WalOp::kUpdateProbabilityExact: {
+      std::string text;
+      if (!r.GetF64(&out->prob) || !r.GetString(&text)) return false;
+      auto exact = math::Rational::FromString(text);
+      if (!exact.ok()) return false;
+      out->exact = std::move(exact).value();
+      break;
+    }
+    case WalOp::kErase:
+      break;
+  }
+  return r.remaining() == 0;
+}
+
+Wal::Wal(std::string path, int fd, uint64_t end_offset)
+    : path_(std::move(path)), fd_(fd), end_offset_(end_offset) {}
+
+Wal::~Wal() {
+  // Best effort: buffered appends that were never flushed are the
+  // caller's accepted loss window; the file itself is already coherent.
+  if (!buffer_.empty()) (void)Flush();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("open", path);
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Errno("fstat", path);
+    ::close(fd);
+    return status;
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+
+  if (size < kHeaderBytes) {
+    // Fresh log, or a crash tore the header itself: (re)initialize.
+    if (::ftruncate(fd, 0) != 0) {
+      const Status status = Errno("ftruncate", path);
+      ::close(fd);
+      return status;
+    }
+    std::string header;
+    ByteWriter w(&header);
+    w.PutBytes(kMagic, sizeof(kMagic));
+    w.PutU32(kVersion);
+    w.PutU32(0);  // reserved
+    Status status = PwriteFull(fd, header.data(), header.size(), 0, path);
+    if (status.ok()) status = FdatasyncRetry(fd, path);
+    if (!status.ok()) {
+      ::close(fd);
+      return status;
+    }
+    size = kHeaderBytes;
+  } else {
+    char header[kHeaderBytes];
+    ssize_t got;
+    do {
+      got = ::pread(fd, header, sizeof(header), 0);
+    } while (got < 0 && errno == EINTR);
+    if (got != static_cast<ssize_t>(sizeof(header))) {
+      const Status status = Errno("pread", path);
+      ::close(fd);
+      return status;
+    }
+    ByteReader r(header, sizeof(header));
+    char magic[sizeof(kMagic)];
+    uint32_t version = 0;
+    r.GetBytes(magic, sizeof(magic));
+    r.GetU32(&version);
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      ::close(fd);
+      return IPDB_STATUS(StatusCode::kDataLoss)
+             << "WAL '" << path << "' magic mismatch";
+    }
+    if (version != kVersion) {
+      ::close(fd);
+      return IPDB_STATUS(StatusCode::kDataLoss)
+             << "WAL '" << path << "' version " << version
+             << " unsupported (expected " << kVersion << ")";
+    }
+  }
+  return std::unique_ptr<Wal>(new Wal(path, fd, size));
+}
+
+Status Wal::Append(const WalRecordRef& record) {
+  IPDB_FAULT_POINT("dur.wal.append");
+  // Encode straight into the group-commit buffer: reserve the 8-byte
+  // frame header, write the payload behind it, then backfill length and
+  // CRC. One buffer append per record, no scratch string.
+  const size_t frame_start = buffer_.size();
+  buffer_.append(kFrameBytes, '\0');
+  EncodeWalPayload(record, &buffer_);
+  const size_t payload_size = buffer_.size() - frame_start - kFrameBytes;
+  if (payload_size > kMaxPayloadBytes) {
+    buffer_.resize(frame_start);
+    return IPDB_STATUS(StatusCode::kInvalidArgument)
+           << "WAL record payload of " << payload_size
+           << " bytes exceeds the " << kMaxPayloadBytes << " frame cap";
+  }
+  const char* payload = buffer_.data() + frame_start + kFrameBytes;
+  const uint32_t len = static_cast<uint32_t>(payload_size);
+  const uint32_t crc = Crc32c(payload, payload_size);
+  std::memcpy(&buffer_[frame_start], &len, sizeof(len));
+  std::memcpy(&buffer_[frame_start + sizeof(len)], &crc, sizeof(crc));
+  IPDB_OBS_COUNT("dur.wal.appends", 1);
+  return Status::Ok();
+}
+
+Status Wal::Append(const WalRecord& record) {
+  WalRecordRef ref;
+  ref.lsn = record.lsn;
+  ref.op = record.op;
+  ref.fact = &record.fact;
+  ref.prob = record.prob;
+  ref.exact = &record.exact;
+  return Append(ref);
+}
+
+void Wal::RollbackTo(size_t mark) {
+  IPDB_CHECK_LE(mark, buffer_.size());
+  buffer_.resize(mark);
+}
+
+Status Wal::MaybeFlush() {
+  if (buffer_.size() < kFlushWatermarkBytes) return Status::Ok();
+  return Flush();
+}
+
+Status Wal::Flush() {
+  if (buffer_.empty()) return Status::Ok();
+  return WriteBuffer();
+}
+
+Status Wal::WriteBuffer() {
+  IPDB_OBS_COUNT("dur.wal.flushes", 1);
+  IPDB_OBS_COUNT("dur.wal.flushed_bytes",
+                 static_cast<int64_t>(buffer_.size()));
+  IPDB_RETURN_IF_ERROR(
+      PwriteFull(fd_, buffer_.data(), buffer_.size(), end_offset_, path_));
+  end_offset_ += buffer_.size();
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status Wal::Sync() {
+  IPDB_RETURN_IF_ERROR(Flush());
+  return FdatasyncRetry(fd_, path_);
+}
+
+Status Wal::Replay(uint64_t min_lsn,
+                   const std::function<Status(const WalRecord&)>& apply,
+                   ReplayStats* stats) {
+  IPDB_OBS_SPAN("dur.wal.replay", "durability");
+  IPDB_OBS_SCOPED_TIMER("dur.wal.replay_ns");
+  *stats = ReplayStats{};
+  stats->last_lsn = min_lsn;
+  IPDB_FAULT_POINT("dur.wal.replay");
+
+  // Read everything past the header.
+  std::string bytes;
+  if (end_offset_ > kHeaderBytes) {
+    bytes.resize(static_cast<size_t>(end_offset_ - kHeaderBytes));
+    size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t got =
+          ::pread(fd_, &bytes[done], bytes.size() - done,
+                  static_cast<off_t>(kHeaderBytes + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pread", path_);
+      }
+      if (got == 0) break;  // file shorter than expected: torn tail below
+      done += static_cast<size_t>(got);
+    }
+    bytes.resize(done);
+  }
+
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    ByteReader frame(bytes.data() + offset, bytes.size() - offset);
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    const bool header_ok = frame.GetU32(&len) && frame.GetU32(&crc);
+    if (!header_ok || len > kMaxPayloadBytes ||
+        frame.remaining() < len) {
+      // Torn tail: a crash interrupted an append. Cut it off and go on.
+      break;
+    }
+    const char* payload = bytes.data() + offset + kFrameBytes;
+    if (Crc32c(payload, len) != crc) break;
+    WalRecord record;
+    if (!DecodeWalPayload(payload, len, &record)) {
+      return IPDB_STATUS(StatusCode::kDataLoss)
+             << "WAL '" << path_ << "' record at offset "
+             << (kHeaderBytes + offset)
+             << " passes its CRC but does not decode";
+    }
+    if (record.lsn > stats->last_lsn) stats->last_lsn = record.lsn;
+    if (record.lsn <= min_lsn) {
+      ++stats->skipped;
+    } else {
+      const Status status = apply(record);
+      if (!status.ok()) {
+        return IPDB_STATUS_FORWARD(status)
+               << "while replaying WAL record lsn " << record.lsn;
+      }
+      ++stats->applied;
+    }
+    offset += kFrameBytes + len;
+  }
+
+  if (offset < bytes.size()) {
+    // Truncate the torn tail so the next append starts on a clean frame.
+    const uint64_t good_end = kHeaderBytes + offset;
+    if (::ftruncate(fd_, static_cast<off_t>(good_end)) != 0) {
+      return Errno("ftruncate", path_);
+    }
+    IPDB_RETURN_IF_ERROR(FdatasyncRetry(fd_, path_));
+    end_offset_ = good_end;
+    stats->tail_truncated = true;
+    IPDB_OBS_COUNT("dur.wal.torn_tails", 1);
+  } else {
+    end_offset_ = kHeaderBytes + bytes.size();
+  }
+  IPDB_OBS_COUNT("dur.wal.replayed", stats->applied);
+  IPDB_OBS_COUNT("dur.wal.replay_skipped", stats->skipped);
+  return Status::Ok();
+}
+
+Status Wal::TruncateAll() {
+  buffer_.clear();
+  if (::ftruncate(fd_, static_cast<off_t>(kHeaderBytes)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  IPDB_RETURN_IF_ERROR(FdatasyncRetry(fd_, path_));
+  end_offset_ = kHeaderBytes;
+  IPDB_OBS_COUNT("dur.wal.truncations", 1);
+  return Status::Ok();
+}
+
+}  // namespace durability
+}  // namespace ipdb

@@ -1,0 +1,144 @@
+#ifndef IPDB_DURABILITY_WAL_H_
+#define IPDB_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "math/rational.h"
+#include "relational/fact.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace durability {
+
+/// One logged mutation, mirroring TiStore's live mutators.
+enum class WalOp : uint8_t {
+  kInsert = 1,
+  kErase = 2,
+  kUpdateProbability = 3,
+  kUpdateProbabilityExact = 4,
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalOp op = WalOp::kInsert;
+  rel::Fact fact;
+  double prob = 0.0;     // kInsert / kUpdateProbability
+  math::Rational exact;  // kUpdateProbabilityExact
+};
+
+/// Non-owning view of a record for the append hot path: journaling a
+/// mutation must not copy the fact (a vector of values, often heap-
+/// backed) just to serialize it. `exact` may be null except for
+/// kUpdateProbabilityExact.
+struct WalRecordRef {
+  uint64_t lsn = 0;
+  WalOp op = WalOp::kInsert;
+  const rel::Fact* fact = nullptr;
+  double prob = 0.0;
+  const math::Rational* exact = nullptr;
+};
+
+/// What replay found in the log.
+struct ReplayStats {
+  int64_t applied = 0;      // records applied to the store
+  int64_t skipped = 0;      // records with lsn <= the snapshot's last_lsn
+  bool tail_truncated = false;  // a torn/corrupt tail was cut off
+  uint64_t last_lsn = 0;    // highest lsn seen (0 when the log is empty)
+};
+
+/// A per-instance write-ahead log of checksummed mutation records.
+///
+/// File layout: 16-byte header ("IPDBWAL1" | u32 version | u32 reserved)
+/// followed by records, each framed as
+///
+///   u32 payload_len | u32 crc32c(payload) | payload
+///
+/// where the payload encodes lsn, op, the fact, and the probability (see
+/// DESIGN.md). Appends are buffered in user space and reach the page
+/// cache on Flush() — a `kill -9` after Flush loses nothing because the
+/// kernel owns the bytes; only Sync() (fdatasync) survives power loss.
+/// A crash mid-write leaves a torn tail: Replay detects it (short frame
+/// or CRC mismatch), truncates the file back to the last good record,
+/// and carries on — torn tails are expected, not errors. A record that
+/// passes its CRC but fails to decode is real corruption and surfaces as
+/// a kDataLoss Status (never an abort).
+///
+/// Single-writer, like the store it journals.
+class Wal {
+ public:
+  static constexpr char kMagic[8] = {'I', 'P', 'D', 'B', 'W', 'A', 'L', '1'};
+  static constexpr uint32_t kVersion = 1;
+  /// Flush watermark: appends accumulate in user space until this many
+  /// bytes are pending, amortizing write() syscalls (group commit).
+  static constexpr size_t kFlushWatermarkBytes = 64 * 1024;
+  /// A frame longer than this is treated as a torn/corrupt length field.
+  static constexpr uint32_t kMaxPayloadBytes = 1u << 26;
+
+  /// Opens (creating if absent) the log at `path`. A fresh or torn-
+  /// at-the-header file is (re)initialized; an existing header is
+  /// validated (kDataLoss on magic/version mismatch).
+  static StatusOr<std::unique_ptr<Wal>> Open(const std::string& path);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Serializes `record` into the append buffer (fault site
+  /// "dur.wal.append"), framing and checksumming in place — no per-
+  /// record allocation. Nothing reaches the file until
+  /// Flush/MaybeFlush; `RollbackTo(mark)` with a pre-append `mark()`
+  /// undoes a buffered append whose apply step failed.
+  Status Append(const WalRecordRef& record);
+  Status Append(const WalRecord& record);
+
+  /// Current buffer position, for RollbackTo.
+  size_t mark() const { return buffer_.size(); }
+  void RollbackTo(size_t mark);
+
+  /// Flushes the buffer when the group-commit watermark is reached.
+  Status MaybeFlush();
+  /// Writes all buffered bytes to the file (page cache).
+  Status Flush();
+  /// Flush + fdatasync: durable against power loss.
+  Status Sync();
+
+  /// Reads the log from the top, skipping records with lsn <= `min_lsn`
+  /// (already folded into the snapshot) and handing the rest to `apply`
+  /// in order. Truncates a torn tail in place. Fault site
+  /// "dur.wal.replay". Stats are filled even on early error.
+  Status Replay(uint64_t min_lsn,
+                const std::function<Status(const WalRecord&)>& apply,
+                ReplayStats* stats);
+
+  /// Discards buffered appends and resets the file to just its header
+  /// (checkpoint compaction), fdatasync'd.
+  Status TruncateAll();
+
+  const std::string& path() const { return path_; }
+  /// Bytes currently buffered but not yet written.
+  size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  Wal(std::string path, int fd, uint64_t end_offset);
+
+  Status WriteBuffer();
+
+  std::string path_;
+  int fd_;
+  /// Validated end of the file; appends land here.
+  uint64_t end_offset_;
+  std::string buffer_;
+};
+
+/// Encodes / decodes a record payload (exposed for tests).
+void EncodeWalPayload(const WalRecordRef& record, std::string* out);
+void EncodeWalPayload(const WalRecord& record, std::string* out);
+bool DecodeWalPayload(const char* data, size_t size, WalRecord* out);
+
+}  // namespace durability
+}  // namespace ipdb
+
+#endif  // IPDB_DURABILITY_WAL_H_

@@ -171,6 +171,24 @@ void Daemon::AcceptLoop() {
   }
 }
 
+namespace {
+
+/// Sends the whole response, retrying on EINTR; false when the peer is
+/// gone (any other error).
+bool SendAll(int fd, const std::string& response) {
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t wrote =
+        ::send(fd, response.data() + sent, response.size() - sent, 0);
+    if (wrote < 0 && errno == EINTR) continue;
+    if (wrote <= 0) return false;
+    sent += static_cast<size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace
+
 void Daemon::Serve(int fd) {
   std::string buffer;
   char chunk[4096];
@@ -181,11 +199,24 @@ void Daemon::Serve(int fd) {
     pfd.events = POLLIN;
     pfd.revents = 0;
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready < 0) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // a signal is not a dead peer
+      break;
+    }
     if (ready == 0) continue;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // peer closed or error
     buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.find('\n') == std::string::npos &&
+        buffer.size() > kMaxRequestLineBytes) {
+      // An unterminated over-long line would buffer without bound;
+      // answer once and hang up instead.
+      IPDB_OBS_COUNT("serve.daemon.oversized_lines", 1);
+      SendAll(fd, "ERR INVALID_ARGUMENT request line exceeds " +
+                      std::to_string(kMaxRequestLineBytes) + " bytes\n");
+      break;
+    }
     size_t newline;
     while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
@@ -194,15 +225,9 @@ void Daemon::Serve(int fd) {
       std::string response = HandleLine(line);
       if (response == "BYE") quit = true;
       response.push_back('\n');
-      size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t wrote =
-            ::send(fd, response.data() + sent, response.size() - sent, 0);
-        if (wrote <= 0) {
-          quit = true;
-          break;
-        }
-        sent += static_cast<size_t>(wrote);
+      if (!SendAll(fd, response)) {
+        quit = true;
+        break;
       }
     }
   }
@@ -219,6 +244,17 @@ std::string Daemon::HandleLine(const std::string& line) {
   if (command == "QUIT") return "BYE";
   if (command == "METRICS") return Engine::MetricsJson();
   if (command == "STATS") return engine_->StatsJson();
+  if (command == "SAVE" || command == "LOAD") {
+    std::string instance;
+    in >> instance;
+    if (instance.empty()) {
+      return "ERR INVALID_ARGUMENT usage: " + command + " <instance>";
+    }
+    const Status status = command == "SAVE" ? engine_->SaveInstance(instance)
+                                            : engine_->LoadInstance(instance);
+    if (!status.ok()) return ErrorLine(status);
+    return "OK";
+  }
   if (command == "TRACE") {
     unsigned long long trace_id = 0;
     if (!(in >> trace_id) || trace_id == 0) {

@@ -44,7 +44,16 @@ struct DaemonOptions {
 ///                                            span tree for a sampled
 ///                                            request (id from a QUERY
 ///                                            response)
+///   SAVE <instance>                       -> OK (snapshots the named
+///                                            instance to the engine's
+///                                            durability directory)
+///   LOAD <instance>                       -> OK (recovers + registers
+///                                            the instance from disk)
 ///   QUIT                                  -> BYE (connection closes)
+///
+/// Request lines are capped at kMaxRequestLineBytes: a connection that
+/// streams more than that without a newline gets one `ERR` line and is
+/// closed instead of buffering without bound.
 ///
 /// Failures answer `ERR <CODE> <message>` with the Status code name
 /// (UNAVAILABLE = shed or stopping; INVALID_ARGUMENT = unknown names or
@@ -57,6 +66,9 @@ struct DaemonOptions {
 /// the daemon only (stop the engine afterwards for the full drain).
 class Daemon {
  public:
+  /// Longest accepted request line (bytes, excluding the newline).
+  static constexpr size_t kMaxRequestLineBytes = 64 * 1024;
+
   /// `engine` must outlive the daemon.
   Daemon(Engine* engine, const DaemonOptions& options = {});
   ~Daemon();

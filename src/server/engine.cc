@@ -82,6 +82,72 @@ Engine::Engine(const EngineOptions& options)
   // participant), but posted tasks run on workers only — so ask for one
   // more to get `threads` true serving workers.
   pool_ = std::make_unique<ThreadPool>(threads + 1);
+  if (!options_.durability_dir.empty()) {
+    durability_ = std::make_unique<durability::Manager>(options_.durability_dir);
+    RestoreOnBoot();
+  }
+}
+
+void Engine::RestoreOnBoot() {
+  auto names = durability_->List();
+  if (!names.ok()) {
+    boot_restore_status_ = names.status();
+    return;
+  }
+  for (const std::string& name : *names) {
+    const Status loaded = LoadInstance(name);
+    if (loaded.ok()) {
+      ++boot_restored_;
+      IPDB_OBS_COUNT("dur.boot.restored", 1);
+    } else {
+      IPDB_OBS_COUNT("dur.boot.restore_errors", 1);
+      if (boot_restore_status_.ok()) boot_restore_status_ = loaded;
+    }
+  }
+}
+
+Status Engine::SaveInstance(const std::string& name) {
+  if (durability_ == nullptr) {
+    return FailedPreconditionError(
+        "durability is off (EngineOptions::durability_dir is empty)");
+  }
+  std::shared_ptr<const pdb::TiPdb<double>> instance;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = instances_.find(name);
+    if (it == instances_.end()) {
+      return InvalidArgumentError("instance '" + name + "' is not registered");
+    }
+    instance = it->second;
+  }
+  IPDB_RETURN_IF_ERROR(durability_->Save(name, *instance->store()));
+  IPDB_OBS_COUNT("serve.instance.saves", 1);
+  return Status::Ok();
+}
+
+Status Engine::LoadInstance(const std::string& name) {
+  if (durability_ == nullptr) {
+    return FailedPreconditionError(
+        "durability is off (EngineOptions::durability_dir is empty)");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (instances_.count(name) != 0) {
+      return InvalidArgumentError("instance '" + name +
+                                  "' is already registered");
+    }
+  }
+  auto durable = durability_->Load(name);
+  if (!durable.ok()) return durable.status();
+  auto instance = pdb::TiPdb<double>::FromStore(
+      std::shared_ptr<const storage::TiStore>((*durable)->shared_store()));
+  if (!instance.ok()) {
+    return IPDB_STATUS_FORWARD(instance.status())
+           << "while rebuilding instance '" << name << "' from its snapshot";
+  }
+  IPDB_RETURN_IF_ERROR(RegisterInstance(name, std::move(instance).value()));
+  IPDB_OBS_COUNT("serve.instance.loads", 1);
+  return Status::Ok();
 }
 
 Engine::~Engine() {

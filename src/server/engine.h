@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "durability/manager.h"
 #include "kc/cache.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
@@ -34,6 +35,12 @@ struct EngineOptions {
   /// tasks, so `threads` queries execute truly concurrently.
   int threads = 0;
   AdmissionOptions admission;
+  /// When non-empty, instances persist under this directory (one
+  /// subdirectory per instance: snapshot.ipdb + wal.log) and every
+  /// instance found there is restored at construction
+  /// (boot_restored() / boot_restore_status() report the outcome).
+  /// Empty = durability off; SAVE/LOAD return kFailedPrecondition.
+  std::string durability_dir;
 };
 
 /// The outcome of one served query.
@@ -156,6 +163,24 @@ class Engine {
                                       const std::string& instance,
                                       const std::string& query);
 
+  // --- Durability (requires EngineOptions::durability_dir) ---------
+
+  /// Snapshots the named registered instance to disk (checksummed
+  /// binary snapshot, temp-file + atomic rename) — the daemon's SAVE.
+  Status SaveInstance(const std::string& name);
+
+  /// Recovers the named instance from disk (snapshot + WAL replay) and
+  /// registers it — the daemon's LOAD. Fails on a name that is already
+  /// registered.
+  Status LoadInstance(const std::string& name);
+
+  /// Instances restored during construction, and how the boot restore
+  /// went (Ok also when durability is off or the directory was empty;
+  /// a failed restore of one instance does not abort the others — the
+  /// first error is kept here).
+  int boot_restored() const { return boot_restored_; }
+  const Status& boot_restore_status() const { return boot_restore_status_; }
+
   /// Queries admitted and not yet completed, engine-wide.
   int64_t queue_depth() const {
     return in_flight_total_.load(std::memory_order_relaxed);
@@ -237,7 +262,14 @@ class Engine {
       const std::shared_ptr<const pdb::TiPdb<double>>& instance,
       const logic::Formula& sentence);
 
+  /// Loads every instance under the durability root; returns the count
+  /// and records the first per-instance failure (boot continues).
+  void RestoreOnBoot();
+
   EngineOptions options_;
+  std::unique_ptr<durability::Manager> durability_;
+  int boot_restored_ = 0;
+  Status boot_restore_status_;
   std::unique_ptr<ThreadPool> pool_;
   AdmissionController admission_;
   CancelToken cancel_;

@@ -195,6 +195,84 @@ const math::Rational* ColumnTable::ExactAt(int64_t row) const {
   return nullptr;
 }
 
+Status ColumnTable::RestoreRows(
+    std::vector<std::vector<uint32_t>> columns, std::vector<double> probs,
+    std::vector<uint32_t> sorted,
+    std::vector<std::pair<uint32_t, math::Rational>> exact) {
+  if (columns.size() != columns_.size()) {
+    return IPDB_STATUS(StatusCode::kDataLoss)
+           << "restored table has " << columns.size() << " columns, schema says "
+           << columns_.size();
+  }
+  const size_t n = probs.size();
+  if (static_cast<int64_t>(n) > kMaxRows) {
+    return IPDB_STATUS(StatusCode::kDataLoss)
+           << "restored table has " << n << " rows (cap " << kMaxRows << ")";
+  }
+  for (const auto& column : columns) {
+    if (column.size() != n) {
+      return IPDB_STATUS(StatusCode::kDataLoss)
+             << "restored column length " << column.size()
+             << " disagrees with probability column length " << n;
+    }
+  }
+  if (sorted.size() != n) {
+    return IPDB_STATUS(StatusCode::kDataLoss)
+           << "restored sorted run has " << sorted.size() << " entries for "
+           << n << " rows";
+  }
+  // The run must be a permutation of [0, n) in lexicographic row order
+  // with the build path's row-index tie-break; equal adjacent rows would
+  // mean duplicate facts, which Finish/Insert never admit.
+  const auto row_less = [&columns](uint32_t a, uint32_t b) {
+    for (const auto& column : columns) {
+      const uint32_t va = column[a];
+      const uint32_t vb = column[b];
+      if (va != vb) return va < vb;
+    }
+    return false;
+  };
+  std::vector<bool> seen(n, false);
+  for (size_t k = 0; k < sorted.size(); ++k) {
+    const uint32_t row = sorted[k];
+    if (row >= n || seen[row]) {
+      return IPDB_STATUS(StatusCode::kDataLoss)
+             << "restored sorted run is not a permutation at position " << k;
+    }
+    seen[row] = true;
+    if (k > 0) {
+      const uint32_t prev = sorted[k - 1];
+      if (row_less(row, prev)) {
+        return IPDB_STATUS(StatusCode::kDataLoss)
+               << "restored sorted run out of order at position " << k;
+      }
+      if (!row_less(prev, row)) {
+        if (prev >= row) {
+          return IPDB_STATUS(StatusCode::kDataLoss)
+                 << "restored table has duplicate rows " << prev << " and "
+                 << row;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i].first >= n) {
+      return IPDB_STATUS(StatusCode::kDataLoss)
+             << "restored exact entry " << i << " names row " << exact[i].first
+             << " of " << n;
+    }
+    if (i > 0 && exact[i - 1].first >= exact[i].first) {
+      return IPDB_STATUS(StatusCode::kDataLoss)
+             << "restored exact side table not strictly sorted at entry " << i;
+    }
+  }
+  columns_ = std::move(columns);
+  probs_ = std::move(probs);
+  sorted_ = std::move(sorted);
+  exact_ = std::move(exact);
+  return Status::Ok();
+}
+
 void ColumnTable::ShrinkToFit() {
   for (auto& column : columns_) column.shrink_to_fit();
   probs_.shrink_to_fit();

@@ -89,6 +89,26 @@ class ColumnTable {
   }
   double prob(int64_t row) const { return probs_[static_cast<size_t>(row)]; }
   const std::vector<double>& probs() const { return probs_; }
+  /// The sorted permutation (row indices in lexicographic column order)
+  /// and the sparse exact side table (sorted by row) — exposed whole for
+  /// serialization, so a snapshot can persist them instead of re-sorting
+  /// on restore.
+  const std::vector<uint32_t>& sorted_run() const { return sorted_; }
+  const std::vector<std::pair<uint32_t, math::Rational>>& exact_entries()
+      const {
+    return exact_;
+  }
+
+  /// Replaces the table's contents wholesale with deserialized state.
+  /// Every invariant the build path establishes is re-validated here —
+  /// column lengths agree, the sorted run is a strictly-increasing (in
+  /// lexicographic row order) permutation, exact entries are sorted by
+  /// row and in range — because the input comes from disk and must not
+  /// be trusted. Returns kDataLoss on any violation, leaving the table
+  /// unchanged.
+  Status RestoreRows(std::vector<std::vector<uint32_t>> columns,
+                     std::vector<double> probs, std::vector<uint32_t> sorted,
+                     std::vector<std::pair<uint32_t, math::Rational>> exact);
 
   /// Releases over-allocation after a bulk build.
   void ShrinkToFit();

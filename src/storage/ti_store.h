@@ -17,6 +17,9 @@
 #include "util/status.h"
 
 namespace ipdb {
+namespace durability {
+class SnapshotCodec;  // storage/../durability: snapshot (de)serialization
+}  // namespace durability
 namespace storage {
 
 /// The columnar, dictionary-encoded representation of a finite
@@ -161,6 +164,10 @@ class TiStore {
 
  private:
   friend class Builder;
+  /// The snapshot codec rebuilds a store directly from deserialized
+  /// columns (same global numbering, hence bit-identical lineage
+  /// fingerprints) without re-running the Builder validation path.
+  friend class ::ipdb::durability::SnapshotCodec;
 
   TiStore() = default;
 

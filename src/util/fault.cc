@@ -20,6 +20,10 @@ namespace {
 /// name that is missing (a typo'd site would otherwise test nothing).
 /// Keep sorted.
 const char* const kSites[] = {
+    "dur.rename",             // durability: atomic snapshot rename
+    "dur.snapshot.write",     // durability: snapshot temp-file write
+    "dur.wal.append",         // durability: WAL record append
+    "dur.wal.replay",         // durability: WAL replay on recovery
     "kc.cache.insert",        // artifact cache: before inserting a miss
     "kc.cache.lookup",        // artifact cache: probe entry
     "kc.compile.node_alloc",  // d-DNNF compiler: gate compilation
@@ -130,6 +134,8 @@ const std::vector<std::string>& KnownSites() {
       std::begin(kSites), std::end(kSites));
   return *sites;
 }
+
+const std::vector<std::string>& RegisteredSites() { return KnownSites(); }
 
 bool IsKnownSite(const std::string& site) {
   const std::vector<std::string>& sites = KnownSites();

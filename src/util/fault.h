@@ -61,6 +61,11 @@ bool CompiledIn();
 /// Available regardless of whether injection is compiled in.
 const std::vector<std::string>& KnownSites();
 
+/// Alias of KnownSites() under the name tooling expects: the registered
+/// fault-site table that coverage audits (tests/fault_test, the ci.sh
+/// ASan fault leg) enumerate to prove every site is still reachable.
+const std::vector<std::string>& RegisteredSites();
+
 /// True when `site` appears in KnownSites().
 bool IsKnownSite(const std::string& site);
 

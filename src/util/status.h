@@ -28,6 +28,9 @@ enum class StatusCode {
   kCancelled,         // a CancelToken was triggered mid-computation
   kUnavailable,       // the service refused the work right now (admission
                       // shed, shutdown in progress); safe to retry later
+  kDataLoss,          // persisted bytes failed validation (bad magic/CRC,
+                      // truncated section); the on-disk artifact is not
+                      // trustworthy as written
 };
 
 /// Human-readable name of a StatusCode (e.g. "INVALID_ARGUMENT").
@@ -107,6 +110,7 @@ Status ResourceExhaustedError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status CancelledError(std::string message);
 Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
 
 /// Either a value of type T or a non-OK Status.
 ///
@@ -237,6 +241,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -290,6 +295,9 @@ inline Status CancelledError(std::string message) {
 }
 inline Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 }  // namespace ipdb

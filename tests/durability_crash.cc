@@ -1,0 +1,204 @@
+/// Crash-recovery helper for the CI fault leg (not a ctest test). Each
+/// mode operates on the instance "db" under a state directory and
+/// prints the recovered state as comparable lines:
+///
+///   FINGERPRINT <hi> <lo>   deep grounding fingerprint of the path
+///                           query (bit-identical iff the store is)
+///   MARGINAL <a/b>          exact Rational answer of a join query
+///   FACTS <n>               global fact count
+///   TRUNCATED <0|1>         recovery cut a torn WAL tail (recover)
+///
+/// Modes:
+///   prepare <dir>     create the instance from a fixed seed store
+///   mutate <dir>      recover, commit a fixed batch, Sync — the CI leg
+///                     arms IPDB_FAULTS to make this fail mid-commit
+///   kill9 <dir>       recover, commit batch A, Flush, print the state,
+///                     buffer batch B unflushed, raise SIGKILL: batch A
+///                     must survive the kill, batch B must vanish
+///   checkpoint <dir>  recover, Checkpoint (snapshot + WAL truncate)
+///   garble <dir>      append garbage to the WAL (a torn tail)
+///   recover <dir>     recover and print, nothing else
+///
+/// Every failure path exits 1 with the Status on stderr — a crash or
+/// abort here is a bug the leg catches by exit code.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "durability/manager.h"
+#include "kc/compile.h"
+#include "kc/evaluate.h"
+#include "logic/parser.h"
+#include "math/rational.h"
+#include "pqe/lineage.h"
+#include "storage/ti_store.h"
+#include "util/status.h"
+
+namespace ipdb {
+namespace {
+
+rel::Fact R(int64_t a, int64_t b) {
+  return rel::Fact(0, {rel::Value::Int(a), rel::Value::Int(b)});
+}
+rel::Fact S(int64_t a) { return rel::Fact(1, {rel::Value::Int(a)}); }
+
+/// The fixed seed instance: a two-relation store with exact and double
+/// marginals, big enough that the path query has nontrivial lineage.
+std::shared_ptr<storage::TiStore> SeedStore() {
+  storage::TiStore::Builder builder(rel::Schema({{"R", 2}, {"S", 1}}));
+  for (int64_t i = 0; i < 24; ++i) {
+    builder.Add(R(i, i + 1), 0.25 + 0.5 * static_cast<double>(i % 3) / 4.0);
+  }
+  for (int64_t i = 0; i < 8; ++i) {
+    builder.AddExact(S(i), math::Rational::Ratio(i + 1, 2 * i + 3));
+  }
+  auto store = builder.Finish();
+  if (!store.ok()) {
+    std::cerr << "seed store: " << store.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return store.value();
+}
+
+int Fail(const Status& status) {
+  std::cerr << status.ToString() << "\n";
+  return 1;
+}
+
+/// FINGERPRINT + MARGINAL + FACTS for `store`.
+int PrintState(const storage::TiStore& store) {
+  StatusOr<logic::Formula> path = logic::ParseSentence(
+      "exists x y z. R(x, y) & R(y, z)", store.schema());
+  if (!path.ok()) return Fail(path.status());
+  pqe::Lineage lineage;
+  StatusOr<pqe::NodeId> root =
+      pqe::GroundSentence(store, path.value(), &lineage);
+  if (!root.ok()) return Fail(root.status());
+  const std::pair<uint64_t, uint64_t> fp =
+      kc::LineageFingerprint(lineage, root.value());
+  std::cout << "FINGERPRINT " << fp.first << " " << fp.second << "\n";
+
+  StatusOr<logic::Formula> join = logic::ParseSentence(
+      "exists x y. R(x, y) & S(y)", store.schema());
+  if (!join.ok()) return Fail(join.status());
+  pqe::Lineage join_lineage;
+  StatusOr<pqe::NodeId> join_root =
+      pqe::GroundSentence(store, join.value(), &join_lineage);
+  if (!join_root.ok()) return Fail(join_root.status());
+  StatusOr<kc::CompiledQuery> compiled =
+      kc::CompileLineage(&join_lineage, join_root.value());
+  if (!compiled.ok()) return Fail(compiled.status());
+  std::vector<math::Rational> probs;
+  for (int64_t i = 0; i < store.num_facts(); ++i) {
+    const math::Rational* exact = store.ExactAt(i);
+    probs.push_back(exact != nullptr
+                        ? *exact
+                        : math::Rational::Ratio(
+                              static_cast<int64_t>(store.ProbAt(i) * 1024),
+                              1024));
+  }
+  StatusOr<math::Rational> answer = kc::EvaluateCircuitExact(
+      compiled.value().circuit, compiled.value().root, probs);
+  if (!answer.ok()) return Fail(answer.status());
+  std::cout << "MARGINAL " << answer.value().ToString() << "\n";
+  std::cout << "FACTS " << store.num_facts() << "\n";
+  return 0;
+}
+
+/// The fixed mutation batch `mutate` commits (and batch A of kill9).
+Status BatchA(durability::DurableStore* store) {
+  IPDB_RETURN_IF_ERROR(store->Insert(R(100, 101), 0.375).status());
+  IPDB_RETURN_IF_ERROR(store->UpdateProbability(R(1, 2), 0.8125));
+  IPDB_RETURN_IF_ERROR(
+      store->UpdateProbabilityExact(S(3), math::Rational::Ratio(3, 7)));
+  IPDB_RETURN_IF_ERROR(store->Erase(R(5, 6)));
+  return Status::Ok();
+}
+
+/// kill9's unflushed batch: must NOT appear after recovery.
+Status BatchB(durability::DurableStore* store) {
+  IPDB_RETURN_IF_ERROR(store->Insert(R(200, 201), 0.5).status());
+  IPDB_RETURN_IF_ERROR(store->Erase(R(0, 1)));
+  return Status::Ok();
+}
+
+int Run(const std::string& mode, const std::string& dir) {
+  durability::Manager manager(dir);
+
+  if (mode == "prepare") {
+    StatusOr<std::unique_ptr<durability::DurableStore>> created =
+        manager.Create("db", SeedStore());
+    if (!created.ok()) return Fail(created.status());
+    return PrintState(created.value()->store());
+  }
+
+  if (mode == "garble") {
+    std::ofstream torn(manager.WalPath("db"),
+                       std::ios::binary | std::ios::app);
+    if (!torn) {
+      std::cerr << "cannot open " << manager.WalPath("db") << "\n";
+      return 1;
+    }
+    torn.write("\x40\x00\x00\x00torn-tail-garbage", 21);
+    std::cout << "GARBLED\n";
+    return 0;
+  }
+
+  StatusOr<std::unique_ptr<durability::DurableStore>> loaded =
+      manager.Load("db");
+  if (!loaded.ok()) return Fail(loaded.status());
+  std::unique_ptr<durability::DurableStore> store =
+      std::move(loaded).value();
+
+  if (mode == "recover") {
+    std::cout << "TRUNCATED " << (store->recovery_stats().tail_truncated ? 1 : 0)
+              << "\n";
+    return PrintState(store->store());
+  }
+  if (mode == "mutate") {
+    Status status = BatchA(store.get());
+    if (!status.ok()) return Fail(status);
+    status = store->Sync();
+    if (!status.ok()) return Fail(status);
+    return PrintState(store->store());
+  }
+  if (mode == "checkpoint") {
+    Status status = store->Checkpoint();
+    if (!status.ok()) return Fail(status);
+    return PrintState(store->store());
+  }
+  if (mode == "kill9") {
+    Status status = BatchA(store.get());
+    if (!status.ok()) return Fail(status);
+    status = store->Flush();  // batch A reaches the page cache
+    if (!status.ok()) return Fail(status);
+    if (PrintState(store->store()) != 0) return 1;
+    std::cout.flush();
+    status = BatchB(store.get());  // buffered in user space only
+    if (!status.ok()) return Fail(status);
+    ::raise(SIGKILL);  // no destructors, no flush — a real crash
+    return 1;          // unreachable
+  }
+  std::cerr << "unknown mode '" << mode << "'\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace ipdb
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: durability_crash "
+                 "<prepare|mutate|kill9|checkpoint|garble|recover> <dir>\n";
+    return 2;
+  }
+  return ipdb::Run(argv[1], argv[2]);
+}

@@ -1,0 +1,727 @@
+/// Tests for the durability subsystem: snapshot round trips (bit-
+/// identical grounding fingerprints, EXPECT_EQ-exact Rational
+/// marginals), corrupt-input rejection as kDataLoss, WAL append/replay
+/// equivalence, torn-tail truncation, checkpoint compaction, the
+/// Manager recovery path, mutation edge cases both live and through
+/// replay, and fault-injected unwinding at every dur.* site.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "durability/crc32c.h"
+#include "durability/io.h"
+#include "durability/manager.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "kc/compile.h"
+#include "kc/evaluate.h"
+#include "logic/parser.h"
+#include "math/rational.h"
+#include "pqe/lineage.h"
+#include "storage/ti_store.h"
+#include "util/fault.h"
+
+namespace ipdb {
+namespace durability {
+namespace {
+
+rel::Fact R(int64_t a, int64_t b) {
+  return rel::Fact(0, {rel::Value::Int(a), rel::Value::Int(b)});
+}
+rel::Fact S(const std::string& name) {
+  return rel::Fact(1, {rel::Value::Symbol(name)});
+}
+
+/// A store mixing int and symbol values, double and exact marginals.
+std::shared_ptr<storage::TiStore> SampleStore() {
+  storage::TiStore::Builder builder(rel::Schema({{"R", 2}, {"S", 1}}));
+  builder.Add(R(1, 2), 0.5);
+  builder.Add(R(2, 3), 0.25);
+  builder.Add(R(1, 3), 0.75);
+  builder.AddExact(S("alice"), math::Rational::Ratio(2, 5));
+  builder.Add(S("bob"), 0.125);
+  auto store = builder.Finish();
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return store.value();
+}
+
+/// Grounding fingerprint of the two-hop path query over `store` — the
+/// bit-identity witness: it depends on dictionary ids, row order and
+/// global fact numbering, so it only matches when the restored store is
+/// structurally identical.
+std::pair<uint64_t, uint64_t> Fingerprint(const storage::TiStore& store) {
+  StatusOr<logic::Formula> sentence = logic::ParseSentence(
+      "exists x y z. R(x, y) & R(y, z)", store.schema());
+  EXPECT_TRUE(sentence.ok());
+  pqe::Lineage lineage;
+  StatusOr<pqe::NodeId> root =
+      pqe::GroundSentence(store, sentence.value(), &lineage);
+  EXPECT_TRUE(root.ok()) << root.status().ToString();
+  return kc::LineageFingerprint(lineage, root.value());
+}
+
+/// Exact query probability computed from the store's own marginals
+/// (exact where the side table has one, dyadic double elsewhere).
+math::Rational ExactAnswer(const storage::TiStore& store) {
+  StatusOr<logic::Formula> sentence = logic::ParseSentence(
+      "exists x y. R(x, y) & S(y)", store.schema());
+  EXPECT_TRUE(sentence.ok());
+  pqe::Lineage lineage;
+  StatusOr<pqe::NodeId> root =
+      pqe::GroundSentence(store, sentence.value(), &lineage);
+  EXPECT_TRUE(root.ok());
+  StatusOr<kc::CompiledQuery> compiled =
+      kc::CompileLineage(&lineage, root.value());
+  EXPECT_TRUE(compiled.ok());
+  std::vector<math::Rational> probs;
+  for (int64_t i = 0; i < store.num_facts(); ++i) {
+    const math::Rational* exact = store.ExactAt(i);
+    probs.push_back(exact != nullptr
+                        ? *exact
+                        : math::Rational::Ratio(
+                              static_cast<int64_t>(store.ProbAt(i) * 1024),
+                              1024));
+  }
+  StatusOr<math::Rational> answer = kc::EvaluateCircuitExact(
+      compiled.value().circuit, compiled.value().root, probs);
+  EXPECT_TRUE(answer.ok());
+  return answer.value();
+}
+
+/// Full structural + probabilistic equality of two stores: counts,
+/// bitwise doubles, EXPECT_EQ-exact Rationals, grounding fingerprint.
+void ExpectStoresIdentical(const storage::TiStore& a,
+                           const storage::TiStore& b) {
+  ASSERT_EQ(a.num_facts(), b.num_facts());
+  ASSERT_EQ(a.schema().num_relations(), b.schema().num_relations());
+  for (int64_t i = 0; i < a.num_facts(); ++i) {
+    EXPECT_EQ(a.FactAt(i), b.FactAt(i)) << "fact " << i;
+    // Bitwise, not approximate: the packed column is restored verbatim.
+    EXPECT_EQ(a.ProbAt(i), b.ProbAt(i)) << "prob " << i;
+    const math::Rational* ea = a.ExactAt(i);
+    const math::Rational* eb = b.ExactAt(i);
+    ASSERT_EQ(ea != nullptr, eb != nullptr) << "exact presence " << i;
+    if (ea != nullptr) {
+      EXPECT_EQ(*ea, *eb) << "exact " << i;
+    }
+  }
+  EXPECT_EQ(Fingerprint(a), Fingerprint(b));
+  EXPECT_EQ(ExactAnswer(a), ExactAnswer(b));
+}
+
+/// Self-deleting scratch directory (fixed instance layout, like the
+/// fault workload's).
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char name[] = "/tmp/ipdb_dur_XXXXXX";
+    ASSERT_NE(::mkdtemp(name), nullptr);
+    dir_ = name;
+  }
+  void TearDown() override {
+    for (const std::string& instance : {std::string("db"), std::string("x")}) {
+      for (const char* file :
+           {"/snapshot.ipdb", "/snapshot.ipdb.tmp", "/wal.log"}) {
+        ::unlink((dir_ + "/" + instance + file).c_str());
+      }
+      ::rmdir((dir_ + "/" + instance).c_str());
+    }
+    ::unlink((dir_ + "/snap").c_str());
+    ::unlink((dir_ + "/snap.tmp").c_str());
+    ::unlink((dir_ + "/wal").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------
+
+TEST_F(DurabilityTest, SnapshotRoundTripIsBitIdentical) {
+  std::shared_ptr<storage::TiStore> store = SampleStore();
+  StatusOr<std::string> bytes = SnapshotCodec::Encode(*store, 42);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  StatusOr<SnapshotResult> decoded = SnapshotCodec::Decode(bytes.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().last_lsn, 42u);
+  ExpectStoresIdentical(*store, *decoded.value().store);
+}
+
+TEST_F(DurabilityTest, SnapshotRoundTripsAnEmptyRelation) {
+  storage::TiStore::Builder builder(rel::Schema({{"R", 2}, {"S", 1}}));
+  builder.Add(R(1, 2), 0.5);  // S stays empty
+  auto store = builder.Finish();
+  ASSERT_TRUE(store.ok());
+  StatusOr<std::string> bytes = SnapshotCodec::Encode(*store.value(), 0);
+  ASSERT_TRUE(bytes.ok());
+  StatusOr<SnapshotResult> decoded = SnapshotCodec::Decode(bytes.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().store->table(1).num_rows(), 0);
+  ExpectStoresIdentical(*store.value(), *decoded.value().store);
+}
+
+TEST_F(DurabilityTest, SnapshotDecodeRejectsCorruptBytes) {
+  StatusOr<std::string> bytes = SnapshotCodec::Encode(*SampleStore(), 7);
+  ASSERT_TRUE(bytes.ok());
+  const std::string& good = bytes.value();
+
+  // Truncated at every prefix length: kDataLoss, never an abort.
+  for (size_t len : {size_t{0}, size_t{4}, size_t{23}, good.size() - 1}) {
+    StatusOr<SnapshotResult> r = SnapshotCodec::Decode(good.substr(0, len));
+    ASSERT_FALSE(r.ok()) << "prefix " << len;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << "prefix " << len;
+  }
+  // Bad magic.
+  std::string bad = good;
+  bad[0] = 'X';
+  EXPECT_EQ(SnapshotCodec::Decode(bad).status().code(), StatusCode::kDataLoss);
+  // Unsupported version.
+  bad = good;
+  bad[8] = static_cast<char>(0x7F);
+  EXPECT_EQ(SnapshotCodec::Decode(bad).status().code(), StatusCode::kDataLoss);
+  // A flipped header byte (inside last_lsn) fails the header CRC —
+  // a silently wrong last_lsn would change which WAL records replay.
+  bad = good;
+  bad[20] = static_cast<char>(bad[20] ^ 0x40);
+  EXPECT_EQ(SnapshotCodec::Decode(bad).status().code(), StatusCode::kDataLoss);
+  // A flipped payload byte fails its section CRC.
+  bad = good;
+  bad[good.size() / 2] = static_cast<char>(bad[good.size() / 2] ^ 0x40);
+  StatusOr<SnapshotResult> flipped = SnapshotCodec::Decode(bad);
+  ASSERT_FALSE(flipped.ok());
+  EXPECT_EQ(flipped.status().code(), StatusCode::kDataLoss);
+  // Trailing garbage after the last section.
+  bad = good + "junk";
+  EXPECT_EQ(SnapshotCodec::Decode(bad).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(DurabilityTest, WriteSnapshotIsAtomicAndReadable) {
+  const std::string path = dir_ + "/snap";
+  std::shared_ptr<storage::TiStore> store = SampleStore();
+  ASSERT_TRUE(WriteSnapshot(*store, 3, path).ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));  // temp renamed away
+  StatusOr<SnapshotResult> read = ReadSnapshot(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().last_lsn, 3u);
+  ExpectStoresIdentical(*store, *read.value().store);
+  EXPECT_EQ(ReadSnapshot(dir_ + "/absent").status().code(),
+            StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------
+
+std::vector<WalRecord> AllOpsRecords() {
+  std::vector<WalRecord> records;
+  WalRecord insert;
+  insert.lsn = 1;
+  insert.op = WalOp::kInsert;
+  insert.fact = R(9, 9);
+  insert.prob = 0.625;
+  records.push_back(insert);
+  WalRecord update;
+  update.lsn = 2;
+  update.op = WalOp::kUpdateProbability;
+  update.fact = R(9, 9);
+  update.prob = 0.25;
+  records.push_back(update);
+  WalRecord exact;
+  exact.lsn = 3;
+  exact.op = WalOp::kUpdateProbabilityExact;
+  exact.fact = S("alice");
+  exact.prob = 1.0 / 3.0;
+  exact.exact = math::Rational::Ratio(1, 3);
+  records.push_back(exact);
+  WalRecord erase;
+  erase.lsn = 4;
+  erase.op = WalOp::kErase;
+  erase.fact = R(9, 9);
+  records.push_back(erase);
+  return records;
+}
+
+TEST_F(DurabilityTest, WalPayloadRoundTripsEveryOp) {
+  for (const WalRecord& record : AllOpsRecords()) {
+    std::string payload;
+    EncodeWalPayload(record, &payload);
+    WalRecord back;
+    ASSERT_TRUE(DecodeWalPayload(payload.data(), payload.size(), &back));
+    EXPECT_EQ(back.lsn, record.lsn);
+    EXPECT_EQ(back.op, record.op);
+    EXPECT_EQ(back.fact, record.fact);
+    EXPECT_EQ(back.prob, record.prob);  // bitwise
+    if (record.op == WalOp::kUpdateProbabilityExact) {
+      EXPECT_EQ(back.exact, record.exact);
+    }
+    // Truncated payloads never decode.
+    EXPECT_FALSE(DecodeWalPayload(payload.data(), payload.size() - 1, &back));
+  }
+}
+
+TEST_F(DurabilityTest, WalAppendFlushReplayRoundTrip) {
+  const std::string path = dir_ + "/wal";
+  StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  for (const WalRecord& record : AllOpsRecords()) {
+    ASSERT_TRUE(wal.value()->Append(record).ok());
+  }
+  ASSERT_TRUE(wal.value()->Sync().ok());
+  wal.value().reset();
+
+  StatusOr<std::unique_ptr<Wal>> reopened = Wal::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  std::vector<WalRecord> replayed;
+  ReplayStats stats;
+  Status status = reopened.value()->Replay(
+      /*min_lsn=*/0,
+      [&](const WalRecord& record) {
+        replayed.push_back(record);
+        return Status::Ok();
+      },
+      &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(stats.applied, 4);
+  EXPECT_EQ(stats.skipped, 0);
+  EXPECT_FALSE(stats.tail_truncated);
+  EXPECT_EQ(stats.last_lsn, 4u);
+  ASSERT_EQ(replayed.size(), 4u);
+  const std::vector<WalRecord> expected = AllOpsRecords();
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replayed[i].lsn, expected[i].lsn);
+    EXPECT_EQ(replayed[i].op, expected[i].op);
+    EXPECT_EQ(replayed[i].fact, expected[i].fact);
+  }
+}
+
+TEST_F(DurabilityTest, WalReplaySkipsRecordsTheSnapshotCovers) {
+  const std::string path = dir_ + "/wal";
+  StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  for (const WalRecord& record : AllOpsRecords()) {
+    ASSERT_TRUE(wal.value()->Append(record).ok());
+  }
+  ASSERT_TRUE(wal.value()->Flush().ok());
+  ReplayStats stats;
+  int applied = 0;
+  ASSERT_TRUE(wal.value()
+                  ->Replay(
+                      /*min_lsn=*/2,
+                      [&](const WalRecord& record) {
+                        EXPECT_GT(record.lsn, 2u);
+                        ++applied;
+                        return Status::Ok();
+                      },
+                      &stats)
+                  .ok());
+  EXPECT_EQ(applied, 2);
+  EXPECT_EQ(stats.applied, 2);
+  EXPECT_EQ(stats.skipped, 2);
+  EXPECT_EQ(stats.last_lsn, 4u);
+}
+
+TEST_F(DurabilityTest, WalTornTailIsTruncatedNotFatal) {
+  const std::string path = dir_ + "/wal";
+  {
+    StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (const WalRecord& record : AllOpsRecords()) {
+      ASSERT_TRUE(wal.value()->Append(record).ok());
+    }
+    ASSERT_TRUE(wal.value()->Flush().ok());
+  }
+  // A crash mid-append: garbage bytes after the last complete frame.
+  {
+    std::ofstream torn(path, std::ios::binary | std::ios::app);
+    torn.write("\x13\x00\x00\x00garbage-torn-tail", 21);
+  }
+  StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ReplayStats stats;
+  int applied = 0;
+  Status status = wal.value()->Replay(
+      0,
+      [&](const WalRecord&) {
+        ++applied;
+        return Status::Ok();
+      },
+      &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();  // torn != corrupt
+  EXPECT_EQ(applied, 4);
+  EXPECT_TRUE(stats.tail_truncated);
+
+  // The truncation repaired the file in place: a second replay is clean
+  // and appends land after the last good record.
+  StatusOr<std::unique_ptr<Wal>> again = Wal::Open(path);
+  ASSERT_TRUE(again.ok());
+  ReplayStats clean;
+  ASSERT_TRUE(
+      again.value()
+          ->Replay(0, [](const WalRecord&) { return Status::Ok(); }, &clean)
+          .ok());
+  EXPECT_FALSE(clean.tail_truncated);
+  EXPECT_EQ(clean.applied, 4);
+}
+
+TEST_F(DurabilityTest, WalCrcValidGarbageIsDataLoss) {
+  const std::string path = dir_ + "/wal";
+  {
+    StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal.value()->Flush().ok());
+  }
+  // A frame whose CRC matches its payload but whose payload is not a
+  // record: real corruption, not a torn tail.
+  {
+    const std::string payload = "not-a-wal-record";
+    std::string frame;
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    const uint32_t crc = Crc32c(payload.data(), payload.size());
+    frame.append(reinterpret_cast<const char*>(&len), 4);
+    frame.append(reinterpret_cast<const char*>(&crc), 4);
+    frame += payload;
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  }
+  StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ReplayStats stats;
+  Status status = wal.value()->Replay(
+      0, [](const WalRecord&) { return Status::Ok(); }, &stats);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(DurabilityTest, WalOpenRejectsForeignHeader) {
+  const std::string path = dir_ + "/wal";
+  ASSERT_TRUE(WriteFileSync(path, "NOTAWAL0morebytes").ok());
+  StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(path);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(DurabilityTest, WalRollbackDiscardsBufferedAppend) {
+  const std::string path = dir_ + "/wal";
+  StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  WalRecord record = AllOpsRecords()[0];
+  const size_t mark = wal.value()->mark();
+  ASSERT_TRUE(wal.value()->Append(record).ok());
+  EXPECT_GT(wal.value()->pending_bytes(), 0u);
+  wal.value()->RollbackTo(mark);
+  EXPECT_EQ(wal.value()->pending_bytes(), 0u);
+  ASSERT_TRUE(wal.value()->Flush().ok());
+  ReplayStats stats;
+  ASSERT_TRUE(
+      wal.value()
+          ->Replay(0, [](const WalRecord&) { return Status::Ok(); }, &stats)
+          .ok());
+  EXPECT_EQ(stats.applied, 0);
+}
+
+// ---------------------------------------------------------------------
+// Manager: create / mutate / recover
+// ---------------------------------------------------------------------
+
+TEST_F(DurabilityTest, ManagerRecoversJournaledMutations) {
+  Manager manager(dir_);
+  StatusOr<std::unique_ptr<DurableStore>> created =
+      manager.Create("db", SampleStore());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<DurableStore> live = std::move(created).value();
+
+  ASSERT_TRUE(live->Insert(R(3, 1), 0.875).ok());
+  ASSERT_TRUE(live->UpdateProbability(R(1, 2), 0.375).ok());
+  ASSERT_TRUE(
+      live->UpdateProbabilityExact(S("bob"), math::Rational::Ratio(1, 7))
+          .ok());
+  ASSERT_TRUE(live->Erase(R(2, 3)).ok());
+  ASSERT_TRUE(live->Flush().ok());
+  EXPECT_EQ(live->last_lsn(), 4u);
+
+  StatusOr<std::unique_ptr<DurableStore>> recovered = manager.Load("db");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->recovery_stats().applied, 4);
+  EXPECT_EQ(recovered.value()->last_lsn(), 4u);
+  ExpectStoresIdentical(live->store(), recovered.value()->store());
+  // The exact update survives replay with EXPECT_EQ equality.
+  const int64_t bob = recovered.value()->store().FindFact(S("bob"));
+  ASSERT_GE(bob, 0);
+  const math::Rational* exact = recovered.value()->store().ExactAt(bob);
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(*exact, math::Rational::Ratio(1, 7));
+}
+
+TEST_F(DurabilityTest, CheckpointTruncatesWalAndStaysRecoverable) {
+  Manager manager(dir_);
+  StatusOr<std::unique_ptr<DurableStore>> created =
+      manager.Create("db", SampleStore());
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<DurableStore> live = std::move(created).value();
+  ASSERT_TRUE(live->Insert(R(5, 5), 0.5).ok());
+  ASSERT_TRUE(live->Checkpoint().ok());
+  // Post-checkpoint mutations start a fresh log.
+  ASSERT_TRUE(live->UpdateProbability(R(5, 5), 0.75).ok());
+  ASSERT_TRUE(live->Flush().ok());
+
+  StatusOr<std::unique_ptr<DurableStore>> recovered = manager.Load("db");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // Only the post-checkpoint record replays; the insert came from the
+  // snapshot.
+  EXPECT_EQ(recovered.value()->recovery_stats().applied, 1);
+  EXPECT_EQ(recovered.value()->recovery_stats().skipped, 0);
+  ExpectStoresIdentical(live->store(), recovered.value()->store());
+}
+
+TEST_F(DurabilityTest, ReplayAfterCheckpointSkipsCoveredRecords) {
+  // The crash-between-checkpoint-steps case: snapshot written, WAL NOT
+  // truncated. Replay must skip every record the snapshot already
+  // folded in (lsn <= last_lsn) instead of double-applying.
+  Manager manager(dir_);
+  StatusOr<std::unique_ptr<DurableStore>> created =
+      manager.Create("db", SampleStore());
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<DurableStore> live = std::move(created).value();
+  ASSERT_TRUE(live->Insert(R(5, 5), 0.5).ok());
+  ASSERT_TRUE(live->Sync().ok());
+  // Snapshot at the current LSN without truncating the log — exactly
+  // the state a crash between WriteSnapshot and TruncateAll leaves.
+  ASSERT_TRUE(
+      WriteSnapshot(live->store(), live->last_lsn(),
+                    manager.SnapshotPath("db"))
+          .ok());
+  StatusOr<std::unique_ptr<DurableStore>> recovered = manager.Load("db");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->recovery_stats().applied, 0);
+  EXPECT_EQ(recovered.value()->recovery_stats().skipped, 1);
+  ExpectStoresIdentical(live->store(), recovered.value()->store());
+}
+
+TEST_F(DurabilityTest, CreateDiscardsAStaleWal) {
+  Manager manager(dir_);
+  {
+    StatusOr<std::unique_ptr<DurableStore>> first =
+        manager.Create("db", SampleStore());
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first.value()->Insert(R(7, 7), 0.5).ok());
+    ASSERT_TRUE(first.value()->Flush().ok());
+  }
+  // Re-creating the instance must not replay the old instance's log.
+  storage::TiStore::Builder builder(rel::Schema({{"R", 2}, {"S", 1}}));
+  builder.Add(R(1, 1), 0.5);
+  auto fresh = builder.Finish();
+  ASSERT_TRUE(fresh.ok());
+  {
+    StatusOr<std::unique_ptr<DurableStore>> second =
+        manager.Create("db", fresh.value());
+    ASSERT_TRUE(second.ok());
+  }
+  StatusOr<std::unique_ptr<DurableStore>> recovered = manager.Load("db");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->recovery_stats().applied, 0);
+  EXPECT_EQ(recovered.value()->store().num_facts(), 1);
+}
+
+TEST_F(DurabilityTest, ManagerValidatesNamesAndLists) {
+  Manager manager(dir_);
+  EXPECT_FALSE(Manager::ValidateName("").ok());
+  EXPECT_FALSE(Manager::ValidateName("..").ok());
+  EXPECT_FALSE(Manager::ValidateName("a/b").ok());
+  EXPECT_TRUE(Manager::ValidateName("prod-db_1.2").ok());
+  EXPECT_FALSE(manager.Exists("db"));
+  StatusOr<std::vector<std::string>> empty = manager.List();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+  ASSERT_TRUE(manager.Create("db", SampleStore()).ok());
+  ASSERT_TRUE(manager.Create("x", SampleStore()).ok());
+  EXPECT_TRUE(manager.Exists("db"));
+  StatusOr<std::vector<std::string>> names = manager.List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"db", "x"}));
+  EXPECT_EQ(manager.Load("absent").status().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------
+// Mutation edge cases, live and through replay (satellite 4)
+// ---------------------------------------------------------------------
+
+TEST_F(DurabilityTest, EraseOfRelationsLastFactSurvivesReplay) {
+  Manager manager(dir_);
+  StatusOr<std::unique_ptr<DurableStore>> created =
+      manager.Create("db", SampleStore());
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<DurableStore> live = std::move(created).value();
+  // S has two facts; erase both — the relation ends up empty.
+  ASSERT_TRUE(live->Erase(S("alice")).ok());
+  ASSERT_TRUE(live->Erase(S("bob")).ok());
+  EXPECT_EQ(live->store().table(1).num_rows(), 0);
+  ASSERT_TRUE(live->Flush().ok());
+  StatusOr<std::unique_ptr<DurableStore>> recovered = manager.Load("db");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->store().table(1).num_rows(), 0);
+  ExpectStoresIdentical(live->store(), recovered.value()->store());
+}
+
+TEST_F(DurabilityTest, UpdateAfterEraseFailsWithoutJournalingIt) {
+  Manager manager(dir_);
+  StatusOr<std::unique_ptr<DurableStore>> created =
+      manager.Create("db", SampleStore());
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<DurableStore> live = std::move(created).value();
+  ASSERT_TRUE(live->Erase(R(1, 2)).ok());
+  // The rejected apply rolls its WAL record back: the LSN does not
+  // advance and replay sees only the erase.
+  EXPECT_FALSE(live->UpdateProbability(R(1, 2), 0.9).ok());
+  EXPECT_FALSE(
+      live->UpdateProbabilityExact(R(1, 2), math::Rational::Ratio(1, 2))
+          .ok());
+  EXPECT_FALSE(live->Erase(R(1, 2)).ok());
+  EXPECT_EQ(live->last_lsn(), 1u);
+  ASSERT_TRUE(live->Flush().ok());
+  StatusOr<std::unique_ptr<DurableStore>> recovered = manager.Load("db");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->recovery_stats().applied, 1);
+  ExpectStoresIdentical(live->store(), recovered.value()->store());
+}
+
+TEST_F(DurabilityTest, ReinsertOfErasedFactSurvivesReplay) {
+  Manager manager(dir_);
+  StatusOr<std::unique_ptr<DurableStore>> created =
+      manager.Create("db", SampleStore());
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<DurableStore> live = std::move(created).value();
+  ASSERT_TRUE(live->Erase(R(1, 2)).ok());
+  StatusOr<int64_t> back = live->Insert(R(1, 2), 0.0625);
+  ASSERT_TRUE(back.ok());
+  // Re-inserted facts append: new row, new global index, new marginal.
+  EXPECT_EQ(back.value(), live->store().num_facts() - 1);
+  ASSERT_TRUE(live->Flush().ok());
+  StatusOr<std::unique_ptr<DurableStore>> recovered = manager.Load("db");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const int64_t i = recovered.value()->store().FindFact(R(1, 2));
+  ASSERT_GE(i, 0);
+  EXPECT_EQ(recovered.value()->store().ProbAt(i), 0.0625);
+  ExpectStoresIdentical(live->store(), recovered.value()->store());
+}
+
+TEST_F(DurabilityTest, ExactSideTableChurnSurvivesReplay) {
+  Manager manager(dir_);
+  StatusOr<std::unique_ptr<DurableStore>> created =
+      manager.Create("db", SampleStore());
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<DurableStore> live = std::move(created).value();
+  // exact -> double (clears the side entry) -> exact again; and a
+  // double-marginal fact gaining an exact entry, then being erased.
+  ASSERT_TRUE(
+      live->UpdateProbabilityExact(S("alice"), math::Rational::Ratio(1, 3))
+          .ok());
+  ASSERT_TRUE(live->UpdateProbability(S("alice"), 0.5).ok());
+  ASSERT_TRUE(
+      live->UpdateProbabilityExact(S("alice"), math::Rational::Ratio(2, 7))
+          .ok());
+  ASSERT_TRUE(
+      live->UpdateProbabilityExact(R(2, 3), math::Rational::Ratio(5, 9))
+          .ok());
+  ASSERT_TRUE(live->Erase(R(2, 3)).ok());
+  ASSERT_TRUE(live->Flush().ok());
+
+  const int64_t alice = live->store().FindFact(S("alice"));
+  ASSERT_GE(alice, 0);
+  const math::Rational* exact = live->store().ExactAt(alice);
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(*exact, math::Rational::Ratio(2, 7));
+
+  StatusOr<std::unique_ptr<DurableStore>> recovered = manager.Load("db");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectStoresIdentical(live->store(), recovered.value()->store());
+}
+
+// ---------------------------------------------------------------------
+// Fault-injected unwinding at every dur.* site
+// ---------------------------------------------------------------------
+
+#if defined(IPDB_FAULT_INJECTION)
+
+TEST_F(DurabilityTest, SnapshotWriteFaultLeavesOldSnapshotIntact) {
+  Manager manager(dir_);
+  ASSERT_TRUE(manager.Create("db", SampleStore()).ok());
+  const auto before = Fingerprint(*ReadSnapshot(manager.SnapshotPath("db"))
+                                       .value()
+                                       .store);
+  for (const char* site : {"dur.snapshot.write", "dur.rename"}) {
+    SCOPED_TRACE(site);
+    fault::ScopedFaultPlan plan({{site, 1}});
+    Status status = manager.Save("db", *SampleStore());
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_EQ(plan.triggered(site), 1);
+    // The published snapshot is the old one, readable and identical.
+    StatusOr<SnapshotResult> read = ReadSnapshot(manager.SnapshotPath("db"));
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(Fingerprint(*read.value().store), before);
+  }
+}
+
+TEST_F(DurabilityTest, WalAppendFaultRollsTheMutationBack) {
+  Manager manager(dir_);
+  StatusOr<std::unique_ptr<DurableStore>> created =
+      manager.Create("db", SampleStore());
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<DurableStore> live = std::move(created).value();
+  const int64_t facts_before = live->store().num_facts();
+  {
+    fault::ScopedFaultPlan plan({{"dur.wal.append", 1}});
+    StatusOr<int64_t> inserted = live->Insert(R(8, 8), 0.5);
+    ASSERT_FALSE(inserted.ok());
+    EXPECT_EQ(inserted.status().code(), StatusCode::kInternal);
+    EXPECT_EQ(plan.triggered("dur.wal.append"), 1);
+  }
+  // Log-then-apply: the failed append journaled nothing and applied
+  // nothing; the next mutation gets the next LSN and recovery agrees.
+  EXPECT_EQ(live->store().num_facts(), facts_before);
+  EXPECT_EQ(live->last_lsn(), 0u);
+  ASSERT_TRUE(live->Insert(R(8, 8), 0.5).ok());
+  EXPECT_EQ(live->last_lsn(), 1u);
+  ASSERT_TRUE(live->Flush().ok());
+  StatusOr<std::unique_ptr<DurableStore>> recovered = manager.Load("db");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectStoresIdentical(live->store(), recovered.value()->store());
+}
+
+TEST_F(DurabilityTest, ReplayFaultFailsLoadCleanlyAndRetrySucceeds) {
+  Manager manager(dir_);
+  {
+    StatusOr<std::unique_ptr<DurableStore>> created =
+        manager.Create("db", SampleStore());
+    ASSERT_TRUE(created.ok());
+    ASSERT_TRUE(created.value()->Insert(R(6, 6), 0.5).ok());
+    ASSERT_TRUE(created.value()->Flush().ok());
+  }
+  {
+    fault::ScopedFaultPlan plan({{"dur.wal.replay", 1}});
+    StatusOr<std::unique_ptr<DurableStore>> load = manager.Load("db");
+    ASSERT_FALSE(load.ok());
+    EXPECT_EQ(load.status().code(), StatusCode::kInternal);
+    EXPECT_EQ(plan.triggered("dur.wal.replay"), 1);
+  }
+  // Nothing was damaged: the retry recovers everything.
+  StatusOr<std::unique_ptr<DurableStore>> retry = manager.Load("db");
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry.value()->recovery_stats().applied, 1);
+  EXPECT_GE(retry.value()->store().FindFact(R(6, 6)), 0);
+}
+
+#endif  // IPDB_FAULT_INJECTION
+
+}  // namespace
+}  // namespace durability
+}  // namespace ipdb

@@ -17,6 +17,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -653,14 +655,24 @@ class LineClient {
 
   /// Sends one request line and reads one response line.
   std::string RoundTrip(const std::string& request) {
-    std::string framed = request + "\n";
+    if (!SendRaw(request + "\n")) return "";
+    return ReadLine();
+  }
+
+  /// Sends bytes with no framing — for exercising the line cap.
+  bool SendRaw(const std::string& bytes) {
     size_t sent = 0;
-    while (sent < framed.size()) {
+    while (sent < bytes.size()) {
       const ssize_t n =
-          ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
-      if (n <= 0) return "";
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+      if (n <= 0) return false;
       sent += static_cast<size_t>(n);
     }
+    return true;
+  }
+
+  /// Reads up to the next newline; "" means the peer closed first.
+  std::string ReadLine() {
     while (buffer_.find('\n') == std::string::npos) {
       char chunk[1024];
       const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -671,6 +683,12 @@ class LineClient {
     std::string line = buffer_.substr(0, newline);
     buffer_.erase(0, newline + 1);
     return line;
+  }
+
+  /// True once the peer has closed its end (blocking read of EOF).
+  bool AtEof() {
+    char byte;
+    return ::recv(fd_, &byte, 1, 0) <= 0;
   }
 
  private:
@@ -736,6 +754,154 @@ TEST(DaemonTest, SpeaksTheLineProtocolOverLoopback) {
   EXPECT_EQ(client.RoundTrip("QUIT"), "BYE");
   daemon.Stop();
   EXPECT_TRUE(engine.Stop().ok());
+}
+
+// Satellite: an unterminated request line past the cap must be answered
+// once and hung up on — never buffered without bound — and the listener
+// must keep serving fresh connections afterwards.
+TEST(DaemonTest, OversizedLineGetsOneErrorThenTheConnectionCloses) {
+  Engine engine(EngineOptions{/*threads=*/1, {}});
+  ASSERT_TRUE(engine.RegisterInstance("db", SmallInstance()).ok());
+  Daemon daemon(&engine);
+  const Status started = daemon.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "no loopback sockets here: " << started.ToString();
+  }
+  {
+    LineClient client(daemon.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.SendRaw(
+        std::string(Daemon::kMaxRequestLineBytes + 1024, 'A')));
+    const std::string reply = client.ReadLine();
+    EXPECT_EQ(reply.substr(0, 20), "ERR INVALID_ARGUMENT") << reply;
+    EXPECT_NE(reply.find("exceeds"), std::string::npos) << reply;
+    EXPECT_TRUE(client.AtEof());
+  }
+  LineClient after(daemon.port());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.RoundTrip("PING"), "PONG");
+  daemon.Stop();
+  EXPECT_TRUE(engine.Stop().ok());
+}
+
+/// Scratch durability root, removed (instance files and all) on exit.
+class ServerScratchDir {
+ public:
+  ServerScratchDir() {
+    char tmpl[] = "/tmp/ipdb_server_dur_XXXXXX";
+    if (::mkdtemp(tmpl) != nullptr) path_ = tmpl;
+  }
+  ~ServerScratchDir() {
+    if (path_.empty()) return;
+    for (const char* name : {"db"}) {
+      const std::string dir = path_ + "/" + name;
+      std::remove((dir + "/snapshot.ipdb").c_str());
+      std::remove((dir + "/snapshot.ipdb.tmp").c_str());
+      std::remove((dir + "/wal.log").c_str());
+      ::rmdir(dir.c_str());
+    }
+    ::rmdir(path_.c_str());
+  }
+  bool ok() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Tentpole: SAVE persists a registered instance under durability_dir and
+// a fresh engine over the same root restores it at boot with the exact
+// same served answer.
+TEST(EngineTest, DurabilityDirSavesAndRestoresOnBoot) {
+  ServerScratchDir scratch;
+  ASSERT_TRUE(scratch.ok());
+  pdb::TiPdbD ti = SmallInstance();
+  const pqe::QueryAnswer truth = SingleShot(ti, kSafeQuery);
+
+  EngineOptions options;
+  options.threads = 1;
+  options.durability_dir = scratch.path();
+  {
+    Engine engine(options);
+    EXPECT_EQ(engine.boot_restored(), 0);  // an empty root restores nothing
+    ASSERT_TRUE(engine.boot_restore_status().ok());
+    ASSERT_TRUE(engine.RegisterInstance("db", ti).ok());
+    ASSERT_TRUE(engine.RegisterTenant("acme", TenantConfig{}).ok());
+    ASSERT_TRUE(engine.SaveInstance("db").ok());
+    StatusOr<QueryResult> before = engine.Query("acme", "db", kSafeQuery);
+    ASSERT_TRUE(before.ok());
+    EXPECT_EQ(before.value().answer.probability, truth.probability);
+    EXPECT_TRUE(engine.Stop().ok());
+  }
+  {
+    Engine engine(options);
+    EXPECT_EQ(engine.boot_restored(), 1);
+    ASSERT_TRUE(engine.boot_restore_status().ok());
+    ASSERT_TRUE(engine.RegisterTenant("acme", TenantConfig{}).ok());
+    StatusOr<QueryResult> after = engine.Query("acme", "db", kSafeQuery);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after.value().answer.probability, truth.probability);
+    EXPECT_TRUE(engine.Stop().ok());
+  }
+  // Durability off: the commands refuse instead of inventing a path.
+  Engine off(EngineOptions{/*threads=*/1, {}});
+  ASSERT_TRUE(off.RegisterInstance("db", ti).ok());
+  EXPECT_EQ(off.SaveInstance("db").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(off.LoadInstance("other").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(off.Stop().ok());
+}
+
+// SAVE/LOAD over the line protocol: one daemon saves, a second engine's
+// daemon loads the instance from disk and serves it with exact parity.
+TEST(DaemonTest, SaveAndLoadCommandsRoundTripAcrossEngines) {
+  ServerScratchDir scratch;
+  ASSERT_TRUE(scratch.ok());
+  pdb::TiPdbD ti = SmallInstance();
+  const pqe::QueryAnswer truth = SingleShot(ti, kSafeQuery);
+
+  EngineOptions options;
+  options.threads = 1;
+  options.durability_dir = scratch.path();
+  Engine writer(options);
+  ASSERT_TRUE(writer.RegisterInstance("db", ti).ok());
+  // Constructed while the root is still empty, so nothing boot-restores
+  // and LOAD below genuinely reads the files the SAVE wrote.
+  Engine reader(options);
+  ASSERT_TRUE(reader.RegisterTenant("acme", TenantConfig{}).ok());
+  EXPECT_EQ(reader.boot_restored(), 0);
+
+  Daemon write_daemon(&writer);
+  Daemon read_daemon(&reader);
+  const Status started = write_daemon.Start();
+  if (!started.ok() || !read_daemon.Start().ok()) {
+    GTEST_SKIP() << "no loopback sockets here";
+  }
+  LineClient save_client(write_daemon.port());
+  ASSERT_TRUE(save_client.ok());
+  EXPECT_EQ(save_client.RoundTrip("SAVE db"), "OK");
+  EXPECT_EQ(save_client.RoundTrip("SAVE ghost").substr(0, 3), "ERR");
+  EXPECT_EQ(save_client.RoundTrip("SAVE").substr(0, 3), "ERR");
+
+  LineClient load_client(read_daemon.port());
+  ASSERT_TRUE(load_client.ok());
+  EXPECT_EQ(load_client.RoundTrip("LOAD db"), "OK");
+  EXPECT_EQ(load_client.RoundTrip("LOAD db").substr(0, 3),
+            "ERR");  // already registered
+  EXPECT_EQ(load_client.RoundTrip("LOAD ghost").substr(0, 3), "ERR");
+  const std::string served =
+      load_client.RoundTrip(std::string("QUERY acme db ") + kSafeQuery);
+  std::istringstream parse(served);
+  std::string tag;
+  double probability = -1.0;
+  parse >> tag >> probability;
+  EXPECT_EQ(tag, "OK") << served;
+  EXPECT_EQ(probability, truth.probability);
+
+  write_daemon.Stop();
+  read_daemon.Stop();
+  EXPECT_TRUE(writer.Stop().ok());
+  EXPECT_TRUE(reader.Stop().ok());
 }
 
 // Satellite: the METRICS reply must be machine-readable, not just

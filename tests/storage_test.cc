@@ -459,6 +459,83 @@ TEST(StorageInvalidationTest, ConcurrentReadersAndRegistrations) {
   EXPECT_GT(store->num_dependent_artifacts(), 0);
 }
 
+TEST(TiStoreTest, ErasingARelationsLastFactLeavesItEmptyButUsable) {
+  rel::Schema schema({{"R", 2}, {"S", 1}});
+  TiStore::Builder builder(schema);
+  builder.Add(rel::Fact(0, {rel::Value::Int(1), rel::Value::Int(2)}), 0.5);
+  builder.Add(rel::Fact(1, {rel::Value::Symbol("only")}), 0.75);
+  std::shared_ptr<TiStore> store = builder.Finish().value();
+  const rel::Fact only(1, {rel::Value::Symbol("only")});
+  ASSERT_TRUE(store->Erase(only).ok());
+  EXPECT_EQ(store->table(1).num_rows(), 0);
+  EXPECT_EQ(store->num_facts(), 1);
+  EXPECT_EQ(store->FindFact(only), -1);
+  // The emptied relation still accepts inserts.
+  StatusOr<int64_t> back = store->Insert(only, 0.25);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(store->FactAt(back.value()), only);
+  EXPECT_EQ(store->ProbAt(back.value()), 0.25);
+}
+
+TEST(TiStoreTest, MutationsOfAnErasedFactAreInvalidArgument) {
+  rel::Schema schema({{"R", 1}});
+  TiStore::Builder builder(schema);
+  builder.Add(rel::Fact(0, {rel::Value::Int(1)}), 0.5);
+  builder.Add(rel::Fact(0, {rel::Value::Int(2)}), 0.5);
+  std::shared_ptr<TiStore> store = builder.Finish().value();
+  const rel::Fact gone(0, {rel::Value::Int(1)});
+  ASSERT_TRUE(store->Erase(gone).ok());
+  EXPECT_EQ(store->UpdateProbability(gone, 0.9).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->UpdateProbabilityExact(gone, math::Rational::Ratio(1, 3))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->Erase(gone).code(), StatusCode::kInvalidArgument);
+  // A failed mutation leaves the survivor untouched.
+  EXPECT_EQ(store->num_facts(), 1);
+  EXPECT_EQ(store->ProbAt(store->FindFact(rel::Fact(0, {rel::Value::Int(2)}))),
+            0.5);
+  // Re-inserting the erased fact appends it as a fresh row at the end.
+  StatusOr<int64_t> again = store->Insert(gone, 0.0625);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), store->num_facts() - 1);
+  EXPECT_EQ(store->ProbAt(again.value()), 0.0625);
+}
+
+TEST(TiStoreTest, ExactSideTableChurnTracksTheLatestUpdate) {
+  rel::Schema schema({{"R", 1}});
+  TiStore::Builder builder(schema);
+  builder.Add(rel::Fact(0, {rel::Value::Int(1)}), 0.5);
+  builder.AddExact(rel::Fact(0, {rel::Value::Int(2)}),
+                   math::Rational::Ratio(2, 5));
+  std::shared_ptr<TiStore> store = builder.Finish().value();
+  const rel::Fact one(0, {rel::Value::Int(1)});
+  const rel::Fact two(0, {rel::Value::Int(2)});
+  // Double-only fact gains an exact entry...
+  ASSERT_TRUE(
+      store->UpdateProbabilityExact(one, math::Rational::Ratio(1, 3)).ok());
+  {
+    const math::Rational* exact = store->ExactAt(store->FindFact(one));
+    ASSERT_NE(exact, nullptr);
+    EXPECT_EQ(*exact, math::Rational::Ratio(1, 3));
+  }
+  // ...and a plain double update clears it again: the exact side table
+  // never serves a value the double column has since diverged from.
+  ASSERT_TRUE(store->UpdateProbability(one, 0.5).ok());
+  EXPECT_EQ(store->ExactAt(store->FindFact(one)), nullptr);
+  // Overwriting an existing exact entry replaces it in place.
+  ASSERT_TRUE(
+      store->UpdateProbabilityExact(two, math::Rational::Ratio(2, 7)).ok());
+  {
+    const math::Rational* exact = store->ExactAt(store->FindFact(two));
+    ASSERT_NE(exact, nullptr);
+    EXPECT_EQ(*exact, math::Rational::Ratio(2, 7));
+  }
+  // Erasing a fact drops its exact entry with it.
+  ASSERT_TRUE(store->Erase(two).ok());
+  EXPECT_EQ(store->table(0).num_exact(), 0);
+}
+
 TEST(TiStoreTest, ExactViewRequiresExactMarginals) {
   rel::Schema schema({{"R", 1}});
   TiStore::Builder builder(schema);
